@@ -1,0 +1,98 @@
+// Elastic-RSS ablation (§5.1's related work): RSS whose indirection table a
+// NIC control loop rebalances every ~20 us using per-core queue depths —
+// fine-grained load feedback *without* changing the run-to-completion
+// scheduling policy.
+//
+// Expected shape, per the paper's framing:
+//   - under flow imbalance (few flows), eRSS rescues much of plain RSS's
+//     tail by repointing hot buckets;
+//   - under dispersion (bimodal service times), eRSS barely helps — moving
+//     future flows does nothing for the short request already stuck behind
+//     a long one. Only preemption fixes that.
+#include <iostream>
+#include <memory>
+
+#include "figure_util.h"
+
+int main() {
+  using namespace nicsched;
+  using namespace nicsched::bench;
+
+  std::cout << "Elastic RSS ablation: 8 workers\n\n";
+
+  // --- case 1: flow imbalance, homogeneous service ------------------------
+  core::ExperimentConfig imbalance;
+  imbalance.worker_count = 8;
+  imbalance.preemption_enabled = false;
+  imbalance.service = std::make_shared<workload::FixedDistribution>(
+      sim::Duration::micros(5));
+  imbalance.client_machines = 2;
+  imbalance.flows_per_client = 6;  // 12 flows over 8 rings: lumpy hashing
+  imbalance.offered_rps = 900e3;   // ~60 % of capacity
+  imbalance.target_samples = bench_samples(60'000);
+
+  stats::Table table({"case", "system", "p99_us", "p999_us", "util_spread"});
+  double p99[2][3] = {};
+  auto spread = [](const core::ExperimentResult& result) {
+    double lo = 1.0, hi = 0.0;
+    for (const double u : result.server.worker_utilization) {
+      lo = std::min(lo, u);
+      hi = std::max(hi, u);
+    }
+    return hi - lo;
+  };
+
+  int system_index = 0;
+  for (const auto system :
+       {core::SystemKind::kRss, core::SystemKind::kElasticRss,
+        core::SystemKind::kShinjukuOffload}) {
+    core::ExperimentConfig config = imbalance;
+    config.system = system;
+    config.outstanding_per_worker = 4;
+    const auto result = core::run_experiment(config);
+    p99[0][system_index] = result.summary.p99_us;
+    table.add_row({"few-flows fixed-5us", core::to_string(system),
+                   stats::fmt(result.summary.p99_us),
+                   stats::fmt(result.summary.p999_us),
+                   stats::fmt(spread(result), 2)});
+    ++system_index;
+  }
+
+  // --- case 2: dispersion, plenty of flows --------------------------------
+  core::ExperimentConfig dispersion = imbalance;
+  dispersion.client_machines = 4;
+  dispersion.flows_per_client = 64;
+  dispersion.service = std::make_shared<workload::BimodalDistribution>(
+      sim::Duration::micros(5), sim::Duration::micros(500), 0.01);
+  dispersion.offered_rps = 400e3;  // ~50 % of the 8-worker capacity
+
+  system_index = 0;
+  for (const auto system :
+       {core::SystemKind::kRss, core::SystemKind::kElasticRss,
+        core::SystemKind::kShinjukuOffload}) {
+    core::ExperimentConfig config = dispersion;
+    config.system = system;
+    config.outstanding_per_worker = 4;
+    config.preemption_enabled =
+        system == core::SystemKind::kShinjukuOffload;
+    config.time_slice = sim::Duration::micros(10);
+    const auto result = core::run_experiment(config);
+    p99[1][system_index] = result.summary.p99_us;
+    table.add_row({"bimodal dispersion", core::to_string(system),
+                   stats::fmt(result.summary.p99_us),
+                   stats::fmt(result.summary.p999_us),
+                   stats::fmt(spread(result), 2)});
+    ++system_index;
+  }
+  table.print(std::cout);
+  std::cout << '\n';
+
+  bool ok = true;
+  ok &= check("under flow imbalance, eRSS improves plain RSS's p99 (>=1.3x)",
+              p99[0][1] * 1.3 <= p99[0][0]);
+  ok &= check("under dispersion, eRSS recovers far less than preemption does",
+              (p99[1][0] - p99[1][1]) < 0.5 * (p99[1][0] - p99[1][2]));
+  ok &= check("preemptive offload beats both RSS variants under dispersion",
+              p99[1][2] < p99[1][0] && p99[1][2] < p99[1][1]);
+  return ok ? 0 : 1;
+}

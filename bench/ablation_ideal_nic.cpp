@@ -1,0 +1,102 @@
+// §5.1's proposals, quantified: how much of the Figure 6 gap does each piece
+// of the "ideal SmartNIC" close?
+//
+//   1. line-rate scheduling + CXL-class path: sweep the NIC↔host one-way
+//      latency from 100 ns (§5.1's optimistic bound) to 2.56 us (today's
+//      Stingray packet path) and measure saturation throughput on the
+//      Figure 6 workload (1 us requests, 16 workers).
+//   2. informed preemption: spurious/total interrupt ratio for the local-
+//      timer design vs the queue-aware NIC interrupt at low load.
+#include <iostream>
+#include <memory>
+
+#include "figure_util.h"
+
+int main() {
+  using namespace nicsched;
+  using namespace nicsched::bench;
+
+  core::ExperimentConfig base;
+  base.system = core::SystemKind::kIdealNic;
+  base.worker_count = 16;
+  base.outstanding_per_worker = 2;
+  base.preemption_enabled = false;
+  base.service = std::make_shared<workload::FixedDistribution>(
+      sim::Duration::micros(1));
+  base.target_samples = bench_samples(100'000);
+
+  std::cout << "Ideal-NIC ablation (Figure 6 workload: fixed 1us, 16 "
+               "workers)\n\n";
+
+  // --- communication latency sweep ---------------------------------------
+  stats::Table sweep({"one_way_latency", "sat_krps"});
+  const double latencies_ns[] = {100, 400, 1000, 2560};
+  double sat_at[4] = {};
+  for (int i = 0; i < 4; ++i) {
+    core::ExperimentConfig config = base;
+    config.params.cxl_one_way_latency =
+        sim::Duration::nanos(latencies_ns[i]);
+    sat_at[i] = core::find_saturation_throughput(config, 1e6, 16e6, 0.95, 8);
+    sweep.add_row({stats::fmt(latencies_ns[i], 0) + "ns",
+                   stats::fmt(sat_at[i] / 1e3)});
+  }
+  sweep.print(std::cout);
+
+  // Reference points: the two real systems on the same workload.
+  core::ExperimentConfig offload = base;
+  offload.system = core::SystemKind::kShinjukuOffload;
+  offload.outstanding_per_worker = 5;
+  const double sat_offload =
+      core::find_saturation_throughput(offload, 0.5e6, 4e6, 0.95, 8);
+  core::ExperimentConfig shinjuku = base;
+  shinjuku.system = core::SystemKind::kShinjuku;
+  shinjuku.worker_count = 15;
+  const double sat_shinjuku =
+      core::find_saturation_throughput(shinjuku, 1e6, 8e6, 0.95, 8);
+  std::cout << "\nreference: shinjuku-offload=" << stats::fmt(sat_offload / 1e3)
+            << " kRPS, shinjuku=" << stats::fmt(sat_shinjuku / 1e3)
+            << " kRPS\n\n";
+
+  // --- informed vs uninformed preemption ----------------------------------
+  core::ExperimentConfig preempt;
+  preempt.worker_count = 4;
+  preempt.outstanding_per_worker = 2;
+  preempt.preemption_enabled = true;
+  preempt.time_slice = sim::Duration::micros(10);
+  preempt.service = std::make_shared<workload::FixedDistribution>(
+      sim::Duration::micros(50));
+  preempt.offered_rps = 10e3;  // low load: the queue is almost always empty
+  preempt.target_samples = bench_samples(20'000);
+
+  preempt.system = core::SystemKind::kShinjukuOffload;
+  const auto uninformed = core::run_experiment(preempt);
+  preempt.system = core::SystemKind::kIdealNic;
+  const auto informed = core::run_experiment(preempt);
+
+  stats::Table preemption(
+      {"design", "preemptions", "completed", "preempts_per_req"});
+  auto add = [&](const char* name, const core::ExperimentResult& result) {
+    preemption.add_row(
+        {name, std::to_string(result.server.preemptions),
+         std::to_string(result.summary.completed),
+         stats::fmt(static_cast<double>(result.server.preemptions) /
+                        static_cast<double>(result.summary.completed),
+                    2)});
+  };
+  add("local timer (fires regardless)", uninformed);
+  add("informed NIC interrupt (queue-aware)", informed);
+  preemption.print(std::cout);
+  std::cout << '\n';
+
+  bool ok = true;
+  ok &= check("throughput degrades monotonically with comm latency",
+              sat_at[0] >= sat_at[1] && sat_at[1] >= sat_at[2] &&
+                  sat_at[2] >= sat_at[3]);
+  ok &= check("ideal NIC at 400ns closes the fig6 gap (>2x offload)",
+              sat_at[1] > 2.0 * sat_offload);
+  ok &= check("ideal NIC at 400ns beats even host shinjuku",
+              sat_at[1] > sat_shinjuku);
+  ok &= check("informed preemption eliminates almost all useless preempts",
+              informed.server.preemptions * 20 < uninformed.server.preemptions);
+  return ok ? 0 : 1;
+}

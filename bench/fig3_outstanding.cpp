@@ -1,0 +1,71 @@
+// Figure 3: Shinjuku-Offload saturation throughput vs the queuing
+// optimization's K (requests outstanding per worker), fixed 1 us service
+// time, for 4 and 16 workers.
+//
+// Paper shape: throughput climbs steeply with K and levels out — at K≈5 for
+// 4 workers (+250 % over K=1) and K≈3 for 16 workers (+88 %). More
+// outstanding requests hide the 2.56 us dispatcher→worker packet path; once
+// the rings never run dry, the ARM dispatcher pipeline is the ceiling.
+#include <iostream>
+#include <memory>
+
+#include "figure_util.h"
+
+int main() {
+  using namespace nicsched;
+  using namespace nicsched::bench;
+
+  core::ExperimentConfig base;
+  base.system = core::SystemKind::kShinjukuOffload;
+  base.service = std::make_shared<workload::FixedDistribution>(
+      sim::Duration::micros(1));
+  base.preemption_enabled = false;  // §4.1: preemption off for fixed loads
+  base.target_samples = bench_samples(60'000);
+
+  std::cout << "Figure 3: fixed 1us service, Shinjuku-Offload, saturation "
+               "throughput vs outstanding requests K\n\n";
+
+  stats::Table table({"K", "4w_krps", "16w_krps"});
+  std::vector<double> tput4, tput16;
+  for (std::uint32_t k = 1; k <= 7; ++k) {
+    core::ExperimentConfig config4 = base;
+    config4.worker_count = 4;
+    config4.outstanding_per_worker = k;
+    const double t4 =
+        core::find_saturation_throughput(config4, 50e3, 4.5e6, 0.95, 8);
+
+    core::ExperimentConfig config16 = base;
+    config16.worker_count = 16;
+    config16.outstanding_per_worker = k;
+    const double t16 =
+        core::find_saturation_throughput(config16, 50e3, 4.5e6, 0.95, 8);
+
+    tput4.push_back(t4);
+    tput16.push_back(t16);
+    table.add_row({std::to_string(k), stats::fmt(t4 / 1e3),
+                   stats::fmt(t16 / 1e3)});
+  }
+  table.print(std::cout);
+  std::cout << "\n4-worker gain K=1 -> K=5: "
+            << stats::fmt(100.0 * (tput4[4] / tput4[0] - 1.0), 0)
+            << "% (paper: +250%)\n"
+            << "16-worker gain K=1 -> K=3: "
+            << stats::fmt(100.0 * (tput16[2] / tput16[0] - 1.0), 0)
+            << "% (paper: +88%; see EXPERIMENTS.md — in this model 16 "
+               "workers pipeline the dispatcher fully even at K=1, so the "
+               "plateau is reached immediately)\n\n";
+
+  bool ok = true;
+  ok &= check("4 workers: throughput rises strongly with K (>=2x by K=5)",
+              tput4[4] >= 2.0 * tput4[0]);
+  ok &= check("4 workers: levels out after the knee (K=7 within 15% of K=5)",
+              tput4[6] <= 1.15 * tput4[4]);
+  ok &= check("16 workers: monotone non-decreasing in K",
+              tput16[2] >= 0.98 * tput16[0] && tput16[6] >= 0.98 * tput16[2]);
+  ok &= check("16 workers saturate higher than 4 workers at K=1",
+              tput16[0] > tput4[0]);
+  ok &= check(
+      "both series plateau at the same ARM dispatcher ceiling (within 10%)",
+      tput4[6] >= 0.9 * tput16[6] && tput4[6] <= 1.1 * tput16[6]);
+  return ok ? 0 : 1;
+}

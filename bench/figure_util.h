@@ -1,0 +1,57 @@
+// Shared helpers for the figure-reproduction benches: load grids, series
+// printing, and shape checks (the paper's qualitative claims asserted as
+// PASS/FAIL lines so CI can grep them).
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/testbed.h"
+#include "stats/table.h"
+
+namespace nicsched::bench {
+
+/// Evenly spaced loads in [lo, hi] (inclusive), in RPS.
+inline std::vector<double> load_grid(double lo_rps, double hi_rps,
+                                     int points) {
+  std::vector<double> loads;
+  loads.reserve(static_cast<std::size_t>(points));
+  for (int i = 0; i < points; ++i) {
+    loads.push_back(lo_rps + (hi_rps - lo_rps) * i / (points - 1));
+  }
+  return loads;
+}
+
+/// True when NICSCHED_FAST is set: benches shrink sample counts so the whole
+/// suite runs in seconds (used by CI and the test harness).
+inline bool fast_mode() { return std::getenv("NICSCHED_FAST") != nullptr; }
+
+inline std::uint64_t bench_samples(std::uint64_t full) {
+  return fast_mode() ? full / 10 : full;
+}
+
+/// Prints one labelled PASS/FAIL shape check.
+inline bool check(const std::string& label, bool ok) {
+  std::cout << (ok ? "PASS" : "FAIL") << "  " << label << "\n";
+  return ok;
+}
+
+/// Offered load (RPS) of the last sweep point whose achieved throughput kept
+/// up with offered load (within `efficiency`) AND whose p99 stayed under
+/// `tail_cap_us` — the figure-reading notion of "saturation point".
+inline double saturation_point(const std::vector<stats::RunSummary>& sweep,
+                               double efficiency = 0.92,
+                               double tail_cap_us = 1e9) {
+  double best = 0.0;
+  for (const auto& point : sweep) {
+    if (point.achieved_rps >= efficiency * point.offered_rps &&
+        point.p99_us <= tail_cap_us) {
+      best = std::max(best, point.offered_rps);
+    }
+  }
+  return best;
+}
+
+}  // namespace nicsched::bench

@@ -1,0 +1,140 @@
+// google-benchmark microbenchmarks of the substrate hot paths. These bound
+// how much simulated traffic the library can push per wall-clock second:
+// every simulated packet costs one event-queue round trip, one frame
+// build+parse, and a couple of histogram records.
+#include <benchmark/benchmark.h>
+
+#include "net/checksum.h"
+#include "net/packet.h"
+#include "net/toeplitz.h"
+#include "proto/messages.h"
+#include "sim/event_queue.h"
+#include "sim/simulator.h"
+#include "stats/histogram.h"
+
+namespace {
+
+using namespace nicsched;
+
+void BM_EventQueueScheduleFire(benchmark::State& state) {
+  sim::Simulator sim;
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    sim.at(sim::TimePoint::from_picos(++t), []() {});
+    sim.step();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_EventQueueScheduleFire);
+
+void BM_EventQueueDeepHeap(benchmark::State& state) {
+  // Scheduling into a heap holding `range` pending events.
+  sim::Simulator sim;
+  const std::int64_t depth = state.range(0);
+  for (std::int64_t i = 0; i < depth; ++i) {
+    sim.at(sim::TimePoint::from_picos(1'000'000 + i), []() {});
+  }
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    sim.at(sim::TimePoint::from_picos(++t), []() {});
+    sim.step();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_EventQueueDeepHeap)->Arg(1024)->Arg(65536);
+
+void BM_ToeplitzHash(benchmark::State& state) {
+  const net::Ipv4Address src(10, 1, 2, 3);
+  const net::Ipv4Address dst(10, 4, 5, 6);
+  std::uint16_t port = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::rss_hash_ipv4_ports(
+        net::kDefaultRssKey, src, dst, ++port, 8080));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ToeplitzHash);
+
+void BM_DatagramBuild(benchmark::State& state) {
+  net::DatagramAddress address;
+  address.src_mac = net::MacAddress::from_index(1);
+  address.dst_mac = net::MacAddress::from_index(2);
+  address.src_ip = net::Ipv4Address::from_index(1);
+  address.dst_ip = net::Ipv4Address::from_index(2);
+  address.src_port = 1000;
+  address.dst_port = 2000;
+  const std::vector<std::uint8_t> payload(static_cast<std::size_t>(state.range(0)), 0xAB);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::make_udp_datagram(address, payload));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_DatagramBuild)->Arg(24)->Arg(1024);
+
+void BM_DatagramParse(benchmark::State& state) {
+  net::DatagramAddress address;
+  address.src_mac = net::MacAddress::from_index(1);
+  address.dst_mac = net::MacAddress::from_index(2);
+  address.src_ip = net::Ipv4Address::from_index(1);
+  address.dst_ip = net::Ipv4Address::from_index(2);
+  const std::vector<std::uint8_t> payload(static_cast<std::size_t>(state.range(0)), 0xAB);
+  const net::Packet packet = net::make_udp_datagram(address, payload);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::parse_udp_datagram(packet));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(packet.size()));
+}
+BENCHMARK(BM_DatagramParse)->Arg(24)->Arg(1024);
+
+void BM_InternetChecksum(benchmark::State& state) {
+  std::vector<std::uint8_t> data(static_cast<std::size_t>(state.range(0)));
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(i);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::internet_checksum(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_InternetChecksum)->Arg(64)->Arg(1500);
+
+void BM_RequestMessageRoundTrip(benchmark::State& state) {
+  proto::RequestMessage message;
+  message.request_id = 1;
+  message.work_ps = 5'000'000;
+  for (auto _ : state) {
+    const auto bytes = message.serialize();
+    benchmark::DoNotOptimize(proto::RequestMessage::parse(bytes));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RequestMessageRoundTrip);
+
+void BM_HistogramRecord(benchmark::State& state) {
+  stats::Histogram histogram;
+  std::int64_t ns = 1;
+  for (auto _ : state) {
+    histogram.record(sim::Duration::nanos((ns = ns * 1103515245 + 12345) %
+                                          10'000'000));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_HistogramRecord);
+
+void BM_HistogramQuantile(benchmark::State& state) {
+  stats::Histogram histogram;
+  for (int i = 0; i < 100'000; ++i) {
+    histogram.record(sim::Duration::nanos(i * 37 % 1'000'000));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(histogram.quantile(0.99));
+  }
+}
+BENCHMARK(BM_HistogramQuantile);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,126 @@
+// The paper's remaining in-text quantities, measured in the simulation
+// rather than assumed:
+//
+//   §3.3   ARM CPU → host CPU one-way communication: 2.56 us
+//   §2.2   a single host dispatcher handles ~5 M requests/s
+//   §2.2   host inter-thread communication adds ~2 us of tail latency for
+//          minimal-work requests vs processing everything on one thread
+#include <iostream>
+#include <memory>
+
+#include "core/model_params.h"
+#include "figure_util.h"
+#include "hw/channel.h"
+#include "hw/cpu_core.h"
+#include "net/ethernet_switch.h"
+#include "net/nic.h"
+
+namespace {
+
+using namespace nicsched;
+
+/// Measures the ARM→host one-way time exactly as §3.3 defines it: from the
+/// moment the ARM core starts constructing a one-byte message to the moment
+/// it is pollable in the host interface's RX ring.
+double measure_arm_to_host_us(const core::ModelParams& params) {
+  sim::Simulator sim;
+  net::EthernetSwitch fabric(sim, params.switch_forward_latency);
+
+  net::Nic::Config arm_config;
+  arm_config.rx_latency = params.arm_nic_rx;
+  arm_config.tx_latency = params.arm_nic_tx;
+  net::Nic arm_nic(sim, arm_config);
+  auto& arm = arm_nic.add_interface("arm", net::MacAddress::from_index(1),
+                                    net::Ipv4Address::from_index(1));
+  arm_nic.attach_to_switch(fabric, params.stingray_port_latency,
+                           params.line_rate_gbps);
+
+  net::Nic::Config host_config;
+  host_config.rx_latency = params.host_nic_rx;
+  host_config.tx_latency = params.host_nic_tx;
+  net::Nic host_nic(sim, host_config);
+  auto& host = host_nic.add_interface("host", net::MacAddress::from_index(2),
+                                      net::Ipv4Address::from_index(2));
+  host_nic.attach_to_switch(fabric, params.stingray_port_latency,
+                            params.line_rate_gbps);
+
+  hw::CpuCore arm_core(
+      sim, {"arm", params.host_frequency, params.arm_time_scale});
+
+  sim::TimePoint arrived;
+  host.ring(0).set_on_packet([&]() { arrived = sim.now(); });
+
+  const sim::TimePoint start = sim.now();
+  arm_core.run(params.packet_build_cost, [&]() {
+    net::DatagramAddress address;
+    address.src_mac = arm.mac();
+    address.dst_mac = host.mac();
+    address.src_ip = arm.ip();
+    address.dst_ip = host.ip();
+    address.src_port = 1;
+    address.dst_port = 2;
+    const std::vector<std::uint8_t> one_byte = {0x42};
+    arm.transmit(net::make_udp_datagram(address, one_byte));
+  });
+  sim.run();
+  return (arrived - start).to_micros();
+}
+
+}  // namespace
+
+int main() {
+  using namespace nicsched::bench;
+
+  const core::ModelParams params = core::ModelParams::defaults();
+  stats::Table table({"quantity", "paper", "model"});
+
+  const double one_way_us = measure_arm_to_host_us(params);
+  table.add_row({"ARM->host one-way (1B message)", "2.56us",
+                 stats::fmt(one_way_us, 2) + "us"});
+
+  // Host dispatcher ceiling: saturate Shinjuku with enough workers that the
+  // dispatcher, not the worker pool, binds (1 us requests, 24 workers).
+  core::ExperimentConfig shinjuku;
+  shinjuku.system = core::SystemKind::kShinjuku;
+  shinjuku.worker_count = 24;
+  shinjuku.preemption_enabled = false;
+  shinjuku.service = std::make_shared<nicsched::workload::FixedDistribution>(
+      nicsched::sim::Duration::micros(1));
+  shinjuku.target_samples = bench_samples(120'000);
+  const double dispatcher_cap =
+      core::find_saturation_throughput(shinjuku, 1e6, 8e6, 0.95, 7);
+  table.add_row({"host dispatcher ceiling", "~5 MRPS",
+                 stats::fmt(dispatcher_cap / 1e6, 2) + " MRPS"});
+
+  // IPC tail cost: Shinjuku with one worker (three hops of cache-line IPC)
+  // vs IX-style run-to-completion on one core, minimal 0.5 us requests at
+  // trivial load. The difference in p99 is the added inter-thread latency.
+  core::ExperimentConfig one_worker;
+  one_worker.worker_count = 1;
+  one_worker.preemption_enabled = false;
+  one_worker.offered_rps = 5e3;
+  one_worker.service = std::make_shared<nicsched::workload::FixedDistribution>(
+      nicsched::sim::Duration::micros(0.5));
+  one_worker.target_samples = bench_samples(20'000);
+
+  one_worker.system = core::SystemKind::kShinjuku;
+  const auto via_dispatcher = core::run_experiment(one_worker);
+  one_worker.system = core::SystemKind::kRss;
+  const auto run_to_completion = core::run_experiment(one_worker);
+  const double ipc_tail_us =
+      via_dispatcher.summary.p99_us - run_to_completion.summary.p99_us;
+  table.add_row({"host IPC added tail (p99)", "~2us",
+                 stats::fmt(ipc_tail_us, 2) + "us"});
+
+  table.print(std::cout);
+  std::cout << '\n';
+
+  bool ok = true;
+  ok &= check("ARM->host one-way within 15% of 2.56us",
+              one_way_us > 2.56 * 0.85 && one_way_us < 2.56 * 1.15);
+  ok &= check("dispatcher ceiling in the 3.5-5.5 MRPS band",
+              dispatcher_cap > 3.5e6 && dispatcher_cap < 5.5e6);
+  ok &= check("IPC adds roughly 1-3us of tail latency",
+              ipc_tail_us > 1.0 && ipc_tail_us < 3.0);
+  return ok ? 0 : 1;
+}

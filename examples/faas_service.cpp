@@ -1,0 +1,70 @@
+// FaaS scenario (§1: function-as-a-service frameworks are a canonical
+// high-dispersion workload): a mixture of tiny cache-hit invocations,
+// medium functions, and occasional heavyweight cold starts.
+//
+// Demonstrates the preemption time-slice trade-off on Shinjuku-Offload:
+// slices much shorter than the medium functions waste cycles on context
+// churn; slices longer than the tail lets cold starts block everyone.
+//
+//   $ ./faas_service
+#include <iostream>
+#include <memory>
+
+#include "core/testbed.h"
+#include "stats/table.h"
+
+int main() {
+  using namespace nicsched;
+
+  // 85 % warm invocations (20 us), 14 % medium functions (200 us),
+  // 1 % cold starts (5 ms).
+  std::vector<workload::MixtureDistribution::Component> components;
+  components.push_back(
+      {std::make_shared<workload::FixedDistribution>(sim::Duration::micros(20)),
+       0.85});
+  components.push_back(
+      {std::make_shared<workload::FixedDistribution>(sim::Duration::micros(200)),
+       0.14});
+  components.push_back(
+      {std::make_shared<workload::FixedDistribution>(sim::Duration::millis(5)),
+       0.01});
+  auto service =
+      std::make_shared<workload::MixtureDistribution>(std::move(components));
+
+  core::ExperimentConfig base;
+  base.system = core::SystemKind::kShinjukuOffload;
+  base.worker_count = 16;
+  base.outstanding_per_worker = 2;
+  base.service = service;
+  // Mean service ≈ 95 us → 16 workers saturate near 168 kRPS; run at 60 %.
+  base.offered_rps = 100e3;
+  base.target_samples = 40'000;
+
+  std::cout << "FaaS scenario: " << service->name()
+            << "\n16 workers, Shinjuku-Offload, 100 kRPS (~60% load)\n\n";
+
+  stats::Table table({"slice_us", "warm_p99_us", "medium_p99_us",
+                      "cold_p99_us", "preempts/req", "overall_p999_us"});
+  for (const double slice_us : {10.0, 50.0, 250.0, 10'000.0}) {
+    core::ExperimentConfig config = base;
+    config.preemption_enabled = slice_us < 10'000.0;
+    config.time_slice = sim::Duration::micros(slice_us);
+    const auto result = core::run_experiment(config);
+    table.add_row(
+        {slice_us >= 10'000.0 ? "off" : stats::fmt(slice_us, 0),
+         stats::fmt(result.recorder.by_kind(0).quantile(0.99).to_micros()),
+         stats::fmt(result.recorder.by_kind(1).quantile(0.99).to_micros()),
+         stats::fmt(result.recorder.by_kind(2).quantile(0.99).to_micros()),
+         stats::fmt(static_cast<double>(result.summary.preemptions) /
+                        static_cast<double>(result.summary.completed),
+                    2),
+         stats::fmt(result.summary.p999_us)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nReading: without preemption the 1% cold starts wreck the "
+               "warm-path tail; a slice\nnear the medium class (50-250 us) "
+               "protects it at modest preemption overhead; very\nshort "
+               "slices buy little more and churn contexts.\n";
+  return 0;
+}

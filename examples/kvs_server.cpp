@@ -1,0 +1,69 @@
+// KVS scenario (the MICA/memcached-style workload that motivates NIC-level
+// steering in §1/§2.1): homogeneous ~1-2 us requests at very high rates.
+//
+// For this regime the paper's position is nuanced: run-to-completion with
+// NIC steering scales wonderfully (MICA hits 70 MRPS), and Figure 6 shows
+// today's SoC SmartNIC dispatcher *loses* here. This example measures all
+// three designs on a KVS-like load so a user can see the trade-off that
+// motivates "informed" NIC scheduling rather than blind offload.
+//
+//   $ ./kvs_server [workers]
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+
+#include "core/testbed.h"
+#include "stats/table.h"
+
+int main(int argc, char** argv) {
+  using namespace nicsched;
+
+  std::size_t workers = 8;
+  if (argc > 1) workers = static_cast<std::size_t>(std::atoi(argv[1]));
+
+  // GET-heavy KVS: small requests, low dispersion (lognormal cv=0.5 around
+  // 1.5 us models hash-bucket and value-size variation).
+  auto service = std::make_shared<workload::LogNormalDistribution>(
+      sim::Duration::micros(1.5), 0.5);
+
+  core::ExperimentConfig base;
+  base.worker_count = workers;
+  base.outstanding_per_worker = 5;
+  base.preemption_enabled = false;  // homogeneous: nothing to preempt
+  base.service = service;
+  base.target_samples = 60'000;
+  base.request_padding = 40;  // ~64 B keys on the wire
+
+  std::cout << "KVS scenario: " << service->name() << ", " << workers
+            << " workers, GET-heavy homogeneous load\n\n";
+
+  const core::SystemKind systems[] = {
+      core::SystemKind::kRss,
+      core::SystemKind::kFlowDirector,
+      core::SystemKind::kShinjukuOffload,
+  };
+
+  stats::Table table({"system", "sat_krps", "p99_us@60%load"});
+  for (const auto system : systems) {
+    core::ExperimentConfig config = base;
+    config.system = system;
+    const double saturation = core::find_saturation_throughput(
+        config, 100e3, static_cast<double>(workers) * 1.2e6, 0.95, 7);
+    config.offered_rps = 0.6 * saturation;
+    const auto at_60 = core::run_experiment(config);
+    table.add_row({core::to_string(system), stats::fmt(saturation / 1e3),
+                   stats::fmt(at_60.summary.p99_us)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nReading: with homogeneous microsecond requests, NIC-"
+               "steered run-to-completion\n"
+               "(RSS / flow-director) out-scales the SoC-offloaded "
+               "dispatcher, whose ARM cores and\n"
+               "packet-based worker communication cap throughput — the "
+               "Figure 6 lesson. The case\n"
+               "for NIC scheduling is *informed* hardware scheduling, not "
+               "merely moving the\n"
+               "dispatcher onto today's SmartNIC cores.\n";
+  return 0;
+}

@@ -1,0 +1,249 @@
+#include "core/distributed_server.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace nicsched::core {
+
+namespace {
+
+constexpr std::uint32_t kPfIndex = 3000;
+constexpr std::uint16_t kWorkerPort = 8082;
+
+net::Nic::Config nic_config(const ModelParams& params) {
+  net::Nic::Config config;
+  config.name = "rss-nic";
+  config.rx_latency = params.host_nic_rx;
+  config.tx_latency = params.host_nic_tx;
+  config.ring_capacity = params.ring_capacity;
+  return config;
+}
+
+}  // namespace
+
+// ----------------------------------------------------------------- Worker
+
+/// One run-to-completion core: polls its own ring, does all packet and
+/// request processing in place (IX's model), optionally steals when idle.
+class DistributedServer::Worker {
+ public:
+  Worker(DistributedServer& server, std::size_t id)
+      : server_(server),
+        id_(id),
+        core_(server.sim_, [&] {
+          hw::CpuCore::Config config;
+          config.name = "rtc-worker" + std::to_string(id);
+          config.frequency = server.params_.host_frequency;
+          return config;
+        }()) {
+    ring().set_on_packet([this]() {
+      if (idle_) start_next();
+    });
+  }
+
+  const hw::CpuCore& core() const { return core_; }
+  std::uint64_t responses_sent() const { return responses_sent_; }
+  std::uint64_t requests_received() const { return requests_received_; }
+  std::uint64_t steals() const { return steals_; }
+  const hw::DdioStats& ddio() const { return ddio_; }
+
+  net::RxRing& ring() { return server_.pf_->ring(id_); }
+
+  /// Another worker went idle and may steal from us; called by the thief.
+  std::optional<net::Packet> victimize() { return ring().pop(); }
+
+  /// Kick an idle worker (used after a steal attempt becomes possible).
+  void maybe_start() {
+    if (idle_) start_next();
+  }
+
+ private:
+  void start_next() {
+    auto packet = ring().pop();
+    sim::Duration prologue =
+        server_.params_.worker_pop_cost + server_.params_.networker_parse_cost;
+    bool stolen = false;
+    if (!packet && server_.config_.policy == Policy::kWorkStealing) {
+      packet = steal();
+      if (packet) {
+        prologue += server_.params_.steal_cost;
+        stolen = true;
+      }
+    }
+    if (!packet) {
+      idle_ = true;
+      return;
+    }
+    idle_ = false;
+    // A stolen payload sits in the victim's cache path; treat it as an LLC
+    // touch at best. Otherwise residency depends on how deep this core's
+    // backlog got after this payload arrived.
+    const auto queued_behind = static_cast<std::uint32_t>(ring().depth());
+    prologue += hw::payload_touch_cost(
+        stolen ? hw::PlacementPolicy::kDdioLlc : server_.config_.placement,
+        server_.params_.cache_costs, queued_behind, ddio_);
+    auto shared = std::make_shared<net::Packet>(std::move(*packet));
+    core_.run(prologue, [this, shared]() {
+      const auto datagram = net::parse_udp_datagram(*shared);
+      if (!datagram || !server_.accepts_port(datagram->udp.dst_port)) {
+        ++server_.malformed_;
+        start_next();
+        return;
+      }
+      const auto request = proto::RequestMessage::parse(datagram->payload);
+      if (!request) {
+        ++server_.malformed_;
+        start_next();
+        return;
+      }
+      ++requests_received_;
+      const proto::RequestDescriptor descriptor =
+          make_descriptor(*request, *datagram);
+      core_.run_preemptible(
+          sim::Duration::picos(
+              static_cast<std::int64_t>(descriptor.remaining_ps)),
+          [this, descriptor]() { on_complete(descriptor); });
+    });
+  }
+
+  std::optional<net::Packet> steal() {
+    // Steal from the deepest sibling ring, the ZygOS heuristic.
+    Worker* victim = nullptr;
+    std::size_t best_depth = 0;
+    for (const auto& other : server_.workers_) {
+      if (other.get() == this) continue;
+      const std::size_t depth = other->ring().depth();
+      if (depth > best_depth) {
+        best_depth = depth;
+        victim = other.get();
+      }
+    }
+    if (victim == nullptr) return std::nullopt;
+    auto packet = victim->victimize();
+    if (packet) ++steals_;
+    return packet;
+  }
+
+  void on_complete(proto::RequestDescriptor descriptor) {
+    core_.run(server_.params_.response_build_cost, [this, descriptor]() {
+      net::DatagramAddress address;
+      address.src_mac = server_.pf_->mac();
+      address.dst_mac = descriptor.client_mac;
+      address.src_ip = server_.pf_->ip();
+      address.dst_ip = descriptor.client_ip;
+      address.src_port = kWorkerPort;
+      address.dst_port = descriptor.client_port;
+      server_.pf_->transmit(net::make_udp_datagram(
+          address, make_response(descriptor).serialize()));
+      ++responses_sent_;
+      start_next();
+    });
+  }
+
+  DistributedServer& server_;
+  std::size_t id_;
+  hw::CpuCore core_;
+  bool idle_ = true;
+  std::uint64_t requests_received_ = 0;
+  std::uint64_t responses_sent_ = 0;
+  std::uint64_t steals_ = 0;
+  hw::DdioStats ddio_;
+};
+
+// ------------------------------------------------------------- the server
+
+DistributedServer::DistributedServer(sim::Simulator& sim,
+                                     net::EthernetSwitch& network,
+                                     const ModelParams& params, Config config)
+    : sim_(sim), params_(params), config_(config), nic_(sim, nic_config(params)) {
+  if (config_.worker_count == 0) {
+    throw std::invalid_argument("DistributedServer: need >= 1 worker");
+  }
+
+  pf_ = &nic_.add_interface("pf", net::MacAddress::from_index(kPfIndex),
+                            net::Ipv4Address::from_index(kPfIndex),
+                            config_.worker_count);
+  switch (config_.policy) {
+    case Policy::kRss:
+    case Policy::kWorkStealing:
+      pf_->use_rss();
+      break;
+    case Policy::kElasticRss:
+      pf_->use_rss();
+      sim_.after(config_.rebalance_period, [this]() { rebalance_tick(); });
+      break;
+    case Policy::kFlowDirector:
+      pf_->use_flow_director();
+      for (std::size_t i = 0; i < config_.worker_count; ++i) {
+        pf_->flow_director().add_dst_port_rule(
+            static_cast<std::uint16_t>(config_.udp_port + i),
+            static_cast<std::uint32_t>(i));
+      }
+      break;
+  }
+  nic_.attach_to_switch(network, params_.stingray_port_latency,
+                        params_.line_rate_gbps);
+
+  for (std::size_t i = 0; i < config_.worker_count; ++i) {
+    workers_.push_back(std::make_unique<Worker>(*this, i));
+  }
+}
+
+DistributedServer::~DistributedServer() = default;
+
+// The eRSS control loop: every period, compare per-ring backlogs and move
+// one indirection entry from the deepest ring to the shallowest. This runs
+// "in NIC firmware" — it costs no worker cycles, exactly the asymmetry the
+// paper exploits when arguing for NIC-side control-plane work.
+void DistributedServer::rebalance_tick() {
+  std::size_t hottest = 0, coldest = 0;
+  for (std::size_t i = 1; i < config_.worker_count; ++i) {
+    if (pf_->ring(i).depth() > pf_->ring(hottest).depth()) hottest = i;
+    if (pf_->ring(i).depth() < pf_->ring(coldest).depth()) coldest = i;
+  }
+  if (pf_->ring(hottest).depth() >=
+      pf_->ring(coldest).depth() + config_.rebalance_threshold) {
+    if (pf_->rss_table()->remap_one(static_cast<std::uint32_t>(hottest),
+                                    static_cast<std::uint32_t>(coldest))) {
+      ++rebalances_;
+    }
+  }
+  sim_.after(config_.rebalance_period, [this]() { rebalance_tick(); });
+}
+
+net::MacAddress DistributedServer::ingress_mac() const { return pf_->mac(); }
+
+net::Ipv4Address DistributedServer::ingress_ip() const { return pf_->ip(); }
+
+std::string DistributedServer::name() const {
+  switch (config_.policy) {
+    case Policy::kRss: return "rss-rtc";
+    case Policy::kFlowDirector: return "flow-director";
+    case Policy::kWorkStealing: return "work-stealing";
+    case Policy::kElasticRss: return "elastic-rss";
+  }
+  return "distributed";
+}
+
+ServerStats DistributedServer::stats(sim::Duration elapsed) const {
+  ServerStats stats;
+  for (const auto& worker : workers_) {
+    stats.requests_received += worker->requests_received();
+    stats.responses_sent += worker->responses_sent();
+    stats.steals += worker->steals();
+    stats.ddio.l1_touches += worker->ddio().l1_touches;
+    stats.ddio.llc_touches += worker->ddio().llc_touches;
+    stats.ddio.dram_touches += worker->ddio().dram_touches;
+    if (elapsed > sim::Duration::zero()) {
+      stats.worker_utilization.push_back(worker->core().stats().busy /
+                                         elapsed);
+    }
+  }
+  stats.drops = nic_.rx_unknown_mac_drops() + malformed_;
+  for (std::size_t i = 0; i < config_.worker_count; ++i) {
+    stats.drops += pf_->ring(i).stats().dropped;
+  }
+  return stats;
+}
+
+}  // namespace nicsched::core

@@ -1,0 +1,150 @@
+// Every latency/cost constant in the reproduction, in one place.
+//
+// Values marked [paper] are numbers the paper itself reports; values marked
+// [derived] are chosen so that modelled composite paths reproduce the
+// paper's measured aggregates (e.g. the 2.56 µs ARM↔host one-way time,
+// §3.3); values marked [assumed] are ordinary magnitudes for 2019 server
+// hardware that the paper does not pin down.
+#pragma once
+
+#include <cstdint>
+
+#include "hw/ddio.h"
+#include "sim/time.h"
+
+namespace nicsched::core {
+
+struct ModelParams {
+  using D = sim::Duration;
+
+  // ------------------------------------------------------------------ CPUs
+  /// [paper §4] Host: two 2.3 GHz Intel E5-2658 processors.
+  sim::Frequency host_frequency = sim::Frequency::gigahertz(2.3);
+  /// [derived] Per-operation slowdown of the Stingray's ARM A72 cores
+  /// relative to the host Xeon for packet-processing work. Chosen so the
+  /// three-core ARM dispatcher pipeline saturates far below the host
+  /// dispatcher, the Figure 6 result ("it runs on the slower ARM CPU").
+  double arm_time_scale = 2.2;
+  /// [assumed] Vanilla Shinjuku pins the networking subsystem and
+  /// dispatcher to the two hyperthreads of one physical core (§4.1); SMT
+  /// sharing inflates both threads' per-op costs.
+  double smt_penalty = 1.25;
+
+  // --------------------------------------------------------------- network
+  /// [assumed] One-way client↔ToR propagation (cable + client stack).
+  D client_wire_latency = D::micros(2);
+  /// [assumed] ToR/fabric forwarding decision.
+  D switch_forward_latency = D::nanos(100);
+  /// [paper §3.3] 10 GbE on both the Stingray and the 82599ES.
+  double line_rate_gbps = 10.0;
+  /// [derived] Stingray internal hop: ARM SoC / host PCIe attach points.
+  /// Together with D2's frame-construction cost, ARM-side DMA, and host-side
+  /// DMA this composes to the paper's 2.56 µs ARM→host one-way time.
+  D stingray_port_latency = D::nanos(350);
+
+  // ------------------------------------------------------------------ NICs
+  /// [assumed] Host-side PCIe DMA + descriptor write-back until a frame is
+  /// pollable (DDIO placing the payload in LLC).
+  D host_nic_rx = D::nanos(600);
+  /// [assumed] Host-side doorbell + DMA fetch before serialization.
+  D host_nic_tx = D::nanos(300);
+  /// [derived] Same paths on the Stingray ARM side; slower SoC DMA engine.
+  D arm_nic_rx = D::nanos(800);
+  D arm_nic_tx = D::nanos(300);
+  /// [assumed] RX descriptor ring capacity per queue.
+  std::size_t ring_capacity = 4096;
+
+  // --------------------------------------------- software per-packet costs
+  // Reference (host-x86) time; multiply by arm_time_scale on ARM cores.
+  /// [derived] Networking subsystem: poll + parse + validate one request
+  /// (~5.5 M pkts/s per networker thread before SMT penalty).
+  D networker_parse_cost = D::nanos(180);
+  /// [derived] Dispatcher bookkeeping when enqueuing a request.
+  D dispatch_enqueue_cost = D::nanos(40);
+  /// [derived] Dispatcher: pick an idle worker + hand off one request.
+  /// With the enqueue and notification costs this yields the ~4-5 M req/s
+  /// single-dispatcher ceiling the paper cites [paper §2.2] after the SMT
+  /// penalty is applied (40+70+50+40 ns per request × 1.25 ≈ 250 ns).
+  D dispatch_assign_cost = D::nanos(70);
+  /// [derived] Dispatcher: process one worker completion/preemption notice.
+  D dispatch_note_cost = D::nanos(40);
+  /// [derived] Constructing + handing off one UDP frame in software (DPDK
+  /// alloc, header writes, doorbell). On the D2 ARM core this dominates the
+  /// offload dispatcher pipeline: "Due to the high overhead of constructing
+  /// and sending packets, the dispatcher's functionality is split across
+  /// three ARM cores" [paper §3.4.1].
+  D packet_build_cost = D::nanos(350);
+  /// [derived] D3 / worker-side parse of an internal notification frame.
+  D notification_parse_cost = D::nanos(250);
+  /// [derived] Worker: pop its RX ring and parse an assignment.
+  D worker_pop_cost = D::nanos(120);
+  /// [derived] Worker: build the client response message body.
+  D response_build_cost = D::nanos(150);
+  /// [derived] Worker: save a preempted request's context (stack +
+  /// registers) to host DRAM [paper §3.4.3].
+  D context_save_cost = D::nanos(200);
+  /// [derived] Worker: restore a previously preempted context.
+  D context_restore_cost = D::nanos(150);
+
+  // ------------------------------------------------ host IPC (cache lines)
+  /// [derived] Effective visibility latency of a cache-line handoff between
+  /// host cores as observed by a batching poll loop (raw coherence is
+  /// ~100-200 ns; the receiving thread notices a batch later). The paper
+  /// measures ~2 µs of added tail latency across vanilla Shinjuku's
+  /// networker→dispatcher→worker hops (§2.2); that total emerges from two
+  /// of these hops plus the dispatch costs above (bench/tab_model_constants
+  /// measures it).
+  D cacheline_ipc_latency = D::nanos(600);
+  /// [derived] Handoff latency onto a *dedicated* line the receiver polls
+  /// tightly — a worker waiting for its next assignment, or the offload D2
+  /// core waiting for descriptors to send, polls one location and nothing
+  /// else, so it observes the write at raw coherence speed.
+  D dedicated_poll_latency = D::nanos(150);
+  /// [derived] Sender-side cost of publishing a cache line.
+  D cacheline_ipc_cost = D::nanos(50);
+
+  // ------------------------------------------------------------ preemption
+  /// [paper §3.4.4] Dune-mapped APIC timer: 40 cycles to set.
+  std::int64_t timer_set_cycles = 40;
+  /// [paper §3.4.4] Posted timer interrupt receive: 1272 cycles.
+  std::int64_t timer_receive_cycles = 1272;
+  /// [paper §3.4.4] Linux timer syscall path: 610 cycles to set.
+  std::int64_t timer_set_cycles_linux = 610;
+  /// [paper §3.4.4] Linux signal delivery: 4193 cycles.
+  std::int64_t timer_receive_cycles_linux = 4193;
+  /// [assumed] Vanilla Shinjuku dispatcher: cost to post an inter-core
+  /// interrupt (ICR write) and its delivery latency.
+  std::int64_t interrupt_send_cycles = 250;
+  D interrupt_delivery_latency = D::nanos(300);
+
+  // ------------------------------------------------- ideal NIC (§5.1) knobs
+  /// [paper §5.1] "likely a few hundred nanoseconds to a microsecond for a
+  /// one-way trip" — CXL-class coherent NIC↔host path.
+  D cxl_one_way_latency = D::nanos(400);
+  /// [assumed] ASIC/FPGA scheduling pipeline step at line rate.
+  D asic_dispatch_cost = D::nanos(15);
+  /// [assumed] Host-core cost of a coherent write the NIC snoops ("workers
+  /// set a completion flag and the SmartNIC snoops on the resulting
+  /// coherence traffic", §5.1).
+  D cxl_write_cost = D::nanos(20);
+  /// [assumed] Ideal-NIC worker: reading the next descriptor slot from the
+  /// CXL-shared assignment region (payload touch is modelled separately by
+  /// `cache_costs`).
+  D ddio_pop_cost = D::nanos(50);
+
+  // ------------------------------------------------------- payload caching
+  /// [assumed] First-touch cost of a request payload by residency level and
+  /// the per-level budgets before stacking payloads evict earlier ones
+  /// (§5.2's DDIO discussion). The worker-side prologue adds the touch cost
+  /// of wherever the payload actually survived.
+  hw::CacheCosts cache_costs;
+
+  // ---------------------------------------------------------- work stealing
+  /// [assumed] ZygOS-style steal: scan remote ring + atomic dequeue across
+  /// cores ("the high overhead of work stealing", §2.2).
+  D steal_cost = D::nanos(600);
+
+  static ModelParams defaults() { return {}; }
+};
+
+}  // namespace nicsched::core

@@ -1,0 +1,482 @@
+#include "core/offload_server.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace nicsched::core {
+
+namespace {
+
+constexpr std::uint32_t kArmNetIndex = 1000;
+constexpr std::uint32_t kArmDispIndex = 1001;
+constexpr std::uint32_t kWorkerBaseIndex = 1100;
+constexpr std::uint16_t kDispatchPort = 8081;
+constexpr std::uint16_t kWorkerPort = 8082;
+
+net::Nic::Config arm_nic_config(const ModelParams& params) {
+  net::Nic::Config config;
+  config.name = "stingray-arm";
+  config.rx_latency = params.arm_nic_rx;
+  config.tx_latency = params.arm_nic_tx;
+  config.ring_capacity = params.ring_capacity;
+  return config;
+}
+
+net::Nic::Config host_nic_config(const ModelParams& params) {
+  net::Nic::Config config;
+  config.name = "stingray-host";
+  config.rx_latency = params.host_nic_rx;
+  config.tx_latency = params.host_nic_tx;
+  config.ring_capacity = params.ring_capacity;
+  return config;
+}
+
+hw::CpuCore::Config arm_core(const ModelParams& params, std::string name) {
+  hw::CpuCore::Config config;
+  config.name = std::move(name);
+  config.frequency = params.host_frequency;  // costs are in reference time
+  config.time_scale = params.arm_time_scale;
+  return config;
+}
+
+hw::CpuCore::Config host_core(const ModelParams& params, std::string name) {
+  hw::CpuCore::Config config;
+  config.name = std::move(name);
+  config.frequency = params.host_frequency;
+  return config;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- Worker
+
+/// One host worker: a Dune/DPDK thread pinned to its own hyperthread,
+/// polling its own SR-IOV virtual function (§3.4.3).
+class ShinjukuOffloadServer::Worker {
+ public:
+  Worker(ShinjukuOffloadServer& server, std::size_t id,
+         net::NicInterface& vf)
+      : server_(server),
+        id_(id),
+        vf_(vf),
+        core_(server.sim_,
+              host_core(server.params_, "worker" + std::to_string(id))),
+        timer_(server.sim_, core_, server.config_.timer_costs) {
+    vf_.ring(0).set_on_packet([this]() {
+      if (idle_) start_next();
+    });
+  }
+
+  const hw::CpuCore& core() const { return core_; }
+  std::uint64_t preemptions() const { return preemptions_; }
+  std::uint64_t responses_sent() const { return responses_sent_; }
+  std::uint64_t spurious() const { return timer_.spurious_count(); }
+  const hw::DdioStats& ddio() const { return ddio_; }
+
+ private:
+  void start_next() {
+    auto packet = vf_.ring(0).pop();
+    if (!packet) {
+      idle_ = true;
+      return;
+    }
+    idle_ = false;
+    // Newer payloads stacked behind this one may have evicted it downward.
+    const auto queued_behind =
+        static_cast<std::uint32_t>(vf_.ring(0).depth());
+
+    // Pop + parse the assignment (including the payload's first touch at
+    // whatever cache level it survived); arming the preemption timer costs
+    // 40 cycles through the Dune-mapped APIC registers (§3.4.4).
+    sim::Duration prologue =
+        server_.params_.worker_pop_cost +
+        hw::payload_touch_cost(server_.config_.placement,
+                               server_.params_.cache_costs, queued_behind,
+                               ddio_);
+    if (server_.config_.preemption_enabled) {
+      prologue += timer_.set_cost();
+    }
+    auto shared = std::make_shared<net::Packet>(std::move(*packet));
+    core_.run(prologue, [this, shared]() {
+      const auto datagram = net::parse_udp_datagram(*shared);
+      if (!datagram) {
+        start_next();
+        return;
+      }
+      auto descriptor = proto::RequestDescriptor::parse(
+          datagram->payload, proto::MessageType::kAssignment);
+      if (!descriptor) {
+        start_next();
+        return;
+      }
+      if (descriptor->preempt_count > 0) {
+        // Resuming a previously preempted request: restore its context
+        // (stack + registers) from host DRAM.
+        core_.run(server_.params_.context_restore_cost,
+                  [this, descriptor]() { execute(*descriptor); });
+      } else {
+        execute(*descriptor);
+      }
+    });
+  }
+
+  void execute(proto::RequestDescriptor descriptor) {
+    if (server_.sim_.tracer().enabled()) {
+      server_.sim_.trace(sim::TraceCategory::kWorker,
+                         "worker" + std::to_string(id_),
+                         "start " + std::to_string(descriptor.request_id));
+    }
+    current_ = descriptor;
+    if (server_.config_.preemption_enabled) {
+      timer_.arm(server_.config_.time_slice,
+                 [this](sim::Duration remaining) { on_preempted(remaining); });
+    }
+    core_.run_preemptible(
+        sim::Duration::picos(static_cast<std::int64_t>(descriptor.remaining_ps)),
+        [this]() { on_complete(); });
+  }
+
+  void on_complete() {
+    timer_.cancel();
+    if (server_.sim_.tracer().enabled()) {
+      server_.sim_.trace(sim::TraceCategory::kWorker,
+                         "worker" + std::to_string(id_),
+                         "complete " + std::to_string(current_->request_id));
+    }
+    proto::RequestDescriptor descriptor = *current_;
+    current_.reset();
+
+    // Respond to the client directly, then notify the dispatcher (§3.4
+    // step 5); both are frames built and sent by this worker.
+    core_.run(server_.params_.response_build_cost, [this, descriptor]() {
+      net::DatagramAddress address;
+      address.src_mac = vf_.mac();
+      address.dst_mac = descriptor.client_mac;
+      address.src_ip = vf_.ip();
+      address.dst_ip = descriptor.client_ip;
+      address.src_port = kWorkerPort;
+      address.dst_port = descriptor.client_port;
+      vf_.transmit(net::make_udp_datagram(
+          address, make_response(descriptor).serialize()));
+      ++responses_sent_;
+
+      core_.run(server_.params_.packet_build_cost, [this, descriptor]() {
+        proto::CompletionMessage completion;
+        completion.request_id = descriptor.request_id;
+        completion.worker_id = static_cast<std::uint32_t>(id_);
+        vf_.transmit(net::make_udp_datagram(dispatcher_address(),
+                                            completion.serialize()));
+        start_next();
+      });
+    });
+  }
+
+  void on_preempted(sim::Duration remaining) {
+    ++preemptions_;
+    if (server_.sim_.tracer().enabled()) {
+      server_.sim_.trace(
+          sim::TraceCategory::kPreempt, "worker" + std::to_string(id_),
+          "preempt " + std::to_string(current_->request_id) + " remaining " +
+              remaining.to_string());
+    }
+    proto::RequestDescriptor descriptor = *current_;
+    current_.reset();
+    descriptor.remaining_ps =
+        static_cast<std::uint64_t>(remaining.to_picos());
+    descriptor.preempt_count =
+        static_cast<std::uint16_t>(descriptor.preempt_count + 1);
+
+    // Save the context to host DRAM, then ship the descriptor back to the
+    // dispatcher as a preemption notification.
+    const sim::Duration cost = server_.params_.context_save_cost +
+                               server_.params_.packet_build_cost;
+    core_.run(cost, [this, descriptor]() {
+      vf_.transmit(net::make_udp_datagram(
+          dispatcher_address(),
+          descriptor.serialize(proto::MessageType::kPreemption)));
+      start_next();
+    });
+  }
+
+  net::DatagramAddress dispatcher_address() const {
+    net::DatagramAddress address;
+    address.src_mac = vf_.mac();
+    address.dst_mac = server_.arm_disp_->mac();
+    address.src_ip = vf_.ip();
+    address.dst_ip = server_.arm_disp_->ip();
+    address.src_port = kWorkerPort;
+    address.dst_port = kDispatchPort;
+    return address;
+  }
+
+  ShinjukuOffloadServer& server_;
+  std::size_t id_;
+  net::NicInterface& vf_;
+  hw::CpuCore core_;
+  hw::ApicTimer timer_;
+  bool idle_ = true;
+  std::optional<proto::RequestDescriptor> current_;
+  std::uint64_t preemptions_ = 0;
+  std::uint64_t responses_sent_ = 0;
+  hw::DdioStats ddio_;
+};
+
+// ------------------------------------------------------------- the server
+
+ShinjukuOffloadServer::ShinjukuOffloadServer(sim::Simulator& sim,
+                                             net::EthernetSwitch& network,
+                                             const ModelParams& params,
+                                             Config config)
+    : sim_(sim),
+      params_(params),
+      config_(config),
+      arm_nic_(sim, arm_nic_config(params)),
+      networker_core_(sim, arm_core(params, "arm-networker")),
+      d1_core_(sim, arm_core(params, "arm-d1-queue")),
+      d3_core_(sim, arm_core(params, "arm-d3-poll")),
+      intake_channel_(sim, params.cacheline_ipc_latency),
+      note_channel_(sim, params.cacheline_ipc_latency),
+      queue_(config.queue_policy),
+      status_(config.worker_count, config.outstanding_per_worker),
+      host_nic_(sim, host_nic_config(params)) {
+  if (config_.worker_count == 0) {
+    throw std::invalid_argument("ShinjukuOffloadServer: need >= 1 worker");
+  }
+  if (config_.outstanding_per_worker == 0) {
+    throw std::invalid_argument("ShinjukuOffloadServer: K must be >= 1");
+  }
+  if (config_.sender_cores == 0 || config_.sender_cores > 5) {
+    // 8 ARM cores total minus networker, D1, and D3.
+    throw std::invalid_argument(
+        "ShinjukuOffloadServer: sender_cores must be in [1, 5]");
+  }
+
+  arm_net_ = &arm_nic_.add_interface("arm-net",
+                                     net::MacAddress::from_index(kArmNetIndex),
+                                     net::Ipv4Address::from_index(kArmNetIndex));
+  arm_disp_ = &arm_nic_.add_interface(
+      "arm-disp", net::MacAddress::from_index(kArmDispIndex),
+      net::Ipv4Address::from_index(kArmDispIndex));
+  arm_nic_.attach_to_switch(network, params_.stingray_port_latency,
+                            params_.line_rate_gbps);
+  if (config_.tx_batch_frames > 0) {
+    arm_disp_->enable_tx_batching(config_.tx_batch_frames,
+                                  config_.tx_batch_timeout);
+  }
+
+  for (std::size_t i = 0; i < config_.worker_count; ++i) {
+    const std::uint32_t index =
+        kWorkerBaseIndex + static_cast<std::uint32_t>(i);
+    host_nic_.add_interface("vf" + std::to_string(i),
+                            net::MacAddress::from_index(index),
+                            net::Ipv4Address::from_index(index));
+  }
+  host_nic_.attach_to_switch(network, params_.stingray_port_latency,
+                             params_.line_rate_gbps);
+
+  networker_pump_ = std::make_unique<PacketPump>(
+      networker_core_, arm_net_->ring(0), params_.networker_parse_cost,
+      [this](net::Packet packet) { networker_handle(std::move(packet)); });
+  d3_pump_ = std::make_unique<PacketPump>(
+      d3_core_, arm_disp_->ring(0), params_.notification_parse_cost,
+      [this](net::Packet packet) { d3_handle(std::move(packet)); });
+  for (std::size_t i = 0; i < config_.sender_cores; ++i) {
+    SenderCore sender;
+    sender.core = std::make_unique<hw::CpuCore>(
+        sim, arm_core(params, "arm-d2-send" + std::to_string(i)));
+    sender.channel = std::make_unique<hw::MessageChannel<Assignment>>(
+        sim, params.dedicated_poll_latency);
+    sender.pump = std::make_unique<ChannelPump<Assignment>>(
+        *sender.core, *sender.channel, params_.packet_build_cost,
+        [this](Assignment assignment) { d2_send(std::move(assignment)); });
+    senders_.push_back(std::move(sender));
+  }
+
+  intake_channel_.set_on_message([this]() { d1_kick(); });
+  note_channel_.set_on_message([this]() { d1_kick(); });
+
+  for (std::size_t i = 0; i < config_.worker_count; ++i) {
+    workers_.push_back(std::make_unique<Worker>(
+        *this, i,
+        *host_nic_.interface_by_mac(net::MacAddress::from_index(
+            kWorkerBaseIndex + static_cast<std::uint32_t>(i)))));
+  }
+}
+
+ShinjukuOffloadServer::~ShinjukuOffloadServer() = default;
+
+net::MacAddress ShinjukuOffloadServer::ingress_mac() const {
+  return arm_net_->mac();
+}
+
+net::Ipv4Address ShinjukuOffloadServer::ingress_ip() const {
+  return arm_net_->ip();
+}
+
+void ShinjukuOffloadServer::networker_handle(net::Packet packet) {
+  const auto datagram = net::parse_udp_datagram(packet);
+  if (!datagram || datagram->udp.dst_port != config_.udp_port) {
+    ++malformed_;
+    return;
+  }
+  const auto request = proto::RequestMessage::parse(datagram->payload);
+  if (!request) {
+    ++malformed_;
+    return;
+  }
+  ++requests_received_;
+  if (sim_.tracer().enabled()) {
+    sim_.trace(sim::TraceCategory::kClient, "networker",
+               "request " + std::to_string(request->request_id) + " received");
+  }
+  intake_channel_.send(make_descriptor(*request, *datagram));
+}
+
+void ShinjukuOffloadServer::d1_kick() {
+  if (d1_pumping_) return;
+  d1_pumping_ = true;
+  d1_step();
+}
+
+// D1's poll loop: worker notifications first (they free capacity), then
+// assignments, then intake of new requests. One operation per iteration so
+// the ARM core's speed bounds dispatcher throughput.
+void ShinjukuOffloadServer::d1_step() {
+  if (!note_channel_.empty()) {
+    d1_core_.run(params_.dispatch_note_cost, [this]() {
+      auto note = note_channel_.pop();
+      if (note) {
+        status_.note_retired(note->worker, sim_.now());
+        if (note->preempted) {
+          ++preemption_requeues_;
+          if (sim_.tracer().enabled()) {
+            sim_.trace(sim::TraceCategory::kQueue, "d1",
+                       "requeue " +
+                           std::to_string(note->descriptor.request_id));
+          }
+          queue_.push_preempted(std::move(note->descriptor));
+        }
+      }
+      d1_step();
+    });
+    return;
+  }
+  if (!queue_.empty() && status_.pick_least_loaded().has_value()) {
+    d1_core_.run(params_.dispatch_assign_cost, [this]() {
+      const auto worker = status_.pick_least_loaded();
+      if (worker) {
+        auto descriptor = queue_.pop();
+        if (descriptor) {
+          // Stamp the congestion feedback the response will carry (§5.2).
+          descriptor->queue_depth =
+              static_cast<std::uint32_t>(queue_.depth());
+          status_.note_sent(*worker, sim_.now());
+          if (sim_.tracer().enabled()) {
+            sim_.trace(sim::TraceCategory::kDispatch, "d1",
+                       "assign " + std::to_string(descriptor->request_id) +
+                           " -> worker" + std::to_string(*worker));
+          }
+          senders_[next_sender_].channel->send(
+              Assignment{std::move(*descriptor), *worker});
+          next_sender_ = (next_sender_ + 1) % senders_.size();
+        }
+      }
+      d1_step();
+    });
+    return;
+  }
+  if (!intake_channel_.empty()) {
+    d1_core_.run(params_.dispatch_enqueue_cost, [this]() {
+      auto descriptor = intake_channel_.pop();
+      if (descriptor) queue_.push_new(std::move(*descriptor));
+      d1_step();
+    });
+    return;
+  }
+  d1_pumping_ = false;
+}
+
+void ShinjukuOffloadServer::d2_send(Assignment assignment) {
+  const auto& vf = *host_nic_.interface_by_mac(net::MacAddress::from_index(
+      kWorkerBaseIndex + static_cast<std::uint32_t>(assignment.worker)));
+  net::DatagramAddress address;
+  address.src_mac = arm_disp_->mac();
+  address.dst_mac = vf.mac();
+  address.src_ip = arm_disp_->ip();
+  address.dst_ip = vf.ip();
+  address.src_port = kDispatchPort;
+  address.dst_port = kWorkerPort;
+  arm_disp_->transmit(net::make_udp_datagram(
+      address,
+      assignment.descriptor.serialize(proto::MessageType::kAssignment)));
+}
+
+void ShinjukuOffloadServer::d3_handle(net::Packet packet) {
+  const auto datagram = net::parse_udp_datagram(packet);
+  if (!datagram) {
+    ++malformed_;
+    return;
+  }
+  // Identify the worker by the source MAC of its virtual function.
+  const net::NicInterface* vf = host_nic_.interface_by_mac(datagram->eth.src);
+  if (vf == nullptr) {
+    ++malformed_;
+    return;
+  }
+  std::size_t worker_id = 0;
+  for (std::size_t i = 0; i < config_.worker_count; ++i) {
+    if (net::MacAddress::from_index(kWorkerBaseIndex +
+                                    static_cast<std::uint32_t>(i)) ==
+        datagram->eth.src) {
+      worker_id = i;
+      break;
+    }
+  }
+
+  const auto type = proto::peek_type(datagram->payload);
+  if (type == proto::MessageType::kCompletion) {
+    note_channel_.send(Note{worker_id, false, {}});
+  } else if (type == proto::MessageType::kPreemption) {
+    auto descriptor = proto::RequestDescriptor::parse(
+        datagram->payload, proto::MessageType::kPreemption);
+    if (descriptor) {
+      note_channel_.send(Note{worker_id, true, std::move(*descriptor)});
+    } else {
+      ++malformed_;
+    }
+  } else {
+    ++malformed_;
+  }
+}
+
+ServerStats ShinjukuOffloadServer::stats(sim::Duration elapsed) const {
+  ServerStats stats;
+  stats.requests_received = requests_received_;
+  stats.queue_max_depth = queue_.stats().max_depth;
+  for (const auto& worker : workers_) {
+    stats.responses_sent += worker->responses_sent();
+    stats.preemptions += worker->preemptions();
+    stats.spurious_interrupts += worker->spurious();
+    stats.ddio.l1_touches += worker->ddio().l1_touches;
+    stats.ddio.llc_touches += worker->ddio().llc_touches;
+    stats.ddio.dram_touches += worker->ddio().dram_touches;
+    if (elapsed > sim::Duration::zero()) {
+      stats.worker_utilization.push_back(worker->core().stats().busy /
+                                         elapsed);
+    }
+  }
+  stats.drops = arm_nic_.rx_unknown_mac_drops() +
+                host_nic_.rx_unknown_mac_drops() + malformed_;
+  stats.drops += arm_net_->ring(0).stats().dropped;
+  stats.drops += arm_disp_->ring(0).stats().dropped;
+  for (std::size_t i = 0; i < config_.worker_count; ++i) {
+    // Ring overflow on a worker VF would break the dispatcher's outstanding
+    // accounting; surfacing it in drops makes that visible.
+    const auto* vf = host_nic_.interface_by_mac(net::MacAddress::from_index(
+        kWorkerBaseIndex + static_cast<std::uint32_t>(i)));
+    stats.drops += vf->ring(0).stats().dropped;
+  }
+  return stats;
+}
+
+}  // namespace nicsched::core

@@ -1,0 +1,79 @@
+// The common interface every modelled server system implements, plus shared
+// helpers for converting between wire messages and internal descriptors.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hw/ddio.h"
+#include "net/mac_address.h"
+#include "net/packet.h"
+#include "proto/messages.h"
+#include "sim/time.h"
+
+namespace nicsched::core {
+
+/// Aggregate counters every server reports; benches and tests read these to
+/// check conservation and to explain throughput differences.
+struct ServerStats {
+  std::uint64_t requests_received = 0;   // parsed client requests
+  std::uint64_t responses_sent = 0;
+  std::uint64_t preemptions = 0;         // worker task interruptions
+  std::uint64_t spurious_interrupts = 0; // fired with nothing running
+  std::uint64_t steals = 0;              // work-stealing systems only
+  std::uint64_t drops = 0;               // ring overflows etc.
+  std::size_t queue_max_depth = 0;       // centralized queue high-water mark
+  /// Per-worker utilization over the run (busy time / wall time); the
+  /// Figure 6 analysis ("workers spend 110 % more time waiting") reads this.
+  std::vector<double> worker_utilization;
+  /// Where request payloads were actually resident on first touch (§5.2).
+  hw::DdioStats ddio;
+};
+
+class Server {
+ public:
+  virtual ~Server() = default;
+
+  /// Where clients address their requests.
+  virtual net::MacAddress ingress_mac() const = 0;
+  virtual net::Ipv4Address ingress_ip() const = 0;
+  virtual std::uint16_t port() const = 0;
+
+  virtual std::string name() const = 0;
+
+  /// Snapshot of counters; `elapsed` is the wall time utilizations are
+  /// computed against.
+  virtual ServerStats stats(sim::Duration elapsed) const = 0;
+};
+
+/// Builds the internal descriptor for a freshly received client request,
+/// capturing the reply address from the request datagram's own headers.
+inline proto::RequestDescriptor make_descriptor(
+    const proto::RequestMessage& request, const net::UdpDatagramView& from) {
+  proto::RequestDescriptor descriptor;
+  descriptor.request_id = request.request_id;
+  descriptor.client_id = request.client_id;
+  descriptor.kind = request.kind;
+  descriptor.remaining_ps = request.work_ps;
+  descriptor.total_ps = request.work_ps;
+  descriptor.preempt_count = 0;
+  descriptor.client_mac = from.eth.src;
+  descriptor.client_ip = from.ip.src;
+  descriptor.client_port = from.udp.src_port;
+  return descriptor;
+}
+
+/// The response for a completed descriptor.
+inline proto::ResponseMessage make_response(
+    const proto::RequestDescriptor& descriptor) {
+  proto::ResponseMessage response;
+  response.request_id = descriptor.request_id;
+  response.client_id = descriptor.client_id;
+  response.kind = descriptor.kind;
+  response.preempt_count = descriptor.preempt_count;
+  response.queue_depth = descriptor.queue_depth;
+  return response;
+}
+
+}  // namespace nicsched::core

@@ -1,0 +1,128 @@
+// Vanilla Shinjuku (NSDI '19, as summarized in §2.1/§4.1 of the paper):
+// networking subsystem and centralized preemptive dispatcher on host cores,
+// workers on the remaining cores, all communication through cache-line IPC.
+//
+//   82599ES NIC ─► networker ─► dispatcher(task queue) ─► worker 0..N-1
+//                      (two hyperthreads of one physical core)
+//
+// The dispatcher assigns one request at a time to idle workers and preempts
+// requests that exceed the time slice by sending a low-overhead posted
+// interrupt to the worker's core — but only when another request is waiting,
+// since it can see its own queue (the "informed" property Shinjuku-Offload
+// loses with its fire-always local timer, §3.4.4).
+//
+// §2.2 problem 3 — limited scalability — is modelled too: with
+// `dispatcher_count > 1` the server instantiates several
+// networker+dispatcher pairs, RSS-steers client flows across them, and
+// statically partitions the workers. Each extra pair burns another physical
+// core, and RSS's flow granularity re-introduces load imbalance *between
+// dispatcher groups*; `bench/ablation_multidispatcher` quantifies both.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/core_status.h"
+#include "core/model_params.h"
+#include "core/packet_pump.h"
+#include "core/server.h"
+#include "core/task_queue.h"
+#include "hw/channel.h"
+#include "hw/cpu_core.h"
+#include "hw/interrupt.h"
+#include "net/ethernet_switch.h"
+#include "net/nic.h"
+#include "sim/simulator.h"
+
+namespace nicsched::core {
+
+class ShinjukuServer final : public Server {
+ public:
+  struct Config {
+    std::size_t worker_count = 3;
+    /// Independent networker+dispatcher pairs; workers are partitioned
+    /// round-robin across them and client flows are RSS-steered.
+    std::size_t dispatcher_count = 1;
+    bool preemption_enabled = true;
+    sim::Duration time_slice = sim::Duration::micros(10);
+    std::uint16_t udp_port = 8080;
+    /// Selection policy for each group's centralized task queue.
+    QueuePolicy queue_policy = QueuePolicy::kFcfs;
+  };
+
+  ShinjukuServer(sim::Simulator& sim, net::EthernetSwitch& network,
+                 const ModelParams& params, Config config);
+  ~ShinjukuServer() override;
+
+  net::MacAddress ingress_mac() const override;
+  net::Ipv4Address ingress_ip() const override;
+  std::uint16_t port() const override { return config_.udp_port; }
+  std::string name() const override { return "shinjuku"; }
+  ServerStats stats(sim::Duration elapsed) const override;
+
+  std::size_t group_count() const { return groups_.size(); }
+  /// Requests a group's networker has accepted; exposes RSS imbalance
+  /// between dispatcher groups.
+  std::uint64_t group_requests(std::size_t group) const;
+  const CoreStatusTable& core_status(std::size_t group = 0) const;
+  const TaskQueue& task_queue(std::size_t group = 0) const;
+
+ private:
+  class Worker;
+
+  struct Note {
+    std::size_t worker = 0;  // index within the group
+    bool preempted = false;
+    proto::RequestDescriptor descriptor;  // valid when preempted
+  };
+
+  /// Dispatcher-side view of what a worker is running, for slice tracking.
+  struct RunningInfo {
+    std::uint64_t epoch = 0;  // bumps on every assignment to the worker
+    sim::TimePoint assigned_at;
+    bool active = false;
+    bool preempt_in_flight = false;
+  };
+
+  /// One networker+dispatcher pair with its worker partition.
+  struct Group {
+    explicit Group(ShinjukuServer& server, std::size_t index);
+
+    ShinjukuServer& server;
+    std::size_t index;
+    hw::CpuCore networker_core;
+    hw::CpuCore dispatcher_core;
+    std::unique_ptr<PacketPump> networker_pump;
+    hw::MessageChannel<proto::RequestDescriptor> intake_channel;
+    hw::MessageChannel<Note> note_channel;
+    bool pumping = false;
+
+    TaskQueue queue;
+    CoreStatusTable status;
+    std::vector<RunningInfo> running;
+    std::vector<std::unique_ptr<Worker>> workers;
+
+    std::uint64_t requests_received = 0;
+    std::uint64_t malformed = 0;
+    std::uint64_t preempts_issued = 0;
+  };
+
+  void networker_handle(Group& group, net::Packet packet);
+  void dispatcher_kick(Group& group);
+  void dispatcher_step(Group& group);
+  void schedule_slice_check(Group& group, std::size_t worker,
+                            std::uint64_t epoch);
+  void maybe_preempt_for_waiting_work(Group& group);
+  void issue_preempt(Group& group, std::size_t worker);
+
+  sim::Simulator& sim_;
+  ModelParams params_;
+  Config config_;
+
+  net::Nic nic_;
+  net::NicInterface* pf_ = nullptr;
+  std::vector<std::unique_ptr<Group>> groups_;
+};
+
+}  // namespace nicsched::core

@@ -1,0 +1,101 @@
+#include "core/task_queue.h"
+
+#include <utility>
+
+namespace nicsched::core {
+
+const char* to_string(QueuePolicy policy) {
+  switch (policy) {
+    case QueuePolicy::kFcfs: return "fcfs";
+    case QueuePolicy::kSjf: return "sjf";
+    case QueuePolicy::kMultiClass: return "multi-class";
+    case QueuePolicy::kBvt: return "bvt";
+  }
+  return "unknown";
+}
+
+void TaskQueue::insert(proto::RequestDescriptor descriptor) {
+  switch (policy_) {
+    case QueuePolicy::kFcfs:
+      fifo_.push_back(std::move(descriptor));
+      break;
+    case QueuePolicy::kSjf:
+      by_work_.emplace(descriptor.remaining_ps, std::move(descriptor));
+      break;
+    case QueuePolicy::kMultiClass:
+      by_class_[descriptor.kind].push_back(std::move(descriptor));
+      break;
+    case QueuePolicy::kBvt: {
+      auto& queue = by_class_[descriptor.kind];
+      if (queue.empty()) {
+        // A class returning from idle must not monopolize with its stale
+        // (low) virtual time: catch it up to the least-advanced *backlogged*
+        // class, the standard BVT/fair-queueing re-entry rule.
+        double min_active = -1.0;
+        for (const auto& [kind, pending] : by_class_) {
+          if (pending.empty() || kind == descriptor.kind) continue;
+          const double vt = class_state_[kind].virtual_time;
+          if (min_active < 0.0 || vt < min_active) min_active = vt;
+        }
+        BvtClass& state = class_state_[descriptor.kind];
+        if (min_active > state.virtual_time) state.virtual_time = min_active;
+      }
+      queue.push_back(std::move(descriptor));
+      break;
+    }
+  }
+  ++size_;
+  note_depth();
+}
+
+std::optional<proto::RequestDescriptor> TaskQueue::pop() {
+  if (size_ == 0) return std::nullopt;
+  proto::RequestDescriptor descriptor;
+  switch (policy_) {
+    case QueuePolicy::kFcfs:
+      descriptor = std::move(fifo_.front());
+      fifo_.pop_front();
+      break;
+    case QueuePolicy::kSjf: {
+      auto it = by_work_.begin();
+      descriptor = std::move(it->second);
+      by_work_.erase(it);
+      break;
+    }
+    case QueuePolicy::kMultiClass: {
+      auto it = by_class_.begin();
+      descriptor = std::move(it->second.front());
+      it->second.pop_front();
+      if (it->second.empty()) by_class_.erase(it);
+      break;
+    }
+    case QueuePolicy::kBvt: {
+      // Serve the backlogged class with the smallest virtual time; ties go
+      // to the lowest kind (map order), keeping selection deterministic.
+      auto best = by_class_.end();
+      double best_vt = 0.0;
+      for (auto it = by_class_.begin(); it != by_class_.end(); ++it) {
+        if (it->second.empty()) continue;
+        const double vt = class_state_[it->first].virtual_time;
+        if (best == by_class_.end() || vt < best_vt) {
+          best = it;
+          best_vt = vt;
+        }
+      }
+      descriptor = std::move(best->second.front());
+      best->second.pop_front();
+      // Charge the work about to run (possibly a preemption slice's worth
+      // less on re-entry) against the class, scaled by its weight.
+      BvtClass& state = class_state_[best->first];
+      state.virtual_time += static_cast<double>(descriptor.remaining_ps) /
+                            1e6 / state.weight;
+      if (best->second.empty()) by_class_.erase(best);
+      break;
+    }
+  }
+  --size_;
+  ++stats_.dequeued;
+  return descriptor;
+}
+
+}  // namespace nicsched::core

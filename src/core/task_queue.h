@@ -1,0 +1,116 @@
+// The centralized task queue at the heart of Shinjuku-style scheduling.
+//
+// New requests enter at the tail; preempted requests re-enter and, when
+// selected again, "can be assigned to any worker, not necessarily the worker
+// that handled [them] first" (§3.4.1). A single global queue is what
+// eliminates the load imbalance of per-core RSS queues (§2.2 problem 1).
+//
+// The selection policy is pluggable — the paper's prototype uses FIFO, but a
+// centralized scheduler is exactly where smarter policies become possible
+// (§2.2 motivates co-located latency classes; the size-aware literature it
+// cites motivates shortest-job-first):
+//
+//   kFcfs        the paper's FIFO; preempted requests go to the tail.
+//   kSjf         shortest-remaining-work first (size-aware: the synthetic
+//                request declares its work, as a MICA value size or RPC
+//                method id would in practice).
+//   kMultiClass  strict priority by request kind (kind 0 highest), FIFO
+//                within a class — latency-class isolation for co-located
+//                applications.
+//   kBvt         Borrowed Virtual Time across classes — what the full
+//                Shinjuku system (NSDI '19) runs: each class accrues
+//                virtual time as executed-work/weight and the class with
+//                the smallest virtual time goes next, giving weighted
+//                processor sharing between co-located applications without
+//                starving anyone.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "proto/messages.h"
+
+namespace nicsched::core {
+
+enum class QueuePolicy {
+  kFcfs,
+  kSjf,
+  kMultiClass,
+  kBvt,
+};
+
+const char* to_string(QueuePolicy policy);
+
+class TaskQueue {
+ public:
+  struct Stats {
+    std::uint64_t enqueued_new = 0;
+    std::uint64_t enqueued_preempted = 0;
+    std::uint64_t dequeued = 0;
+    std::size_t max_depth = 0;
+  };
+
+  explicit TaskQueue(QueuePolicy policy = QueuePolicy::kFcfs)
+      : policy_(policy) {}
+
+  QueuePolicy policy() const { return policy_; }
+
+  /// kBvt: weight for a class (default 1.0). Larger weight → more service.
+  /// Must be set before requests of that class arrive to take full effect.
+  void set_class_weight(std::uint16_t kind, double weight) {
+    class_state_[kind].weight = weight;
+  }
+
+  /// kBvt: a class's accumulated virtual time (test/diagnostic hook).
+  double virtual_time(std::uint16_t kind) const {
+    auto it = class_state_.find(kind);
+    return it == class_state_.end() ? 0.0 : it->second.virtual_time;
+  }
+
+  void push_new(proto::RequestDescriptor descriptor) {
+    ++stats_.enqueued_new;
+    insert(std::move(descriptor));
+  }
+
+  void push_preempted(proto::RequestDescriptor descriptor) {
+    ++stats_.enqueued_preempted;
+    insert(std::move(descriptor));
+  }
+
+  /// Removes and returns the next request under the configured policy.
+  std::optional<proto::RequestDescriptor> pop();
+
+  bool empty() const { return size_ == 0; }
+  std::size_t depth() const { return size_; }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  void insert(proto::RequestDescriptor descriptor);
+  void note_depth() {
+    if (size_ > stats_.max_depth) stats_.max_depth = size_;
+  }
+
+  QueuePolicy policy_;
+  std::size_t size_ = 0;
+  Stats stats_;
+
+  /// kFcfs storage.
+  std::deque<proto::RequestDescriptor> fifo_;
+  /// kSjf storage: ordered by remaining work; equal keys keep insertion
+  /// order (std::multimap guarantees it), making the policy deterministic.
+  std::multimap<std::uint64_t, proto::RequestDescriptor> by_work_;
+  /// kMultiClass and kBvt storage: one FIFO per kind.
+  std::map<std::uint16_t, std::deque<proto::RequestDescriptor>> by_class_;
+
+  /// kBvt per-class accounting.
+  struct BvtClass {
+    double weight = 1.0;
+    double virtual_time = 0.0;  // microseconds of work / weight
+  };
+  std::map<std::uint16_t, BvtClass> class_state_;
+};
+
+}  // namespace nicsched::core

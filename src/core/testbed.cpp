@@ -1,0 +1,255 @@
+#include "core/testbed.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/distributed_server.h"
+#include "core/ideal_nic_server.h"
+#include "core/offload_server.h"
+#include "core/shinjuku_server.h"
+#include "net/ethernet_switch.h"
+#include "sim/random.h"
+#include "sim/simulator.h"
+#include "workload/arrival.h"
+#include "workload/client.h"
+
+namespace nicsched::core {
+
+namespace {
+
+std::unique_ptr<Server> build_server(const ExperimentConfig& config,
+                                     sim::Simulator& sim,
+                                     net::EthernetSwitch& network) {
+  switch (config.system) {
+    case SystemKind::kShinjuku: {
+      ShinjukuServer::Config server;
+      server.worker_count = config.worker_count;
+      server.dispatcher_count = config.dispatcher_count;
+      server.queue_policy = config.queue_policy;
+      server.preemption_enabled = config.preemption_enabled;
+      server.time_slice = config.time_slice;
+      return std::make_unique<ShinjukuServer>(sim, network, config.params,
+                                              server);
+    }
+    case SystemKind::kShinjukuOffload: {
+      ShinjukuOffloadServer::Config server;
+      server.worker_count = config.worker_count;
+      server.outstanding_per_worker = config.outstanding_per_worker;
+      server.preemption_enabled = config.preemption_enabled;
+      server.time_slice = config.time_slice;
+      server.timer_costs = config.timer_costs;
+      server.queue_policy = config.queue_policy;
+      server.tx_batch_frames = config.tx_batch_frames;
+      server.tx_batch_timeout = config.tx_batch_timeout;
+      if (config.placement) server.placement = *config.placement;
+      return std::make_unique<ShinjukuOffloadServer>(sim, network,
+                                                     config.params, server);
+    }
+    case SystemKind::kRss:
+    case SystemKind::kFlowDirector:
+    case SystemKind::kWorkStealing:
+    case SystemKind::kElasticRss: {
+      DistributedServer::Config server;
+      server.worker_count = config.worker_count;
+      server.policy = config.system == SystemKind::kRss
+                          ? DistributedServer::Policy::kRss
+                      : config.system == SystemKind::kFlowDirector
+                          ? DistributedServer::Policy::kFlowDirector
+                      : config.system == SystemKind::kWorkStealing
+                          ? DistributedServer::Policy::kWorkStealing
+                          : DistributedServer::Policy::kElasticRss;
+      if (config.placement) server.placement = *config.placement;
+      return std::make_unique<DistributedServer>(sim, network, config.params,
+                                                 server);
+    }
+    case SystemKind::kIdealNic: {
+      IdealNicServer::Config server;
+      server.worker_count = config.worker_count;
+      server.outstanding_per_worker = config.outstanding_per_worker;
+      server.preemption_enabled = config.preemption_enabled;
+      server.time_slice = config.time_slice;
+      server.queue_policy = config.queue_policy;
+      if (config.placement) server.placement = *config.placement;
+      return std::make_unique<IdealNicServer>(sim, network, config.params,
+                                              server);
+    }
+    case SystemKind::kRpcValet: {
+      // NI-on-chip: feedback and assignment latencies collapse to tens of
+      // nanoseconds and the queue is consulted per request — but requests
+      // run to completion.
+      IdealNicServer::Config server;
+      server.worker_count = config.worker_count;
+      server.outstanding_per_worker = 1;
+      server.preemption_enabled = false;
+      server.queue_policy = config.queue_policy;
+      if (config.placement) server.placement = *config.placement;
+      ModelParams params = config.params;
+      params.cxl_one_way_latency = sim::Duration::nanos(50);
+      return std::make_unique<IdealNicServer>(sim, network, params, server);
+    }
+  }
+  throw std::invalid_argument("build_server: unknown system kind");
+}
+
+sim::Duration choose_measure_window(const ExperimentConfig& config) {
+  if (!config.measure.is_zero()) return config.measure;
+  const double seconds =
+      static_cast<double>(config.target_samples) / config.offered_rps;
+  const sim::Duration window = sim::Duration::seconds(seconds);
+  const sim::Duration lo = sim::Duration::millis(20);
+  const sim::Duration hi = sim::Duration::millis(500);
+  return std::clamp(window, lo, hi);
+}
+
+}  // namespace
+
+const char* to_string(SystemKind kind) {
+  switch (kind) {
+    case SystemKind::kShinjuku: return "shinjuku";
+    case SystemKind::kShinjukuOffload: return "shinjuku-offload";
+    case SystemKind::kRss: return "rss-rtc";
+    case SystemKind::kFlowDirector: return "flow-director";
+    case SystemKind::kWorkStealing: return "work-stealing";
+    case SystemKind::kElasticRss: return "elastic-rss";
+    case SystemKind::kIdealNic: return "ideal-nic";
+    case SystemKind::kRpcValet: return "rpcvalet";
+  }
+  return "unknown";
+}
+
+ExperimentResult run_experiment(const ExperimentConfig& config) {
+  if (!config.service) {
+    throw std::invalid_argument("run_experiment: service distribution unset");
+  }
+  if (config.offered_rps <= 0.0) {
+    throw std::invalid_argument("run_experiment: offered_rps must be > 0");
+  }
+  if (config.client_machines <= 0) {
+    throw std::invalid_argument("run_experiment: need >= 1 client machine");
+  }
+
+  sim::Simulator sim;
+  net::EthernetSwitch network(sim, config.params.switch_forward_latency);
+  auto server = build_server(config, sim, network);
+
+  const sim::Duration measure = choose_measure_window(config);
+  const sim::TimePoint measure_start = sim::TimePoint::origin() + config.warmup;
+  const sim::TimePoint measure_end = measure_start + measure;
+
+  ExperimentResult result;
+  result.recorder.set_window(measure_start, measure_end);
+
+  // The FlowDirector system needs clients to address partitions by port.
+  std::uint16_t partition_count = 0;
+  if (auto* distributed = dynamic_cast<DistributedServer*>(server.get())) {
+    partition_count = distributed->partition_count();
+  }
+
+  sim::Rng master(config.seed);
+  std::vector<std::unique_ptr<workload::ClientMachine>> clients;
+  clients.reserve(static_cast<std::size_t>(config.client_machines));
+  for (int i = 0; i < config.client_machines; ++i) {
+    workload::ClientMachine::Config client;
+    client.client_id = static_cast<std::uint32_t>(i + 1);
+    client.mac = net::MacAddress::from_index(client.client_id);
+    client.ip = net::Ipv4Address::from_index(client.client_id);
+    client.flow_count = config.flows_per_client;
+    client.server_mac = server->ingress_mac();
+    client.server_ip = server->ingress_ip();
+    client.server_port = server->port();
+    client.request_padding = config.request_padding;
+    client.partition_count = partition_count;
+    client.wire_latency = config.params.client_wire_latency;
+
+    // Client wires carry the configured propagation latency; the server-side
+    // attachment latencies were chosen by the server itself.
+    std::unique_ptr<workload::ArrivalProcess> arrivals;
+    if (config.bursty_arrivals) {
+      workload::BurstyArrivals::Config bursty = *config.bursty_arrivals;
+      bursty.normal_rps /= config.client_machines;
+      bursty.burst_rps /= config.client_machines;
+      arrivals = std::make_unique<workload::BurstyArrivals>(bursty);
+    } else {
+      arrivals = std::make_unique<workload::PoissonArrivals>(
+          config.offered_rps / config.client_machines);
+    }
+    auto machine = std::make_unique<workload::ClientMachine>(
+        sim, network, client, config.service, std::move(arrivals),
+        master.fork());
+    stats::ResponseLog* log = config.response_log;
+    machine->set_on_response(
+        [&result, log, measure_start, measure_end](
+            const workload::ResponseRecord& r) {
+          result.recorder.record(r);
+          if (log != nullptr && r.sent_at >= measure_start &&
+              r.sent_at <= measure_end) {
+            log->record(r);
+          }
+        });
+    machine->set_on_issue([&result](sim::TimePoint at) {
+      result.recorder.note_issued(at);
+    });
+    clients.push_back(std::move(machine));
+  }
+
+  for (auto& client : clients) client->start(measure_end);
+
+  // Snapshot server counters exactly at the end of the measurement window so
+  // utilization excludes the drain phase.
+  const sim::Duration elapsed_at_snapshot = config.warmup + measure;
+  sim.at(measure_end, [&result, &server, elapsed_at_snapshot]() {
+    result.server = server->stats(elapsed_at_snapshot);
+  });
+
+  sim.run_until(measure_end + config.drain);
+
+  result.summary = result.recorder.summarize(config.offered_rps);
+  if (!result.server.worker_utilization.empty()) {
+    double sum = 0.0;
+    for (double u : result.server.worker_utilization) sum += u;
+    result.mean_worker_utilization =
+        sum / static_cast<double>(result.server.worker_utilization.size());
+  }
+  return result;
+}
+
+std::vector<ExperimentResult> run_sweep(ExperimentConfig config,
+                                        const std::vector<double>& loads) {
+  std::vector<ExperimentResult> results;
+  results.reserve(loads.size());
+  for (double load : loads) {
+    config.offered_rps = load;
+    results.push_back(run_experiment(config));
+  }
+  return results;
+}
+
+std::vector<stats::RunSummary> sweep_summaries(
+    const ExperimentConfig& config, const std::vector<double>& loads) {
+  std::vector<stats::RunSummary> summaries;
+  for (auto& result : run_sweep(config, loads)) {
+    summaries.push_back(result.summary);
+  }
+  return summaries;
+}
+
+double find_saturation_throughput(ExperimentConfig config, double lo_rps,
+                                  double hi_rps, double efficiency,
+                                  int iterations) {
+  double best_achieved = 0.0;
+  for (int i = 0; i < iterations; ++i) {
+    const double mid = (lo_rps + hi_rps) / 2.0;
+    config.offered_rps = mid;
+    const ExperimentResult result = run_experiment(config);
+    const double achieved = result.summary.achieved_rps;
+    best_achieved = std::max(best_achieved, achieved);
+    if (achieved >= efficiency * mid) {
+      lo_rps = mid;  // still keeping up; push higher
+    } else {
+      hi_rps = mid;
+    }
+  }
+  return best_achieved;
+}
+
+}  // namespace nicsched::core

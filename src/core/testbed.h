@@ -1,0 +1,116 @@
+// The experiment harness: one call builds a complete simulated testbed —
+// ToR network, open-loop client machines, and the chosen server system —
+// runs a load point with warmup/measure/drain phases, and returns the
+// numbers a figure row needs. Everything in examples/, bench/, and the
+// integration tests goes through this API.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/model_params.h"
+#include "core/server.h"
+#include "core/task_queue.h"
+#include "hw/apic_timer.h"
+#include "sim/time.h"
+#include "stats/recorder.h"
+#include "stats/response_log.h"
+#include "workload/arrival.h"
+#include "workload/distribution.h"
+
+namespace nicsched::core {
+
+enum class SystemKind {
+  kShinjuku,         // host networker+dispatcher, 3.. workers
+  kShinjukuOffload,  // ARM dispatcher pipeline on the SmartNIC
+  kRss,              // IX-style run-to-completion
+  kFlowDirector,     // MICA-style partitioned steering
+  kWorkStealing,     // ZygOS-style
+  kElasticRss,       // eRSS-style load-feedback rebalancing (§5.1)
+  kIdealNic,         // §5.1 proposal
+  /// RPCValet-style (§2.1): network interfaces integrated with the cores
+  /// give a centralized queue near-perfect, instantly-informed balancing —
+  /// but no preemption, so dispersion still wrecks the tail (§2.2). Modelled
+  /// as the ideal-NIC machinery with ~50 ns feedback, K=1, preemption off.
+  kRpcValet,
+};
+
+const char* to_string(SystemKind kind);
+
+struct ExperimentConfig {
+  SystemKind system = SystemKind::kShinjukuOffload;
+  std::size_t worker_count = 4;
+  /// Shinjuku only: networker+dispatcher pairs (§2.2 scalability).
+  std::size_t dispatcher_count = 1;
+  /// Queuing-optimization K (offload and ideal-NIC systems).
+  std::uint32_t outstanding_per_worker = 4;
+  bool preemption_enabled = true;
+  sim::Duration time_slice = sim::Duration::micros(10);
+  hw::TimerCosts timer_costs = hw::TimerCosts::dune();
+  /// Centralized-queue policy (Shinjuku, offload, and ideal-NIC systems).
+  QueuePolicy queue_policy = QueuePolicy::kFcfs;
+  /// Offload only: D2 TX batching (0 = off); see ShinjukuOffloadServer.
+  std::size_t tx_batch_frames = 0;
+  sim::Duration tx_batch_timeout = sim::Duration::micros(8);
+  /// Payload cache placement (§5.2). Unset = each system's default
+  /// (DDIO-to-LLC everywhere except the ideal NIC, which targets L1).
+  std::optional<hw::PlacementPolicy> placement;
+
+  /// Required: the synthetic service-time distribution.
+  std::shared_ptr<workload::ServiceDistribution> service;
+  double offered_rps = 100'000.0;
+  /// When set, clients use a two-state MMPP instead of plain Poisson: the
+  /// configured rates are split across client machines and `offered_rps` is
+  /// ignored for arrival generation (summaries still normalize against the
+  /// process's long-run mean rate).
+  std::optional<workload::BurstyArrivals::Config> bursty_arrivals;
+  int client_machines = 4;
+  std::uint16_t flows_per_client = 64;
+  std::uint16_t request_padding = 24;
+
+  sim::Duration warmup = sim::Duration::millis(5);
+  /// Measurement window; zero selects an automatic window targeting
+  /// `target_samples` requests (clamped to [20 ms, 500 ms]).
+  sim::Duration measure = sim::Duration::zero();
+  std::uint64_t target_samples = 200'000;
+  sim::Duration drain = sim::Duration::millis(3);
+  std::uint64_t seed = 42;
+
+  /// Optional: every in-window response is also appended here (per-request
+  /// CSV export). Not owned; must outlive run_experiment.
+  stats::ResponseLog* response_log = nullptr;
+
+  ModelParams params = ModelParams::defaults();
+};
+
+struct ExperimentResult {
+  stats::RunSummary summary;
+  /// Server counters snapshotted at the end of the measurement window.
+  ServerStats server;
+  /// Full recorder (overall + per-kind histograms) for richer analysis.
+  stats::LatencyRecorder recorder;
+  /// Mean worker utilization over the run (busy/wall).
+  double mean_worker_utilization = 0.0;
+};
+
+/// Runs one load point end to end. Deterministic in `config.seed`.
+ExperimentResult run_experiment(const ExperimentConfig& config);
+
+/// Runs the same experiment across offered loads; returns one result per
+/// load, in order.
+std::vector<ExperimentResult> run_sweep(ExperimentConfig config,
+                                        const std::vector<double>& loads);
+
+/// Convenience: just the RunSummary rows of a sweep.
+std::vector<stats::RunSummary> sweep_summaries(
+    const ExperimentConfig& config, const std::vector<double>& loads);
+
+/// Binary-searches the highest offered load whose achieved throughput stays
+/// within `efficiency` of offered (default 95 %); used by throughput-vs-K
+/// experiments like Figure 3. Returns the achieved throughput at that load.
+double find_saturation_throughput(ExperimentConfig config, double lo_rps,
+                                  double hi_rps, double efficiency = 0.95,
+                                  int iterations = 7);
+
+}  // namespace nicsched::core

@@ -1,0 +1,76 @@
+// Typed message channels modelling inter-core shared-memory communication.
+//
+// Vanilla Shinjuku moves requests between the networker, dispatcher, and
+// workers through cache-line writes that the receiving core's poll loop
+// observes after cache-coherence latency; the paper measures ~2 µs of added
+// tail latency across its hops (§2.2). The §5.1 ideal SmartNIC would use a
+// CXL-class coherent path with a few hundred nanoseconds one-way. Both are a
+// `MessageChannel`: sender-visible cost is paid by the sender's core (as a
+// `CpuCore::run` op), and the message becomes visible to the receiver after
+// `visibility_latency`.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace nicsched::hw {
+
+template <typename T>
+class MessageChannel {
+ public:
+  struct Stats {
+    std::uint64_t sent = 0;
+    std::uint64_t received = 0;
+  };
+
+  MessageChannel(sim::Simulator& sim, sim::Duration visibility_latency)
+      : sim_(sim), visibility_latency_(visibility_latency) {}
+
+  MessageChannel(const MessageChannel&) = delete;
+  MessageChannel& operator=(const MessageChannel&) = delete;
+
+  /// Fires whenever a message lands in the queue (the receiving poll loop
+  /// noticing the cache line flip).
+  void set_on_message(std::function<void()> on_message) {
+    on_message_ = std::move(on_message);
+  }
+
+  /// Publishes a message; it becomes poppable after the visibility latency.
+  void send(T message) {
+    ++stats_.sent;
+    auto shared = std::make_shared<T>(std::move(message));
+    sim_.after(visibility_latency_, [this, shared]() mutable {
+      queue_.push_back(std::move(*shared));
+      if (on_message_) on_message_();
+    });
+  }
+
+  std::optional<T> pop() {
+    if (queue_.empty()) return std::nullopt;
+    T message = std::move(queue_.front());
+    queue_.pop_front();
+    ++stats_.received;
+    return message;
+  }
+
+  bool empty() const { return queue_.empty(); }
+  std::size_t depth() const { return queue_.size(); }
+  const Stats& stats() const { return stats_; }
+  sim::Duration visibility_latency() const { return visibility_latency_; }
+
+ private:
+  sim::Simulator& sim_;
+  sim::Duration visibility_latency_;
+  std::deque<T> queue_;
+  std::function<void()> on_message_;
+  Stats stats_;
+};
+
+}  // namespace nicsched::hw

@@ -1,0 +1,87 @@
+#include "hw/cpu_core.h"
+
+#include <utility>
+
+namespace nicsched::hw {
+
+void CpuCore::run(sim::Duration cost, std::function<void()> done) {
+  if (cost.is_negative()) {
+    throw std::logic_error("CpuCore::run: negative cost");
+  }
+  queue_.push_back(Op{cost, std::move(done)});
+  if (!busy_) start_next_op();
+}
+
+void CpuCore::start_next_op() {
+  if (queue_.empty() || busy_) return;
+  busy_ = true;
+  Op op = std::move(queue_.front());
+  queue_.pop_front();
+  const sim::Duration scaled = scale(op.cost);
+  // Completion is scheduled even for zero-cost ops so that `done` never runs
+  // re-entrantly inside the caller of run().
+  auto shared = std::make_shared<Op>(std::move(op));
+  sim_.after(scaled, [this, shared]() { finish_op(std::move(*shared)); });
+  stats_.busy += scaled;
+}
+
+void CpuCore::finish_op(Op op) {
+  busy_ = false;
+  ++stats_.ops;
+  if (op.done) op.done();
+  start_next_op();
+}
+
+void CpuCore::run_preemptible(sim::Duration work,
+                              std::function<void()> on_complete) {
+  if (busy_ || preemptible_active_ || !queue_.empty()) {
+    throw std::logic_error("CpuCore::run_preemptible on core '" +
+                           config_.name + "': core not idle");
+  }
+  if (work.is_negative()) {
+    throw std::logic_error("CpuCore::run_preemptible: negative work");
+  }
+  busy_ = true;
+  preemptible_active_ = true;
+  preemptible_work_ = work;
+  preemptible_started_ = sim_.now();
+  auto complete = std::make_shared<std::function<void()>>(std::move(on_complete));
+  preemptible_done_ = sim_.after(scale(work), [this, complete]() {
+    busy_ = false;
+    preemptible_active_ = false;
+    stats_.busy += scale(preemptible_work_);
+    ++stats_.tasks_completed;
+    (*complete)();
+    start_next_op();
+  });
+}
+
+void CpuCore::interrupt(sim::Duration handler_entry_cost,
+                        std::function<void(sim::Duration)> on_interrupted) {
+  if (!preemptible_active_) {
+    throw std::logic_error("CpuCore::interrupt on core '" + config_.name +
+                           "': no preemptible task running");
+  }
+  preemptible_done_.cancel();
+  const sim::Duration executed_scaled = sim_.now() - preemptible_started_;
+  stats_.busy += executed_scaled;
+  ++stats_.tasks_interrupted;
+
+  // Un-scale to get the work actually retired, then the remainder.
+  const double scale_factor = config_.time_scale;
+  const sim::Duration executed =
+      scale_factor == 1.0 ? executed_scaled
+                          : executed_scaled * (1.0 / scale_factor);
+  sim::Duration remaining = preemptible_work_ - executed;
+  if (remaining.is_negative()) remaining = sim::Duration::zero();
+
+  preemptible_active_ = false;
+  busy_ = false;
+
+  // The handler entry path (interrupt delivery, trap, state save) occupies
+  // the core as an ordinary serialized operation.
+  run(handler_entry_cost,
+      [remaining, cb = std::move(on_interrupted)]() { cb(remaining); });
+}
+
+}  // namespace nicsched::hw

@@ -1,0 +1,23 @@
+#include "hw/ddio.h"
+
+namespace nicsched::hw {
+
+const char* to_string(PlacementPolicy policy) {
+  switch (policy) {
+    case PlacementPolicy::kDram: return "dram";
+    case PlacementPolicy::kDdioLlc: return "ddio-llc";
+    case PlacementPolicy::kDdioL1: return "ddio-l1";
+  }
+  return "unknown";
+}
+
+const char* to_string(CacheLevel level) {
+  switch (level) {
+    case CacheLevel::kL1: return "L1";
+    case CacheLevel::kLlc: return "LLC";
+    case CacheLevel::kDram: return "DRAM";
+  }
+  return "unknown";
+}
+
+}  // namespace nicsched::hw

@@ -1,0 +1,101 @@
+// Cache placement of incoming request payloads (§5.2).
+//
+// Intel DDIO writes NIC payloads into the LLC instead of DRAM; the paper
+// argues a scheduling NIC could go further: "Shinjuku's scheduling algorithm
+// guarantees that at most one request is in-flight at any time on each core
+// ... a NIC that uses this algorithm can place network packets even into the
+// L1 cache without danger of filling it."
+//
+// The model: the NIC chooses a placement *target*; whether the payload is
+// still resident at that level when the worker finally touches it depends on
+// how many other payloads were stacked on the same core in between. A
+// payload targeted at L1 with more than `l1_budget` requests queued ahead
+// has been evicted to the LLC by the time it is read; beyond `llc_budget`
+// it has been written back to DRAM. The worker's first-touch cost is then
+// the hit latency of wherever the payload actually survived.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.h"
+
+namespace nicsched::hw {
+
+/// Where the NIC tries to put an arriving payload.
+enum class PlacementPolicy {
+  kDram,     // no DDIO: payloads land in memory
+  kDdioLlc,  // classic DDIO (the 82599ES / Stingray host path)
+  kDdioL1,   // §5.2's proposal, safe only with bounded outstanding requests
+};
+
+const char* to_string(PlacementPolicy policy);
+
+struct CacheCosts {
+  /// Worker-core cost to bring the payload into registers on first touch.
+  sim::Duration l1_touch = sim::Duration::nanos(15);
+  sim::Duration llc_touch = sim::Duration::nanos(120);
+  sim::Duration dram_touch = sim::Duration::nanos(320);
+  /// Payloads that fit at each level before earlier arrivals get evicted.
+  std::uint32_t l1_budget = 2;
+  std::uint32_t llc_budget = 64;
+};
+
+/// The level a payload actually survives at, given its placement target and
+/// how many payloads were queued ahead of it on the same core.
+enum class CacheLevel { kL1, kLlc, kDram };
+
+const char* to_string(CacheLevel level);
+
+struct DdioStats {
+  std::uint64_t l1_touches = 0;
+  std::uint64_t llc_touches = 0;
+  std::uint64_t dram_touches = 0;
+
+  std::uint64_t total() const {
+    return l1_touches + llc_touches + dram_touches;
+  }
+  double l1_fraction() const {
+    return total() == 0 ? 0.0
+                        : static_cast<double>(l1_touches) /
+                              static_cast<double>(total());
+  }
+};
+
+/// Resolves where a payload is on first touch.
+inline CacheLevel resolve_level(PlacementPolicy policy,
+                                const CacheCosts& costs,
+                                std::uint32_t queued_ahead) {
+  switch (policy) {
+    case PlacementPolicy::kDram:
+      return CacheLevel::kDram;
+    case PlacementPolicy::kDdioLlc:
+      return queued_ahead < costs.llc_budget ? CacheLevel::kLlc
+                                             : CacheLevel::kDram;
+    case PlacementPolicy::kDdioL1:
+      if (queued_ahead < costs.l1_budget) return CacheLevel::kL1;
+      return queued_ahead < costs.llc_budget ? CacheLevel::kLlc
+                                             : CacheLevel::kDram;
+  }
+  return CacheLevel::kDram;
+}
+
+/// First-touch cost for a payload, recording the outcome in `stats`.
+inline sim::Duration payload_touch_cost(PlacementPolicy policy,
+                                        const CacheCosts& costs,
+                                        std::uint32_t queued_ahead,
+                                        DdioStats& stats) {
+  switch (resolve_level(policy, costs, queued_ahead)) {
+    case CacheLevel::kL1:
+      ++stats.l1_touches;
+      return costs.l1_touch;
+    case CacheLevel::kLlc:
+      ++stats.llc_touches;
+      return costs.llc_touch;
+    case CacheLevel::kDram:
+      ++stats.dram_touches;
+      return costs.dram_touch;
+  }
+  return costs.dram_touch;
+}
+
+}  // namespace nicsched::hw

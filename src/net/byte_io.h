@@ -1,0 +1,116 @@
+// Big-endian (network byte order) readers and writers over byte spans.
+//
+// All wire formats in this library serialize through these helpers so that
+// byte-order handling lives in exactly one place.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace nicsched::net {
+
+/// Sequential big-endian writer appending to a byte vector.
+class ByteWriter {
+ public:
+  explicit ByteWriter(std::vector<std::uint8_t>& out) : out_(out) {}
+
+  void u8(std::uint8_t value) { out_.push_back(value); }
+
+  void u16(std::uint16_t value) {
+    out_.push_back(static_cast<std::uint8_t>(value >> 8));
+    out_.push_back(static_cast<std::uint8_t>(value));
+  }
+
+  void u32(std::uint32_t value) {
+    out_.push_back(static_cast<std::uint8_t>(value >> 24));
+    out_.push_back(static_cast<std::uint8_t>(value >> 16));
+    out_.push_back(static_cast<std::uint8_t>(value >> 8));
+    out_.push_back(static_cast<std::uint8_t>(value));
+  }
+
+  void u64(std::uint64_t value) {
+    u32(static_cast<std::uint32_t>(value >> 32));
+    u32(static_cast<std::uint32_t>(value));
+  }
+
+  void bytes(std::span<const std::uint8_t> data) {
+    out_.insert(out_.end(), data.begin(), data.end());
+  }
+
+  std::size_t written() const { return out_.size(); }
+
+ private:
+  std::vector<std::uint8_t>& out_;
+};
+
+/// Sequential big-endian reader over a byte span. Reads past the end throw
+/// std::out_of_range; parsers that prefer optional-style results should call
+/// `remaining()` first.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  std::size_t position() const { return pos_; }
+
+  std::uint8_t u8() {
+    require(1);
+    return data_[pos_++];
+  }
+
+  std::uint16_t u16() {
+    require(2);
+    const std::uint16_t value = static_cast<std::uint16_t>(
+        (static_cast<std::uint16_t>(data_[pos_]) << 8) | data_[pos_ + 1]);
+    pos_ += 2;
+    return value;
+  }
+
+  std::uint32_t u32() {
+    require(4);
+    const std::uint32_t value = (static_cast<std::uint32_t>(data_[pos_]) << 24) |
+                                (static_cast<std::uint32_t>(data_[pos_ + 1]) << 16) |
+                                (static_cast<std::uint32_t>(data_[pos_ + 2]) << 8) |
+                                static_cast<std::uint32_t>(data_[pos_ + 3]);
+    pos_ += 4;
+    return value;
+  }
+
+  std::uint64_t u64() {
+    const std::uint64_t hi = u32();
+    return (hi << 32) | u32();
+  }
+
+  std::span<const std::uint8_t> bytes(std::size_t count) {
+    require(count);
+    auto view = data_.subspan(pos_, count);
+    pos_ += count;
+    return view;
+  }
+
+  std::span<const std::uint8_t> rest() {
+    auto view = data_.subspan(pos_);
+    pos_ = data_.size();
+    return view;
+  }
+
+  void skip(std::size_t count) {
+    require(count);
+    pos_ += count;
+  }
+
+ private:
+  void require(std::size_t count) const {
+    if (remaining() < count) {
+      throw std::out_of_range("ByteReader: truncated input");
+    }
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace nicsched::net

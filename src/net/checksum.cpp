@@ -1,0 +1,42 @@
+#include "net/checksum.h"
+
+namespace nicsched::net {
+
+void InternetChecksum::add(std::span<const std::uint8_t> data) {
+  std::size_t i = 0;
+  for (; i + 1 < data.size(); i += 2) {
+    sum_ += static_cast<std::uint16_t>((static_cast<std::uint16_t>(data[i]) << 8) |
+                                       data[i + 1]);
+  }
+  if (i < data.size()) {
+    sum_ += static_cast<std::uint16_t>(static_cast<std::uint16_t>(data[i]) << 8);
+  }
+}
+
+std::uint16_t InternetChecksum::finish() const {
+  std::uint64_t sum = sum_;
+  while (sum >> 16) sum = (sum & 0xFFFF) + (sum >> 16);
+  return static_cast<std::uint16_t>(~sum & 0xFFFF);
+}
+
+std::uint16_t internet_checksum(std::span<const std::uint8_t> data) {
+  InternetChecksum checksum;
+  checksum.add(data);
+  return checksum.finish();
+}
+
+std::uint16_t udp_checksum(Ipv4Address src, Ipv4Address dst,
+                           std::span<const std::uint8_t> udp_segment) {
+  InternetChecksum checksum;
+  checksum.add_u32(src.bits());
+  checksum.add_u32(dst.bits());
+  checksum.add_u16(17);  // protocol: UDP
+  checksum.add_u16(static_cast<std::uint16_t>(udp_segment.size()));
+  checksum.add(udp_segment);
+  std::uint16_t result = checksum.finish();
+  // RFC 768: a computed checksum of zero is transmitted as all ones, since
+  // zero on the wire means "no checksum".
+  return result == 0 ? 0xFFFF : result;
+}
+
+}  // namespace nicsched::net

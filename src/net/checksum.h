@@ -1,0 +1,41 @@
+// RFC 1071 internet checksum, used by the IPv4 and UDP headers.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "net/ipv4_address.h"
+
+namespace nicsched::net {
+
+/// Running one's-complement sum that can be fed data in pieces (header, then
+/// pseudo-header, then payload) before finalizing.
+class InternetChecksum {
+ public:
+  /// Adds a byte range. Ranges may be added in any order as long as each
+  /// range itself starts on an even offset boundary of the overall message;
+  /// an odd-length range is zero-padded at its end per RFC 1071.
+  void add(std::span<const std::uint8_t> data);
+
+  void add_u16(std::uint16_t value) { sum_ += value; }
+  void add_u32(std::uint32_t value) {
+    add_u16(static_cast<std::uint16_t>(value >> 16));
+    add_u16(static_cast<std::uint16_t>(value & 0xFFFF));
+  }
+
+  /// Final one's-complement of the folded sum.
+  std::uint16_t finish() const;
+
+ private:
+  std::uint64_t sum_ = 0;
+};
+
+/// One-shot checksum over a contiguous range.
+std::uint16_t internet_checksum(std::span<const std::uint8_t> data);
+
+/// UDP checksum with IPv4 pseudo-header (RFC 768). `udp_segment` is the UDP
+/// header (checksum field zeroed) plus payload.
+std::uint16_t udp_checksum(Ipv4Address src, Ipv4Address dst,
+                           std::span<const std::uint8_t> udp_segment);
+
+}  // namespace nicsched::net

@@ -1,0 +1,25 @@
+#include "net/ethernet.h"
+
+namespace nicsched::net {
+
+void EthernetHeader::serialize(ByteWriter& writer) const {
+  writer.bytes(dst.octets());
+  writer.bytes(src.octets());
+  writer.u16(ether_type);
+}
+
+std::optional<EthernetHeader> EthernetHeader::parse(ByteReader& reader) {
+  if (reader.remaining() < kSize) return std::nullopt;
+  EthernetHeader header;
+  std::array<std::uint8_t, MacAddress::kSize> octets{};
+  auto dst_bytes = reader.bytes(MacAddress::kSize);
+  std::copy(dst_bytes.begin(), dst_bytes.end(), octets.begin());
+  header.dst = MacAddress(octets);
+  auto src_bytes = reader.bytes(MacAddress::kSize);
+  std::copy(src_bytes.begin(), src_bytes.end(), octets.begin());
+  header.src = MacAddress(octets);
+  header.ether_type = reader.u16();
+  return header;
+}
+
+}  // namespace nicsched::net

@@ -1,0 +1,33 @@
+// Ethernet II frame header.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "net/byte_io.h"
+#include "net/mac_address.h"
+
+namespace nicsched::net {
+
+enum class EtherType : std::uint16_t {
+  kIpv4 = 0x0800,
+  kArp = 0x0806,
+  kIpv6 = 0x86DD,
+};
+
+struct EthernetHeader {
+  static constexpr std::size_t kSize = 14;
+
+  MacAddress dst;
+  MacAddress src;
+  std::uint16_t ether_type = static_cast<std::uint16_t>(EtherType::kIpv4);
+
+  void serialize(ByteWriter& writer) const;
+
+  /// Parses 14 bytes from `reader`; returns nullopt if truncated.
+  static std::optional<EthernetHeader> parse(ByteReader& reader);
+
+  bool operator==(const EthernetHeader&) const = default;
+};
+
+}  // namespace nicsched::net

@@ -1,0 +1,67 @@
+#include "net/ethernet_switch.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace nicsched::net {
+
+void EthernetSwitch::attach(MacAddress mac, PacketSink& device_rx,
+                            sim::Duration latency, double gbps) {
+  auto [it, inserted] = ports_.try_emplace(
+      mac, std::make_unique<Wire>(sim_, device_rx, latency, gbps));
+  if (!inserted) {
+    throw std::logic_error("EthernetSwitch::attach: duplicate MAC " +
+                           mac.to_string());
+  }
+}
+
+void EthernetSwitch::set_port_loss(MacAddress mac, double probability,
+                                   std::uint64_t seed) {
+  auto it = ports_.find(mac);
+  if (it == ports_.end()) {
+    throw std::logic_error("EthernetSwitch::set_port_loss: unknown MAC " +
+                           mac.to_string());
+  }
+  it->second->set_loss(probability, seed);
+}
+
+const Wire::Stats& EthernetSwitch::port_stats(MacAddress mac) const {
+  auto it = ports_.find(mac);
+  if (it == ports_.end()) {
+    throw std::logic_error("EthernetSwitch::port_stats: unknown MAC " +
+                           mac.to_string());
+  }
+  return it->second->stats();
+}
+
+void EthernetSwitch::deliver(Packet packet) {
+  if (forward_latency_.is_zero()) {
+    forward(std::move(packet));
+    return;
+  }
+  auto shared = std::make_shared<Packet>(std::move(packet));
+  sim_.after(forward_latency_,
+             [this, shared]() mutable { forward(std::move(*shared)); });
+}
+
+void EthernetSwitch::forward(Packet packet) {
+  const auto dst = packet.dst_mac();
+  if (!dst) {
+    ++stats_.dropped_unknown;
+    return;
+  }
+  if (dst->is_broadcast()) {
+    ++stats_.flooded;
+    for (auto& [mac, wire] : ports_) wire->transmit(packet);
+    return;
+  }
+  auto it = ports_.find(*dst);
+  if (it == ports_.end()) {
+    ++stats_.dropped_unknown;
+    return;
+  }
+  ++stats_.forwarded;
+  it->second->transmit(std::move(packet));
+}
+
+}  // namespace nicsched::net

@@ -1,0 +1,62 @@
+// A MAC-learning-free (statically configured) Ethernet switch. Used both for
+// the external ToR connecting clients to the server, and as the Stingray's
+// internal fabric joining the physical port, the ARM SoC interface, and the
+// host's SR-IOV virtual functions (§3.3: "when a packet arrives, it is
+// steered to the proper CPU based on the MAC address in the Ethernet
+// header").
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/wire.h"
+
+namespace nicsched::net {
+
+class EthernetSwitch : public PacketSink {
+ public:
+  struct Stats {
+    std::uint64_t forwarded = 0;
+    std::uint64_t flooded = 0;
+    std::uint64_t dropped_unknown = 0;
+  };
+
+  /// `forward_latency` models the switching decision; per-port wires add
+  /// serialization and propagation on top.
+  EthernetSwitch(sim::Simulator& sim, sim::Duration forward_latency)
+      : sim_(sim), forward_latency_(forward_latency) {}
+
+  /// Attaches a device reachable at `mac`. Frames destined to `mac` egress
+  /// on a dedicated wire with the given propagation latency and line rate.
+  /// The device transmits *into* the switch via `ingress()`.
+  void attach(MacAddress mac, PacketSink& device_rx, sim::Duration latency,
+              double gbps);
+
+  /// The sink devices transmit into.
+  PacketSink& ingress() { return *this; }
+
+  /// PacketSink: a frame arriving at the switch.
+  void deliver(Packet packet) override;
+
+  /// Fault injection on one egress port (frames *toward* `mac`); see
+  /// Wire::set_loss. Throws if `mac` is not attached.
+  void set_port_loss(MacAddress mac, double probability, std::uint64_t seed);
+
+  /// Egress-wire stats for one attached MAC (lost counts live here).
+  const Wire::Stats& port_stats(MacAddress mac) const;
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  void forward(Packet packet);
+
+  sim::Simulator& sim_;
+  sim::Duration forward_latency_;
+  std::unordered_map<MacAddress, std::unique_ptr<Wire>> ports_;
+  Stats stats_;
+};
+
+}  // namespace nicsched::net

@@ -1,0 +1,49 @@
+// Intel Flow Director-style exact-match steering: a table of five-tuple →
+// queue rules consulted before RSS. MICA (§2.1) uses this to steer each
+// key-partition's flows to the core owning that partition.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "net/packet.h"
+
+namespace nicsched::net {
+
+class FlowDirector {
+ public:
+  /// Installs (or replaces) an exact-match rule.
+  void add_rule(const FiveTuple& tuple, std::uint32_t queue) {
+    rules_[tuple] = queue;
+  }
+
+  bool remove_rule(const FiveTuple& tuple) { return rules_.erase(tuple) > 0; }
+
+  /// Installs a coarser rule keyed on destination UDP port only. MICA-style
+  /// clients encode the key partition in the destination port, so one port
+  /// rule per partition steers a whole partition to its owning core.
+  void add_dst_port_rule(std::uint16_t dst_port, std::uint32_t queue) {
+    port_rules_[dst_port] = queue;
+  }
+
+  /// Queue for a matching rule (exact five-tuple first, then destination
+  /// port), or nullopt to fall through to RSS.
+  std::optional<std::uint32_t> match(const FiveTuple& tuple) const {
+    auto it = rules_.find(tuple);
+    if (it != rules_.end()) return it->second;
+    auto port_it = port_rules_.find(tuple.dst_port);
+    if (port_it != port_rules_.end()) return port_it->second;
+    return std::nullopt;
+  }
+
+  std::size_t rule_count() const {
+    return rules_.size() + port_rules_.size();
+  }
+
+ private:
+  std::unordered_map<FiveTuple, std::uint32_t> rules_;
+  std::unordered_map<std::uint16_t, std::uint32_t> port_rules_;
+};
+
+}  // namespace nicsched::net

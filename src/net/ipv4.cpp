@@ -1,0 +1,52 @@
+#include "net/ipv4.h"
+
+#include <vector>
+
+#include "net/checksum.h"
+
+namespace nicsched::net {
+
+void Ipv4Header::serialize(ByteWriter& writer) const {
+  std::vector<std::uint8_t> scratch;
+  scratch.reserve(kSize);
+  ByteWriter header(scratch);
+  header.u8(0x45);  // version 4, IHL 5 words
+  header.u8(dscp_ecn);
+  header.u16(total_length);
+  header.u16(identification);
+  header.u16(flags_fragment);
+  header.u8(ttl);
+  header.u8(protocol);
+  header.u16(0);  // checksum placeholder
+  header.u32(src.bits());
+  header.u32(dst.bits());
+
+  const std::uint16_t checksum = internet_checksum(scratch);
+  scratch[10] = static_cast<std::uint8_t>(checksum >> 8);
+  scratch[11] = static_cast<std::uint8_t>(checksum);
+  writer.bytes(scratch);
+}
+
+std::optional<Ipv4Header> Ipv4Header::parse(ByteReader& reader) {
+  if (reader.remaining() < kSize) return std::nullopt;
+  auto raw = reader.bytes(kSize);
+  if (internet_checksum(raw) != 0) return std::nullopt;
+
+  ByteReader fields(raw);
+  const std::uint8_t version_ihl = fields.u8();
+  if (version_ihl != 0x45) return std::nullopt;  // v4, no options
+
+  Ipv4Header header;
+  header.dscp_ecn = fields.u8();
+  header.total_length = fields.u16();
+  header.identification = fields.u16();
+  header.flags_fragment = fields.u16();
+  header.ttl = fields.u8();
+  header.protocol = fields.u8();
+  fields.u16();  // checksum, already verified
+  header.src = Ipv4Address(fields.u32());
+  header.dst = Ipv4Address(fields.u32());
+  return header;
+}
+
+}  // namespace nicsched::net

@@ -1,0 +1,40 @@
+// IPv4 header (RFC 791), without options.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "net/byte_io.h"
+#include "net/ipv4_address.h"
+
+namespace nicsched::net {
+
+enum class IpProtocol : std::uint8_t {
+  kIcmp = 1,
+  kTcp = 6,
+  kUdp = 17,
+};
+
+struct Ipv4Header {
+  static constexpr std::size_t kSize = 20;
+
+  std::uint8_t dscp_ecn = 0;
+  std::uint16_t total_length = 0;  // header + payload, bytes
+  std::uint16_t identification = 0;
+  std::uint16_t flags_fragment = 0x4000;  // Don't Fragment
+  std::uint8_t ttl = 64;
+  std::uint8_t protocol = static_cast<std::uint8_t>(IpProtocol::kUdp);
+  Ipv4Address src;
+  Ipv4Address dst;
+
+  /// Serializes the header with a freshly computed header checksum.
+  void serialize(ByteWriter& writer) const;
+
+  /// Parses and validates: version must be 4, IHL 5 (no options), and the
+  /// header checksum must verify. Returns nullopt otherwise.
+  static std::optional<Ipv4Header> parse(ByteReader& reader);
+
+  bool operator==(const Ipv4Header&) const = default;
+};
+
+}  // namespace nicsched::net

@@ -1,0 +1,38 @@
+#include "net/ipv4_address.h"
+
+#include <cstdio>
+
+namespace nicsched::net {
+
+std::optional<Ipv4Address> Ipv4Address::parse(std::string_view text) {
+  std::array<std::uint32_t, 4> parts{};
+  std::size_t part = 0;
+  bool have_digit = false;
+  for (char c : text) {
+    if (c == '.') {
+      if (!have_digit || part == 3) return std::nullopt;
+      ++part;
+      have_digit = false;
+    } else if (c >= '0' && c <= '9') {
+      parts[part] = parts[part] * 10 + static_cast<std::uint32_t>(c - '0');
+      if (parts[part] > 255) return std::nullopt;
+      have_digit = true;
+    } else {
+      return std::nullopt;
+    }
+  }
+  if (part != 3 || !have_digit) return std::nullopt;
+  return Ipv4Address(static_cast<std::uint8_t>(parts[0]),
+                     static_cast<std::uint8_t>(parts[1]),
+                     static_cast<std::uint8_t>(parts[2]),
+                     static_cast<std::uint8_t>(parts[3]));
+}
+
+std::string Ipv4Address::to_string() const {
+  const auto o = octets();
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", o[0], o[1], o[2], o[3]);
+  return buf;
+}
+
+}  // namespace nicsched::net

@@ -1,0 +1,60 @@
+// IPv4 addresses as value types.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace nicsched::net {
+
+class Ipv4Address {
+ public:
+  constexpr Ipv4Address() = default;
+  constexpr explicit Ipv4Address(std::uint32_t host_order_bits)
+      : bits_(host_order_bits) {}
+  constexpr Ipv4Address(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                        std::uint8_t d)
+      : bits_((static_cast<std::uint32_t>(a) << 24) |
+              (static_cast<std::uint32_t>(b) << 16) |
+              (static_cast<std::uint32_t>(c) << 8) |
+              static_cast<std::uint32_t>(d)) {}
+
+  /// Parses dotted-quad "a.b.c.d". Returns nullopt on malformed input.
+  static std::optional<Ipv4Address> parse(std::string_view text);
+
+  /// Deterministic address in 10.0.0.0/8 derived from an index, for
+  /// assigning stable addresses to simulated hosts.
+  static constexpr Ipv4Address from_index(std::uint32_t index) {
+    return Ipv4Address(0x0A000000u | (index & 0x00FFFFFFu));
+  }
+
+  /// The 32 address bits in host byte order (a.b.c.d → 0xAABBCCDD).
+  constexpr std::uint32_t bits() const { return bits_; }
+
+  constexpr std::array<std::uint8_t, 4> octets() const {
+    return {static_cast<std::uint8_t>(bits_ >> 24),
+            static_cast<std::uint8_t>(bits_ >> 16),
+            static_cast<std::uint8_t>(bits_ >> 8),
+            static_cast<std::uint8_t>(bits_)};
+  }
+
+  std::string to_string() const;
+
+  constexpr auto operator<=>(const Ipv4Address&) const = default;
+
+ private:
+  std::uint32_t bits_ = 0;
+};
+
+}  // namespace nicsched::net
+
+template <>
+struct std::hash<nicsched::net::Ipv4Address> {
+  std::size_t operator()(const nicsched::net::Ipv4Address& ip) const noexcept {
+    return std::hash<std::uint32_t>{}(ip.bits());
+  }
+};

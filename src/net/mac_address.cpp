@@ -1,0 +1,49 @@
+#include "net/mac_address.h"
+
+#include <cstdio>
+
+namespace nicsched::net {
+
+namespace {
+
+std::optional<std::uint8_t> parse_hex_byte(std::string_view text) {
+  if (text.size() != 2) return std::nullopt;
+  std::uint8_t value = 0;
+  for (char c : text) {
+    value = static_cast<std::uint8_t>(value << 4);
+    if (c >= '0' && c <= '9') {
+      value = static_cast<std::uint8_t>(value | (c - '0'));
+    } else if (c >= 'a' && c <= 'f') {
+      value = static_cast<std::uint8_t>(value | (c - 'a' + 10));
+    } else if (c >= 'A' && c <= 'F') {
+      value = static_cast<std::uint8_t>(value | (c - 'A' + 10));
+    } else {
+      return std::nullopt;
+    }
+  }
+  return value;
+}
+
+}  // namespace
+
+std::optional<MacAddress> MacAddress::parse(std::string_view text) {
+  // Expect exactly "xx:xx:xx:xx:xx:xx".
+  if (text.size() != 17) return std::nullopt;
+  std::array<std::uint8_t, kSize> octets{};
+  for (std::size_t i = 0; i < kSize; ++i) {
+    if (i > 0 && text[i * 3 - 1] != ':') return std::nullopt;
+    auto byte = parse_hex_byte(text.substr(i * 3, 2));
+    if (!byte) return std::nullopt;
+    octets[i] = *byte;
+  }
+  return MacAddress(octets);
+}
+
+std::string MacAddress::to_string() const {
+  char buf[18];
+  std::snprintf(buf, sizeof(buf), "%02x:%02x:%02x:%02x:%02x:%02x", octets_[0],
+                octets_[1], octets_[2], octets_[3], octets_[4], octets_[5]);
+  return buf;
+}
+
+}  // namespace nicsched::net

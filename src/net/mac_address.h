@@ -1,0 +1,72 @@
+// 48-bit Ethernet MAC addresses.
+//
+// The Stingray presents distinct MAC-addressed interfaces to the host CPU and
+// the ARM SoC, and steers every arriving frame by destination MAC; SR-IOV
+// gives each worker its own MAC-addressed virtual function (§3.3–3.4.2 of the
+// paper). MAC addresses are therefore the primary routing key in this model.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace nicsched::net {
+
+class MacAddress {
+ public:
+  static constexpr std::size_t kSize = 6;
+
+  constexpr MacAddress() = default;
+  constexpr explicit MacAddress(std::array<std::uint8_t, kSize> octets)
+      : octets_(octets) {}
+
+  /// Parses "aa:bb:cc:dd:ee:ff" (case-insensitive). Returns nullopt on any
+  /// malformed input.
+  static std::optional<MacAddress> parse(std::string_view text);
+
+  /// The broadcast address ff:ff:ff:ff:ff:ff.
+  static constexpr MacAddress broadcast() {
+    return MacAddress({0xff, 0xff, 0xff, 0xff, 0xff, 0xff});
+  }
+
+  /// Deterministic locally-administered unicast address derived from an
+  /// index; used to assign stable MACs to simulated interfaces.
+  static constexpr MacAddress from_index(std::uint32_t index) {
+    // 0x02 prefix: locally administered, unicast.
+    return MacAddress({0x02, 0x00,
+                       static_cast<std::uint8_t>(index >> 24),
+                       static_cast<std::uint8_t>(index >> 16),
+                       static_cast<std::uint8_t>(index >> 8),
+                       static_cast<std::uint8_t>(index)});
+  }
+
+  constexpr const std::array<std::uint8_t, kSize>& octets() const {
+    return octets_;
+  }
+
+  constexpr bool is_broadcast() const { return *this == broadcast(); }
+  constexpr bool is_multicast() const { return (octets_[0] & 0x01) != 0; }
+
+  std::string to_string() const;
+
+  constexpr auto operator<=>(const MacAddress&) const = default;
+
+ private:
+  std::array<std::uint8_t, kSize> octets_{};
+};
+
+}  // namespace nicsched::net
+
+template <>
+struct std::hash<nicsched::net::MacAddress> {
+  std::size_t operator()(const nicsched::net::MacAddress& mac) const noexcept {
+    std::uint64_t value = 0;
+    for (auto octet : mac.octets()) value = (value << 8) | octet;
+    return std::hash<std::uint64_t>{}(value);
+  }
+};

@@ -1,0 +1,179 @@
+#include "net/nic.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace nicsched::net {
+
+NicInterface::NicInterface(Nic& nic, std::string name, MacAddress mac,
+                           Ipv4Address ip, std::size_t ring_count,
+                           std::size_t ring_capacity)
+    : nic_(nic), name_(std::move(name)), mac_(mac), ip_(ip) {
+  if (ring_count == 0) {
+    throw std::invalid_argument("NicInterface: need at least one ring");
+  }
+  rings_.reserve(ring_count);
+  for (std::size_t i = 0; i < ring_count; ++i) {
+    rings_.push_back(std::make_unique<RxRing>(ring_capacity));
+  }
+}
+
+void NicInterface::use_rss() {
+  steering_ = Steering::kRss;
+  rss_table_.emplace(128, static_cast<std::uint32_t>(rings_.size()));
+}
+
+void NicInterface::use_flow_director() {
+  steering_ = Steering::kFlowDirector;
+  if (!rss_table_) {
+    rss_table_.emplace(128, static_cast<std::uint32_t>(rings_.size()));
+  }
+}
+
+void NicInterface::enable_tx_batching(std::size_t max_frames,
+                                      sim::Duration timeout) {
+  if (max_frames == 0) {
+    throw std::invalid_argument("enable_tx_batching: max_frames must be > 0");
+  }
+  tx_batching_ = true;
+  tx_batch_max_ = max_frames;
+  tx_batch_timeout_ = timeout;
+}
+
+void NicInterface::transmit(Packet packet) {
+  if (!tx_batching_) {
+    nic_.transmit_on_uplink(std::move(packet));
+    return;
+  }
+  tx_batch_.push_back(std::move(packet));
+  if (tx_batch_.size() >= tx_batch_max_) {
+    flush_tx_batch();
+    return;
+  }
+  if (tx_batch_.size() == 1) {
+    tx_batch_flush_ = nic_.sim().after(tx_batch_timeout_,
+                                       [this]() { flush_tx_batch(); });
+  }
+}
+
+void NicInterface::flush_tx_batch() {
+  tx_batch_flush_.cancel();
+  if (tx_batch_.empty()) return;
+  ++tx_batches_flushed_;
+  for (auto& frame : tx_batch_) {
+    nic_.transmit_on_uplink(std::move(frame));
+  }
+  tx_batch_.clear();
+}
+
+std::size_t NicInterface::select_ring(const Packet& packet) {
+  if (steering_ == Steering::kSingleQueue || rings_.size() == 1) return 0;
+
+  const auto view = parse_udp_datagram(packet);
+  if (!view) return 0;  // non-UDP traffic lands on the default ring
+  const FiveTuple tuple = view->five_tuple();
+
+  if (steering_ == Steering::kFlowDirector) {
+    if (auto queue = flow_director_.match(tuple)) {
+      return *queue % rings_.size();
+    }
+  }
+  return rss_steer(kDefaultRssKey, *rss_table_, tuple) % rings_.size();
+}
+
+void NicInterface::receive(Packet packet) {
+  const std::size_t index = select_ring(packet);
+  if (index >= rings_.size()) {
+    ++rx_no_ring_drops_;
+    return;
+  }
+  rings_[index]->push(std::move(packet));
+}
+
+NicInterface& Nic::add_interface(std::string name, MacAddress mac,
+                                 Ipv4Address ip, std::size_t ring_count) {
+  auto iface = std::make_unique<NicInterface>(*this, std::move(name), mac, ip,
+                                              ring_count,
+                                              config_.ring_capacity);
+  NicInterface* raw = iface.get();
+  if (!by_mac_.try_emplace(mac, raw).second) {
+    throw std::logic_error("Nic::add_interface: duplicate MAC " +
+                           mac.to_string());
+  }
+  interfaces_.push_back(std::move(iface));
+  return *raw;
+}
+
+void Nic::connect_uplink(PacketSink& network, sim::Duration latency,
+                         double gbps) {
+  uplink_ = std::make_unique<Wire>(sim_, network, latency, gbps);
+}
+
+void Nic::attach_to_switch(EthernetSwitch& ethernet_switch,
+                           sim::Duration latency, double gbps) {
+  for (const auto& iface : interfaces_) {
+    ethernet_switch.attach(iface->mac(), *this, latency, gbps);
+  }
+  connect_uplink(ethernet_switch.ingress(), latency, gbps);
+}
+
+void Nic::set_uplink_loss(double probability, std::uint64_t seed) {
+  if (!uplink_) {
+    throw std::logic_error("Nic::set_uplink_loss: uplink not connected");
+  }
+  uplink_->set_loss(probability, seed);
+}
+
+NicInterface* Nic::interface_by_mac(MacAddress mac) {
+  auto it = by_mac_.find(mac);
+  return it == by_mac_.end() ? nullptr : it->second;
+}
+
+const NicInterface* Nic::interface_by_mac(MacAddress mac) const {
+  auto it = by_mac_.find(mac);
+  return it == by_mac_.end() ? nullptr : it->second;
+}
+
+void Nic::deliver(Packet packet) {
+  const auto dst = packet.dst_mac();
+  if (!dst) {
+    ++rx_unknown_mac_drops_;
+    return;
+  }
+  NicInterface* iface = nullptr;
+  if (dst->is_broadcast()) {
+    // Broadcast lands on the first (physical) interface only; the simulated
+    // systems never rely on broadcast.
+    iface = interfaces_.empty() ? nullptr : interfaces_.front().get();
+  } else {
+    iface = interface_by_mac(*dst);
+  }
+  if (iface == nullptr) {
+    ++rx_unknown_mac_drops_;
+    return;
+  }
+  if (config_.rx_latency.is_zero()) {
+    iface->receive(std::move(packet));
+    return;
+  }
+  auto shared = std::make_shared<Packet>(std::move(packet));
+  sim_.after(config_.rx_latency, [iface, shared]() mutable {
+    iface->receive(std::move(*shared));
+  });
+}
+
+void Nic::transmit_on_uplink(Packet packet) {
+  if (!uplink_) {
+    throw std::logic_error("Nic::transmit_on_uplink: uplink not connected");
+  }
+  if (config_.tx_latency.is_zero()) {
+    uplink_->transmit(std::move(packet));
+    return;
+  }
+  auto shared = std::make_shared<Packet>(std::move(packet));
+  sim_.after(config_.tx_latency, [this, shared]() mutable {
+    uplink_->transmit(std::move(*shared));
+  });
+}
+
+}  // namespace nicsched::net

@@ -1,0 +1,162 @@
+// A network interface card with SR-IOV-style virtual interfaces.
+//
+// A `Nic` sits between a switch (or wire) and the simulated software. Frames
+// arriving from the network are steered by destination MAC to one of the
+// NIC's interfaces, then within the interface to an RX ring by the
+// interface's steering mode: single queue, Toeplitz RSS over the UDP
+// five-tuple, or flow-director exact match with RSS fallback. Software
+// transmits through an interface, which stamps the interface's source MAC
+// and sends on the NIC's uplink.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/ethernet_switch.h"
+#include "net/flow_director.h"
+#include "net/rx_ring.h"
+#include "net/toeplitz.h"
+#include "net/wire.h"
+#include "sim/simulator.h"
+
+namespace nicsched::net {
+
+class Nic;
+
+/// One MAC-addressed interface (a physical function or an SR-IOV virtual
+/// function) with its RX rings.
+class NicInterface {
+ public:
+  enum class Steering {
+    kSingleQueue,   // everything to ring 0
+    kRss,           // Toeplitz hash + indirection table
+    kFlowDirector,  // exact-match rules, RSS fallback
+  };
+
+  NicInterface(Nic& nic, std::string name, MacAddress mac, Ipv4Address ip,
+               std::size_t ring_count, std::size_t ring_capacity);
+
+  const std::string& name() const { return name_; }
+  MacAddress mac() const { return mac_; }
+  Ipv4Address ip() const { return ip_; }
+
+  std::size_t ring_count() const { return rings_.size(); }
+  RxRing& ring(std::size_t i) { return *rings_[i]; }
+  const RxRing& ring(std::size_t i) const { return *rings_[i]; }
+
+  void use_single_queue() { steering_ = Steering::kSingleQueue; }
+  void use_rss();
+  void use_flow_director();
+  FlowDirector& flow_director() { return flow_director_; }
+  Steering steering() const { return steering_; }
+
+  /// The live RSS indirection table, for control-plane rebalancing
+  /// (Elastic-RSS style). Null unless RSS or flow-director steering is on.
+  RssIndirectionTable* rss_table() {
+    return rss_table_ ? &*rss_table_ : nullptr;
+  }
+
+  /// Transmits a frame out of this NIC. The frame's source MAC should be
+  /// this interface's MAC (asserted in debug builds); delivery goes via the
+  /// NIC uplink.
+  void transmit(Packet packet);
+
+  /// Enables DPDK-style TX batching on this interface: frames accumulate
+  /// until `max_frames` are queued or `timeout` has elapsed since the first
+  /// queued frame, then flush together. Real DPDK senders amortize doorbell
+  /// writes this way; it trades per-frame latency for throughput. Off by
+  /// default (immediate flush).
+  void enable_tx_batching(std::size_t max_frames, sim::Duration timeout);
+
+  std::uint64_t tx_batches_flushed() const { return tx_batches_flushed_; }
+
+  /// Steers a received frame into one of this interface's rings.
+  void receive(Packet packet);
+
+  std::uint64_t rx_no_ring_drops() const { return rx_no_ring_drops_; }
+
+ private:
+  std::size_t select_ring(const Packet& packet);
+  void flush_tx_batch();
+
+  Nic& nic_;
+  std::string name_;
+  MacAddress mac_;
+  Ipv4Address ip_;
+  std::vector<std::unique_ptr<RxRing>> rings_;
+  Steering steering_ = Steering::kSingleQueue;
+  std::optional<RssIndirectionTable> rss_table_;
+  FlowDirector flow_director_;
+  std::uint64_t rx_no_ring_drops_ = 0;
+
+  bool tx_batching_ = false;
+  std::size_t tx_batch_max_ = 0;
+  sim::Duration tx_batch_timeout_;
+  std::vector<Packet> tx_batch_;
+  sim::EventHandle tx_batch_flush_;
+  std::uint64_t tx_batches_flushed_ = 0;
+};
+
+class Nic : public PacketSink {
+ public:
+  struct Config {
+    std::string name = "nic";
+    /// Latency from frame arrival at the NIC to the packet being visible in
+    /// an RX ring (PCIe DMA, descriptor write-back). DDIO's cache placement
+    /// effect is modelled as a reduction of this value.
+    sim::Duration rx_latency = sim::Duration::nanos(500);
+    /// Latency from software handing a frame to the NIC to the frame
+    /// starting serialization on the uplink (doorbell + DMA fetch).
+    sim::Duration tx_latency = sim::Duration::nanos(500);
+    std::size_t ring_capacity = 1024;
+  };
+
+  Nic(sim::Simulator& sim, Config config)
+      : sim_(sim), config_(std::move(config)) {}
+
+  /// Adds an interface. The first is conventionally the physical function;
+  /// subsequent ones model SR-IOV virtual functions (§3.4.2: "SR-IOV is used
+  /// to create enough virtual network interfaces such that there is one
+  /// virtual interface per worker").
+  NicInterface& add_interface(std::string name, MacAddress mac, Ipv4Address ip,
+                              std::size_t ring_count = 1);
+
+  /// Connects the NIC's uplink port to the network.
+  void connect_uplink(PacketSink& network, sim::Duration latency, double gbps);
+
+  /// Registers each interface MAC with `ethernet_switch` so traffic routes
+  /// back to this NIC, then connects the uplink to the switch ingress.
+  void attach_to_switch(EthernetSwitch& ethernet_switch, sim::Duration latency,
+                        double gbps);
+
+  /// Fault injection on the uplink (all frames this NIC transmits); see
+  /// Wire::set_loss. Requires the uplink to be connected.
+  void set_uplink_loss(double probability, std::uint64_t seed);
+
+  /// PacketSink: frame arriving from the network.
+  void deliver(Packet packet) override;
+
+  sim::Simulator& sim() { return sim_; }
+  const Config& config() const { return config_; }
+  NicInterface* interface_by_mac(MacAddress mac);
+  const NicInterface* interface_by_mac(MacAddress mac) const;
+  std::uint64_t rx_unknown_mac_drops() const { return rx_unknown_mac_drops_; }
+
+ private:
+  friend class NicInterface;
+  void transmit_on_uplink(Packet packet);
+
+  sim::Simulator& sim_;
+  Config config_;
+  std::vector<std::unique_ptr<NicInterface>> interfaces_;
+  std::unordered_map<MacAddress, NicInterface*> by_mac_;
+  std::unique_ptr<Wire> uplink_;
+  std::uint64_t rx_unknown_mac_drops_ = 0;
+};
+
+}  // namespace nicsched::net

@@ -1,0 +1,101 @@
+#include "net/packet.h"
+
+#include "net/checksum.h"
+
+namespace nicsched::net {
+
+std::optional<MacAddress> Packet::dst_mac() const {
+  if (bytes_.size() < EthernetHeader::kSize) return std::nullopt;
+  std::array<std::uint8_t, MacAddress::kSize> octets{};
+  std::copy(bytes_.begin(), bytes_.begin() + MacAddress::kSize,
+            octets.begin());
+  return MacAddress(octets);
+}
+
+Packet make_udp_datagram(const DatagramAddress& address,
+                         std::span<const std::uint8_t> payload) {
+  const std::size_t udp_length = UdpHeader::kSize + payload.size();
+  const std::size_t ip_length = Ipv4Header::kSize + udp_length;
+
+  std::vector<std::uint8_t> frame;
+  frame.reserve(EthernetHeader::kSize + ip_length);
+  ByteWriter writer(frame);
+
+  EthernetHeader eth;
+  eth.dst = address.dst_mac;
+  eth.src = address.src_mac;
+  eth.ether_type = static_cast<std::uint16_t>(EtherType::kIpv4);
+  eth.serialize(writer);
+
+  Ipv4Header ip;
+  ip.total_length = static_cast<std::uint16_t>(ip_length);
+  ip.src = address.src_ip;
+  ip.dst = address.dst_ip;
+  ip.serialize(writer);
+
+  // Build the UDP segment separately so the checksum can cover it.
+  std::vector<std::uint8_t> segment;
+  segment.reserve(udp_length);
+  ByteWriter segment_writer(segment);
+  UdpHeader udp;
+  udp.src_port = address.src_port;
+  udp.dst_port = address.dst_port;
+  udp.length = static_cast<std::uint16_t>(udp_length);
+  udp.checksum = 0;
+  udp.serialize(segment_writer);
+  segment_writer.bytes(payload);
+
+  const std::uint16_t checksum =
+      udp_checksum(address.src_ip, address.dst_ip, segment);
+  segment[6] = static_cast<std::uint8_t>(checksum >> 8);
+  segment[7] = static_cast<std::uint8_t>(checksum);
+
+  writer.bytes(segment);
+  return Packet(std::move(frame));
+}
+
+std::optional<UdpDatagramView> parse_udp_datagram(const Packet& packet) {
+  ByteReader reader(packet.bytes());
+
+  auto eth = EthernetHeader::parse(reader);
+  if (!eth) return std::nullopt;
+  if (eth->ether_type != static_cast<std::uint16_t>(EtherType::kIpv4)) {
+    return std::nullopt;
+  }
+
+  // The UDP checksum needs the raw segment, so remember where IP starts.
+  const std::size_t ip_offset = reader.position();
+  auto ip = Ipv4Header::parse(reader);
+  if (!ip) return std::nullopt;
+  if (ip->protocol != static_cast<std::uint8_t>(IpProtocol::kUdp)) {
+    return std::nullopt;
+  }
+  if (ip->total_length < Ipv4Header::kSize + UdpHeader::kSize) {
+    return std::nullopt;
+  }
+  const std::size_t ip_payload_len = ip->total_length - Ipv4Header::kSize;
+  if (reader.remaining() < ip_payload_len) return std::nullopt;
+
+  auto udp = UdpHeader::parse(reader);
+  if (!udp) return std::nullopt;
+  if (udp->length != ip_payload_len) return std::nullopt;
+
+  const std::size_t payload_len = udp->length - UdpHeader::kSize;
+  auto payload = reader.bytes(payload_len);
+
+  if (udp->checksum != 0) {
+    auto segment = packet.bytes().subspan(ip_offset + Ipv4Header::kSize,
+                                          udp->length);
+    InternetChecksum verify;
+    verify.add_u32(ip->src.bits());
+    verify.add_u32(ip->dst.bits());
+    verify.add_u16(17);
+    verify.add_u16(udp->length);
+    verify.add(segment);
+    if (verify.finish() != 0) return std::nullopt;
+  }
+
+  return UdpDatagramView{*eth, *ip, *udp, payload};
+}
+
+}  // namespace nicsched::net

@@ -1,0 +1,112 @@
+// Wire packets: an owned Ethernet frame plus build/parse helpers for the
+// UDP/IPv4 datagrams every component exchanges.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "net/ethernet.h"
+#include "net/ipv4.h"
+#include "net/mac_address.h"
+#include "net/udp.h"
+
+namespace nicsched::net {
+
+/// The UDP/IPv4 five-tuple identifying a flow; the key for RSS hashing and
+/// flow-director steering.
+struct FiveTuple {
+  Ipv4Address src_ip;
+  Ipv4Address dst_ip;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint8_t protocol = static_cast<std::uint8_t>(IpProtocol::kUdp);
+
+  bool operator==(const FiveTuple&) const = default;
+};
+
+/// An Ethernet frame as it exists on the wire: owned bytes. Minimum frame
+/// size padding (64 bytes on real Ethernet) is accounted for in transmission
+/// time by the link model, not by padding the buffer.
+class Packet {
+ public:
+  Packet() = default;
+  explicit Packet(std::vector<std::uint8_t> bytes) : bytes_(std::move(bytes)) {}
+
+  std::span<const std::uint8_t> bytes() const { return bytes_; }
+  std::size_t size() const { return bytes_.size(); }
+
+  /// Size the link model charges for: real Ethernet pads runts to 64 bytes
+  /// and adds a 20-byte preamble+IPG overhead per frame.
+  std::size_t wire_size() const {
+    const std::size_t frame = bytes_.size() < 64 ? 64 : bytes_.size();
+    return frame + 20;
+  }
+
+  /// Destination MAC, if the frame has at least an Ethernet header.
+  std::optional<MacAddress> dst_mac() const;
+
+  bool operator==(const Packet&) const = default;
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+/// Addressing for building a UDP datagram.
+struct DatagramAddress {
+  MacAddress src_mac;
+  MacAddress dst_mac;
+  Ipv4Address src_ip;
+  Ipv4Address dst_ip;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+
+  /// Swapped source/destination, for replying to a received datagram.
+  DatagramAddress reversed() const {
+    return DatagramAddress{dst_mac, src_mac, dst_ip, src_ip, dst_port,
+                           src_port};
+  }
+};
+
+/// Builds a full Ethernet/IPv4/UDP frame around `payload`, computing lengths
+/// and both checksums.
+Packet make_udp_datagram(const DatagramAddress& address,
+                         std::span<const std::uint8_t> payload);
+
+/// A parsed view of a received UDP datagram. `payload` points into the
+/// originating packet's buffer and is only valid while that packet lives.
+struct UdpDatagramView {
+  EthernetHeader eth;
+  Ipv4Header ip;
+  UdpHeader udp;
+  std::span<const std::uint8_t> payload;
+
+  FiveTuple five_tuple() const {
+    return FiveTuple{ip.src, ip.dst, udp.src_port, udp.dst_port, ip.protocol};
+  }
+
+  DatagramAddress address() const {
+    return DatagramAddress{eth.src, eth.dst, ip.src, ip.dst, udp.src_port,
+                           udp.dst_port};
+  }
+};
+
+/// Parses and validates an Ethernet/IPv4/UDP frame: checks EtherType,
+/// IP header checksum, protocol, lengths, and (when present) the UDP
+/// checksum. Returns nullopt for anything malformed.
+std::optional<UdpDatagramView> parse_udp_datagram(const Packet& packet);
+
+}  // namespace nicsched::net
+
+template <>
+struct std::hash<nicsched::net::FiveTuple> {
+  std::size_t operator()(const nicsched::net::FiveTuple& t) const noexcept {
+    std::size_t h = std::hash<std::uint32_t>{}(t.src_ip.bits());
+    h = h * 31 + std::hash<std::uint32_t>{}(t.dst_ip.bits());
+    h = h * 31 + t.src_port;
+    h = h * 31 + t.dst_port;
+    h = h * 31 + t.protocol;
+    return h;
+  }
+};

@@ -1,0 +1,110 @@
+#include "net/toeplitz.h"
+
+#include <stdexcept>
+
+namespace nicsched::net {
+
+std::uint32_t toeplitz_hash(std::span<const std::uint8_t> key,
+                            std::span<const std::uint8_t> input) {
+  if (key.size() < input.size() + 4) {
+    throw std::invalid_argument("toeplitz_hash: key too short for input");
+  }
+  std::uint32_t result = 0;
+  // Sliding 32-bit window over the key, advanced one bit per input bit.
+  std::uint32_t window = (static_cast<std::uint32_t>(key[0]) << 24) |
+                         (static_cast<std::uint32_t>(key[1]) << 16) |
+                         (static_cast<std::uint32_t>(key[2]) << 8) |
+                         static_cast<std::uint32_t>(key[3]);
+  std::size_t next_key_byte = 4;
+  std::uint8_t pending = key[next_key_byte];
+  int pending_bits = 8;
+
+  for (std::uint8_t byte : input) {
+    for (int bit = 7; bit >= 0; --bit) {
+      if ((byte >> bit) & 1) result ^= window;
+      // Shift the window left one bit, pulling in the next key bit.
+      window = (window << 1) | ((pending >> (pending_bits - 1)) & 1);
+      if (--pending_bits == 0) {
+        ++next_key_byte;
+        pending = next_key_byte < key.size() ? key[next_key_byte] : 0;
+        pending_bits = 8;
+      }
+    }
+  }
+  return result;
+}
+
+std::uint32_t rss_hash_ipv4(std::span<const std::uint8_t> key,
+                            Ipv4Address src, Ipv4Address dst) {
+  std::array<std::uint8_t, 8> input{};
+  const auto s = src.octets();
+  const auto d = dst.octets();
+  std::copy(s.begin(), s.end(), input.begin());
+  std::copy(d.begin(), d.end(), input.begin() + 4);
+  return toeplitz_hash(key, input);
+}
+
+std::uint32_t rss_hash_ipv4_ports(std::span<const std::uint8_t> key,
+                                  Ipv4Address src, Ipv4Address dst,
+                                  std::uint16_t src_port,
+                                  std::uint16_t dst_port) {
+  std::array<std::uint8_t, 12> input{};
+  const auto s = src.octets();
+  const auto d = dst.octets();
+  std::copy(s.begin(), s.end(), input.begin());
+  std::copy(d.begin(), d.end(), input.begin() + 4);
+  input[8] = static_cast<std::uint8_t>(src_port >> 8);
+  input[9] = static_cast<std::uint8_t>(src_port);
+  input[10] = static_cast<std::uint8_t>(dst_port >> 8);
+  input[11] = static_cast<std::uint8_t>(dst_port);
+  return toeplitz_hash(key, input);
+}
+
+RssIndirectionTable::RssIndirectionTable(std::size_t table_size,
+                                         std::uint32_t queue_count)
+    : table_(table_size), mask_(static_cast<std::uint32_t>(table_size - 1)) {
+  if (table_size == 0 || (table_size & (table_size - 1)) != 0) {
+    throw std::invalid_argument(
+        "RssIndirectionTable: size must be a power of two");
+  }
+  if (queue_count == 0) {
+    throw std::invalid_argument("RssIndirectionTable: need at least 1 queue");
+  }
+  for (std::size_t i = 0; i < table_size; ++i) {
+    table_[i] = static_cast<std::uint32_t>(i) % queue_count;
+  }
+}
+
+void RssIndirectionTable::remap(std::uint32_t from, std::uint32_t to) {
+  for (auto& entry : table_) {
+    if (entry == from) entry = to;
+  }
+}
+
+bool RssIndirectionTable::remap_one(std::uint32_t from, std::uint32_t to) {
+  for (auto& entry : table_) {
+    if (entry == from) {
+      entry = to;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::size_t RssIndirectionTable::entries_for(std::uint32_t queue) const {
+  std::size_t count = 0;
+  for (const auto entry : table_) {
+    if (entry == queue) ++count;
+  }
+  return count;
+}
+
+std::uint32_t rss_steer(std::span<const std::uint8_t> key,
+                        const RssIndirectionTable& table,
+                        const FiveTuple& tuple) {
+  const std::uint32_t hash = rss_hash_ipv4_ports(
+      key, tuple.src_ip, tuple.dst_ip, tuple.src_port, tuple.dst_port);
+  return table.queue_for_hash(hash);
+}
+
+}  // namespace nicsched::net

@@ -1,0 +1,79 @@
+// Toeplitz hash and RSS indirection, as specified by Microsoft's Receive
+// Side Scaling documentation and implemented by commodity NICs (e.g. the
+// Intel 82599ES that vanilla Shinjuku runs on). RSS is the baseline request
+// "scheduler" the paper argues against (§2.1): it spreads flows across core
+// queues with no knowledge of core load.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "net/packet.h"
+
+namespace nicsched::net {
+
+/// The 40-byte default hash key from the Microsoft RSS verification suite.
+/// Using the canonical key lets tests check against the published vectors.
+inline constexpr std::array<std::uint8_t, 40> kDefaultRssKey = {
+    0x6d, 0x5a, 0x56, 0xda, 0x25, 0x5b, 0x0e, 0xc2, 0x41, 0x67,
+    0x25, 0x3d, 0x43, 0xa3, 0x8f, 0xb0, 0xd0, 0xca, 0x2b, 0xcb,
+    0xae, 0x7b, 0x30, 0xb4, 0x77, 0xcb, 0x2d, 0xa3, 0x80, 0x30,
+    0xf2, 0x0c, 0x6a, 0x42, 0xb7, 0x3b, 0xbe, 0xac, 0x01, 0xfa,
+};
+
+/// Computes the Toeplitz hash of `input` under `key`. `input` must be at
+/// most `key.size() - 4` bytes so that 32 key bits remain for the last
+/// input bit.
+std::uint32_t toeplitz_hash(std::span<const std::uint8_t> key,
+                            std::span<const std::uint8_t> input);
+
+/// Hash over the IPv4 2-tuple (source address, destination address).
+std::uint32_t rss_hash_ipv4(std::span<const std::uint8_t> key,
+                            Ipv4Address src, Ipv4Address dst);
+
+/// Hash over the IPv4 4-tuple (source address, destination address, source
+/// port, destination port) — the TCP/UDP input in the RSS specification.
+std::uint32_t rss_hash_ipv4_ports(std::span<const std::uint8_t> key,
+                                  Ipv4Address src, Ipv4Address dst,
+                                  std::uint16_t src_port,
+                                  std::uint16_t dst_port);
+
+/// RSS indirection table: maps the low bits of the hash to a queue index,
+/// as NIC hardware does (the table is typically 128 entries).
+class RssIndirectionTable {
+ public:
+  /// Builds a table of `table_size` entries spreading round-robin over
+  /// `queue_count` queues.
+  RssIndirectionTable(std::size_t table_size, std::uint32_t queue_count);
+
+  std::uint32_t queue_for_hash(std::uint32_t hash) const {
+    return table_[hash & mask_];
+  }
+
+  /// Repoints every entry currently mapped to `from` to `to`; models the
+  /// (slow, control-plane) rebalancing real NICs support.
+  void remap(std::uint32_t from, std::uint32_t to);
+
+  /// Repoints a single entry from `from` to `to` (fine-grained, Elastic-RSS
+  /// style rebalancing). Returns false if no entry maps to `from`.
+  bool remap_one(std::uint32_t from, std::uint32_t to);
+
+  /// Number of entries currently mapping to `queue`.
+  std::size_t entries_for(std::uint32_t queue) const;
+
+  std::size_t size() const { return table_.size(); }
+  std::uint32_t entry(std::size_t i) const { return table_[i]; }
+
+ private:
+  std::vector<std::uint32_t> table_;
+  std::uint32_t mask_;
+};
+
+/// Convenience: the steering decision an RSS NIC makes for a UDP datagram.
+std::uint32_t rss_steer(std::span<const std::uint8_t> key,
+                        const RssIndirectionTable& table,
+                        const FiveTuple& tuple);
+
+}  // namespace nicsched::net

@@ -1,0 +1,23 @@
+#include "net/udp.h"
+
+namespace nicsched::net {
+
+void UdpHeader::serialize(ByteWriter& writer) const {
+  writer.u16(src_port);
+  writer.u16(dst_port);
+  writer.u16(length);
+  writer.u16(checksum);
+}
+
+std::optional<UdpHeader> UdpHeader::parse(ByteReader& reader) {
+  if (reader.remaining() < kSize) return std::nullopt;
+  UdpHeader header;
+  header.src_port = reader.u16();
+  header.dst_port = reader.u16();
+  header.length = reader.u16();
+  header.checksum = reader.u16();
+  if (header.length < kSize) return std::nullopt;
+  return header;
+}
+
+}  // namespace nicsched::net

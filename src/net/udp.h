@@ -1,0 +1,29 @@
+// UDP header (RFC 768). The paper's systems carry every message — client
+// requests, dispatcher→worker assignments, worker notifications, responses —
+// as UDP datagrams (§3.4.2), so UDP is the only transport modelled.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "net/byte_io.h"
+#include "net/ipv4_address.h"
+
+namespace nicsched::net {
+
+struct UdpHeader {
+  static constexpr std::size_t kSize = 8;
+
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint16_t length = 0;    // header + payload, bytes
+  std::uint16_t checksum = 0;  // 0 = not computed
+
+  void serialize(ByteWriter& writer) const;
+
+  static std::optional<UdpHeader> parse(ByteReader& reader);
+
+  bool operator==(const UdpHeader&) const = default;
+};
+
+}  // namespace nicsched::net

@@ -1,0 +1,30 @@
+#include "net/wire.h"
+
+#include <memory>
+#include <utility>
+
+namespace nicsched::net {
+
+void Wire::transmit(Packet packet) {
+  const sim::TimePoint start =
+      port_free_ > sim_.now() ? port_free_ : sim_.now();
+  const sim::TimePoint tx_done = start + serialization_delay(packet.wire_size());
+  port_free_ = tx_done;
+
+  stats_.packets += 1;
+  stats_.bytes += packet.size();
+
+  if (loss_rng_ && loss_rng_->bernoulli(loss_probability_)) {
+    ++stats_.lost;
+    return;  // the serialization slot above is still consumed
+  }
+
+  const sim::TimePoint arrival = tx_done + latency_;
+  // Move the packet into the event closure; it is delivered exactly once.
+  auto shared = std::make_shared<Packet>(std::move(packet));
+  sim_.at(arrival, [this, shared]() mutable {
+    destination_.deliver(std::move(*shared));
+  });
+}
+
+}  // namespace nicsched::net

@@ -1,0 +1,76 @@
+// Point-to-point transmission: the `PacketSink` interface every receiving
+// element implements, and the `Wire`, a unidirectional path with propagation
+// latency and store-and-forward serialization at a fixed line rate.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "net/packet.h"
+#include "sim/random.h"
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace nicsched::net {
+
+/// Anything that can accept a packet at the current simulated instant.
+class PacketSink {
+ public:
+  virtual ~PacketSink() = default;
+
+  /// Called by the delivering element at the packet's arrival time.
+  virtual void deliver(Packet packet) = 0;
+};
+
+/// A unidirectional wire. Packets serialize onto the wire in FIFO order at
+/// `gbps`, then propagate for `latency`. Two wires back-to-back model a
+/// full-duplex link.
+class Wire {
+ public:
+  struct Stats {
+    std::uint64_t packets = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t lost = 0;
+  };
+
+  Wire(sim::Simulator& sim, PacketSink& destination, sim::Duration latency,
+       double gbps)
+      : sim_(sim), destination_(destination), latency_(latency), gbps_(gbps) {}
+
+  Wire(const Wire&) = delete;
+  Wire& operator=(const Wire&) = delete;
+
+  /// Queues `packet` for transmission. The packet is delivered to the
+  /// destination at serialization-end + latency.
+  void transmit(Packet packet);
+
+  /// Fault injection: drop each frame independently with `probability`
+  /// (CRC corruption / congestion loss on the path). Dropped frames still
+  /// occupy the transmitter's serialization slot. Deterministic in `seed`.
+  void set_loss(double probability, std::uint64_t seed) {
+    loss_probability_ = probability;
+    loss_rng_.emplace(seed);
+  }
+
+  const Stats& stats() const { return stats_; }
+  sim::Duration latency() const { return latency_; }
+
+  /// Serialization time for `bytes` on this wire.
+  sim::Duration serialization_delay(std::size_t bytes) const {
+    // bits / (gbps * 1e9 bits/s) seconds = bits / gbps nanoseconds.
+    return sim::Duration::nanos(static_cast<double>(bytes) * 8.0 / gbps_);
+  }
+
+ private:
+  sim::Simulator& sim_;
+  PacketSink& destination_;
+  sim::Duration latency_;
+  double gbps_;
+  sim::TimePoint port_free_;  // when the transmitter finishes its last frame
+  Stats stats_;
+  double loss_probability_ = 0.0;
+  std::optional<sim::Rng> loss_rng_;
+};
+
+}  // namespace nicsched::net

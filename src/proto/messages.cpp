@@ -1,0 +1,158 @@
+#include "proto/messages.h"
+
+namespace nicsched::proto {
+
+namespace {
+
+void write_header(net::ByteWriter& writer, MessageType type) {
+  writer.u16(kMagic);
+  writer.u8(kVersion);
+  writer.u8(static_cast<std::uint8_t>(type));
+}
+
+/// Validates magic/version/type and positions `reader` after the header.
+bool read_header(net::ByteReader& reader, MessageType expected) {
+  if (reader.remaining() < 4) return false;
+  if (reader.u16() != kMagic) return false;
+  if (reader.u8() != kVersion) return false;
+  return reader.u8() == static_cast<std::uint8_t>(expected);
+}
+
+}  // namespace
+
+std::optional<MessageType> peek_type(std::span<const std::uint8_t> payload) {
+  if (payload.size() < 4) return std::nullopt;
+  net::ByteReader reader(payload);
+  if (reader.u16() != kMagic) return std::nullopt;
+  if (reader.u8() != kVersion) return std::nullopt;
+  const std::uint8_t type = reader.u8();
+  if (type < static_cast<std::uint8_t>(MessageType::kRequest) ||
+      type > static_cast<std::uint8_t>(MessageType::kResponse)) {
+    return std::nullopt;
+  }
+  return static_cast<MessageType>(type);
+}
+
+std::vector<std::uint8_t> RequestMessage::serialize() const {
+  std::vector<std::uint8_t> out;
+  out.reserve(28 + padding);
+  net::ByteWriter writer(out);
+  write_header(writer, MessageType::kRequest);
+  writer.u64(request_id);
+  writer.u32(client_id);
+  writer.u16(kind);
+  writer.u64(work_ps);
+  writer.u16(padding);
+  out.resize(out.size() + padding, 0);
+  return out;
+}
+
+std::optional<RequestMessage> RequestMessage::parse(
+    std::span<const std::uint8_t> payload) {
+  net::ByteReader reader(payload);
+  if (!read_header(reader, MessageType::kRequest)) return std::nullopt;
+  if (reader.remaining() < 24) return std::nullopt;
+  RequestMessage message;
+  message.request_id = reader.u64();
+  message.client_id = reader.u32();
+  message.kind = reader.u16();
+  message.work_ps = reader.u64();
+  message.padding = reader.u16();
+  if (reader.remaining() < message.padding) return std::nullopt;
+  return message;
+}
+
+std::vector<std::uint8_t> RequestDescriptor::serialize(
+    MessageType type) const {
+  std::vector<std::uint8_t> out;
+  out.reserve(48);
+  net::ByteWriter writer(out);
+  write_header(writer, type);
+  writer.u64(request_id);
+  writer.u32(client_id);
+  writer.u16(kind);
+  writer.u64(remaining_ps);
+  writer.u64(total_ps);
+  writer.u16(preempt_count);
+  writer.u32(queue_depth);
+  writer.bytes(client_mac.octets());
+  writer.u32(client_ip.bits());
+  writer.u16(client_port);
+  return out;
+}
+
+std::optional<RequestDescriptor> RequestDescriptor::parse(
+    std::span<const std::uint8_t> payload, MessageType expected_type) {
+  if (expected_type != MessageType::kAssignment &&
+      expected_type != MessageType::kPreemption) {
+    return std::nullopt;
+  }
+  net::ByteReader reader(payload);
+  if (!read_header(reader, expected_type)) return std::nullopt;
+  if (reader.remaining() < 48) return std::nullopt;
+  RequestDescriptor descriptor;
+  descriptor.request_id = reader.u64();
+  descriptor.client_id = reader.u32();
+  descriptor.kind = reader.u16();
+  descriptor.remaining_ps = reader.u64();
+  descriptor.total_ps = reader.u64();
+  descriptor.preempt_count = reader.u16();
+  descriptor.queue_depth = reader.u32();
+  std::array<std::uint8_t, net::MacAddress::kSize> mac{};
+  auto mac_bytes = reader.bytes(net::MacAddress::kSize);
+  std::copy(mac_bytes.begin(), mac_bytes.end(), mac.begin());
+  descriptor.client_mac = net::MacAddress(mac);
+  descriptor.client_ip = net::Ipv4Address(reader.u32());
+  descriptor.client_port = reader.u16();
+  return descriptor;
+}
+
+std::vector<std::uint8_t> CompletionMessage::serialize() const {
+  std::vector<std::uint8_t> out;
+  out.reserve(16);
+  net::ByteWriter writer(out);
+  write_header(writer, MessageType::kCompletion);
+  writer.u64(request_id);
+  writer.u32(worker_id);
+  return out;
+}
+
+std::optional<CompletionMessage> CompletionMessage::parse(
+    std::span<const std::uint8_t> payload) {
+  net::ByteReader reader(payload);
+  if (!read_header(reader, MessageType::kCompletion)) return std::nullopt;
+  if (reader.remaining() < 12) return std::nullopt;
+  CompletionMessage message;
+  message.request_id = reader.u64();
+  message.worker_id = reader.u32();
+  return message;
+}
+
+std::vector<std::uint8_t> ResponseMessage::serialize() const {
+  std::vector<std::uint8_t> out;
+  out.reserve(16);
+  net::ByteWriter writer(out);
+  write_header(writer, MessageType::kResponse);
+  writer.u64(request_id);
+  writer.u32(client_id);
+  writer.u16(kind);
+  writer.u16(preempt_count);
+  writer.u32(queue_depth);
+  return out;
+}
+
+std::optional<ResponseMessage> ResponseMessage::parse(
+    std::span<const std::uint8_t> payload) {
+  net::ByteReader reader(payload);
+  if (!read_header(reader, MessageType::kResponse)) return std::nullopt;
+  if (reader.remaining() < 20) return std::nullopt;
+  ResponseMessage message;
+  message.request_id = reader.u64();
+  message.client_id = reader.u32();
+  message.kind = reader.u16();
+  message.preempt_count = reader.u16();
+  message.queue_depth = reader.u32();
+  return message;
+}
+
+}  // namespace nicsched::proto

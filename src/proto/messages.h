@@ -1,0 +1,114 @@
+// Application-level wire messages.
+//
+// Every message travels as a UDP payload (§3.4.2). Five message types cover
+// the whole system:
+//
+//   kRequest     client → server        carries the synthetic service time
+//   kAssignment  dispatcher → worker    a request descriptor to execute
+//   kPreemption  worker → dispatcher    descriptor with remaining work
+//   kCompletion  worker → dispatcher    frees the worker's dispatcher slot
+//   kResponse    worker → client        completes the request
+//
+// The synthetic workload (§4.1) encodes "fake work that keeps the server
+// busy for a specific amount of time" as `work_ps` in the request payload.
+// Preempted requests save their progress host-side; on the wire the
+// descriptor's `remaining_ps` shrinks while `total_ps` records the original.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "net/byte_io.h"
+#include "net/ipv4_address.h"
+#include "net/mac_address.h"
+
+namespace nicsched::proto {
+
+inline constexpr std::uint16_t kMagic = 0x4E53;  // "NS"
+inline constexpr std::uint8_t kVersion = 1;
+
+enum class MessageType : std::uint8_t {
+  kRequest = 1,
+  kAssignment = 2,
+  kPreemption = 3,
+  kCompletion = 4,
+  kResponse = 5,
+};
+
+/// Peeks at a payload's message type without a full parse.
+std::optional<MessageType> peek_type(std::span<const std::uint8_t> payload);
+
+/// A client's request. `padding` inflates the datagram to model different
+/// request sizes (the paper's 64 B vs 1 KiB discussion, §1).
+struct RequestMessage {
+  std::uint64_t request_id = 0;
+  std::uint32_t client_id = 0;
+  std::uint16_t kind = 0;        // workload class (short/long, app id, ...)
+  std::uint64_t work_ps = 0;     // synthetic service time, picoseconds
+  std::uint16_t padding = 0;     // extra payload bytes appended on the wire
+
+  std::vector<std::uint8_t> serialize() const;
+  static std::optional<RequestMessage> parse(
+      std::span<const std::uint8_t> payload);
+
+  bool operator==(const RequestMessage&) const = default;
+};
+
+/// Everything a worker needs to execute (or resume) a request and reply to
+/// the client directly. Flows dispatcher→worker as kAssignment and
+/// worker→dispatcher as kPreemption.
+struct RequestDescriptor {
+  std::uint64_t request_id = 0;
+  std::uint32_t client_id = 0;
+  std::uint16_t kind = 0;
+  std::uint64_t remaining_ps = 0;  // work still to execute
+  std::uint64_t total_ps = 0;      // original service time
+  std::uint16_t preempt_count = 0;
+  /// Centralized-queue depth when the scheduler dispatched this request;
+  /// echoed to the client in the response as congestion feedback (§5.2's
+  /// scheduling/congestion-control co-design).
+  std::uint32_t queue_depth = 0;
+  net::MacAddress client_mac;
+  net::Ipv4Address client_ip;
+  std::uint16_t client_port = 0;
+
+  std::vector<std::uint8_t> serialize(MessageType type) const;
+  static std::optional<RequestDescriptor> parse(
+      std::span<const std::uint8_t> payload, MessageType expected_type);
+
+  bool operator==(const RequestDescriptor&) const = default;
+};
+
+/// Worker → dispatcher: request finished; the dispatcher slot for this
+/// worker can be refilled.
+struct CompletionMessage {
+  std::uint64_t request_id = 0;
+  std::uint32_t worker_id = 0;
+
+  std::vector<std::uint8_t> serialize() const;
+  static std::optional<CompletionMessage> parse(
+      std::span<const std::uint8_t> payload);
+
+  bool operator==(const CompletionMessage&) const = default;
+};
+
+/// Worker → client.
+struct ResponseMessage {
+  std::uint64_t request_id = 0;
+  std::uint32_t client_id = 0;
+  std::uint16_t kind = 0;
+  std::uint16_t preempt_count = 0;
+  /// Scheduler queue depth observed when this request was dispatched —
+  /// the host-side load feedback a JIT congestion controller consumes.
+  std::uint32_t queue_depth = 0;
+
+  std::vector<std::uint8_t> serialize() const;
+  static std::optional<ResponseMessage> parse(
+      std::span<const std::uint8_t> payload);
+
+  bool operator==(const ResponseMessage&) const = default;
+};
+
+}  // namespace nicsched::proto

@@ -1,0 +1,54 @@
+#include "sim/event_queue.h"
+
+#include <utility>
+
+namespace nicsched::sim {
+
+EventHandle EventQueue::schedule(TimePoint when,
+                                 std::function<void()> callback) {
+  auto state = std::make_shared<detail::EventState>();
+  state->callback = std::move(callback);
+  EventHandle handle{std::weak_ptr<detail::EventState>(state)};
+  heap_.push(Entry{when, next_seq_++, std::move(state)});
+  return handle;
+}
+
+void EventQueue::drop_cancelled_top() {
+  while (!heap_.empty() && heap_.top().state->cancelled) heap_.pop();
+}
+
+bool EventQueue::pop_next(TimePoint& when, std::function<void()>& callback) {
+  drop_cancelled_top();
+  if (heap_.empty()) return false;
+  // Move the entry out before returning: the callback may schedule new
+  // events and mutate the heap when the caller fires it.
+  Entry entry = heap_.top();
+  heap_.pop();
+  when = entry.when;
+  callback = std::move(entry.state->callback);
+  return true;
+}
+
+TimePoint EventQueue::next_event_time() {
+  drop_cancelled_top();
+  if (heap_.empty()) return TimePoint::max();
+  return heap_.top().when;
+}
+
+bool EventQueue::empty() {
+  drop_cancelled_top();
+  return heap_.empty();
+}
+
+std::size_t EventQueue::live_count() const {
+  // priority_queue hides its container; copy and drain. Test-only helper.
+  auto copy = heap_;
+  std::size_t live = 0;
+  while (!copy.empty()) {
+    if (!copy.top().state->cancelled) ++live;
+    copy.pop();
+  }
+  return live;
+}
+
+}  // namespace nicsched::sim

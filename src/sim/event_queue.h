@@ -1,0 +1,99 @@
+// Cancellable pending-event queue for the discrete-event simulator.
+//
+// Events fire in (time, insertion-sequence) order, so simultaneous events run
+// in the order they were scheduled — a deterministic tie-break that keeps
+// whole-simulation results reproducible for a given seed.
+//
+// Cancellation is lazy: `EventHandle::cancel()` marks the event and the queue
+// drops it when it reaches the top. This keeps scheduling O(log n) and is the
+// common idiom for timers that are almost always re-armed (e.g. preemption
+// timers cancelled when a request finishes early).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace nicsched::sim {
+
+namespace detail {
+struct EventState {
+  std::function<void()> callback;
+  bool cancelled = false;
+};
+}  // namespace detail
+
+/// A handle to a scheduled event. Default-constructed handles refer to no
+/// event; all operations on them are safe no-ops. Handles do not keep the
+/// event alive — they observe it.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// Prevents the event from firing. Safe to call multiple times, after the
+  /// event fired, or on an empty handle.
+  void cancel() {
+    if (auto state = state_.lock()) state->cancelled = true;
+  }
+
+  /// True if the event is still scheduled to fire (not cancelled, not fired).
+  bool pending() const {
+    auto state = state_.lock();
+    return state != nullptr && !state->cancelled;
+  }
+
+ private:
+  friend class EventQueue;
+  explicit EventHandle(std::weak_ptr<detail::EventState> state)
+      : state_(std::move(state)) {}
+
+  std::weak_ptr<detail::EventState> state_;
+};
+
+/// Min-heap of pending events ordered by (fire time, insertion sequence).
+class EventQueue {
+ public:
+  /// Schedules `callback` to fire at absolute time `when`.
+  EventHandle schedule(TimePoint when, std::function<void()> callback);
+
+  /// Removes the earliest live event without firing it, skipping cancelled
+  /// events. Returns false if no live event remains. The caller advances its
+  /// clock to `when` before invoking `callback`, so callbacks always observe
+  /// the correct current time.
+  bool pop_next(TimePoint& when, std::function<void()>& callback);
+
+  /// Timestamp of the earliest live event, or TimePoint::max() if none.
+  TimePoint next_event_time();
+
+  bool empty();
+
+  /// Number of live (non-cancelled) events. O(n); intended for tests.
+  std::size_t live_count() const;
+
+  /// Total events ever scheduled; monotonically increasing.
+  std::uint64_t scheduled_count() const { return next_seq_; }
+
+ private:
+  struct Entry {
+    TimePoint when;
+    std::uint64_t seq;
+    std::shared_ptr<detail::EventState> state;
+
+    // std::priority_queue is a max-heap; invert so earliest fires first.
+    bool operator<(const Entry& other) const {
+      if (when != other.when) return when > other.when;
+      return seq > other.seq;
+    }
+  };
+
+  void drop_cancelled_top();
+
+  std::priority_queue<Entry> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace nicsched::sim

@@ -1,0 +1,96 @@
+// The discrete-event simulator driving every modelled component.
+//
+// A `Simulator` owns the clock and the event queue. Components hold a
+// reference to it and schedule callbacks; the main loop fires events in
+// timestamp order and advances the clock to each event's time. The design is
+// single-threaded on purpose: determinism (same seed → bit-identical result)
+// is what makes the reproduction's experiments debuggable and its tests
+// meaningful.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+
+#include "sim/event_queue.h"
+#include "sim/time.h"
+#include "sim/trace.h"
+
+namespace nicsched::sim {
+
+class Simulator {
+ public:
+  Simulator() = default;
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time. Monotonically non-decreasing.
+  TimePoint now() const { return now_; }
+
+  /// Schedules `fn` to run at absolute time `when`. Scheduling in the past
+  /// is a logic error and throws.
+  EventHandle at(TimePoint when, std::function<void()> fn) {
+    if (when < now_) {
+      throw std::logic_error("Simulator::at: scheduling into the past");
+    }
+    return queue_.schedule(when, std::move(fn));
+  }
+
+  /// Schedules `fn` to run `delay` after the current time.
+  EventHandle after(Duration delay, std::function<void()> fn) {
+    if (delay.is_negative()) {
+      throw std::logic_error("Simulator::after: negative delay");
+    }
+    return queue_.schedule(now_ + delay, std::move(fn));
+  }
+
+  /// Schedules `fn` at the current time, after all callbacks already queued
+  /// for this instant. Used to decouple call chains without advancing time.
+  EventHandle defer(std::function<void()> fn) {
+    return queue_.schedule(now_, std::move(fn));
+  }
+
+  /// Runs events until the queue drains or `stop()` is called. Returns the
+  /// number of events fired.
+  std::uint64_t run();
+
+  /// Runs events with timestamps <= `deadline`; the clock finishes at
+  /// `deadline` even if the queue drained earlier. Returns events fired.
+  std::uint64_t run_until(TimePoint deadline);
+
+  /// Convenience: run_until(now() + span).
+  std::uint64_t run_for(Duration span) { return run_until(now_ + span); }
+
+  /// Fires exactly one event if present. Returns false if queue is empty.
+  bool step();
+
+  /// Makes run()/run_until() return after the current event completes.
+  void stop() { stopped_ = true; }
+
+  bool stopped() const { return stopped_; }
+
+  /// Total events fired since construction.
+  std::uint64_t events_fired() const { return events_fired_; }
+
+  EventQueue& queue() { return queue_; }
+
+  /// The simulation-wide tracer. Disabled (and free) by default; tests and
+  /// debugging tools install a sink. Components emit via
+  /// `sim.trace(category, "component", "message")`.
+  Tracer& tracer() { return tracer_; }
+
+  void trace(TraceCategory category, std::string component,
+             std::string message) {
+    tracer_.emit(now_, category, std::move(component), std::move(message));
+  }
+
+ private:
+  EventQueue queue_;
+  TimePoint now_;
+  bool stopped_ = false;
+  std::uint64_t events_fired_ = 0;
+  Tracer tracer_;
+};
+
+}  // namespace nicsched::sim

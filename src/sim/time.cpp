@@ -1,0 +1,31 @@
+#include "sim/time.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace nicsched::sim {
+
+namespace {
+
+std::string format_with_unit(double value, const char* unit) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.4g%s", value, unit);
+  return buf;
+}
+
+}  // namespace
+
+std::string Duration::to_string() const {
+  const double abs_ps = std::fabs(static_cast<double>(ps_));
+  if (abs_ps < 1e3) return format_with_unit(static_cast<double>(ps_), "ps");
+  if (abs_ps < 1e6) return format_with_unit(to_nanos(), "ns");
+  if (abs_ps < 1e9) return format_with_unit(to_micros(), "us");
+  if (abs_ps < 1e12) return format_with_unit(to_millis(), "ms");
+  return format_with_unit(to_seconds(), "s");
+}
+
+std::string TimePoint::to_string() const {
+  return Duration::picos(ps_).to_string();
+}
+
+}  // namespace nicsched::sim

@@ -1,0 +1,218 @@
+// Simulated-time primitives.
+//
+// All simulation time is kept in integer picoseconds. Picosecond resolution
+// lets us represent single CPU cycles exactly (one cycle at 2.3 GHz is
+// ~434.78 ps; we round to the nearest picosecond) while still covering more
+// than 100 days of simulated time in an int64_t. Integer time keeps the
+// simulator deterministic: there is no floating-point drift, and equal
+// timestamps compare equal on every platform.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <concepts>
+#include <string>
+
+namespace nicsched::sim {
+
+/// A signed span of simulated time, in picoseconds.
+///
+/// `Duration` is a value type with full arithmetic support. Use the named
+/// constructors (`Duration::nanos(250)`, `Duration::micros(2.56)`) rather
+/// than raw picosecond counts at call sites.
+class Duration {
+ public:
+  constexpr Duration() = default;
+
+  static constexpr Duration picos(std::int64_t ps) { return Duration(ps); }
+  template <std::integral T>
+  static constexpr Duration nanos(T ns) {
+    return Duration(static_cast<std::int64_t>(ns) * kPicosPerNano);
+  }
+  template <std::integral T>
+  static constexpr Duration micros(T us) {
+    return Duration(static_cast<std::int64_t>(us) * kPicosPerMicro);
+  }
+  template <std::integral T>
+  static constexpr Duration millis(T ms) {
+    return Duration(static_cast<std::int64_t>(ms) * kPicosPerMilli);
+  }
+  template <std::integral T>
+  static constexpr Duration seconds(T s) {
+    return Duration(static_cast<std::int64_t>(s) * kPicosPerSecond);
+  }
+
+  /// Fractional-unit constructors; rounds to the nearest picosecond.
+  static constexpr Duration nanos(double ns) {
+    return Duration(round_to_picos(ns * static_cast<double>(kPicosPerNano)));
+  }
+  static constexpr Duration micros(double us) {
+    return Duration(round_to_picos(us * static_cast<double>(kPicosPerMicro)));
+  }
+  static constexpr Duration millis(double ms) {
+    return Duration(round_to_picos(ms * static_cast<double>(kPicosPerMilli)));
+  }
+  static constexpr Duration seconds(double s) {
+    return Duration(round_to_picos(s * static_cast<double>(kPicosPerSecond)));
+  }
+
+  static constexpr Duration zero() { return Duration(0); }
+  static constexpr Duration max() { return Duration(INT64_MAX); }
+
+  constexpr std::int64_t to_picos() const { return ps_; }
+  constexpr double to_nanos() const {
+    return static_cast<double>(ps_) / static_cast<double>(kPicosPerNano);
+  }
+  constexpr double to_micros() const {
+    return static_cast<double>(ps_) / static_cast<double>(kPicosPerMicro);
+  }
+  constexpr double to_millis() const {
+    return static_cast<double>(ps_) / static_cast<double>(kPicosPerMilli);
+  }
+  constexpr double to_seconds() const {
+    return static_cast<double>(ps_) / static_cast<double>(kPicosPerSecond);
+  }
+
+  constexpr bool is_zero() const { return ps_ == 0; }
+  constexpr bool is_negative() const { return ps_ < 0; }
+
+  constexpr Duration operator+(Duration other) const {
+    return Duration(ps_ + other.ps_);
+  }
+  constexpr Duration operator-(Duration other) const {
+    return Duration(ps_ - other.ps_);
+  }
+  constexpr Duration operator-() const { return Duration(-ps_); }
+  template <std::integral T>
+  constexpr Duration operator*(T k) const {
+    return Duration(ps_ * static_cast<std::int64_t>(k));
+  }
+  constexpr Duration operator*(double k) const {
+    return Duration(round_to_picos(static_cast<double>(ps_) * k));
+  }
+  template <std::integral T>
+  constexpr Duration operator/(T k) const {
+    return Duration(ps_ / static_cast<std::int64_t>(k));
+  }
+  /// Ratio of two durations (e.g. utilization computations).
+  constexpr double operator/(Duration other) const {
+    return static_cast<double>(ps_) / static_cast<double>(other.ps_);
+  }
+
+  constexpr Duration& operator+=(Duration other) {
+    ps_ += other.ps_;
+    return *this;
+  }
+  constexpr Duration& operator-=(Duration other) {
+    ps_ -= other.ps_;
+    return *this;
+  }
+
+  constexpr auto operator<=>(const Duration&) const = default;
+
+  /// Human-readable rendering with an auto-selected unit, e.g. "2.56us".
+  std::string to_string() const;
+
+ private:
+  static constexpr std::int64_t kPicosPerNano = 1'000;
+  static constexpr std::int64_t kPicosPerMicro = 1'000'000;
+  static constexpr std::int64_t kPicosPerMilli = 1'000'000'000;
+  static constexpr std::int64_t kPicosPerSecond = 1'000'000'000'000;
+
+  static constexpr std::int64_t round_to_picos(double ps) {
+    return static_cast<std::int64_t>(ps >= 0 ? ps + 0.5 : ps - 0.5);
+  }
+
+  constexpr explicit Duration(std::int64_t ps) : ps_(ps) {}
+
+  std::int64_t ps_ = 0;
+};
+
+template <std::integral T>
+constexpr Duration operator*(T k, Duration d) {
+  return d * k;
+}
+constexpr Duration operator*(double k, Duration d) { return d * k; }
+
+/// An absolute instant of simulated time (picoseconds since simulation
+/// start). Only differences between `TimePoint`s are meaningful.
+class TimePoint {
+ public:
+  constexpr TimePoint() = default;
+
+  static constexpr TimePoint origin() { return TimePoint(); }
+  static constexpr TimePoint from_picos(std::int64_t ps) {
+    return TimePoint(ps);
+  }
+  static constexpr TimePoint max() { return TimePoint(INT64_MAX); }
+
+  constexpr std::int64_t to_picos() const { return ps_; }
+  constexpr double to_micros() const {
+    return static_cast<double>(ps_) / 1e6;
+  }
+  constexpr double to_seconds() const {
+    return static_cast<double>(ps_) / 1e12;
+  }
+
+  constexpr Duration since_origin() const { return Duration::picos(ps_); }
+
+  constexpr TimePoint operator+(Duration d) const {
+    return TimePoint(ps_ + d.to_picos());
+  }
+  constexpr TimePoint operator-(Duration d) const {
+    return TimePoint(ps_ - d.to_picos());
+  }
+  constexpr Duration operator-(TimePoint other) const {
+    return Duration::picos(ps_ - other.ps_);
+  }
+  constexpr TimePoint& operator+=(Duration d) {
+    ps_ += d.to_picos();
+    return *this;
+  }
+
+  constexpr auto operator<=>(const TimePoint&) const = default;
+
+  std::string to_string() const;
+
+ private:
+  constexpr explicit TimePoint(std::int64_t ps) : ps_(ps) {}
+
+  std::int64_t ps_ = 0;
+};
+
+/// A CPU clock frequency; converts cycle counts to durations. The paper
+/// reports preemption costs in cycles on 2.3 GHz Xeon E5-2658 cores, so the
+/// hardware model needs exact cycles→time conversion.
+class Frequency {
+ public:
+  constexpr Frequency() = default;
+
+  static constexpr Frequency gigahertz(double ghz) { return Frequency(ghz); }
+  static constexpr Frequency megahertz(double mhz) {
+    return Frequency(mhz / 1e3);
+  }
+
+  constexpr double to_gigahertz() const { return ghz_; }
+
+  /// Duration of `n` cycles at this frequency.
+  constexpr Duration cycles(std::int64_t n) const {
+    // One cycle at f GHz lasts 1000/f picoseconds.
+    return Duration::picos(static_cast<std::int64_t>(
+        static_cast<double>(n) * 1e3 / ghz_ + 0.5));
+  }
+
+  /// Number of whole cycles that fit in `d` at this frequency.
+  constexpr std::int64_t cycles_in(Duration d) const {
+    return static_cast<std::int64_t>(static_cast<double>(d.to_picos()) * ghz_ /
+                                     1e3);
+  }
+
+  constexpr auto operator<=>(const Frequency&) const = default;
+
+ private:
+  constexpr explicit Frequency(double ghz) : ghz_(ghz) {}
+
+  double ghz_ = 1.0;
+};
+
+}  // namespace nicsched::sim

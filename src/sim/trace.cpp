@@ -1,0 +1,17 @@
+#include "sim/trace.h"
+
+namespace nicsched::sim {
+
+const char* to_string(TraceCategory category) {
+  switch (category) {
+    case TraceCategory::kPacket: return "packet";
+    case TraceCategory::kQueue: return "queue";
+    case TraceCategory::kDispatch: return "dispatch";
+    case TraceCategory::kPreempt: return "preempt";
+    case TraceCategory::kWorker: return "worker";
+    case TraceCategory::kClient: return "client";
+  }
+  return "unknown";
+}
+
+}  // namespace nicsched::sim

@@ -1,0 +1,74 @@
+// Lightweight, zero-cost-when-disabled tracing for simulator components.
+//
+// Components emit structured trace records through a `Tracer` owned by the
+// simulation harness. The default tracer discards everything; tests and the
+// debug CLI install collectors. Tracing never affects simulation behaviour.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace nicsched::sim {
+
+enum class TraceCategory : std::uint8_t {
+  kPacket,      // packet handed between network elements
+  kQueue,       // enqueue/dequeue on a task or RX queue
+  kDispatch,    // scheduling decision
+  kPreempt,     // preemption timer / interrupt activity
+  kWorker,      // worker state transition
+  kClient,      // request issued / response received
+};
+
+const char* to_string(TraceCategory category);
+
+struct TraceRecord {
+  TimePoint when;
+  TraceCategory category;
+  std::string component;  // e.g. "worker[3]", "dispatcher"
+  std::string message;
+};
+
+class Tracer {
+ public:
+  using Sink = std::function<void(const TraceRecord&)>;
+
+  /// Installs a sink; pass nullptr to disable. Returns the previous sink.
+  Sink set_sink(Sink sink) {
+    Sink old = std::move(sink_);
+    sink_ = std::move(sink);
+    return old;
+  }
+
+  bool enabled() const { return static_cast<bool>(sink_); }
+
+  void emit(TimePoint when, TraceCategory category, std::string component,
+            std::string message) const {
+    if (sink_) {
+      sink_(TraceRecord{when, category, std::move(component),
+                        std::move(message)});
+    }
+  }
+
+ private:
+  Sink sink_;
+};
+
+/// A sink that appends records to a vector, for tests.
+class TraceCollector {
+ public:
+  Tracer::Sink sink() {
+    return [this](const TraceRecord& record) { records_.push_back(record); };
+  }
+
+  const std::vector<TraceRecord>& records() const { return records_; }
+  void clear() { records_.clear(); }
+
+ private:
+  std::vector<TraceRecord> records_;
+};
+
+}  // namespace nicsched::sim

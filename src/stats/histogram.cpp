@@ -1,0 +1,85 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace nicsched::stats {
+
+namespace {
+// Enough buckets to cover the full uint64 nanosecond range.
+constexpr std::size_t kBucketArraySize = (64 - 7 + 1) * (1ULL << 7);
+}  // namespace
+
+Histogram::Histogram() : buckets_(kBucketArraySize, 0) {}
+
+std::size_t Histogram::index_for(std::uint64_t nanos) {
+  if (nanos < kSubBucketCount) return static_cast<std::size_t>(nanos);
+  const unsigned msb = 63u - static_cast<unsigned>(std::countl_zero(nanos));
+  const unsigned shift = msb - kSubBucketBits + 1;
+  const std::uint64_t mantissa = nanos >> shift;
+  return static_cast<std::size_t>(shift) * kSubBucketCount +
+         static_cast<std::size_t>(mantissa);
+}
+
+std::uint64_t Histogram::representative_nanos(std::size_t index) {
+  const std::uint64_t shift = index / kSubBucketCount;
+  const std::uint64_t mantissa = index % kSubBucketCount;
+  if (shift == 0) return mantissa;
+  // Midpoint of [mantissa << shift, (mantissa + 1) << shift).
+  return (mantissa << shift) + (1ULL << (shift - 1));
+}
+
+void Histogram::record(sim::Duration value) {
+  std::int64_t ns = static_cast<std::int64_t>(value.to_nanos());
+  if (ns < 0) ns = 0;
+  const std::size_t index = index_for(static_cast<std::uint64_t>(ns));
+  buckets_[std::min(index, buckets_.size() - 1)] += 1;
+  ++count_;
+  sum_ns_ += ns;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+sim::Duration Histogram::quantile(double q) const {
+  if (count_ == 0) return sim::Duration::zero();
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the sample we want (1-based), per the nearest-rank definition.
+  const std::uint64_t target = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(count_))));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= target) {
+      return sim::Duration::nanos(
+          static_cast<std::int64_t>(representative_nanos(i)));
+    }
+  }
+  return max_;
+}
+
+sim::Duration Histogram::mean() const {
+  if (count_ == 0) return sim::Duration::zero();
+  return sim::Duration::nanos(static_cast<double>(sum_ns_) /
+                              static_cast<double>(count_));
+}
+
+void Histogram::merge(const Histogram& other) {
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  count_ += other.count_;
+  sum_ns_ += other.sum_ns_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void Histogram::clear() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ns_ = 0;
+  min_ = sim::Duration::max();
+  max_ = sim::Duration::zero();
+}
+
+}  // namespace nicsched::stats

@@ -1,0 +1,41 @@
+#include "stats/recorder.h"
+
+namespace nicsched::stats {
+
+void LatencyRecorder::record(const workload::ResponseRecord& response) {
+  if (response.sent_at < window_start_ || response.sent_at > window_end_) {
+    return;
+  }
+  ++completed_;
+  preemptions_ += response.preempt_count;
+  overall_.record(response.latency());
+  per_kind_[response.kind].record(response.latency());
+}
+
+const Histogram& LatencyRecorder::by_kind(std::uint16_t kind) const {
+  static const Histogram kEmpty;
+  auto it = per_kind_.find(kind);
+  return it == per_kind_.end() ? kEmpty : it->second;
+}
+
+RunSummary LatencyRecorder::summarize(double offered_rps) const {
+  RunSummary summary;
+  summary.offered_rps = offered_rps;
+  summary.issued = issued_;
+  summary.completed = completed_;
+  const double window_seconds = (window_end_ - window_start_).to_seconds();
+  if (window_seconds > 0.0) {
+    summary.achieved_rps =
+        static_cast<double>(completed_) / window_seconds;
+  }
+  summary.mean_us = overall_.mean().to_micros();
+  summary.p50_us = overall_.quantile(0.50).to_micros();
+  summary.p90_us = overall_.quantile(0.90).to_micros();
+  summary.p99_us = overall_.quantile(0.99).to_micros();
+  summary.p999_us = overall_.quantile(0.999).to_micros();
+  summary.max_us = overall_.max().to_micros();
+  summary.preemptions = preemptions_;
+  return summary;
+}
+
+}  // namespace nicsched::stats

@@ -1,0 +1,72 @@
+// Latency recording and per-run summaries.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "sim/time.h"
+#include "stats/histogram.h"
+#include "workload/client.h"
+
+namespace nicsched::stats {
+
+/// The numbers one load point of a figure reports.
+struct RunSummary {
+  double offered_rps = 0.0;
+  double achieved_rps = 0.0;
+  std::uint64_t issued = 0;      // requests issued in the measurement window
+  std::uint64_t completed = 0;   // responses for those requests
+  double mean_us = 0.0;
+  double p50_us = 0.0;
+  double p90_us = 0.0;
+  double p99_us = 0.0;           // "tail latency" in the paper
+  double p999_us = 0.0;
+  double max_us = 0.0;
+  std::uint64_t preemptions = 0; // total across the measurement window
+};
+
+/// Collects client-side response records inside a measurement window
+/// (requests *issued* between window start and end count; warmup and
+/// cooldown are excluded, matching standard load-generator methodology).
+class LatencyRecorder {
+ public:
+  void set_window(sim::TimePoint start, sim::TimePoint end) {
+    window_start_ = start;
+    window_end_ = end;
+  }
+
+  sim::TimePoint window_start() const { return window_start_; }
+  sim::TimePoint window_end() const { return window_end_; }
+
+  void record(const workload::ResponseRecord& response);
+
+  /// All samples regardless of kind.
+  const Histogram& overall() const { return overall_; }
+
+  /// Samples for one request kind (e.g. bimodal short=0 / long=1); an empty
+  /// histogram if the kind was never seen.
+  const Histogram& by_kind(std::uint16_t kind) const;
+
+  std::uint64_t issued_in_window() const { return issued_; }
+  std::uint64_t completed_in_window() const { return completed_; }
+  std::uint64_t preemptions_observed() const { return preemptions_; }
+
+  /// Called by the harness for every request issued (the recorder cannot see
+  /// requests that never complete otherwise).
+  void note_issued(sim::TimePoint sent_at) {
+    if (sent_at >= window_start_ && sent_at <= window_end_) ++issued_;
+  }
+
+  RunSummary summarize(double offered_rps) const;
+
+ private:
+  sim::TimePoint window_start_;
+  sim::TimePoint window_end_ = sim::TimePoint::max();
+  Histogram overall_;
+  std::map<std::uint16_t, Histogram> per_kind_;
+  std::uint64_t issued_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t preemptions_ = 0;
+};
+
+}  // namespace nicsched::stats

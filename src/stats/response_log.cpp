@@ -1,0 +1,19 @@
+#include "stats/response_log.h"
+
+#include <ostream>
+
+#include "stats/table.h"
+
+namespace nicsched::stats {
+
+void ResponseLog::write_csv(std::ostream& out) const {
+  out << "sent_us,latency_us,kind,preempts,work_us\n";
+  for (const auto& record : records_) {
+    out << fmt(record.sent_at.to_micros(), 3) << ','
+        << fmt(record.latency().to_micros(), 3) << ',' << record.kind << ','
+        << record.preempt_count << ',' << fmt(record.work.to_micros(), 3)
+        << '\n';
+  }
+}
+
+}  // namespace nicsched::stats

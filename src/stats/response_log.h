@@ -1,0 +1,41 @@
+// Per-request response logging: collect every ResponseRecord of a run and
+// export it as CSV for external analysis/plotting. This is the raw data
+// behind a RunSummary when percentiles aren't enough (per-request
+// scatter, preemption counts vs latency, time series of tail behaviour).
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "workload/client.h"
+
+namespace nicsched::stats {
+
+class ResponseLog {
+ public:
+  /// Maximum records kept; once reached, further records are counted but
+  /// not stored (bounding memory on long overload runs).
+  explicit ResponseLog(std::size_t capacity = 1'000'000)
+      : capacity_(capacity) {}
+
+  void record(const workload::ResponseRecord& response) {
+    ++seen_;
+    if (records_.size() < capacity_) records_.push_back(response);
+  }
+
+  const std::vector<workload::ResponseRecord>& records() const {
+    return records_;
+  }
+  std::uint64_t seen() const { return seen_; }
+  bool truncated() const { return seen_ > records_.size(); }
+
+  /// Writes `sent_us,latency_us,kind,preempts,work_us` rows with a header.
+  void write_csv(std::ostream& out) const;
+
+ private:
+  std::size_t capacity_;
+  std::vector<workload::ResponseRecord> records_;
+  std::uint64_t seen_ = 0;
+};
+
+}  // namespace nicsched::stats

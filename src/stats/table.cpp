@@ -1,0 +1,87 @@
+#include "stats/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <stdexcept>
+
+namespace nicsched::stats {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument("Table::add_row: wrong cell count");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::ostream& out) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out << (c == 0 ? "" : "  ");
+      // Right-align for numeric readability.
+      for (std::size_t pad = cells[c].size(); pad < widths[c]; ++pad) {
+        out << ' ';
+      }
+      out << cells[c];
+    }
+    out << '\n';
+  };
+  print_row(headers_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c == 0 ? 0 : 2);
+  }
+  for (std::size_t i = 0; i < total; ++i) out << '-';
+  out << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+void Table::print_csv(std::ostream& out) const {
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c > 0) out << ',';
+      out << cells[c];
+    }
+    out << '\n';
+  };
+  print_row(headers_);
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string fmt(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+  return buf;
+}
+
+Table make_sweep_table(const std::vector<RunSummary>& points) {
+  Table table({"offered_krps", "achieved_krps", "p50_us", "p90_us", "p99_us",
+               "p999_us", "mean_us", "completed", "preempts"});
+  for (const auto& point : points) {
+    table.add_row({fmt(point.offered_rps / 1e3), fmt(point.achieved_rps / 1e3),
+                   fmt(point.p50_us), fmt(point.p90_us), fmt(point.p99_us),
+                   fmt(point.p999_us), fmt(point.mean_us),
+                   std::to_string(point.completed),
+                   std::to_string(point.preemptions)});
+  }
+  return table;
+}
+
+void print_sweep(std::ostream& out, const std::string& title,
+                 const std::vector<RunSummary>& points) {
+  out << "== " << title << " ==\n";
+  make_sweep_table(points).print(out);
+  out << '\n';
+}
+
+}  // namespace nicsched::stats

@@ -1,0 +1,44 @@
+// Console table / CSV rendering for experiment output. Every bench binary
+// prints its figure's series through these helpers so output stays uniform
+// and greppable.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "stats/recorder.h"
+
+namespace nicsched::stats {
+
+/// A generic column-aligned text table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with column alignment, a header underline, and a trailing
+  /// newline.
+  void print(std::ostream& out) const;
+
+  void print_csv(std::ostream& out) const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` significant decimals.
+std::string fmt(double value, int digits = 1);
+
+/// Standard columns for a latency/throughput sweep, one row per load point.
+Table make_sweep_table(const std::vector<RunSummary>& points);
+
+/// Prints a titled sweep: header line, table, blank line.
+void print_sweep(std::ostream& out, const std::string& title,
+                 const std::vector<RunSummary>& points);
+
+}  // namespace nicsched::stats

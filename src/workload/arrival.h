@@ -1,0 +1,109 @@
+// Inter-arrival processes for the open-loop load generator.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "sim/random.h"
+#include "sim/time.h"
+
+namespace nicsched::workload {
+
+class ArrivalProcess {
+ public:
+  virtual ~ArrivalProcess() = default;
+
+  /// Gap until the next arrival.
+  virtual sim::Duration next_gap(sim::Rng& rng) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Poisson arrivals at `rate_rps` requests/second — the standard open-loop
+/// assumption for datacenter load generators like mutilate (§4).
+class PoissonArrivals final : public ArrivalProcess {
+ public:
+  explicit PoissonArrivals(double rate_rps) : mean_gap_ns_(1e9 / rate_rps) {}
+
+  sim::Duration next_gap(sim::Rng& rng) override {
+    return sim::Duration::nanos(rng.exponential(mean_gap_ns_));
+  }
+
+  std::string name() const override { return "poisson"; }
+
+ private:
+  double mean_gap_ns_;
+};
+
+/// Two-state Markov-modulated Poisson process: a `normal` Poisson rate that
+/// occasionally switches to a `burst` rate for exponentially-distributed
+/// spells. Models §2.2's concern that "a workload comprised mainly of short
+/// requests could see a burst of long requests" — or simply bursty offered
+/// load, the regime where reactive control (work stealing, elastic RSS)
+/// lags and preemption/centralization shine.
+class BurstyArrivals final : public ArrivalProcess {
+ public:
+  struct Config {
+    double normal_rps = 100'000.0;
+    double burst_rps = 500'000.0;
+    /// Mean time between burst onsets (while in the normal state).
+    sim::Duration mean_normal_spell = sim::Duration::millis(5);
+    /// Mean burst duration.
+    sim::Duration mean_burst_spell = sim::Duration::millis(1);
+  };
+
+  explicit BurstyArrivals(Config config) : config_(config) {}
+
+  sim::Duration next_gap(sim::Rng& rng) override {
+    // Draw the gap at the current state's rate; then advance the state
+    // clock and possibly flip. Gaps are short relative to spells, so
+    // per-gap state evaluation is an accurate MMPP discretization.
+    const double rate =
+        in_burst_ ? config_.burst_rps : config_.normal_rps;
+    const sim::Duration gap =
+        sim::Duration::nanos(rng.exponential(1e9 / rate));
+    spell_remaining_ -= gap;
+    if (spell_remaining_.is_negative() || spell_remaining_.is_zero()) {
+      in_burst_ = !in_burst_;
+      const sim::Duration mean_spell = in_burst_
+                                           ? config_.mean_burst_spell
+                                           : config_.mean_normal_spell;
+      spell_remaining_ =
+          sim::Duration::nanos(rng.exponential(mean_spell.to_nanos()));
+    }
+    return gap;
+  }
+
+  std::string name() const override { return "bursty"; }
+
+  bool in_burst() const { return in_burst_; }
+
+  /// Long-run average rate: spells weight the two Poisson rates.
+  double mean_rate_rps() const {
+    const double normal_s = config_.mean_normal_spell.to_seconds();
+    const double burst_s = config_.mean_burst_spell.to_seconds();
+    return (config_.normal_rps * normal_s + config_.burst_rps * burst_s) /
+           (normal_s + burst_s);
+  }
+
+ private:
+  Config config_;
+  bool in_burst_ = false;
+  sim::Duration spell_remaining_;
+};
+
+/// Evenly spaced arrivals; isolates queueing effects from arrival burstiness.
+class UniformArrivals final : public ArrivalProcess {
+ public:
+  explicit UniformArrivals(double rate_rps)
+      : gap_(sim::Duration::nanos(1e9 / rate_rps)) {}
+
+  sim::Duration next_gap(sim::Rng&) override { return gap_; }
+
+  std::string name() const override { return "uniform"; }
+
+ private:
+  sim::Duration gap_;
+};
+
+}  // namespace nicsched::workload

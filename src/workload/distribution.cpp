@@ -1,0 +1,161 @@
+#include "workload/distribution.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace nicsched::workload {
+
+std::string FixedDistribution::name() const {
+  return "fixed(" + value_.to_string() + ")";
+}
+
+BimodalDistribution::BimodalDistribution(sim::Duration short_value,
+                                         sim::Duration long_value,
+                                         double long_fraction)
+    : short_value_(short_value),
+      long_value_(long_value),
+      long_fraction_(long_fraction) {
+  if (long_fraction < 0.0 || long_fraction > 1.0) {
+    throw std::invalid_argument("BimodalDistribution: fraction out of range");
+  }
+}
+
+ServiceSample BimodalDistribution::sample(sim::Rng& rng) {
+  if (rng.bernoulli(long_fraction_)) return {long_value_, kLongKind};
+  return {short_value_, kShortKind};
+}
+
+sim::Duration BimodalDistribution::mean() const {
+  return short_value_ * (1.0 - long_fraction_) + long_value_ * long_fraction_;
+}
+
+std::string BimodalDistribution::name() const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "bimodal(%.1f%%x%s, %.1f%%x%s)",
+                (1.0 - long_fraction_) * 100.0, short_value_.to_string().c_str(),
+                long_fraction_ * 100.0, long_value_.to_string().c_str());
+  return buf;
+}
+
+ServiceSample ExponentialDistribution::sample(sim::Rng& rng) {
+  return {sim::Duration::nanos(rng.exponential(mean_.to_nanos())), 0};
+}
+
+std::string ExponentialDistribution::name() const {
+  return "exp(" + mean_.to_string() + ")";
+}
+
+LogNormalDistribution::LogNormalDistribution(sim::Duration mean_value,
+                                             double cv)
+    : mean_(mean_value), cv_(cv) {
+  if (cv <= 0.0) {
+    throw std::invalid_argument("LogNormalDistribution: cv must be positive");
+  }
+  // For lognormal: mean = exp(mu + sigma^2/2), cv^2 = exp(sigma^2) - 1.
+  sigma_ = std::sqrt(std::log(1.0 + cv * cv));
+  mu_ = std::log(mean_value.to_nanos()) - sigma_ * sigma_ / 2.0;
+}
+
+ServiceSample LogNormalDistribution::sample(sim::Rng& rng) {
+  return {sim::Duration::nanos(rng.lognormal(mu_, sigma_)), 0};
+}
+
+std::string LogNormalDistribution::name() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "lognormal(%s, cv=%.2f)",
+                mean_.to_string().c_str(), cv_);
+  return buf;
+}
+
+BoundedParetoDistribution::BoundedParetoDistribution(sim::Duration min_value,
+                                                     sim::Duration max_value,
+                                                     double alpha)
+    : min_us_(min_value.to_micros()),
+      max_us_(max_value.to_micros()),
+      alpha_(alpha) {
+  if (min_us_ <= 0.0 || max_us_ <= min_us_) {
+    throw std::invalid_argument("BoundedParetoDistribution: bad bounds");
+  }
+  if (alpha <= 0.0) {
+    throw std::invalid_argument("BoundedParetoDistribution: bad alpha");
+  }
+}
+
+ServiceSample BoundedParetoDistribution::sample(sim::Rng& rng) {
+  // Inverse-CDF sampling of the bounded Pareto.
+  const double u = rng.uniform();
+  const double la = std::pow(min_us_, alpha_);
+  const double ha = std::pow(max_us_, alpha_);
+  const double x =
+      std::pow(-(u * ha - u * la - ha) / (ha * la), -1.0 / alpha_);
+  return {sim::Duration::micros(x), 0};
+}
+
+sim::Duration BoundedParetoDistribution::mean() const {
+  const double la = std::pow(min_us_, alpha_);
+  const double ha = std::pow(max_us_, alpha_);
+  double mean_us;
+  if (alpha_ == 1.0) {
+    mean_us = (std::log(max_us_) - std::log(min_us_)) * min_us_ * max_us_ /
+              (max_us_ - min_us_);
+  } else {
+    mean_us = la / (1.0 - la / ha) * (alpha_ / (alpha_ - 1.0)) *
+              (1.0 / std::pow(min_us_, alpha_ - 1.0) -
+               1.0 / std::pow(max_us_, alpha_ - 1.0));
+  }
+  return sim::Duration::micros(mean_us);
+}
+
+std::string BoundedParetoDistribution::name() const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "pareto(%.3gus..%.3gus, a=%.2f)", min_us_,
+                max_us_, alpha_);
+  return buf;
+}
+
+MixtureDistribution::MixtureDistribution(std::vector<Component> components)
+    : components_(std::move(components)), total_weight_(0.0) {
+  if (components_.empty()) {
+    throw std::invalid_argument("MixtureDistribution: no components");
+  }
+  for (const auto& component : components_) {
+    if (component.weight <= 0.0 || component.distribution == nullptr) {
+      throw std::invalid_argument("MixtureDistribution: bad component");
+    }
+    total_weight_ += component.weight;
+  }
+}
+
+ServiceSample MixtureDistribution::sample(sim::Rng& rng) {
+  double pick = rng.uniform() * total_weight_;
+  for (std::size_t i = 0; i < components_.size(); ++i) {
+    pick -= components_[i].weight;
+    if (pick <= 0.0 || i + 1 == components_.size()) {
+      ServiceSample sample = components_[i].distribution->sample(rng);
+      sample.kind = static_cast<std::uint16_t>(i);
+      return sample;
+    }
+  }
+  // Unreachable: the loop always returns on the last component.
+  return {};
+}
+
+sim::Duration MixtureDistribution::mean() const {
+  sim::Duration sum;
+  for (const auto& component : components_) {
+    sum += component.distribution->mean() *
+           (component.weight / total_weight_);
+  }
+  return sum;
+}
+
+std::string MixtureDistribution::name() const {
+  std::string result = "mix(";
+  for (std::size_t i = 0; i < components_.size(); ++i) {
+    if (i > 0) result += ", ";
+    result += components_[i].distribution->name();
+  }
+  return result + ")";
+}
+
+}  // namespace nicsched::workload

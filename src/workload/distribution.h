@@ -1,0 +1,141 @@
+// Service-time distributions for the synthetic workload (§4.1): "requests
+// contain fake work that keeps the server busy for a specific amount of
+// time", letting one load generator emulate KVS lookups, search, FaaS, and
+// database mixes.
+//
+// A sample carries both the work amount and a `kind` tag so experiments can
+// report tail latency per request class (e.g. the bimodal workload's short
+// vs long requests).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/random.h"
+#include "sim/time.h"
+
+namespace nicsched::workload {
+
+struct ServiceSample {
+  sim::Duration work;
+  std::uint16_t kind = 0;
+};
+
+class ServiceDistribution {
+ public:
+  virtual ~ServiceDistribution() = default;
+
+  virtual ServiceSample sample(sim::Rng& rng) = 0;
+
+  /// Expected service time; used to compute offered utilization.
+  virtual sim::Duration mean() const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Every request takes exactly `value` (Figures 3–6).
+class FixedDistribution final : public ServiceDistribution {
+ public:
+  explicit FixedDistribution(sim::Duration value) : value_(value) {}
+
+  ServiceSample sample(sim::Rng&) override { return {value_, 0}; }
+  sim::Duration mean() const override { return value_; }
+  std::string name() const override;
+
+ private:
+  sim::Duration value_;
+};
+
+/// With probability `long_fraction` a request takes `long_value` (kind 1),
+/// otherwise `short_value` (kind 0). Figure 2 uses 0.5 % × 100 µs +
+/// 99.5 % × 5 µs.
+class BimodalDistribution final : public ServiceDistribution {
+ public:
+  BimodalDistribution(sim::Duration short_value, sim::Duration long_value,
+                      double long_fraction);
+
+  ServiceSample sample(sim::Rng& rng) override;
+  sim::Duration mean() const override;
+  std::string name() const override;
+
+  static constexpr std::uint16_t kShortKind = 0;
+  static constexpr std::uint16_t kLongKind = 1;
+
+ private:
+  sim::Duration short_value_;
+  sim::Duration long_value_;
+  double long_fraction_;
+};
+
+/// Exponential with the given mean; the classic M/M/k service assumption.
+class ExponentialDistribution final : public ServiceDistribution {
+ public:
+  explicit ExponentialDistribution(sim::Duration mean_value)
+      : mean_(mean_value) {}
+
+  ServiceSample sample(sim::Rng& rng) override;
+  sim::Duration mean() const override { return mean_; }
+  std::string name() const override;
+
+ private:
+  sim::Duration mean_;
+};
+
+/// Log-normal parameterized by mean and coefficient of variation; models
+/// "varying handling times for the same request type" (§2.2).
+class LogNormalDistribution final : public ServiceDistribution {
+ public:
+  LogNormalDistribution(sim::Duration mean_value, double cv);
+
+  ServiceSample sample(sim::Rng& rng) override;
+  sim::Duration mean() const override { return mean_; }
+  std::string name() const override;
+
+ private:
+  sim::Duration mean_;
+  double cv_;
+  double mu_;     // log-space mean
+  double sigma_;  // log-space stddev
+};
+
+/// Bounded Pareto — heavy-tailed service times, the worst case for
+/// non-preemptive scheduling.
+class BoundedParetoDistribution final : public ServiceDistribution {
+ public:
+  BoundedParetoDistribution(sim::Duration min_value, sim::Duration max_value,
+                            double alpha);
+
+  ServiceSample sample(sim::Rng& rng) override;
+  sim::Duration mean() const override;
+  std::string name() const override;
+
+ private:
+  double min_us_;
+  double max_us_;
+  double alpha_;
+};
+
+/// Weighted mixture of arbitrary components; each component's samples are
+/// re-tagged with the component index as `kind`. Models co-located
+/// applications from different latency classes (§2.2).
+class MixtureDistribution final : public ServiceDistribution {
+ public:
+  struct Component {
+    std::shared_ptr<ServiceDistribution> distribution;
+    double weight;
+  };
+
+  explicit MixtureDistribution(std::vector<Component> components);
+
+  ServiceSample sample(sim::Rng& rng) override;
+  sim::Duration mean() const override;
+  std::string name() const override;
+
+ private:
+  std::vector<Component> components_;
+  double total_weight_;
+};
+
+}  // namespace nicsched::workload

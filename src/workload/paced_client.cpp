@@ -1,0 +1,115 @@
+#include "workload/paced_client.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "proto/messages.h"
+
+namespace nicsched::workload {
+
+namespace {
+
+net::Nic::Config client_nic_config() {
+  net::Nic::Config config;
+  config.name = "paced-client-nic";
+  config.rx_latency = sim::Duration::zero();
+  config.tx_latency = sim::Duration::zero();
+  return config;
+}
+
+}  // namespace
+
+PacedClient::PacedClient(sim::Simulator& sim, net::EthernetSwitch& network,
+                         Config config,
+                         std::shared_ptr<ServiceDistribution> service,
+                         sim::Rng rng)
+    : sim_(sim),
+      config_(std::move(config)),
+      service_(std::move(service)),
+      rng_(std::move(rng)),
+      nic_(sim, client_nic_config()),
+      window_(config_.initial_window) {
+  interface_ = &nic_.add_interface(
+      "paced-client" + std::to_string(config_.client_id), config_.mac,
+      config_.ip);
+  nic_.attach_to_switch(network, config_.wire_latency, 10.0);
+  interface_->ring(0).set_on_packet([this]() { handle_rx(); });
+}
+
+void PacedClient::start(sim::TimePoint until) {
+  issue_until_ = until;
+  fill_window();
+}
+
+void PacedClient::fill_window() {
+  if (sim_.now() > issue_until_) return;
+  while (pending_.size() <
+         static_cast<std::size_t>(std::max(1.0, window_))) {
+    issue_request();
+  }
+}
+
+void PacedClient::issue_request() {
+  const ServiceSample sample = service_->sample(rng_);
+  const std::uint64_t request_id =
+      (static_cast<std::uint64_t>(config_.client_id) << 40) | next_sequence_++;
+
+  proto::RequestMessage message;
+  message.request_id = request_id;
+  message.client_id = config_.client_id;
+  message.kind = sample.kind;
+  message.work_ps = static_cast<std::uint64_t>(sample.work.to_picos());
+  message.padding = config_.request_padding;
+
+  net::DatagramAddress address;
+  address.src_mac = config_.mac;
+  address.dst_mac = config_.server_mac;
+  address.src_ip = config_.ip;
+  address.dst_ip = config_.server_ip;
+  address.src_port = static_cast<std::uint16_t>(
+      config_.port_base + rng_.uniform_int(0, config_.flow_count - 1));
+  address.dst_port = config_.server_port;
+
+  pending_.emplace(request_id, Pending{sim_.now(), sample.work, sample.kind});
+  ++sent_;
+  interface_->transmit(net::make_udp_datagram(address, message.serialize()));
+}
+
+void PacedClient::on_feedback(std::uint32_t queue_depth) {
+  last_depth_ = queue_depth;
+  if (queue_depth > config_.target_queue_depth) {
+    window_ = std::max(1.0, window_ * config_.multiplicative_decrease);
+  } else {
+    window_ = std::min(config_.max_window,
+                       window_ + config_.additive_increase / window_);
+  }
+}
+
+void PacedClient::handle_rx() {
+  while (auto packet = interface_->ring(0).pop()) {
+    const auto datagram = net::parse_udp_datagram(*packet);
+    if (!datagram) continue;
+    const auto response = proto::ResponseMessage::parse(datagram->payload);
+    if (!response) continue;
+
+    auto it = pending_.find(response->request_id);
+    if (it == pending_.end()) continue;
+
+    ++received_;
+    on_feedback(response->queue_depth);
+    if (on_response_) {
+      ResponseRecord record;
+      record.request_id = response->request_id;
+      record.kind = it->second.kind;
+      record.preempt_count = response->preempt_count;
+      record.sent_at = it->second.sent_at;
+      record.received_at = sim_.now();
+      record.work = it->second.work;
+      on_response_(record);
+    }
+    pending_.erase(it);
+  }
+  fill_window();
+}
+
+}  // namespace nicsched::workload

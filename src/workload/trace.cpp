@@ -1,0 +1,87 @@
+#include "workload/trace.h"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace nicsched::workload {
+
+WorkloadTrace::WorkloadTrace(std::vector<TraceEntry> entries)
+    : entries_(std::move(entries)) {
+  if (entries_.empty()) {
+    throw std::invalid_argument("WorkloadTrace: empty trace");
+  }
+}
+
+std::optional<WorkloadTrace> WorkloadTrace::parse_csv(std::string_view text,
+                                                      std::string* error) {
+  std::vector<TraceEntry> entries;
+  std::size_t line_number = 0;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    ++line_number;
+    std::size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    std::string_view line = text.substr(start, end - start);
+    start = end + 1;
+    if (start > text.size() && line.empty()) break;
+
+    // Trim a trailing carriage return and skip blanks/comments.
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    if (line.empty() || line.front() == '#') continue;
+
+    const std::string owned(line);
+    char* cursor = nullptr;
+    const double gap_ns = std::strtod(owned.c_str(), &cursor);
+    if (cursor == owned.c_str() || *cursor != ',') {
+      if (error) *error = "line " + std::to_string(line_number) + ": bad gap";
+      return std::nullopt;
+    }
+    char* after_work = nullptr;
+    const double work_ns = std::strtod(cursor + 1, &after_work);
+    if (after_work == cursor + 1 || gap_ns < 0 || work_ns < 0) {
+      if (error) *error = "line " + std::to_string(line_number) + ": bad work";
+      return std::nullopt;
+    }
+    long kind = 0;
+    if (*after_work == ',') {
+      char* after_kind = nullptr;
+      kind = std::strtol(after_work + 1, &after_kind, 10);
+      if (after_kind == after_work + 1 || *after_kind != '\0' || kind < 0 ||
+          kind > 0xFFFF) {
+        if (error) {
+          *error = "line " + std::to_string(line_number) + ": bad kind";
+        }
+        return std::nullopt;
+      }
+    } else if (*after_work != '\0') {
+      if (error) {
+        *error = "line " + std::to_string(line_number) + ": trailing junk";
+      }
+      return std::nullopt;
+    }
+    entries.push_back(TraceEntry{sim::Duration::nanos(gap_ns),
+                                 sim::Duration::nanos(work_ns),
+                                 static_cast<std::uint16_t>(kind)});
+  }
+  if (entries.empty()) {
+    if (error) *error = "trace has no entries";
+    return std::nullopt;
+  }
+  return WorkloadTrace(std::move(entries));
+}
+
+sim::Duration WorkloadTrace::mean_work() const {
+  sim::Duration sum;
+  for (const auto& entry : entries_) sum += entry.work;
+  return sum / static_cast<std::int64_t>(entries_.size());
+}
+
+double WorkloadTrace::mean_rate_rps() const {
+  sim::Duration sum;
+  for (const auto& entry : entries_) sum += entry.gap;
+  const double mean_gap_s =
+      sum.to_seconds() / static_cast<double>(entries_.size());
+  return mean_gap_s == 0.0 ? 0.0 : 1.0 / mean_gap_s;
+}
+
+}  // namespace nicsched::workload

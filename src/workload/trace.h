@@ -1,0 +1,96 @@
+// Trace-driven workloads: replay recorded (inter-arrival, service-time,
+// kind) tuples instead of sampling distributions. This is how production
+// traces — or traces exported from another simulator run — drive the
+// open-loop client.
+//
+// The replay couples an ArrivalProcess and a ServiceDistribution reading
+// from the same trace with independent cursors; the ClientMachine consumes
+// exactly one gap and one service sample per request, so tuple i's gap and
+// work stay paired.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "workload/arrival.h"
+#include "workload/distribution.h"
+
+namespace nicsched::workload {
+
+struct TraceEntry {
+  sim::Duration gap;   // time since the previous request
+  sim::Duration work;  // synthetic service time
+  std::uint16_t kind = 0;
+};
+
+/// An in-memory workload trace, shareable between the arrival and service
+/// adapters below.
+class WorkloadTrace {
+ public:
+  explicit WorkloadTrace(std::vector<TraceEntry> entries);
+
+  /// Parses CSV lines of the form `gap_ns,work_ns[,kind]`. Blank lines and
+  /// lines starting with '#' are skipped. Returns nullopt on any malformed
+  /// line (reported via `error` if provided).
+  static std::optional<WorkloadTrace> parse_csv(std::string_view text,
+                                                std::string* error = nullptr);
+
+  std::size_t size() const { return entries_.size(); }
+  const TraceEntry& entry(std::size_t i) const { return entries_[i]; }
+
+  /// Mean service time across the trace.
+  sim::Duration mean_work() const;
+  /// Mean arrival rate implied by the gaps, requests/second.
+  double mean_rate_rps() const;
+
+ private:
+  std::vector<TraceEntry> entries_;
+};
+
+/// Arrival gaps replayed from the trace, looping when exhausted.
+class TraceArrivals final : public ArrivalProcess {
+ public:
+  explicit TraceArrivals(std::shared_ptr<const WorkloadTrace> trace)
+      : trace_(std::move(trace)) {}
+
+  sim::Duration next_gap(sim::Rng&) override {
+    const TraceEntry& entry = trace_->entry(cursor_);
+    cursor_ = (cursor_ + 1) % trace_->size();
+    return entry.gap;
+  }
+
+  std::string name() const override { return "trace"; }
+
+ private:
+  std::shared_ptr<const WorkloadTrace> trace_;
+  std::size_t cursor_ = 0;
+};
+
+/// Service times replayed from the trace, looping when exhausted.
+class TraceService final : public ServiceDistribution {
+ public:
+  explicit TraceService(std::shared_ptr<const WorkloadTrace> trace)
+      : trace_(std::move(trace)) {}
+
+  ServiceSample sample(sim::Rng&) override {
+    const TraceEntry& entry = trace_->entry(cursor_);
+    cursor_ = (cursor_ + 1) % trace_->size();
+    return {entry.work, entry.kind};
+  }
+
+  sim::Duration mean() const override { return trace_->mean_work(); }
+
+  std::string name() const override {
+    return "trace(" + std::to_string(trace_->size()) + " entries)";
+  }
+
+ private:
+  std::shared_ptr<const WorkloadTrace> trace_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace nicsched::workload

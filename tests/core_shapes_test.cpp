@@ -1,0 +1,152 @@
+// Fast versions of each figure's headline ordering — the paper's qualitative
+// claims as CI-sized tests (the full sweeps live in bench/).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/testbed.h"
+
+namespace nicsched::core {
+namespace {
+
+std::shared_ptr<workload::ServiceDistribution> bimodal_paper() {
+  return std::make_shared<workload::BimodalDistribution>(
+      sim::Duration::micros(5), sim::Duration::micros(100), 0.005);
+}
+
+ExperimentConfig quick(SystemKind system, std::size_t workers) {
+  ExperimentConfig config;
+  config.system = system;
+  config.worker_count = workers;
+  config.measure = sim::Duration::millis(25);
+  config.drain = sim::Duration::millis(5);
+  return config;
+}
+
+TEST(Shapes, Fig2OffloadSurvivesWhereShinjukuSaturates) {
+  // 520 kRPS of the bimodal workload: beyond 3 host workers' capacity
+  // (~480k) but within 4 offload workers' (~640k).
+  ExperimentConfig shinjuku = quick(SystemKind::kShinjuku, 3);
+  shinjuku.service = bimodal_paper();
+  shinjuku.offered_rps = 520e3;
+  const auto shinjuku_result = run_experiment(shinjuku);
+
+  ExperimentConfig offload = quick(SystemKind::kShinjukuOffload, 4);
+  offload.service = bimodal_paper();
+  offload.outstanding_per_worker = 4;
+  offload.offered_rps = 520e3;
+  const auto offload_result = run_experiment(offload);
+
+  EXPECT_GT(shinjuku_result.summary.p99_us, 500.0);
+  EXPECT_LT(offload_result.summary.p99_us, 200.0);
+}
+
+TEST(Shapes, Fig2PreemptionHoldsShortRequestTail) {
+  // Near saturation (ρ ≈ 0.85), where head-of-line blocking by the 100 us
+  // requests dominates the short-request tail unless preemption breaks it.
+  ExperimentConfig offload = quick(SystemKind::kShinjukuOffload, 4);
+  offload.service = bimodal_paper();
+  offload.outstanding_per_worker = 4;
+  offload.time_slice = sim::Duration::micros(10);
+  offload.offered_rps = 550e3;
+  const auto with_preemption = run_experiment(offload);
+
+  offload.preemption_enabled = false;
+  const auto without = run_experiment(offload);
+
+  const double short_p99_with =
+      with_preemption.recorder.by_kind(0).quantile(0.99).to_micros();
+  const double short_p99_without =
+      without.recorder.by_kind(0).quantile(0.99).to_micros();
+  EXPECT_LT(short_p99_with, 0.5 * short_p99_without);
+}
+
+TEST(Shapes, Fig3OutstandingRequestsRaiseOffloadThroughput) {
+  ExperimentConfig offload = quick(SystemKind::kShinjukuOffload, 4);
+  offload.service = std::make_shared<workload::FixedDistribution>(
+      sim::Duration::micros(1));
+  offload.preemption_enabled = false;
+  offload.offered_rps = 1.2e6;  // beyond K=1 capacity, below K=5 capacity
+
+  offload.outstanding_per_worker = 1;
+  const auto k1 = run_experiment(offload);
+  offload.outstanding_per_worker = 5;
+  const auto k5 = run_experiment(offload);
+  EXPECT_GT(k5.summary.achieved_rps, 1.4 * k1.summary.achieved_rps);
+}
+
+TEST(Shapes, Fig6ShinjukuWinsAtOneMicrosecond) {
+  // 2 MRPS of 1 us requests: above the offload ARM pipeline's ceiling,
+  // comfortably under the host dispatcher's.
+  ExperimentConfig shinjuku = quick(SystemKind::kShinjuku, 15);
+  shinjuku.service = std::make_shared<workload::FixedDistribution>(
+      sim::Duration::micros(1));
+  shinjuku.preemption_enabled = false;
+  shinjuku.offered_rps = 2.0e6;
+  const auto shinjuku_result = run_experiment(shinjuku);
+
+  ExperimentConfig offload = quick(SystemKind::kShinjukuOffload, 16);
+  offload.service = shinjuku.service;
+  offload.preemption_enabled = false;
+  offload.outstanding_per_worker = 5;
+  offload.offered_rps = 2.0e6;
+  const auto offload_result = run_experiment(offload);
+
+  EXPECT_GT(shinjuku_result.summary.achieved_rps,
+            0.95 * shinjuku.offered_rps);
+  EXPECT_LT(offload_result.summary.achieved_rps, 0.8 * offload.offered_rps);
+}
+
+TEST(Shapes, IdealNicClosesTheGap) {
+  ExperimentConfig ideal = quick(SystemKind::kIdealNic, 16);
+  ideal.service = std::make_shared<workload::FixedDistribution>(
+      sim::Duration::micros(1));
+  ideal.preemption_enabled = false;
+  ideal.outstanding_per_worker = 2;
+  ideal.offered_rps = 6.0e6;  // beyond what either real system can do
+  const auto result = run_experiment(ideal);
+  EXPECT_GT(result.summary.achieved_rps, 0.95 * ideal.offered_rps);
+  EXPECT_LT(result.summary.p99_us, 100.0);
+}
+
+TEST(Shapes, RssTailExplodesUnderDispersionOffloadDoesNot) {
+  auto dispersive = std::make_shared<workload::BimodalDistribution>(
+      sim::Duration::micros(5), sim::Duration::micros(500), 0.01);
+
+  ExperimentConfig rss = quick(SystemKind::kRss, 8);
+  rss.service = dispersive;
+  rss.offered_rps = 400e3;
+  const auto rss_result = run_experiment(rss);
+
+  ExperimentConfig offload = quick(SystemKind::kShinjukuOffload, 8);
+  offload.service = dispersive;
+  offload.outstanding_per_worker = 4;
+  offload.time_slice = sim::Duration::micros(10);
+  offload.offered_rps = 400e3;
+  const auto offload_result = run_experiment(offload);
+
+  const double rss_short =
+      rss_result.recorder.by_kind(0).quantile(0.99).to_micros();
+  const double offload_short =
+      offload_result.recorder.by_kind(0).quantile(0.99).to_micros();
+  EXPECT_GT(rss_short, 5.0 * offload_short);
+}
+
+class LoadSweepConservation : public ::testing::TestWithParam<double> {};
+
+TEST_P(LoadSweepConservation, OffloadConservesAtEveryLoad) {
+  ExperimentConfig config = quick(SystemKind::kShinjukuOffload, 4);
+  config.service = bimodal_paper();
+  config.outstanding_per_worker = 4;
+  config.offered_rps = GetParam();
+  config.drain = sim::Duration::millis(15);
+  const auto result = run_experiment(config);
+  EXPECT_EQ(result.summary.completed, result.summary.issued);
+  EXPECT_EQ(result.server.drops, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Loads, LoadSweepConservation,
+                         ::testing::Values(50e3, 150e3, 300e3, 450e3, 600e3));
+
+}  // namespace
+}  // namespace nicsched::core

@@ -1,0 +1,171 @@
+#include "hw/cpu_core.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace nicsched::hw {
+namespace {
+
+CpuCore::Config host_config() {
+  CpuCore::Config config;
+  config.name = "test-core";
+  config.frequency = sim::Frequency::gigahertz(2.3);
+  return config;
+}
+
+CpuCore::Config arm_config() {
+  CpuCore::Config config = host_config();
+  config.time_scale = 2.2;
+  return config;
+}
+
+TEST(CpuCore, OpsSerializeAtTheirCost) {
+  sim::Simulator sim;
+  CpuCore core(sim, host_config());
+  std::vector<sim::TimePoint> done_at;
+  core.run(sim::Duration::nanos(100), [&]() { done_at.push_back(sim.now()); });
+  core.run(sim::Duration::nanos(250), [&]() { done_at.push_back(sim.now()); });
+  core.run(sim::Duration::nanos(50), [&]() { done_at.push_back(sim.now()); });
+  sim.run();
+  ASSERT_EQ(done_at.size(), 3u);
+  EXPECT_EQ(done_at[0], sim::TimePoint::origin() + sim::Duration::nanos(100));
+  EXPECT_EQ(done_at[1], sim::TimePoint::origin() + sim::Duration::nanos(350));
+  EXPECT_EQ(done_at[2], sim::TimePoint::origin() + sim::Duration::nanos(400));
+  EXPECT_EQ(core.stats().ops, 3u);
+  EXPECT_EQ(core.stats().busy, sim::Duration::nanos(400));
+}
+
+TEST(CpuCore, TimeScaleStretchesCosts) {
+  sim::Simulator sim;
+  CpuCore core(sim, arm_config());
+  sim::TimePoint done;
+  core.run(sim::Duration::nanos(100), [&]() { done = sim.now(); });
+  sim.run();
+  EXPECT_EQ(done, sim::TimePoint::origin() + sim::Duration::nanos(220));
+  EXPECT_EQ(core.scale(sim::Duration::nanos(100)), sim::Duration::nanos(220));
+}
+
+TEST(CpuCore, CyclesConvertThroughFrequencyAndScale) {
+  sim::Simulator sim;
+  CpuCore host(sim, host_config());
+  // 1272 cycles at 2.3 GHz ≈ 553 ns.
+  EXPECT_NEAR(host.cycles(1272).to_nanos(), 553.0, 1.0);
+  CpuCore arm(sim, arm_config());
+  EXPECT_NEAR(arm.cycles(1272).to_nanos(), 553.0 * 2.2, 3.0);
+}
+
+TEST(CpuCore, ZeroCostOpCompletesViaEventNotReentrantly) {
+  sim::Simulator sim;
+  CpuCore core(sim, host_config());
+  bool done = false;
+  core.run(sim::Duration::zero(), [&]() { done = true; });
+  EXPECT_FALSE(done);  // not run synchronously inside run()
+  sim.run();
+  EXPECT_TRUE(done);
+}
+
+TEST(CpuCore, IdleAndQueueDepthTracking) {
+  sim::Simulator sim;
+  CpuCore core(sim, host_config());
+  EXPECT_TRUE(core.idle());
+  core.run(sim::Duration::nanos(100), []() {});
+  core.run(sim::Duration::nanos(100), []() {});
+  EXPECT_FALSE(core.idle());
+  EXPECT_EQ(core.queued_ops(), 1u);  // one running, one queued
+  sim.run();
+  EXPECT_TRUE(core.idle());
+}
+
+TEST(CpuCore, PreemptibleTaskCompletesOnTime) {
+  sim::Simulator sim;
+  CpuCore core(sim, host_config());
+  sim::TimePoint done;
+  core.run_preemptible(sim::Duration::micros(5), [&]() { done = sim.now(); });
+  EXPECT_TRUE(core.preemptible_running());
+  sim.run();
+  EXPECT_EQ(done, sim::TimePoint::origin() + sim::Duration::micros(5));
+  EXPECT_FALSE(core.preemptible_running());
+  EXPECT_EQ(core.stats().tasks_completed, 1u);
+}
+
+TEST(CpuCore, InterruptReportsRemainingWork) {
+  sim::Simulator sim;
+  CpuCore core(sim, host_config());
+  bool completed = false;
+  core.run_preemptible(sim::Duration::micros(100), [&]() { completed = true; });
+
+  sim::Duration remaining;
+  sim::TimePoint handler_done;
+  sim.after(sim::Duration::micros(10), [&]() {
+    core.interrupt(sim::Duration::nanos(553), [&](sim::Duration left) {
+      remaining = left;
+      handler_done = sim.now();
+    });
+  });
+  sim.run();
+  EXPECT_FALSE(completed);
+  EXPECT_EQ(remaining, sim::Duration::micros(90));
+  // Handler entry cost occupies the core after the interrupt point.
+  EXPECT_EQ(handler_done, sim::TimePoint::origin() + sim::Duration::micros(10) +
+                              sim::Duration::nanos(553));
+  EXPECT_EQ(core.stats().tasks_interrupted, 1u);
+}
+
+TEST(CpuCore, InterruptUnscalesRemainingWorkOnSlowCores) {
+  sim::Simulator sim;
+  CpuCore core(sim, arm_config());
+  core.run_preemptible(sim::Duration::micros(100), []() {});
+  // After 110 us of wall time, a 2.2x-slow core has retired 50 us of work.
+  sim::Duration remaining;
+  sim.after(sim::Duration::micros(110), [&]() {
+    core.interrupt(sim::Duration::zero(),
+                   [&](sim::Duration left) { remaining = left; });
+  });
+  sim.run();
+  EXPECT_EQ(remaining, sim::Duration::micros(50));
+}
+
+TEST(CpuCore, PreemptibleWhileBusyThrows) {
+  sim::Simulator sim;
+  CpuCore core(sim, host_config());
+  core.run(sim::Duration::micros(1), []() {});
+  EXPECT_THROW(core.run_preemptible(sim::Duration::micros(1), []() {}),
+               std::logic_error);
+  sim.run();
+  core.run_preemptible(sim::Duration::micros(1), []() {});
+  EXPECT_THROW(core.run_preemptible(sim::Duration::micros(1), []() {}),
+               std::logic_error);
+}
+
+TEST(CpuCore, InterruptWithoutTaskThrows) {
+  sim::Simulator sim;
+  CpuCore core(sim, host_config());
+  EXPECT_THROW(core.interrupt(sim::Duration::zero(), [](sim::Duration) {}),
+               std::logic_error);
+}
+
+TEST(CpuCore, NegativeCostsRejected) {
+  sim::Simulator sim;
+  CpuCore core(sim, host_config());
+  EXPECT_THROW(core.run(sim::Duration::nanos(-1), []() {}), std::logic_error);
+  EXPECT_THROW(core.run_preemptible(sim::Duration::nanos(-1), []() {}),
+               std::logic_error);
+}
+
+TEST(CpuCore, OpsQueuedBehindPreemptibleTaskRunAfterIt) {
+  sim::Simulator sim;
+  CpuCore core(sim, host_config());
+  std::vector<int> order;
+  core.run_preemptible(sim::Duration::micros(2),
+                       [&]() { order.push_back(1); });
+  // Queue an op while the task runs; it must wait for completion.
+  sim.after(sim::Duration::micros(1), [&]() {
+    core.run(sim::Duration::nanos(100), [&]() { order.push_back(2); });
+  });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+}  // namespace
+}  // namespace nicsched::hw

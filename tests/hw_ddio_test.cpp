@@ -1,0 +1,85 @@
+#include "hw/ddio.h"
+
+#include <gtest/gtest.h>
+
+namespace nicsched::hw {
+namespace {
+
+TEST(Ddio, DramPolicyAlwaysDram) {
+  const CacheCosts costs;
+  for (std::uint32_t queued : {0u, 1u, 100u, 10'000u}) {
+    EXPECT_EQ(resolve_level(PlacementPolicy::kDram, costs, queued),
+              CacheLevel::kDram);
+  }
+}
+
+TEST(Ddio, LlcPolicyRespectsLlcBudget) {
+  const CacheCosts costs;  // llc_budget = 64
+  EXPECT_EQ(resolve_level(PlacementPolicy::kDdioLlc, costs, 0),
+            CacheLevel::kLlc);
+  EXPECT_EQ(resolve_level(PlacementPolicy::kDdioLlc, costs, 63),
+            CacheLevel::kLlc);
+  EXPECT_EQ(resolve_level(PlacementPolicy::kDdioLlc, costs, 64),
+            CacheLevel::kDram);
+}
+
+TEST(Ddio, L1PolicyDegradesThroughLevels) {
+  const CacheCosts costs;  // l1_budget = 2, llc_budget = 64
+  EXPECT_EQ(resolve_level(PlacementPolicy::kDdioL1, costs, 0), CacheLevel::kL1);
+  EXPECT_EQ(resolve_level(PlacementPolicy::kDdioL1, costs, 1), CacheLevel::kL1);
+  EXPECT_EQ(resolve_level(PlacementPolicy::kDdioL1, costs, 2),
+            CacheLevel::kLlc);
+  EXPECT_EQ(resolve_level(PlacementPolicy::kDdioL1, costs, 64),
+            CacheLevel::kDram);
+}
+
+TEST(Ddio, TouchCostMatchesLevelAndRecordsStats) {
+  const CacheCosts costs;
+  DdioStats stats;
+  EXPECT_EQ(payload_touch_cost(PlacementPolicy::kDdioL1, costs, 0, stats),
+            costs.l1_touch);
+  EXPECT_EQ(payload_touch_cost(PlacementPolicy::kDdioL1, costs, 10, stats),
+            costs.llc_touch);
+  EXPECT_EQ(payload_touch_cost(PlacementPolicy::kDdioL1, costs, 100, stats),
+            costs.dram_touch);
+  EXPECT_EQ(stats.l1_touches, 1u);
+  EXPECT_EQ(stats.llc_touches, 1u);
+  EXPECT_EQ(stats.dram_touches, 1u);
+  EXPECT_EQ(stats.total(), 3u);
+  EXPECT_NEAR(stats.l1_fraction(), 1.0 / 3.0, 1e-9);
+}
+
+TEST(Ddio, CostOrderingIsPhysical) {
+  const CacheCosts costs;
+  EXPECT_LT(costs.l1_touch, costs.llc_touch);
+  EXPECT_LT(costs.llc_touch, costs.dram_touch);
+}
+
+TEST(Ddio, Names) {
+  EXPECT_STREQ(to_string(PlacementPolicy::kDdioL1), "ddio-l1");
+  EXPECT_STREQ(to_string(CacheLevel::kDram), "DRAM");
+}
+
+class DdioBudgetSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(DdioBudgetSweep, LevelIsMonotoneInQueueDepth) {
+  CacheCosts costs;
+  costs.l1_budget = GetParam();
+  costs.llc_budget = GetParam() * 8;
+  auto rank = [](CacheLevel level) {
+    return level == CacheLevel::kL1 ? 0 : level == CacheLevel::kLlc ? 1 : 2;
+  };
+  int previous = 0;
+  for (std::uint32_t queued = 0; queued < costs.llc_budget + 4; ++queued) {
+    const int current =
+        rank(resolve_level(PlacementPolicy::kDdioL1, costs, queued));
+    EXPECT_GE(current, previous) << "queued=" << queued;
+    previous = current;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, DdioBudgetSweep,
+                         ::testing::Values(1, 2, 4, 16));
+
+}  // namespace
+}  // namespace nicsched::hw

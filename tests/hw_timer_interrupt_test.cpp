@@ -1,0 +1,198 @@
+// APIC timer, interrupt line, and message channel behaviour.
+#include <gtest/gtest.h>
+
+#include "hw/apic_timer.h"
+#include "hw/channel.h"
+#include "hw/cpu_core.h"
+#include "hw/interrupt.h"
+
+namespace nicsched::hw {
+namespace {
+
+CpuCore::Config core_config() {
+  CpuCore::Config config;
+  config.frequency = sim::Frequency::gigahertz(2.3);
+  return config;
+}
+
+TEST(TimerCosts, PaperReportedValues) {
+  EXPECT_EQ(TimerCosts::dune().set_cycles, 40);
+  EXPECT_EQ(TimerCosts::dune().receive_cycles, 1272);
+  EXPECT_EQ(TimerCosts::linux_signal().set_cycles, 610);
+  EXPECT_EQ(TimerCosts::linux_signal().receive_cycles, 4193);
+  // The paper's reductions: 93 % on set, 70 % on receive.
+  EXPECT_NEAR(1.0 - 40.0 / 610.0, 0.93, 0.005);
+  EXPECT_NEAR(1.0 - 1272.0 / 4193.0, 0.70, 0.005);
+}
+
+TEST(ApicTimer, FiresAndPreemptsRunningTask) {
+  sim::Simulator sim;
+  CpuCore core(sim, core_config());
+  ApicTimer timer(sim, core, TimerCosts::dune());
+
+  bool completed = false;
+  sim::Duration remaining;
+  core.run_preemptible(sim::Duration::micros(100),
+                       [&]() { completed = true; });
+  timer.arm(sim::Duration::micros(10),
+            [&](sim::Duration left) { remaining = left; });
+  sim.run();
+
+  EXPECT_FALSE(completed);
+  EXPECT_EQ(remaining, sim::Duration::micros(90));
+  EXPECT_EQ(timer.fired_count(), 1u);
+  EXPECT_EQ(timer.spurious_count(), 0u);
+}
+
+TEST(ApicTimer, CancelPreventsExpiry) {
+  sim::Simulator sim;
+  CpuCore core(sim, core_config());
+  ApicTimer timer(sim, core, TimerCosts::dune());
+
+  bool completed = false;
+  bool preempted = false;
+  core.run_preemptible(sim::Duration::micros(5), [&]() {
+    completed = true;
+    timer.cancel();
+  });
+  timer.arm(sim::Duration::micros(10),
+            [&](sim::Duration) { preempted = true; });
+  EXPECT_TRUE(timer.armed());
+  sim.run();
+
+  EXPECT_TRUE(completed);
+  EXPECT_FALSE(preempted);
+  EXPECT_FALSE(timer.armed());
+}
+
+TEST(ApicTimer, ExpiryWithIdleCoreIsSpurious) {
+  // The §3.4.4 hazard: the task finishes before the timer fires and nobody
+  // cancels. The handler finds nothing running.
+  sim::Simulator sim;
+  CpuCore core(sim, core_config());
+  ApicTimer timer(sim, core, TimerCosts::dune());
+
+  bool preempted = false;
+  core.run_preemptible(sim::Duration::micros(2), []() {});
+  timer.arm(sim::Duration::micros(10),
+            [&](sim::Duration) { preempted = true; });
+  sim.run();
+  EXPECT_FALSE(preempted);
+  EXPECT_EQ(timer.spurious_count(), 1u);
+}
+
+TEST(ApicTimer, RearmCancelsPreviousTimer) {
+  sim::Simulator sim;
+  CpuCore core(sim, core_config());
+  ApicTimer timer(sim, core, TimerCosts::dune());
+
+  int fired_early = 0;
+  int fired_late = 0;
+  core.run_preemptible(sim::Duration::micros(100), []() {});
+  timer.arm(sim::Duration::micros(5), [&](sim::Duration) { ++fired_early; });
+  timer.arm(sim::Duration::micros(20), [&](sim::Duration) { ++fired_late; });
+  sim.run();
+  EXPECT_EQ(fired_early, 0);
+  EXPECT_EQ(fired_late, 1);
+}
+
+TEST(ApicTimer, CostsComeFromCycleCounts) {
+  sim::Simulator sim;
+  CpuCore core(sim, core_config());
+  ApicTimer dune(sim, core, TimerCosts::dune());
+  ApicTimer linux_timer(sim, core, TimerCosts::linux_signal());
+  EXPECT_NEAR(dune.set_cost().to_nanos(), 17.4, 0.2);
+  EXPECT_NEAR(dune.receive_cost().to_nanos(), 553.0, 1.0);
+  EXPECT_NEAR(linux_timer.set_cost().to_nanos(), 265.2, 1.0);
+  EXPECT_NEAR(linux_timer.receive_cost().to_nanos(), 1823.0, 2.0);
+}
+
+TEST(ApicTimer, PreemptionPointIncludesReceiveCost) {
+  sim::Simulator sim;
+  CpuCore core(sim, core_config());
+  ApicTimer timer(sim, core, TimerCosts::dune());
+
+  sim::TimePoint handler_at;
+  core.run_preemptible(sim::Duration::micros(100), []() {});
+  timer.arm(sim::Duration::micros(10),
+            [&](sim::Duration) { handler_at = sim.now(); });
+  sim.run();
+  EXPECT_EQ(handler_at, sim::TimePoint::origin() + sim::Duration::micros(10) +
+                            core.cycles(1272));
+}
+
+TEST(InterruptLine, DeliversAfterLatency) {
+  sim::Simulator sim;
+  CpuCore core(sim, core_config());
+  InterruptLine line(sim, core,
+                     InterruptLine::Config{sim::Duration::nanos(300), 1272});
+
+  core.run_preemptible(sim::Duration::micros(50), []() {});
+  sim::Duration remaining;
+  sim.after(sim::Duration::micros(10),
+            [&]() { line.send([&](sim::Duration left) { remaining = left; }); });
+  sim.run();
+  // Interrupt lands at 10 us + 300 ns; ~10.3 us of work retired.
+  EXPECT_EQ(remaining, sim::Duration::micros(50) - sim::Duration::micros(10) -
+                           sim::Duration::nanos(300));
+  EXPECT_EQ(line.delivered_count(), 1u);
+}
+
+TEST(InterruptLine, SpuriousWhenTargetFinishedDuringDelivery) {
+  sim::Simulator sim;
+  CpuCore core(sim, core_config());
+  InterruptLine line(sim, core,
+                     InterruptLine::Config{sim::Duration::nanos(300), 1272});
+
+  core.run_preemptible(sim::Duration::micros(10), []() {});
+  bool delivered = false;
+  bool spurious = false;
+  // Send so that delivery lands just after the task completes.
+  sim.after(sim::Duration::micros(10) - sim::Duration::nanos(100), [&]() {
+    line.send([&](sim::Duration) { delivered = true; },
+              [&]() { spurious = true; });
+  });
+  sim.run();
+  EXPECT_FALSE(delivered);
+  EXPECT_TRUE(spurious);
+  EXPECT_EQ(line.spurious_count(), 1u);
+}
+
+TEST(MessageChannel, VisibilityLatencyAndFifo) {
+  sim::Simulator sim;
+  MessageChannel<int> channel(sim, sim::Duration::nanos(150));
+  std::vector<std::pair<sim::TimePoint, int>> received;
+  channel.set_on_message([&]() {
+    while (auto message = channel.pop()) {
+      received.emplace_back(sim.now(), *message);
+    }
+  });
+  channel.send(1);
+  channel.send(2);
+  sim.after(sim::Duration::nanos(50), [&]() { channel.send(3); });
+  sim.run();
+
+  ASSERT_EQ(received.size(), 3u);
+  EXPECT_EQ(received[0],
+            std::make_pair(sim::TimePoint::origin() + sim::Duration::nanos(150), 1));
+  EXPECT_EQ(received[1].second, 2);
+  EXPECT_EQ(received[2],
+            std::make_pair(sim::TimePoint::origin() + sim::Duration::nanos(200), 3));
+  EXPECT_EQ(channel.stats().sent, 3u);
+  EXPECT_EQ(channel.stats().received, 3u);
+}
+
+TEST(MessageChannel, PopOnEmptyReturnsNullopt) {
+  sim::Simulator sim;
+  MessageChannel<int> channel(sim, sim::Duration::nanos(150));
+  EXPECT_FALSE(channel.pop().has_value());
+  channel.send(42);
+  // Not yet visible.
+  EXPECT_TRUE(channel.empty());
+  sim.run();
+  EXPECT_EQ(channel.depth(), 1u);
+  EXPECT_EQ(channel.pop(), 42);
+}
+
+}  // namespace
+}  // namespace nicsched::hw

@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "net/ipv4_address.h"
+#include "net/mac_address.h"
+
+namespace nicsched::net {
+namespace {
+
+TEST(MacAddress, ParseFormatsRoundTrip) {
+  const auto mac = MacAddress::parse("02:1a:ff:00:9b:7c");
+  ASSERT_TRUE(mac.has_value());
+  EXPECT_EQ(mac->to_string(), "02:1a:ff:00:9b:7c");
+  EXPECT_EQ(MacAddress::parse(mac->to_string()), *mac);
+}
+
+TEST(MacAddress, ParseAcceptsUppercase) {
+  const auto mac = MacAddress::parse("AA:BB:CC:DD:EE:FF");
+  ASSERT_TRUE(mac.has_value());
+  EXPECT_EQ(mac->to_string(), "aa:bb:cc:dd:ee:ff");
+}
+
+TEST(MacAddress, ParseRejectsMalformedInput) {
+  EXPECT_FALSE(MacAddress::parse("").has_value());
+  EXPECT_FALSE(MacAddress::parse("02:1a:ff:00:9b").has_value());
+  EXPECT_FALSE(MacAddress::parse("02:1a:ff:00:9b:7c:00").has_value());
+  EXPECT_FALSE(MacAddress::parse("02-1a-ff-00-9b-7c").has_value());
+  EXPECT_FALSE(MacAddress::parse("0g:1a:ff:00:9b:7c").has_value());
+  EXPECT_FALSE(MacAddress::parse("021aff009b7c").has_value());
+}
+
+TEST(MacAddress, BroadcastAndMulticastBits) {
+  EXPECT_TRUE(MacAddress::broadcast().is_broadcast());
+  EXPECT_TRUE(MacAddress::broadcast().is_multicast());
+  const auto unicast = MacAddress::from_index(5);
+  EXPECT_FALSE(unicast.is_broadcast());
+  EXPECT_FALSE(unicast.is_multicast());
+  const auto multicast = MacAddress::parse("01:00:5e:00:00:01");
+  ASSERT_TRUE(multicast.has_value());
+  EXPECT_TRUE(multicast->is_multicast());
+}
+
+TEST(MacAddress, FromIndexIsUniqueAndLocallyAdministered) {
+  std::set<MacAddress> macs;
+  for (std::uint32_t i = 0; i < 10'000; ++i) {
+    const auto mac = MacAddress::from_index(i);
+    EXPECT_EQ(mac.octets()[0], 0x02);
+    macs.insert(mac);
+  }
+  EXPECT_EQ(macs.size(), 10'000u);
+}
+
+TEST(MacAddress, HashDistinguishes) {
+  const std::hash<MacAddress> hasher;
+  EXPECT_NE(hasher(MacAddress::from_index(1)),
+            hasher(MacAddress::from_index(2)));
+}
+
+TEST(Ipv4Address, ParseFormatsRoundTrip) {
+  const auto ip = Ipv4Address::parse("192.168.1.200");
+  ASSERT_TRUE(ip.has_value());
+  EXPECT_EQ(ip->to_string(), "192.168.1.200");
+  EXPECT_EQ(ip->octets(), (std::array<std::uint8_t, 4>{192, 168, 1, 200}));
+  EXPECT_EQ(ip->bits(), 0xC0A801C8u);
+}
+
+TEST(Ipv4Address, ParseRejectsMalformedInput) {
+  EXPECT_FALSE(Ipv4Address::parse("").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3.4.5").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3.256").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3.").has_value());
+  EXPECT_FALSE(Ipv4Address::parse(".1.2.3").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("a.b.c.d").has_value());
+}
+
+TEST(Ipv4Address, OctetConstructorMatchesBits) {
+  const Ipv4Address ip(10, 0, 1, 2);
+  EXPECT_EQ(ip.bits(), 0x0A000102u);
+  EXPECT_EQ(Ipv4Address(0x0A000102u), ip);
+}
+
+TEST(Ipv4Address, FromIndexStaysInTenSlashEight) {
+  for (std::uint32_t i : {0u, 1u, 255u, 70'000u}) {
+    EXPECT_EQ(Ipv4Address::from_index(i).octets()[0], 10);
+  }
+  EXPECT_NE(Ipv4Address::from_index(1), Ipv4Address::from_index(2));
+}
+
+}  // namespace
+}  // namespace nicsched::net

@@ -1,0 +1,107 @@
+#include "net/checksum.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/random.h"
+
+namespace nicsched::net {
+namespace {
+
+TEST(InternetChecksum, Rfc1071WorkedExample) {
+  // The classic worked example from RFC 1071 §3: data 00 01 f2 03 f4 f5 f6 f7
+  // sums to 0xddf2 (with carry folded), so the checksum is ~0xddf2 = 0x220d.
+  const std::vector<std::uint8_t> data = {0x00, 0x01, 0xf2, 0x03,
+                                          0xf4, 0xf5, 0xf6, 0xf7};
+  EXPECT_EQ(internet_checksum(data), 0x220d);
+}
+
+TEST(InternetChecksum, OddLengthPadsWithZero) {
+  const std::vector<std::uint8_t> even = {0x12, 0x34, 0x56, 0x00};
+  const std::vector<std::uint8_t> odd = {0x12, 0x34, 0x56};
+  EXPECT_EQ(internet_checksum(even), internet_checksum(odd));
+}
+
+TEST(InternetChecksum, MessageWithInsertedChecksumVerifiesToZero) {
+  sim::Rng rng(42);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<std::uint8_t> data(2 * (2 + rng.uniform_int(1, 40)), 0);
+    for (auto& byte : data) {
+      byte = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    }
+    data[2] = 0;
+    data[3] = 0;
+    const std::uint16_t checksum = internet_checksum(data);
+    data[2] = static_cast<std::uint8_t>(checksum >> 8);
+    data[3] = static_cast<std::uint8_t>(checksum);
+    EXPECT_EQ(internet_checksum(data), 0);
+  }
+}
+
+TEST(InternetChecksum, IncrementalMatchesOneShot) {
+  const std::vector<std::uint8_t> part1 = {0xde, 0xad, 0xbe, 0xef};
+  const std::vector<std::uint8_t> part2 = {0x01, 0x02, 0x03, 0x04};
+  std::vector<std::uint8_t> all = part1;
+  all.insert(all.end(), part2.begin(), part2.end());
+
+  InternetChecksum incremental;
+  incremental.add(part1);
+  incremental.add(part2);
+  EXPECT_EQ(incremental.finish(), internet_checksum(all));
+}
+
+TEST(InternetChecksum, AddU16AndU32MatchByteFeeds) {
+  InternetChecksum by_words;
+  by_words.add_u32(0xC0A80101u);
+  by_words.add_u16(0x1234);
+
+  InternetChecksum by_bytes;
+  const std::vector<std::uint8_t> bytes = {0xC0, 0xA8, 0x01, 0x01, 0x12, 0x34};
+  by_bytes.add(bytes);
+  EXPECT_EQ(by_words.finish(), by_bytes.finish());
+}
+
+TEST(UdpChecksum, ZeroResultTransmitsAsAllOnes) {
+  // Construct a segment whose checksum would come out 0 and confirm the
+  // RFC 768 substitution. Easiest: compute any segment, then adjust.
+  // Instead verify the rule indirectly: udp_checksum never returns 0.
+  sim::Rng rng(7);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<std::uint8_t> segment(8 + rng.uniform_int(0, 64), 0);
+    for (auto& byte : segment) {
+      byte = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    }
+    segment[6] = 0;  // checksum field
+    segment[7] = 0;
+    const std::uint16_t checksum =
+        udp_checksum(Ipv4Address(10, 0, 0, 1), Ipv4Address(10, 0, 0, 2),
+                     segment);
+    EXPECT_NE(checksum, 0);
+  }
+}
+
+TEST(UdpChecksum, VerifiesWithPseudoHeader) {
+  const Ipv4Address src(10, 0, 0, 1);
+  const Ipv4Address dst(10, 0, 0, 9);
+  std::vector<std::uint8_t> segment = {
+      0x1f, 0x90, 0x1f, 0x91,  // ports 8080 -> 8081
+      0x00, 0x0c,              // length 12
+      0x00, 0x00,              // checksum placeholder
+      0xde, 0xad, 0xbe, 0xef,  // payload
+  };
+  const std::uint16_t checksum = udp_checksum(src, dst, segment);
+  segment[6] = static_cast<std::uint8_t>(checksum >> 8);
+  segment[7] = static_cast<std::uint8_t>(checksum);
+
+  InternetChecksum verify;
+  verify.add_u32(src.bits());
+  verify.add_u32(dst.bits());
+  verify.add_u16(17);
+  verify.add_u16(static_cast<std::uint16_t>(segment.size()));
+  verify.add(segment);
+  EXPECT_EQ(verify.finish(), 0);
+}
+
+}  // namespace
+}  // namespace nicsched::net

@@ -1,0 +1,303 @@
+// Wire, switch, and NIC behaviour: timing, steering, drops, batching.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/ethernet_switch.h"
+#include "net/nic.h"
+#include "net/wire.h"
+#include "sim/simulator.h"
+
+namespace nicsched::net {
+namespace {
+
+/// Collects delivered packets with their arrival times.
+class SinkSpy : public PacketSink {
+ public:
+  explicit SinkSpy(sim::Simulator& sim) : sim_(sim) {}
+
+  void deliver(Packet packet) override {
+    arrivals.emplace_back(sim_.now(), std::move(packet));
+  }
+
+  std::vector<std::pair<sim::TimePoint, Packet>> arrivals;
+
+ private:
+  sim::Simulator& sim_;
+};
+
+DatagramAddress address_between(std::uint32_t src, std::uint32_t dst) {
+  DatagramAddress address;
+  address.src_mac = MacAddress::from_index(src);
+  address.dst_mac = MacAddress::from_index(dst);
+  address.src_ip = Ipv4Address::from_index(src);
+  address.dst_ip = Ipv4Address::from_index(dst);
+  address.src_port = 1000;
+  address.dst_port = 2000;
+  return address;
+}
+
+Packet frame_to(std::uint32_t dst, std::size_t payload = 0) {
+  return make_udp_datagram(address_between(900, dst),
+                           std::vector<std::uint8_t>(payload, 0));
+}
+
+TEST(Wire, DeliveryTimeIsSerializationPlusLatency) {
+  sim::Simulator sim;
+  SinkSpy sink(sim);
+  // 10 Gb/s, 2 us propagation.
+  Wire wire(sim, sink, sim::Duration::micros(2), 10.0);
+
+  const Packet packet = frame_to(1);  // 42-byte frame → 64+20 wire bytes
+  const sim::Duration serialization =
+      wire.serialization_delay(packet.wire_size());
+  EXPECT_EQ(serialization, sim::Duration::nanos(84.0 * 8.0 / 10.0));
+
+  wire.transmit(packet);
+  sim.run();
+  ASSERT_EQ(sink.arrivals.size(), 1u);
+  EXPECT_EQ(sink.arrivals[0].first,
+            sim::TimePoint::origin() + serialization + sim::Duration::micros(2));
+}
+
+TEST(Wire, BackToBackFramesSerializeInFifoOrder) {
+  sim::Simulator sim;
+  SinkSpy sink(sim);
+  Wire wire(sim, sink, sim::Duration::micros(1), 10.0);
+
+  const Packet a = frame_to(1, 1000);  // ~1062B frame → 1082 wire bytes
+  const Packet b = frame_to(1);
+  const sim::Duration ser_a = wire.serialization_delay(a.wire_size());
+  const sim::Duration ser_b = wire.serialization_delay(b.wire_size());
+  wire.transmit(a);
+  wire.transmit(b);
+  sim.run();
+
+  ASSERT_EQ(sink.arrivals.size(), 2u);
+  // First frame: ser_a + latency. Second waits for the port: ser_a + ser_b +
+  // latency.
+  EXPECT_EQ(sink.arrivals[0].first,
+            sim::TimePoint::origin() + ser_a + sim::Duration::micros(1));
+  EXPECT_EQ(sink.arrivals[1].first,
+            sim::TimePoint::origin() + ser_a + ser_b + sim::Duration::micros(1));
+  EXPECT_EQ(wire.stats().packets, 2u);
+  EXPECT_EQ(wire.stats().bytes, a.size() + b.size());
+}
+
+TEST(EthernetSwitch, ForwardsByDestinationMac) {
+  sim::Simulator sim;
+  EthernetSwitch ethernet_switch(sim, sim::Duration::nanos(100));
+  SinkSpy left(sim), right(sim);
+  ethernet_switch.attach(MacAddress::from_index(1), left,
+                         sim::Duration::nanos(50), 10.0);
+  ethernet_switch.attach(MacAddress::from_index(2), right,
+                         sim::Duration::nanos(50), 10.0);
+
+  ethernet_switch.ingress().deliver(frame_to(2));
+  sim.run();
+  EXPECT_EQ(left.arrivals.size(), 0u);
+  EXPECT_EQ(right.arrivals.size(), 1u);
+  EXPECT_EQ(ethernet_switch.stats().forwarded, 1u);
+}
+
+TEST(EthernetSwitch, DropsUnknownMac) {
+  sim::Simulator sim;
+  EthernetSwitch ethernet_switch(sim, sim::Duration::nanos(100));
+  SinkSpy sink(sim);
+  ethernet_switch.attach(MacAddress::from_index(1), sink,
+                         sim::Duration::nanos(50), 10.0);
+  ethernet_switch.ingress().deliver(frame_to(99));
+  sim.run();
+  EXPECT_EQ(sink.arrivals.size(), 0u);
+  EXPECT_EQ(ethernet_switch.stats().dropped_unknown, 1u);
+}
+
+TEST(EthernetSwitch, BroadcastFloodsAllPorts) {
+  sim::Simulator sim;
+  EthernetSwitch ethernet_switch(sim, sim::Duration::zero());
+  SinkSpy a(sim), b(sim), c(sim);
+  ethernet_switch.attach(MacAddress::from_index(1), a, sim::Duration::zero(), 10.0);
+  ethernet_switch.attach(MacAddress::from_index(2), b, sim::Duration::zero(), 10.0);
+  ethernet_switch.attach(MacAddress::from_index(3), c, sim::Duration::zero(), 10.0);
+
+  DatagramAddress address = address_between(900, 901);
+  address.dst_mac = MacAddress::broadcast();
+  ethernet_switch.ingress().deliver(make_udp_datagram(address, {}));
+  sim.run();
+  EXPECT_EQ(a.arrivals.size(), 1u);
+  EXPECT_EQ(b.arrivals.size(), 1u);
+  EXPECT_EQ(c.arrivals.size(), 1u);
+  EXPECT_EQ(ethernet_switch.stats().flooded, 1u);
+}
+
+TEST(EthernetSwitch, DuplicateMacAttachThrows) {
+  sim::Simulator sim;
+  EthernetSwitch ethernet_switch(sim, sim::Duration::zero());
+  SinkSpy sink(sim);
+  ethernet_switch.attach(MacAddress::from_index(1), sink,
+                         sim::Duration::zero(), 10.0);
+  EXPECT_THROW(ethernet_switch.attach(MacAddress::from_index(1), sink,
+                                      sim::Duration::zero(), 10.0),
+               std::logic_error);
+}
+
+class NicFixture : public ::testing::Test {
+ protected:
+  NicFixture() : nic_(sim_, nic_config()) {}
+
+  static Nic::Config nic_config() {
+    Nic::Config config;
+    config.rx_latency = sim::Duration::nanos(600);
+    config.tx_latency = sim::Duration::zero();
+    config.ring_capacity = 4;
+    return config;
+  }
+
+  sim::Simulator sim_;
+  Nic nic_;
+};
+
+TEST_F(NicFixture, SteersToInterfaceByMacWithRxLatency) {
+  auto& a = nic_.add_interface("a", MacAddress::from_index(10),
+                               Ipv4Address::from_index(10));
+  auto& b = nic_.add_interface("b", MacAddress::from_index(11),
+                               Ipv4Address::from_index(11));
+
+  sim::TimePoint arrival;
+  a.ring(0).set_on_packet([&]() { arrival = sim_.now(); });
+
+  nic_.deliver(frame_to(10));
+  sim_.run();
+  EXPECT_EQ(a.ring(0).depth(), 1u);
+  EXPECT_EQ(b.ring(0).depth(), 0u);
+  EXPECT_EQ(arrival, sim::TimePoint::origin() + sim::Duration::nanos(600));
+}
+
+TEST_F(NicFixture, UnknownMacIsCountedDropped) {
+  nic_.add_interface("a", MacAddress::from_index(10),
+                     Ipv4Address::from_index(10));
+  nic_.deliver(frame_to(66));
+  sim_.run();
+  EXPECT_EQ(nic_.rx_unknown_mac_drops(), 1u);
+}
+
+TEST_F(NicFixture, RingOverflowDrops) {
+  auto& iface = nic_.add_interface("a", MacAddress::from_index(10),
+                                   Ipv4Address::from_index(10));
+  for (int i = 0; i < 6; ++i) nic_.deliver(frame_to(10));
+  sim_.run();
+  EXPECT_EQ(iface.ring(0).depth(), 4u);  // capacity 4
+  EXPECT_EQ(iface.ring(0).stats().dropped, 2u);
+}
+
+TEST_F(NicFixture, RssSpreadsFlowsAcrossRings) {
+  auto& iface = nic_.add_interface("a", MacAddress::from_index(10),
+                                   Ipv4Address::from_index(10), 4);
+  iface.use_rss();
+  for (std::uint16_t port = 0; port < 400; ++port) {
+    DatagramAddress address = address_between(900, 10);
+    address.src_port = static_cast<std::uint16_t>(30000 + port);
+    nic_.deliver(make_udp_datagram(address, {}));
+  }
+  sim_.run();
+  std::size_t populated = 0;
+  std::uint64_t total = 0;
+  for (std::size_t ring = 0; ring < 4; ++ring) {
+    const auto& stats = iface.ring(ring).stats();
+    total += stats.enqueued + stats.dropped;
+    if (stats.enqueued > 0) ++populated;
+  }
+  EXPECT_EQ(populated, 4u);
+  EXPECT_EQ(total, 400u);
+}
+
+TEST_F(NicFixture, FlowDirectorPortRulesSteerDeterministically) {
+  auto& iface = nic_.add_interface("a", MacAddress::from_index(10),
+                                   Ipv4Address::from_index(10), 4);
+  iface.use_flow_director();
+  for (std::uint32_t partition = 0; partition < 4; ++partition) {
+    iface.flow_director().add_dst_port_rule(
+        static_cast<std::uint16_t>(8080 + partition), partition);
+  }
+  for (std::uint32_t partition = 0; partition < 4; ++partition) {
+    DatagramAddress address = address_between(900, 10);
+    address.dst_port = static_cast<std::uint16_t>(8080 + partition);
+    nic_.deliver(make_udp_datagram(address, {}));
+    nic_.deliver(make_udp_datagram(address, {}));
+  }
+  sim_.run();
+  for (std::size_t ring = 0; ring < 4; ++ring) {
+    EXPECT_EQ(iface.ring(ring).stats().enqueued, 2u) << "ring " << ring;
+  }
+}
+
+TEST(NicBatching, FlushOnCountAndTimeout) {
+  sim::Simulator sim;
+  Nic::Config config;
+  config.rx_latency = sim::Duration::zero();
+  config.tx_latency = sim::Duration::zero();
+  Nic nic(sim, config);
+  auto& iface = nic.add_interface("a", MacAddress::from_index(10),
+                                  Ipv4Address::from_index(10));
+  SinkSpy network(sim);
+  nic.connect_uplink(network, sim::Duration::zero(), 10.0);
+  iface.enable_tx_batching(3, sim::Duration::micros(8));
+
+  // Two frames: below the batch size, flushed by the 8 us timeout.
+  iface.transmit(frame_to(1));
+  iface.transmit(frame_to(1));
+  sim.run();
+  EXPECT_EQ(network.arrivals.size(), 2u);
+  EXPECT_EQ(iface.tx_batches_flushed(), 1u);
+  EXPECT_GE(network.arrivals[0].first,
+            sim::TimePoint::origin() + sim::Duration::micros(8));
+
+  // Three frames: flushed immediately by count.
+  const sim::TimePoint start = sim.now();
+  iface.transmit(frame_to(1));
+  iface.transmit(frame_to(1));
+  iface.transmit(frame_to(1));
+  sim.run();
+  EXPECT_EQ(network.arrivals.size(), 5u);
+  EXPECT_EQ(iface.tx_batches_flushed(), 2u);
+  // Flush happened at `start` (plus wire serialization only).
+  EXPECT_LT(network.arrivals[4].first, start + sim::Duration::micros(2));
+}
+
+TEST(NicBatching, WithoutBatchingFramesLeaveImmediately) {
+  sim::Simulator sim;
+  Nic::Config config;
+  config.rx_latency = sim::Duration::zero();
+  config.tx_latency = sim::Duration::zero();
+  Nic nic(sim, config);
+  auto& iface = nic.add_interface("a", MacAddress::from_index(10),
+                                  Ipv4Address::from_index(10));
+  SinkSpy network(sim);
+  nic.connect_uplink(network, sim::Duration::zero(), 10.0);
+  iface.transmit(frame_to(1));
+  sim.run();
+  ASSERT_EQ(network.arrivals.size(), 1u);
+  EXPECT_LT(network.arrivals[0].first,
+            sim::TimePoint::origin() + sim::Duration::micros(1));
+}
+
+TEST(Nic, TransmitWithoutUplinkThrows) {
+  sim::Simulator sim;
+  Nic nic(sim, Nic::Config{});
+  auto& iface = nic.add_interface("a", MacAddress::from_index(10),
+                                  Ipv4Address::from_index(10));
+  EXPECT_THROW(iface.transmit(frame_to(1)), std::logic_error);
+}
+
+TEST(Nic, DuplicateInterfaceMacThrows) {
+  sim::Simulator sim;
+  Nic nic(sim, Nic::Config{});
+  nic.add_interface("a", MacAddress::from_index(10),
+                    Ipv4Address::from_index(10));
+  EXPECT_THROW(nic.add_interface("b", MacAddress::from_index(10),
+                                 Ipv4Address::from_index(11)),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace nicsched::net

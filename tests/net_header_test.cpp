@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/byte_io.h"
+#include "net/checksum.h"
+#include "net/ethernet.h"
+#include "net/ipv4.h"
+#include "net/udp.h"
+#include "sim/random.h"
+
+namespace nicsched::net {
+namespace {
+
+TEST(ByteIo, WriterProducesBigEndian) {
+  std::vector<std::uint8_t> out;
+  ByteWriter writer(out);
+  writer.u8(0xAB);
+  writer.u16(0x1234);
+  writer.u32(0xDEADBEEF);
+  writer.u64(0x0102030405060708ULL);
+  const std::vector<std::uint8_t> expected = {
+      0xAB, 0x12, 0x34, 0xDE, 0xAD, 0xBE, 0xEF,
+      0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08};
+  EXPECT_EQ(out, expected);
+}
+
+TEST(ByteIo, ReaderRoundTripsWriter) {
+  std::vector<std::uint8_t> out;
+  ByteWriter writer(out);
+  writer.u8(7);
+  writer.u16(65535);
+  writer.u32(0);
+  writer.u64(0xFFFFFFFFFFFFFFFFULL);
+
+  ByteReader reader(out);
+  EXPECT_EQ(reader.u8(), 7);
+  EXPECT_EQ(reader.u16(), 65535);
+  EXPECT_EQ(reader.u32(), 0u);
+  EXPECT_EQ(reader.u64(), 0xFFFFFFFFFFFFFFFFULL);
+  EXPECT_EQ(reader.remaining(), 0u);
+}
+
+TEST(ByteIo, ReaderThrowsOnTruncation) {
+  const std::vector<std::uint8_t> data = {1, 2, 3};
+  ByteReader reader(data);
+  reader.u16();
+  EXPECT_THROW(reader.u16(), std::out_of_range);
+  ByteReader reader2(data);
+  EXPECT_THROW(reader2.bytes(4), std::out_of_range);
+  ByteReader reader3(data);
+  EXPECT_THROW(reader3.skip(4), std::out_of_range);
+}
+
+TEST(ByteIo, RestConsumesEverything) {
+  const std::vector<std::uint8_t> data = {1, 2, 3, 4};
+  ByteReader reader(data);
+  reader.u8();
+  const auto rest = reader.rest();
+  EXPECT_EQ(rest.size(), 3u);
+  EXPECT_EQ(rest[0], 2);
+  EXPECT_EQ(reader.remaining(), 0u);
+}
+
+TEST(EthernetHeader, RoundTrip) {
+  EthernetHeader header;
+  header.dst = MacAddress::from_index(42);
+  header.src = MacAddress::from_index(7);
+  header.ether_type = static_cast<std::uint16_t>(EtherType::kIpv4);
+
+  std::vector<std::uint8_t> out;
+  ByteWriter writer(out);
+  header.serialize(writer);
+  EXPECT_EQ(out.size(), EthernetHeader::kSize);
+
+  ByteReader reader(out);
+  const auto parsed = EthernetHeader::parse(reader);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, header);
+}
+
+TEST(EthernetHeader, ParseRejectsTruncation) {
+  const std::vector<std::uint8_t> short_frame(13, 0);
+  ByteReader reader(short_frame);
+  EXPECT_FALSE(EthernetHeader::parse(reader).has_value());
+}
+
+TEST(Ipv4Header, RoundTripWithValidChecksum) {
+  Ipv4Header header;
+  header.total_length = 48;
+  header.identification = 0x1234;
+  header.ttl = 17;
+  header.src = Ipv4Address(10, 0, 0, 1);
+  header.dst = Ipv4Address(10, 0, 0, 2);
+
+  std::vector<std::uint8_t> out;
+  ByteWriter writer(out);
+  header.serialize(writer);
+  EXPECT_EQ(out.size(), Ipv4Header::kSize);
+
+  ByteReader reader(out);
+  const auto parsed = Ipv4Header::parse(reader);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, header);
+}
+
+TEST(Ipv4Header, ParseRejectsCorruptedChecksum) {
+  Ipv4Header header;
+  header.total_length = 28;
+  header.src = Ipv4Address(10, 0, 0, 1);
+  header.dst = Ipv4Address(10, 0, 0, 2);
+  std::vector<std::uint8_t> out;
+  ByteWriter writer(out);
+  header.serialize(writer);
+
+  for (std::size_t corrupt = 0; corrupt < out.size(); ++corrupt) {
+    auto copy = out;
+    copy[corrupt] ^= 0x01;
+    ByteReader reader(copy);
+    EXPECT_FALSE(Ipv4Header::parse(reader).has_value())
+        << "bit flip at byte " << corrupt << " not detected";
+  }
+}
+
+TEST(Ipv4Header, ParseRejectsWrongVersionOrOptions) {
+  Ipv4Header header;
+  header.total_length = 28;
+  std::vector<std::uint8_t> out;
+  ByteWriter writer(out);
+  header.serialize(writer);
+
+  auto v6 = out;
+  v6[0] = 0x65;  // version 6
+  // Fix the checksum so only the version check can reject.
+  v6[10] = 0;
+  v6[11] = 0;
+  const std::uint16_t checksum = internet_checksum(v6);
+  v6[10] = static_cast<std::uint8_t>(checksum >> 8);
+  v6[11] = static_cast<std::uint8_t>(checksum);
+  ByteReader reader(v6);
+  EXPECT_FALSE(Ipv4Header::parse(reader).has_value());
+}
+
+TEST(UdpHeader, RoundTrip) {
+  UdpHeader header;
+  header.src_port = 20001;
+  header.dst_port = 8080;
+  header.length = 36;
+  header.checksum = 0xBEEF;
+
+  std::vector<std::uint8_t> out;
+  ByteWriter writer(out);
+  header.serialize(writer);
+  EXPECT_EQ(out.size(), UdpHeader::kSize);
+
+  ByteReader reader(out);
+  const auto parsed = UdpHeader::parse(reader);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, header);
+}
+
+TEST(UdpHeader, ParseRejectsImpossibleLength) {
+  UdpHeader header;
+  header.length = 4;  // below the 8-byte header minimum
+  std::vector<std::uint8_t> out;
+  ByteWriter writer(out);
+  header.serialize(writer);
+  ByteReader reader(out);
+  EXPECT_FALSE(UdpHeader::parse(reader).has_value());
+}
+
+class RandomHeaderRoundTrip : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(RandomHeaderRoundTrip, AllThreeLayersSurvive) {
+  sim::Rng rng(GetParam());
+  for (int trial = 0; trial < 200; ++trial) {
+    Ipv4Header ip;
+    ip.total_length = static_cast<std::uint16_t>(rng.uniform_int(20, 1500));
+    ip.identification = static_cast<std::uint16_t>(rng.uniform_int(0, 65535));
+    ip.ttl = static_cast<std::uint8_t>(rng.uniform_int(1, 255));
+    ip.src = Ipv4Address(static_cast<std::uint32_t>(rng.uniform_int(0, 0xFFFFFFFF)));
+    ip.dst = Ipv4Address(static_cast<std::uint32_t>(rng.uniform_int(0, 0xFFFFFFFF)));
+
+    std::vector<std::uint8_t> out;
+    ByteWriter writer(out);
+    ip.serialize(writer);
+    ByteReader reader(out);
+    const auto parsed = Ipv4Header::parse(reader);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, ip);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomHeaderRoundTrip,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace nicsched::net

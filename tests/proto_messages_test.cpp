@@ -1,0 +1,136 @@
+#include "proto/messages.h"
+
+#include <gtest/gtest.h>
+
+namespace nicsched::proto {
+namespace {
+
+RequestDescriptor sample_descriptor() {
+  RequestDescriptor descriptor;
+  descriptor.request_id = 0x0102030405060708ULL;
+  descriptor.client_id = 7;
+  descriptor.kind = 1;
+  descriptor.remaining_ps = 55'000'000;
+  descriptor.total_ps = 100'000'000;
+  descriptor.preempt_count = 3;
+  descriptor.client_mac = net::MacAddress::from_index(42);
+  descriptor.client_ip = net::Ipv4Address(10, 0, 0, 42);
+  descriptor.client_port = 20017;
+  return descriptor;
+}
+
+TEST(RequestMessage, RoundTrip) {
+  RequestMessage message;
+  message.request_id = 99;
+  message.client_id = 3;
+  message.kind = 2;
+  message.work_ps = 5'000'000;
+  message.padding = 40;
+
+  const auto bytes = message.serialize();
+  EXPECT_EQ(bytes.size(), 4u + 24u + 40u);  // header + body + padding
+  const auto parsed = RequestMessage::parse(bytes);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, message);
+}
+
+TEST(RequestMessage, PaddingControlsWireSize) {
+  RequestMessage small;
+  small.padding = 0;
+  RequestMessage large;
+  large.padding = 996;
+  EXPECT_EQ(large.serialize().size() - small.serialize().size(), 996u);
+}
+
+TEST(RequestMessage, ParseRejectsTruncatedPadding) {
+  RequestMessage message;
+  message.padding = 100;
+  auto bytes = message.serialize();
+  bytes.resize(bytes.size() - 50);
+  EXPECT_FALSE(RequestMessage::parse(bytes).has_value());
+}
+
+TEST(RequestDescriptor, RoundTripAsAssignmentAndPreemption) {
+  const RequestDescriptor descriptor = sample_descriptor();
+  for (const MessageType type :
+       {MessageType::kAssignment, MessageType::kPreemption}) {
+    const auto bytes = descriptor.serialize(type);
+    const auto parsed = RequestDescriptor::parse(bytes, type);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, descriptor);
+  }
+}
+
+TEST(RequestDescriptor, TypeMismatchRejected) {
+  const auto bytes = sample_descriptor().serialize(MessageType::kAssignment);
+  EXPECT_FALSE(
+      RequestDescriptor::parse(bytes, MessageType::kPreemption).has_value());
+  EXPECT_FALSE(
+      RequestDescriptor::parse(bytes, MessageType::kRequest).has_value());
+}
+
+TEST(CompletionMessage, RoundTrip) {
+  CompletionMessage message;
+  message.request_id = 12345;
+  message.worker_id = 9;
+  const auto parsed = CompletionMessage::parse(message.serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, message);
+}
+
+TEST(ResponseMessage, RoundTrip) {
+  ResponseMessage message;
+  message.request_id = 777;
+  message.client_id = 4;
+  message.kind = 1;
+  message.preempt_count = 10;
+  const auto parsed = ResponseMessage::parse(message.serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, message);
+}
+
+TEST(PeekType, IdentifiesAllTypes) {
+  RequestMessage request;
+  EXPECT_EQ(peek_type(request.serialize()), MessageType::kRequest);
+  EXPECT_EQ(peek_type(sample_descriptor().serialize(MessageType::kAssignment)),
+            MessageType::kAssignment);
+  EXPECT_EQ(peek_type(sample_descriptor().serialize(MessageType::kPreemption)),
+            MessageType::kPreemption);
+  EXPECT_EQ(peek_type(CompletionMessage{}.serialize()),
+            MessageType::kCompletion);
+  EXPECT_EQ(peek_type(ResponseMessage{}.serialize()), MessageType::kResponse);
+}
+
+TEST(PeekType, RejectsGarbage) {
+  EXPECT_FALSE(peek_type({}).has_value());
+  const std::vector<std::uint8_t> short_payload = {0x4E, 0x53};
+  EXPECT_FALSE(peek_type(short_payload).has_value());
+  const std::vector<std::uint8_t> bad_magic = {0x00, 0x00, 1, 1, 0, 0, 0, 0};
+  EXPECT_FALSE(peek_type(bad_magic).has_value());
+  const std::vector<std::uint8_t> bad_version = {0x4E, 0x53, 9, 1};
+  EXPECT_FALSE(peek_type(bad_version).has_value());
+  const std::vector<std::uint8_t> bad_type = {0x4E, 0x53, 1, 99};
+  EXPECT_FALSE(peek_type(bad_type).has_value());
+}
+
+TEST(AllMessages, ParseRejectsWrongMagicVersionTruncation) {
+  auto bytes = sample_descriptor().serialize(MessageType::kAssignment);
+
+  auto bad_magic = bytes;
+  bad_magic[0] = 0xFF;
+  EXPECT_FALSE(RequestDescriptor::parse(bad_magic, MessageType::kAssignment)
+                   .has_value());
+
+  auto bad_version = bytes;
+  bad_version[2] = 99;
+  EXPECT_FALSE(RequestDescriptor::parse(bad_version, MessageType::kAssignment)
+                   .has_value());
+
+  auto truncated = bytes;
+  truncated.resize(truncated.size() - 1);
+  EXPECT_FALSE(RequestDescriptor::parse(truncated, MessageType::kAssignment)
+                   .has_value());
+}
+
+}  // namespace
+}  // namespace nicsched::proto

@@ -1,0 +1,137 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace nicsched::sim {
+namespace {
+
+TimePoint at_us(std::int64_t us) {
+  return TimePoint::origin() + Duration::micros(us);
+}
+
+std::vector<int> drain(EventQueue& queue) {
+  std::vector<int> order;
+  TimePoint when;
+  std::function<void()> callback;
+  while (queue.pop_next(when, callback)) callback();
+  (void)order;
+  return order;
+}
+
+TEST(EventQueue, FiresInTimestampOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.schedule(at_us(30), [&]() { order.push_back(3); });
+  queue.schedule(at_us(10), [&]() { order.push_back(1); });
+  queue.schedule(at_us(20), [&]() { order.push_back(2); });
+
+  TimePoint when;
+  std::function<void()> callback;
+  while (queue.pop_next(when, callback)) callback();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, SimultaneousEventsFireInScheduleOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    queue.schedule(at_us(7), [&order, i]() { order.push_back(i); });
+  }
+  TimePoint when;
+  std::function<void()> callback;
+  while (queue.pop_next(when, callback)) callback();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, CancelPreventsFiring) {
+  EventQueue queue;
+  bool fired = false;
+  EventHandle handle = queue.schedule(at_us(5), [&]() { fired = true; });
+  EXPECT_TRUE(handle.pending());
+  handle.cancel();
+  EXPECT_FALSE(handle.pending());
+
+  TimePoint when;
+  std::function<void()> callback;
+  EXPECT_FALSE(queue.pop_next(when, callback));
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelIsIdempotentAndSafeAfterFire) {
+  EventQueue queue;
+  EventHandle handle = queue.schedule(at_us(1), []() {});
+  TimePoint when;
+  std::function<void()> callback;
+  ASSERT_TRUE(queue.pop_next(when, callback));
+  callback();
+  handle.cancel();  // no effect, no crash
+  handle.cancel();
+  EXPECT_FALSE(handle.pending());
+
+  EventHandle empty;  // default-constructed
+  empty.cancel();
+  EXPECT_FALSE(empty.pending());
+}
+
+TEST(EventQueue, CancelledEventsAreSkippedNotReturned) {
+  EventQueue queue;
+  std::vector<int> order;
+  auto h1 = queue.schedule(at_us(1), [&]() { order.push_back(1); });
+  queue.schedule(at_us(2), [&]() { order.push_back(2); });
+  auto h3 = queue.schedule(at_us(3), [&]() { order.push_back(3); });
+  h1.cancel();
+  h3.cancel();
+
+  TimePoint when;
+  std::function<void()> callback;
+  while (queue.pop_next(when, callback)) callback();
+  EXPECT_EQ(order, (std::vector<int>{2}));
+}
+
+TEST(EventQueue, NextEventTimeSkipsCancelled) {
+  EventQueue queue;
+  auto h1 = queue.schedule(at_us(1), []() {});
+  queue.schedule(at_us(9), []() {});
+  EXPECT_EQ(queue.next_event_time(), at_us(1));
+  h1.cancel();
+  EXPECT_EQ(queue.next_event_time(), at_us(9));
+}
+
+TEST(EventQueue, EmptyAccountsForCancellation) {
+  EventQueue queue;
+  EXPECT_TRUE(queue.empty());
+  EXPECT_EQ(queue.next_event_time(), TimePoint::max());
+  auto handle = queue.schedule(at_us(1), []() {});
+  EXPECT_FALSE(queue.empty());
+  handle.cancel();
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(EventQueue, LiveCountExcludesCancelled) {
+  EventQueue queue;
+  auto h1 = queue.schedule(at_us(1), []() {});
+  queue.schedule(at_us(2), []() {});
+  queue.schedule(at_us(3), []() {});
+  EXPECT_EQ(queue.live_count(), 3u);
+  h1.cancel();
+  EXPECT_EQ(queue.live_count(), 2u);
+  EXPECT_EQ(queue.scheduled_count(), 3u);
+}
+
+TEST(EventQueue, CallbackMayScheduleMoreEvents) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.schedule(at_us(1), [&]() {
+    order.push_back(1);
+    queue.schedule(at_us(2), [&]() { order.push_back(2); });
+  });
+  TimePoint when;
+  std::function<void()> callback;
+  while (queue.pop_next(when, callback)) callback();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+}  // namespace
+}  // namespace nicsched::sim

@@ -1,0 +1,108 @@
+// Validation against closed-form queueing theory: a single simulated CPU
+// core fed by a Poisson process must reproduce the M/M/1 and M/D/1 sojourn
+// times, and utilization must equal ρ. If these fail, nothing measured on
+// top of the simulator can be trusted.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+
+#include "hw/cpu_core.h"
+#include "sim/random.h"
+#include "sim/simulator.h"
+
+namespace nicsched {
+namespace {
+
+struct QueueingResult {
+  double mean_sojourn_us = 0.0;
+  double utilization = 0.0;
+  std::uint64_t completed = 0;
+};
+
+/// Drives one CpuCore as a FIFO single-server queue: Poisson(λ) arrivals,
+/// service times from `draw_service`.
+QueueingResult run_single_server(double lambda_per_us,
+                                 std::function<double(sim::Rng&)> draw_service,
+                                 double sim_ms, std::uint64_t seed) {
+  sim::Simulator sim;
+  hw::CpuCore core(sim, {"mm1", sim::Frequency::gigahertz(2.3), 1.0});
+  sim::Rng arrivals_rng(seed);
+  sim::Rng service_rng(seed + 1);
+
+  QueueingResult result;
+  double sojourn_sum_us = 0.0;
+  const sim::TimePoint end =
+      sim::TimePoint::origin() + sim::Duration::millis(sim_ms);
+
+  std::function<void()> schedule_arrival = [&]() {
+    const double gap_us = arrivals_rng.exponential(1.0 / lambda_per_us);
+    sim.after(sim::Duration::micros(gap_us), [&]() {
+      if (sim.now() > end) return;
+      const sim::TimePoint arrived = sim.now();
+      const double service_us = draw_service(service_rng);
+      core.run(sim::Duration::micros(service_us), [&, arrived]() {
+        sojourn_sum_us += (sim.now() - arrived).to_micros();
+        ++result.completed;
+      });
+      schedule_arrival();
+    });
+  };
+  schedule_arrival();
+  sim.run();
+
+  result.mean_sojourn_us =
+      sojourn_sum_us / static_cast<double>(result.completed);
+  result.utilization = core.stats().busy.to_micros() / (sim_ms * 1e3);
+  return result;
+}
+
+TEST(QueueingTheory, MM1SojournMatchesClosedForm) {
+  // M/M/1: E[T] = E[S] / (1 - ρ). E[S] = 1 us, λ = 0.5/us → ρ = 0.5,
+  // E[T] = 2 us.
+  const auto result = run_single_server(
+      0.5, [](sim::Rng& rng) { return rng.exponential(1.0); }, 400.0, 11);
+  ASSERT_GT(result.completed, 100'000u);
+  EXPECT_NEAR(result.mean_sojourn_us, 2.0, 0.1);
+  EXPECT_NEAR(result.utilization, 0.5, 0.02);
+}
+
+TEST(QueueingTheory, MM1HighLoad) {
+  // ρ = 0.8 → E[T] = 5 us. Longer run: high-ρ estimators converge slowly.
+  const auto result = run_single_server(
+      0.8, [](sim::Rng& rng) { return rng.exponential(1.0); }, 3000.0, 12);
+  EXPECT_NEAR(result.mean_sojourn_us, 5.0, 0.5);
+  EXPECT_NEAR(result.utilization, 0.8, 0.02);
+}
+
+TEST(QueueingTheory, MD1WaitIsHalfOfMM1) {
+  // M/D/1: E[W] = ρ E[S] / (2(1-ρ)) — half the M/M/1 wait. With E[S] = 1 us
+  // and ρ = 0.5: E[T] = 1 + 0.5 = 1.5 us.
+  const auto result = run_single_server(
+      0.5, [](sim::Rng&) { return 1.0; }, 400.0, 13);
+  EXPECT_NEAR(result.mean_sojourn_us, 1.5, 0.08);
+}
+
+TEST(QueueingTheory, MG1PollaczekKhinchine) {
+  // M/G/1 with a bimodal service (95 % x 0.5 us, 5 % x 10 us):
+  // E[S] = 0.975 us, E[S^2] = 5.11875 us², λ = 0.4/us → ρ = 0.39.
+  // P-K: E[W] = λ E[S^2] / (2(1-ρ)) = 0.4*5.11875/(2*0.61) = 1.678 us.
+  const double expected_wait = 0.4 * 5.11875 / (2.0 * (1.0 - 0.39));
+  const auto result = run_single_server(
+      0.4,
+      [](sim::Rng& rng) { return rng.bernoulli(0.05) ? 10.0 : 0.5; }, 2000.0,
+      14);
+  EXPECT_NEAR(result.mean_sojourn_us, 0.975 + expected_wait,
+              (0.975 + expected_wait) * 0.06);
+}
+
+TEST(QueueingTheory, UtilizationIsExactlyOfferedRho) {
+  for (const double rho : {0.2, 0.6, 0.9}) {
+    const auto result = run_single_server(
+        rho, [](sim::Rng&) { return 1.0; }, 1000.0, 15);
+    EXPECT_NEAR(result.utilization, rho, 0.02) << "rho=" << rho;
+  }
+}
+
+}  // namespace
+}  // namespace nicsched

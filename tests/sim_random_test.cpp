@@ -1,0 +1,104 @@
+#include "sim/random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace nicsched::sim {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(12345);
+  Rng b(12345);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+  }
+}
+
+TEST(Rng, DifferentSeedsDifferentStreams) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform() == b.uniform()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, ForkProducesDistinctDeterministicChildren) {
+  Rng parent1(777);
+  Rng parent2(777);
+  Rng childA1 = parent1.fork();
+  Rng childA2 = parent1.fork();
+  Rng childB1 = parent2.fork();
+  Rng childB2 = parent2.fork();
+  // Fork is deterministic in (seed, fork index)...
+  EXPECT_EQ(childA1.seed(), childB1.seed());
+  EXPECT_EQ(childA2.seed(), childB2.seed());
+  // ...and successive forks differ.
+  EXPECT_NE(childA1.seed(), childA2.seed());
+}
+
+TEST(Rng, UniformBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+  for (int i = 0; i < 1'000; ++i) {
+    const double u = rng.uniform(5.0, 7.0);
+    EXPECT_GE(u, 5.0);
+    EXPECT_LT(u, 7.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng rng(10);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 10'000; ++i) seen.insert(rng.uniform_int(3, 10));
+  EXPECT_EQ(seen.size(), 8u);
+  EXPECT_EQ(*seen.begin(), 3u);
+  EXPECT_EQ(*seen.rbegin(), 10u);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(11);
+  const double mean = 80.0;
+  double sum = 0;
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(mean);
+  EXPECT_NEAR(sum / n, mean, mean * 0.02);
+}
+
+TEST(Rng, BernoulliProbability) {
+  Rng rng(13);
+  int hits = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.bernoulli(0.005)) ++hits;
+  }
+  // 0.5 % of 100k = 500 expected; allow generous slack.
+  EXPECT_GT(hits, 350);
+  EXPECT_LT(hits, 700);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(17);
+  double sum = 0, sq = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(10.0, 3.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(std::sqrt(var), 3.0, 0.1);
+}
+
+}  // namespace
+}  // namespace nicsched::sim

@@ -1,0 +1,128 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace nicsched::sim {
+namespace {
+
+TEST(Simulator, ClockIsCurrentInsideCallbacks) {
+  // Regression test: callbacks must observe the event's own timestamp, not
+  // the previous event's. A stale clock silently compresses every relative
+  // delay in the simulation.
+  Simulator sim;
+  TimePoint observed;
+  sim.after(Duration::micros(80), [&]() { observed = sim.now(); });
+  sim.run();
+  EXPECT_EQ(observed, TimePoint::origin() + Duration::micros(80));
+}
+
+TEST(Simulator, ChainedDelaysAccumulate) {
+  Simulator sim;
+  int steps = 0;
+  std::function<void()> chain = [&]() {
+    if (++steps < 5) sim.after(Duration::micros(80), chain);
+  };
+  sim.after(Duration::micros(80), chain);
+  sim.run();
+  EXPECT_EQ(steps, 5);
+  EXPECT_EQ(sim.now(), TimePoint::origin() + Duration::micros(400));
+}
+
+TEST(Simulator, RunUntilStopsAtDeadlineAndAdvancesClock) {
+  Simulator sim;
+  std::vector<int> fired;
+  sim.after(Duration::micros(10), [&]() { fired.push_back(1); });
+  sim.after(Duration::micros(30), [&]() { fired.push_back(2); });
+
+  sim.run_until(TimePoint::origin() + Duration::micros(20));
+  EXPECT_EQ(fired, (std::vector<int>{1}));
+  // Clock advances to the deadline even though no event sits there.
+  EXPECT_EQ(sim.now(), TimePoint::origin() + Duration::micros(20));
+
+  sim.run_until(TimePoint::origin() + Duration::micros(40));
+  EXPECT_EQ(fired, (std::vector<int>{1, 2}));
+}
+
+TEST(Simulator, RunUntilIncludesEventsExactlyAtDeadline) {
+  Simulator sim;
+  bool fired = false;
+  sim.after(Duration::micros(20), [&]() { fired = true; });
+  sim.run_until(TimePoint::origin() + Duration::micros(20));
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, DeferRunsAtCurrentInstantAfterQueuedWork) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.after(Duration::micros(1), [&]() {
+    order.push_back(1);
+    sim.defer([&]() { order.push_back(3); });
+    order.push_back(2);
+  });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), TimePoint::origin() + Duration::micros(1));
+}
+
+TEST(Simulator, StopEndsRunEarly) {
+  Simulator sim;
+  int count = 0;
+  for (int i = 1; i <= 10; ++i) {
+    sim.after(Duration::micros(i), [&]() {
+      if (++count == 3) sim.stop();
+    });
+  }
+  sim.run();
+  EXPECT_EQ(count, 3);
+  // A later run() resumes with remaining events.
+  sim.run();
+  EXPECT_EQ(count, 10);
+}
+
+TEST(Simulator, SchedulingIntoThePastThrows) {
+  Simulator sim;
+  sim.after(Duration::micros(10), []() {});
+  sim.run();
+  EXPECT_THROW(sim.at(TimePoint::origin(), []() {}), std::logic_error);
+  EXPECT_THROW(sim.after(Duration::micros(-1), []() {}), std::logic_error);
+}
+
+TEST(Simulator, StepFiresOneEvent) {
+  Simulator sim;
+  int count = 0;
+  sim.after(Duration::micros(1), [&]() { ++count; });
+  sim.after(Duration::micros(2), [&]() { ++count; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(count, 2);
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulator, EventsFiredCounts) {
+  Simulator sim;
+  for (int i = 0; i < 7; ++i) sim.after(Duration::micros(i + 1), []() {});
+  sim.run();
+  EXPECT_EQ(sim.events_fired(), 7u);
+}
+
+TEST(Simulator, RunReturnsFiredCount) {
+  Simulator sim;
+  for (int i = 0; i < 4; ++i) sim.after(Duration::micros(i + 1), []() {});
+  EXPECT_EQ(sim.run(), 4u);
+  EXPECT_EQ(sim.run(), 0u);
+}
+
+TEST(Simulator, CancelledTimerDoesNotFire) {
+  Simulator sim;
+  bool fired = false;
+  EventHandle timer = sim.after(Duration::micros(10), [&]() { fired = true; });
+  sim.after(Duration::micros(5), [&]() { timer.cancel(); });
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+}  // namespace
+}  // namespace nicsched::sim

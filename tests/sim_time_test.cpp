@@ -1,0 +1,107 @@
+#include "sim/time.h"
+
+#include <gtest/gtest.h>
+
+namespace nicsched::sim {
+namespace {
+
+TEST(Duration, UnitConstructorsAgree) {
+  EXPECT_EQ(Duration::nanos(1), Duration::picos(1'000));
+  EXPECT_EQ(Duration::micros(1), Duration::nanos(1'000));
+  EXPECT_EQ(Duration::millis(1), Duration::micros(1'000));
+  EXPECT_EQ(Duration::seconds(1), Duration::millis(1'000));
+}
+
+TEST(Duration, FractionalConstructorsRound) {
+  EXPECT_EQ(Duration::micros(2.56).to_picos(), 2'560'000);
+  EXPECT_EQ(Duration::nanos(0.4).to_picos(), 400);
+  EXPECT_EQ(Duration::nanos(0.0004).to_picos(), 0);
+  EXPECT_EQ(Duration::nanos(-1.5).to_picos(), -1'500);
+}
+
+TEST(Duration, Arithmetic) {
+  const Duration a = Duration::micros(10);
+  const Duration b = Duration::micros(4);
+  EXPECT_EQ((a + b).to_micros(), 14.0);
+  EXPECT_EQ((a - b).to_micros(), 6.0);
+  EXPECT_EQ((-b).to_micros(), -4.0);
+  EXPECT_EQ((a * 3).to_micros(), 30.0);
+  EXPECT_EQ((3 * a).to_micros(), 30.0);
+  EXPECT_EQ((a * 0.5).to_micros(), 5.0);
+  EXPECT_EQ((a / 2).to_micros(), 5.0);
+  EXPECT_DOUBLE_EQ(a / b, 2.5);
+
+  Duration c = a;
+  c += b;
+  EXPECT_EQ(c, Duration::micros(14));
+  c -= a;
+  EXPECT_EQ(c, b);
+}
+
+TEST(Duration, Comparisons) {
+  EXPECT_LT(Duration::nanos(999), Duration::micros(1));
+  EXPECT_GT(Duration::millis(1), Duration::micros(999));
+  EXPECT_LE(Duration::zero(), Duration::zero());
+  EXPECT_TRUE(Duration::zero().is_zero());
+  EXPECT_TRUE((Duration::zero() - Duration::nanos(1)).is_negative());
+  EXPECT_FALSE(Duration::nanos(1).is_negative());
+}
+
+TEST(Duration, ToStringPicksUnits) {
+  EXPECT_EQ(Duration::picos(500).to_string(), "500ps");
+  EXPECT_EQ(Duration::nanos(250).to_string(), "250ns");
+  EXPECT_EQ(Duration::micros(2.56).to_string(), "2.56us");
+  EXPECT_EQ(Duration::millis(12).to_string(), "12ms");
+  EXPECT_EQ(Duration::seconds(3).to_string(), "3s");
+}
+
+TEST(TimePoint, ArithmeticAndOrdering) {
+  const TimePoint origin = TimePoint::origin();
+  const TimePoint later = origin + Duration::micros(5);
+  EXPECT_EQ(later - origin, Duration::micros(5));
+  EXPECT_EQ(later - Duration::micros(5), origin);
+  EXPECT_LT(origin, later);
+  EXPECT_EQ(later.since_origin(), Duration::micros(5));
+
+  TimePoint t = origin;
+  t += Duration::nanos(1500);
+  EXPECT_EQ(t.to_picos(), 1'500'000);
+}
+
+TEST(Frequency, CycleDurations) {
+  const Frequency xeon = Frequency::gigahertz(2.3);
+  // One cycle at 2.3 GHz is ~434.78 ps.
+  EXPECT_EQ(xeon.cycles(1).to_picos(), 435);
+  // The paper's preemption costs: 40 cycles ≈ 17.4 ns, 1272 ≈ 553 ns.
+  EXPECT_NEAR(xeon.cycles(40).to_nanos(), 17.4, 0.1);
+  EXPECT_NEAR(xeon.cycles(1272).to_nanos(), 553.0, 1.0);
+  EXPECT_NEAR(xeon.cycles(4193).to_nanos(), 1823.0, 2.0);
+}
+
+TEST(Frequency, CyclesInDuration) {
+  const Frequency xeon = Frequency::gigahertz(2.3);
+  EXPECT_EQ(xeon.cycles_in(Duration::micros(1)), 2300);
+  EXPECT_EQ(Frequency::gigahertz(1.0).cycles_in(Duration::nanos(10)), 10);
+}
+
+TEST(Frequency, MegahertzConstructor) {
+  EXPECT_EQ(Frequency::megahertz(2300.0), Frequency::gigahertz(2.3));
+}
+
+class DurationRoundTrip : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(DurationRoundTrip, PicosSurviveConversionChain) {
+  const std::int64_t ps = GetParam();
+  const Duration d = Duration::picos(ps);
+  EXPECT_EQ(Duration::picos(d.to_picos()), d);
+  // Converting to double micros and back is exact for magnitudes below 2^53.
+  EXPECT_EQ(Duration::micros(d.to_micros()).to_picos(), ps);
+}
+
+INSTANTIATE_TEST_SUITE_P(Values, DurationRoundTrip,
+                         ::testing::Values(0, 1, 435, 1'000, 2'560'000,
+                                           1'000'000'000'000LL,
+                                           -2'560'000));
+
+}  // namespace
+}  // namespace nicsched::sim

@@ -1,0 +1,112 @@
+// Tracer mechanics and end-to-end trace content from the offload system.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/offload_server.h"
+#include "sim/simulator.h"
+#include "sim/trace.h"
+#include "workload/client.h"
+
+namespace nicsched {
+namespace {
+
+TEST(Tracer, DisabledByDefaultAndCostsNothing) {
+  sim::Simulator sim;
+  EXPECT_FALSE(sim.tracer().enabled());
+  // Emitting with no sink is a no-op.
+  sim.trace(sim::TraceCategory::kPacket, "x", "y");
+}
+
+TEST(Tracer, CollectorReceivesRecordsWithTimestamps) {
+  sim::Simulator sim;
+  sim::TraceCollector collector;
+  sim.tracer().set_sink(collector.sink());
+  EXPECT_TRUE(sim.tracer().enabled());
+
+  sim.after(sim::Duration::micros(3), [&]() {
+    sim.trace(sim::TraceCategory::kDispatch, "dispatcher", "assign 1");
+  });
+  sim.run();
+
+  ASSERT_EQ(collector.records().size(), 1u);
+  const auto& record = collector.records()[0];
+  EXPECT_EQ(record.when, sim::TimePoint::origin() + sim::Duration::micros(3));
+  EXPECT_EQ(record.category, sim::TraceCategory::kDispatch);
+  EXPECT_EQ(record.component, "dispatcher");
+  EXPECT_EQ(record.message, "assign 1");
+}
+
+TEST(Tracer, SetSinkReturnsPrevious) {
+  sim::Simulator sim;
+  sim::TraceCollector collector;
+  auto previous = sim.tracer().set_sink(collector.sink());
+  EXPECT_FALSE(previous);  // none installed before
+  auto installed = sim.tracer().set_sink(nullptr);
+  EXPECT_TRUE(installed);
+  EXPECT_FALSE(sim.tracer().enabled());
+}
+
+TEST(Tracer, CategoryNames) {
+  EXPECT_STREQ(to_string(sim::TraceCategory::kPacket), "packet");
+  EXPECT_STREQ(to_string(sim::TraceCategory::kPreempt), "preempt");
+  EXPECT_STREQ(to_string(sim::TraceCategory::kClient), "client");
+}
+
+TEST(TracerEndToEnd, OffloadRequestLifecycleIsVisible) {
+  sim::Simulator sim;
+  sim::TraceCollector collector;
+  sim.tracer().set_sink(collector.sink());
+
+  const core::ModelParams params = core::ModelParams::defaults();
+  net::EthernetSwitch network(sim, params.switch_forward_latency);
+  core::ShinjukuOffloadServer::Config server_config;
+  server_config.worker_count = 1;
+  server_config.time_slice = sim::Duration::micros(10);
+  core::ShinjukuOffloadServer server(sim, network, params, server_config);
+
+  workload::ClientMachine::Config client_config;
+  client_config.client_id = 1;
+  client_config.mac = net::MacAddress::from_index(1);
+  client_config.ip = net::Ipv4Address::from_index(1);
+  client_config.server_mac = server.ingress_mac();
+  client_config.server_ip = server.ingress_ip();
+  client_config.server_port = server.port();
+  // One 25 us request: expect received → assigned → started → preempted
+  // (twice) → requeued → restarted → completed.
+  workload::ClientMachine client(
+      sim, network, client_config,
+      std::make_shared<workload::FixedDistribution>(sim::Duration::micros(25)),
+      std::make_unique<workload::UniformArrivals>(1.0), sim::Rng(1));
+  client.start(sim::TimePoint::origin() + sim::Duration::seconds(1));
+  sim.run_until(sim::TimePoint::origin() + sim::Duration::seconds(1) +
+                sim::Duration::millis(1));
+
+  ASSERT_EQ(client.received(), 1u);
+  int received = 0, assigned = 0, started = 0, preempted = 0, requeued = 0,
+      completed = 0;
+  for (const auto& record : collector.records()) {
+    switch (record.category) {
+      case sim::TraceCategory::kClient: ++received; break;
+      case sim::TraceCategory::kDispatch: ++assigned; break;
+      case sim::TraceCategory::kQueue: ++requeued; break;
+      case sim::TraceCategory::kPreempt: ++preempted; break;
+      case sim::TraceCategory::kWorker:
+        if (record.message.rfind("start", 0) == 0) ++started;
+        if (record.message.rfind("complete", 0) == 0) ++completed;
+        break;
+      default: break;
+    }
+  }
+  EXPECT_EQ(received, 1);
+  EXPECT_EQ(completed, 1);
+  // 25 us of work in 10 us slices: two preemptions, each causing a requeue
+  // and a re-assignment.
+  EXPECT_EQ(preempted, 2);
+  EXPECT_EQ(requeued, 2);
+  EXPECT_EQ(assigned, 3);
+  EXPECT_EQ(started, 3);
+}
+
+}  // namespace
+}  // namespace nicsched

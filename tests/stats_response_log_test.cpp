@@ -1,0 +1,68 @@
+#include "stats/response_log.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+
+#include "core/testbed.h"
+
+namespace nicsched::stats {
+namespace {
+
+workload::ResponseRecord make_record(double sent_us, double latency_us,
+                                     std::uint16_t kind) {
+  workload::ResponseRecord record;
+  record.sent_at = sim::TimePoint::origin() + sim::Duration::micros(sent_us);
+  record.received_at = record.sent_at + sim::Duration::micros(latency_us);
+  record.kind = kind;
+  record.work = sim::Duration::micros(1);
+  return record;
+}
+
+TEST(ResponseLog, StoresAndExportsCsv) {
+  ResponseLog log;
+  log.record(make_record(10, 5.5, 0));
+  log.record(make_record(20, 100.25, 1));
+  EXPECT_EQ(log.seen(), 2u);
+  EXPECT_FALSE(log.truncated());
+
+  std::ostringstream out;
+  log.write_csv(out);
+  const std::string csv = out.str();
+  EXPECT_NE(csv.find("sent_us,latency_us,kind,preempts,work_us"),
+            std::string::npos);
+  EXPECT_NE(csv.find("10.000,5.500,0,0,1.000"), std::string::npos);
+  EXPECT_NE(csv.find("20.000,100.250,1,0,1.000"), std::string::npos);
+}
+
+TEST(ResponseLog, CapacityBoundsMemory) {
+  ResponseLog log(/*capacity=*/3);
+  for (int i = 0; i < 10; ++i) log.record(make_record(i, 1, 0));
+  EXPECT_EQ(log.records().size(), 3u);
+  EXPECT_EQ(log.seen(), 10u);
+  EXPECT_TRUE(log.truncated());
+}
+
+TEST(ResponseLog, TestbedFillsItWithInWindowRecordsOnly) {
+  ResponseLog log;
+  core::ExperimentConfig config;
+  config.system = core::SystemKind::kRss;
+  config.worker_count = 2;
+  config.service = std::make_shared<workload::FixedDistribution>(
+      sim::Duration::micros(2));
+  config.offered_rps = 100e3;
+  config.warmup = sim::Duration::millis(2);
+  config.measure = sim::Duration::millis(10);
+  config.response_log = &log;
+  const auto result = core::run_experiment(config);
+
+  EXPECT_EQ(log.seen(), result.summary.completed);
+  for (const auto& record : log.records()) {
+    EXPECT_GE(record.sent_at,
+              sim::TimePoint::origin() + sim::Duration::millis(2));
+  }
+}
+
+}  // namespace
+}  // namespace nicsched::stats

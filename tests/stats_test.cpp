@@ -1,0 +1,193 @@
+// Histogram accuracy, recorder windowing, and table rendering.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "sim/random.h"
+#include "stats/histogram.h"
+#include "stats/recorder.h"
+#include "stats/table.h"
+
+namespace nicsched::stats {
+namespace {
+
+TEST(Histogram, EmptyHistogramIsZero) {
+  Histogram histogram;
+  EXPECT_EQ(histogram.count(), 0u);
+  EXPECT_EQ(histogram.quantile(0.99), sim::Duration::zero());
+  EXPECT_EQ(histogram.mean(), sim::Duration::zero());
+  EXPECT_EQ(histogram.min(), sim::Duration::zero());
+}
+
+TEST(Histogram, SingleValue) {
+  Histogram histogram;
+  histogram.record(sim::Duration::micros(42));
+  EXPECT_EQ(histogram.count(), 1u);
+  EXPECT_NEAR(histogram.quantile(0.5).to_micros(), 42.0, 42.0 * 0.01);
+  EXPECT_EQ(histogram.min(), sim::Duration::micros(42));
+  EXPECT_EQ(histogram.max(), sim::Duration::micros(42));
+  EXPECT_NEAR(histogram.mean().to_micros(), 42.0, 1e-9);
+}
+
+TEST(Histogram, SmallValuesAreExact) {
+  // Values below the sub-bucket count (127 ns) land in exact buckets.
+  Histogram histogram;
+  for (int ns = 0; ns <= 100; ++ns) {
+    histogram.record(sim::Duration::nanos(ns));
+  }
+  EXPECT_EQ(histogram.quantile(0.5).to_nanos(), 50.0);
+  EXPECT_EQ(histogram.quantile(1.0).to_nanos(), 100.0);
+}
+
+TEST(Histogram, NegativeValuesClampToZero) {
+  Histogram histogram;
+  histogram.record(sim::Duration::nanos(-500));
+  EXPECT_EQ(histogram.count(), 1u);
+  EXPECT_EQ(histogram.quantile(1.0), sim::Duration::zero());
+}
+
+class HistogramAccuracy : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HistogramAccuracy, QuantilesWithinRelativeErrorBound) {
+  sim::Rng rng(GetParam());
+  Histogram histogram;
+  std::vector<double> exact;
+  const int n = 50'000;
+  for (int i = 0; i < n; ++i) {
+    // Latency-like heavy-tailed values from 100 ns to ~100 ms.
+    const double us = rng.exponential(50.0) + rng.uniform(0.1, 10.0) +
+                      (rng.bernoulli(0.001) ? 50'000.0 : 0.0);
+    exact.push_back(us);
+    histogram.record(sim::Duration::micros(us));
+  }
+  std::sort(exact.begin(), exact.end());
+  for (const double q : {0.5, 0.9, 0.99, 0.999}) {
+    const double reference =
+        exact[static_cast<std::size_t>(q * (n - 1))];
+    const double measured = histogram.quantile(q).to_micros();
+    // Log-linear buckets with 128 sub-buckets: <1 % relative error, plus a
+    // tiny slack for the rank-vs-index difference.
+    EXPECT_NEAR(measured, reference, reference * 0.02 + 0.2)
+        << "quantile " << q;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HistogramAccuracy,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(Histogram, MergeCombinesCounts) {
+  Histogram a, b;
+  for (int i = 0; i < 100; ++i) a.record(sim::Duration::micros(10));
+  for (int i = 0; i < 100; ++i) b.record(sim::Duration::micros(1000));
+  a.merge(b);
+  EXPECT_EQ(a.count(), 200u);
+  EXPECT_NEAR(a.quantile(0.25).to_micros(), 10.0, 0.2);
+  EXPECT_NEAR(a.quantile(0.75).to_micros(), 1000.0, 10.0);
+  EXPECT_EQ(a.max(), sim::Duration::micros(1000));
+  EXPECT_EQ(a.min(), sim::Duration::micros(10));
+}
+
+TEST(Histogram, ClearResets) {
+  Histogram histogram;
+  histogram.record(sim::Duration::micros(1));
+  histogram.clear();
+  EXPECT_EQ(histogram.count(), 0u);
+  EXPECT_EQ(histogram.quantile(0.5), sim::Duration::zero());
+}
+
+workload::ResponseRecord record_at(double sent_us, double latency_us,
+                                   std::uint16_t kind = 0,
+                                   std::uint16_t preempts = 0) {
+  workload::ResponseRecord record;
+  record.sent_at = sim::TimePoint::origin() + sim::Duration::micros(sent_us);
+  record.received_at = record.sent_at + sim::Duration::micros(latency_us);
+  record.kind = kind;
+  record.preempt_count = preempts;
+  return record;
+}
+
+TEST(LatencyRecorder, WindowFiltersOnSendTime) {
+  LatencyRecorder recorder;
+  recorder.set_window(sim::TimePoint::origin() + sim::Duration::micros(100),
+                      sim::TimePoint::origin() + sim::Duration::micros(200));
+  recorder.record(record_at(50, 10));    // before window
+  recorder.record(record_at(150, 10));   // inside
+  recorder.record(record_at(199, 10));   // inside (received after end is fine)
+  recorder.record(record_at(201, 10));   // after window
+  EXPECT_EQ(recorder.completed_in_window(), 2u);
+  EXPECT_EQ(recorder.overall().count(), 2u);
+}
+
+TEST(LatencyRecorder, PerKindHistograms) {
+  LatencyRecorder recorder;
+  recorder.set_window(sim::TimePoint::origin(), sim::TimePoint::max());
+  recorder.record(record_at(1, 5, 0));
+  recorder.record(record_at(2, 100, 1));
+  recorder.record(record_at(3, 5, 0));
+  EXPECT_EQ(recorder.by_kind(0).count(), 2u);
+  EXPECT_EQ(recorder.by_kind(1).count(), 1u);
+  EXPECT_EQ(recorder.by_kind(9).count(), 0u);
+}
+
+TEST(LatencyRecorder, SummaryMath) {
+  LatencyRecorder recorder;
+  recorder.set_window(sim::TimePoint::origin(),
+                      sim::TimePoint::origin() + sim::Duration::seconds(1));
+  for (int i = 0; i < 1000; ++i) {
+    recorder.note_issued(sim::TimePoint::origin() +
+                         sim::Duration::micros(i));
+    recorder.record(record_at(i, 10, 0, 2));
+  }
+  const RunSummary summary = recorder.summarize(1000.0);
+  EXPECT_EQ(summary.issued, 1000u);
+  EXPECT_EQ(summary.completed, 1000u);
+  EXPECT_DOUBLE_EQ(summary.achieved_rps, 1000.0);
+  EXPECT_NEAR(summary.p50_us, 10.0, 0.2);
+  EXPECT_NEAR(summary.p99_us, 10.0, 0.2);
+  EXPECT_EQ(summary.preemptions, 2000u);
+}
+
+TEST(Table, AlignedRendering) {
+  Table table({"a", "long_header"});
+  table.add_row({"1", "2"});
+  table.add_row({"100", "20000"});
+  std::ostringstream out;
+  table.print(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("long_header"), std::string::npos);
+  EXPECT_NE(text.find("20000"), std::string::npos);
+  EXPECT_NE(text.find("---"), std::string::npos);
+}
+
+TEST(Table, CsvRendering) {
+  Table table({"x", "y"});
+  table.add_row({"1", "2"});
+  std::ostringstream out;
+  table.print_csv(out);
+  EXPECT_EQ(out.str(), "x,y\n1,2\n");
+}
+
+TEST(Table, WrongCellCountThrows) {
+  Table table({"x", "y"});
+  EXPECT_THROW(table.add_row({"1"}), std::invalid_argument);
+}
+
+TEST(Fmt, Digits) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(100.0, 0), "100");
+}
+
+TEST(SweepTable, OneRowPerPoint) {
+  RunSummary a;
+  a.offered_rps = 100e3;
+  a.achieved_rps = 99e3;
+  RunSummary b;
+  b.offered_rps = 200e3;
+  const Table table = make_sweep_table({a, b});
+  EXPECT_EQ(table.row_count(), 2u);
+}
+
+}  // namespace
+}  // namespace nicsched::stats

@@ -1,0 +1,101 @@
+#include "workload/trace.h"
+
+#include <gtest/gtest.h>
+
+#include "net/ethernet_switch.h"
+#include "workload/client.h"
+
+namespace nicsched::workload {
+namespace {
+
+TEST(WorkloadTrace, ParsesCsvWithCommentsAndBlankLines) {
+  const char* csv =
+      "# gap_ns,work_ns,kind\n"
+      "1000,5000,0\n"
+      "\n"
+      "2000,100000,1\r\n"
+      "500,750\n";
+  const auto trace = WorkloadTrace::parse_csv(csv);
+  ASSERT_TRUE(trace.has_value());
+  ASSERT_EQ(trace->size(), 3u);
+  EXPECT_EQ(trace->entry(0).gap, sim::Duration::nanos(1000));
+  EXPECT_EQ(trace->entry(0).work, sim::Duration::nanos(5000));
+  EXPECT_EQ(trace->entry(1).kind, 1);
+  EXPECT_EQ(trace->entry(2).kind, 0);  // kind column optional
+}
+
+TEST(WorkloadTrace, RejectsMalformedCsv) {
+  std::string error;
+  EXPECT_FALSE(WorkloadTrace::parse_csv("garbage\n", &error).has_value());
+  EXPECT_NE(error.find("line 1"), std::string::npos);
+  EXPECT_FALSE(WorkloadTrace::parse_csv("1000\n", &error).has_value());
+  EXPECT_FALSE(WorkloadTrace::parse_csv("1000,2000,99999\n", &error)
+                   .has_value());  // kind > uint16
+  EXPECT_FALSE(WorkloadTrace::parse_csv("1000,-5\n", &error).has_value());
+  EXPECT_FALSE(WorkloadTrace::parse_csv("1000,2000junk\n", &error)
+                   .has_value());
+  EXPECT_FALSE(WorkloadTrace::parse_csv("# only comments\n", &error)
+                   .has_value());
+}
+
+TEST(WorkloadTrace, MeansMatchEntries) {
+  const auto trace =
+      WorkloadTrace::parse_csv("10000,1000\n10000,3000\n");  // 100k RPS
+  ASSERT_TRUE(trace.has_value());
+  EXPECT_EQ(trace->mean_work(), sim::Duration::nanos(2000));
+  EXPECT_NEAR(trace->mean_rate_rps(), 100'000.0, 1.0);
+}
+
+TEST(WorkloadTrace, ReplayLoopsInOrder) {
+  auto trace = std::make_shared<WorkloadTrace>(
+      *WorkloadTrace::parse_csv("100,1,0\n200,2,1\n300,3,2\n"));
+  TraceArrivals arrivals(trace);
+  TraceService service(trace);
+  sim::Rng rng(1);
+  for (int loop = 0; loop < 2; ++loop) {
+    EXPECT_EQ(arrivals.next_gap(rng), sim::Duration::nanos(100));
+    EXPECT_EQ(arrivals.next_gap(rng), sim::Duration::nanos(200));
+    EXPECT_EQ(arrivals.next_gap(rng), sim::Duration::nanos(300));
+    EXPECT_EQ(service.sample(rng).kind, 0);
+    EXPECT_EQ(service.sample(rng).work, sim::Duration::nanos(2));
+    EXPECT_EQ(service.sample(rng).kind, 2);
+  }
+}
+
+TEST(WorkloadTrace, DrivesAClientWithExactTiming) {
+  sim::Simulator sim;
+  net::EthernetSwitch network(sim, sim::Duration::nanos(50));
+
+  auto trace = std::make_shared<WorkloadTrace>(
+      *WorkloadTrace::parse_csv("10000,1000,0\n20000,2000,1\n"));
+
+  ClientMachine::Config config;
+  config.client_id = 1;
+  config.mac = net::MacAddress::from_index(1);
+  config.ip = net::Ipv4Address::from_index(1);
+  config.server_mac = net::MacAddress::from_index(99);  // sink; no responses
+  config.server_ip = net::Ipv4Address::from_index(99);
+
+  ClientMachine client(sim, network, config,
+                       std::make_shared<TraceService>(trace),
+                       std::make_unique<TraceArrivals>(trace), sim::Rng(1));
+
+  std::vector<sim::TimePoint> issue_times;
+  client.set_on_issue([&](sim::TimePoint at) { issue_times.push_back(at); });
+  client.start(sim::TimePoint::origin() + sim::Duration::micros(100));
+  sim.run_until(sim::TimePoint::origin() + sim::Duration::micros(100));
+
+  // Gaps 10+20 us looping: arrivals at 10, 30, 40, 60, 70, 90 us.
+  ASSERT_GE(issue_times.size(), 6u);
+  EXPECT_EQ(issue_times[0], sim::TimePoint::origin() + sim::Duration::micros(10));
+  EXPECT_EQ(issue_times[1], sim::TimePoint::origin() + sim::Duration::micros(30));
+  EXPECT_EQ(issue_times[2], sim::TimePoint::origin() + sim::Duration::micros(40));
+  EXPECT_EQ(issue_times[3], sim::TimePoint::origin() + sim::Duration::micros(60));
+}
+
+TEST(WorkloadTrace, EmptyTraceThrows) {
+  EXPECT_THROW(WorkloadTrace({}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nicsched::workload
