@@ -9,11 +9,15 @@
 // notification parsing) binds, well short of host Shinjuku and an order of
 // magnitude short of the 12+ MRPS a line-rate scheduler reaches — i.e. the
 // paper's claim holds even with generous software parallelism.
+#include <algorithm>
 #include <iostream>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "core/offload_server.h"
-#include "figure_util.h"
+#include "exp/exp.h"
+#include "stats/table.h"
 #include "workload/client.h"
 
 namespace {
@@ -79,32 +83,38 @@ double saturation_with_senders(std::size_t sender_cores,
 }  // namespace
 
 int main() {
-  using namespace nicsched::bench;
+  using namespace nicsched;
 
-  const std::uint64_t samples = bench_samples(120'000);
-  std::cout << "Can more ARM cores fix Figure 6? (fixed 1us, 16 workers, "
-               "K=5, parallel D2 senders)\n\n";
+  const std::uint64_t samples = exp::bench_samples(120'000);
+  exp::Figure fig("ablation_arm_cores",
+                  "Can more ARM cores fix Figure 6? (fixed 1us, 16 workers, "
+                  "K=5, parallel D2 senders)");
+  std::cout << fig.title() << "\n\n";
 
-  nicsched::stats::Table table({"d2_sender_cores", "arm_cores_total",
-                                "sat_mrps"});
-  double sat[4] = {};
-  int index = 0;
-  for (const std::size_t senders : {1u, 2u, 3u, 5u}) {
-    sat[index] = saturation_with_senders(senders, samples);
-    table.add_row({std::to_string(senders), std::to_string(3 + senders),
-                   nicsched::stats::fmt(sat[index] / 1e6, 2)});
-    ++index;
+  // Each sender-core count is an independent simulation chain — fan them out.
+  const std::vector<std::size_t> sender_counts = {1, 2, 3, 5};
+  const auto sat =
+      exp::SweepRunner().map(sender_counts, [&](const std::size_t senders) {
+        return saturation_with_senders(senders, samples);
+      });
+
+  stats::Table table({"d2_sender_cores", "arm_cores_total", "sat_mrps"});
+  for (std::size_t i = 0; i < sender_counts.size(); ++i) {
+    table.add_row({std::to_string(sender_counts[i]),
+                   std::to_string(3 + sender_counts[i]),
+                   stats::fmt(sat[i] / 1e6, 2)});
+    fig.note_metric("sat_rps_senders" + std::to_string(sender_counts[i]),
+                    sat[i]);
   }
   table.print(std::cout);
   std::cout << "\nreference: host shinjuku ~4.4 MRPS; line-rate NIC "
                "scheduler ~12+ MRPS (bench/ablation_ideal_nic)\n\n";
 
-  bool ok = true;
-  ok &= check("a second sender core helps substantially (>=1.4x)",
-              sat[1] >= 1.4 * sat[0]);
-  ok &= check("returns diminish as the serial D1/D3 stages bind",
-              sat[3] < 2.0 * sat[1]);
-  ok &= check("even 5 senders stay below host shinjuku's ~4.4 MRPS",
-              sat[3] < 4.0e6);
-  return ok ? 0 : 1;
+  fig.check("a second sender core helps substantially (>=1.4x)",
+            sat[1] >= 1.4 * sat[0]);
+  fig.check("returns diminish as the serial D1/D3 stages bind",
+            sat[3] < 2.0 * sat[1]);
+  fig.check("even 5 senders stay below host shinjuku's ~4.4 MRPS",
+            sat[3] < 4.0e6);
+  return fig.finish();
 }

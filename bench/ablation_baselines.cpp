@@ -7,25 +7,24 @@
 //              request tail explodes under dispersion; preemptive systems
 //              (Shinjuku, Shinjuku-Offload, ideal NIC) hold it flat.
 #include <iostream>
-#include <memory>
 
-#include "figure_util.h"
+#include "exp/exp.h"
+#include "stats/table.h"
 
 int main() {
   using namespace nicsched;
-  using namespace nicsched::bench;
 
-  core::ExperimentConfig base;
-  base.worker_count = 8;
-  base.outstanding_per_worker = 4;
-  base.time_slice = sim::Duration::micros(10);
-  base.service = std::make_shared<workload::BimodalDistribution>(
-      sim::Duration::micros(5), sim::Duration::micros(500), 0.01);
-  base.target_samples = bench_samples(60'000);
+  const auto base =
+      core::ExperimentConfig::offload()
+          .workers(8)
+          .outstanding(4)
+          .slice(sim::Duration::micros(10))
+          .bimodal(sim::Duration::micros(5), sim::Duration::micros(500), 0.01)
+          .samples(exp::bench_samples(60'000));
 
   // Mean service time 9.95 us → 8 workers saturate near 800 kRPS. Sweep the
   // comfortable region where preemptive systems are nowhere near saturation.
-  const auto loads = load_grid(100e3, 600e3, 6);
+  const auto loads = exp::load_grid(100e3, 600e3, 6);
 
   const core::SystemKind systems[] = {
       core::SystemKind::kRss,          core::SystemKind::kFlowDirector,
@@ -34,33 +33,28 @@ int main() {
       core::SystemKind::kIdealNic,
   };
 
-  std::cout << "Baseline ablation: " << base.service->name()
-            << ", 8 workers each\n\n";
+  exp::Figure fig("ablation_baselines", "Baseline ablation: " +
+                                            base.service->name() +
+                                            ", 8 workers each");
+  for (const auto system : systems) {
+    fig.add_series(core::to_string(system),
+                   core::ExperimentConfig(base).on(system), loads);
+  }
 
+  fig.run(exp::SweepRunner());
+  fig.print(std::cout);
+
+  // Load grid indices: loads[3] = 400 kRPS, loads[5] = 600 kRPS.
   double p99_at_400[7] = {};
   double short_p99_at_400[7] = {};
   double short_p99_at_600[7] = {};
-  int index = 0;
-  for (const auto system : systems) {
-    core::ExperimentConfig config = base;
-    config.system = system;
-    std::vector<stats::RunSummary> rows;
-    for (const double load : loads) {
-      config.offered_rps = load;
-      auto result = core::run_experiment(config);
-      if (load == 400e3) {
-        p99_at_400[index] = result.summary.p99_us;
-        short_p99_at_400[index] =
-            result.recorder.by_kind(0).quantile(0.99).to_micros();
-      }
-      if (load == 600e3) {
-        short_p99_at_600[index] =
-            result.recorder.by_kind(0).quantile(0.99).to_micros();
-      }
-      rows.push_back(result.summary);
-    }
-    stats::print_sweep(std::cout, core::to_string(system), rows);
-    ++index;
+  for (int i = 0; i < 7; ++i) {
+    const auto& results = fig.series(static_cast<std::size_t>(i)).results;
+    p99_at_400[i] = results[3].summary.p99_us;
+    short_p99_at_400[i] =
+        results[3].recorder.by_kind(0).quantile(0.99).to_micros();
+    short_p99_at_600[i] =
+        results[5].recorder.by_kind(0).quantile(0.99).to_micros();
   }
 
   stats::Table summary({"system", "p99_us@400k", "short_p99_us@400k"});
@@ -73,24 +67,26 @@ int main() {
 
   // Index map: 0=rss 1=flowdir 2=steal 3=rpcvalet 4=shinjuku 5=offload
   // 6=ideal.
-  bool ok = true;
-  ok &= check("preemptive systems hold short-request p99 under 100us at 400k",
-              short_p99_at_400[4] < 100.0 && short_p99_at_400[5] < 100.0 &&
-                  short_p99_at_400[6] < 100.0);
-  ok &= check("RSS and flow-director short p99 explode (>3x shinjuku's)",
-              short_p99_at_400[0] > 3.0 * short_p99_at_400[4] &&
-                  short_p99_at_400[1] > 3.0 * short_p99_at_400[4]);
-  ok &= check("work stealing improves on plain RSS",
-              p99_at_400[2] < p99_at_400[0] &&
-                  short_p99_at_400[2] < short_p99_at_400[0]);
-  ok &= check("...but still trails preemptive scheduling on short requests",
-              short_p99_at_400[2] >= 1.5 * short_p99_at_400[4]);
+  fig.check("preemptive systems hold short-request p99 under 100us at 400k",
+            short_p99_at_400[4] < 100.0 && short_p99_at_400[5] < 100.0 &&
+                short_p99_at_400[6] < 100.0);
+  fig.check("RSS and flow-director short p99 explode (>3x shinjuku's)",
+            short_p99_at_400[0] > 3.0 * short_p99_at_400[4] &&
+                short_p99_at_400[1] > 3.0 * short_p99_at_400[4]);
+  fig.check("work stealing improves on plain RSS",
+            p99_at_400[2] < p99_at_400[0] &&
+                short_p99_at_400[2] < short_p99_at_400[0]);
+  fig.check("...but still trails preemptive scheduling on short requests",
+            short_p99_at_400[2] >= 1.5 * short_p99_at_400[4]);
   // RPCValet's gap opens near saturation, where shorts increasingly find
   // every worker occupied by a long request.
-  ok &= check("RPCValet's perfect balancing also trails preemption near "
-              "saturation (>1.5x at 600k)",
-              short_p99_at_600[3] >= 1.5 * short_p99_at_600[4]);
-  ok &= check("ideal NIC is at least as good as shinjuku on tail",
-              p99_at_400[6] <= p99_at_400[4] * 1.1);
-  return ok ? 0 : 1;
+  fig.check("RPCValet's perfect balancing also trails preemption near "
+            "saturation (>1.5x at 600k)",
+            short_p99_at_600[3] >= 1.5 * short_p99_at_600[4]);
+  // Compared on the short-request tail: with 1% long requests the *overall*
+  // p99 sits exactly on the short/long boundary, so it flips on sample count
+  // rather than scheduling quality.
+  fig.check("ideal NIC is at least as good as shinjuku on the short tail",
+            short_p99_at_400[6] <= short_p99_at_400[4] * 1.1);
+  return fig.finish();
 }

@@ -4,57 +4,60 @@
 // system's DPDK configuration makes — and why the library's calibrated
 // default (no batching) preserves the paper's 2.56 us one-way figure.
 #include <iostream>
-#include <memory>
+#include <vector>
 
-#include "figure_util.h"
+#include "exp/exp.h"
+#include "stats/table.h"
 
 int main() {
   using namespace nicsched;
-  using namespace nicsched::bench;
 
-  core::ExperimentConfig base;
-  base.system = core::SystemKind::kShinjukuOffload;
-  base.worker_count = 4;
-  base.outstanding_per_worker = 4;
-  base.preemption_enabled = false;
-  base.service = std::make_shared<workload::FixedDistribution>(
-      sim::Duration::micros(5));
-  base.target_samples = bench_samples(60'000);
+  const auto base = core::ExperimentConfig::offload()
+                        .workers(4)
+                        .outstanding(4)
+                        .no_preemption()
+                        .fixed_5us()
+                        .samples(exp::bench_samples(60'000));
 
-  std::cout << "D2 TX batching ablation (fixed 5us, 4 workers, K=4)\n\n";
+  exp::Figure fig("ablation_batching",
+                  "D2 TX batching ablation (fixed 5us, 4 workers, K=4)");
+  std::cout << fig.title() << "\n\n";
+
+  // The 2x2 (load, batching) grid as four independent points.
+  const double loads[] = {50e3, 600e3};
+  std::vector<core::ExperimentConfig> configs;
+  for (const double load : loads) {
+    for (const bool batching : {false, true}) {
+      auto config = core::ExperimentConfig(base).load(load);
+      config.tx_batch_frames = batching ? 16 : 0;
+      config.tx_batch_timeout = sim::Duration::micros(8);
+      configs.push_back(config);
+    }
+  }
+  const auto results = exp::SweepRunner().run_configs(configs);
 
   stats::Table table({"batching", "load_krps", "p50_us", "p99_us",
                       "achieved_krps"});
-  double p50_unbatched_low = 0, p50_batched_low = 0;
-  double achieved_unbatched_high = 0, achieved_batched_high = 0;
-  for (const double load : {50e3, 600e3}) {
-    for (const bool batching : {false, true}) {
-      core::ExperimentConfig config = base;
-      config.offered_rps = load;
-      config.tx_batch_frames = batching ? 16 : 0;
-      config.tx_batch_timeout = sim::Duration::micros(8);
-      const auto result = core::run_experiment(config);
-      table.add_row({batching ? "16 frames / 8us" : "off",
-                     stats::fmt(load / 1e3), stats::fmt(result.summary.p50_us),
-                     stats::fmt(result.summary.p99_us),
-                     stats::fmt(result.summary.achieved_rps / 1e3)});
-      if (load == 50e3 && !batching) p50_unbatched_low = result.summary.p50_us;
-      if (load == 50e3 && batching) p50_batched_low = result.summary.p50_us;
-      if (load == 600e3 && !batching) {
-        achieved_unbatched_high = result.summary.achieved_rps;
-      }
-      if (load == 600e3 && batching) {
-        achieved_batched_high = result.summary.achieved_rps;
-      }
-    }
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const bool batching = (i % 2) == 1;
+    const auto& summary = results[i].summary;
+    table.add_row({batching ? "16 frames / 8us" : "off",
+                   stats::fmt(summary.offered_rps / 1e3),
+                   stats::fmt(summary.p50_us), stats::fmt(summary.p99_us),
+                   stats::fmt(summary.achieved_rps / 1e3)});
+    fig.add_row(batching ? "batched" : "unbatched", results[i]);
   }
   table.print(std::cout);
   std::cout << '\n';
 
-  bool ok = true;
-  ok &= check("batching adds several us of latency at low load",
-              p50_batched_low > p50_unbatched_low + 3.0);
-  ok &= check("batching does not hurt throughput once batches fill (<=3%)",
-              achieved_batched_high >= 0.97 * achieved_unbatched_high);
-  return ok ? 0 : 1;
+  const double p50_unbatched_low = results[0].summary.p50_us;
+  const double p50_batched_low = results[1].summary.p50_us;
+  const double achieved_unbatched_high = results[2].summary.achieved_rps;
+  const double achieved_batched_high = results[3].summary.achieved_rps;
+
+  fig.check("batching adds several us of latency at low load",
+            p50_batched_low > p50_unbatched_low + 3.0);
+  fig.check("batching does not hurt throughput once batches fill (<=3%)",
+            achieved_batched_high >= 0.97 * achieved_unbatched_high);
+  return fig.finish();
 }

@@ -10,16 +10,13 @@
 // while the centralized preemptive system drains a single fair queue and
 // keeps shorts moving between the longs.
 #include <iostream>
-#include <memory>
+#include <vector>
 
-#include "figure_util.h"
+#include "exp/exp.h"
+#include "stats/table.h"
 
 int main() {
   using namespace nicsched;
-  using namespace nicsched::bench;
-
-  auto service = std::make_shared<workload::BimodalDistribution>(
-      sim::Duration::micros(5), sim::Duration::micros(100), 0.01);
 
   // The spike must exceed the 8-worker capacity (~1.3 MRPS) for queues to
   // form: 1 ms spells of 1.8 MRPS on a 300 kRPS baseline, long-run mean
@@ -30,58 +27,68 @@ int main() {
   bursty.mean_normal_spell = sim::Duration::millis(4);
   bursty.mean_burst_spell = sim::Duration::millis(1);
 
-  core::ExperimentConfig base;
-  base.worker_count = 8;
-  base.outstanding_per_worker = 4;
-  base.time_slice = sim::Duration::micros(10);
-  base.service = service;
-  base.offered_rps = 600e3;
-  base.measure = sim::Duration::millis(fast_mode() ? 40 : 150);
+  auto base =
+      core::ExperimentConfig::offload()
+          .workers(8)
+          .outstanding(4)
+          .slice(sim::Duration::micros(10))
+          .bimodal(sim::Duration::micros(5), sim::Duration::micros(100), 0.01)
+          .load(600e3)
+          // No fast-mode shrink: the spike statistics need ~30 of the 5 ms
+          // burst cycles to settle, and the whole bench is ~2 s anyway.
+          .measure_for(sim::Duration::millis(150));
   base.drain = sim::Duration::millis(10);
 
-  std::cout << "Load bursts: " << service->name()
-            << ", 8 workers, mean 600 kRPS; bursty = 300k baseline with "
-               "1ms 1.8M spikes\n\n";
+  exp::Figure fig("ablation_bursts",
+                  "Load bursts: " + base.service->name() +
+                      ", 8 workers, mean 600 kRPS; bursty = 300k baseline "
+                      "with 1ms 1.8M spikes");
+  std::cout << fig.title() << "\n\n";
+
+  const core::SystemKind systems[] = {core::SystemKind::kRss,
+                                      core::SystemKind::kWorkStealing,
+                                      core::SystemKind::kShinjukuOffload};
+  std::vector<core::ExperimentConfig> configs;
+  for (const auto system : systems) {
+    for (const bool with_bursts : {false, true}) {
+      auto config = core::ExperimentConfig(base).on(system);
+      config.preemption_enabled = system == core::SystemKind::kShinjukuOffload;
+      if (with_bursts) config.bursty_arrivals = bursty;
+      configs.push_back(config);
+    }
+  }
+  const auto results = exp::SweepRunner().run_configs(configs);
 
   stats::Table table({"system", "arrivals", "short_p99_us", "short_p999_us"});
   double smooth_p99[3] = {};
   double bursty_p99[3] = {};
-  int index = 0;
-  for (const auto system :
-       {core::SystemKind::kRss, core::SystemKind::kWorkStealing,
-        core::SystemKind::kShinjukuOffload}) {
-    for (const bool with_bursts : {false, true}) {
-      core::ExperimentConfig config = base;
-      config.system = system;
-      config.preemption_enabled =
-          system == core::SystemKind::kShinjukuOffload;
-      if (with_bursts) config.bursty_arrivals = bursty;
-      const auto result = core::run_experiment(config);
-      const double short_p99 =
-          result.recorder.by_kind(0).quantile(0.99).to_micros();
-      table.add_row({core::to_string(system),
-                     with_bursts ? "bursty" : "poisson",
-                     stats::fmt(short_p99),
-                     stats::fmt(result.recorder.by_kind(0)
-                                    .quantile(0.999)
-                                    .to_micros())});
-      (with_bursts ? bursty_p99 : smooth_p99)[index] = short_p99;
-    }
-    ++index;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto system = systems[i / 2];
+    const bool with_bursts = (i % 2) == 1;
+    const double short_p99 =
+        results[i].recorder.by_kind(0).quantile(0.99).to_micros();
+    table.add_row(
+        {core::to_string(system), with_bursts ? "bursty" : "poisson",
+         stats::fmt(short_p99),
+         stats::fmt(results[i].recorder.by_kind(0).quantile(0.999)
+                        .to_micros())});
+    (with_bursts ? bursty_p99 : smooth_p99)[i / 2] = short_p99;
+    fig.add_row(std::string(core::to_string(system)) +
+                    (with_bursts ? "/bursty" : "/poisson"),
+                results[i]);
   }
   table.print(std::cout);
   std::cout << '\n';
 
   // Index: 0=rss 1=steal 2=offload.
-  bool ok = true;
-  ok &= check("bursts hurt RSS's short p99 (>=2x its smooth case)",
-              bursty_p99[0] >= 2.0 * smooth_p99[0]);
-  ok &= check("under bursts, centralized preemption beats RSS by >=2x",
-              bursty_p99[0] >= 2.0 * bursty_p99[2]);
-  ok &= check("under bursts, centralized preemption also beats work stealing",
-              bursty_p99[2] <= bursty_p99[1]);
-  ok &= check("spike backlog drains within ~1 ms for every system (sanity)",
-              bursty_p99[0] < 1000.0 && bursty_p99[1] < 1000.0 &&
-                  bursty_p99[2] < 1000.0);
-  return ok ? 0 : 1;
+  fig.check("bursts hurt RSS's short p99 (>=2x its smooth case)",
+            bursty_p99[0] >= 2.0 * smooth_p99[0]);
+  fig.check("under bursts, centralized preemption beats RSS by >=2x",
+            bursty_p99[0] >= 2.0 * bursty_p99[2]);
+  fig.check("under bursts, centralized preemption also beats work stealing",
+            bursty_p99[2] <= bursty_p99[1]);
+  fig.check("spike backlog drains within ~1 ms for every system (sanity)",
+            bursty_p99[0] < 1000.0 && bursty_p99[1] < 1000.0 &&
+                bursty_p99[2] < 1000.0);
+  return fig.finish();
 }

@@ -10,74 +10,85 @@
 // the end-to-end effect, for the ideal NIC with small-K scheduling vs an
 // RSS server, under DRAM / DDIO-LLC / DDIO-L1 placement.
 #include <iostream>
-#include <memory>
+#include <vector>
 
-#include "figure_util.h"
+#include "exp/exp.h"
+#include "stats/table.h"
 
 int main() {
   using namespace nicsched;
-  using namespace nicsched::bench;
 
-  core::ExperimentConfig base;
-  base.worker_count = 8;
-  base.preemption_enabled = false;
-  base.service = std::make_shared<workload::FixedDistribution>(
-      sim::Duration::micros(1));
-  base.target_samples = bench_samples(80'000);
-  base.offered_rps = 5.0e6;  // ~90 % of RSS capacity: queues actually form
-  base.flows_per_client = 16;  // some RSS imbalance, as real traffic has
+  const auto base = core::ExperimentConfig::ideal_nic()
+                        .workers(8)
+                        .no_preemption()
+                        .fixed(sim::Duration::micros(1))
+                        .samples(exp::bench_samples(80'000))
+                        .load(5.0e6)  // ~90 % of RSS capacity: queues form
+                        .clients(4, 16);  // some RSS imbalance, as real
+                                          // traffic has
 
-  std::cout << "DDIO placement ablation: fixed 1us, 8 workers, 5 MRPS\n\n";
+  exp::Figure fig("ablation_ddio",
+                  "DDIO placement ablation: fixed 1us, 8 workers, 5 MRPS");
+  std::cout << fig.title() << "\n\n";
+
+  const core::SystemKind systems[] = {core::SystemKind::kIdealNic,
+                                      core::SystemKind::kRss};
+  const hw::PlacementPolicy placements[] = {hw::PlacementPolicy::kDram,
+                                            hw::PlacementPolicy::kDdioLlc,
+                                            hw::PlacementPolicy::kDdioL1};
+  std::vector<core::ExperimentConfig> configs;
+  for (const auto system : systems) {
+    for (const auto placement : placements) {
+      configs.push_back(core::ExperimentConfig(base)
+                            .on(system)
+                            .outstanding(2)  // ideal NIC: bounded backlog
+                            .place(placement));
+    }
+  }
+  const auto results = exp::SweepRunner().run_configs(configs);
 
   stats::Table table({"system", "placement", "l1%", "llc%", "dram%",
                       "p99_us", "achieved_krps"});
-
   double l1_fraction_ideal = 0, l1_fraction_rss = 0;
   double p99_l1_ideal = 0, p99_dram_ideal = 0;
-  for (const auto system :
-       {core::SystemKind::kIdealNic, core::SystemKind::kRss}) {
-    for (const auto placement :
-         {hw::PlacementPolicy::kDram, hw::PlacementPolicy::kDdioLlc,
-          hw::PlacementPolicy::kDdioL1}) {
-      core::ExperimentConfig config = base;
-      config.system = system;
-      config.outstanding_per_worker = 2;  // ideal NIC: bounded backlog
-      config.placement = placement;
-      const auto result = core::run_experiment(config);
-      const auto& ddio = result.server.ddio;
-      const double total = static_cast<double>(ddio.total());
-      table.add_row(
-          {core::to_string(system), hw::to_string(placement),
-           stats::fmt(100.0 * static_cast<double>(ddio.l1_touches) / total),
-           stats::fmt(100.0 * static_cast<double>(ddio.llc_touches) / total),
-           stats::fmt(100.0 * static_cast<double>(ddio.dram_touches) / total),
-           stats::fmt(result.summary.p99_us),
-           stats::fmt(result.summary.achieved_rps / 1e3)});
-      if (placement == hw::PlacementPolicy::kDdioL1) {
-        if (system == core::SystemKind::kIdealNic) {
-          l1_fraction_ideal = ddio.l1_fraction();
-          p99_l1_ideal = result.summary.p99_us;
-        } else {
-          l1_fraction_rss = ddio.l1_fraction();
-        }
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto system = systems[i / 3];
+    const auto placement = placements[i % 3];
+    const auto& result = results[i];
+    const auto& ddio = result.server.ddio;
+    const double total = static_cast<double>(ddio.total());
+    table.add_row(
+        {core::to_string(system), hw::to_string(placement),
+         stats::fmt(100.0 * static_cast<double>(ddio.l1_touches) / total),
+         stats::fmt(100.0 * static_cast<double>(ddio.llc_touches) / total),
+         stats::fmt(100.0 * static_cast<double>(ddio.dram_touches) / total),
+         stats::fmt(result.summary.p99_us),
+         stats::fmt(result.summary.achieved_rps / 1e3)});
+    fig.add_row(std::string(core::to_string(system)) + "/" +
+                    hw::to_string(placement),
+                result);
+    if (placement == hw::PlacementPolicy::kDdioL1) {
+      if (system == core::SystemKind::kIdealNic) {
+        l1_fraction_ideal = ddio.l1_fraction();
+        p99_l1_ideal = result.summary.p99_us;
+      } else {
+        l1_fraction_rss = ddio.l1_fraction();
       }
-      if (placement == hw::PlacementPolicy::kDram &&
-          system == core::SystemKind::kIdealNic) {
-        p99_dram_ideal = result.summary.p99_us;
-      }
+    }
+    if (placement == hw::PlacementPolicy::kDram &&
+        system == core::SystemKind::kIdealNic) {
+      p99_dram_ideal = result.summary.p99_us;
     }
   }
   table.print(std::cout);
   std::cout << '\n';
 
-  bool ok = true;
-  ok &= check(
-      "bounded-K scheduling makes L1 placement stick (>90% L1 touches)",
-      l1_fraction_ideal > 0.90);
-  ok &= check(
-      "under RSS's unbounded queues most L1-targeted payloads are evicted",
-      l1_fraction_rss < 0.6);
-  ok &= check("L1 placement beats DRAM placement on tail latency",
-              p99_l1_ideal < p99_dram_ideal);
-  return ok ? 0 : 1;
+  fig.check("bounded-K scheduling makes L1 placement stick (>90% L1 touches)",
+            l1_fraction_ideal > 0.90);
+  fig.check("under RSS's unbounded queues most L1-targeted payloads are "
+            "evicted",
+            l1_fraction_rss < 0.6);
+  fig.check("L1 placement beats DRAM placement on tail latency",
+            p99_l1_ideal < p99_dram_ideal);
+  return fig.finish();
 }

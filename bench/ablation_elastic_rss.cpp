@@ -9,30 +9,51 @@
 //   - under dispersion (bimodal service times), eRSS barely helps — moving
 //     future flows does nothing for the short request already stuck behind
 //     a long one. Only preemption fixes that.
+#include <algorithm>
 #include <iostream>
-#include <memory>
+#include <vector>
 
-#include "figure_util.h"
+#include "exp/exp.h"
+#include "stats/table.h"
 
 int main() {
   using namespace nicsched;
-  using namespace nicsched::bench;
 
-  std::cout << "Elastic RSS ablation: 8 workers\n\n";
+  exp::Figure fig("ablation_elastic_rss", "Elastic RSS ablation: 8 workers");
+  std::cout << fig.title() << "\n\n";
 
   // --- case 1: flow imbalance, homogeneous service ------------------------
-  core::ExperimentConfig imbalance;
-  imbalance.worker_count = 8;
-  imbalance.preemption_enabled = false;
-  imbalance.service = std::make_shared<workload::FixedDistribution>(
-      sim::Duration::micros(5));
-  imbalance.client_machines = 2;
-  imbalance.flows_per_client = 6;  // 12 flows over 8 rings: lumpy hashing
-  imbalance.offered_rps = 900e3;   // ~60 % of capacity
-  imbalance.target_samples = bench_samples(60'000);
+  const auto imbalance = core::ExperimentConfig::rss()
+                             .workers(8)
+                             .no_preemption()
+                             .fixed_5us()
+                             .clients(2, 6)  // 12 flows over 8 rings: lumpy
+                             .load(900e3)    // ~60 % of capacity
+                             .samples(exp::bench_samples(60'000));
 
-  stats::Table table({"case", "system", "p99_us", "p999_us", "util_spread"});
-  double p99[2][3] = {};
+  // --- case 2: dispersion, plenty of flows --------------------------------
+  const auto dispersion =
+      core::ExperimentConfig(imbalance)
+          .clients(4, 64)
+          .bimodal(sim::Duration::micros(5), sim::Duration::micros(500), 0.01)
+          .load(400e3);  // ~50 % of the 8-worker capacity
+
+  const core::SystemKind systems[] = {core::SystemKind::kRss,
+                                      core::SystemKind::kElasticRss,
+                                      core::SystemKind::kShinjukuOffload};
+  std::vector<core::ExperimentConfig> configs;
+  for (const auto system : systems) {
+    configs.push_back(
+        core::ExperimentConfig(imbalance).on(system).outstanding(4));
+  }
+  for (const auto system : systems) {
+    auto config = core::ExperimentConfig(dispersion).on(system).outstanding(4);
+    config.preemption_enabled = system == core::SystemKind::kShinjukuOffload;
+    config.time_slice = sim::Duration::micros(10);
+    configs.push_back(config);
+  }
+  const auto results = exp::SweepRunner().run_configs(configs);
+
   auto spread = [](const core::ExperimentResult& result) {
     double lo = 1.0, hi = 0.0;
     for (const double u : result.server.worker_utilization) {
@@ -42,57 +63,30 @@ int main() {
     return hi - lo;
   };
 
-  int system_index = 0;
-  for (const auto system :
-       {core::SystemKind::kRss, core::SystemKind::kElasticRss,
-        core::SystemKind::kShinjukuOffload}) {
-    core::ExperimentConfig config = imbalance;
-    config.system = system;
-    config.outstanding_per_worker = 4;
-    const auto result = core::run_experiment(config);
-    p99[0][system_index] = result.summary.p99_us;
-    table.add_row({"few-flows fixed-5us", core::to_string(system),
-                   stats::fmt(result.summary.p99_us),
+  stats::Table table({"case", "system", "p99_us", "p999_us", "util_spread"});
+  double p99[2][3] = {};
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const std::size_t case_index = i / 3;
+    const auto system = systems[i % 3];
+    const auto& result = results[i];
+    p99[case_index][i % 3] = result.summary.p99_us;
+    table.add_row({case_index == 0 ? "few-flows fixed-5us"
+                                   : "bimodal dispersion",
+                   core::to_string(system), stats::fmt(result.summary.p99_us),
                    stats::fmt(result.summary.p999_us),
                    stats::fmt(spread(result), 2)});
-    ++system_index;
-  }
-
-  // --- case 2: dispersion, plenty of flows --------------------------------
-  core::ExperimentConfig dispersion = imbalance;
-  dispersion.client_machines = 4;
-  dispersion.flows_per_client = 64;
-  dispersion.service = std::make_shared<workload::BimodalDistribution>(
-      sim::Duration::micros(5), sim::Duration::micros(500), 0.01);
-  dispersion.offered_rps = 400e3;  // ~50 % of the 8-worker capacity
-
-  system_index = 0;
-  for (const auto system :
-       {core::SystemKind::kRss, core::SystemKind::kElasticRss,
-        core::SystemKind::kShinjukuOffload}) {
-    core::ExperimentConfig config = dispersion;
-    config.system = system;
-    config.outstanding_per_worker = 4;
-    config.preemption_enabled =
-        system == core::SystemKind::kShinjukuOffload;
-    config.time_slice = sim::Duration::micros(10);
-    const auto result = core::run_experiment(config);
-    p99[1][system_index] = result.summary.p99_us;
-    table.add_row({"bimodal dispersion", core::to_string(system),
-                   stats::fmt(result.summary.p99_us),
-                   stats::fmt(result.summary.p999_us),
-                   stats::fmt(spread(result), 2)});
-    ++system_index;
+    fig.add_row(std::string(case_index == 0 ? "imbalance/" : "dispersion/") +
+                    core::to_string(system),
+                result);
   }
   table.print(std::cout);
   std::cout << '\n';
 
-  bool ok = true;
-  ok &= check("under flow imbalance, eRSS improves plain RSS's p99 (>=1.3x)",
-              p99[0][1] * 1.3 <= p99[0][0]);
-  ok &= check("under dispersion, eRSS recovers far less than preemption does",
-              (p99[1][0] - p99[1][1]) < 0.5 * (p99[1][0] - p99[1][2]));
-  ok &= check("preemptive offload beats both RSS variants under dispersion",
-              p99[1][2] < p99[1][0] && p99[1][2] < p99[1][1]);
-  return ok ? 0 : 1;
+  fig.check("under flow imbalance, eRSS improves plain RSS's p99 (>=1.3x)",
+            p99[0][1] * 1.3 <= p99[0][0]);
+  fig.check("under dispersion, eRSS recovers far less than preemption does",
+            (p99[1][0] - p99[1][1]) < 0.5 * (p99[1][0] - p99[1][2]));
+  fig.check("preemptive offload beats both RSS variants under dispersion",
+            p99[1][2] < p99[1][0] && p99[1][2] < p99[1][1]);
+  return fig.finish();
 }

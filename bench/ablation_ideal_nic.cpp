@@ -8,70 +8,78 @@
 //   2. informed preemption: spurious/total interrupt ratio for the local-
 //      timer design vs the queue-aware NIC interrupt at low load.
 #include <iostream>
-#include <memory>
+#include <string>
+#include <vector>
 
-#include "figure_util.h"
+#include "exp/exp.h"
+#include "stats/table.h"
 
 int main() {
   using namespace nicsched;
-  using namespace nicsched::bench;
 
-  core::ExperimentConfig base;
-  base.system = core::SystemKind::kIdealNic;
-  base.worker_count = 16;
-  base.outstanding_per_worker = 2;
-  base.preemption_enabled = false;
-  base.service = std::make_shared<workload::FixedDistribution>(
-      sim::Duration::micros(1));
-  base.target_samples = bench_samples(100'000);
+  const auto base = core::ExperimentConfig::ideal_nic()
+                        .workers(16)
+                        .outstanding(2)
+                        .no_preemption()
+                        .fixed(sim::Duration::micros(1))
+                        .samples(exp::bench_samples(100'000));
 
-  std::cout << "Ideal-NIC ablation (Figure 6 workload: fixed 1us, 16 "
-               "workers)\n\n";
+  exp::Figure fig("ablation_ideal_nic",
+                  "Ideal-NIC ablation (Figure 6 workload: fixed 1us, 16 "
+                  "workers)");
+  std::cout << fig.title() << "\n\n";
+
+  exp::SweepRunner runner;
 
   // --- communication latency sweep ---------------------------------------
+  // Each saturation search is itself serial, but the four latency points
+  // (plus the two reference systems below) are independent.
+  const std::vector<double> latencies_ns = {100, 400, 1000, 2560};
+  const auto sat_at = runner.map(latencies_ns, [&](const double ns) {
+    auto config = core::ExperimentConfig(base);
+    config.params.cxl_one_way_latency = sim::Duration::nanos(ns);
+    return core::find_saturation_throughput(config, 1e6, 16e6, 0.95, 8);
+  });
+
   stats::Table sweep({"one_way_latency", "sat_krps"});
-  const double latencies_ns[] = {100, 400, 1000, 2560};
-  double sat_at[4] = {};
-  for (int i = 0; i < 4; ++i) {
-    core::ExperimentConfig config = base;
-    config.params.cxl_one_way_latency =
-        sim::Duration::nanos(latencies_ns[i]);
-    sat_at[i] = core::find_saturation_throughput(config, 1e6, 16e6, 0.95, 8);
+  for (std::size_t i = 0; i < latencies_ns.size(); ++i) {
     sweep.add_row({stats::fmt(latencies_ns[i], 0) + "ns",
                    stats::fmt(sat_at[i] / 1e3)});
+    fig.note_metric("sat_rps_" + stats::fmt(latencies_ns[i], 0) + "ns",
+                    sat_at[i]);
   }
   sweep.print(std::cout);
 
   // Reference points: the two real systems on the same workload.
-  core::ExperimentConfig offload = base;
-  offload.system = core::SystemKind::kShinjukuOffload;
-  offload.outstanding_per_worker = 5;
-  const double sat_offload =
-      core::find_saturation_throughput(offload, 0.5e6, 4e6, 0.95, 8);
-  core::ExperimentConfig shinjuku = base;
-  shinjuku.system = core::SystemKind::kShinjuku;
-  shinjuku.worker_count = 15;
-  const double sat_shinjuku =
-      core::find_saturation_throughput(shinjuku, 1e6, 8e6, 0.95, 8);
+  const double sat_offload = core::find_saturation_throughput(
+      core::ExperimentConfig(base)
+          .on(core::SystemKind::kShinjukuOffload)
+          .outstanding(5),
+      0.5e6, 4e6, 0.95, 8);
+  const double sat_shinjuku = core::find_saturation_throughput(
+      core::ExperimentConfig(base).on(core::SystemKind::kShinjuku).workers(15),
+      1e6, 8e6, 0.95, 8);
   std::cout << "\nreference: shinjuku-offload=" << stats::fmt(sat_offload / 1e3)
             << " kRPS, shinjuku=" << stats::fmt(sat_shinjuku / 1e3)
             << " kRPS\n\n";
+  fig.note_metric("sat_rps_offload", sat_offload);
+  fig.note_metric("sat_rps_shinjuku", sat_shinjuku);
 
   // --- informed vs uninformed preemption ----------------------------------
-  core::ExperimentConfig preempt;
-  preempt.worker_count = 4;
-  preempt.outstanding_per_worker = 2;
-  preempt.preemption_enabled = true;
-  preempt.time_slice = sim::Duration::micros(10);
-  preempt.service = std::make_shared<workload::FixedDistribution>(
-      sim::Duration::micros(50));
-  preempt.offered_rps = 10e3;  // low load: the queue is almost always empty
-  preempt.target_samples = bench_samples(20'000);
-
-  preempt.system = core::SystemKind::kShinjukuOffload;
-  const auto uninformed = core::run_experiment(preempt);
-  preempt.system = core::SystemKind::kIdealNic;
-  const auto informed = core::run_experiment(preempt);
+  const auto preempt = core::ExperimentConfig::offload()
+                           .workers(4)
+                           .outstanding(2)
+                           .slice(sim::Duration::micros(10))
+                           .fixed(sim::Duration::micros(50))
+                           .load(10e3)  // low load: queue almost always empty
+                           .samples(exp::bench_samples(20'000));
+  const auto preempt_results = runner.run_configs(
+      {core::ExperimentConfig(preempt),
+       core::ExperimentConfig(preempt).on(core::SystemKind::kIdealNic)});
+  const auto& uninformed = preempt_results[0];
+  const auto& informed = preempt_results[1];
+  fig.add_row("uninformed-preemption", uninformed);
+  fig.add_row("informed-preemption", informed);
 
   stats::Table preemption(
       {"design", "preemptions", "completed", "preempts_per_req"});
@@ -88,15 +96,14 @@ int main() {
   preemption.print(std::cout);
   std::cout << '\n';
 
-  bool ok = true;
-  ok &= check("throughput degrades monotonically with comm latency",
-              sat_at[0] >= sat_at[1] && sat_at[1] >= sat_at[2] &&
-                  sat_at[2] >= sat_at[3]);
-  ok &= check("ideal NIC at 400ns closes the fig6 gap (>2x offload)",
-              sat_at[1] > 2.0 * sat_offload);
-  ok &= check("ideal NIC at 400ns beats even host shinjuku",
-              sat_at[1] > sat_shinjuku);
-  ok &= check("informed preemption eliminates almost all useless preempts",
-              informed.server.preemptions * 20 < uninformed.server.preemptions);
-  return ok ? 0 : 1;
+  fig.check("throughput degrades monotonically with comm latency",
+            sat_at[0] >= sat_at[1] && sat_at[1] >= sat_at[2] &&
+                sat_at[2] >= sat_at[3]);
+  fig.check("ideal NIC at 400ns closes the fig6 gap (>2x offload)",
+            sat_at[1] > 2.0 * sat_offload);
+  fig.check("ideal NIC at 400ns beats even host shinjuku",
+            sat_at[1] > sat_shinjuku);
+  fig.check("informed preemption eliminates almost all useless preempts",
+            informed.server.preemptions * 20 < uninformed.server.preemptions);
+  return fig.finish();
 }

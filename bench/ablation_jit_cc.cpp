@@ -13,10 +13,13 @@
 //                       capacity while the standing queue stays near target.
 #include <iostream>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "core/ideal_nic_server.h"
-#include "figure_util.h"
+#include "exp/exp.h"
 #include "stats/recorder.h"
+#include "stats/table.h"
 #include "workload/paced_client.h"
 
 namespace {
@@ -80,35 +83,49 @@ JitResult run_paced(double measure_ms, std::uint32_t target_depth,
 }  // namespace
 
 int main() {
-  using namespace nicsched::bench;
+  using namespace nicsched;
 
-  const bool fast = fast_mode();
-  const double measure_ms = fast ? 10.0 : 50.0;
+  const double measure_ms = exp::fast_mode() ? 10.0 : 50.0;
 
-  std::cout << "JIT congestion control (fixed 5us, ideal-NIC, 8 workers, "
-               "capacity ~1.55 MRPS)\n\n";
+  exp::Figure fig("ablation_jit_cc",
+                  "JIT congestion control (fixed 5us, ideal-NIC, 8 workers, "
+                  "capacity ~1.55 MRPS)");
+  std::cout << fig.title() << "\n\n";
+
+  exp::SweepRunner runner;
 
   // Open-loop reference points at and beyond capacity.
-  nicsched::core::ExperimentConfig open_loop;
-  open_loop.system = nicsched::core::SystemKind::kIdealNic;
-  open_loop.worker_count = 8;
-  open_loop.outstanding_per_worker = 2;
-  open_loop.preemption_enabled = false;
-  open_loop.service = std::make_shared<nicsched::workload::FixedDistribution>(
-      nicsched::sim::Duration::micros(5));
-  open_loop.measure = nicsched::sim::Duration::millis(measure_ms);
+  const auto open_loop =
+      core::ExperimentConfig::ideal_nic()
+          .workers(8)
+          .outstanding(2)
+          .no_preemption()
+          .fixed_5us()
+          .measure_for(sim::Duration::millis(measure_ms));
+  const std::vector<double> fractions = {0.95, 1.1, 1.3};
+  std::vector<core::ExperimentConfig> configs;
+  for (const double fraction : fractions) {
+    configs.push_back(core::ExperimentConfig(open_loop).load(fraction * 1.55e6));
+  }
+  const auto open_results = runner.run_configs(configs);
 
-  nicsched::stats::Table table(
-      {"mode", "achieved_krps", "p99_us", "queue_signal"});
+  // The paced runs are independent of each other and of the open-loop runs,
+  // but use a custom client harness — runner.map covers that too.
+  const std::vector<std::uint32_t> targets = {2u, 8u, 32u};
+  const auto paced_results = runner.map(targets, [&](const std::uint32_t t) {
+    return run_paced(measure_ms, t, 4);
+  });
+
+  stats::Table table({"mode", "achieved_krps", "p99_us", "queue_signal"});
   double open_p99_over = 0, open_achieved_over = 0;
-  for (const double fraction : {0.95, 1.1, 1.3}) {
-    open_loop.offered_rps = fraction * 1.55e6;
-    const auto result = nicsched::core::run_experiment(open_loop);
-    table.add_row({"open-loop @" + nicsched::stats::fmt(fraction * 100, 0) +
+  for (std::size_t i = 0; i < fractions.size(); ++i) {
+    const auto& result = open_results[i];
+    table.add_row({"open-loop @" + stats::fmt(fractions[i] * 100, 0) +
                        "% capacity",
-                   nicsched::stats::fmt(result.summary.achieved_rps / 1e3),
-                   nicsched::stats::fmt(result.summary.p99_us), "-"});
-    if (fraction == 1.1) {
+                   stats::fmt(result.summary.achieved_rps / 1e3),
+                   stats::fmt(result.summary.p99_us), "-"});
+    fig.add_row("open-loop@" + stats::fmt(fractions[i] * 100, 0) + "%", result);
+    if (fractions[i] == 1.1) {
       open_p99_over = result.summary.p99_us;
       open_achieved_over = result.summary.achieved_rps;
     }
@@ -116,15 +133,18 @@ int main() {
 
   double paced_achieved = 0, paced_p99 = 0;
   double p99_by_target[3] = {};
-  int target_index = 0;
-  for (const std::uint32_t target : {2u, 8u, 32u}) {
-    const JitResult paced = run_paced(measure_ms, target, 4);
-    table.add_row({"jit-paced (target depth " + std::to_string(target) + ")",
-                   nicsched::stats::fmt(paced.achieved_rps / 1e3),
-                   nicsched::stats::fmt(paced.p99_us),
-                   "window=" + nicsched::stats::fmt(paced.mean_window)});
-    p99_by_target[target_index++] = paced.p99_us;
-    if (target == 8u) {
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    const JitResult& paced = paced_results[i];
+    table.add_row(
+        {"jit-paced (target depth " + std::to_string(targets[i]) + ")",
+         stats::fmt(paced.achieved_rps / 1e3), stats::fmt(paced.p99_us),
+         "window=" + stats::fmt(paced.mean_window)});
+    fig.note_metric("paced_p99_us_target" + std::to_string(targets[i]),
+                    paced.p99_us);
+    fig.note_metric("paced_achieved_rps_target" + std::to_string(targets[i]),
+                    paced.achieved_rps);
+    p99_by_target[i] = paced.p99_us;
+    if (targets[i] == 8u) {
       paced_achieved = paced.achieved_rps;
       paced_p99 = paced.p99_us;
     }
@@ -132,14 +152,14 @@ int main() {
   table.print(std::cout);
   std::cout << '\n';
 
-  bool ok = true;
-  ok &= check("open loop beyond capacity melts down (p99 > 1 ms)",
-              open_p99_over > 1000.0);
-  ok &= check("JIT pacing keeps >=85% of the overloaded open-loop throughput",
-              paced_achieved >= 0.85 * open_achieved_over);
-  ok &= check("...at a p99 at least 20x lower", paced_p99 * 20.0 < open_p99_over);
-  ok &= check("tail latency rises monotonically with the target depth",
-              p99_by_target[0] <= p99_by_target[1] &&
-                  p99_by_target[1] <= p99_by_target[2]);
-  return ok ? 0 : 1;
+  fig.check("open loop beyond capacity melts down (p99 > 1 ms)",
+            open_p99_over > 1000.0);
+  fig.check("JIT pacing keeps >=85% of the overloaded open-loop throughput",
+            paced_achieved >= 0.85 * open_achieved_over);
+  fig.check("...at a p99 at least 20x lower",
+            paced_p99 * 20.0 < open_p99_over);
+  fig.check("tail latency rises monotonically with the target depth",
+            p99_by_target[0] <= p99_by_target[1] &&
+                p99_by_target[1] <= p99_by_target[2]);
+  return fig.finish();
 }

@@ -9,110 +9,139 @@
 // physical core (networker+dispatcher hyperthreads), so D dispatcher groups
 // leave 32-D worker cores. We measure saturation throughput and the RSS
 // imbalance between groups.
+#include <algorithm>
 #include <iostream>
 #include <memory>
+#include <vector>
 
 #include "core/shinjuku_server.h"
-#include "figure_util.h"
+#include "exp/exp.h"
+#include "stats/table.h"
 #include "workload/client.h"
+
+namespace {
+
+using namespace nicsched;
+
+struct DispatcherPoint {
+  double sat_rps = 0.0;
+  double imbalance = 0.0;
+};
+
+// Measure per-group request imbalance at 70 % of saturation via the requests
+// each group's networker accepted. RSS imbalance is a flow-granularity
+// effect, so probe with few flows (2 clients x 4 flows), the regime §2.2
+// worries about; the testbed API doesn't expose group counters, so wire the
+// server directly.
+double probe_group_imbalance(const core::ExperimentConfig& base,
+                             std::size_t dispatchers, double offered_rps) {
+  core::ExperimentConfig probe = base;
+  probe.offered_rps = offered_rps;
+  probe.client_machines = 2;
+  probe.flows_per_client = 4;
+  sim::Simulator sim;
+  net::EthernetSwitch network(sim, probe.params.switch_forward_latency);
+  core::ShinjukuServer::Config server_config;
+  server_config.worker_count = probe.worker_count;
+  server_config.dispatcher_count = dispatchers;
+  server_config.preemption_enabled = false;
+  core::ShinjukuServer server(sim, network, probe.params, server_config);
+  sim::Rng master(probe.seed);
+  std::vector<std::unique_ptr<workload::ClientMachine>> clients;
+  for (int c = 0; c < probe.client_machines; ++c) {
+    workload::ClientMachine::Config client;
+    client.client_id = static_cast<std::uint32_t>(c + 1);
+    client.mac = net::MacAddress::from_index(client.client_id);
+    client.ip = net::Ipv4Address::from_index(client.client_id);
+    client.flow_count = probe.flows_per_client;
+    client.server_mac = server.ingress_mac();
+    client.server_ip = server.ingress_ip();
+    client.server_port = server.port();
+    clients.push_back(std::make_unique<workload::ClientMachine>(
+        sim, network, client, probe.service,
+        std::make_unique<workload::PoissonArrivals>(probe.offered_rps /
+                                                    probe.client_machines),
+        master.fork()));
+  }
+  for (auto& client : clients) {
+    client->start(sim::TimePoint::origin() + sim::Duration::millis(20));
+  }
+  sim.run_until(sim::TimePoint::origin() + sim::Duration::millis(25));
+  // Hottest group relative to the mean: 1.0 = perfect balance. With only 8
+  // flows, RSS can starve whole groups, which shows up as max/mean ≈ group
+  // count.
+  std::uint64_t hi = 0, total = 0;
+  for (std::size_t g = 0; g < server.group_count(); ++g) {
+    hi = std::max(hi, server.group_requests(g));
+    total += server.group_requests(g);
+  }
+  const double mean = static_cast<double>(total) /
+                      static_cast<double>(server.group_count());
+  return mean == 0.0 ? 0.0 : static_cast<double>(hi) / mean;
+}
+
+}  // namespace
 
 int main() {
   using namespace nicsched;
-  using namespace nicsched::bench;
 
   constexpr std::size_t kCoreBudget = 32;
 
-  core::ExperimentConfig base;
-  base.system = core::SystemKind::kShinjuku;
-  base.preemption_enabled = false;
-  base.service = std::make_shared<workload::FixedDistribution>(
-      sim::Duration::micros(1));
-  base.target_samples = bench_samples(120'000);
-  // Enough flow diversity that RSS imbalance is hashing granularity, not
-  // flow-count starvation.
-  base.flows_per_client = 64;
-  base.client_machines = 4;
+  const auto base = core::ExperimentConfig::shinjuku()
+                        .no_preemption()
+                        .fixed(sim::Duration::micros(1))
+                        .samples(exp::bench_samples(120'000))
+                        // Enough flow diversity that RSS imbalance is hashing
+                        // granularity, not flow-count starvation.
+                        .clients(4, 64);
 
-  std::cout << "Multi-dispatcher Shinjuku, fixed 1us, " << kCoreBudget
-            << "-core budget (each dispatcher burns one worker core)\n\n";
+  exp::Figure fig("ablation_multidispatcher",
+                  "Multi-dispatcher Shinjuku, fixed 1us, " +
+                      std::to_string(kCoreBudget) +
+                      "-core budget (each dispatcher burns one worker core)");
+  std::cout << fig.title() << "\n\n";
+
+  // Each dispatcher-count point — its saturation search plus its imbalance
+  // probe — is independent of the others.
+  const std::vector<std::size_t> dispatcher_counts = {1, 2, 4, 8};
+  const auto points = exp::SweepRunner().map(
+      dispatcher_counts, [&](const std::size_t dispatchers) {
+        auto config = core::ExperimentConfig(base)
+                          .dispatchers(dispatchers)
+                          .workers(kCoreBudget - dispatchers);
+        DispatcherPoint point;
+        point.sat_rps =
+            core::find_saturation_throughput(config, 1e6, 28e6, 0.95, 8);
+        point.imbalance =
+            probe_group_imbalance(config, dispatchers, 0.7 * point.sat_rps);
+        return point;
+      });
 
   stats::Table table({"dispatchers", "workers", "sat_mrps", "wasted_cores",
                       "group_load_max/mean"});
-  double sat[4] = {};
-  double imbalance[4] = {};
-  int index = 0;
-  for (const std::size_t dispatchers : {1u, 2u, 4u, 8u}) {
-    core::ExperimentConfig config = base;
-    config.dispatcher_count = dispatchers;
-    config.worker_count = kCoreBudget - dispatchers;
-    sat[index] = core::find_saturation_throughput(config, 1e6, 28e6, 0.95, 8);
-
-    // Measure per-group request imbalance at 70 % of saturation via the
-    // requests each group's networker accepted. RSS imbalance is a
-    // flow-granularity effect, so probe with few flows (2 clients x 4
-    // flows), the regime §2.2 worries about; the testbed API doesn't expose
-    // group counters, so wire the server directly.
-    core::ExperimentConfig probe = config;
-    probe.offered_rps = 0.7 * sat[index];
-    probe.client_machines = 2;
-    probe.flows_per_client = 4;
-    sim::Simulator sim;
-    net::EthernetSwitch network(sim, probe.params.switch_forward_latency);
-    core::ShinjukuServer::Config server_config;
-    server_config.worker_count = probe.worker_count;
-    server_config.dispatcher_count = dispatchers;
-    server_config.preemption_enabled = false;
-    core::ShinjukuServer server(sim, network, probe.params, server_config);
-    sim::Rng master(probe.seed);
-    std::vector<std::unique_ptr<workload::ClientMachine>> clients;
-    for (int c = 0; c < probe.client_machines; ++c) {
-      workload::ClientMachine::Config client;
-      client.client_id = static_cast<std::uint32_t>(c + 1);
-      client.mac = net::MacAddress::from_index(client.client_id);
-      client.ip = net::Ipv4Address::from_index(client.client_id);
-      client.flow_count = probe.flows_per_client;
-      client.server_mac = server.ingress_mac();
-      client.server_ip = server.ingress_ip();
-      client.server_port = server.port();
-      clients.push_back(std::make_unique<workload::ClientMachine>(
-          sim, network, client,
-          probe.service,
-          std::make_unique<workload::PoissonArrivals>(
-              probe.offered_rps / probe.client_machines),
-          master.fork()));
-    }
-    for (auto& client : clients) {
-      client->start(sim::TimePoint::origin() + sim::Duration::millis(20));
-    }
-    sim.run_until(sim::TimePoint::origin() + sim::Duration::millis(25));
-    // Hottest group relative to the mean: 1.0 = perfect balance. With only
-    // 8 flows, RSS can starve whole groups, which shows up as max/mean ≈
-    // group count.
-    std::uint64_t hi = 0, total = 0;
-    for (std::size_t g = 0; g < server.group_count(); ++g) {
-      hi = std::max(hi, server.group_requests(g));
-      total += server.group_requests(g);
-    }
-    const double mean = static_cast<double>(total) /
-                        static_cast<double>(server.group_count());
-    imbalance[index] = mean == 0.0 ? 0.0 : static_cast<double>(hi) / mean;
-
+  for (std::size_t i = 0; i < dispatcher_counts.size(); ++i) {
+    const std::size_t dispatchers = dispatcher_counts[i];
     table.add_row({std::to_string(dispatchers),
                    std::to_string(kCoreBudget - dispatchers),
-                   stats::fmt(sat[index] / 1e6, 2),
+                   stats::fmt(points[i].sat_rps / 1e6, 2),
                    std::to_string(dispatchers),
-                   dispatchers == 1 ? "n/a" : stats::fmt(imbalance[index], 2)});
-    ++index;
+                   dispatchers == 1 ? "n/a" : stats::fmt(points[i].imbalance,
+                                                         2)});
+    fig.note_metric("sat_rps_d" + std::to_string(dispatchers),
+                    points[i].sat_rps);
+    fig.note_metric("imbalance_d" + std::to_string(dispatchers),
+                    points[i].imbalance);
   }
   table.print(std::cout);
   std::cout << '\n';
 
-  bool ok = true;
-  ok &= check("adding a second dispatcher raises throughput substantially",
-              sat[1] > 1.5 * sat[0]);
-  ok &= check("scaling is sublinear (8 dispatchers < 6x one dispatcher)",
-              sat[3] < 6.0 * sat[0]);
-  ok &= check("RSS across dispatcher groups is measurably imbalanced (hottest >10% over mean)",
-              imbalance[1] > 1.1 || imbalance[2] > 1.1 || imbalance[3] > 1.1);
-  return ok ? 0 : 1;
+  fig.check("adding a second dispatcher raises throughput substantially",
+            points[1].sat_rps > 1.5 * points[0].sat_rps);
+  fig.check("scaling is sublinear (8 dispatchers < 6x one dispatcher)",
+            points[3].sat_rps < 6.0 * points[0].sat_rps);
+  fig.check("RSS across dispatcher groups is measurably imbalanced (hottest "
+            ">10% over mean)",
+            points[1].imbalance > 1.1 || points[2].imbalance > 1.1 ||
+                points[3].imbalance > 1.1);
+  return fig.finish();
 }

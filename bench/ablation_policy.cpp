@@ -11,12 +11,13 @@
 // batch-class latency (SJF by size, multi-class by fiat).
 #include <iostream>
 #include <memory>
+#include <vector>
 
-#include "figure_util.h"
+#include "exp/exp.h"
+#include "stats/table.h"
 
 int main() {
   using namespace nicsched;
-  using namespace nicsched::bench;
 
   std::vector<workload::MixtureDistribution::Component> components;
   components.push_back(
@@ -28,62 +29,66 @@ int main() {
   auto service =
       std::make_shared<workload::MixtureDistribution>(std::move(components));
 
-  core::ExperimentConfig base;
-  base.system = core::SystemKind::kIdealNic;
-  base.worker_count = 8;
-  base.outstanding_per_worker = 1;  // pure centralized queueing
-  base.preemption_enabled = true;
-  base.time_slice = sim::Duration::micros(25);
-  base.service = service;
-  // Mean ≈ 44 us → 8 workers saturate near 180 kRPS; run at ~85 %.
-  base.offered_rps = 155e3;
-  base.target_samples = bench_samples(60'000);
+  const auto base = core::ExperimentConfig::ideal_nic()
+                        .workers(8)
+                        .outstanding(1)  // pure centralized queueing
+                        .slice(sim::Duration::micros(25))
+                        .with_service(service)
+                        // Mean ≈ 44 us → 8 workers saturate near 180 kRPS;
+                        // run at ~85 %.
+                        .load(155e3)
+                        .samples(exp::bench_samples(60'000));
 
-  std::cout << "Queue-policy ablation: " << service->name()
-            << ", ideal-NIC, 8 workers, 155 kRPS (~85% load), slice 25us\n\n";
+  exp::Figure fig("ablation_policy",
+                  "Queue-policy ablation: " + service->name() +
+                      ", ideal-NIC, 8 workers, 155 kRPS (~85% load), slice "
+                      "25us");
+  std::cout << fig.title() << "\n\n";
+
+  const core::QueuePolicy policies[] = {
+      core::QueuePolicy::kFcfs, core::QueuePolicy::kSjf,
+      core::QueuePolicy::kMultiClass, core::QueuePolicy::kBvt};
+  std::vector<core::ExperimentConfig> configs;
+  for (const auto policy : policies) {
+    configs.push_back(core::ExperimentConfig(base).policy(policy));
+  }
+  const auto results = exp::SweepRunner().run_configs(configs);
 
   stats::Table table({"policy", "interactive_p99_us", "batch_p99_us",
                       "overall_p999_us", "preempts/req"});
   double interactive_p99[4] = {};
   double batch_p99[4] = {};
   double overall_p999[4] = {};
-  int index = 0;
-  for (const auto policy :
-       {core::QueuePolicy::kFcfs, core::QueuePolicy::kSjf,
-        core::QueuePolicy::kMultiClass, core::QueuePolicy::kBvt}) {
-    core::ExperimentConfig config = base;
-    config.queue_policy = policy;
-    const auto result = core::run_experiment(config);
-    interactive_p99[index] =
-        result.recorder.by_kind(0).quantile(0.99).to_micros();
-    batch_p99[index] = result.recorder.by_kind(1).quantile(0.99).to_micros();
-    overall_p999[index] = result.summary.p999_us;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& result = results[i];
+    interactive_p99[i] = result.recorder.by_kind(0).quantile(0.99).to_micros();
+    batch_p99[i] = result.recorder.by_kind(1).quantile(0.99).to_micros();
+    overall_p999[i] = result.summary.p999_us;
     table.add_row(
-        {core::to_string(policy), stats::fmt(interactive_p99[index]),
-         stats::fmt(batch_p99[index]), stats::fmt(result.summary.p999_us),
+        {core::to_string(policies[i]), stats::fmt(interactive_p99[i]),
+         stats::fmt(batch_p99[i]), stats::fmt(result.summary.p999_us),
          stats::fmt(static_cast<double>(result.summary.preemptions) /
                         static_cast<double>(result.summary.completed),
                     2)});
-    ++index;
+    fig.add_row(core::to_string(policies[i]), result);
   }
   table.print(std::cout);
   std::cout << '\n';
 
-  bool ok = true;
-  ok &= check("SJF improves the interactive tail over FCFS (>=2x)",
-              interactive_p99[1] * 2.0 <= interactive_p99[0]);
-  ok &= check("class priority improves the interactive tail over FCFS (>=2x)",
-              interactive_p99[2] * 2.0 <= interactive_p99[0]);
+  fig.check("SJF improves the interactive tail over FCFS (>=2x)",
+            interactive_p99[1] * 2.0 <= interactive_p99[0]);
+  fig.check("class priority improves the interactive tail over FCFS (>=2x)",
+            interactive_p99[2] * 2.0 <= interactive_p99[0]);
   // With preemption, SJF on *remaining* work is SRPT: mostly-finished batch
   // requests jump the queue, so SJF improves even the batch tail. Strict
   // class priority, by contrast, genuinely sacrifices the batch class.
-  ok &= check("strict class priority sacrifices the batch class (>= FCFS p99)",
-              batch_p99[2] >= 0.95 * batch_p99[0]);
-  ok &= check("SRPT-like SJF improves the overall p999 over FCFS",
-              overall_p999[1] < overall_p999[0]);
-  ok &= check("BVT lands between FCFS and strict priority on the "
-              "interactive tail",
-              interactive_p99[3] < interactive_p99[0] &&
-                  interactive_p99[3] >= 0.8 * interactive_p99[2]);
-  return ok ? 0 : 1;
+  fig.check("strict class priority sacrifices the batch class (>= FCFS p99)",
+            batch_p99[2] >= 0.95 * batch_p99[0]);
+  fig.check("SRPT-like SJF improves the overall p999 over FCFS",
+            overall_p999[1] < overall_p999[0]);
+  fig.check("BVT lands between FCFS and strict priority on the interactive "
+            "tail",
+            interactive_p99[3] < interactive_p99[0] &&
+                interactive_p99[3] >= 0.8 * interactive_p99[2]);
+  return fig.finish();
 }

@@ -8,55 +8,52 @@
 // because its dispatcher runs on the SmartNIC instead of consuming a host
 // core.
 #include <iostream>
-#include <memory>
 
-#include "figure_util.h"
+#include "exp/exp.h"
 
 int main() {
   using namespace nicsched;
-  using namespace nicsched::bench;
 
-  core::ExperimentConfig base;
-  base.service = std::make_shared<workload::BimodalDistribution>(
-      sim::Duration::micros(5), sim::Duration::micros(100), 0.005);
-  base.time_slice = sim::Duration::micros(10);
-  base.preemption_enabled = true;
-  base.target_samples = bench_samples(100'000);
+  const auto base = core::ExperimentConfig::offload()
+                        .bimodal()
+                        .slice(sim::Duration::micros(10))
+                        .samples(exp::bench_samples(100'000));
 
-  const auto loads = load_grid(50e3, 650e3, 13);
+  const auto loads = exp::load_grid(50e3, 650e3, 13);
 
-  core::ExperimentConfig shinjuku = base;
-  shinjuku.system = core::SystemKind::kShinjuku;
-  shinjuku.worker_count = 3;
+  exp::Figure fig("fig2_bimodal",
+                  "Figure 2: " + base.service->name() +
+                      ", slice 10us, Shinjuku 3 workers vs Shinjuku-Offload "
+                      "4 workers (K=4)");
+  fig.add_series(
+      "Shinjuku",
+      core::ExperimentConfig(base).on(core::SystemKind::kShinjuku).workers(3),
+      loads);
+  fig.add_series("Shinjuku-Offload",
+                 core::ExperimentConfig(base).workers(4).outstanding(4),
+                 loads);
 
-  core::ExperimentConfig offload = base;
-  offload.system = core::SystemKind::kShinjukuOffload;
-  offload.worker_count = 4;
-  offload.outstanding_per_worker = 4;
+  fig.run(exp::SweepRunner());
+  fig.print(std::cout);
 
-  std::cout << "Figure 2: " << base.service->name()
-            << ", slice 10us, Shinjuku 3 workers vs Shinjuku-Offload 4 "
-               "workers (K=4)\n\n";
-
-  const auto shinjuku_rows = core::sweep_summaries(shinjuku, loads);
-  const auto offload_rows = core::sweep_summaries(offload, loads);
-  stats::print_sweep(std::cout, "Shinjuku", shinjuku_rows);
-  stats::print_sweep(std::cout, "Shinjuku-Offload", offload_rows);
+  const auto shinjuku_rows = fig.series(0).summaries();
+  const auto offload_rows = fig.series(1).summaries();
 
   // --- shape checks -------------------------------------------------------
   // Saturation = keeping up with offered load with a sub-500us tail, the
   // figure's y-axis cap.
-  const double sat_shinjuku = saturation_point(shinjuku_rows, 0.92, 500.0);
-  const double sat_offload = saturation_point(offload_rows, 0.92, 500.0);
+  const double sat_shinjuku = fig.series(0).saturation(0.92, 500.0);
+  const double sat_offload = fig.series(1).saturation(0.92, 500.0);
   std::cout << "\nsaturation: shinjuku=" << sat_shinjuku / 1e3
             << " kRPS, offload=" << sat_offload / 1e3 << " kRPS\n";
+  fig.note_metric("saturation_shinjuku_rps", sat_shinjuku);
+  fig.note_metric("saturation_offload_rps", sat_offload);
 
-  bool ok = true;
-  ok &= check("both systems keep p99 < 100us at 300 kRPS (preemption works)",
-              shinjuku_rows[5].p99_us < 100.0 && offload_rows[5].p99_us < 100.0);
-  ok &= check("Shinjuku-Offload saturates at higher load (extra worker)",
-              sat_offload > sat_shinjuku);
-  ok &= check("offload saturation gain is roughly the extra worker (>=15%)",
-              sat_offload >= 1.15 * sat_shinjuku);
-  return ok ? 0 : 1;
+  fig.check("both systems keep p99 < 100us at 300 kRPS (preemption works)",
+            shinjuku_rows[5].p99_us < 100.0 && offload_rows[5].p99_us < 100.0);
+  fig.check("Shinjuku-Offload saturates at higher load (extra worker)",
+            sat_offload > sat_shinjuku);
+  fig.check("offload saturation gain is roughly the extra worker (>=15%)",
+            sat_offload >= 1.15 * sat_shinjuku);
+  return fig.finish();
 }

@@ -7,43 +7,54 @@
 // outstanding requests hide the 2.56 us dispatcher→worker packet path; once
 // the rings never run dry, the ARM dispatcher pipeline is the ceiling.
 #include <iostream>
-#include <memory>
+#include <vector>
 
-#include "figure_util.h"
+#include "exp/exp.h"
+#include "stats/table.h"
 
 int main() {
   using namespace nicsched;
-  using namespace nicsched::bench;
 
-  core::ExperimentConfig base;
-  base.system = core::SystemKind::kShinjukuOffload;
-  base.service = std::make_shared<workload::FixedDistribution>(
-      sim::Duration::micros(1));
-  base.preemption_enabled = false;  // §4.1: preemption off for fixed loads
-  base.target_samples = bench_samples(60'000);
+  const auto base = core::ExperimentConfig::offload()
+                        .fixed(sim::Duration::micros(1))
+                        .no_preemption()  // §4.1: preemption off for fixed loads
+                        .samples(exp::bench_samples(60'000));
 
-  std::cout << "Figure 3: fixed 1us service, Shinjuku-Offload, saturation "
-               "throughput vs outstanding requests K\n\n";
+  exp::Figure fig("fig3_outstanding",
+                  "Figure 3: fixed 1us service, Shinjuku-Offload, saturation "
+                  "throughput vs outstanding requests K");
+  std::cout << fig.title() << "\n\n";
+
+  // 7 K values x 2 worker counts = 14 independent binary searches; each
+  // search is serial inside, but the searches fan out across the pool.
+  struct Cell {
+    std::size_t workers;
+    std::uint32_t k;
+  };
+  std::vector<Cell> cells;
+  for (std::uint32_t k = 1; k <= 7; ++k) {
+    cells.push_back({4, k});
+    cells.push_back({16, k});
+  }
+  const exp::SweepRunner runner;
+  const auto saturations = runner.map(cells, [&](const Cell& cell) {
+    auto config =
+        core::ExperimentConfig(base).workers(cell.workers).outstanding(cell.k);
+    return core::find_saturation_throughput(config, 50e3, 4.5e6, 0.95, 8);
+  });
 
   stats::Table table({"K", "4w_krps", "16w_krps"});
   std::vector<double> tput4, tput16;
-  for (std::uint32_t k = 1; k <= 7; ++k) {
-    core::ExperimentConfig config4 = base;
-    config4.worker_count = 4;
-    config4.outstanding_per_worker = k;
-    const double t4 =
-        core::find_saturation_throughput(config4, 50e3, 4.5e6, 0.95, 8);
-
-    core::ExperimentConfig config16 = base;
-    config16.worker_count = 16;
-    config16.outstanding_per_worker = k;
-    const double t16 =
-        core::find_saturation_throughput(config16, 50e3, 4.5e6, 0.95, 8);
-
-    tput4.push_back(t4);
-    tput16.push_back(t16);
-    table.add_row({std::to_string(k), stats::fmt(t4 / 1e3),
-                   stats::fmt(t16 / 1e3)});
+  for (std::size_t i = 0; i < cells.size(); i += 2) {
+    tput4.push_back(saturations[i]);
+    tput16.push_back(saturations[i + 1]);
+    table.add_row({std::to_string(cells[i].k),
+                   stats::fmt(saturations[i] / 1e3),
+                   stats::fmt(saturations[i + 1] / 1e3)});
+    fig.note_metric("sat_rps_4w_k" + std::to_string(cells[i].k),
+                    saturations[i]);
+    fig.note_metric("sat_rps_16w_k" + std::to_string(cells[i].k),
+                    saturations[i + 1]);
   }
   table.print(std::cout);
   std::cout << "\n4-worker gain K=1 -> K=5: "
@@ -55,17 +66,16 @@ int main() {
                "workers pipeline the dispatcher fully even at K=1, so the "
                "plateau is reached immediately)\n\n";
 
-  bool ok = true;
-  ok &= check("4 workers: throughput rises strongly with K (>=2x by K=5)",
-              tput4[4] >= 2.0 * tput4[0]);
-  ok &= check("4 workers: levels out after the knee (K=7 within 15% of K=5)",
-              tput4[6] <= 1.15 * tput4[4]);
-  ok &= check("16 workers: monotone non-decreasing in K",
-              tput16[2] >= 0.98 * tput16[0] && tput16[6] >= 0.98 * tput16[2]);
-  ok &= check("16 workers saturate higher than 4 workers at K=1",
-              tput16[0] > tput4[0]);
-  ok &= check(
+  fig.check("4 workers: throughput rises strongly with K (>=2x by K=5)",
+            tput4[4] >= 2.0 * tput4[0]);
+  fig.check("4 workers: levels out after the knee (K=7 within 15% of K=5)",
+            tput4[6] <= 1.15 * tput4[4]);
+  fig.check("16 workers: monotone non-decreasing in K",
+            tput16[2] >= 0.98 * tput16[0] && tput16[6] >= 0.98 * tput16[2]);
+  fig.check("16 workers saturate higher than 4 workers at K=1",
+            tput16[0] > tput4[0]);
+  fig.check(
       "both series plateau at the same ARM dispatcher ceiling (within 10%)",
       tput4[6] >= 0.9 * tput16[6] && tput4[6] <= 1.1 * tput16[6]);
-  return ok ? 0 : 1;
+  return fig.finish();
 }

@@ -5,50 +5,46 @@
 // the networking subsystem and dispatcher to the SmartNIC frees a host core
 // for a fourth worker.
 #include <iostream>
-#include <memory>
 
-#include "figure_util.h"
+#include "exp/exp.h"
 
 int main() {
   using namespace nicsched;
-  using namespace nicsched::bench;
 
-  core::ExperimentConfig base;
-  base.service = std::make_shared<workload::FixedDistribution>(
-      sim::Duration::micros(5));
-  base.preemption_enabled = false;
-  base.target_samples = bench_samples(100'000);
+  const auto base = core::ExperimentConfig::offload()
+                        .fixed_5us()
+                        .no_preemption()
+                        .samples(exp::bench_samples(100'000));
 
-  const auto loads = load_grid(100e3, 800e3, 13);
+  const auto loads = exp::load_grid(100e3, 800e3, 13);
 
-  core::ExperimentConfig shinjuku = base;
-  shinjuku.system = core::SystemKind::kShinjuku;
-  shinjuku.worker_count = 3;
+  exp::Figure fig("fig4_fixed5us",
+                  "Figure 4: fixed 5us, no preemption, Shinjuku 3 workers vs "
+                  "Shinjuku-Offload 4 workers (K=4)");
+  fig.add_series(
+      "Shinjuku",
+      core::ExperimentConfig(base).on(core::SystemKind::kShinjuku).workers(3),
+      loads);
+  fig.add_series("Shinjuku-Offload",
+                 core::ExperimentConfig(base).workers(4).outstanding(4),
+                 loads);
 
-  core::ExperimentConfig offload = base;
-  offload.system = core::SystemKind::kShinjukuOffload;
-  offload.worker_count = 4;
-  offload.outstanding_per_worker = 4;
+  fig.run(exp::SweepRunner());
+  fig.print(std::cout);
 
-  std::cout << "Figure 4: fixed 5us, no preemption, Shinjuku 3 workers vs "
-               "Shinjuku-Offload 4 workers (K=4)\n\n";
-
-  const auto shinjuku_rows = core::sweep_summaries(shinjuku, loads);
-  const auto offload_rows = core::sweep_summaries(offload, loads);
-  stats::print_sweep(std::cout, "Shinjuku", shinjuku_rows);
-  stats::print_sweep(std::cout, "Shinjuku-Offload", offload_rows);
-
-  const double sat_shinjuku = saturation_point(shinjuku_rows, 0.92, 400.0);
-  const double sat_offload = saturation_point(offload_rows, 0.92, 400.0);
+  const double sat_shinjuku = fig.series(0).saturation(0.92, 400.0);
+  const double sat_offload = fig.series(1).saturation(0.92, 400.0);
   std::cout << "\nsaturation: shinjuku=" << sat_shinjuku / 1e3
             << " kRPS, offload=" << sat_offload / 1e3 << " kRPS\n";
+  fig.note_metric("saturation_shinjuku_rps", sat_shinjuku);
+  fig.note_metric("saturation_offload_rps", sat_offload);
 
-  bool ok = true;
-  ok &= check("Shinjuku-Offload saturates at higher load", sat_offload > sat_shinjuku);
-  ok &= check("gain consistent with 4 vs 3 workers (15%..60%)",
-              sat_offload >= 1.15 * sat_shinjuku &&
-                  sat_offload <= 1.6 * sat_shinjuku);
-  ok &= check("Shinjuku saturation near 3 workers / 5us (within 30% of 600k)",
-              sat_shinjuku >= 0.7 * 600e3 && sat_shinjuku <= 1.3 * 600e3);
-  return ok ? 0 : 1;
+  fig.check("Shinjuku-Offload saturates at higher load",
+            sat_offload > sat_shinjuku);
+  fig.check("gain consistent with 4 vs 3 workers (15%..60%)",
+            sat_offload >= 1.15 * sat_shinjuku &&
+                sat_offload <= 1.6 * sat_shinjuku);
+  fig.check("Shinjuku saturation near 3 workers / 5us (within 30% of 600k)",
+            sat_shinjuku >= 0.7 * 600e3 && sat_shinjuku <= 1.3 * 600e3);
+  return fig.finish();
 }

@@ -5,52 +5,48 @@
 // so Shinjuku-Offload wins again on worker count — the benefit holds at
 // high core counts when per-request work is large.
 #include <iostream>
-#include <memory>
 
-#include "figure_util.h"
+#include "exp/exp.h"
 
 int main() {
   using namespace nicsched;
-  using namespace nicsched::bench;
 
-  core::ExperimentConfig base;
-  base.service = std::make_shared<workload::FixedDistribution>(
-      sim::Duration::micros(100));
-  base.preemption_enabled = false;
-  base.target_samples = bench_samples(40'000);
+  const auto base = core::ExperimentConfig::offload()
+                        .fixed(sim::Duration::micros(100))
+                        .no_preemption()
+                        .samples(exp::bench_samples(40'000));
 
   // Fine grid near the knee: 15 vs 16 workers differ by only ~7 % capacity.
-  std::vector<double> loads = {20e3, 50e3, 80e3, 110e3, 125e3,
-                               132.5e3, 140e3, 147.5e3, 155e3, 162.5e3, 170e3};
+  const std::vector<double> loads = {20e3, 50e3, 80e3, 110e3, 125e3, 132.5e3,
+                                     140e3, 147.5e3, 155e3, 162.5e3, 170e3};
 
-  core::ExperimentConfig shinjuku = base;
-  shinjuku.system = core::SystemKind::kShinjuku;
-  shinjuku.worker_count = 15;
+  exp::Figure fig("fig5_fixed100us",
+                  "Figure 5: fixed 100us, Shinjuku 15 workers vs "
+                  "Shinjuku-Offload 16 workers (K=2)");
+  fig.add_series(
+      "Shinjuku",
+      core::ExperimentConfig(base).on(core::SystemKind::kShinjuku).workers(15),
+      loads);
+  fig.add_series("Shinjuku-Offload",
+                 core::ExperimentConfig(base).workers(16).outstanding(2),
+                 loads);
 
-  core::ExperimentConfig offload = base;
-  offload.system = core::SystemKind::kShinjukuOffload;
-  offload.worker_count = 16;
-  offload.outstanding_per_worker = 2;
+  fig.run(exp::SweepRunner());
+  fig.print(std::cout);
 
-  std::cout << "Figure 5: fixed 100us, Shinjuku 15 workers vs "
-               "Shinjuku-Offload 16 workers (K=2)\n\n";
-
-  const auto shinjuku_rows = core::sweep_summaries(shinjuku, loads);
-  const auto offload_rows = core::sweep_summaries(offload, loads);
-  stats::print_sweep(std::cout, "Shinjuku", shinjuku_rows);
-  stats::print_sweep(std::cout, "Shinjuku-Offload", offload_rows);
-
-  const double sat_shinjuku = saturation_point(shinjuku_rows, 0.92, 1000.0);
-  const double sat_offload = saturation_point(offload_rows, 0.92, 1000.0);
+  const double sat_shinjuku = fig.series(0).saturation(0.92, 1000.0);
+  const double sat_offload = fig.series(1).saturation(0.92, 1000.0);
   std::cout << "\nsaturation: shinjuku=" << sat_shinjuku / 1e3
             << " kRPS, offload=" << sat_offload / 1e3 << " kRPS\n";
+  fig.note_metric("saturation_shinjuku_rps", sat_shinjuku);
+  fig.note_metric("saturation_offload_rps", sat_offload);
 
-  bool ok = true;
-  ok &= check("Shinjuku-Offload saturates at higher load", sat_offload > sat_shinjuku);
-  ok &= check("Shinjuku saturation near 15 workers / 100us (within 15% of 150k)",
-              sat_shinjuku > 0.85 * 150e3 && sat_shinjuku < 1.15 * 150e3);
-  ok &= check("offload gain matches one extra worker (within 3%..15%)",
-              sat_offload >= 1.03 * sat_shinjuku &&
-                  sat_offload <= 1.15 * sat_shinjuku);
-  return ok ? 0 : 1;
+  fig.check("Shinjuku-Offload saturates at higher load",
+            sat_offload > sat_shinjuku);
+  fig.check("Shinjuku saturation near 15 workers / 100us (within 15% of 150k)",
+            sat_shinjuku > 0.85 * 150e3 && sat_shinjuku < 1.15 * 150e3);
+  fig.check("offload gain matches one extra worker (within 3%..15%)",
+            sat_offload >= 1.03 * sat_shinjuku &&
+                sat_offload <= 1.15 * sat_shinjuku);
+  return fig.finish();
 }

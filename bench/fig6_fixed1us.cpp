@@ -7,60 +7,60 @@
 // worker communication cannot, so offload workers starve ("the
 // Shinjuku-Offload workers spend 110 % more time waiting for work").
 #include <iostream>
-#include <memory>
 
-#include "figure_util.h"
+#include "exp/exp.h"
+#include "stats/table.h"
 
 int main() {
   using namespace nicsched;
-  using namespace nicsched::bench;
 
-  core::ExperimentConfig base;
-  base.service = std::make_shared<workload::FixedDistribution>(
-      sim::Duration::micros(1));
-  base.preemption_enabled = false;
-  base.target_samples = bench_samples(120'000);
+  const auto base = core::ExperimentConfig::offload()
+                        .fixed(sim::Duration::micros(1))
+                        .no_preemption()
+                        .samples(exp::bench_samples(120'000));
 
-  const auto loads = load_grid(250e3, 4.25e6, 9);
+  const auto loads = exp::load_grid(250e3, 4.25e6, 9);
 
-  core::ExperimentConfig shinjuku = base;
-  shinjuku.system = core::SystemKind::kShinjuku;
-  shinjuku.worker_count = 15;
+  exp::Figure fig("fig6_fixed1us",
+                  "Figure 6: fixed 1us, Shinjuku 15 workers vs "
+                  "Shinjuku-Offload 16 workers (K=5)");
+  fig.add_series(
+      "Shinjuku",
+      core::ExperimentConfig(base).on(core::SystemKind::kShinjuku).workers(15),
+      loads);
+  fig.add_series("Shinjuku-Offload",
+                 core::ExperimentConfig(base).workers(16).outstanding(5),
+                 loads);
 
-  core::ExperimentConfig offload = base;
-  offload.system = core::SystemKind::kShinjukuOffload;
-  offload.worker_count = 16;
-  offload.outstanding_per_worker = 5;
+  const exp::SweepRunner runner;
+  fig.run(runner);
+  fig.print(std::cout);
 
-  std::cout << "Figure 6: fixed 1us, Shinjuku 15 workers vs "
-               "Shinjuku-Offload 16 workers (K=5)\n\n";
-
-  const auto shinjuku_rows = core::sweep_summaries(shinjuku, loads);
-  const auto offload_rows = core::sweep_summaries(offload, loads);
-  stats::print_sweep(std::cout, "Shinjuku", shinjuku_rows);
-  stats::print_sweep(std::cout, "Shinjuku-Offload", offload_rows);
-
-  const double sat_shinjuku = saturation_point(shinjuku_rows, 0.92, 400.0);
-  const double sat_offload = saturation_point(offload_rows, 0.92, 400.0);
+  const double sat_shinjuku = fig.series(0).saturation(0.92, 400.0);
+  const double sat_offload = fig.series(1).saturation(0.92, 400.0);
   std::cout << "\nsaturation: shinjuku=" << sat_shinjuku / 1e3
             << " kRPS, offload=" << sat_offload / 1e3 << " kRPS\n";
+  fig.note_metric("saturation_shinjuku_rps", sat_shinjuku);
+  fig.note_metric("saturation_offload_rps", sat_offload);
 
   // The paper's wait-time claim compares the *offload* workers between the
   // Figure 5 saturation point (100 us requests: workers nearly always busy)
   // and the Figure 6 saturation point (1 us requests: workers starve on the
   // dispatcher): "the Shinjuku-Offload workers spend 110 % more time
   // waiting for work from the dispatcher".
-  core::ExperimentConfig offload_fig5 = offload;
-  offload_fig5.service = std::make_shared<workload::FixedDistribution>(
-      sim::Duration::micros(100));
-  offload_fig5.outstanding_per_worker = 2;
-  offload_fig5.offered_rps = 150e3;  // Figure 5's offload saturation region
-  offload_fig5.target_samples = bench_samples(40'000);
-  const auto offload_at_fig5 = core::run_experiment(offload_fig5);
-
-  core::ExperimentConfig offload_fig6 = offload;
-  offload_fig6.offered_rps = sat_offload;
-  const auto offload_at_fig6 = core::run_experiment(offload_fig6);
+  const auto offload = fig.series(1).config;
+  const auto probes = runner.run_configs({
+      core::ExperimentConfig(offload)
+          .fixed(sim::Duration::micros(100))
+          .outstanding(2)
+          .load(150e3)  // Figure 5's offload saturation region
+          .samples(exp::bench_samples(40'000)),
+      core::ExperimentConfig(offload).load(sat_offload),
+  });
+  const auto& offload_at_fig5 = probes[0];
+  const auto& offload_at_fig6 = probes[1];
+  fig.add_row("offload@fig5-sat", offload_at_fig5);
+  fig.add_row("offload@fig6-sat", offload_at_fig6);
 
   const double wait_fig5 = 1.0 - offload_at_fig5.mean_worker_utilization;
   const double wait_fig6 = 1.0 - offload_at_fig6.mean_worker_utilization;
@@ -68,15 +68,16 @@ int main() {
             << stats::fmt(100.0 * wait_fig5) << "%, fig6-sat="
             << stats::fmt(100.0 * wait_fig6)
             << "% (paper: 110% more waiting at the fig6 point)\n";
+  fig.note_metric("offload_wait_fraction_fig5", wait_fig5);
+  fig.note_metric("offload_wait_fraction_fig6", wait_fig6);
 
-  bool ok = true;
-  ok &= check("Shinjuku greatly outperforms Shinjuku-Offload (>=1.8x)",
-              sat_shinjuku >= 1.8 * sat_offload);
-  ok &= check("offload dispatcher caps below 2 MRPS (ARM + packet IPC)",
-              sat_offload < 2.0e6);
-  ok &= check("shinjuku scales past 3 MRPS before its dispatcher ceiling",
-              sat_shinjuku > 3.0e6);
-  ok &= check("offload workers wait far more at fig6 saturation (>=2.1x)",
-              wait_fig6 >= 2.1 * wait_fig5);
-  return ok ? 0 : 1;
+  fig.check("Shinjuku greatly outperforms Shinjuku-Offload (>=1.8x)",
+            sat_shinjuku >= 1.8 * sat_offload);
+  fig.check("offload dispatcher caps below 2 MRPS (ARM + packet IPC)",
+            sat_offload < 2.0e6);
+  fig.check("shinjuku scales past 3 MRPS before its dispatcher ceiling",
+            sat_shinjuku > 3.0e6);
+  fig.check("offload workers wait far more at fig6 saturation (>=2.1x)",
+            wait_fig6 >= 2.1 * wait_fig5);
+  return fig.finish();
 }

@@ -7,13 +7,17 @@
 #include <memory>
 
 #include "core/offload_server.h"
-#include "figure_util.h"
+#include "exp/exp.h"
 #include "sim/trace.h"
+#include "stats/table.h"
 #include "workload/client.h"
 
 int main() {
   using namespace nicsched;
-  using namespace nicsched::bench;
+
+  exp::Figure fig("tab_latency_breakdown",
+                  "Unloaded latency breakdown: one 5us request through "
+                  "Shinjuku-Offload");
 
   sim::Simulator sim;
   sim::TraceCollector collector;
@@ -73,6 +77,7 @@ int main() {
   auto row = [&](const char* stage, sim::TimePoint from, sim::TimePoint to,
                  const char* path) {
     table.add_row({stage, stats::fmt((to - from).to_micros(), 2), path});
+    fig.note_metric(std::string("span_us/") + stage, (to - from).to_micros());
   };
   row("client -> networker parsed", sent_at, at_networker,
       "wire + ToR + ARM rx + parse");
@@ -88,12 +93,10 @@ int main() {
   std::cout << '\n';
 
   const double total_us = (received_at - sent_at).to_micros();
-  const double dispatch_to_start =
-      (at_worker_start - at_dispatch).to_micros();
-  bool ok = true;
-  ok &= check("dispatcher->worker stage is dominated by the 2.56us path",
-              dispatch_to_start > 2.3 && dispatch_to_start < 4.0);
-  ok &= check("unloaded total is work + ~7-12us of system overhead",
-              total_us > 12.0 && total_us < 17.0);
-  return ok ? 0 : 1;
+  const double dispatch_to_start = (at_worker_start - at_dispatch).to_micros();
+  fig.check("dispatcher->worker stage is dominated by the 2.56us path",
+            dispatch_to_start > 2.3 && dispatch_to_start < 4.0);
+  fig.check("unloaded total is work + ~7-12us of system overhead",
+            total_us > 12.0 && total_us < 17.0);
+  return fig.finish();
 }

@@ -9,11 +9,12 @@
 #include <memory>
 
 #include "core/model_params.h"
-#include "figure_util.h"
+#include "exp/exp.h"
 #include "hw/channel.h"
 #include "hw/cpu_core.h"
 #include "net/ethernet_switch.h"
 #include "net/nic.h"
+#include "stats/table.h"
 
 namespace {
 
@@ -69,7 +70,10 @@ double measure_arm_to_host_us(const core::ModelParams& params) {
 }  // namespace
 
 int main() {
-  using namespace nicsched::bench;
+  using namespace nicsched;
+
+  exp::Figure fig("tab_model_constants",
+                  "Model constants vs the paper's in-text quantities");
 
   const core::ModelParams params = core::ModelParams::defaults();
   stats::Table table({"quantity", "paper", "model"});
@@ -77,50 +81,51 @@ int main() {
   const double one_way_us = measure_arm_to_host_us(params);
   table.add_row({"ARM->host one-way (1B message)", "2.56us",
                  stats::fmt(one_way_us, 2) + "us"});
+  fig.note_metric("arm_to_host_one_way_us", one_way_us);
 
   // Host dispatcher ceiling: saturate Shinjuku with enough workers that the
   // dispatcher, not the worker pool, binds (1 us requests, 24 workers).
-  core::ExperimentConfig shinjuku;
-  shinjuku.system = core::SystemKind::kShinjuku;
-  shinjuku.worker_count = 24;
-  shinjuku.preemption_enabled = false;
-  shinjuku.service = std::make_shared<nicsched::workload::FixedDistribution>(
-      nicsched::sim::Duration::micros(1));
-  shinjuku.target_samples = bench_samples(120'000);
+  const auto shinjuku = core::ExperimentConfig::shinjuku()
+                            .workers(24)
+                            .no_preemption()
+                            .fixed(sim::Duration::micros(1))
+                            .samples(exp::bench_samples(120'000));
   const double dispatcher_cap =
       core::find_saturation_throughput(shinjuku, 1e6, 8e6, 0.95, 7);
   table.add_row({"host dispatcher ceiling", "~5 MRPS",
                  stats::fmt(dispatcher_cap / 1e6, 2) + " MRPS"});
+  fig.note_metric("dispatcher_ceiling_rps", dispatcher_cap);
 
   // IPC tail cost: Shinjuku with one worker (three hops of cache-line IPC)
   // vs IX-style run-to-completion on one core, minimal 0.5 us requests at
   // trivial load. The difference in p99 is the added inter-thread latency.
-  core::ExperimentConfig one_worker;
-  one_worker.worker_count = 1;
-  one_worker.preemption_enabled = false;
-  one_worker.offered_rps = 5e3;
-  one_worker.service = std::make_shared<nicsched::workload::FixedDistribution>(
-      nicsched::sim::Duration::micros(0.5));
-  one_worker.target_samples = bench_samples(20'000);
-
-  one_worker.system = core::SystemKind::kShinjuku;
-  const auto via_dispatcher = core::run_experiment(one_worker);
-  one_worker.system = core::SystemKind::kRss;
-  const auto run_to_completion = core::run_experiment(one_worker);
+  const auto one_worker = core::ExperimentConfig::shinjuku()
+                              .workers(1)
+                              .no_preemption()
+                              .load(5e3)
+                              .fixed(sim::Duration::micros(0.5))
+                              .samples(exp::bench_samples(20'000));
+  const auto ipc_results = exp::SweepRunner().run_configs(
+      {core::ExperimentConfig(one_worker),
+       core::ExperimentConfig(one_worker).on(core::SystemKind::kRss)});
+  const auto& via_dispatcher = ipc_results[0];
+  const auto& run_to_completion = ipc_results[1];
+  fig.add_row("shinjuku-1worker", via_dispatcher);
+  fig.add_row("rss-1worker", run_to_completion);
   const double ipc_tail_us =
       via_dispatcher.summary.p99_us - run_to_completion.summary.p99_us;
   table.add_row({"host IPC added tail (p99)", "~2us",
                  stats::fmt(ipc_tail_us, 2) + "us"});
+  fig.note_metric("ipc_added_tail_us", ipc_tail_us);
 
   table.print(std::cout);
   std::cout << '\n';
 
-  bool ok = true;
-  ok &= check("ARM->host one-way within 15% of 2.56us",
-              one_way_us > 2.56 * 0.85 && one_way_us < 2.56 * 1.15);
-  ok &= check("dispatcher ceiling in the 3.5-5.5 MRPS band",
-              dispatcher_cap > 3.5e6 && dispatcher_cap < 5.5e6);
-  ok &= check("IPC adds roughly 1-3us of tail latency",
-              ipc_tail_us > 1.0 && ipc_tail_us < 3.0);
-  return ok ? 0 : 1;
+  fig.check("ARM->host one-way within 15% of 2.56us",
+            one_way_us > 2.56 * 0.85 && one_way_us < 2.56 * 1.15);
+  fig.check("dispatcher ceiling in the 3.5-5.5 MRPS band",
+            dispatcher_cap > 3.5e6 && dispatcher_cap < 5.5e6);
+  fig.check("IPC adds roughly 1-3us of tail latency",
+            ipc_tail_us > 1.0 && ipc_tail_us < 3.0);
+  return fig.finish();
 }

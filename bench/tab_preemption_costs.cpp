@@ -6,17 +6,19 @@
 // the Figure 2 workload under both timer modes to show the end-to-end effect
 // of cheap preemption primitives.
 #include <iostream>
-#include <memory>
+#include <vector>
 
-#include "figure_util.h"
+#include "exp/exp.h"
 #include "hw/apic_timer.h"
 #include "hw/cpu_core.h"
+#include "stats/table.h"
 
 int main() {
   using namespace nicsched;
-  using namespace nicsched::bench;
 
-  std::cout << "Preemption primitive costs (2.3 GHz host core)\n\n";
+  exp::Figure fig("tab_preemption_costs",
+                  "Preemption primitive costs (2.3 GHz host core)");
+  std::cout << fig.title() << "\n\n";
 
   sim::Simulator sim;
   hw::CpuCore core(sim, {"host", sim::Frequency::gigahertz(2.3), 1.0});
@@ -35,50 +37,57 @@ int main() {
                  stats::fmt(100.0 * (1.0 - 1272.0 / 4193.0), 0) + "%"});
   costs.print(std::cout);
   std::cout << "(paper: 93% and 70% reductions)\n\n";
+  fig.note_metric("dune_set_ns", dune.set_cost().to_nanos());
+  fig.note_metric("dune_receive_ns", dune.receive_cost().to_nanos());
+  fig.note_metric("linux_set_ns", linux_timer.set_cost().to_nanos());
+  fig.note_metric("linux_receive_ns", linux_timer.receive_cost().to_nanos());
 
-  // End-to-end: Figure 2's bimodal workload with each timer mode.
-  core::ExperimentConfig config;
-  config.system = core::SystemKind::kShinjukuOffload;
-  config.worker_count = 4;
-  config.outstanding_per_worker = 4;
-  config.time_slice = sim::Duration::micros(10);
-  config.service = std::make_shared<workload::BimodalDistribution>(
-      sim::Duration::micros(5), sim::Duration::micros(100), 0.005);
-  config.target_samples = bench_samples(80'000);
+  // End-to-end: Figure 2's bimodal workload with each timer mode — a 3x2
+  // (load, timer) grid of independent points.
+  const auto base = core::ExperimentConfig::offload()
+                        .workers(4)
+                        .outstanding(4)
+                        .slice(sim::Duration::micros(10))
+                        .bimodal()
+                        .samples(exp::bench_samples(80'000));
+  const std::vector<double> loads = {300e3, 500e3, 600e3};
+  std::vector<core::ExperimentConfig> configs;
+  for (const double load : loads) {
+    configs.push_back(core::ExperimentConfig(base).load(load).timers(
+        hw::TimerCosts::dune()));
+    configs.push_back(core::ExperimentConfig(base).load(load).timers(
+        hw::TimerCosts::linux_signal()));
+  }
+  const auto results = exp::SweepRunner().run_configs(configs);
 
   stats::Table end_to_end({"timer", "offered_krps", "p99_us", "p999_us",
                            "preempts"});
   double p99_dune_at_500 = 0, p99_linux_at_500 = 0;
-  for (const double load : {300e3, 500e3, 600e3}) {
-    config.offered_rps = load;
-    config.timer_costs = hw::TimerCosts::dune();
-    const auto with_dune = core::run_experiment(config);
-    config.timer_costs = hw::TimerCosts::linux_signal();
-    const auto with_linux = core::run_experiment(config);
-    end_to_end.add_row({"dune", stats::fmt(load / 1e3),
-                        stats::fmt(with_dune.summary.p99_us),
-                        stats::fmt(with_dune.summary.p999_us),
-                        std::to_string(with_dune.summary.preemptions)});
-    end_to_end.add_row({"linux", stats::fmt(load / 1e3),
-                        stats::fmt(with_linux.summary.p99_us),
-                        stats::fmt(with_linux.summary.p999_us),
-                        std::to_string(with_linux.summary.preemptions)});
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const double load = loads[i / 2];
+    const bool is_dune = (i % 2) == 0;
+    const auto& summary = results[i].summary;
+    end_to_end.add_row({is_dune ? "dune" : "linux", stats::fmt(load / 1e3),
+                        stats::fmt(summary.p99_us),
+                        stats::fmt(summary.p999_us),
+                        std::to_string(summary.preemptions)});
+    fig.add_row(std::string(is_dune ? "dune" : "linux") + "@" +
+                    stats::fmt(load / 1e3, 0) + "k",
+                results[i]);
     if (load == 500e3) {
-      p99_dune_at_500 = with_dune.summary.p99_us;
-      p99_linux_at_500 = with_linux.summary.p99_us;
+      (is_dune ? p99_dune_at_500 : p99_linux_at_500) = summary.p99_us;
     }
   }
   end_to_end.print(std::cout);
   std::cout << '\n';
 
-  bool ok = true;
-  ok &= check("dune timer costs match the paper exactly",
-              hw::TimerCosts::dune().set_cycles == 40 &&
-                  hw::TimerCosts::dune().receive_cycles == 1272);
-  ok &= check("linux timer costs match the paper exactly",
-              hw::TimerCosts::linux_signal().set_cycles == 610 &&
-                  hw::TimerCosts::linux_signal().receive_cycles == 4193);
-  ok &= check("cheap preemption primitives give no worse p99 near saturation",
-              p99_dune_at_500 <= p99_linux_at_500 * 1.05);
-  return ok ? 0 : 1;
+  fig.check("dune timer costs match the paper exactly",
+            hw::TimerCosts::dune().set_cycles == 40 &&
+                hw::TimerCosts::dune().receive_cycles == 1272);
+  fig.check("linux timer costs match the paper exactly",
+            hw::TimerCosts::linux_signal().set_cycles == 610 &&
+                hw::TimerCosts::linux_signal().receive_cycles == 4193);
+  fig.check("cheap preemption primitives give no worse p99 near saturation",
+            p99_dune_at_500 <= p99_linux_at_500 * 1.05);
+  return fig.finish();
 }

@@ -7,56 +7,63 @@
 // the bottleneck far below what the wire could carry; at 1 KiB a single
 // 10 GbE link saturates first — which is exactly the paper's point that
 // dispatcher cores cannot keep up with 100/200 GbE NICs.
+#include <algorithm>
 #include <iostream>
-#include <memory>
+#include <string>
+#include <vector>
 
-#include "figure_util.h"
+#include "exp/exp.h"
+#include "stats/table.h"
 
 int main() {
   using namespace nicsched;
-  using namespace nicsched::bench;
 
-  core::ExperimentConfig base;
-  base.system = core::SystemKind::kShinjuku;
-  base.worker_count = 24;  // enough workers that the dispatcher binds
-  base.preemption_enabled = false;
-  base.service = std::make_shared<workload::FixedDistribution>(
-      sim::Duration::micros(1));
-  base.target_samples = bench_samples(100'000);
+  const auto base = core::ExperimentConfig::shinjuku()
+                        .workers(24)  // enough that the dispatcher binds
+                        .no_preemption()
+                        .fixed(sim::Duration::micros(1))
+                        .samples(exp::bench_samples(100'000));
 
-  std::cout << "Request size vs dispatcher/wire limits (host Shinjuku, 24 "
-               "workers, fixed 1us)\n\n";
+  exp::Figure fig("tab_request_sizes",
+                  "Request size vs dispatcher/wire limits (host Shinjuku, 24 "
+                  "workers, fixed 1us)");
+  std::cout << fig.title() << "\n\n";
+
+  // The two request sizes saturate independently — fan the searches out.
+  const std::vector<std::uint16_t> paddings = {24, 996};
+  const auto sat = exp::SweepRunner().map(paddings, [&](const std::uint16_t p) {
+    return core::find_saturation_throughput(
+        core::ExperimentConfig(base).padding(p), 0.5e6, 6e6, 0.95, 8);
+  });
 
   stats::Table table(
       {"request_size", "sat_mrps", "ethernet_gbps", "binding_resource"});
   double gbps[2] = {};
-  double sat[2] = {};
-  int index = 0;
-  for (const std::uint16_t padding : {24, 996}) {
-    core::ExperimentConfig config = base;
-    config.request_padding = padding;
+  for (std::size_t i = 0; i < paddings.size(); ++i) {
+    const std::uint16_t padding = paddings[i];
     // On-wire request frame: Ethernet+IP+UDP headers (42) + message (28) +
     // padding, plus the 64 B minimum and 20 B preamble/IPG accounting.
     const double frame_bytes =
         std::max<double>(64.0, 42.0 + 28.0 + padding) + 20.0;
-    sat[index] = core::find_saturation_throughput(config, 0.5e6, 6e6, 0.95, 8);
-    gbps[index] = sat[index] * frame_bytes * 8.0 / 1e9;
+    gbps[i] = sat[i] * frame_bytes * 8.0 / 1e9;
     table.add_row({std::to_string(42 + 28 + padding) + "B",
-                   stats::fmt(sat[index] / 1e6, 2), stats::fmt(gbps[index]),
+                   stats::fmt(sat[i] / 1e6, 2), stats::fmt(gbps[i]),
                    padding < 100 ? "dispatcher core" : "10GbE line rate"});
-    ++index;
+    fig.note_metric("sat_rps_" + std::to_string(42 + 28 + padding) + "B",
+                    sat[i]);
+    fig.note_metric("gbps_" + std::to_string(42 + 28 + padding) + "B",
+                    gbps[i]);
   }
   table.print(std::cout);
   std::cout << "\n(paper: a 5 MRPS dispatcher is 2.5 Gbps at 64B and 41 Gbps "
                "at 1KiB — either way\nfar below the 100/200 GbE now deployed, "
                "which is the scaling argument of §1)\n\n";
 
-  bool ok = true;
-  ok &= check("small requests: dispatcher binds in the ~4-5 MRPS band",
-              sat[0] > 3.5e6 && sat[0] < 5.5e6);
-  ok &= check("small requests: bandwidth is trivially low for modern NICs",
-              gbps[0] < 6.0);
-  ok &= check("1KiB requests: the 10GbE wire binds (within 20% of line rate)",
-              gbps[1] > 8.0 && gbps[1] < 12.0);
-  return ok ? 0 : 1;
+  fig.check("small requests: dispatcher binds in the ~4-5 MRPS band",
+            sat[0] > 3.5e6 && sat[0] < 5.5e6);
+  fig.check("small requests: bandwidth is trivially low for modern NICs",
+            gbps[0] < 6.0);
+  fig.check("1KiB requests: the 10GbE wire binds (within 20% of line rate)",
+            gbps[1] > 8.0 && gbps[1] < 12.0);
+  return fig.finish();
 }

@@ -153,8 +153,13 @@ bench/CMakeFiles/ablation_batching.dir/ablation_batching.cpp.o: \
  /usr/include/c++/12/bits/locale_facets.tcc \
  /usr/include/c++/12/bits/basic_ios.tcc \
  /usr/include/c++/12/bits/ostream.tcc /usr/include/c++/12/istream \
- /usr/include/c++/12/bits/istream.tcc /usr/include/c++/12/memory \
+ /usr/include/c++/12/bits/istream.tcc /usr/include/c++/12/vector \
  /usr/include/c++/12/bits/stl_uninitialized.h \
+ /usr/include/c++/12/bits/stl_vector.h \
+ /usr/include/c++/12/bits/stl_bvector.h \
+ /usr/include/c++/12/bits/vector.tcc /root/repo/src/exp/exp.h \
+ /root/repo/src/exp/figure.h /usr/include/c++/12/cstddef \
+ /root/repo/src/core/testbed.h /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
@@ -194,17 +199,12 @@ bench/CMakeFiles/ablation_batching.dir/ablation_batching.cpp.o: \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h /root/repo/bench/figure_util.h \
- /usr/include/c++/12/vector /usr/include/c++/12/bits/stl_vector.h \
- /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc /root/repo/src/core/testbed.h \
- /usr/include/c++/12/optional \
+ /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
  /root/repo/src/core/model_params.h /root/repo/src/hw/ddio.h \
  /root/repo/src/sim/time.h /root/repo/src/core/server.h \
  /root/repo/src/net/mac_address.h /usr/include/c++/12/array \
- /usr/include/c++/12/cstddef /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/node_handle.h \
@@ -259,4 +259,7 @@ bench/CMakeFiles/ablation_batching.dir/ablation_batching.cpp.o: \
  /root/repo/src/net/flow_director.h /root/repo/src/net/rx_ring.h \
  /root/repo/src/net/toeplitz.h /root/repo/src/workload/arrival.h \
  /root/repo/src/workload/distribution.h \
- /root/repo/src/stats/response_log.h /root/repo/src/stats/table.h
+ /root/repo/src/stats/response_log.h /root/repo/src/exp/result_sink.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/exp/sweep_runner.h /usr/include/c++/12/atomic \
+ /root/repo/src/exp/grid.h /root/repo/src/stats/table.h

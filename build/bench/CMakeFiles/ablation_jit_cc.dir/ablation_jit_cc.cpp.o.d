@@ -194,15 +194,16 @@ bench/CMakeFiles/ablation_jit_cc.dir/ablation_jit_cc.cpp.o: \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h \
+ /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/vector \
+ /usr/include/c++/12/bits/stl_vector.h \
+ /usr/include/c++/12/bits/stl_bvector.h \
+ /usr/include/c++/12/bits/vector.tcc \
  /root/repo/src/core/ideal_nic_server.h /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
- /usr/include/c++/12/vector /usr/include/c++/12/bits/stl_vector.h \
- /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc /root/repo/src/core/core_status.h \
- /root/repo/src/sim/time.h /root/repo/src/core/model_params.h \
- /root/repo/src/hw/ddio.h /root/repo/src/core/packet_pump.h \
- /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /root/repo/src/core/core_status.h /root/repo/src/sim/time.h \
+ /root/repo/src/core/model_params.h /root/repo/src/hw/ddio.h \
+ /root/repo/src/core/packet_pump.h /usr/include/c++/12/functional \
+ /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/node_handle.h \
@@ -259,9 +260,12 @@ bench/CMakeFiles/ablation_jit_cc.dir/ablation_jit_cc.cpp.o: \
  /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h /root/repo/src/net/nic.h \
  /root/repo/src/net/flow_director.h /root/repo/src/net/toeplitz.h \
- /root/repo/bench/figure_util.h /root/repo/src/core/testbed.h \
- /root/repo/src/hw/apic_timer.h /root/repo/src/stats/recorder.h \
- /root/repo/src/stats/histogram.h /root/repo/src/workload/client.h \
- /root/repo/src/workload/arrival.h /root/repo/src/workload/distribution.h \
- /root/repo/src/stats/response_log.h /root/repo/src/stats/table.h \
+ /root/repo/src/exp/exp.h /root/repo/src/exp/figure.h \
+ /root/repo/src/core/testbed.h /root/repo/src/hw/apic_timer.h \
+ /root/repo/src/stats/recorder.h /root/repo/src/stats/histogram.h \
+ /root/repo/src/workload/client.h /root/repo/src/workload/arrival.h \
+ /root/repo/src/workload/distribution.h \
+ /root/repo/src/stats/response_log.h /root/repo/src/exp/result_sink.h \
+ /root/repo/src/exp/sweep_runner.h /usr/include/c++/12/atomic \
+ /root/repo/src/exp/grid.h /root/repo/src/stats/table.h \
  /root/repo/src/workload/paced_client.h

@@ -259,8 +259,10 @@ bench/CMakeFiles/tab_latency_breakdown.dir/tab_latency_breakdown.cpp.o: \
  /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h /root/repo/src/net/nic.h \
  /root/repo/src/net/flow_director.h /root/repo/src/net/toeplitz.h \
- /root/repo/bench/figure_util.h /root/repo/src/core/testbed.h \
- /root/repo/src/stats/recorder.h /root/repo/src/stats/histogram.h \
- /root/repo/src/workload/client.h /root/repo/src/workload/arrival.h \
- /root/repo/src/workload/distribution.h \
- /root/repo/src/stats/response_log.h /root/repo/src/stats/table.h
+ /root/repo/src/exp/exp.h /root/repo/src/exp/figure.h \
+ /root/repo/src/core/testbed.h /root/repo/src/stats/recorder.h \
+ /root/repo/src/stats/histogram.h /root/repo/src/workload/client.h \
+ /root/repo/src/workload/arrival.h /root/repo/src/workload/distribution.h \
+ /root/repo/src/stats/response_log.h /root/repo/src/exp/result_sink.h \
+ /root/repo/src/exp/sweep_runner.h /usr/include/c++/12/atomic \
+ /root/repo/src/exp/grid.h /root/repo/src/stats/table.h

@@ -11,3 +11,4 @@ subdirs("proto")
 subdirs("workload")
 subdirs("stats")
 subdirs("core")
+subdirs("exp")

@@ -9,8 +9,9 @@
 //   $ ./faas_service
 #include <iostream>
 #include <memory>
+#include <vector>
 
-#include "core/testbed.h"
+#include "exp/exp.h"
 #include "stats/table.h"
 
 int main() {
@@ -31,25 +32,35 @@ int main() {
   auto service =
       std::make_shared<workload::MixtureDistribution>(std::move(components));
 
-  core::ExperimentConfig base;
-  base.system = core::SystemKind::kShinjukuOffload;
-  base.worker_count = 16;
-  base.outstanding_per_worker = 2;
-  base.service = service;
   // Mean service ≈ 95 us → 16 workers saturate near 168 kRPS; run at 60 %.
-  base.offered_rps = 100e3;
-  base.target_samples = 40'000;
+  const auto base = core::ExperimentConfig::offload()
+                        .workers(16)
+                        .outstanding(2)
+                        .with_service(service)
+                        .load(100e3)
+                        .samples(40'000);
 
+  exp::Figure fig("faas_service",
+                  "FaaS scenario: " + service->name() +
+                      " — 16 workers, Shinjuku-Offload, 100 kRPS (~60% load)");
   std::cout << "FaaS scenario: " << service->name()
             << "\n16 workers, Shinjuku-Offload, 100 kRPS (~60% load)\n\n";
 
-  stats::Table table({"slice_us", "warm_p99_us", "medium_p99_us",
-                      "cold_p99_us", "preempts/req", "overall_p999_us"});
-  for (const double slice_us : {10.0, 50.0, 250.0, 10'000.0}) {
-    core::ExperimentConfig config = base;
+  const std::vector<double> slices_us = {10.0, 50.0, 250.0, 10'000.0};
+  std::vector<core::ExperimentConfig> configs;
+  for (const double slice_us : slices_us) {
+    auto config = core::ExperimentConfig(base);
     config.preemption_enabled = slice_us < 10'000.0;
     config.time_slice = sim::Duration::micros(slice_us);
-    const auto result = core::run_experiment(config);
+    configs.push_back(config);
+  }
+  const auto results = exp::SweepRunner().run_configs(configs);
+
+  stats::Table table({"slice_us", "warm_p99_us", "medium_p99_us",
+                      "cold_p99_us", "preempts/req", "overall_p999_us"});
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const double slice_us = slices_us[i];
+    const auto& result = results[i];
     table.add_row(
         {slice_us >= 10'000.0 ? "off" : stats::fmt(slice_us, 0),
          stats::fmt(result.recorder.by_kind(0).quantile(0.99).to_micros()),
@@ -59,6 +70,10 @@ int main() {
                         static_cast<double>(result.summary.completed),
                     2),
          stats::fmt(result.summary.p999_us)});
+    fig.add_row(slice_us >= 10'000.0 ? "slice-off"
+                                     : "slice-" + stats::fmt(slice_us, 0) +
+                                           "us",
+                result);
   }
   table.print(std::cout);
 
@@ -66,5 +81,5 @@ int main() {
                "warm-path tail; a slice\nnear the medium class (50-250 us) "
                "protects it at modest preemption overhead; very\nshort "
                "slices buy little more and churn contexts.\n";
-  return 0;
+  return fig.finish();
 }

@@ -10,38 +10,56 @@
 //   $ ./feedback_explorer
 #include <iostream>
 #include <memory>
+#include <vector>
 
-#include "core/testbed.h"
+#include "exp/exp.h"
 #include "stats/table.h"
 
 int main() {
   using namespace nicsched;
 
-  core::ExperimentConfig base;
-  base.system = core::SystemKind::kIdealNic;
-  base.worker_count = 8;
-  base.outstanding_per_worker = 2;
-  base.time_slice = sim::Duration::micros(10);
-  base.service = std::make_shared<workload::BimodalDistribution>(
-      sim::Duration::micros(5), sim::Duration::micros(100), 0.005);
-  base.target_samples = 50'000;
+  const auto base = core::ExperimentConfig::ideal_nic()
+                        .workers(8)
+                        .outstanding(2)
+                        .slice(sim::Duration::micros(10))
+                        .bimodal()
+                        .samples(50'000);
 
-  std::cout << "Feedback freshness explorer: bimodal(99.5%x5us, 0.5%x100us), "
-               "8 workers, ideal-NIC scheduler\n\n";
+  exp::Figure fig("feedback_explorer",
+                  "Feedback freshness explorer: bimodal(99.5%x5us, "
+                  "0.5%x100us), 8 workers, ideal-NIC scheduler");
+  std::cout << fig.title() << "\n\n";
+
+  // Each feedback-latency point (saturation search + fixed-load probe) is
+  // independent — fan them out across the pool.
+  struct FeedbackPoint {
+    double saturation = 0.0;
+    core::ExperimentResult at_load;
+  };
+  const std::vector<double> latencies_ns = {100.0, 400.0, 1000.0, 2560.0,
+                                            10'000.0};
+  const auto points =
+      exp::SweepRunner().map(latencies_ns, [&](const double latency_ns) {
+        auto config = core::ExperimentConfig(base);
+        config.params.cxl_one_way_latency = sim::Duration::nanos(latency_ns);
+        FeedbackPoint point;
+        point.saturation =
+            core::find_saturation_throughput(config, 200e3, 1.6e6, 0.95, 7);
+        point.at_load = core::run_experiment(config.load(1.0e6));
+        return point;
+      });
 
   stats::Table table({"feedback_latency", "sat_krps", "p99_us@1MRPS",
                       "p999_us@1MRPS"});
-  for (const double latency_ns : {100.0, 400.0, 1000.0, 2560.0, 10'000.0}) {
-    core::ExperimentConfig config = base;
-    config.params.cxl_one_way_latency = sim::Duration::nanos(latency_ns);
-    const double saturation =
-        core::find_saturation_throughput(config, 200e3, 1.6e6, 0.95, 7);
-    config.offered_rps = 1.0e6;
-    const auto at_load = core::run_experiment(config);
-    table.add_row({stats::fmt(latency_ns, 0) + "ns",
-                   stats::fmt(saturation / 1e3),
-                   stats::fmt(at_load.summary.p99_us),
-                   stats::fmt(at_load.summary.p999_us)});
+  for (std::size_t i = 0; i < latencies_ns.size(); ++i) {
+    table.add_row({stats::fmt(latencies_ns[i], 0) + "ns",
+                   stats::fmt(points[i].saturation / 1e3),
+                   stats::fmt(points[i].at_load.summary.p99_us),
+                   stats::fmt(points[i].at_load.summary.p999_us)});
+    fig.add_row("feedback-" + stats::fmt(latencies_ns[i], 0) + "ns",
+                points[i].at_load);
+    fig.note_metric("sat_rps_" + stats::fmt(latencies_ns[i], 0) + "ns",
+                    points[i].saturation);
   }
   table.print(std::cout);
 
@@ -52,5 +70,5 @@ int main() {
                "same design\nneeds more outstanding requests per worker and "
                "its tail control degrades. This\nis the gap the paper asks "
                "hardware to close.\n";
-  return 0;
+  return fig.finish();
 }

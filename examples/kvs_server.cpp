@@ -11,8 +11,10 @@
 #include <cstdlib>
 #include <iostream>
 #include <memory>
+#include <string>
+#include <vector>
 
-#include "core/testbed.h"
+#include "exp/exp.h"
 #include "stats/table.h"
 
 int main(int argc, char** argv) {
@@ -26,33 +28,48 @@ int main(int argc, char** argv) {
   auto service = std::make_shared<workload::LogNormalDistribution>(
       sim::Duration::micros(1.5), 0.5);
 
-  core::ExperimentConfig base;
-  base.worker_count = workers;
-  base.outstanding_per_worker = 5;
-  base.preemption_enabled = false;  // homogeneous: nothing to preempt
-  base.service = service;
-  base.target_samples = 60'000;
-  base.request_padding = 40;  // ~64 B keys on the wire
+  const auto base = core::ExperimentConfig::offload()
+                        .workers(workers)
+                        .outstanding(5)
+                        .no_preemption()  // homogeneous: nothing to preempt
+                        .with_service(service)
+                        .samples(60'000)
+                        .padding(40);  // ~64 B keys on the wire
 
-  std::cout << "KVS scenario: " << service->name() << ", " << workers
-            << " workers, GET-heavy homogeneous load\n\n";
+  exp::Figure fig("kvs_server", "KVS scenario: " + service->name() + ", " +
+                                    std::to_string(workers) +
+                                    " workers, GET-heavy homogeneous load");
+  std::cout << fig.title() << "\n\n";
 
-  const core::SystemKind systems[] = {
+  const std::vector<core::SystemKind> systems = {
       core::SystemKind::kRss,
       core::SystemKind::kFlowDirector,
       core::SystemKind::kShinjukuOffload,
   };
 
+  // Saturation search + the 60 %-load probe for each system, fanned out.
+  struct KvsPoint {
+    double saturation = 0.0;
+    core::ExperimentResult at_60;
+  };
+  const auto points =
+      exp::SweepRunner().map(systems, [&](const core::SystemKind system) {
+        auto config = core::ExperimentConfig(base).on(system);
+        KvsPoint point;
+        point.saturation = core::find_saturation_throughput(
+            config, 100e3, static_cast<double>(workers) * 1.2e6, 0.95, 7);
+        point.at_60 = core::run_experiment(config.load(0.6 * point.saturation));
+        return point;
+      });
+
   stats::Table table({"system", "sat_krps", "p99_us@60%load"});
-  for (const auto system : systems) {
-    core::ExperimentConfig config = base;
-    config.system = system;
-    const double saturation = core::find_saturation_throughput(
-        config, 100e3, static_cast<double>(workers) * 1.2e6, 0.95, 7);
-    config.offered_rps = 0.6 * saturation;
-    const auto at_60 = core::run_experiment(config);
-    table.add_row({core::to_string(system), stats::fmt(saturation / 1e3),
-                   stats::fmt(at_60.summary.p99_us)});
+  for (std::size_t i = 0; i < systems.size(); ++i) {
+    table.add_row({core::to_string(systems[i]),
+                   stats::fmt(points[i].saturation / 1e3),
+                   stats::fmt(points[i].at_60.summary.p99_us)});
+    fig.add_row(core::to_string(systems[i]), points[i].at_60);
+    fig.note_metric(std::string("sat_rps_") + core::to_string(systems[i]),
+                    points[i].saturation);
   }
   table.print(std::cout);
 
@@ -65,5 +82,5 @@ int main(int argc, char** argv) {
                "for NIC scheduling is *informed* hardware scheduling, not "
                "merely moving the\n"
                "dispatcher onto today's SmartNIC cores.\n";
-  return 0;
+  return fig.finish();
 }

@@ -7,7 +7,9 @@
 //         --no-preemption --sweep=250:4250:9
 //   $ ./nicsched_cli --system=ideal-nic --dist=exp:10us --load=500 --csv
 //
-// Loads are in kRPS. Durations accept ns/us/ms suffixes.
+// Loads are in kRPS. Durations accept ns/us/ms suffixes. Sweeps fan out
+// across a thread pool (NICSCHED_THREADS); every run also drops
+// BENCH_nicsched_cli.json / .csv into NICSCHED_RESULT_DIR (or the cwd).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -18,7 +20,7 @@
 #include <string>
 #include <vector>
 
-#include "core/testbed.h"
+#include "exp/exp.h"
 #include "stats/table.h"
 #include "workload/trace.h"
 
@@ -30,7 +32,7 @@ using namespace nicsched;
   if (error) std::cerr << "error: " << error << "\n\n";
   std::cerr <<
       "usage: nicsched_cli [options]\n"
-      "  --system=NAME     shinjuku | shinjuku-offload | rss | flow-director |\n"
+      "  --system=NAME     shinjuku | shinjuku-offload | rss-rtc | flow-director |\n"
       "                    work-stealing | elastic-rss | ideal-nic | rpcvalet\n"
       "  --workers=N       worker cores (default 4)\n"
       "  --dispatchers=N   shinjuku dispatcher groups (default 1)\n"
@@ -73,14 +75,10 @@ sim::Duration parse_duration(const std::string& text) {
 }
 
 core::SystemKind parse_system(const std::string& name) {
-  if (name == "shinjuku") return core::SystemKind::kShinjuku;
-  if (name == "shinjuku-offload") return core::SystemKind::kShinjukuOffload;
+  // Round-trips core::to_string, with a legacy alias for the seed CLI's
+  // spelling of the RSS baseline.
   if (name == "rss") return core::SystemKind::kRss;
-  if (name == "flow-director") return core::SystemKind::kFlowDirector;
-  if (name == "work-stealing") return core::SystemKind::kWorkStealing;
-  if (name == "elastic-rss") return core::SystemKind::kElasticRss;
-  if (name == "ideal-nic") return core::SystemKind::kIdealNic;
-  if (name == "rpcvalet") return core::SystemKind::kRpcValet;
+  if (const auto kind = core::try_from_string(name)) return *kind;
   usage(("unknown system '" + name + "'").c_str());
 }
 
@@ -181,12 +179,10 @@ int main(int argc, char** argv) {
       double lo = 0, hi = 0;
       int points = 0;
       if (std::sscanf(v7->c_str(), "%lf:%lf:%d", &lo, &hi, &points) != 3 ||
-          points < 2) {
+          points < 1) {
         usage("bad --sweep (want LO:HI:N)");
       }
-      for (int p = 0; p < points; ++p) {
-        sweep_loads.push_back((lo + (hi - lo) * p / (points - 1)) * 1e3);
-      }
+      sweep_loads = exp::load_grid(lo * 1e3, hi * 1e3, points);
     } else if (auto v8 = flag_value(arg, "slice")) {
       config.time_slice = parse_duration(*v8);
     } else if (arg == "--no-preemption") {
@@ -238,10 +234,14 @@ int main(int argc, char** argv) {
               << " policy=" << core::to_string(config.queue_policy) << "\n\n";
   }
 
-  std::vector<stats::RunSummary> summaries;
-  for (const double load : sweep_loads) {
-    config.offered_rps = load;
-    summaries.push_back(core::run_experiment(config).summary);
+  // A per-request log pins the run to the serial single-point primitive;
+  // everything else goes through the parallel runner.
+  std::vector<core::ExperimentResult> results;
+  if (config.response_log != nullptr) {
+    config.offered_rps = sweep_loads[0];
+    results.push_back(core::run_experiment(config));
+  } else {
+    results = exp::SweepRunner().run(config, sweep_loads);
   }
   if (!latency_csv_path.empty()) {
     std::ofstream file(latency_csv_path);
@@ -252,11 +252,21 @@ int main(int argc, char** argv) {
                 << " per-request records to " << latency_csv_path << "\n\n";
     }
   }
+
+  exp::Figure fig("nicsched_cli",
+                  std::string("nicsched_cli: ") +
+                      core::to_string(config.system) + " on " +
+                      config.service->name());
+  std::vector<stats::RunSummary> summaries;
+  for (const auto& result : results) {
+    summaries.push_back(result.summary);
+    fig.add_row(core::to_string(config.system), result);
+  }
   const stats::Table table = stats::make_sweep_table(summaries);
   if (csv) {
     table.print_csv(std::cout);
   } else {
     table.print(std::cout);
   }
-  return 0;
+  return fig.finish();
 }

@@ -4,11 +4,12 @@
 //   $ ./quickstart [offered_krps]
 //
 // This is the smallest useful program against the public API: pick a system,
-// a workload, and a load; run; read the latency summary.
+// a workload, and a load with the config builder; run; read the latency
+// summary. A machine-readable copy lands in BENCH_quickstart.json.
 #include <cstdlib>
 #include <iostream>
 
-#include "core/testbed.h"
+#include "exp/exp.h"
 #include "stats/table.h"
 
 int main(int argc, char** argv) {
@@ -17,16 +18,14 @@ int main(int argc, char** argv) {
   double offered_krps = 300.0;
   if (argc > 1) offered_krps = std::atof(argv[1]);
 
-  core::ExperimentConfig config;
-  config.system = core::SystemKind::kShinjukuOffload;
-  config.worker_count = 4;
-  config.outstanding_per_worker = 4;
-  config.time_slice = sim::Duration::micros(10);
   // Figure 2's workload: 99.5 % of requests take 5 us, 0.5 % take 100 us.
-  config.service = std::make_shared<workload::BimodalDistribution>(
-      sim::Duration::micros(5), sim::Duration::micros(100), 0.005);
-  config.offered_rps = offered_krps * 1e3;
-  config.target_samples = 50'000;
+  const auto config = core::ExperimentConfig::offload()
+                          .workers(4)
+                          .outstanding(4)
+                          .slice(sim::Duration::micros(10))
+                          .bimodal()
+                          .load(offered_krps * 1e3)
+                          .samples(50'000);
 
   std::cout << "system: " << core::to_string(config.system) << "\n"
             << "workload: " << config.service->name() << "\n"
@@ -49,5 +48,8 @@ int main(int argc, char** argv) {
             << result.recorder.by_kind(0).quantile(0.99).to_string() << "\n"
             << "long-request p99:            "
             << result.recorder.by_kind(1).quantile(0.99).to_string() << "\n";
-  return 0;
+
+  exp::Figure fig("quickstart", "Quickstart: one load point");
+  fig.add_row(core::to_string(config.system), result);
+  return fig.finish();
 }

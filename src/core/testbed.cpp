@@ -103,6 +103,25 @@ sim::Duration choose_measure_window(const ExperimentConfig& config) {
 
 }  // namespace
 
+std::optional<SystemKind> try_from_string(std::string_view name) {
+  constexpr SystemKind kinds[] = {
+      SystemKind::kShinjuku,     SystemKind::kShinjukuOffload,
+      SystemKind::kRss,          SystemKind::kFlowDirector,
+      SystemKind::kWorkStealing, SystemKind::kElasticRss,
+      SystemKind::kIdealNic,     SystemKind::kRpcValet,
+  };
+  for (const SystemKind kind : kinds) {
+    if (name == to_string(kind)) return kind;
+  }
+  return std::nullopt;
+}
+
+SystemKind from_string(std::string_view name) {
+  if (const auto kind = try_from_string(name)) return *kind;
+  throw std::invalid_argument("unknown system kind '" + std::string(name) +
+                              "'");
+}
+
 const char* to_string(SystemKind kind) {
   switch (kind) {
     case SystemKind::kShinjuku: return "shinjuku";

@@ -7,6 +7,7 @@
 
 #include <memory>
 #include <optional>
+#include <string_view>
 #include <vector>
 
 #include "core/model_params.h"
@@ -37,6 +38,12 @@ enum class SystemKind {
 };
 
 const char* to_string(SystemKind kind);
+
+/// Inverse of to_string(SystemKind): `from_string(to_string(k)) == k` for
+/// every kind. Throws std::invalid_argument on an unknown name; see
+/// try_from_string for the non-throwing variant.
+SystemKind from_string(std::string_view name);
+std::optional<SystemKind> try_from_string(std::string_view name);
 
 struct ExperimentConfig {
   SystemKind system = SystemKind::kShinjukuOffload;
@@ -82,6 +89,110 @@ struct ExperimentConfig {
   stats::ResponseLog* response_log = nullptr;
 
   ModelParams params = ModelParams::defaults();
+
+  // ---- fluent builder ------------------------------------------------------
+  // Named presets plus chainable setters so experiment definitions read as
+  // one expression instead of eight field mutations:
+  //
+  //   auto config = ExperimentConfig::offload().workers(4).outstanding(4)
+  //                     .bimodal().load(300e3);
+  //
+  // Every setter returns *this; presets return a fresh config by value.
+
+  static ExperimentConfig of(SystemKind kind) {
+    ExperimentConfig config;
+    config.system = kind;
+    return config;
+  }
+  static ExperimentConfig offload() { return of(SystemKind::kShinjukuOffload); }
+  static ExperimentConfig shinjuku() { return of(SystemKind::kShinjuku); }
+  static ExperimentConfig ideal_nic() { return of(SystemKind::kIdealNic); }
+  static ExperimentConfig rss() { return of(SystemKind::kRss); }
+
+  /// Retargets an existing config at another system (ablation loops).
+  ExperimentConfig& on(SystemKind kind) {
+    system = kind;
+    return *this;
+  }
+  ExperimentConfig& workers(std::size_t count) {
+    worker_count = count;
+    return *this;
+  }
+  ExperimentConfig& dispatchers(std::size_t count) {
+    dispatcher_count = count;
+    return *this;
+  }
+  ExperimentConfig& outstanding(std::uint32_t k) {
+    outstanding_per_worker = k;
+    return *this;
+  }
+  ExperimentConfig& no_preemption() {
+    preemption_enabled = false;
+    return *this;
+  }
+  /// Enables preemption with the given time slice.
+  ExperimentConfig& slice(sim::Duration duration) {
+    preemption_enabled = true;
+    time_slice = duration;
+    return *this;
+  }
+  ExperimentConfig& policy(QueuePolicy queue) {
+    queue_policy = queue;
+    return *this;
+  }
+  ExperimentConfig& timers(hw::TimerCosts costs) {
+    timer_costs = costs;
+    return *this;
+  }
+  ExperimentConfig& place(hw::PlacementPolicy where) {
+    placement = where;
+    return *this;
+  }
+  ExperimentConfig& with_service(
+      std::shared_ptr<workload::ServiceDistribution> distribution) {
+    service = std::move(distribution);
+    return *this;
+  }
+  /// Service shorthands for the paper's standard workloads.
+  ExperimentConfig& fixed(sim::Duration work) {
+    return with_service(std::make_shared<workload::FixedDistribution>(work));
+  }
+  ExperimentConfig& fixed_5us() { return fixed(sim::Duration::micros(5)); }
+  ExperimentConfig& bimodal(sim::Duration common, sim::Duration rare,
+                            double rare_fraction) {
+    return with_service(std::make_shared<workload::BimodalDistribution>(
+        common, rare, rare_fraction));
+  }
+  /// Figure 2's workload: 99.5 % x 5 us, 0.5 % x 100 us.
+  ExperimentConfig& bimodal() {
+    return bimodal(sim::Duration::micros(5), sim::Duration::micros(100),
+                   0.005);
+  }
+  ExperimentConfig& load(double rps) {
+    offered_rps = rps;
+    return *this;
+  }
+  ExperimentConfig& clients(int machines, std::uint16_t flows_each) {
+    client_machines = machines;
+    flows_per_client = flows_each;
+    return *this;
+  }
+  ExperimentConfig& padding(std::uint16_t bytes) {
+    request_padding = bytes;
+    return *this;
+  }
+  ExperimentConfig& samples(std::uint64_t target) {
+    target_samples = target;
+    return *this;
+  }
+  ExperimentConfig& measure_for(sim::Duration window) {
+    measure = window;
+    return *this;
+  }
+  ExperimentConfig& with_seed(std::uint64_t value) {
+    seed = value;
+    return *this;
+  }
 };
 
 struct ExperimentResult {
@@ -98,7 +209,8 @@ struct ExperimentResult {
 ExperimentResult run_experiment(const ExperimentConfig& config);
 
 /// Runs the same experiment across offered loads; returns one result per
-/// load, in order.
+/// load, in order. This is the *serial* reference path — exp::SweepRunner
+/// fans the same points across a thread pool and must match it bit for bit.
 std::vector<ExperimentResult> run_sweep(ExperimentConfig config,
                                         const std::vector<double>& loads);
 

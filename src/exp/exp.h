@@ -1,0 +1,10 @@
+// Umbrella header for the experiment-orchestration layer: parallel sweeps
+// (SweepRunner), figure definitions with shape checks (Figure/Series),
+// machine-readable exports (ResultSink), and grid/env helpers. Bench binaries
+// and examples include this one header.
+#pragma once
+
+#include "exp/figure.h"        // IWYU pragma: export
+#include "exp/grid.h"          // IWYU pragma: export
+#include "exp/result_sink.h"   // IWYU pragma: export
+#include "exp/sweep_runner.h"  // IWYU pragma: export

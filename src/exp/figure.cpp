@@ -1,0 +1,133 @@
+#include "exp/figure.h"
+
+#include <cstdlib>
+#include <iostream>
+#include <utility>
+
+#include "exp/grid.h"
+#include "stats/table.h"
+
+namespace nicsched::exp {
+
+namespace {
+
+std::string result_path(const std::string& file_name) {
+  const char* dir = std::getenv("NICSCHED_RESULT_DIR");
+  if (dir == nullptr || *dir == '\0') return file_name;
+  std::string path = dir;
+  if (path.back() != '/') path += '/';
+  return path + file_name;
+}
+
+}  // namespace
+
+std::vector<stats::RunSummary> Series::summaries() const {
+  std::vector<stats::RunSummary> rows;
+  rows.reserve(results.size());
+  for (const auto& result : results) rows.push_back(result.summary);
+  return rows;
+}
+
+double Series::saturation(double efficiency, double tail_cap_us) const {
+  return saturation_point(summaries(), efficiency, tail_cap_us);
+}
+
+Figure::Figure(std::string name, std::string title)
+    : name_(std::move(name)), title_(std::move(title)) {}
+
+Series& Figure::add_series(std::string label, core::ExperimentConfig config,
+                           std::vector<double> loads) {
+  Series series;
+  series.label = std::move(label);
+  series.config = std::move(config);
+  series.loads = std::move(loads);
+  series_.push_back(std::move(series));
+  return series_.back();
+}
+
+void Figure::run(const SweepRunner& runner) {
+  // Flatten every (series, load) pair into one work list so the pool stays
+  // busy across series boundaries.
+  std::vector<std::pair<std::size_t, std::size_t>> points;
+  for (std::size_t s = 0; s < series_.size(); ++s) {
+    series_[s].results.clear();
+    series_[s].results.resize(series_[s].loads.size());
+    for (std::size_t p = 0; p < series_[s].loads.size(); ++p) {
+      points.emplace_back(s, p);
+    }
+  }
+  runner.dispatch(points.size(), [&](std::size_t index) {
+    const auto [s, p] = points[index];
+    core::ExperimentConfig config = series_[s].config;
+    config.offered_rps = series_[s].loads[p];
+    series_[s].results[p] = core::run_experiment(config);
+  });
+}
+
+void Figure::add_row(const std::string& series_label,
+                     const core::ExperimentResult& result) {
+  extra_rows_.push_back(make_row(series_label, result));
+}
+
+void Figure::note_metric(std::string name, double value) {
+  metrics_.emplace_back(std::move(name), value);
+}
+
+bool Figure::check(const std::string& label, bool ok) {
+  std::cout << (ok ? "PASS" : "FAIL") << "  " << label << "\n";
+  checks_.push_back({label, ok});
+  return ok;
+}
+
+bool Figure::all_passed() const {
+  for (const auto& check : checks_) {
+    if (!check.pass) return false;
+  }
+  return true;
+}
+
+void Figure::print(std::ostream& out) const {
+  if (!title_.empty()) out << title_ << "\n\n";
+  for (const auto& series : series_) {
+    stats::print_sweep(out, series.label, series.summaries());
+  }
+}
+
+void Figure::emit(ResultSink& sink) const {
+  for (const auto& series : series_) {
+    for (const auto& result : series.results) {
+      sink.add(make_row(series.label, result));
+    }
+  }
+  for (const auto& row : extra_rows_) sink.add(row);
+  for (const auto& [name, value] : metrics_) sink.add_metric(name, value);
+  for (const auto& check : checks_) sink.add_check(check.label, check.pass);
+}
+
+int Figure::finish() const {
+  JsonResultSink json(name_, title_);
+  emit(json);
+  const std::string json_path = result_path("BENCH_" + name_ + ".json");
+  if (!json.write_file(json_path)) {
+    std::cerr << "warning: could not write " << json_path << "\n";
+  }
+  CsvResultSink csv;
+  emit(csv);
+  const std::string csv_path = result_path("BENCH_" + name_ + ".csv");
+  if (!csv.write_file(csv_path)) {
+    std::cerr << "warning: could not write " << csv_path << "\n";
+  }
+  return all_passed() ? 0 : 1;
+}
+
+ResultRow make_row(const std::string& series_label,
+                   const core::ExperimentResult& result) {
+  ResultRow row;
+  row.series = series_label;
+  row.summary = result.summary;
+  row.server = result.server;
+  row.mean_worker_utilization = result.mean_worker_utilization;
+  return row;
+}
+
+}  // namespace nicsched::exp

@@ -1,0 +1,102 @@
+// Figure/Series: the declarative form of a figure reproduction. A Figure
+// owns named series (config + load grid + per-point results), ad-hoc result
+// rows, scalar metrics, and PASS/FAIL shape checks; run() fans every point of
+// every series across one SweepRunner pool, and finish() exports the whole
+// thing as BENCH_<name>.json / BENCH_<name>.csv next to the table output.
+//
+// A minimal figure binary:
+//
+//   exp::Figure fig("fig4_fixed5us", "Figure 4: fixed 5us, ...");
+//   fig.add_series("Shinjuku", shinjuku_config, loads);
+//   fig.add_series("Shinjuku-Offload", offload_config, loads);
+//   fig.run(exp::SweepRunner());
+//   fig.print(std::cout);
+//   fig.check("offload saturates later", ...);
+//   return fig.finish();
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/testbed.h"
+#include "exp/result_sink.h"
+#include "exp/sweep_runner.h"
+
+namespace nicsched::exp {
+
+/// One curve of a figure: a system configuration swept across loads.
+struct Series {
+  std::string label;
+  core::ExperimentConfig config;
+  std::vector<double> loads;
+  /// Filled by Figure::run, one entry per load, in load order.
+  std::vector<core::ExperimentResult> results;
+
+  std::vector<stats::RunSummary> summaries() const;
+
+  /// Saturation point of this series (see exp::saturation_point).
+  double saturation(double efficiency = 0.92, double tail_cap_us = 1e9) const;
+};
+
+class Figure {
+ public:
+  /// `name` keys the exported files (BENCH_<name>.json); `title` is the
+  /// human heading.
+  Figure(std::string name, std::string title);
+
+  const std::string& name() const { return name_; }
+  const std::string& title() const { return title_; }
+
+  Series& add_series(std::string label, core::ExperimentConfig config,
+                     std::vector<double> loads);
+  Series& series(std::size_t index) { return series_[index]; }
+  const Series& series(std::size_t index) const { return series_[index]; }
+  std::size_t series_count() const { return series_.size(); }
+
+  /// Runs every (series, load) point as one flat fan-out over the runner's
+  /// pool, so a slow series doesn't serialize behind the others. Results are
+  /// bit-identical to running each series through core::run_sweep.
+  void run(const SweepRunner& runner);
+
+  /// Records a result that didn't come from a series sweep (saturation
+  /// probes, single reference points, custom harnesses) so it still reaches
+  /// the JSON/CSV export.
+  void add_row(const std::string& series_label,
+               const core::ExperimentResult& result);
+
+  /// Scalar outputs (saturation throughputs, measured constants, ...).
+  void note_metric(std::string name, double value);
+
+  /// Prints one labelled PASS/FAIL shape-check line and records it for the
+  /// JSON export; returns `ok` so call sites can accumulate.
+  bool check(const std::string& label, bool ok);
+  bool all_passed() const;
+
+  /// Title plus one aligned table per series.
+  void print(std::ostream& out) const;
+
+  /// Pushes everything (series points first, then ad-hoc rows, metrics,
+  /// checks) into `sink`.
+  void emit(ResultSink& sink) const;
+
+  /// Writes BENCH_<name>.json and BENCH_<name>.csv into NICSCHED_RESULT_DIR
+  /// (default: current directory) and returns the process exit code: 0 when
+  /// every recorded check passed, 1 otherwise.
+  int finish() const;
+
+ private:
+  std::string name_;
+  std::string title_;
+  std::vector<Series> series_;
+  std::vector<ResultRow> extra_rows_;
+  std::vector<std::pair<std::string, double>> metrics_;
+  std::vector<CheckResult> checks_;
+};
+
+/// ResultRow for one experiment outcome under a series label.
+ResultRow make_row(const std::string& series_label,
+                   const core::ExperimentResult& result);
+
+}  // namespace nicsched::exp

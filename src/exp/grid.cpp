@@ -1,0 +1,40 @@
+#include "exp/grid.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace nicsched::exp {
+
+std::vector<double> load_grid(double lo_rps, double hi_rps, int points) {
+  std::vector<double> loads;
+  if (points <= 0) return loads;
+  loads.reserve(static_cast<std::size_t>(points));
+  if (points == 1) {
+    loads.push_back(lo_rps);
+    return loads;
+  }
+  for (int i = 0; i < points; ++i) {
+    loads.push_back(lo_rps + (hi_rps - lo_rps) * i / (points - 1));
+  }
+  return loads;
+}
+
+bool fast_mode() { return std::getenv("NICSCHED_FAST") != nullptr; }
+
+std::uint64_t bench_samples(std::uint64_t full) {
+  return fast_mode() ? full / 10 : full;
+}
+
+double saturation_point(const std::vector<stats::RunSummary>& sweep,
+                        double efficiency, double tail_cap_us) {
+  double best = 0.0;
+  for (const auto& point : sweep) {
+    if (point.achieved_rps >= efficiency * point.offered_rps &&
+        point.p99_us <= tail_cap_us) {
+      best = std::max(best, point.offered_rps);
+    }
+  }
+  return best;
+}
+
+}  // namespace nicsched::exp

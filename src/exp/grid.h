@@ -1,0 +1,32 @@
+// Load grids and sweep-reading helpers shared by every figure and ablation.
+// Formerly copy-pasted through bench/figure_util.h; now owned by the
+// experiment layer so benches, examples, and tests agree on the semantics.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/recorder.h"
+
+namespace nicsched::exp {
+
+/// Evenly spaced loads in [lo_rps, hi_rps] (inclusive), in RPS.
+/// `points == 1` yields {lo_rps} (the historical helper divided by zero);
+/// `points <= 0` yields an empty grid.
+std::vector<double> load_grid(double lo_rps, double hi_rps, int points);
+
+/// True when NICSCHED_FAST is set: benches shrink sample counts so the whole
+/// suite runs in seconds (used by CI's bench_smoke label and the test
+/// harness). This is the single definition of the NICSCHED_FAST contract.
+bool fast_mode();
+
+/// `full` samples normally, `full / 10` under NICSCHED_FAST.
+std::uint64_t bench_samples(std::uint64_t full);
+
+/// Offered load (RPS) of the last sweep point whose achieved throughput kept
+/// up with offered load (within `efficiency`) AND whose p99 stayed under
+/// `tail_cap_us` — the figure-reading notion of "saturation point".
+double saturation_point(const std::vector<stats::RunSummary>& sweep,
+                        double efficiency = 0.92, double tail_cap_us = 1e9);
+
+}  // namespace nicsched::exp

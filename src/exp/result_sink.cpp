@@ -1,0 +1,495 @@
+#include "exp/result_sink.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+#include "exp/grid.h"
+
+namespace nicsched::exp {
+
+namespace {
+
+// ---- writing ---------------------------------------------------------------
+
+/// Doubles print with max_digits10 so strtod reads back the exact value.
+std::string num(double value) {
+  std::ostringstream out;
+  out.precision(std::numeric_limits<double>::max_digits10);
+  out << value;
+  return out.str();
+}
+
+std::string quoted(std::string_view text) {
+  std::string out = "\"";
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default: out += c; break;
+    }
+  }
+  out += '"';
+  return out;
+}
+
+void write_summary_json(std::ostream& out, const stats::RunSummary& s) {
+  out << "{\"offered_rps\": " << num(s.offered_rps)
+      << ", \"achieved_rps\": " << num(s.achieved_rps)
+      << ", \"issued\": " << s.issued << ", \"completed\": " << s.completed
+      << ", \"mean_us\": " << num(s.mean_us)
+      << ", \"p50_us\": " << num(s.p50_us)
+      << ", \"p90_us\": " << num(s.p90_us)
+      << ", \"p99_us\": " << num(s.p99_us)
+      << ", \"p999_us\": " << num(s.p999_us)
+      << ", \"max_us\": " << num(s.max_us)
+      << ", \"preemptions\": " << s.preemptions << "}";
+}
+
+void write_server_json(std::ostream& out, const core::ServerStats& s) {
+  out << "{\"requests_received\": " << s.requests_received
+      << ", \"responses_sent\": " << s.responses_sent
+      << ", \"preemptions\": " << s.preemptions
+      << ", \"spurious_interrupts\": " << s.spurious_interrupts
+      << ", \"steals\": " << s.steals << ", \"drops\": " << s.drops
+      << ", \"queue_max_depth\": " << s.queue_max_depth
+      << ", \"worker_utilization\": [";
+  for (std::size_t i = 0; i < s.worker_utilization.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << num(s.worker_utilization[i]);
+  }
+  out << "], \"ddio\": {\"l1_touches\": " << s.ddio.l1_touches
+      << ", \"llc_touches\": " << s.ddio.llc_touches
+      << ", \"dram_touches\": " << s.ddio.dram_touches << "}}";
+}
+
+// ---- parsing ---------------------------------------------------------------
+
+/// Just enough JSON to read back what the writers above emit (and any other
+/// standard JSON of the same shape).
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string text;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  const JsonValue* find(std::string_view key) const {
+    for (const auto& [name, value] : object) {
+      if (name == key) return &value;
+    }
+    return nullptr;
+  }
+  double number_or(std::string_view key, double fallback = 0.0) const {
+    const JsonValue* value = find(key);
+    return value != nullptr && value->type == Type::kNumber ? value->number
+                                                            : fallback;
+  }
+  std::uint64_t count_or(std::string_view key) const {
+    return static_cast<std::uint64_t>(number_or(key));
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  std::optional<JsonValue> parse(std::string* error) {
+    auto value = parse_value();
+    skip_space();
+    if (!value || pos_ != text_.size()) {
+      if (error != nullptr) {
+        *error = error_.empty() ? "trailing content" : error_;
+      }
+      return std::nullopt;
+    }
+    return value;
+  }
+
+ private:
+  void skip_space() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char expected) {
+    skip_space();
+    if (pos_ < text_.size() && text_[pos_] == expected) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<JsonValue> fail(const std::string& message) {
+    if (error_.empty()) {
+      error_ = message + " at offset " + std::to_string(pos_);
+    }
+    return std::nullopt;
+  }
+
+  std::optional<JsonValue> parse_value() {
+    skip_space();
+    if (pos_ >= text_.size()) return fail("unexpected end");
+    const char c = text_[pos_];
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') return parse_string();
+    if (c == 't' || c == 'f') return parse_bool();
+    if (c == 'n') return parse_null();
+    return parse_number();
+  }
+
+  std::optional<JsonValue> parse_object() {
+    JsonValue value;
+    value.type = JsonValue::Type::kObject;
+    consume('{');
+    if (consume('}')) return value;
+    while (true) {
+      auto key = parse_string();
+      if (!key) return fail("expected object key");
+      if (!consume(':')) return fail("expected ':'");
+      auto member = parse_value();
+      if (!member) return std::nullopt;
+      value.object.emplace_back(std::move(key->text), std::move(*member));
+      if (consume(',')) continue;
+      if (consume('}')) return value;
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  std::optional<JsonValue> parse_array() {
+    JsonValue value;
+    value.type = JsonValue::Type::kArray;
+    consume('[');
+    if (consume(']')) return value;
+    while (true) {
+      auto element = parse_value();
+      if (!element) return std::nullopt;
+      value.array.push_back(std::move(*element));
+      if (consume(',')) continue;
+      if (consume(']')) return value;
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  std::optional<JsonValue> parse_string() {
+    skip_space();
+    if (pos_ >= text_.size() || text_[pos_] != '"') {
+      return fail("expected string");
+    }
+    ++pos_;
+    JsonValue value;
+    value.type = JsonValue::Type::kString;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\' && pos_ < text_.size()) {
+        const char escaped = text_[pos_++];
+        switch (escaped) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'r': c = '\r'; break;
+          default: c = escaped; break;
+        }
+      }
+      value.text += c;
+    }
+    if (pos_ >= text_.size()) return fail("unterminated string");
+    ++pos_;  // closing quote
+    return value;
+  }
+
+  std::optional<JsonValue> parse_bool() {
+    JsonValue value;
+    value.type = JsonValue::Type::kBool;
+    if (text_.substr(pos_, 4) == "true") {
+      value.boolean = true;
+      pos_ += 4;
+      return value;
+    }
+    if (text_.substr(pos_, 5) == "false") {
+      pos_ += 5;
+      return value;
+    }
+    return fail("bad literal");
+  }
+
+  std::optional<JsonValue> parse_null() {
+    if (text_.substr(pos_, 4) == "null") {
+      pos_ += 4;
+      return JsonValue{};
+    }
+    return fail("bad literal");
+  }
+
+  std::optional<JsonValue> parse_number() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) return fail("expected value");
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double parsed = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) return fail("bad number");
+    JsonValue value;
+    value.type = JsonValue::Type::kNumber;
+    value.number = parsed;
+    return value;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+stats::RunSummary summary_from_json(const JsonValue& json) {
+  stats::RunSummary summary;
+  summary.offered_rps = json.number_or("offered_rps");
+  summary.achieved_rps = json.number_or("achieved_rps");
+  summary.issued = json.count_or("issued");
+  summary.completed = json.count_or("completed");
+  summary.mean_us = json.number_or("mean_us");
+  summary.p50_us = json.number_or("p50_us");
+  summary.p90_us = json.number_or("p90_us");
+  summary.p99_us = json.number_or("p99_us");
+  summary.p999_us = json.number_or("p999_us");
+  summary.max_us = json.number_or("max_us");
+  summary.preemptions = json.count_or("preemptions");
+  return summary;
+}
+
+core::ServerStats server_from_json(const JsonValue& json) {
+  core::ServerStats server;
+  server.requests_received = json.count_or("requests_received");
+  server.responses_sent = json.count_or("responses_sent");
+  server.preemptions = json.count_or("preemptions");
+  server.spurious_interrupts = json.count_or("spurious_interrupts");
+  server.steals = json.count_or("steals");
+  server.drops = json.count_or("drops");
+  server.queue_max_depth =
+      static_cast<std::size_t>(json.number_or("queue_max_depth"));
+  if (const JsonValue* utilization = json.find("worker_utilization")) {
+    for (const auto& entry : utilization->array) {
+      server.worker_utilization.push_back(entry.number);
+    }
+  }
+  if (const JsonValue* ddio = json.find("ddio")) {
+    server.ddio.l1_touches = ddio->count_or("l1_touches");
+    server.ddio.llc_touches = ddio->count_or("llc_touches");
+    server.ddio.dram_touches = ddio->count_or("dram_touches");
+  }
+  return server;
+}
+
+}  // namespace
+
+bool ResultSink::write_file(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file) return false;
+  write(file);
+  return static_cast<bool>(file);
+}
+
+void JsonResultSink::write(std::ostream& out) const {
+  out << "{\"name\": " << quoted(name_) << ",\n \"title\": " << quoted(title_)
+      << ",\n \"fast_mode\": " << (fast_mode() ? "true" : "false")
+      << ",\n \"rows\": [";
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    const ResultRow& row = rows_[i];
+    out << (i == 0 ? "\n" : ",\n") << "  {\"series\": " << quoted(row.series)
+        << ", \"summary\": ";
+    write_summary_json(out, row.summary);
+    out << ", \"server\": ";
+    write_server_json(out, row.server);
+    out << ", \"mean_worker_utilization\": "
+        << num(row.mean_worker_utilization) << "}";
+  }
+  out << (rows_.empty() ? "]" : "\n ]") << ",\n \"metrics\": {";
+  for (std::size_t i = 0; i < metrics_.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << quoted(metrics_[i].first) << ": " << num(metrics_[i].second);
+  }
+  out << "},\n \"checks\": [";
+  for (std::size_t i = 0; i < checks_.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << "{\"label\": " << quoted(checks_[i].label)
+        << ", \"pass\": " << (checks_[i].pass ? "true" : "false") << "}";
+  }
+  out << "]}\n";
+}
+
+void CsvResultSink::write(std::ostream& out) const {
+  out << "series,offered_rps,achieved_rps,issued,completed,mean_us,p50_us,"
+         "p90_us,p99_us,p999_us,max_us,preemptions,srv_requests_received,"
+         "srv_responses_sent,srv_preemptions,srv_spurious_interrupts,"
+         "srv_steals,srv_drops,srv_queue_max_depth,mean_worker_utilization,"
+         "worker_utilization,ddio_l1,ddio_llc,ddio_dram\n";
+  for (const ResultRow& row : rows_) {
+    const stats::RunSummary& s = row.summary;
+    const core::ServerStats& server = row.server;
+    out << row.series << ',' << num(s.offered_rps) << ','
+        << num(s.achieved_rps) << ',' << s.issued << ',' << s.completed << ','
+        << num(s.mean_us) << ',' << num(s.p50_us) << ',' << num(s.p90_us)
+        << ',' << num(s.p99_us) << ',' << num(s.p999_us) << ','
+        << num(s.max_us) << ',' << s.preemptions << ','
+        << server.requests_received << ',' << server.responses_sent << ','
+        << server.preemptions << ',' << server.spurious_interrupts << ','
+        << server.steals << ',' << server.drops << ','
+        << server.queue_max_depth << ','
+        << num(row.mean_worker_utilization) << ',';
+    // The per-worker vector packs into one ';'-joined cell so the file stays
+    // one row per point.
+    for (std::size_t i = 0; i < server.worker_utilization.size(); ++i) {
+      if (i > 0) out << ';';
+      out << num(server.worker_utilization[i]);
+    }
+    out << ',' << server.ddio.l1_touches << ',' << server.ddio.llc_touches
+        << ',' << server.ddio.dram_touches << '\n';
+  }
+}
+
+std::optional<ParsedResults> parse_json_results(std::string_view text,
+                                                std::string* error) {
+  JsonParser parser(text);
+  const auto root = parser.parse(error);
+  if (!root) return std::nullopt;
+  if (root->type != JsonValue::Type::kObject) {
+    if (error != nullptr) *error = "top-level value is not an object";
+    return std::nullopt;
+  }
+
+  ParsedResults results;
+  if (const JsonValue* name = root->find("name")) results.name = name->text;
+  if (const JsonValue* title = root->find("title")) {
+    results.title = title->text;
+  }
+  if (const JsonValue* fast = root->find("fast_mode")) {
+    results.fast_mode = fast->boolean;
+  }
+  if (const JsonValue* rows = root->find("rows")) {
+    for (const JsonValue& entry : rows->array) {
+      ResultRow row;
+      if (const JsonValue* series = entry.find("series")) {
+        row.series = series->text;
+      }
+      if (const JsonValue* summary = entry.find("summary")) {
+        row.summary = summary_from_json(*summary);
+      }
+      if (const JsonValue* server = entry.find("server")) {
+        row.server = server_from_json(*server);
+      }
+      row.mean_worker_utilization =
+          entry.number_or("mean_worker_utilization");
+      results.rows.push_back(std::move(row));
+    }
+  }
+  if (const JsonValue* metrics = root->find("metrics")) {
+    for (const auto& [name, value] : metrics->object) {
+      results.metrics.emplace_back(name, value.number);
+    }
+  }
+  if (const JsonValue* checks = root->find("checks")) {
+    for (const JsonValue& entry : checks->array) {
+      CheckResult check;
+      if (const JsonValue* label = entry.find("label")) {
+        check.label = label->text;
+      }
+      if (const JsonValue* pass = entry.find("pass")) {
+        check.pass = pass->boolean;
+      }
+      results.checks.push_back(std::move(check));
+    }
+  }
+  return results;
+}
+
+std::optional<std::vector<ResultRow>> parse_csv_rows(std::string_view text,
+                                                     std::string* error) {
+  auto split = [](std::string_view line, char separator) {
+    std::vector<std::string> cells;
+    std::size_t start = 0;
+    while (true) {
+      const std::size_t end = line.find(separator, start);
+      cells.emplace_back(line.substr(
+          start, end == std::string_view::npos ? end : end - start));
+      if (end == std::string_view::npos) break;
+      start = end + 1;
+    }
+    return cells;
+  };
+
+  std::vector<ResultRow> rows;
+  std::size_t line_start = 0;
+  bool header = true;
+  while (line_start < text.size()) {
+    std::size_t line_end = text.find('\n', line_start);
+    if (line_end == std::string_view::npos) line_end = text.size();
+    const std::string_view line =
+        text.substr(line_start, line_end - line_start);
+    line_start = line_end + 1;
+    if (line.empty()) continue;
+    if (header) {
+      header = false;
+      continue;
+    }
+    const auto cells = split(line, ',');
+    if (cells.size() != 24) {
+      if (error != nullptr) {
+        *error = "expected 24 cells, got " + std::to_string(cells.size());
+      }
+      return std::nullopt;
+    }
+    ResultRow row;
+    row.series = cells[0];
+    row.summary.offered_rps = std::atof(cells[1].c_str());
+    row.summary.achieved_rps = std::atof(cells[2].c_str());
+    row.summary.issued = std::strtoull(cells[3].c_str(), nullptr, 10);
+    row.summary.completed = std::strtoull(cells[4].c_str(), nullptr, 10);
+    row.summary.mean_us = std::atof(cells[5].c_str());
+    row.summary.p50_us = std::atof(cells[6].c_str());
+    row.summary.p90_us = std::atof(cells[7].c_str());
+    row.summary.p99_us = std::atof(cells[8].c_str());
+    row.summary.p999_us = std::atof(cells[9].c_str());
+    row.summary.max_us = std::atof(cells[10].c_str());
+    row.summary.preemptions = std::strtoull(cells[11].c_str(), nullptr, 10);
+    row.server.requests_received =
+        std::strtoull(cells[12].c_str(), nullptr, 10);
+    row.server.responses_sent = std::strtoull(cells[13].c_str(), nullptr, 10);
+    row.server.preemptions = std::strtoull(cells[14].c_str(), nullptr, 10);
+    row.server.spurious_interrupts =
+        std::strtoull(cells[15].c_str(), nullptr, 10);
+    row.server.steals = std::strtoull(cells[16].c_str(), nullptr, 10);
+    row.server.drops = std::strtoull(cells[17].c_str(), nullptr, 10);
+    row.server.queue_max_depth = static_cast<std::size_t>(
+        std::strtoull(cells[18].c_str(), nullptr, 10));
+    row.mean_worker_utilization = std::atof(cells[19].c_str());
+    if (!cells[20].empty()) {
+      for (const std::string& cell : split(cells[20], ';')) {
+        row.server.worker_utilization.push_back(std::atof(cell.c_str()));
+      }
+    }
+    row.server.ddio.l1_touches = std::strtoull(cells[21].c_str(), nullptr, 10);
+    row.server.ddio.llc_touches =
+        std::strtoull(cells[22].c_str(), nullptr, 10);
+    row.server.ddio.dram_touches =
+        std::strtoull(cells[23].c_str(), nullptr, 10);
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace nicsched::exp

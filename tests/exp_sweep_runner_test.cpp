@@ -1,0 +1,242 @@
+// The exp layer's three contracts:
+//   1. SweepRunner's parallel fan-out is bit-identical to the serial
+//      core::run_sweep reference path — every RunSummary field, not just
+//      the headline quantiles.
+//   2. JSON and CSV exports round-trip every row field losslessly.
+//   3. SystemKind's from_string round-trips to_string for every kind.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "exp/exp.h"
+
+namespace nicsched {
+namespace {
+
+core::ExperimentConfig small_config() {
+  return core::ExperimentConfig::offload()
+      .workers(2)
+      .outstanding(2)
+      .slice(sim::Duration::micros(10))
+      .bimodal()
+      .samples(2'000)
+      .with_seed(7);
+}
+
+void expect_summary_identical(const stats::RunSummary& a,
+                              const stats::RunSummary& b) {
+  EXPECT_EQ(a.offered_rps, b.offered_rps);
+  EXPECT_EQ(a.achieved_rps, b.achieved_rps);
+  EXPECT_EQ(a.issued, b.issued);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.mean_us, b.mean_us);
+  EXPECT_EQ(a.p50_us, b.p50_us);
+  EXPECT_EQ(a.p90_us, b.p90_us);
+  EXPECT_EQ(a.p99_us, b.p99_us);
+  EXPECT_EQ(a.p999_us, b.p999_us);
+  EXPECT_EQ(a.max_us, b.max_us);
+  EXPECT_EQ(a.preemptions, b.preemptions);
+}
+
+void expect_row_identical(const exp::ResultRow& a, const exp::ResultRow& b) {
+  EXPECT_EQ(a.series, b.series);
+  expect_summary_identical(a.summary, b.summary);
+  EXPECT_EQ(a.server.requests_received, b.server.requests_received);
+  EXPECT_EQ(a.server.responses_sent, b.server.responses_sent);
+  EXPECT_EQ(a.server.preemptions, b.server.preemptions);
+  EXPECT_EQ(a.server.spurious_interrupts, b.server.spurious_interrupts);
+  EXPECT_EQ(a.server.steals, b.server.steals);
+  EXPECT_EQ(a.server.drops, b.server.drops);
+  EXPECT_EQ(a.server.queue_max_depth, b.server.queue_max_depth);
+  EXPECT_EQ(a.server.worker_utilization, b.server.worker_utilization);
+  EXPECT_EQ(a.server.ddio.l1_touches, b.server.ddio.l1_touches);
+  EXPECT_EQ(a.server.ddio.llc_touches, b.server.ddio.llc_touches);
+  EXPECT_EQ(a.server.ddio.dram_touches, b.server.ddio.dram_touches);
+  EXPECT_EQ(a.mean_worker_utilization, b.mean_worker_utilization);
+}
+
+TEST(SweepRunner, ParallelMatchesSerialBitForBit) {
+  const auto base = small_config();
+  const auto loads = exp::load_grid(50e3, 250e3, 5);
+
+  // Serial reference: the core primitive, one point at a time.
+  std::vector<stats::RunSummary> serial;
+  for (const double load : loads) {
+    auto config = core::ExperimentConfig(base).load(load);
+    serial.push_back(core::run_experiment(config).summary);
+  }
+
+  // Forced-parallel runner: more threads than points, so any scheduling or
+  // ordering dependence would scramble results even on a 1-CPU host.
+  exp::SweepRunner runner(exp::SweepRunner::Options{.threads = 8});
+  const auto parallel = runner.run(base, loads);
+
+  ASSERT_EQ(parallel.size(), loads.size());
+  for (std::size_t i = 0; i < loads.size(); ++i) {
+    SCOPED_TRACE("load index " + std::to_string(i));
+    expect_summary_identical(parallel[i].summary, serial[i]);
+  }
+}
+
+TEST(SweepRunner, RunConfigsKeepsOrderAcrossSystems) {
+  std::vector<core::ExperimentConfig> configs;
+  configs.push_back(small_config());
+  configs.push_back(small_config().on(core::SystemKind::kRss));
+  configs.push_back(small_config().on(core::SystemKind::kShinjuku));
+
+  exp::SweepRunner parallel(exp::SweepRunner::Options{.threads = 4});
+  exp::SweepRunner serial(exp::SweepRunner::Options{.threads = 1});
+  const auto a = parallel.run_configs(configs);
+  const auto b = serial.run_configs(configs);
+
+  ASSERT_EQ(a.size(), configs.size());
+  ASSERT_EQ(b.size(), configs.size());
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    SCOPED_TRACE("config index " + std::to_string(i));
+    expect_summary_identical(a[i].summary, b[i].summary);
+  }
+}
+
+TEST(SweepRunner, RejectsSharedResponseLog) {
+  stats::ResponseLog log;
+  auto config = small_config();
+  config.response_log = &log;
+  EXPECT_THROW(exp::SweepRunner().run(config, {100e3}),
+               std::invalid_argument);
+}
+
+TEST(SweepRunner, MapPreservesItemOrder) {
+  const std::vector<int> items = {3, 1, 4, 1, 5, 9, 2, 6};
+  exp::SweepRunner runner(exp::SweepRunner::Options{.threads = 8});
+  const auto doubled =
+      runner.map(items, [](const int value) { return value * 2; });
+  ASSERT_EQ(doubled.size(), items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    EXPECT_EQ(doubled[i], items[i] * 2);
+  }
+}
+
+exp::ResultRow sample_row() {
+  exp::ResultRow row;
+  row.series = "shinjuku-offload @ \"test\"";  // exercises string escaping
+  row.summary.offered_rps = 123456.789012345;
+  row.summary.achieved_rps = 123400.000000123;
+  row.summary.issued = 10'000;
+  row.summary.completed = 9'999;
+  row.summary.mean_us = 17.25;
+  row.summary.p50_us = 15.8;
+  row.summary.p90_us = 21.0 / 3.0;  // non-terminating binary fraction
+  row.summary.p99_us = 29.1;
+  row.summary.p999_us = 970.8;
+  row.summary.max_us = 1204.2;
+  row.summary.preemptions = 3550;
+  row.server.requests_received = 10'050;
+  row.server.responses_sent = 9'999;
+  row.server.preemptions = 3550;
+  row.server.spurious_interrupts = 12;
+  row.server.steals = 7;
+  row.server.drops = 1;
+  row.server.queue_max_depth = 42;
+  row.server.worker_utilization = {0.91, 0.875, 1.0 / 3.0};
+  row.server.ddio.l1_touches = 9'000;
+  row.server.ddio.llc_touches = 900;
+  row.server.ddio.dram_touches = 150;
+  row.mean_worker_utilization = (0.91 + 0.875 + 1.0 / 3.0) / 3.0;
+  return row;
+}
+
+TEST(ResultSink, JsonRoundTripsAllFields) {
+  exp::JsonResultSink sink("unit_test", "Unit test \"figure\"\n2nd line");
+  sink.add(sample_row());
+  exp::ResultRow second = sample_row();
+  second.series = "rss-rtc";
+  second.server.worker_utilization.clear();
+  sink.add(second);
+  sink.add_metric("sat_rps", 4.4e6);
+  sink.add_metric("negative", -1.5);
+  sink.add_check("shape holds", true);
+  sink.add_check("other shape", false);
+
+  std::ostringstream out;
+  sink.write(out);
+
+  std::string error;
+  const auto parsed = exp::parse_json_results(out.str(), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->name, "unit_test");
+  EXPECT_EQ(parsed->title, "Unit test \"figure\"\n2nd line");
+  EXPECT_EQ(parsed->fast_mode, exp::fast_mode());
+  ASSERT_EQ(parsed->rows.size(), 2u);
+  expect_row_identical(parsed->rows[0], sample_row());
+  EXPECT_EQ(parsed->rows[1].series, "rss-rtc");
+  EXPECT_TRUE(parsed->rows[1].server.worker_utilization.empty());
+  ASSERT_EQ(parsed->metrics.size(), 2u);
+  EXPECT_EQ(parsed->metrics[0].first, "sat_rps");
+  EXPECT_EQ(parsed->metrics[0].second, 4.4e6);
+  EXPECT_EQ(parsed->metrics[1].second, -1.5);
+  ASSERT_EQ(parsed->checks.size(), 2u);
+  EXPECT_EQ(parsed->checks[0].label, "shape holds");
+  EXPECT_TRUE(parsed->checks[0].pass);
+  EXPECT_FALSE(parsed->checks[1].pass);
+}
+
+TEST(ResultSink, CsvRoundTripsAllFields) {
+  exp::CsvResultSink sink;
+  sink.add(sample_row());
+
+  std::ostringstream out;
+  sink.write(out);
+
+  std::string error;
+  const auto rows = exp::parse_csv_rows(out.str(), &error);
+  ASSERT_TRUE(rows.has_value()) << error;
+  ASSERT_EQ(rows->size(), 1u);
+  expect_row_identical((*rows)[0], sample_row());
+}
+
+TEST(ResultSink, JsonRejectsMalformedInput) {
+  std::string error;
+  EXPECT_FALSE(exp::parse_json_results("{\"rows\": [", &error).has_value());
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(exp::parse_json_results("not json at all", nullptr)
+                   .has_value());
+}
+
+TEST(LoadGrid, HandlesDegenerateCounts) {
+  EXPECT_TRUE(exp::load_grid(100e3, 200e3, 0).empty());
+  EXPECT_TRUE(exp::load_grid(100e3, 200e3, -3).empty());
+
+  // The historical bench helper divided by zero here.
+  const auto single = exp::load_grid(100e3, 200e3, 1);
+  ASSERT_EQ(single.size(), 1u);
+  EXPECT_EQ(single[0], 100e3);
+
+  const auto grid = exp::load_grid(100e3, 300e3, 3);
+  ASSERT_EQ(grid.size(), 3u);
+  EXPECT_EQ(grid[0], 100e3);
+  EXPECT_EQ(grid[1], 200e3);
+  EXPECT_EQ(grid[2], 300e3);
+}
+
+TEST(SystemKind, FromStringRoundTripsEveryKind) {
+  const core::SystemKind kinds[] = {
+      core::SystemKind::kShinjuku,     core::SystemKind::kShinjukuOffload,
+      core::SystemKind::kRss,          core::SystemKind::kFlowDirector,
+      core::SystemKind::kWorkStealing, core::SystemKind::kElasticRss,
+      core::SystemKind::kIdealNic,     core::SystemKind::kRpcValet,
+  };
+  for (const auto kind : kinds) {
+    SCOPED_TRACE(core::to_string(kind));
+    EXPECT_EQ(core::from_string(core::to_string(kind)), kind);
+    const auto maybe = core::try_from_string(core::to_string(kind));
+    ASSERT_TRUE(maybe.has_value());
+    EXPECT_EQ(*maybe, kind);
+  }
+  EXPECT_FALSE(core::try_from_string("no-such-system").has_value());
+  EXPECT_THROW(core::from_string("no-such-system"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nicsched
