@@ -16,7 +16,8 @@
 #include <string>
 #include <vector>
 
-#include "core/ideal_nic_server.h"
+#include "core/server_factory.h"
+#include "core/testbed.h"
 #include "exp/exp.h"
 #include "stats/recorder.h"
 #include "stats/table.h"
@@ -38,11 +39,11 @@ JitResult run_paced(double measure_ms, std::uint32_t target_depth,
   const core::ModelParams params = core::ModelParams::defaults();
   net::EthernetSwitch network(sim, params.switch_forward_latency);
 
-  core::IdealNicServer::Config server_config;
-  server_config.worker_count = 8;
-  server_config.outstanding_per_worker = 2;
-  server_config.preemption_enabled = false;
-  core::IdealNicServer server(sim, network, params, server_config);
+  const auto experiment =
+      core::ExperimentConfig::ideal_nic().workers(8).outstanding(2)
+          .no_preemption();
+  const auto server_ptr = core::make_server(experiment, sim, network);
+  core::Server& server = *server_ptr;
 
   const sim::TimePoint start = sim::TimePoint::origin();
   const sim::TimePoint end = start + sim::Duration::millis(measure_ms);

@@ -14,6 +14,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/server_factory.h"
 #include "core/shinjuku_server.h"
 #include "exp/exp.h"
 #include "stats/table.h"
@@ -39,13 +40,15 @@ double probe_group_imbalance(const core::ExperimentConfig& base,
   probe.offered_rps = offered_rps;
   probe.client_machines = 2;
   probe.flows_per_client = 4;
+  probe.dispatcher_count = dispatchers;
+  probe.preemption_enabled = false;
   sim::Simulator sim;
   net::EthernetSwitch network(sim, probe.params.switch_forward_latency);
-  core::ShinjukuServer::Config server_config;
-  server_config.worker_count = probe.worker_count;
-  server_config.dispatcher_count = dispatchers;
-  server_config.preemption_enabled = false;
-  core::ShinjukuServer server(sim, network, probe.params, server_config);
+  const auto server_ptr =
+      core::make_server(core::SystemKind::kShinjuku, probe, sim, network);
+  // The per-group intake counters are Shinjuku-specific, not part of the
+  // common Server interface.
+  auto& server = dynamic_cast<core::ShinjukuServer&>(*server_ptr);
   sim::Rng master(probe.seed);
   std::vector<std::unique_ptr<workload::ClientMachine>> clients;
   for (int c = 0; c < probe.client_machines; ++c) {

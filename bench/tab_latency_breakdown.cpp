@@ -6,7 +6,8 @@
 #include <iostream>
 #include <memory>
 
-#include "core/offload_server.h"
+#include "core/server_factory.h"
+#include "core/testbed.h"
 #include "exp/exp.h"
 #include "sim/trace.h"
 #include "stats/table.h"
@@ -25,10 +26,10 @@ int main() {
 
   const core::ModelParams params = core::ModelParams::defaults();
   net::EthernetSwitch network(sim, params.switch_forward_latency);
-  core::ShinjukuOffloadServer::Config server_config;
-  server_config.worker_count = 1;
-  server_config.preemption_enabled = false;
-  core::ShinjukuOffloadServer server(sim, network, params, server_config);
+  const auto experiment =
+      core::ExperimentConfig::offload().workers(1).no_preemption();
+  const auto server_ptr = core::make_server(experiment, sim, network);
+  core::Server& server = *server_ptr;
 
   workload::ClientMachine::Config client_config;
   client_config.client_id = 1;

@@ -203,37 +203,38 @@ bench/CMakeFiles/ablation_arm_cores.dir/ablation_arm_cores.cpp.o: \
  /usr/include/c++/12/pstl/glue_memory_defs.h /usr/include/c++/12/vector \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc /root/repo/src/core/offload_server.h \
- /usr/include/c++/12/optional \
- /usr/include/c++/12/bits/enable_special_members.h \
- /root/repo/src/core/core_status.h /root/repo/src/sim/time.h \
- /root/repo/src/core/model_params.h /root/repo/src/hw/ddio.h \
- /root/repo/src/core/packet_pump.h /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/bits/vector.tcc /root/repo/src/core/server_factory.h \
+ /root/repo/src/core/server.h /root/repo/src/hw/ddio.h \
+ /root/repo/src/sim/time.h /root/repo/src/net/mac_address.h \
+ /usr/include/c++/12/array /usr/include/c++/12/cstddef \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/unordered_map.h \
- /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/array \
- /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
- /root/repo/src/hw/channel.h /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /root/repo/src/sim/simulator.h /root/repo/src/sim/event_queue.h \
- /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/sim/trace.h /root/repo/src/hw/cpu_core.h \
- /root/repo/src/net/rx_ring.h /root/repo/src/net/packet.h \
- /usr/include/c++/12/span /usr/include/c++/12/cstddef \
+ /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/optional \
+ /root/repo/src/net/packet.h /usr/include/c++/12/span \
  /root/repo/src/net/ethernet.h /root/repo/src/net/byte_io.h \
  /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
- /root/repo/src/net/mac_address.h /root/repo/src/net/ipv4.h \
- /root/repo/src/net/ipv4_address.h /root/repo/src/net/udp.h \
- /root/repo/src/core/server.h /root/repo/src/proto/messages.h \
- /root/repo/src/core/task_queue.h /usr/include/c++/12/map \
- /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
+ /root/repo/src/net/ipv4.h /root/repo/src/net/ipv4_address.h \
+ /root/repo/src/net/udp.h /root/repo/src/proto/messages.h \
+ /root/repo/src/core/testbed.h /root/repo/src/core/model_params.h \
+ /root/repo/src/core/task_queue.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/hw/apic_timer.h \
- /root/repo/src/net/ethernet_switch.h /root/repo/src/net/wire.h \
- /root/repo/src/sim/random.h /usr/include/c++/12/random \
- /usr/include/c++/12/cmath /usr/include/math.h \
+ /root/repo/src/hw/cpu_core.h /root/repo/src/sim/simulator.h \
+ /root/repo/src/sim/event_queue.h /usr/include/c++/12/queue \
+ /usr/include/c++/12/bits/stl_queue.h /root/repo/src/sim/trace.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/obs/capture.h /root/repo/src/obs/metrics.h \
+ /root/repo/src/obs/span_recorder.h /root/repo/src/obs/span.h \
+ /root/repo/src/stats/recorder.h /root/repo/src/stats/histogram.h \
+ /root/repo/src/workload/client.h /root/repo/src/net/ethernet_switch.h \
+ /root/repo/src/net/wire.h /root/repo/src/sim/random.h \
+ /usr/include/c++/12/random /usr/include/c++/12/cmath /usr/include/math.h \
  /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
@@ -261,11 +262,10 @@ bench/CMakeFiles/ablation_arm_cores.dir/ablation_arm_cores.cpp.o: \
  /usr/include/c++/12/bits/random.tcc /usr/include/c++/12/numeric \
  /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h /root/repo/src/net/nic.h \
- /root/repo/src/net/flow_director.h /root/repo/src/net/toeplitz.h \
- /root/repo/src/exp/exp.h /root/repo/src/exp/figure.h \
- /root/repo/src/core/testbed.h /root/repo/src/stats/recorder.h \
- /root/repo/src/stats/histogram.h /root/repo/src/workload/client.h \
- /root/repo/src/workload/arrival.h /root/repo/src/workload/distribution.h \
- /root/repo/src/stats/response_log.h /root/repo/src/exp/result_sink.h \
+ /root/repo/src/net/flow_director.h /root/repo/src/net/rx_ring.h \
+ /root/repo/src/net/toeplitz.h /root/repo/src/workload/arrival.h \
+ /root/repo/src/workload/distribution.h \
+ /root/repo/src/stats/response_log.h /root/repo/src/exp/exp.h \
+ /root/repo/src/exp/figure.h /root/repo/src/exp/result_sink.h \
  /root/repo/src/exp/sweep_runner.h /usr/include/c++/12/atomic \
  /root/repo/src/exp/grid.h /root/repo/src/stats/table.h

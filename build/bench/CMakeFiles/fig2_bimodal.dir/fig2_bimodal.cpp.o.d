@@ -224,6 +224,9 @@ bench/CMakeFiles/fig2_bimodal.dir/fig2_bimodal.cpp.o: \
  /root/repo/src/hw/cpu_core.h /root/repo/src/sim/simulator.h \
  /root/repo/src/sim/event_queue.h /usr/include/c++/12/queue \
  /usr/include/c++/12/bits/stl_queue.h /root/repo/src/sim/trace.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/obs/capture.h /root/repo/src/obs/metrics.h \
+ /root/repo/src/obs/span_recorder.h /root/repo/src/obs/span.h \
  /root/repo/src/stats/recorder.h /root/repo/src/stats/histogram.h \
  /root/repo/src/workload/client.h /root/repo/src/net/ethernet_switch.h \
  /root/repo/src/net/wire.h /root/repo/src/sim/random.h \
@@ -259,6 +262,5 @@ bench/CMakeFiles/fig2_bimodal.dir/fig2_bimodal.cpp.o: \
  /root/repo/src/net/toeplitz.h /root/repo/src/workload/arrival.h \
  /root/repo/src/workload/distribution.h \
  /root/repo/src/stats/response_log.h /root/repo/src/exp/result_sink.h \
- /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/exp/sweep_runner.h /usr/include/c++/12/atomic \
  /root/repo/src/exp/grid.h

@@ -194,9 +194,9 @@ bench/CMakeFiles/micro_substrate.dir/micro_substrate.cpp.o: \
  /root/repo/src/net/byte_io.h /usr/include/c++/12/cstring \
  /usr/include/string.h /usr/include/strings.h \
  /root/repo/src/net/mac_address.h /root/repo/src/net/ipv4.h \
- /root/repo/src/net/udp.h /root/repo/src/net/toeplitz.h \
- /root/repo/src/proto/messages.h /root/repo/src/sim/event_queue.h \
- /usr/include/c++/12/memory \
+ /root/repo/src/net/udp.h /root/repo/src/sim/time.h \
+ /root/repo/src/net/toeplitz.h /root/repo/src/proto/messages.h \
+ /root/repo/src/sim/event_queue.h /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/unique_ptr.h /usr/include/c++/12/ostream \
@@ -227,5 +227,5 @@ bench/CMakeFiles/micro_substrate.dir/micro_substrate.cpp.o: \
  /usr/include/c++/12/pstl/glue_memory_defs.h /usr/include/c++/12/queue \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/sim/time.h /root/repo/src/sim/simulator.h \
- /root/repo/src/sim/trace.h /root/repo/src/stats/histogram.h
+ /root/repo/src/sim/simulator.h /root/repo/src/sim/trace.h \
+ /root/repo/src/stats/histogram.h

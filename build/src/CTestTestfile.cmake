@@ -8,6 +8,7 @@ subdirs("sim")
 subdirs("net")
 subdirs("hw")
 subdirs("proto")
+subdirs("obs")
 subdirs("workload")
 subdirs("stats")
 subdirs("core")

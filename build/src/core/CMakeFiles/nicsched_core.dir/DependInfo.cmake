@@ -11,6 +11,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/core/distributed_server.cpp" "src/core/CMakeFiles/nicsched_core.dir/distributed_server.cpp.o" "gcc" "src/core/CMakeFiles/nicsched_core.dir/distributed_server.cpp.o.d"
   "/root/repo/src/core/ideal_nic_server.cpp" "src/core/CMakeFiles/nicsched_core.dir/ideal_nic_server.cpp.o" "gcc" "src/core/CMakeFiles/nicsched_core.dir/ideal_nic_server.cpp.o.d"
   "/root/repo/src/core/offload_server.cpp" "src/core/CMakeFiles/nicsched_core.dir/offload_server.cpp.o" "gcc" "src/core/CMakeFiles/nicsched_core.dir/offload_server.cpp.o.d"
+  "/root/repo/src/core/server_factory.cpp" "src/core/CMakeFiles/nicsched_core.dir/server_factory.cpp.o" "gcc" "src/core/CMakeFiles/nicsched_core.dir/server_factory.cpp.o.d"
   "/root/repo/src/core/shinjuku_server.cpp" "src/core/CMakeFiles/nicsched_core.dir/shinjuku_server.cpp.o" "gcc" "src/core/CMakeFiles/nicsched_core.dir/shinjuku_server.cpp.o.d"
   "/root/repo/src/core/task_queue.cpp" "src/core/CMakeFiles/nicsched_core.dir/task_queue.cpp.o" "gcc" "src/core/CMakeFiles/nicsched_core.dir/task_queue.cpp.o.d"
   "/root/repo/src/core/testbed.cpp" "src/core/CMakeFiles/nicsched_core.dir/testbed.cpp.o" "gcc" "src/core/CMakeFiles/nicsched_core.dir/testbed.cpp.o.d"
@@ -24,6 +25,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/proto/CMakeFiles/nicsched_proto.dir/DependInfo.cmake"
   "/root/repo/build/src/workload/CMakeFiles/nicsched_workload.dir/DependInfo.cmake"
   "/root/repo/build/src/stats/CMakeFiles/nicsched_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/nicsched_obs.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

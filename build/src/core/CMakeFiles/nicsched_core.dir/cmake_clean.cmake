@@ -5,6 +5,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/nicsched_core.dir/ideal_nic_server.cpp.o.d"
   "CMakeFiles/nicsched_core.dir/offload_server.cpp.o"
   "CMakeFiles/nicsched_core.dir/offload_server.cpp.o.d"
+  "CMakeFiles/nicsched_core.dir/server_factory.cpp.o"
+  "CMakeFiles/nicsched_core.dir/server_factory.cpp.o.d"
   "CMakeFiles/nicsched_core.dir/shinjuku_server.cpp.o"
   "CMakeFiles/nicsched_core.dir/shinjuku_server.cpp.o.d"
   "CMakeFiles/nicsched_core.dir/task_queue.cpp.o"

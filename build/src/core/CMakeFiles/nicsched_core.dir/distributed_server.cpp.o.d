@@ -220,9 +220,11 @@ src/core/CMakeFiles/nicsched_core.dir/distributed_server.cpp.o: \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /root/repo/src/sim/simulator.h /root/repo/src/sim/event_queue.h \
  /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/sim/trace.h /root/repo/src/net/ethernet_switch.h \
- /root/repo/src/net/wire.h /root/repo/src/sim/random.h \
- /usr/include/c++/12/random /usr/include/c++/12/cmath /usr/include/math.h \
+ /root/repo/src/sim/trace.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/net/ethernet_switch.h /root/repo/src/net/wire.h \
+ /root/repo/src/sim/random.h /usr/include/c++/12/random \
+ /usr/include/c++/12/cmath /usr/include/math.h \
  /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
@@ -251,5 +253,4 @@ src/core/CMakeFiles/nicsched_core.dir/distributed_server.cpp.o: \
  /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h /root/repo/src/net/nic.h \
  /root/repo/src/net/flow_director.h /root/repo/src/net/rx_ring.h \
- /root/repo/src/net/toeplitz.h /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h
+ /root/repo/src/net/toeplitz.h /root/repo/src/obs/span.h

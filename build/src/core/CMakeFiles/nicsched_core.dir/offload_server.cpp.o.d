@@ -257,4 +257,5 @@ src/core/CMakeFiles/nicsched_core.dir/offload_server.cpp.o: \
  /usr/include/c++/12/bits/random.tcc /usr/include/c++/12/numeric \
  /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h /root/repo/src/net/nic.h \
- /root/repo/src/net/flow_director.h /root/repo/src/net/toeplitz.h
+ /root/repo/src/net/flow_director.h /root/repo/src/net/toeplitz.h \
+ /root/repo/src/obs/span.h

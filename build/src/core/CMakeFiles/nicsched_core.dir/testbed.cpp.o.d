@@ -223,6 +223,9 @@ src/core/CMakeFiles/nicsched_core.dir/testbed.cpp.o: \
  /root/repo/src/hw/cpu_core.h /root/repo/src/sim/simulator.h \
  /root/repo/src/sim/event_queue.h /usr/include/c++/12/queue \
  /usr/include/c++/12/bits/stl_queue.h /root/repo/src/sim/trace.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/obs/capture.h /root/repo/src/obs/metrics.h \
+ /root/repo/src/obs/span_recorder.h /root/repo/src/obs/span.h \
  /root/repo/src/stats/recorder.h /root/repo/src/stats/histogram.h \
  /root/repo/src/workload/client.h /root/repo/src/net/ethernet_switch.h \
  /root/repo/src/net/wire.h /root/repo/src/sim/random.h \
@@ -262,8 +265,4 @@ src/core/CMakeFiles/nicsched_core.dir/testbed.cpp.o: \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/core/distributed_server.h \
- /root/repo/src/core/ideal_nic_server.h /root/repo/src/core/core_status.h \
- /root/repo/src/core/packet_pump.h /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h /root/repo/src/hw/channel.h \
- /root/repo/src/hw/interrupt.h /root/repo/src/core/offload_server.h \
- /root/repo/src/core/shinjuku_server.h
+ /root/repo/src/core/server_factory.h

@@ -146,4 +146,4 @@ src/net/CMakeFiles/nicsched_net.dir/packet.cpp.o: \
  /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/net/ipv4.h \
  /root/repo/src/net/ipv4_address.h /root/repo/src/net/udp.h \
- /root/repo/src/net/checksum.h
+ /root/repo/src/sim/time.h /root/repo/src/net/checksum.h

@@ -146,4 +146,5 @@ src/net/CMakeFiles/nicsched_net.dir/toeplitz.cpp.o: \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/net/ipv4.h \
- /root/repo/src/net/ipv4_address.h /root/repo/src/net/udp.h
+ /root/repo/src/net/ipv4_address.h /root/repo/src/net/udp.h \
+ /root/repo/src/sim/time.h

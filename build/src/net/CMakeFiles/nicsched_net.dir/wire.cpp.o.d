@@ -147,8 +147,8 @@ src/net/CMakeFiles/nicsched_net.dir/wire.cpp.o: \
  /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/net/ipv4.h \
  /root/repo/src/net/ipv4_address.h /root/repo/src/net/udp.h \
- /root/repo/src/sim/random.h /usr/include/c++/12/random \
- /usr/include/c++/12/cmath /usr/include/math.h \
+ /root/repo/src/sim/time.h /root/repo/src/sim/random.h \
+ /usr/include/c++/12/random /usr/include/c++/12/cmath /usr/include/math.h \
  /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
@@ -246,5 +246,5 @@ src/net/CMakeFiles/nicsched_net.dir/wire.cpp.o: \
  /usr/include/c++/12/pstl/glue_memory_defs.h /usr/include/c++/12/queue \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/sim/time.h /root/repo/src/sim/trace.h \
- /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h
+ /root/repo/src/sim/trace.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h

@@ -253,6 +253,7 @@ src/stats/CMakeFiles/nicsched_stats.dir/recorder.cpp.o: \
  /usr/include/c++/12/queue /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /usr/include/c++/12/bits/stl_queue.h /root/repo/src/sim/trace.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/net/nic.h /root/repo/src/net/flow_director.h \
  /root/repo/src/net/rx_ring.h /root/repo/src/net/toeplitz.h \
  /root/repo/src/workload/arrival.h /root/repo/src/workload/distribution.h

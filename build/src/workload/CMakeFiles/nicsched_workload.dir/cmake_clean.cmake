@@ -5,8 +5,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/nicsched_workload.dir/distribution.cpp.o.d"
   "CMakeFiles/nicsched_workload.dir/paced_client.cpp.o"
   "CMakeFiles/nicsched_workload.dir/paced_client.cpp.o.d"
-  "CMakeFiles/nicsched_workload.dir/trace.cpp.o"
-  "CMakeFiles/nicsched_workload.dir/trace.cpp.o.d"
+  "CMakeFiles/nicsched_workload.dir/replay.cpp.o"
+  "CMakeFiles/nicsched_workload.dir/replay.cpp.o.d"
   "libnicsched_workload.a"
   "libnicsched_workload.pdb"
 )

@@ -306,6 +306,8 @@ tests/CMakeFiles/core_matrix_test.dir/core_matrix_test.cpp.o: \
  /root/repo/src/hw/cpu_core.h /root/repo/src/sim/simulator.h \
  /root/repo/src/sim/event_queue.h /usr/include/c++/12/queue \
  /usr/include/c++/12/bits/stl_queue.h /root/repo/src/sim/trace.h \
+ /root/repo/src/obs/capture.h /root/repo/src/obs/metrics.h \
+ /root/repo/src/obs/span_recorder.h /root/repo/src/obs/span.h \
  /root/repo/src/stats/recorder.h /root/repo/src/stats/histogram.h \
  /root/repo/src/workload/client.h /root/repo/src/net/ethernet_switch.h \
  /root/repo/src/net/wire.h /root/repo/src/sim/random.h \

@@ -339,7 +339,9 @@ tests/CMakeFiles/core_servers_test.dir/core_servers_test.cpp.o: \
  /usr/include/c++/12/pstl/glue_numeric_defs.h /root/repo/src/net/nic.h \
  /root/repo/src/net/flow_director.h /root/repo/src/net/toeplitz.h \
  /root/repo/src/core/shinjuku_server.h /root/repo/src/hw/interrupt.h \
- /root/repo/src/core/testbed.h /root/repo/src/stats/recorder.h \
+ /root/repo/src/core/testbed.h /root/repo/src/obs/capture.h \
+ /root/repo/src/obs/metrics.h /root/repo/src/obs/span_recorder.h \
+ /root/repo/src/obs/span.h /root/repo/src/stats/recorder.h \
  /root/repo/src/stats/histogram.h /root/repo/src/workload/client.h \
  /root/repo/src/workload/arrival.h /root/repo/src/workload/distribution.h \
  /root/repo/src/stats/response_log.h

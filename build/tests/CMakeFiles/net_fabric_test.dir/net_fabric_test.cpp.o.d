@@ -298,8 +298,9 @@ tests/CMakeFiles/net_fabric_test.dir/net_fabric_test.cpp.o: \
  /root/repo/src/net/ethernet.h /root/repo/src/net/byte_io.h \
  /usr/include/c++/12/cstring /root/repo/src/net/mac_address.h \
  /root/repo/src/net/ipv4.h /root/repo/src/net/ipv4_address.h \
- /root/repo/src/net/udp.h /root/repo/src/sim/random.h \
- /usr/include/c++/12/random /usr/include/c++/12/cmath /usr/include/math.h \
+ /root/repo/src/net/udp.h /root/repo/src/sim/time.h \
+ /root/repo/src/sim/random.h /usr/include/c++/12/random \
+ /usr/include/c++/12/cmath /usr/include/math.h \
  /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
@@ -329,7 +330,6 @@ tests/CMakeFiles/net_fabric_test.dir/net_fabric_test.cpp.o: \
  /root/repo/src/sim/simulator.h /root/repo/src/sim/event_queue.h \
  /usr/include/c++/12/queue /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/sim/time.h \
- /root/repo/src/sim/trace.h /root/repo/src/net/nic.h \
- /root/repo/src/net/flow_director.h /root/repo/src/net/rx_ring.h \
- /root/repo/src/net/toeplitz.h
+ /usr/include/c++/12/bits/stl_queue.h /root/repo/src/sim/trace.h \
+ /root/repo/src/net/nic.h /root/repo/src/net/flow_director.h \
+ /root/repo/src/net/rx_ring.h /root/repo/src/net/toeplitz.h

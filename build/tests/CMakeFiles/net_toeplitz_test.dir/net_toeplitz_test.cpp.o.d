@@ -147,8 +147,8 @@ tests/CMakeFiles/net_toeplitz_test.dir/net_toeplitz_test.cpp.o: \
  /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/net/ipv4.h \
  /root/repo/src/net/ipv4_address.h /root/repo/src/net/udp.h \
- /root/miniconda/include/gtest/gtest.h /usr/include/c++/12/limits \
- /usr/include/c++/12/memory \
+ /root/repo/src/sim/time.h /root/miniconda/include/gtest/gtest.h \
+ /usr/include/c++/12/limits /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/unique_ptr.h /usr/include/c++/12/ostream \

@@ -297,9 +297,9 @@ tests/CMakeFiles/proto_fuzz_test.dir/proto_fuzz_test.cpp.o: \
  /root/repo/src/net/ethernet.h /root/repo/src/net/byte_io.h \
  /usr/include/c++/12/cstring /root/repo/src/net/mac_address.h \
  /root/repo/src/net/ipv4.h /root/repo/src/net/ipv4_address.h \
- /root/repo/src/net/udp.h /root/repo/src/proto/messages.h \
- /root/repo/src/sim/random.h /usr/include/c++/12/random \
- /usr/include/c++/12/cmath /usr/include/math.h \
+ /root/repo/src/net/udp.h /root/repo/src/sim/time.h \
+ /root/repo/src/proto/messages.h /root/repo/src/sim/random.h \
+ /usr/include/c++/12/random /usr/include/c++/12/cmath /usr/include/math.h \
  /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \

@@ -293,21 +293,23 @@ tests/CMakeFiles/sim_trace_test.dir/sim_trace_test.cpp.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/core/offload_server.h /root/repo/src/core/core_status.h \
- /root/repo/src/sim/time.h /root/repo/src/core/model_params.h \
- /root/repo/src/hw/ddio.h /root/repo/src/core/packet_pump.h \
- /root/repo/src/hw/channel.h /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /root/repo/src/sim/simulator.h /root/repo/src/sim/event_queue.h \
- /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/sim/trace.h /root/repo/src/hw/cpu_core.h \
- /root/repo/src/net/rx_ring.h /root/repo/src/net/packet.h \
+ /root/repo/src/core/server_factory.h /root/repo/src/core/server.h \
+ /root/repo/src/hw/ddio.h /root/repo/src/sim/time.h \
+ /root/repo/src/net/mac_address.h /root/repo/src/net/packet.h \
  /usr/include/c++/12/span /root/repo/src/net/ethernet.h \
  /root/repo/src/net/byte_io.h /usr/include/c++/12/cstring \
- /root/repo/src/net/mac_address.h /root/repo/src/net/ipv4.h \
- /root/repo/src/net/ipv4_address.h /root/repo/src/net/udp.h \
- /root/repo/src/core/server.h /root/repo/src/proto/messages.h \
- /root/repo/src/core/task_queue.h /root/repo/src/hw/apic_timer.h \
+ /root/repo/src/net/ipv4.h /root/repo/src/net/ipv4_address.h \
+ /root/repo/src/net/udp.h /root/repo/src/proto/messages.h \
+ /root/repo/src/core/testbed.h /root/repo/src/core/model_params.h \
+ /root/repo/src/core/task_queue.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/hw/apic_timer.h /root/repo/src/hw/cpu_core.h \
+ /root/repo/src/sim/simulator.h /root/repo/src/sim/event_queue.h \
+ /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
+ /root/repo/src/sim/trace.h /root/repo/src/obs/capture.h \
+ /root/repo/src/obs/metrics.h /root/repo/src/obs/span_recorder.h \
+ /root/repo/src/obs/span.h /root/repo/src/stats/recorder.h \
+ /root/repo/src/stats/histogram.h /root/repo/src/workload/client.h \
  /root/repo/src/net/ethernet_switch.h /root/repo/src/net/wire.h \
  /root/repo/src/sim/random.h /usr/include/c++/12/random \
  /usr/include/c++/12/cmath /usr/include/math.h \
@@ -337,6 +339,7 @@ tests/CMakeFiles/sim_trace_test.dir/sim_trace_test.cpp.o: \
  /usr/include/c++/12/bits/random.tcc /usr/include/c++/12/numeric \
  /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h /root/repo/src/net/nic.h \
- /root/repo/src/net/flow_director.h /root/repo/src/net/toeplitz.h \
- /root/repo/src/workload/client.h /root/repo/src/workload/arrival.h \
- /root/repo/src/workload/distribution.h
+ /root/repo/src/net/flow_director.h /root/repo/src/net/rx_ring.h \
+ /root/repo/src/net/toeplitz.h /root/repo/src/workload/arrival.h \
+ /root/repo/src/workload/distribution.h \
+ /root/repo/src/stats/response_log.h

@@ -216,8 +216,8 @@ tests/CMakeFiles/workload_paced_client_test.dir/workload_paced_client_test.cpp.o
  /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
  /root/repo/src/net/mac_address.h /root/repo/src/net/ipv4.h \
  /root/repo/src/net/ipv4_address.h /root/repo/src/net/udp.h \
- /root/repo/src/sim/random.h /usr/include/c++/12/random \
- /usr/include/c++/12/cmath /usr/include/math.h \
+ /root/repo/src/sim/time.h /root/repo/src/sim/random.h \
+ /usr/include/c++/12/random /usr/include/c++/12/cmath /usr/include/math.h \
  /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
@@ -248,11 +248,12 @@ tests/CMakeFiles/workload_paced_client_test.dir/workload_paced_client_test.cpp.o
  /root/repo/src/sim/simulator.h /root/repo/src/sim/event_queue.h \
  /usr/include/c++/12/queue /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/sim/time.h \
- /root/repo/src/sim/trace.h /root/repo/src/net/nic.h \
- /root/repo/src/net/flow_director.h /root/repo/src/net/rx_ring.h \
- /root/repo/src/net/toeplitz.h /root/repo/src/workload/client.h \
- /root/repo/src/workload/arrival.h /root/repo/src/workload/distribution.h \
+ /usr/include/c++/12/bits/stl_queue.h /root/repo/src/sim/trace.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/net/nic.h /root/repo/src/net/flow_director.h \
+ /root/repo/src/net/rx_ring.h /root/repo/src/net/toeplitz.h \
+ /root/repo/src/workload/client.h /root/repo/src/workload/arrival.h \
+ /root/repo/src/workload/distribution.h \
  /root/miniconda/include/gtest/gtest.h \
  /root/miniconda/include/gtest/internal/gtest-internal.h \
  /root/miniconda/include/gtest/internal/gtest-port.h \
@@ -325,7 +326,6 @@ tests/CMakeFiles/workload_paced_client_test.dir/workload_paced_client_test.cpp.o
  /root/miniconda/include/gtest/gtest-matchers.h \
  /usr/include/c++/12/atomic \
  /root/miniconda/include/gtest/gtest-printers.h \
- /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/miniconda/include/gtest/internal/custom/gtest-printers.h \
  /root/miniconda/include/gtest/gtest-param-test.h \
  /usr/include/c++/12/iterator /usr/include/c++/12/bits/stream_iterator.h \

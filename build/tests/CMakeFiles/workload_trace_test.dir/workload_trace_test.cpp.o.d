@@ -1,6 +1,6 @@
 tests/CMakeFiles/workload_trace_test.dir/workload_trace_test.cpp.o: \
  /root/repo/tests/workload_trace_test.cpp /usr/include/stdc-predef.h \
- /root/repo/src/workload/trace.h /usr/include/c++/12/cstdint \
+ /root/repo/src/workload/replay.h /usr/include/c++/12/cstdint \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++config.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/os_defines.h \
  /usr/include/features.h /usr/include/features-time64.h \

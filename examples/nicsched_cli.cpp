@@ -22,7 +22,7 @@
 
 #include "exp/exp.h"
 #include "stats/table.h"
-#include "workload/trace.h"
+#include "workload/replay.h"
 
 namespace {
 

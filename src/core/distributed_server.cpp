@@ -1,5 +1,7 @@
 #include "core/distributed_server.h"
 
+#include "obs/span.h"
+
 #include <stdexcept>
 #include <utility>
 
@@ -99,6 +101,21 @@ class DistributedServer::Worker {
       ++requests_received_;
       const proto::RequestDescriptor descriptor =
           make_descriptor(*request, *datagram);
+      sim::Simulator& sim = server_.sim_;
+      if (sim.span_enabled()) {
+        // Run-to-completion: no dispatcher, so the request goes straight
+        // from NIC RX (ring residency counts as NIC time) into service.
+        const auto lane = static_cast<std::uint32_t>(100 + id_);
+        const sim::TimePoint rx = shared->rx_at();
+        obs::end_span_at(sim, rx, descriptor.request_id,
+                         obs::SpanKind::kClientWire, lane);
+        obs::begin_span_at(sim, rx, descriptor.request_id,
+                           obs::SpanKind::kNicRx, lane);
+        obs::end_span(sim, descriptor.request_id, obs::SpanKind::kNicRx,
+                      lane);
+        obs::begin_span(sim, descriptor.request_id, obs::SpanKind::kService,
+                        lane);
+      }
       core_.run_preemptible(
           sim::Duration::picos(
               static_cast<std::int64_t>(descriptor.remaining_ps)),
@@ -125,6 +142,14 @@ class DistributedServer::Worker {
   }
 
   void on_complete(proto::RequestDescriptor descriptor) {
+    sim::Simulator& sim = server_.sim_;
+    if (sim.span_enabled()) {
+      const auto lane = static_cast<std::uint32_t>(100 + id_);
+      obs::end_span(sim, descriptor.request_id, obs::SpanKind::kService,
+                    lane);
+      obs::begin_span(sim, descriptor.request_id, obs::SpanKind::kResponse,
+                      lane);
+    }
     core_.run(server_.params_.response_build_cost, [this, descriptor]() {
       net::DatagramAddress address;
       address.src_mac = server_.pf_->mac();
@@ -244,6 +269,21 @@ ServerStats DistributedServer::stats(sim::Duration elapsed) const {
     stats.drops += pf_->ring(i).stats().dropped;
   }
   return stats;
+}
+
+ServerTelemetry DistributedServer::telemetry() const {
+  ServerTelemetry t;
+  t.drops = malformed_;
+  for (std::size_t i = 0; i < config_.worker_count; ++i) {
+    t.queue_depth += pf_->ring(i).depth();
+    t.drops += pf_->ring(i).stats().dropped;
+  }
+  for (const auto& worker : workers_) {
+    t.outstanding +=
+        worker->requests_received() - worker->responses_sent();
+    t.worker_busy.push_back(worker->core().stats().busy);
+  }
+  return t;
 }
 
 }  // namespace nicsched::core

@@ -61,6 +61,7 @@ class DistributedServer final : public Server {
   std::uint16_t port() const override { return config_.udp_port; }
   std::string name() const override;
   ServerStats stats(sim::Duration elapsed) const override;
+  ServerTelemetry telemetry() const override;
 
   /// For kFlowDirector clients: partitions == worker_count, encoded as
   /// udp_port + partition.

@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/span.h"
+
 namespace nicsched::core {
 
 namespace {
@@ -66,6 +68,13 @@ class IdealNicServer::Worker {
 
   void on_preempted(sim::Duration remaining) {
     ++preemptions_;
+    sim::Simulator& sim = server_.sim_;
+    if (sim.span_enabled()) {
+      const auto lane = static_cast<std::uint32_t>(100 + id_);
+      obs::end_span(sim, current_->request_id, obs::SpanKind::kService, lane);
+      obs::begin_span(sim, current_->request_id, obs::SpanKind::kRequeue,
+                      lane);
+    }
     proto::RequestDescriptor descriptor = *current_;
     current_.reset();
     descriptor.remaining_ps =
@@ -107,6 +116,13 @@ class IdealNicServer::Worker {
     }
     core_.run(prologue, [this, shared]() {
       current_ = *shared;
+      sim::Simulator& sim = server_.sim_;
+      if (sim.span_enabled()) {
+        const auto lane = static_cast<std::uint32_t>(100 + id_);
+        obs::end_span(sim, shared->request_id, obs::SpanKind::kDispatch, lane);
+        obs::begin_span(sim, shared->request_id, obs::SpanKind::kService,
+                        lane);
+      }
       server_.status_channel_.send(
           StatusNote{id_, NoteKind::kStarted, shared->request_id, {}});
       core_.run_preemptible(
@@ -116,6 +132,13 @@ class IdealNicServer::Worker {
   }
 
   void on_complete() {
+    sim::Simulator& sim = server_.sim_;
+    if (sim.span_enabled()) {
+      const auto lane = static_cast<std::uint32_t>(100 + id_);
+      obs::end_span(sim, current_->request_id, obs::SpanKind::kService, lane);
+      obs::begin_span(sim, current_->request_id, obs::SpanKind::kResponse,
+                      lane);
+    }
     proto::RequestDescriptor descriptor = *current_;
     current_.reset();
     const sim::Duration cost =
@@ -203,6 +226,16 @@ void IdealNicServer::scheduler_handle(net::Packet packet) {
     return;
   }
   ++requests_received_;
+  if (sim_.span_enabled()) {
+    const sim::TimePoint rx = packet.rx_at();
+    obs::end_span_at(sim_, rx, request->request_id,
+                     obs::SpanKind::kClientWire, 0);
+    obs::begin_span_at(sim_, rx, request->request_id, obs::SpanKind::kNicRx,
+                       0);
+    obs::end_span(sim_, request->request_id, obs::SpanKind::kNicRx, 0);
+    obs::begin_span(sim_, request->request_id, obs::SpanKind::kDispatchQueue,
+                    0);
+  }
   queue_.push_new(make_descriptor(*request, *datagram));
   scheduler_kick();
 }
@@ -253,6 +286,15 @@ void IdealNicServer::scheduler_step() {
           descriptor->queue_depth =
               static_cast<std::uint32_t>(queue_.depth());
           status_.note_sent(*worker, sim_.now());
+          if (sim_.span_enabled()) {
+            obs::end_span(sim_, descriptor->request_id,
+                          descriptor->preempt_count > 0
+                              ? obs::SpanKind::kRequeue
+                              : obs::SpanKind::kDispatchQueue,
+                          1);
+            obs::begin_span(sim_, descriptor->request_id,
+                            obs::SpanKind::kDispatch, 1);
+          }
           workers_[*worker]->assign_channel().send(std::move(*descriptor));
         }
       }
@@ -309,6 +351,18 @@ ServerStats IdealNicServer::stats(sim::Duration elapsed) const {
   stats.drops =
       nic_.rx_unknown_mac_drops() + malformed_ + pf_->ring(0).stats().dropped;
   return stats;
+}
+
+ServerTelemetry IdealNicServer::telemetry() const {
+  ServerTelemetry t;
+  t.queue_depth = queue_.depth();
+  t.outstanding = status_.total_outstanding();
+  t.drops = malformed_ + pf_->ring(0).stats().dropped;
+  for (const auto& worker : workers_) {
+    t.preemptions += worker->preemptions();
+    t.worker_busy.push_back(worker->core().stats().busy);
+  }
+  return t;
 }
 
 }  // namespace nicsched::core

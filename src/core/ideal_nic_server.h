@@ -60,6 +60,7 @@ class IdealNicServer final : public Server {
   std::uint16_t port() const override { return config_.udp_port; }
   std::string name() const override { return "ideal-nic"; }
   ServerStats stats(sim::Duration elapsed) const override;
+  ServerTelemetry telemetry() const override;
 
   const CoreStatusTable& core_status() const { return status_; }
   const TaskQueue& task_queue() const { return queue_; }

@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/span.h"
+
 namespace nicsched::core {
 
 namespace {
@@ -121,10 +123,16 @@ class ShinjukuOffloadServer::Worker {
   }
 
   void execute(proto::RequestDescriptor descriptor) {
-    if (server_.sim_.tracer().enabled()) {
-      server_.sim_.trace(sim::TraceCategory::kWorker,
-                         "worker" + std::to_string(id_),
-                         "start " + std::to_string(descriptor.request_id));
+    server_.sim_.trace(sim::TraceCategory::kWorker, [&] {
+      return std::pair{"worker" + std::to_string(id_),
+                       "start " + std::to_string(descriptor.request_id)};
+    });
+    if (server_.sim_.span_enabled()) {
+      const auto lane = static_cast<std::uint32_t>(100 + id_);
+      obs::end_span(server_.sim_, descriptor.request_id,
+                    obs::SpanKind::kDispatch, lane);
+      obs::begin_span(server_.sim_, descriptor.request_id,
+                      obs::SpanKind::kService, lane);
     }
     current_ = descriptor;
     if (server_.config_.preemption_enabled) {
@@ -138,10 +146,16 @@ class ShinjukuOffloadServer::Worker {
 
   void on_complete() {
     timer_.cancel();
-    if (server_.sim_.tracer().enabled()) {
-      server_.sim_.trace(sim::TraceCategory::kWorker,
-                         "worker" + std::to_string(id_),
-                         "complete " + std::to_string(current_->request_id));
+    server_.sim_.trace(sim::TraceCategory::kWorker, [&] {
+      return std::pair{"worker" + std::to_string(id_),
+                       "complete " + std::to_string(current_->request_id)};
+    });
+    if (server_.sim_.span_enabled()) {
+      const auto lane = static_cast<std::uint32_t>(100 + id_);
+      obs::end_span(server_.sim_, current_->request_id,
+                    obs::SpanKind::kService, lane);
+      obs::begin_span(server_.sim_, current_->request_id,
+                      obs::SpanKind::kResponse, lane);
     }
     proto::RequestDescriptor descriptor = *current_;
     current_.reset();
@@ -173,11 +187,17 @@ class ShinjukuOffloadServer::Worker {
 
   void on_preempted(sim::Duration remaining) {
     ++preemptions_;
-    if (server_.sim_.tracer().enabled()) {
-      server_.sim_.trace(
-          sim::TraceCategory::kPreempt, "worker" + std::to_string(id_),
-          "preempt " + std::to_string(current_->request_id) + " remaining " +
-              remaining.to_string());
+    server_.sim_.trace(sim::TraceCategory::kPreempt, [&] {
+      return std::pair{"worker" + std::to_string(id_),
+                       "preempt " + std::to_string(current_->request_id) +
+                           " remaining " + remaining.to_string()};
+    });
+    if (server_.sim_.span_enabled()) {
+      const auto lane = static_cast<std::uint32_t>(100 + id_);
+      obs::end_span(server_.sim_, current_->request_id,
+                    obs::SpanKind::kService, lane);
+      obs::begin_span(server_.sim_, current_->request_id,
+                      obs::SpanKind::kRequeue, lane);
     }
     proto::RequestDescriptor descriptor = *current_;
     current_.reset();
@@ -325,9 +345,19 @@ void ShinjukuOffloadServer::networker_handle(net::Packet packet) {
     return;
   }
   ++requests_received_;
-  if (sim_.tracer().enabled()) {
-    sim_.trace(sim::TraceCategory::kClient, "networker",
-               "request " + std::to_string(request->request_id) + " received");
+  sim_.trace(sim::TraceCategory::kClient, [&] {
+    return std::pair{std::string("networker"),
+                     "request " + std::to_string(request->request_id) +
+                         " received"};
+  });
+  if (sim_.span_enabled()) {
+    // The ARM NIC stamped the frame's arrival; attribute wire vs RX/parse.
+    const sim::TimePoint rx = packet.rx_at();
+    obs::end_span_at(sim_, rx, request->request_id,
+                     obs::SpanKind::kClientWire);
+    obs::begin_span_at(sim_, rx, request->request_id, obs::SpanKind::kNicRx);
+    obs::end_span(sim_, request->request_id, obs::SpanKind::kNicRx);
+    obs::begin_span(sim_, request->request_id, obs::SpanKind::kDispatchQueue);
   }
   intake_channel_.send(make_descriptor(*request, *datagram));
 }
@@ -349,11 +379,11 @@ void ShinjukuOffloadServer::d1_step() {
         status_.note_retired(note->worker, sim_.now());
         if (note->preempted) {
           ++preemption_requeues_;
-          if (sim_.tracer().enabled()) {
-            sim_.trace(sim::TraceCategory::kQueue, "d1",
-                       "requeue " +
-                           std::to_string(note->descriptor.request_id));
-          }
+          sim_.trace(sim::TraceCategory::kQueue, [&] {
+            return std::pair{std::string("d1"),
+                             "requeue " +
+                                 std::to_string(note->descriptor.request_id)};
+          });
           queue_.push_preempted(std::move(note->descriptor));
         }
       }
@@ -371,10 +401,20 @@ void ShinjukuOffloadServer::d1_step() {
           descriptor->queue_depth =
               static_cast<std::uint32_t>(queue_.depth());
           status_.note_sent(*worker, sim_.now());
-          if (sim_.tracer().enabled()) {
-            sim_.trace(sim::TraceCategory::kDispatch, "d1",
-                       "assign " + std::to_string(descriptor->request_id) +
-                           " -> worker" + std::to_string(*worker));
+          sim_.trace(sim::TraceCategory::kDispatch, [&] {
+            return std::pair{std::string("d1"),
+                             "assign " +
+                                 std::to_string(descriptor->request_id) +
+                                 " -> worker" + std::to_string(*worker)};
+          });
+          if (sim_.span_enabled()) {
+            obs::end_span(sim_, descriptor->request_id,
+                          descriptor->preempt_count > 0
+                              ? obs::SpanKind::kRequeue
+                              : obs::SpanKind::kDispatchQueue,
+                          1);
+            obs::begin_span(sim_, descriptor->request_id,
+                            obs::SpanKind::kDispatch, 1);
           }
           senders_[next_sender_].channel->send(
               Assignment{std::move(*descriptor), *worker});
@@ -477,6 +517,19 @@ ServerStats ShinjukuOffloadServer::stats(sim::Duration elapsed) const {
     stats.drops += vf->ring(0).stats().dropped;
   }
   return stats;
+}
+
+ServerTelemetry ShinjukuOffloadServer::telemetry() const {
+  ServerTelemetry t;
+  t.queue_depth = queue_.depth() + intake_channel_.depth();
+  t.outstanding = status_.total_outstanding();
+  t.drops = malformed_ + arm_net_->ring(0).stats().dropped;
+  t.worker_busy.reserve(workers_.size());
+  for (const auto& worker : workers_) {
+    t.preemptions += worker->preemptions();
+    t.worker_busy.push_back(worker->core().stats().busy);
+  }
+  return t;
 }
 
 }  // namespace nicsched::core

@@ -80,6 +80,7 @@ class ShinjukuOffloadServer final : public Server {
   std::uint16_t port() const override { return config_.udp_port; }
   std::string name() const override { return "shinjuku-offload"; }
   ServerStats stats(sim::Duration elapsed) const override;
+  ServerTelemetry telemetry() const override;
 
   /// Dispatcher-believed worker status (for the feedback-staleness example).
   const CoreStatusTable& core_status() const { return status_; }

@@ -12,6 +12,8 @@
 #include "proto/messages.h"
 #include "sim/time.h"
 
+#include <cstddef>
+
 namespace nicsched::core {
 
 /// Aggregate counters every server reports; benches and tests read these to
@@ -31,6 +33,24 @@ struct ServerStats {
   hw::DdioStats ddio;
 };
 
+/// An instantaneous, cheap-to-take snapshot of live scheduler state, polled
+/// by the obs::MetricSampler on its sim-time cadence. Where ServerStats is a
+/// run-end aggregate, this is the moment-to-moment view the paper argues the
+/// NIC should be scheduling on.
+struct ServerTelemetry {
+  /// Requests waiting to be scheduled (centralized task queue(s), or the sum
+  /// of per-core RX ring backlogs for run-to-completion systems).
+  std::size_t queue_depth = 0;
+  /// Requests the scheduler believes are in flight at workers (the
+  /// outstanding-K occupancy for systems with a queuing optimization).
+  std::uint64_t outstanding = 0;
+  std::uint64_t preemptions = 0;  // cumulative
+  std::uint64_t drops = 0;        // cumulative (malformed + ring overflow)
+  /// Cumulative per-worker busy time; the sampler differences consecutive
+  /// snapshots into per-interval busy fractions.
+  std::vector<sim::Duration> worker_busy;
+};
+
 class Server {
  public:
   virtual ~Server() = default;
@@ -45,6 +65,9 @@ class Server {
   /// Snapshot of counters; `elapsed` is the wall time utilizations are
   /// computed against.
   virtual ServerStats stats(sim::Duration elapsed) const = 0;
+
+  /// Live scheduler state for metric sampling.
+  virtual ServerTelemetry telemetry() const = 0;
 };
 
 /// Builds the internal descriptor for a freshly received client request,

@@ -1,0 +1,88 @@
+#include "core/server_factory.h"
+
+#include <stdexcept>
+
+#include "core/distributed_server.h"
+#include "core/ideal_nic_server.h"
+#include "core/offload_server.h"
+#include "core/shinjuku_server.h"
+
+namespace nicsched::core {
+
+std::unique_ptr<Server> make_server(SystemKind kind,
+                                    const ExperimentConfig& config,
+                                    sim::Simulator& sim,
+                                    net::EthernetSwitch& network) {
+  switch (kind) {
+    case SystemKind::kShinjuku: {
+      ShinjukuServer::Config server;
+      server.worker_count = config.worker_count;
+      server.dispatcher_count = config.dispatcher_count;
+      server.queue_policy = config.queue_policy;
+      server.preemption_enabled = config.preemption_enabled;
+      server.time_slice = config.time_slice;
+      return std::make_unique<ShinjukuServer>(sim, network, config.params,
+                                              server);
+    }
+    case SystemKind::kShinjukuOffload: {
+      ShinjukuOffloadServer::Config server;
+      server.worker_count = config.worker_count;
+      server.outstanding_per_worker = config.outstanding_per_worker;
+      server.preemption_enabled = config.preemption_enabled;
+      server.time_slice = config.time_slice;
+      server.timer_costs = config.timer_costs;
+      server.queue_policy = config.queue_policy;
+      server.sender_cores = config.sender_cores;
+      server.tx_batch_frames = config.tx_batch_frames;
+      server.tx_batch_timeout = config.tx_batch_timeout;
+      if (config.placement) server.placement = *config.placement;
+      return std::make_unique<ShinjukuOffloadServer>(sim, network,
+                                                     config.params, server);
+    }
+    case SystemKind::kRss:
+    case SystemKind::kFlowDirector:
+    case SystemKind::kWorkStealing:
+    case SystemKind::kElasticRss: {
+      DistributedServer::Config server;
+      server.worker_count = config.worker_count;
+      server.policy = kind == SystemKind::kRss
+                          ? DistributedServer::Policy::kRss
+                      : kind == SystemKind::kFlowDirector
+                          ? DistributedServer::Policy::kFlowDirector
+                      : kind == SystemKind::kWorkStealing
+                          ? DistributedServer::Policy::kWorkStealing
+                          : DistributedServer::Policy::kElasticRss;
+      if (config.placement) server.placement = *config.placement;
+      return std::make_unique<DistributedServer>(sim, network, config.params,
+                                                 server);
+    }
+    case SystemKind::kIdealNic: {
+      IdealNicServer::Config server;
+      server.worker_count = config.worker_count;
+      server.outstanding_per_worker = config.outstanding_per_worker;
+      server.preemption_enabled = config.preemption_enabled;
+      server.time_slice = config.time_slice;
+      server.queue_policy = config.queue_policy;
+      if (config.placement) server.placement = *config.placement;
+      return std::make_unique<IdealNicServer>(sim, network, config.params,
+                                              server);
+    }
+    case SystemKind::kRpcValet: {
+      // NI-on-chip: feedback and assignment latencies collapse to tens of
+      // nanoseconds and the queue is consulted per request — but requests
+      // run to completion.
+      IdealNicServer::Config server;
+      server.worker_count = config.worker_count;
+      server.outstanding_per_worker = 1;
+      server.preemption_enabled = false;
+      server.queue_policy = config.queue_policy;
+      if (config.placement) server.placement = *config.placement;
+      ModelParams params = config.params;
+      params.cxl_one_way_latency = sim::Duration::nanos(50);
+      return std::make_unique<IdealNicServer>(sim, network, params, server);
+    }
+  }
+  throw std::invalid_argument("make_server: unknown system kind");
+}
+
+}  // namespace nicsched::core

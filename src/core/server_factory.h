@@ -1,0 +1,33 @@
+// The one place an ExperimentConfig becomes a concrete server system.
+// Benches, examples, and the testbed all construct servers through
+// make_server so per-system Config mapping (and modelling decisions like
+// RPCValet's 50 ns feedback latency) is not copy-pasted at every call site.
+#pragma once
+
+#include <memory>
+
+#include "core/server.h"
+#include "core/testbed.h"
+#include "net/ethernet_switch.h"
+#include "sim/simulator.h"
+
+namespace nicsched::core {
+
+/// Builds the server system `kind` from the shared experiment knobs in
+/// `config` (worker counts, K, preemption, queue policy, placement, model
+/// params), attached to `network`. `config.system` is ignored — the caller
+/// picks the kind — so one config can be retargeted across systems without
+/// mutation. Throws std::invalid_argument on an unknown kind.
+std::unique_ptr<Server> make_server(SystemKind kind,
+                                    const ExperimentConfig& config,
+                                    sim::Simulator& sim,
+                                    net::EthernetSwitch& network);
+
+/// Convenience: builds `config.system`.
+inline std::unique_ptr<Server> make_server(const ExperimentConfig& config,
+                                           sim::Simulator& sim,
+                                           net::EthernetSwitch& network) {
+  return make_server(config.system, config, sim, network);
+}
+
+}  // namespace nicsched::core

@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/span.h"
+
 namespace nicsched::core {
 
 namespace {
@@ -77,6 +79,13 @@ class ShinjukuServer::Worker {
   /// Called (via the interrupt line) when the dispatcher preempts us.
   void on_preempted(sim::Duration remaining) {
     ++preemptions_;
+    sim::Simulator& sim = group_.server.sim_;
+    if (sim.span_enabled()) {
+      const auto lane = static_cast<std::uint32_t>(100 + group_.index * 100 + id_);
+      obs::end_span(sim, current_->request_id, obs::SpanKind::kService, lane);
+      obs::begin_span(sim, current_->request_id, obs::SpanKind::kRequeue,
+                      lane);
+    }
     proto::RequestDescriptor descriptor = *current_;
     current_.reset();
     descriptor.remaining_ps =
@@ -117,6 +126,13 @@ class ShinjukuServer::Worker {
     }
     core_.run(prologue, [this, shared]() {
       current_ = *shared;
+      sim::Simulator& sim = group_.server.sim_;
+      if (sim.span_enabled()) {
+        const auto lane = static_cast<std::uint32_t>(100 + group_.index * 100 + id_);
+        obs::end_span(sim, shared->request_id, obs::SpanKind::kDispatch, lane);
+        obs::begin_span(sim, shared->request_id, obs::SpanKind::kService,
+                        lane);
+      }
       core_.run_preemptible(
           sim::Duration::picos(static_cast<std::int64_t>(shared->remaining_ps)),
           [this]() { on_complete(); });
@@ -124,6 +140,13 @@ class ShinjukuServer::Worker {
   }
 
   void on_complete() {
+    sim::Simulator& sim = group_.server.sim_;
+    if (sim.span_enabled()) {
+      const auto lane = static_cast<std::uint32_t>(100 + group_.index * 100 + id_);
+      obs::end_span(sim, current_->request_id, obs::SpanKind::kService, lane);
+      obs::begin_span(sim, current_->request_id, obs::SpanKind::kResponse,
+                      lane);
+    }
     proto::RequestDescriptor descriptor = *current_;
     current_.reset();
     const ModelParams& params = group_.server.params_;
@@ -261,6 +284,17 @@ void ShinjukuServer::networker_handle(Group& group, net::Packet packet) {
     return;
   }
   ++group.requests_received;
+  if (sim_.span_enabled()) {
+    const sim::TimePoint rx = packet.rx_at();
+    const auto lane = static_cast<std::uint32_t>(group.index);
+    obs::end_span_at(sim_, rx, request->request_id,
+                     obs::SpanKind::kClientWire, lane);
+    obs::begin_span_at(sim_, rx, request->request_id, obs::SpanKind::kNicRx,
+                       lane);
+    obs::end_span(sim_, request->request_id, obs::SpanKind::kNicRx, lane);
+    obs::begin_span(sim_, request->request_id, obs::SpanKind::kDispatchQueue,
+                    lane);
+  }
   group.intake_channel.send(make_descriptor(*request, *datagram));
 }
 
@@ -297,6 +331,16 @@ void ShinjukuServer::dispatcher_step(Group& group) {
               descriptor->queue_depth =
                   static_cast<std::uint32_t>(group.queue.depth());
               group.status.note_sent(*worker, sim_.now());
+              if (sim_.span_enabled()) {
+                const auto lane = static_cast<std::uint32_t>(group.index);
+                obs::end_span(sim_, descriptor->request_id,
+                              descriptor->preempt_count > 0
+                                  ? obs::SpanKind::kRequeue
+                                  : obs::SpanKind::kDispatchQueue,
+                              lane);
+                obs::begin_span(sim_, descriptor->request_id,
+                                obs::SpanKind::kDispatch, lane);
+              }
               RunningInfo& info = group.running[*worker];
               ++info.epoch;
               info.assigned_at = sim_.now();
@@ -402,6 +446,20 @@ ServerStats ShinjukuServer::stats(sim::Duration elapsed) const {
     stats.drops += pf_->ring(ring).stats().dropped;
   }
   return stats;
+}
+
+ServerTelemetry ShinjukuServer::telemetry() const {
+  ServerTelemetry t;
+  for (const auto& group : groups_) {
+    t.queue_depth += group->queue.depth() + group->intake_channel.depth();
+    t.outstanding += group->status.total_outstanding();
+    t.drops += group->malformed;
+    for (const auto& worker : group->workers) {
+      t.preemptions += worker->preemptions();
+      t.worker_busy.push_back(worker->core().stats().busy);
+    }
+  }
+  return t;
 }
 
 }  // namespace nicsched::core

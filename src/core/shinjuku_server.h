@@ -60,6 +60,7 @@ class ShinjukuServer final : public Server {
   std::uint16_t port() const override { return config_.udp_port; }
   std::string name() const override { return "shinjuku"; }
   ServerStats stats(sim::Duration elapsed) const override;
+  ServerTelemetry telemetry() const override;
 
   std::size_t group_count() const { return groups_.size(); }
   /// Requests a group's networker has accepted; exposes RSS imbalance

@@ -2,12 +2,12 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <utility>
 
 #include "core/distributed_server.h"
-#include "core/ideal_nic_server.h"
-#include "core/offload_server.h"
-#include "core/shinjuku_server.h"
+#include "core/server_factory.h"
 #include "net/ethernet_switch.h"
+#include "obs/capture.h"
 #include "sim/random.h"
 #include "sim/simulator.h"
 #include "workload/arrival.h"
@@ -17,80 +17,6 @@ namespace nicsched::core {
 
 namespace {
 
-std::unique_ptr<Server> build_server(const ExperimentConfig& config,
-                                     sim::Simulator& sim,
-                                     net::EthernetSwitch& network) {
-  switch (config.system) {
-    case SystemKind::kShinjuku: {
-      ShinjukuServer::Config server;
-      server.worker_count = config.worker_count;
-      server.dispatcher_count = config.dispatcher_count;
-      server.queue_policy = config.queue_policy;
-      server.preemption_enabled = config.preemption_enabled;
-      server.time_slice = config.time_slice;
-      return std::make_unique<ShinjukuServer>(sim, network, config.params,
-                                              server);
-    }
-    case SystemKind::kShinjukuOffload: {
-      ShinjukuOffloadServer::Config server;
-      server.worker_count = config.worker_count;
-      server.outstanding_per_worker = config.outstanding_per_worker;
-      server.preemption_enabled = config.preemption_enabled;
-      server.time_slice = config.time_slice;
-      server.timer_costs = config.timer_costs;
-      server.queue_policy = config.queue_policy;
-      server.tx_batch_frames = config.tx_batch_frames;
-      server.tx_batch_timeout = config.tx_batch_timeout;
-      if (config.placement) server.placement = *config.placement;
-      return std::make_unique<ShinjukuOffloadServer>(sim, network,
-                                                     config.params, server);
-    }
-    case SystemKind::kRss:
-    case SystemKind::kFlowDirector:
-    case SystemKind::kWorkStealing:
-    case SystemKind::kElasticRss: {
-      DistributedServer::Config server;
-      server.worker_count = config.worker_count;
-      server.policy = config.system == SystemKind::kRss
-                          ? DistributedServer::Policy::kRss
-                      : config.system == SystemKind::kFlowDirector
-                          ? DistributedServer::Policy::kFlowDirector
-                      : config.system == SystemKind::kWorkStealing
-                          ? DistributedServer::Policy::kWorkStealing
-                          : DistributedServer::Policy::kElasticRss;
-      if (config.placement) server.placement = *config.placement;
-      return std::make_unique<DistributedServer>(sim, network, config.params,
-                                                 server);
-    }
-    case SystemKind::kIdealNic: {
-      IdealNicServer::Config server;
-      server.worker_count = config.worker_count;
-      server.outstanding_per_worker = config.outstanding_per_worker;
-      server.preemption_enabled = config.preemption_enabled;
-      server.time_slice = config.time_slice;
-      server.queue_policy = config.queue_policy;
-      if (config.placement) server.placement = *config.placement;
-      return std::make_unique<IdealNicServer>(sim, network, config.params,
-                                              server);
-    }
-    case SystemKind::kRpcValet: {
-      // NI-on-chip: feedback and assignment latencies collapse to tens of
-      // nanoseconds and the queue is consulted per request — but requests
-      // run to completion.
-      IdealNicServer::Config server;
-      server.worker_count = config.worker_count;
-      server.outstanding_per_worker = 1;
-      server.preemption_enabled = false;
-      server.queue_policy = config.queue_policy;
-      if (config.placement) server.placement = *config.placement;
-      ModelParams params = config.params;
-      params.cxl_one_way_latency = sim::Duration::nanos(50);
-      return std::make_unique<IdealNicServer>(sim, network, params, server);
-    }
-  }
-  throw std::invalid_argument("build_server: unknown system kind");
-}
-
 sim::Duration choose_measure_window(const ExperimentConfig& config) {
   if (!config.measure.is_zero()) return config.measure;
   const double seconds =
@@ -99,6 +25,49 @@ sim::Duration choose_measure_window(const ExperimentConfig& config) {
   const sim::Duration lo = sim::Duration::millis(20);
   const sim::Duration hi = sim::Duration::millis(500);
   return std::clamp(window, lo, hi);
+}
+
+std::string default_capture_label(const ExperimentConfig& config) {
+  return std::string(to_string(config.system)) + "_" +
+         std::to_string(static_cast<long long>(config.offered_rps)) + "rps_s" +
+         std::to_string(config.seed);
+}
+
+/// One probe block over Server::telemetry(): the snapshot is taken once per
+/// tick and fans into gauge series plus per-worker busy *fractions* (the
+/// sampler sees cumulative busy time; this closure differences consecutive
+/// snapshots over the cadence).
+void add_telemetry_probes(obs::MetricSampler& sampler, const Server& server) {
+  const std::size_t worker_count = server.telemetry().worker_busy.size();
+  std::vector<std::string> names = {"queue_depth", "outstanding",
+                                    "preemptions", "drops"};
+  for (std::size_t i = 0; i < worker_count; ++i) {
+    names.push_back("worker" + std::to_string(i) + "_busy_frac");
+  }
+  const double cadence_ps =
+      static_cast<double>(sampler.cadence().to_picos());
+  auto previous_busy =
+      std::make_shared<std::vector<sim::Duration>>(worker_count);
+  sampler.add_probe_block(
+      std::move(names),
+      [&server, worker_count, cadence_ps, previous_busy]() {
+        const ServerTelemetry t = server.telemetry();
+        std::vector<double> values;
+        values.reserve(4 + worker_count);
+        values.push_back(static_cast<double>(t.queue_depth));
+        values.push_back(static_cast<double>(t.outstanding));
+        values.push_back(static_cast<double>(t.preemptions));
+        values.push_back(static_cast<double>(t.drops));
+        for (std::size_t i = 0; i < worker_count; ++i) {
+          const sim::Duration busy =
+              i < t.worker_busy.size() ? t.worker_busy[i] : sim::Duration();
+          const sim::Duration prev = (*previous_busy)[i];
+          values.push_back(
+              static_cast<double>((busy - prev).to_picos()) / cadence_ps);
+          (*previous_busy)[i] = busy;
+        }
+        return values;
+      });
 }
 
 }  // namespace
@@ -149,7 +118,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
 
   sim::Simulator sim;
   net::EthernetSwitch network(sim, config.params.switch_forward_latency);
-  auto server = build_server(config, sim, network);
+  auto server = make_server(config, sim, network);
 
   const sim::Duration measure = choose_measure_window(config);
   const sim::TimePoint measure_start = sim::TimePoint::origin() + config.warmup;
@@ -157,6 +126,20 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
 
   ExperimentResult result;
   result.recorder.set_window(measure_start, measure_end);
+
+  obs::CaptureOptions capture_options =
+      config.capture ? *config.capture : obs::capture_options_from_env();
+  if (capture_options.enabled && capture_options.label.empty()) {
+    capture_options.label = default_capture_label(config);
+  }
+  if (capture_options.enabled) {
+    result.capture =
+        std::make_shared<obs::Capture>(sim, std::move(capture_options));
+    if (obs::MetricSampler* sampler = result.capture->metrics()) {
+      add_telemetry_probes(*sampler, *server);
+    }
+    result.capture->start(measure_end);
+  }
 
   // The FlowDirector system needs clients to address partitions by port.
   std::uint16_t partition_count = 0;
@@ -221,6 +204,8 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   });
 
   sim.run_until(measure_end + config.drain);
+
+  if (result.capture) result.capture->export_files();
 
   result.summary = result.recorder.summarize(config.offered_rps);
   if (!result.server.worker_utilization.empty()) {

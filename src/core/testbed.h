@@ -14,6 +14,7 @@
 #include "core/server.h"
 #include "core/task_queue.h"
 #include "hw/apic_timer.h"
+#include "obs/capture.h"
 #include "sim/time.h"
 #include "stats/recorder.h"
 #include "stats/response_log.h"
@@ -57,6 +58,8 @@ struct ExperimentConfig {
   hw::TimerCosts timer_costs = hw::TimerCosts::dune();
   /// Centralized-queue policy (Shinjuku, offload, and ideal-NIC systems).
   QueuePolicy queue_policy = QueuePolicy::kFcfs;
+  /// Offload only: ARM cores playing the D2 sender role (§5.1 ablation).
+  std::size_t sender_cores = 1;
   /// Offload only: D2 TX batching (0 = off); see ShinjukuOffloadServer.
   std::size_t tx_batch_frames = 0;
   sim::Duration tx_batch_timeout = sim::Duration::micros(8);
@@ -87,6 +90,12 @@ struct ExperimentConfig {
   /// Optional: every in-window response is also appended here (per-request
   /// CSV export). Not owned; must outlive run_experiment.
   stats::ResponseLog* response_log = nullptr;
+
+  /// Observability capture (spans + metric sampling) for this run. Unset
+  /// defers to the NICSCHED_TRACE environment contract (obs::
+  /// capture_options_from_env); set it explicitly to force capture on or off
+  /// regardless of the environment.
+  std::optional<obs::CaptureOptions> capture;
 
   ModelParams params = ModelParams::defaults();
 
@@ -120,6 +129,10 @@ struct ExperimentConfig {
   }
   ExperimentConfig& dispatchers(std::size_t count) {
     dispatcher_count = count;
+    return *this;
+  }
+  ExperimentConfig& senders(std::size_t count) {
+    sender_cores = count;
     return *this;
   }
   ExperimentConfig& outstanding(std::uint32_t k) {
@@ -193,6 +206,10 @@ struct ExperimentConfig {
     seed = value;
     return *this;
   }
+  ExperimentConfig& with_capture(obs::CaptureOptions options) {
+    capture = std::move(options);
+    return *this;
+  }
 };
 
 struct ExperimentResult {
@@ -203,6 +220,9 @@ struct ExperimentResult {
   stats::LatencyRecorder recorder;
   /// Mean worker utilization over the run (busy/wall).
   double mean_worker_utilization = 0.0;
+  /// Set when capture was enabled for the run: recorded spans and sampled
+  /// time series, already exported if an export prefix was configured.
+  std::shared_ptr<obs::Capture> capture;
 };
 
 /// Runs one load point end to end. Deterministic in `config.seed`.

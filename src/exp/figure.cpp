@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "exp/grid.h"
+#include "obs/capture.h"
 #include "stats/table.h"
 
 namespace nicsched::exp {
@@ -17,6 +18,16 @@ std::string result_path(const std::string& file_name) {
   std::string path = dir;
   if (path.back() != '/') path += '/';
   return path + file_name;
+}
+
+std::string sanitize_label(const std::string& text) {
+  std::string out = text;
+  for (char& c : out) {
+    const bool keep = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '-' || c == '_';
+    if (!keep) c = '_';
+  }
+  return out;
 }
 
 }  // namespace
@@ -60,6 +71,17 @@ void Figure::run(const SweepRunner& runner) {
     const auto [s, p] = points[index];
     core::ExperimentConfig config = series_[s].config;
     config.offered_rps = series_[s].loads[p];
+    // Give each traced point a unique export label (figure + series + point)
+    // so a captured sweep writes one file set per point instead of the
+    // system+load default, which can collide across series.
+    obs::CaptureOptions capture =
+        config.capture ? *config.capture : obs::capture_options_from_env();
+    if (capture.enabled && capture.label.empty()) {
+      capture.label = sanitize_label(name_) + "_" +
+                      sanitize_label(series_[s].label) + "_p" +
+                      std::to_string(p);
+      config.capture = std::move(capture);
+    }
     series_[s].results[p] = core::run_experiment(config);
   });
 }

@@ -6,6 +6,9 @@
 #include <mutex>
 #include <stdexcept>
 #include <thread>
+#include <utility>
+
+#include "obs/capture.h"
 
 namespace nicsched::exp {
 
@@ -73,6 +76,16 @@ std::vector<core::ExperimentResult> SweepRunner::run(
   dispatch(loads.size(), [&](std::size_t index) {
     core::ExperimentConfig config = base;
     config.offered_rps = loads[index];
+    // Per-point export label: the run_experiment default (system+load+seed)
+    // already distinguishes sweep points, but an explicit point index keeps
+    // exports unique even when two points share a load.
+    obs::CaptureOptions capture =
+        config.capture ? *config.capture : obs::capture_options_from_env();
+    if (capture.enabled && capture.label.empty()) {
+      capture.label = std::string(core::to_string(config.system)) + "_p" +
+                      std::to_string(index);
+      config.capture = std::move(capture);
+    }
     results[index] = core::run_experiment(config);
   });
   return results;

@@ -135,6 +135,10 @@ const NicInterface* Nic::interface_by_mac(MacAddress mac) const {
 }
 
 void Nic::deliver(Packet packet) {
+  // Hardware RX timestamp: parse sites read this to attribute the wire and
+  // NIC-RX portions of a request's latency without the NIC (which cannot
+  // parse request ids) having to know about the protocol above it.
+  packet.set_rx_at(sim_.now());
   const auto dst = packet.dst_mac();
   if (!dst) {
     ++rx_unknown_mac_drops_;
@@ -152,6 +156,10 @@ void Nic::deliver(Packet packet) {
     ++rx_unknown_mac_drops_;
     return;
   }
+  sim_.trace(sim::TraceCategory::kPacket, [&] {
+    return std::pair{config_.name + "/" + iface->name(),
+                     "rx " + std::to_string(packet.size()) + "B"};
+  });
   if (config_.rx_latency.is_zero()) {
     iface->receive(std::move(packet));
     return;

@@ -11,6 +11,7 @@
 #include "net/ipv4.h"
 #include "net/mac_address.h"
 #include "net/udp.h"
+#include "sim/time.h"
 
 namespace nicsched::net {
 
@@ -47,10 +48,19 @@ class Packet {
   /// Destination MAC, if the frame has at least an Ethernet header.
   std::optional<MacAddress> dst_mac() const;
 
-  bool operator==(const Packet&) const = default;
+  /// When this frame arrived at the receiving NIC (stamped by Nic::deliver,
+  /// like a hardware RX timestamp). Origin until delivered. Metadata only —
+  /// it travels with the frame but is not part of its wire identity.
+  sim::TimePoint rx_at() const { return rx_at_; }
+  void set_rx_at(sim::TimePoint when) { rx_at_ = when; }
+
+  /// Wire identity: the bytes. The RX timestamp is NIC-local metadata and
+  /// deliberately excluded.
+  bool operator==(const Packet& other) const { return bytes_ == other.bytes_; }
 
  private:
   std::vector<std::uint8_t> bytes_;
+  sim::TimePoint rx_at_;
 };
 
 /// Addressing for building a UDP datagram.

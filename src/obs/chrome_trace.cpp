@@ -1,0 +1,240 @@
+#include "obs/chrome_trace.h"
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+
+namespace nicsched::obs {
+
+namespace {
+
+// Fixed-point microseconds with picosecond resolution, so the JSON is exact
+// and stable (no locale or shortest-round-trip formatting differences).
+std::string format_us(sim::Duration d) {
+  char buffer[48];
+  std::snprintf(buffer, sizeof(buffer), "%.6f",
+                static_cast<double>(d.to_picos()) / 1e6);
+  return buffer;
+}
+
+std::string format_us(sim::TimePoint t) {
+  return format_us(t - sim::TimePoint::origin());
+}
+
+void write_event(std::ostream& out, const Span& span,
+                 std::uint64_t request_id, bool& first) {
+  if (!first) out << ",\n";
+  first = false;
+  out << "    {\"name\":\"" << to_string(span.kind)
+      << "\",\"cat\":\"request\",\"ph\":\"X\",\"ts\":" << format_us(span.begin)
+      << ",\"dur\":" << format_us(span.duration())
+      << ",\"pid\":1,\"tid\":" << span.component
+      << ",\"args\":{\"request_id\":" << request_id << "}}";
+}
+
+// --- minimal JSON reader (objects, arrays, strings, numbers) ---------------
+
+struct JsonReader {
+  const std::string& text;
+  std::size_t pos = 0;
+  bool failed = false;
+
+  void skip_ws() {
+    while (pos < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[pos]))) {
+      ++pos;
+    }
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+
+  char peek() {
+    skip_ws();
+    return pos < text.size() ? text[pos] : '\0';
+  }
+
+  std::string parse_string() {
+    skip_ws();
+    std::string out;
+    if (pos >= text.size() || text[pos] != '"') {
+      failed = true;
+      return out;
+    }
+    ++pos;
+    while (pos < text.size() && text[pos] != '"') {
+      if (text[pos] == '\\' && pos + 1 < text.size()) ++pos;
+      out += text[pos++];
+    }
+    if (pos >= text.size()) {
+      failed = true;
+      return out;
+    }
+    ++pos;  // closing quote
+    return out;
+  }
+
+  double parse_number() {
+    skip_ws();
+    const std::size_t start = pos;
+    while (pos < text.size() &&
+           (std::isdigit(static_cast<unsigned char>(text[pos])) ||
+            text[pos] == '-' || text[pos] == '+' || text[pos] == '.' ||
+            text[pos] == 'e' || text[pos] == 'E')) {
+      ++pos;
+    }
+    if (pos == start) {
+      failed = true;
+      return 0.0;
+    }
+    return std::stod(text.substr(start, pos - start));
+  }
+
+  /// Skips any value (used for keys the reader doesn't care about).
+  void skip_value() {
+    skip_ws();
+    if (failed || pos >= text.size()) {
+      failed = true;
+      return;
+    }
+    const char c = text[pos];
+    if (c == '"') {
+      parse_string();
+    } else if (c == '{') {
+      ++pos;
+      if (consume('}')) return;
+      do {
+        parse_string();
+        if (!consume(':')) failed = true;
+        skip_value();
+        if (failed) return;
+      } while (consume(','));
+      if (!consume('}')) failed = true;
+    } else if (c == '[') {
+      ++pos;
+      if (consume(']')) return;
+      do {
+        skip_value();
+        if (failed) return;
+      } while (consume(','));
+      if (!consume(']')) failed = true;
+    } else if (std::isalpha(static_cast<unsigned char>(c))) {
+      while (pos < text.size() &&
+             std::isalpha(static_cast<unsigned char>(text[pos]))) {
+        ++pos;
+      }
+    } else {
+      parse_number();
+    }
+  }
+};
+
+std::optional<ChromeTraceEvent> parse_event(JsonReader& reader,
+                                            bool& is_complete) {
+  if (!reader.consume('{')) return std::nullopt;
+  ChromeTraceEvent event;
+  is_complete = false;
+  if (reader.consume('}')) return event;
+  do {
+    const std::string key = reader.parse_string();
+    if (!reader.consume(':')) return std::nullopt;
+    if (key == "ph") {
+      is_complete = reader.parse_string() == "X";
+    } else if (key == "name") {
+      event.name = reader.parse_string();
+    } else if (key == "ts") {
+      event.ts_us = reader.parse_number();
+    } else if (key == "dur") {
+      event.dur_us = reader.parse_number();
+    } else if (key == "tid") {
+      event.tid = static_cast<std::uint32_t>(reader.parse_number());
+    } else if (key == "args") {
+      if (!reader.consume('{')) return std::nullopt;
+      if (!reader.consume('}')) {
+        do {
+          const std::string arg_key = reader.parse_string();
+          if (!reader.consume(':')) return std::nullopt;
+          if (arg_key == "request_id") {
+            event.request_id =
+                static_cast<std::uint64_t>(reader.parse_number());
+          } else {
+            reader.skip_value();
+          }
+        } while (reader.consume(','));
+        if (!reader.consume('}')) return std::nullopt;
+      }
+    } else {
+      reader.skip_value();
+    }
+    if (reader.failed) return std::nullopt;
+  } while (reader.consume(','));
+  if (!reader.consume('}')) return std::nullopt;
+  return event;
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& out,
+                        const std::vector<RequestLifecycle>& lifecycles) {
+  out << "{\n  \"displayTimeUnit\": \"ns\",\n  \"traceEvents\": [\n";
+  bool first = true;
+  for (const RequestLifecycle& lifecycle : lifecycles) {
+    for (const Span& span : lifecycle.spans) {
+      write_event(out, span, lifecycle.request_id, first);
+    }
+  }
+  out << "\n  ]\n}\n";
+}
+
+bool write_chrome_trace_file(
+    const std::string& path,
+    const std::vector<RequestLifecycle>& lifecycles) {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_chrome_trace(out, lifecycles);
+  return static_cast<bool>(out);
+}
+
+std::optional<std::vector<ChromeTraceEvent>> parse_chrome_trace(
+    const std::string& json) {
+  JsonReader reader{json};
+  if (!reader.consume('{')) return std::nullopt;
+  std::vector<ChromeTraceEvent> events;
+  bool saw_events = false;
+  if (!reader.consume('}')) {
+    do {
+      const std::string key = reader.parse_string();
+      if (!reader.consume(':')) return std::nullopt;
+      if (key == "traceEvents") {
+        if (!reader.consume('[')) return std::nullopt;
+        saw_events = true;
+        if (reader.peek() != ']') {
+          do {
+            bool is_complete = false;
+            auto event = parse_event(reader, is_complete);
+            if (!event) return std::nullopt;
+            // Only "X" (complete) events carry spans; metadata and counter
+            // events other tools add are skipped.
+            if (is_complete) events.push_back(std::move(*event));
+          } while (reader.consume(','));
+        }
+        if (!reader.consume(']')) return std::nullopt;
+      } else {
+        reader.skip_value();
+      }
+      if (reader.failed) return std::nullopt;
+    } while (reader.consume(','));
+    if (!reader.consume('}')) return std::nullopt;
+  }
+  if (!saw_events) return std::nullopt;
+  return events;
+}
+
+}  // namespace nicsched::obs

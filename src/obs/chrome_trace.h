@@ -1,0 +1,46 @@
+// Chrome trace_event export of recorded request lifecycles.
+//
+// The writer emits the JSON object format chrome://tracing and Perfetto
+// load: one complete ("ph":"X") event per closed span, timestamps and
+// durations in microseconds, with the emitting component as the thread lane
+// and the request id in args. The parser reads the same subset back — it
+// exists so tests can validate the export round-trips, and it makes the
+// format contract explicit in code rather than prose.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/span_recorder.h"
+
+namespace nicsched::obs {
+
+/// One "X" event as written to / parsed from the JSON.
+struct ChromeTraceEvent {
+  std::string name;       // span kind name
+  double ts_us = 0.0;     // begin, microseconds since sim origin
+  double dur_us = 0.0;
+  std::uint32_t tid = 0;  // emitting component
+  std::uint64_t request_id = 0;
+};
+
+/// Serializes lifecycles as a Chrome trace JSON object. Spans of incomplete
+/// lifecycles are included too — a truncated request is often exactly the
+/// one worth looking at.
+void write_chrome_trace(std::ostream& out,
+                        const std::vector<RequestLifecycle>& lifecycles);
+
+/// Convenience: write to `path`. Returns false if the file cannot be opened.
+bool write_chrome_trace_file(const std::string& path,
+                             const std::vector<RequestLifecycle>& lifecycles);
+
+/// Parses a Chrome trace JSON document produced by write_chrome_trace (the
+/// "traceEvents" object form). Returns nullopt on malformed input. Only the
+/// fields in ChromeTraceEvent are extracted; unknown keys are skipped.
+std::optional<std::vector<ChromeTraceEvent>> parse_chrome_trace(
+    const std::string& json);
+
+}  // namespace nicsched::obs

@@ -1,0 +1,84 @@
+#include "obs/span_recorder.h"
+
+#include <algorithm>
+
+namespace nicsched::obs {
+
+const char* to_string(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kClientWire: return "client-wire";
+    case SpanKind::kNicRx: return "nic-rx";
+    case SpanKind::kDispatchQueue: return "dispatch-queue";
+    case SpanKind::kDispatch: return "dispatch";
+    case SpanKind::kService: return "service";
+    case SpanKind::kRequeue: return "requeue";
+    case SpanKind::kResponse: return "response";
+  }
+  return "unknown";
+}
+
+void SpanRecorder::on_event(const sim::SpanEvent& event) {
+  ++events_seen_;
+  PendingRequest& request = requests_[event.request_id];
+  request.lifecycle.request_id = event.request_id;
+
+  if (event.when < request.last_event_at) {
+    ++time_regressions_;
+    return;
+  }
+  request.last_event_at = event.when;
+
+  const auto kind = static_cast<SpanKind>(event.kind);
+  if (event.begin) {
+    if (request.open) {
+      ++double_begins_;
+      return;
+    }
+    request.open = Span{kind, event.component, event.when, event.when};
+    return;
+  }
+
+  if (!request.open || request.open->kind != kind) {
+    ++unmatched_ends_;
+    return;
+  }
+  Span span = *request.open;
+  request.open.reset();
+  span.end = event.when;
+  request.lifecycle.spans.push_back(span);
+  if (kind == SpanKind::kResponse) request.lifecycle.complete = true;
+}
+
+std::vector<RequestLifecycle> SpanRecorder::completed() const {
+  std::vector<RequestLifecycle> out;
+  for (const auto& [id, request] : requests_) {
+    if (request.lifecycle.complete) out.push_back(request.lifecycle);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const RequestLifecycle& a, const RequestLifecycle& b) {
+              return a.request_id < b.request_id;
+            });
+  return out;
+}
+
+std::vector<RequestLifecycle> SpanRecorder::incomplete() const {
+  std::vector<RequestLifecycle> out;
+  for (const auto& [id, request] : requests_) {
+    if (!request.lifecycle.complete) out.push_back(request.lifecycle);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const RequestLifecycle& a, const RequestLifecycle& b) {
+              return a.request_id < b.request_id;
+            });
+  return out;
+}
+
+void SpanRecorder::clear() {
+  requests_.clear();
+  events_seen_ = 0;
+  unmatched_ends_ = 0;
+  double_begins_ = 0;
+  time_regressions_ = 0;
+}
+
+}  // namespace nicsched::obs

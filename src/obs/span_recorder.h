@@ -1,0 +1,107 @@
+// SpanRecorder: the span-sink that assembles raw SpanEvents into
+// per-request lifecycles and validates the tiling invariants as events
+// arrive:
+//
+//   * at most one span is open per request at any instant (the taxonomy is
+//     sequential, not nested);
+//   * an end event must match the open span's kind;
+//   * event times are monotone non-decreasing within a request.
+//
+// Violations never throw — they are counted and the offending event dropped,
+// so a misbehaving emission site degrades the trace, not the simulation.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/span.h"
+#include "sim/time.h"
+#include "sim/trace.h"
+
+namespace nicsched::obs {
+
+/// One closed span of a request's lifecycle.
+struct Span {
+  SpanKind kind = SpanKind::kClientWire;
+  std::uint32_t component = 0;
+  sim::TimePoint begin;
+  sim::TimePoint end;
+
+  sim::Duration duration() const { return end - begin; }
+};
+
+/// Everything recorded for one request, in emission order.
+struct RequestLifecycle {
+  std::uint64_t request_id = 0;
+  std::vector<Span> spans;
+  bool complete = false;  // final kResponse span closed
+
+  sim::TimePoint begin() const {
+    return spans.empty() ? sim::TimePoint::origin() : spans.front().begin;
+  }
+  sim::TimePoint end() const {
+    return spans.empty() ? sim::TimePoint::origin() : spans.back().end;
+  }
+  /// Sum of span durations. Tiling makes this equal end() - begin() — and
+  /// therefore equal to the client-measured end-to-end latency.
+  sim::Duration total() const {
+    sim::Duration sum;
+    for (const Span& span : spans) sum += span.duration();
+    return sum;
+  }
+  /// Total time spent in spans of `kind` (a preempted request has several
+  /// kService segments).
+  sim::Duration total_of(SpanKind kind) const {
+    sim::Duration sum;
+    for (const Span& span : spans) {
+      if (span.kind == kind) sum += span.duration();
+    }
+    return sum;
+  }
+};
+
+class SpanRecorder {
+ public:
+  /// The sink to install via `tracer.set_span_sink(recorder.sink())`.
+  sim::Tracer::SpanSink sink() {
+    return [this](const sim::SpanEvent& event) { on_event(event); };
+  }
+
+  void on_event(const sim::SpanEvent& event);
+
+  /// Lifecycles whose kResponse span closed, sorted by request id.
+  std::vector<RequestLifecycle> completed() const;
+
+  /// Lifecycles still open (issued but not yet responded, or truncated by
+  /// the end of the run), sorted by request id.
+  std::vector<RequestLifecycle> incomplete() const;
+
+  std::uint64_t events_seen() const { return events_seen_; }
+
+  /// Invariant-violation counters; all zero on a healthy trace.
+  std::uint64_t unmatched_ends() const { return unmatched_ends_; }
+  std::uint64_t double_begins() const { return double_begins_; }
+  std::uint64_t time_regressions() const { return time_regressions_; }
+  std::uint64_t violations() const {
+    return unmatched_ends_ + double_begins_ + time_regressions_;
+  }
+
+  void clear();
+
+ private:
+  struct PendingRequest {
+    RequestLifecycle lifecycle;
+    std::optional<Span> open;  // begun but not yet ended
+    sim::TimePoint last_event_at;
+  };
+
+  std::unordered_map<std::uint64_t, PendingRequest> requests_;
+  std::uint64_t events_seen_ = 0;
+  std::uint64_t unmatched_ends_ = 0;
+  std::uint64_t double_begins_ = 0;
+  std::uint64_t time_regressions_ = 0;
+};
+
+}  // namespace nicsched::obs

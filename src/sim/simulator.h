@@ -85,6 +85,31 @@ class Simulator {
     tracer_.emit(now_, category, std::move(component), std::move(message));
   }
 
+  /// Lazy form: `format` (returning a {component, message} pair) only runs
+  /// when a sink is installed. Hot paths use this so disabled tracing costs
+  /// one branch, never an allocation.
+  template <typename Fn>
+    requires std::is_invocable_v<Fn&>
+  void trace(TraceCategory category, Fn&& format) {
+    tracer_.emit(now_, category, std::forward<Fn>(format));
+  }
+
+  bool span_enabled() const { return tracer_.span_enabled(); }
+
+  /// Emits a span mark stamped with the current time.
+  void span(std::uint64_t request_id, std::uint16_t kind, bool begin,
+            std::uint32_t component = 0) {
+    tracer_.span(SpanEvent{now_, request_id, kind, begin, component});
+  }
+
+  /// Emits a span mark with an explicit (possibly earlier) timestamp — used
+  /// when a parse site learns the request id of a packet whose arrival was
+  /// stamped by the NIC.
+  void span_at(TimePoint when, std::uint64_t request_id, std::uint16_t kind,
+               bool begin, std::uint32_t component = 0) {
+    tracer_.span(SpanEvent{when, request_id, kind, begin, component});
+  }
+
  private:
   EventQueue queue_;
   TimePoint now_;

@@ -1,13 +1,25 @@
 // Lightweight, zero-cost-when-disabled tracing for simulator components.
 //
-// Components emit structured trace records through a `Tracer` owned by the
-// simulation harness. The default tracer discards everything; tests and the
-// debug CLI install collectors. Tracing never affects simulation behaviour.
+// Two channels flow through the simulation-wide `Tracer`:
+//
+//   * Text records (`TraceRecord`) — free-form, human-oriented messages for
+//     debugging and for benches that read the trace stream. Call sites pass
+//     a formatter callable so no string is built unless a sink is installed.
+//   * Span events (`SpanEvent`) — typed begin/end marks keyed by request id,
+//     the substrate of the src/obs request-lifecycle observability layer.
+//     The sim layer treats `kind` as an opaque integer; obs::SpanKind gives
+//     the taxonomy.
+//
+// The default tracer discards everything; tests, the debug CLI, and the
+// obs capture layer install sinks. Tracing never affects simulation
+// behaviour.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "sim/time.h"
@@ -32,9 +44,23 @@ struct TraceRecord {
   std::string message;
 };
 
+/// One begin or end mark of a request-lifecycle span. POD on purpose: span
+/// emission sits on hot paths, so the event must cost a handful of stores
+/// (and nothing at all when no span sink is installed).
+struct SpanEvent {
+  TimePoint when;
+  std::uint64_t request_id = 0;
+  std::uint16_t kind = 0;  // obs::SpanKind, opaque at this layer
+  bool begin = true;
+  /// Emitting entity (worker index, dispatcher group, client id) — becomes
+  /// the "thread" lane in Chrome trace exports.
+  std::uint32_t component = 0;
+};
+
 class Tracer {
  public:
   using Sink = std::function<void(const TraceRecord&)>;
+  using SpanSink = std::function<void(const SpanEvent&)>;
 
   /// Installs a sink; pass nullptr to disable. Returns the previous sink.
   Sink set_sink(Sink sink) {
@@ -53,8 +79,36 @@ class Tracer {
     }
   }
 
+  /// Lazy variant: `format` is only invoked when a sink is installed, so
+  /// call sites pay no allocation or formatting while tracing is disabled.
+  /// `format` returns a {component, message} pair.
+  template <typename Fn>
+    requires std::is_invocable_v<Fn&>
+  void emit(TimePoint when, TraceCategory category, Fn&& format) const {
+    if (sink_) {
+      auto [component, message] = format();
+      sink_(TraceRecord{when, category, std::move(component),
+                        std::move(message)});
+    }
+  }
+
+  /// Installs a span sink; pass nullptr to disable. Returns the previous
+  /// sink. Independent of the text-record sink.
+  SpanSink set_span_sink(SpanSink sink) {
+    SpanSink old = std::move(span_sink_);
+    span_sink_ = std::move(sink);
+    return old;
+  }
+
+  bool span_enabled() const { return static_cast<bool>(span_sink_); }
+
+  void span(const SpanEvent& event) const {
+    if (span_sink_) span_sink_(event);
+  }
+
  private:
   Sink sink_;
+  SpanSink span_sink_;
 };
 
 /// A sink that appends records to a vector, for tests.

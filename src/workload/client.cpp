@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "obs/span.h"
 #include "proto/messages.h"
 
 namespace nicsched::workload {
@@ -79,6 +80,10 @@ void ClientMachine::issue_request() {
   pending_.emplace(request_id, Pending{sim_.now(), sample.work, sample.kind});
   ++sent_;
   if (on_issue_) on_issue_(sim_.now());
+  if (sim_.span_enabled()) {
+    obs::begin_span(sim_, request_id, obs::SpanKind::kClientWire,
+                    config_.client_id);
+  }
   interface_->transmit(net::make_udp_datagram(address, message.serialize()));
 }
 
@@ -93,6 +98,10 @@ void ClientMachine::handle_rx() {
     if (it == pending_.end()) continue;  // duplicate or stray
 
     ++received_;
+    if (sim_.span_enabled()) {
+      obs::end_span(sim_, response->request_id, obs::SpanKind::kResponse,
+                    config_.client_id);
+    }
     if (on_response_) {
       ResponseRecord record;
       record.request_id = response->request_id;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/span.h"
 #include "proto/messages.h"
 
 namespace nicsched::workload {
@@ -72,6 +73,10 @@ void PacedClient::issue_request() {
 
   pending_.emplace(request_id, Pending{sim_.now(), sample.work, sample.kind});
   ++sent_;
+  if (sim_.span_enabled()) {
+    obs::begin_span(sim_, request_id, obs::SpanKind::kClientWire,
+                    config_.client_id);
+  }
   interface_->transmit(net::make_udp_datagram(address, message.serialize()));
 }
 
@@ -96,6 +101,10 @@ void PacedClient::handle_rx() {
     if (it == pending_.end()) continue;
 
     ++received_;
+    if (sim_.span_enabled()) {
+      obs::end_span(sim_, response->request_id, obs::SpanKind::kResponse,
+                    config_.client_id);
+    }
     on_feedback(response->queue_depth);
     if (on_response_) {
       ResponseRecord record;

@@ -5,6 +5,8 @@
 #include <memory>
 
 #include "core/offload_server.h"
+#include "core/server_factory.h"
+#include "core/testbed.h"
 #include "net/ethernet_switch.h"
 #include "net/nic.h"
 #include "net/wire.h"
@@ -96,11 +98,11 @@ TEST(LossEndToEnd, OffloadKeepsServingUnderExternalLoss) {
   const core::ModelParams params = core::ModelParams::defaults();
   net::EthernetSwitch network(sim, params.switch_forward_latency);
 
-  core::ShinjukuOffloadServer::Config server_config;
-  server_config.worker_count = 4;
-  server_config.outstanding_per_worker = 4;
-  server_config.preemption_enabled = false;
-  core::ShinjukuOffloadServer server(sim, network, params, server_config);
+  const auto experiment =
+      core::ExperimentConfig::offload().workers(4).outstanding(4)
+          .no_preemption();
+  const auto server_ptr = core::make_server(experiment, sim, network);
+  auto& server = dynamic_cast<core::ShinjukuOffloadServer&>(*server_ptr);
 
   workload::ClientMachine::Config client_config;
   client_config.client_id = 1;

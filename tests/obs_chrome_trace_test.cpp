@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "obs/chrome_trace.h"
+#include "obs/span.h"
+#include "obs/span_recorder.h"
+
+namespace nicsched {
+namespace {
+
+obs::RequestLifecycle make_lifecycle(std::uint64_t id) {
+  obs::RequestLifecycle life;
+  life.request_id = id;
+  life.complete = true;
+  const auto at = [](std::int64_t ps) {
+    return sim::TimePoint::origin() + sim::Duration::picos(ps);
+  };
+  // Deliberately sub-microsecond boundaries to exercise the fixed-point
+  // microsecond formatting.
+  life.spans.push_back(
+      {obs::SpanKind::kClientWire, 1, at(0), at(2'350'000)});
+  life.spans.push_back(
+      {obs::SpanKind::kNicRx, 0, at(2'350'000), at(2'412'500)});
+  life.spans.push_back(
+      {obs::SpanKind::kService, 103, at(2'412'500), at(7'412'500)});
+  life.spans.push_back(
+      {obs::SpanKind::kResponse, 103, at(7'412'500), at(9'000'001)});
+  return life;
+}
+
+TEST(ChromeTrace, RoundTripsThroughParser) {
+  std::vector<obs::RequestLifecycle> lifecycles = {make_lifecycle(11),
+                                                   make_lifecycle(12)};
+  std::ostringstream out;
+  obs::write_chrome_trace(out, lifecycles);
+  const std::string json = out.str();
+
+  const auto parsed = obs::parse_chrome_trace(json);
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->size(), 8u);
+
+  // Events come back in lifecycle-then-span order.
+  const obs::ChromeTraceEvent& wire = (*parsed)[0];
+  EXPECT_EQ(wire.name, "client-wire");
+  EXPECT_EQ(wire.request_id, 11u);
+  EXPECT_EQ(wire.tid, 1u);
+  EXPECT_DOUBLE_EQ(wire.ts_us, 0.0);
+  EXPECT_DOUBLE_EQ(wire.dur_us, 2.35);
+
+  const obs::ChromeTraceEvent& service = (*parsed)[2];
+  EXPECT_EQ(service.name, "service");
+  EXPECT_EQ(service.tid, 103u);
+  EXPECT_DOUBLE_EQ(service.ts_us, 2.4125);
+  EXPECT_DOUBLE_EQ(service.dur_us, 5.0);
+
+  const obs::ChromeTraceEvent& last = (*parsed)[7];
+  EXPECT_EQ(last.request_id, 12u);
+  EXPECT_EQ(last.name, "response");
+  // 1'587'501 ps, formatted at fixed 6-decimal microseconds.
+  EXPECT_DOUBLE_EQ(last.dur_us, 1.587501);
+}
+
+TEST(ChromeTrace, EmptyCaptureIsStillValidJson) {
+  std::ostringstream out;
+  obs::write_chrome_trace(out, {});
+  const auto parsed = obs::parse_chrome_trace(out.str());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->empty());
+}
+
+TEST(ChromeTrace, ParserRejectsMalformedInput) {
+  EXPECT_FALSE(obs::parse_chrome_trace("").has_value());
+  EXPECT_FALSE(obs::parse_chrome_trace("not json").has_value());
+  EXPECT_FALSE(obs::parse_chrome_trace("{\"traceEvents\": 3}").has_value());
+  EXPECT_FALSE(
+      obs::parse_chrome_trace("{\"traceEvents\": [{\"ph\":\"X\"")
+          .has_value());
+}
+
+TEST(ChromeTrace, ParserSkipsUnknownKeysAndNonCompleteEvents) {
+  const std::string json = R"({
+    "displayTimeUnit": "ns",
+    "otherTopLevel": {"nested": [1, 2, {"deep": true}]},
+    "traceEvents": [
+      {"name": "meta", "ph": "M", "pid": 1, "args": {"x": 1}},
+      {"name": "service", "cat": "request", "ph": "X", "ts": 1.5,
+       "dur": 4.25, "pid": 1, "tid": 100,
+       "args": {"request_id": 42, "extra": "ignored"}}
+    ]
+  })";
+  const auto parsed = obs::parse_chrome_trace(json);
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->size(), 1u);
+  EXPECT_EQ((*parsed)[0].name, "service");
+  EXPECT_DOUBLE_EQ((*parsed)[0].ts_us, 1.5);
+  EXPECT_DOUBLE_EQ((*parsed)[0].dur_us, 4.25);
+  EXPECT_EQ((*parsed)[0].tid, 100u);
+  EXPECT_EQ((*parsed)[0].request_id, 42u);
+}
+
+TEST(ChromeTrace, RecorderOutputRoundTrips) {
+  // Feed a recorder the way the simulator would, then export + parse.
+  obs::SpanRecorder recorder;
+  sim::SpanEvent e;
+  e.request_id = 5;
+  const auto emit = [&](std::int64_t us, obs::SpanKind kind, bool begin,
+                        std::uint32_t component) {
+    e.when = sim::TimePoint::origin() + sim::Duration::micros(us);
+    e.kind = static_cast<std::uint16_t>(kind);
+    e.begin = begin;
+    e.component = component;
+    recorder.on_event(e);
+  };
+  emit(0, obs::SpanKind::kClientWire, true, 1);
+  emit(2, obs::SpanKind::kClientWire, false, 1);
+  emit(2, obs::SpanKind::kDispatchQueue, true, 0);
+  emit(5, obs::SpanKind::kDispatchQueue, false, 0);
+  emit(5, obs::SpanKind::kService, true, 101);
+  emit(11, obs::SpanKind::kService, false, 101);
+  emit(11, obs::SpanKind::kResponse, true, 101);
+  emit(13, obs::SpanKind::kResponse, false, 1);
+
+  std::ostringstream out;
+  obs::write_chrome_trace(out, recorder.completed());
+  const auto parsed = obs::parse_chrome_trace(out.str());
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->size(), 4u);
+  double total_us = 0.0;
+  for (const auto& event : *parsed) {
+    EXPECT_EQ(event.request_id, 5u);
+    total_us += event.dur_us;
+  }
+  EXPECT_DOUBLE_EQ(total_us, 13.0);
+}
+
+}  // namespace
+}  // namespace nicsched

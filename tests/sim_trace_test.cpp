@@ -3,7 +3,8 @@
 
 #include <memory>
 
-#include "core/offload_server.h"
+#include "core/server_factory.h"
+#include "core/testbed.h"
 #include "sim/simulator.h"
 #include "sim/trace.h"
 #include "workload/client.h"
@@ -60,10 +61,10 @@ TEST(TracerEndToEnd, OffloadRequestLifecycleIsVisible) {
 
   const core::ModelParams params = core::ModelParams::defaults();
   net::EthernetSwitch network(sim, params.switch_forward_latency);
-  core::ShinjukuOffloadServer::Config server_config;
-  server_config.worker_count = 1;
-  server_config.time_slice = sim::Duration::micros(10);
-  core::ShinjukuOffloadServer server(sim, network, params, server_config);
+  const auto experiment = core::ExperimentConfig::offload().workers(1).slice(
+      sim::Duration::micros(10));
+  const auto server_ptr = core::make_server(experiment, sim, network);
+  core::Server& server = *server_ptr;
 
   workload::ClientMachine::Config client_config;
   client_config.client_id = 1;

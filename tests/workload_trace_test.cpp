@@ -1,4 +1,4 @@
-#include "workload/trace.h"
+#include "workload/replay.h"
 
 #include <gtest/gtest.h>
 
