@@ -211,6 +211,7 @@ tests/CMakeFiles/sim_simulator_test.dir/sim_simulator_test.cpp.o: \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
  /root/repo/src/sim/time.h /root/repo/src/sim/trace.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/miniconda/include/gtest/gtest.h /usr/include/c++/12/cstddef \
  /usr/include/c++/12/limits \
  /root/miniconda/include/gtest/internal/gtest-internal.h \
@@ -286,7 +287,6 @@ tests/CMakeFiles/sim_simulator_test.dir/sim_simulator_test.cpp.o: \
  /root/miniconda/include/gtest/gtest-matchers.h \
  /usr/include/c++/12/atomic \
  /root/miniconda/include/gtest/gtest-printers.h \
- /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/miniconda/include/gtest/internal/custom/gtest-printers.h \
  /root/miniconda/include/gtest/gtest-param-test.h \
  /usr/include/c++/12/iterator /usr/include/c++/12/bits/stream_iterator.h \
