@@ -221,7 +221,8 @@ bench/CMakeFiles/ablation_bursts.dir/ablation_bursts.cpp.o: \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/hw/apic_timer.h \
+ /usr/include/c++/12/bits/stl_multimap.h \
+ /root/repo/src/fault/fault_schedule.h /root/repo/src/hw/apic_timer.h \
  /root/repo/src/hw/cpu_core.h /root/repo/src/sim/simulator.h \
  /root/repo/src/sim/event_queue.h /usr/include/c++/12/queue \
  /usr/include/c++/12/bits/stl_queue.h /root/repo/src/sim/trace.h \

@@ -224,7 +224,8 @@ bench/CMakeFiles/ablation_multidispatcher.dir/ablation_multidispatcher.cpp.o: \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/hw/apic_timer.h \
+ /usr/include/c++/12/bits/stl_multimap.h \
+ /root/repo/src/fault/fault_schedule.h /root/repo/src/hw/apic_timer.h \
  /root/repo/src/hw/cpu_core.h /root/repo/src/sim/simulator.h \
  /root/repo/src/sim/event_queue.h /usr/include/c++/12/queue \
  /usr/include/c++/12/bits/stl_queue.h /root/repo/src/sim/trace.h \
@@ -268,7 +269,8 @@ bench/CMakeFiles/ablation_multidispatcher.dir/ablation_multidispatcher.cpp.o: \
  /root/repo/src/stats/response_log.h \
  /root/repo/src/core/shinjuku_server.h /root/repo/src/core/core_status.h \
  /root/repo/src/core/packet_pump.h /root/repo/src/hw/channel.h \
- /root/repo/src/hw/interrupt.h /root/repo/src/exp/exp.h \
- /root/repo/src/exp/figure.h /root/repo/src/exp/result_sink.h \
- /root/repo/src/exp/sweep_runner.h /usr/include/c++/12/atomic \
- /root/repo/src/exp/grid.h /root/repo/src/stats/table.h
+ /root/repo/src/fault/fault_surface.h /root/repo/src/hw/interrupt.h \
+ /root/repo/src/exp/exp.h /root/repo/src/exp/figure.h \
+ /root/repo/src/exp/result_sink.h /root/repo/src/exp/sweep_runner.h \
+ /usr/include/c++/12/atomic /root/repo/src/exp/grid.h \
+ /root/repo/src/stats/table.h

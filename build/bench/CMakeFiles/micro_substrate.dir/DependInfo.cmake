@@ -15,6 +15,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/core/CMakeFiles/nicsched_core.dir/DependInfo.cmake"
   "/root/repo/build/src/hw/CMakeFiles/nicsched_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/nicsched_fault.dir/DependInfo.cmake"
   "/root/repo/build/src/stats/CMakeFiles/nicsched_stats.dir/DependInfo.cmake"
   "/root/repo/build/src/workload/CMakeFiles/nicsched_workload.dir/DependInfo.cmake"
   "/root/repo/build/src/proto/CMakeFiles/nicsched_proto.dir/DependInfo.cmake"

@@ -6,6 +6,7 @@
 # testing this directory and lists subdirectories to be tested as well.
 subdirs("sim")
 subdirs("net")
+subdirs("fault")
 subdirs("hw")
 subdirs("proto")
 subdirs("obs")

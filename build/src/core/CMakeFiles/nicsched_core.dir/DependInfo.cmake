@@ -23,6 +23,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/net/CMakeFiles/nicsched_net.dir/DependInfo.cmake"
   "/root/repo/build/src/hw/CMakeFiles/nicsched_hw.dir/DependInfo.cmake"
   "/root/repo/build/src/proto/CMakeFiles/nicsched_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/nicsched_fault.dir/DependInfo.cmake"
   "/root/repo/build/src/workload/CMakeFiles/nicsched_workload.dir/DependInfo.cmake"
   "/root/repo/build/src/stats/CMakeFiles/nicsched_stats.dir/DependInfo.cmake"
   "/root/repo/build/src/obs/CMakeFiles/nicsched_obs.dir/DependInfo.cmake"

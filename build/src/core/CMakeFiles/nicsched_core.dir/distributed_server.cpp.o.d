@@ -216,12 +216,12 @@ src/core/CMakeFiles/nicsched_core.dir/distributed_server.cpp.o: \
  /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
  /root/repo/src/net/ipv4.h /root/repo/src/net/ipv4_address.h \
  /root/repo/src/net/udp.h /root/repo/src/proto/messages.h \
- /root/repo/src/hw/cpu_core.h /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /root/repo/src/sim/simulator.h /root/repo/src/sim/event_queue.h \
- /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/sim/trace.h /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/fault/fault_surface.h /root/repo/src/hw/cpu_core.h \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /root/repo/src/sim/simulator.h \
+ /root/repo/src/sim/event_queue.h /usr/include/c++/12/queue \
+ /usr/include/c++/12/bits/stl_queue.h /root/repo/src/sim/trace.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/net/ethernet_switch.h /root/repo/src/net/wire.h \
  /root/repo/src/sim/random.h /usr/include/c++/12/random \
  /usr/include/c++/12/cmath /usr/include/math.h \

@@ -220,7 +220,8 @@ src/core/CMakeFiles/nicsched_core.dir/server_factory.cpp.o: \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/hw/apic_timer.h \
+ /usr/include/c++/12/bits/stl_multimap.h \
+ /root/repo/src/fault/fault_schedule.h /root/repo/src/hw/apic_timer.h \
  /root/repo/src/hw/cpu_core.h /root/repo/src/sim/simulator.h \
  /root/repo/src/sim/event_queue.h /usr/include/c++/12/queue \
  /usr/include/c++/12/bits/stl_queue.h /root/repo/src/sim/trace.h \
@@ -263,7 +264,10 @@ src/core/CMakeFiles/nicsched_core.dir/server_factory.cpp.o: \
  /root/repo/src/workload/distribution.h \
  /root/repo/src/stats/response_log.h \
  /root/repo/src/core/distributed_server.h \
+ /root/repo/src/fault/fault_surface.h \
  /root/repo/src/core/ideal_nic_server.h /root/repo/src/core/core_status.h \
  /root/repo/src/core/packet_pump.h /root/repo/src/hw/channel.h \
  /root/repo/src/hw/interrupt.h /root/repo/src/core/offload_server.h \
+ /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/core/shinjuku_server.h

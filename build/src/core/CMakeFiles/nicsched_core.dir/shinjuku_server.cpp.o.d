@@ -226,7 +226,8 @@ src/core/CMakeFiles/nicsched_core.dir/shinjuku_server.cpp.o: \
  /root/repo/src/core/server.h /root/repo/src/proto/messages.h \
  /root/repo/src/core/task_queue.h /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/hw/interrupt.h \
+ /usr/include/c++/12/bits/stl_multimap.h \
+ /root/repo/src/fault/fault_surface.h /root/repo/src/hw/interrupt.h \
  /root/repo/src/net/ethernet_switch.h /root/repo/src/net/wire.h \
  /root/repo/src/sim/random.h /usr/include/c++/12/random \
  /usr/include/c++/12/cmath /usr/include/math.h \

@@ -219,7 +219,8 @@ src/core/CMakeFiles/nicsched_core.dir/testbed.cpp.o: \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/hw/apic_timer.h \
+ /usr/include/c++/12/bits/stl_multimap.h \
+ /root/repo/src/fault/fault_schedule.h /root/repo/src/hw/apic_timer.h \
  /root/repo/src/hw/cpu_core.h /root/repo/src/sim/simulator.h \
  /root/repo/src/sim/event_queue.h /usr/include/c++/12/queue \
  /usr/include/c++/12/bits/stl_queue.h /root/repo/src/sim/trace.h \
@@ -265,4 +266,6 @@ src/core/CMakeFiles/nicsched_core.dir/testbed.cpp.o: \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/core/distributed_server.h \
- /root/repo/src/core/server_factory.h
+ /root/repo/src/fault/fault_surface.h \
+ /root/repo/src/core/server_factory.h \
+ /root/repo/src/fault/fault_injector.h

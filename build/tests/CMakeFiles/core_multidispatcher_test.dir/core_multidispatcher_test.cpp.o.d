@@ -308,10 +308,10 @@ tests/CMakeFiles/core_multidispatcher_test.dir/core_multidispatcher_test.cpp.o: 
  /root/repo/src/net/mac_address.h /root/repo/src/net/ipv4.h \
  /root/repo/src/net/ipv4_address.h /root/repo/src/net/udp.h \
  /root/repo/src/core/server.h /root/repo/src/proto/messages.h \
- /root/repo/src/core/task_queue.h /root/repo/src/hw/interrupt.h \
- /root/repo/src/net/ethernet_switch.h /root/repo/src/net/wire.h \
- /root/repo/src/sim/random.h /usr/include/c++/12/random \
- /usr/include/c++/12/cmath /usr/include/math.h \
+ /root/repo/src/core/task_queue.h /root/repo/src/fault/fault_surface.h \
+ /root/repo/src/hw/interrupt.h /root/repo/src/net/ethernet_switch.h \
+ /root/repo/src/net/wire.h /root/repo/src/sim/random.h \
+ /usr/include/c++/12/random /usr/include/c++/12/cmath /usr/include/math.h \
  /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
@@ -339,10 +339,10 @@ tests/CMakeFiles/core_multidispatcher_test.dir/core_multidispatcher_test.cpp.o: 
  /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h /root/repo/src/net/nic.h \
  /root/repo/src/net/flow_director.h /root/repo/src/net/toeplitz.h \
- /root/repo/src/core/testbed.h /root/repo/src/hw/apic_timer.h \
- /root/repo/src/obs/capture.h /root/repo/src/obs/metrics.h \
- /root/repo/src/obs/span_recorder.h /root/repo/src/obs/span.h \
- /root/repo/src/stats/recorder.h /root/repo/src/stats/histogram.h \
- /root/repo/src/workload/client.h /root/repo/src/workload/arrival.h \
- /root/repo/src/workload/distribution.h \
+ /root/repo/src/core/testbed.h /root/repo/src/fault/fault_schedule.h \
+ /root/repo/src/hw/apic_timer.h /root/repo/src/obs/capture.h \
+ /root/repo/src/obs/metrics.h /root/repo/src/obs/span_recorder.h \
+ /root/repo/src/obs/span.h /root/repo/src/stats/recorder.h \
+ /root/repo/src/stats/histogram.h /root/repo/src/workload/client.h \
+ /root/repo/src/workload/arrival.h /root/repo/src/workload/distribution.h \
  /root/repo/src/stats/response_log.h

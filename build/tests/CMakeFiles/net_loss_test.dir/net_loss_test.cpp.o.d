@@ -293,8 +293,10 @@ tests/CMakeFiles/net_loss_test.dir/net_loss_test.cpp.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/core/offload_server.h /root/repo/src/core/core_status.h \
- /root/repo/src/sim/time.h /root/repo/src/core/model_params.h \
+ /root/repo/src/core/offload_server.h /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h \
+ /root/repo/src/core/core_status.h /root/repo/src/sim/time.h \
+ /root/repo/src/fault/fault_surface.h /root/repo/src/core/model_params.h \
  /root/repo/src/hw/ddio.h /root/repo/src/core/packet_pump.h \
  /root/repo/src/hw/channel.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
@@ -339,9 +341,9 @@ tests/CMakeFiles/net_loss_test.dir/net_loss_test.cpp.o: \
  /usr/include/c++/12/pstl/glue_numeric_defs.h /root/repo/src/net/nic.h \
  /root/repo/src/net/flow_director.h /root/repo/src/net/toeplitz.h \
  /root/repo/src/core/server_factory.h /root/repo/src/core/testbed.h \
- /root/repo/src/obs/capture.h /root/repo/src/obs/metrics.h \
- /root/repo/src/obs/span_recorder.h /root/repo/src/obs/span.h \
- /root/repo/src/stats/recorder.h /root/repo/src/stats/histogram.h \
- /root/repo/src/workload/client.h /root/repo/src/workload/arrival.h \
- /root/repo/src/workload/distribution.h \
+ /root/repo/src/fault/fault_schedule.h /root/repo/src/obs/capture.h \
+ /root/repo/src/obs/metrics.h /root/repo/src/obs/span_recorder.h \
+ /root/repo/src/obs/span.h /root/repo/src/stats/recorder.h \
+ /root/repo/src/stats/histogram.h /root/repo/src/workload/client.h \
+ /root/repo/src/workload/arrival.h /root/repo/src/workload/distribution.h \
  /root/repo/src/stats/response_log.h

@@ -293,8 +293,49 @@ tests/CMakeFiles/obs_metrics_test.dir/obs_metrics_test.cpp.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/obs/metrics.h /root/repo/src/sim/simulator.h \
- /root/repo/src/sim/event_queue.h /usr/include/c++/12/queue \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/sim/time.h /root/repo/src/sim/trace.h
+ /root/repo/src/core/shinjuku_server.h /root/repo/src/core/core_status.h \
+ /root/repo/src/sim/time.h /root/repo/src/core/model_params.h \
+ /root/repo/src/hw/ddio.h /root/repo/src/core/packet_pump.h \
+ /root/repo/src/hw/channel.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/sim/simulator.h /root/repo/src/sim/event_queue.h \
+ /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
+ /root/repo/src/sim/trace.h /root/repo/src/hw/cpu_core.h \
+ /root/repo/src/net/rx_ring.h /root/repo/src/net/packet.h \
+ /usr/include/c++/12/span /root/repo/src/net/ethernet.h \
+ /root/repo/src/net/byte_io.h /usr/include/c++/12/cstring \
+ /root/repo/src/net/mac_address.h /root/repo/src/net/ipv4.h \
+ /root/repo/src/net/ipv4_address.h /root/repo/src/net/udp.h \
+ /root/repo/src/core/server.h /root/repo/src/proto/messages.h \
+ /root/repo/src/core/task_queue.h /root/repo/src/fault/fault_surface.h \
+ /root/repo/src/hw/interrupt.h /root/repo/src/net/ethernet_switch.h \
+ /root/repo/src/net/wire.h /root/repo/src/sim/random.h \
+ /usr/include/c++/12/random /usr/include/c++/12/cmath /usr/include/math.h \
+ /usr/include/x86_64-linux-gnu/bits/math-vector.h \
+ /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
+ /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
+ /usr/include/x86_64-linux-gnu/bits/fp-logb.h \
+ /usr/include/x86_64-linux-gnu/bits/fp-fast.h \
+ /usr/include/x86_64-linux-gnu/bits/mathcalls-helper-functions.h \
+ /usr/include/x86_64-linux-gnu/bits/mathcalls.h \
+ /usr/include/x86_64-linux-gnu/bits/mathcalls-narrow.h \
+ /usr/include/x86_64-linux-gnu/bits/iscanonical.h \
+ /usr/include/c++/12/bits/specfun.h /usr/include/c++/12/tr1/gamma.tcc \
+ /usr/include/c++/12/tr1/special_function_util.h \
+ /usr/include/c++/12/tr1/bessel_function.tcc \
+ /usr/include/c++/12/tr1/beta_function.tcc \
+ /usr/include/c++/12/tr1/ell_integral.tcc \
+ /usr/include/c++/12/tr1/exp_integral.tcc \
+ /usr/include/c++/12/tr1/hypergeometric.tcc \
+ /usr/include/c++/12/tr1/legendre_function.tcc \
+ /usr/include/c++/12/tr1/modified_bessel_func.tcc \
+ /usr/include/c++/12/tr1/poly_hermite.tcc \
+ /usr/include/c++/12/tr1/poly_laguerre.tcc \
+ /usr/include/c++/12/tr1/riemann_zeta.tcc \
+ /usr/include/c++/12/bits/random.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/opt_random.h \
+ /usr/include/c++/12/bits/random.tcc /usr/include/c++/12/numeric \
+ /usr/include/c++/12/bits/stl_numeric.h \
+ /usr/include/c++/12/pstl/glue_numeric_defs.h /root/repo/src/net/nic.h \
+ /root/repo/src/net/flow_director.h /root/repo/src/net/toeplitz.h \
+ /root/repo/src/obs/metrics.h

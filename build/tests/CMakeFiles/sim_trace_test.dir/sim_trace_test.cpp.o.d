@@ -303,16 +303,16 @@ tests/CMakeFiles/sim_trace_test.dir/sim_trace_test.cpp.o: \
  /root/repo/src/core/testbed.h /root/repo/src/core/model_params.h \
  /root/repo/src/core/task_queue.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /root/repo/src/hw/apic_timer.h /root/repo/src/hw/cpu_core.h \
- /root/repo/src/sim/simulator.h /root/repo/src/sim/event_queue.h \
- /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/sim/trace.h /root/repo/src/obs/capture.h \
- /root/repo/src/obs/metrics.h /root/repo/src/obs/span_recorder.h \
- /root/repo/src/obs/span.h /root/repo/src/stats/recorder.h \
- /root/repo/src/stats/histogram.h /root/repo/src/workload/client.h \
- /root/repo/src/net/ethernet_switch.h /root/repo/src/net/wire.h \
- /root/repo/src/sim/random.h /usr/include/c++/12/random \
- /usr/include/c++/12/cmath /usr/include/math.h \
+ /root/repo/src/fault/fault_schedule.h /root/repo/src/hw/apic_timer.h \
+ /root/repo/src/hw/cpu_core.h /root/repo/src/sim/simulator.h \
+ /root/repo/src/sim/event_queue.h /usr/include/c++/12/queue \
+ /usr/include/c++/12/bits/stl_queue.h /root/repo/src/sim/trace.h \
+ /root/repo/src/obs/capture.h /root/repo/src/obs/metrics.h \
+ /root/repo/src/obs/span_recorder.h /root/repo/src/obs/span.h \
+ /root/repo/src/stats/recorder.h /root/repo/src/stats/histogram.h \
+ /root/repo/src/workload/client.h /root/repo/src/net/ethernet_switch.h \
+ /root/repo/src/net/wire.h /root/repo/src/sim/random.h \
+ /usr/include/c++/12/random /usr/include/c++/12/cmath /usr/include/math.h \
  /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \

@@ -339,7 +339,8 @@ tests/CMakeFiles/stats_response_log_test.dir/stats_response_log_test.cpp.o: \
  /root/repo/src/core/testbed.h /root/repo/src/core/model_params.h \
  /root/repo/src/hw/ddio.h /root/repo/src/core/server.h \
  /root/repo/src/proto/messages.h /root/repo/src/core/task_queue.h \
- /root/repo/src/hw/apic_timer.h /root/repo/src/hw/cpu_core.h \
- /root/repo/src/obs/capture.h /root/repo/src/obs/metrics.h \
- /root/repo/src/obs/span_recorder.h /root/repo/src/obs/span.h \
- /root/repo/src/stats/recorder.h /root/repo/src/stats/histogram.h
+ /root/repo/src/fault/fault_schedule.h /root/repo/src/hw/apic_timer.h \
+ /root/repo/src/hw/cpu_core.h /root/repo/src/obs/capture.h \
+ /root/repo/src/obs/metrics.h /root/repo/src/obs/span_recorder.h \
+ /root/repo/src/obs/span.h /root/repo/src/stats/recorder.h \
+ /root/repo/src/stats/histogram.h

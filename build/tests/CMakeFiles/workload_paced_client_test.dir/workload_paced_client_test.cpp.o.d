@@ -340,5 +340,5 @@ tests/CMakeFiles/workload_paced_client_test.dir/workload_paced_client_test.cpp.o
  /root/repo/src/core/packet_pump.h /root/repo/src/hw/channel.h \
  /root/repo/src/hw/cpu_core.h /root/repo/src/core/server.h \
  /root/repo/src/proto/messages.h /root/repo/src/core/task_queue.h \
- /root/repo/src/hw/interrupt.h /root/repo/src/stats/recorder.h \
- /root/repo/src/stats/histogram.h
+ /root/repo/src/fault/fault_surface.h /root/repo/src/hw/interrupt.h \
+ /root/repo/src/stats/recorder.h /root/repo/src/stats/histogram.h

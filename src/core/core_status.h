@@ -32,6 +32,9 @@ class CoreStatusTable {
     /// When the scheduler believes the worker's current request started
     /// executing; used by informed preemption policies.
     std::optional<sim::TimePoint> running_since;
+    /// Cleared by the liveness detector when the worker stops acking;
+    /// unhealthy workers receive no new assignments until revived.
+    bool healthy = true;
   };
 
   CoreStatusTable(std::size_t worker_count, std::uint32_t capacity)
@@ -50,10 +53,17 @@ class CoreStatusTable {
     std::optional<std::size_t> best;
     for (std::size_t i = 0; i < entries_.size(); ++i) {
       const Entry& entry = entries_[i];
+      if (!entry.healthy) continue;
       if (entry.outstanding >= entry.capacity) continue;
       if (!best || entry.outstanding < entries_[*best].outstanding) best = i;
     }
     return best;
+  }
+
+  /// Liveness verdict from the enclosing system's detector; an unhealthy
+  /// worker never wins pick_least_loaded.
+  void set_healthy(std::size_t worker, bool healthy) {
+    entries_[worker].healthy = healthy;
   }
 
   void note_sent(std::size_t worker, sim::TimePoint now) {

@@ -44,6 +44,7 @@ class DistributedServer::Worker {
   }
 
   const hw::CpuCore& core() const { return core_; }
+  hw::CpuCore& mutable_core() { return core_; }
   std::uint64_t responses_sent() const { return responses_sent_; }
   std::uint64_t requests_received() const { return requests_received_; }
   std::uint64_t steals() const { return steals_; }
@@ -180,7 +181,11 @@ class DistributedServer::Worker {
 DistributedServer::DistributedServer(sim::Simulator& sim,
                                      net::EthernetSwitch& network,
                                      const ModelParams& params, Config config)
-    : sim_(sim), params_(params), config_(config), nic_(sim, nic_config(params)) {
+    : sim_(sim),
+      network_(network),
+      params_(params),
+      config_(config),
+      nic_(sim, nic_config(params)) {
   if (config_.worker_count == 0) {
     throw std::invalid_argument("DistributedServer: need >= 1 worker");
   }
@@ -248,6 +253,31 @@ std::string DistributedServer::name() const {
     case Policy::kElasticRss: return "elastic-rss";
   }
   return "distributed";
+}
+
+void DistributedServer::inject_ingress_loss(double probability,
+                                            std::uint64_t seed) {
+  network_.set_port_loss(pf_->mac(), probability, seed);
+}
+
+void DistributedServer::inject_dispatch_loss(double /*probability*/,
+                                             std::uint64_t /*seed*/) {}
+
+void DistributedServer::inject_ingress_degrade(double factor) {
+  network_.set_port_degrade(pf_->mac(), factor);
+}
+
+void DistributedServer::inject_worker_stall(std::uint32_t worker,
+                                            sim::Duration duration) {
+  workers_[worker]->mutable_core().stall_for(duration);
+}
+
+void DistributedServer::inject_worker_crash(std::uint32_t worker) {
+  workers_[worker]->mutable_core().stall();
+}
+
+void DistributedServer::inject_worker_resume(std::uint32_t worker) {
+  workers_[worker]->mutable_core().resume();
 }
 
 ServerStats DistributedServer::stats(sim::Duration elapsed) const {

@@ -61,6 +61,7 @@ class IdealNicServer::Worker {
   hw::InterruptLine& interrupt_line() { return interrupt_line_; }
 
   const hw::CpuCore& core() const { return core_; }
+  hw::CpuCore& mutable_core() { return core_; }
   std::uint64_t preemptions() const { return preemptions_; }
   std::uint64_t responses_sent() const { return responses_sent_; }
   std::uint64_t spurious() const { return interrupt_line_.spurious_count(); }
@@ -178,6 +179,7 @@ IdealNicServer::IdealNicServer(sim::Simulator& sim,
                                net::EthernetSwitch& network,
                                const ModelParams& params, Config config)
     : sim_(sim),
+      network_(network),
       params_(params),
       config_(config),
       nic_(sim, nic_config(params)),
@@ -330,6 +332,31 @@ void IdealNicServer::issue_preempt(std::size_t worker) {
           workers_[worker]->on_preempted(remaining);
         });
   });
+}
+
+void IdealNicServer::inject_ingress_loss(double probability,
+                                         std::uint64_t seed) {
+  network_.set_port_loss(pf_->mac(), probability, seed);
+}
+
+void IdealNicServer::inject_dispatch_loss(double /*probability*/,
+                                          std::uint64_t /*seed*/) {}
+
+void IdealNicServer::inject_ingress_degrade(double factor) {
+  network_.set_port_degrade(pf_->mac(), factor);
+}
+
+void IdealNicServer::inject_worker_stall(std::uint32_t worker,
+                                         sim::Duration duration) {
+  workers_[worker]->mutable_core().stall_for(duration);
+}
+
+void IdealNicServer::inject_worker_crash(std::uint32_t worker) {
+  workers_[worker]->mutable_core().stall();
+}
+
+void IdealNicServer::inject_worker_resume(std::uint32_t worker) {
+  workers_[worker]->mutable_core().resume();
 }
 
 ServerStats IdealNicServer::stats(sim::Duration elapsed) const {

@@ -25,6 +25,7 @@
 #include "core/packet_pump.h"
 #include "core/server.h"
 #include "core/task_queue.h"
+#include "fault/fault_surface.h"
 #include "hw/channel.h"
 #include "hw/cpu_core.h"
 #include "hw/interrupt.h"
@@ -34,7 +35,7 @@
 
 namespace nicsched::core {
 
-class IdealNicServer final : public Server {
+class IdealNicServer final : public Server, public fault::FaultSurface {
  public:
   struct Config {
     std::size_t worker_count = 4;
@@ -65,6 +66,20 @@ class IdealNicServer final : public Server {
   const CoreStatusTable& core_status() const { return status_; }
   const TaskQueue& task_queue() const { return queue_; }
 
+  // --- fault::FaultSurface -------------------------------------------------
+  fault::FaultSurface* fault_surface() override { return this; }
+  std::uint32_t fault_worker_count() const override {
+    return static_cast<std::uint32_t>(config_.worker_count);
+  }
+  void inject_ingress_loss(double probability, std::uint64_t seed) override;
+  /// No-op: the CXL assignment/status path is coherent memory, not packets.
+  void inject_dispatch_loss(double probability, std::uint64_t seed) override;
+  void inject_ingress_degrade(double factor) override;
+  void inject_worker_stall(std::uint32_t worker,
+                           sim::Duration duration) override;
+  void inject_worker_crash(std::uint32_t worker) override;
+  void inject_worker_resume(std::uint32_t worker) override;
+
  private:
   class Worker;
 
@@ -91,6 +106,7 @@ class IdealNicServer final : public Server {
   void issue_preempt(std::size_t worker);
 
   sim::Simulator& sim_;
+  net::EthernetSwitch& network_;
   ModelParams params_;
   Config config_;
 

@@ -1,5 +1,6 @@
 #include "core/offload_server.h"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
@@ -70,6 +71,8 @@ class ShinjukuOffloadServer::Worker {
   }
 
   const hw::CpuCore& core() const { return core_; }
+  /// Fault-injection handle: the stall/crash hooks land on this core.
+  hw::CpuCore& mutable_core() { return core_; }
   std::uint64_t preemptions() const { return preemptions_; }
   std::uint64_t responses_sent() const { return responses_sent_; }
   std::uint64_t spurious() const { return timer_.spurious_count(); }
@@ -105,21 +108,66 @@ class ShinjukuOffloadServer::Worker {
         start_next();
         return;
       }
+      if (server_.reliable()) {
+        handle_reliable_frame(*datagram);
+        return;
+      }
       auto descriptor = proto::RequestDescriptor::parse(
           datagram->payload, proto::MessageType::kAssignment);
       if (!descriptor) {
         start_next();
         return;
       }
-      if (descriptor->preempt_count > 0) {
-        // Resuming a previously preempted request: restore its context
-        // (stack + registers) from host DRAM.
-        core_.run(server_.params_.context_restore_cost,
-                  [this, descriptor]() { execute(*descriptor); });
-      } else {
-        execute(*descriptor);
-      }
+      begin_assignment(*descriptor);
     });
+  }
+
+  /// Reliable-mode demux of a frame popped from the VF ring: a sequenced
+  /// assignment (ack + dedupe + execute) or a note ack.
+  void handle_reliable_frame(const net::UdpDatagramView& datagram) {
+    const auto type = proto::peek_type(datagram.payload);
+    if (type == proto::MessageType::kNoteAck) {
+      const auto ack = proto::AckMessage::parse(datagram.payload,
+                                                proto::MessageType::kNoteAck);
+      if (ack) handle_note_ack(*ack);
+      start_next();
+      return;
+    }
+    if (type == proto::MessageType::kSequencedAssignment) {
+      auto assignment = proto::SequencedAssignment::parse(datagram.payload);
+      if (!assignment) {
+        start_next();
+        return;
+      }
+      // Ack receipt inline so the dispatcher stops retransmitting; a
+      // duplicate (retransmitted copy of work already accepted) is re-acked
+      // but not executed twice.
+      proto::AckMessage ack;
+      ack.seq = assignment->seq;
+      ack.worker_id = static_cast<std::uint32_t>(id_);
+      vf_.transmit(net::make_udp_datagram(
+          dispatcher_address(),
+          ack.serialize(proto::MessageType::kDispatchAck)));
+      if (!seen_assign_seqs_.insert(assignment->seq).second) {
+        ++server_.rel_.duplicates;
+        start_next();
+        return;
+      }
+      begin_assignment(assignment->descriptor);
+      return;
+    }
+    start_next();
+  }
+
+  void begin_assignment(proto::RequestDescriptor descriptor) {
+    if (descriptor.preempt_count > 0) {
+      // Resuming a previously preempted request: restore its context
+      // (stack + registers) from host DRAM.
+      core_.run(server_.params_.context_restore_cost,
+                [this, descriptor]() { execute(descriptor); });
+    } else {
+      execute(descriptor);
+    }
   }
 
   void execute(proto::RequestDescriptor descriptor) {
@@ -175,11 +223,15 @@ class ShinjukuOffloadServer::Worker {
       ++responses_sent_;
 
       core_.run(server_.params_.packet_build_cost, [this, descriptor]() {
-        proto::CompletionMessage completion;
-        completion.request_id = descriptor.request_id;
-        completion.worker_id = static_cast<std::uint32_t>(id_);
-        vf_.transmit(net::make_udp_datagram(dispatcher_address(),
-                                            completion.serialize()));
+        if (server_.reliable()) {
+          send_note(false, descriptor);
+        } else {
+          proto::CompletionMessage completion;
+          completion.request_id = descriptor.request_id;
+          completion.worker_id = static_cast<std::uint32_t>(id_);
+          vf_.transmit(net::make_udp_datagram(dispatcher_address(),
+                                              completion.serialize()));
+        }
         start_next();
       });
     });
@@ -211,11 +263,61 @@ class ShinjukuOffloadServer::Worker {
     const sim::Duration cost = server_.params_.context_save_cost +
                                server_.params_.packet_build_cost;
     core_.run(cost, [this, descriptor]() {
-      vf_.transmit(net::make_udp_datagram(
-          dispatcher_address(),
-          descriptor.serialize(proto::MessageType::kPreemption)));
+      if (server_.reliable()) {
+        send_note(true, descriptor);
+      } else {
+        vf_.transmit(net::make_udp_datagram(
+            dispatcher_address(),
+            descriptor.serialize(proto::MessageType::kPreemption)));
+      }
       start_next();
     });
+  }
+
+  /// Reliable mode: ship a sequenced completion/preemption note and keep
+  /// retransmitting it (capped exponential backoff) until the dispatcher
+  /// acks. A lost note would otherwise leak a dispatcher slot forever.
+  void send_note(bool preempted, const proto::RequestDescriptor& descriptor) {
+    proto::SequencedNote note;
+    note.seq = next_note_seq_++;
+    note.worker_id = static_cast<std::uint32_t>(id_);
+    note.preempted = preempted;
+    note.descriptor = descriptor;
+    PendingNote pending;
+    pending.payload = note.serialize();
+    pending.next_rto = server_.config_.reliability.rto;
+    vf_.transmit(net::make_udp_datagram(dispatcher_address(), pending.payload));
+    pending.timer = server_.sim_.after(
+        pending.next_rto, [this, seq = note.seq]() { retransmit_note(seq); });
+    pending_notes_.emplace(note.seq, std::move(pending));
+  }
+
+  void retransmit_note(std::uint64_t seq) {
+    auto it = pending_notes_.find(seq);
+    if (it == pending_notes_.end()) return;
+    PendingNote& pending = it->second;
+    if (!core_.stalled()) {
+      // A crashed/stalled worker is silent; it catches up after resume. The
+      // resend bypasses core_.run on purpose: the NIC DMA engine does the
+      // work, and routing it through the core would violate
+      // run_preemptible's idle requirement.
+      ++server_.rel_.note_retransmits;
+      vf_.transmit(
+          net::make_udp_datagram(dispatcher_address(), pending.payload));
+      sim::Duration next =
+          pending.next_rto * server_.config_.reliability.backoff;
+      const sim::Duration cap = server_.config_.reliability.rto * 8.0;
+      pending.next_rto = next > cap ? cap : next;
+    }
+    pending.timer = server_.sim_.after(pending.next_rto,
+                                       [this, seq]() { retransmit_note(seq); });
+  }
+
+  void handle_note_ack(const proto::AckMessage& ack) {
+    auto it = pending_notes_.find(ack.seq);
+    if (it == pending_notes_.end()) return;
+    it->second.timer.cancel();
+    pending_notes_.erase(it);
   }
 
   net::DatagramAddress dispatcher_address() const {
@@ -239,6 +341,17 @@ class ShinjukuOffloadServer::Worker {
   std::uint64_t preemptions_ = 0;
   std::uint64_t responses_sent_ = 0;
   hw::DdioStats ddio_;
+
+  // --- reliable mode only --------------------------------------------------
+  /// An unacked outgoing note, resent until the dispatcher confirms.
+  struct PendingNote {
+    std::vector<std::uint8_t> payload;
+    sim::Duration next_rto;
+    sim::EventHandle timer;
+  };
+  std::unordered_set<std::uint64_t> seen_assign_seqs_;
+  std::unordered_map<std::uint64_t, PendingNote> pending_notes_;  // by seq
+  std::uint64_t next_note_seq_ = 1;
 };
 
 // ------------------------------------------------------------- the server
@@ -248,6 +361,7 @@ ShinjukuOffloadServer::ShinjukuOffloadServer(sim::Simulator& sim,
                                              const ModelParams& params,
                                              Config config)
     : sim_(sim),
+      network_(network),
       params_(params),
       config_(config),
       arm_nic_(sim, arm_nic_config(params)),
@@ -321,6 +435,8 @@ ShinjukuOffloadServer::ShinjukuOffloadServer(sim::Simulator& sim,
         *host_nic_.interface_by_mac(net::MacAddress::from_index(
             kWorkerBaseIndex + static_cast<std::uint32_t>(i)))));
   }
+  consecutive_timeouts_.assign(config_.worker_count, 0);
+  seen_note_seqs_.resize(config_.worker_count);
 }
 
 ShinjukuOffloadServer::~ShinjukuOffloadServer() = default;
@@ -416,8 +532,13 @@ void ShinjukuOffloadServer::d1_step() {
             obs::begin_span(sim_, descriptor->request_id,
                             obs::SpanKind::kDispatch, 1);
           }
+          std::uint64_t seq = 0;
+          if (reliable()) {
+            seq = next_seq_++;
+            track_dispatch(*descriptor, *worker, seq);
+          }
           senders_[next_sender_].channel->send(
-              Assignment{std::move(*descriptor), *worker});
+              Assignment{std::move(*descriptor), *worker, seq});
           next_sender_ = (next_sender_ + 1) % senders_.size();
         }
       }
@@ -446,6 +567,13 @@ void ShinjukuOffloadServer::d2_send(Assignment assignment) {
   address.dst_ip = vf.ip();
   address.src_port = kDispatchPort;
   address.dst_port = kWorkerPort;
+  if (assignment.seq != 0) {
+    proto::SequencedAssignment sequenced;
+    sequenced.seq = assignment.seq;
+    sequenced.descriptor = std::move(assignment.descriptor);
+    arm_disp_->transmit(net::make_udp_datagram(address, sequenced.serialize()));
+    return;
+  }
   arm_disp_->transmit(net::make_udp_datagram(
       address,
       assignment.descriptor.serialize(proto::MessageType::kAssignment)));
@@ -474,6 +602,27 @@ void ShinjukuOffloadServer::d3_handle(net::Packet packet) {
   }
 
   const auto type = proto::peek_type(datagram->payload);
+  if (reliable()) {
+    if (type == proto::MessageType::kDispatchAck) {
+      const auto ack = proto::AckMessage::parse(
+          datagram->payload, proto::MessageType::kDispatchAck);
+      if (ack) {
+        handle_dispatch_ack(worker_id, *ack);
+      } else {
+        ++malformed_;
+      }
+      return;
+    }
+    if (type == proto::MessageType::kSequencedNote) {
+      auto note = proto::SequencedNote::parse(datagram->payload);
+      if (note) {
+        handle_sequenced_note(worker_id, std::move(*note));
+      } else {
+        ++malformed_;
+      }
+      return;
+    }
+  }
   if (type == proto::MessageType::kCompletion) {
     note_channel_.send(Note{worker_id, false, {}});
   } else if (type == proto::MessageType::kPreemption) {
@@ -487,6 +636,243 @@ void ShinjukuOffloadServer::d3_handle(net::Packet packet) {
   } else {
     ++malformed_;
   }
+}
+
+// -------------------------------------------- reliable dispatch (DESIGN §9)
+
+void ShinjukuOffloadServer::track_dispatch(
+    const proto::RequestDescriptor& descriptor, std::size_t worker,
+    std::uint64_t seq) {
+  // A request_id should never be dispatched while still tracked; if it ever
+  // is, retire the stale entry's timer so no orphan event fires.
+  auto stale = inflight_.find(descriptor.request_id);
+  if (stale != inflight_.end()) {
+    stale->second.timer.cancel();
+    seq_to_request_.erase(stale->second.seq);
+    inflight_.erase(stale);
+  }
+  Inflight entry;
+  entry.descriptor = descriptor;
+  entry.worker = worker;
+  entry.seq = seq;
+  seq_to_request_[seq] = descriptor.request_id;
+  auto [it, inserted] =
+      inflight_.emplace(descriptor.request_id, std::move(entry));
+  arm_retransmit(it->second);
+}
+
+void ShinjukuOffloadServer::arm_retransmit(Inflight& entry) {
+  sim::Duration rto = config_.reliability.rto;
+  for (std::uint32_t i = 1; i < entry.attempts; ++i) {
+    rto = rto * config_.reliability.backoff;
+  }
+  entry.timer.cancel();
+  entry.timer =
+      sim_.after(rto, [this, id = entry.descriptor.request_id,
+                       seq = entry.seq]() { on_retransmit_timeout(id, seq); });
+}
+
+void ShinjukuOffloadServer::on_retransmit_timeout(std::uint64_t request_id,
+                                                  std::uint64_t seq) {
+  auto it = inflight_.find(request_id);
+  if (it == inflight_.end() || it->second.seq != seq || it->second.acked) {
+    return;  // retired or re-dispatched since the timer was armed
+  }
+  Inflight& entry = it->second;
+  const std::size_t worker = entry.worker;
+  ++rel_.timeouts;
+  ++consecutive_timeouts_[worker];
+  if (consecutive_timeouts_[worker] >= config_.reliability.miss_threshold) {
+    // The worker has missed too many acks in a row: liveness verdict, which
+    // re-steers every in-flight request it holds (including this one).
+    declare_worker_dead(worker);
+    return;
+  }
+  if (entry.attempts >= config_.reliability.retry_budget) {
+    // Budget exhausted against a worker still believed alive: abandon. The
+    // slot is freed; a late completion note will un-count the abandonment.
+    seq_to_request_.erase(entry.seq);
+    inflight_.erase(it);
+    abandoned_ids_.insert(request_id);
+    ++rel_.abandoned;
+    sim_.trace(sim::TraceCategory::kDispatch, [&] {
+      return std::pair{std::string("d1"),
+                       "abandon " + std::to_string(request_id)};
+    });
+    status_.note_retired(worker, sim_.now());
+    d1_kick();
+    return;
+  }
+  ++entry.attempts;
+  ++rel_.retransmits;
+  senders_[next_sender_].channel->send(
+      Assignment{entry.descriptor, worker, entry.seq});
+  next_sender_ = (next_sender_ + 1) % senders_.size();
+  arm_retransmit(entry);
+}
+
+void ShinjukuOffloadServer::on_completion_timeout(std::uint64_t request_id,
+                                                  std::uint64_t seq) {
+  auto it = inflight_.find(request_id);
+  if (it == inflight_.end() || it->second.seq != seq || !it->second.acked) {
+    return;
+  }
+  // The worker accepted the assignment but never reported back: it died (or
+  // stalled far beyond the service-time budget) after the ack.
+  ++rel_.timeouts;
+  declare_worker_dead(it->second.worker);
+}
+
+void ShinjukuOffloadServer::handle_dispatch_ack(std::size_t worker,
+                                                const proto::AckMessage& ack) {
+  note_worker_alive(worker);
+  auto sit = seq_to_request_.find(ack.seq);
+  if (sit == seq_to_request_.end()) {
+    ++rel_.duplicates;  // ack for an entry already retired/abandoned
+    return;
+  }
+  const std::uint64_t request_id = sit->second;
+  auto it = inflight_.find(request_id);
+  if (it == inflight_.end() || it->second.seq != ack.seq ||
+      it->second.worker != worker) {
+    return;  // stale ack from a worker the request was re-steered off
+  }
+  Inflight& entry = it->second;
+  if (entry.acked) {
+    ++rel_.duplicates;
+    return;
+  }
+  entry.acked = true;
+  // Acceptance is not completion: swap the retransmit timer for a watchdog
+  // that catches a worker dying *after* it acked.
+  entry.timer.cancel();
+  entry.timer =
+      sim_.after(config_.reliability.completion_timeout,
+                 [this, request_id, seq = ack.seq]() {
+                   on_completion_timeout(request_id, seq);
+                 });
+}
+
+void ShinjukuOffloadServer::handle_sequenced_note(std::size_t worker,
+                                                  proto::SequencedNote note) {
+  // Ack immediately — even duplicates — so the worker stops resending.
+  proto::AckMessage ack;
+  ack.seq = note.seq;
+  ack.worker_id = note.worker_id;
+  const auto& vf = *host_nic_.interface_by_mac(net::MacAddress::from_index(
+      kWorkerBaseIndex + static_cast<std::uint32_t>(worker)));
+  net::DatagramAddress address;
+  address.src_mac = arm_disp_->mac();
+  address.dst_mac = vf.mac();
+  address.src_ip = arm_disp_->ip();
+  address.dst_ip = vf.ip();
+  address.src_port = kDispatchPort;
+  address.dst_port = kWorkerPort;
+  arm_disp_->transmit(net::make_udp_datagram(
+      address, ack.serialize(proto::MessageType::kNoteAck)));
+
+  note_worker_alive(worker);
+  if (!seen_note_seqs_[worker].insert(note.seq).second) {
+    ++rel_.duplicates;
+    return;
+  }
+  const std::uint64_t request_id = note.descriptor.request_id;
+  if (abandoned_ids_.contains(request_id)) {
+    if (!note.preempted) {
+      // The "abandoned" request ran to completion after all (its assignment
+      // arrived but every ack was lost); the client did get a response.
+      abandoned_ids_.erase(request_id);
+      --rel_.abandoned;
+    }
+    // A preemption note for an abandoned request is dropped: the request
+    // stays accounted as abandoned and is never resumed.
+    return;
+  }
+  auto it = inflight_.find(request_id);
+  if (it == inflight_.end() || it->second.worker != worker) {
+    // Stale note from a worker the request was re-steered off; the dead
+    // worker's slot was already freed when it was declared dead.
+    ++rel_.duplicates;
+    return;
+  }
+  it->second.timer.cancel();
+  seq_to_request_.erase(it->second.seq);
+  inflight_.erase(it);
+  note_channel_.send(Note{worker, note.preempted, std::move(note.descriptor)});
+}
+
+void ShinjukuOffloadServer::declare_worker_dead(std::size_t worker) {
+  if (!status_.entry(worker).healthy) return;
+  status_.set_healthy(worker, false);
+  ++rel_.worker_deaths;
+  consecutive_timeouts_[worker] = 0;
+  sim_.trace(sim::TraceCategory::kDispatch, [&] {
+    return std::pair{std::string("d1"),
+                     "worker" + std::to_string(worker) + " declared dead"};
+  });
+  // Re-steer everything the dead worker holds back through the centralized
+  // queue; sorted so replay order never depends on hash-table layout.
+  std::vector<std::uint64_t> ids;
+  for (const auto& [id, entry] : inflight_) {
+    if (entry.worker == worker) ids.push_back(id);
+  }
+  std::sort(ids.begin(), ids.end());
+  for (const std::uint64_t id : ids) {
+    auto it = inflight_.find(id);
+    Inflight& entry = it->second;
+    entry.timer.cancel();
+    seq_to_request_.erase(entry.seq);
+    proto::RequestDescriptor descriptor = std::move(entry.descriptor);
+    inflight_.erase(it);
+    status_.note_retired(worker, sim_.now());
+    ++rel_.redispatched;
+    queue_.push_preempted(std::move(descriptor));
+  }
+  d1_kick();
+}
+
+void ShinjukuOffloadServer::note_worker_alive(std::size_t worker) {
+  consecutive_timeouts_[worker] = 0;
+  if (!status_.entry(worker).healthy) {
+    status_.set_healthy(worker, true);
+    ++rel_.revivals;
+    d1_kick();
+  }
+}
+
+// ----------------------------------------------------- fault::FaultSurface
+
+void ShinjukuOffloadServer::inject_ingress_loss(double probability,
+                                                std::uint64_t seed) {
+  network_.set_port_loss(arm_net_->mac(), probability, seed);
+}
+
+void ShinjukuOffloadServer::inject_dispatch_loss(double probability,
+                                                 std::uint64_t seed) {
+  // Dispatcher→worker frames (assignments, note acks) leave on the ARM
+  // NIC's uplink; worker→dispatcher frames (acks, notes) come back through
+  // the switch port toward arm-disp. The host NIC's uplink stays clean —
+  // it also carries worker→client responses, which this fault must not eat.
+  arm_nic_.set_uplink_loss(probability, seed);
+  network_.set_port_loss(arm_disp_->mac(), probability,
+                         probability > 0.0 ? seed + 1 : 0);
+}
+
+void ShinjukuOffloadServer::inject_ingress_degrade(double factor) {
+  network_.set_port_degrade(arm_net_->mac(), factor);
+}
+
+void ShinjukuOffloadServer::inject_worker_stall(std::uint32_t worker,
+                                                sim::Duration duration) {
+  workers_[worker]->mutable_core().stall_for(duration);
+}
+
+void ShinjukuOffloadServer::inject_worker_crash(std::uint32_t worker) {
+  workers_[worker]->mutable_core().stall();
+}
+
+void ShinjukuOffloadServer::inject_worker_resume(std::uint32_t worker) {
+  workers_[worker]->mutable_core().resume();
 }
 
 ServerStats ShinjukuOffloadServer::stats(sim::Duration elapsed) const {
@@ -516,6 +902,7 @@ ServerStats ShinjukuOffloadServer::stats(sim::Duration elapsed) const {
         kWorkerBaseIndex + static_cast<std::uint32_t>(i)));
     stats.drops += vf->ring(0).stats().dropped;
   }
+  stats.reliability = rel_;
   return stats;
 }
 
@@ -523,7 +910,18 @@ ServerTelemetry ShinjukuOffloadServer::telemetry() const {
   ServerTelemetry t;
   t.queue_depth = queue_.depth() + intake_channel_.depth();
   t.outstanding = status_.total_outstanding();
-  t.drops = malformed_ + arm_net_->ring(0).stats().dropped;
+  // Every ring that can overflow feeds the live drop counter, mirroring
+  // what stats() aggregates; a VF overflow silently corrupting the
+  // outstanding accounting must be visible to the metric sampler.
+  t.drops = malformed_ + arm_net_->ring(0).stats().dropped +
+            arm_disp_->ring(0).stats().dropped;
+  for (std::size_t i = 0; i < config_.worker_count; ++i) {
+    const auto* vf = host_nic_.interface_by_mac(net::MacAddress::from_index(
+        kWorkerBaseIndex + static_cast<std::uint32_t>(i)));
+    t.drops += vf->ring(0).stats().dropped;
+  }
+  t.retransmits = rel_.retransmits + rel_.note_retransmits;
+  t.abandoned = rel_.abandoned;
   t.worker_busy.reserve(workers_.size());
   for (const auto& worker : workers_) {
     t.preemptions += worker->preemptions();

@@ -22,9 +22,12 @@
 
 #include <memory>
 #include <optional>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "core/core_status.h"
+#include "fault/fault_surface.h"
 #include "core/model_params.h"
 #include "core/packet_pump.h"
 #include "core/server.h"
@@ -38,7 +41,7 @@
 
 namespace nicsched::core {
 
-class ShinjukuOffloadServer final : public Server {
+class ShinjukuOffloadServer final : public Server, public fault::FaultSurface {
  public:
   struct Config {
     std::size_t worker_count = 4;
@@ -69,6 +72,9 @@ class ShinjukuOffloadServer final : public Server {
     /// paper's proposal and pays off only while K keeps the per-worker
     /// backlog under the L1 budget.
     hw::PlacementPolicy placement = hw::PlacementPolicy::kDdioLlc;
+    /// Reliable dispatcher↔worker protocol (DESIGN §9). Off by default so
+    /// the baseline frame flow stays bit-identical.
+    ReliabilityParams reliability;
   };
 
   ShinjukuOffloadServer(sim::Simulator& sim, net::EthernetSwitch& network,
@@ -86,12 +92,26 @@ class ShinjukuOffloadServer final : public Server {
   const CoreStatusTable& core_status() const { return status_; }
   const TaskQueue& task_queue() const { return queue_; }
 
+  // --- fault::FaultSurface -------------------------------------------------
+  fault::FaultSurface* fault_surface() override { return this; }
+  std::uint32_t fault_worker_count() const override {
+    return static_cast<std::uint32_t>(config_.worker_count);
+  }
+  void inject_ingress_loss(double probability, std::uint64_t seed) override;
+  void inject_dispatch_loss(double probability, std::uint64_t seed) override;
+  void inject_ingress_degrade(double factor) override;
+  void inject_worker_stall(std::uint32_t worker,
+                           sim::Duration duration) override;
+  void inject_worker_crash(std::uint32_t worker) override;
+  void inject_worker_resume(std::uint32_t worker) override;
+
  private:
   class Worker;
 
   struct Assignment {
     proto::RequestDescriptor descriptor;
     std::size_t worker;
+    std::uint64_t seq = 0;  // 0 = unreliable legacy frame
   };
 
   struct Note {
@@ -106,7 +126,29 @@ class ShinjukuOffloadServer final : public Server {
   void d2_send(Assignment assignment);
   void d3_handle(net::Packet packet);
 
+  // --- reliable dispatch (DESIGN §9); all no-ops when !reliable() ----------
+  bool reliable() const { return config_.reliability.enabled; }
+  /// One dispatched-but-not-yet-retired request the dispatcher tracks.
+  struct Inflight {
+    proto::RequestDescriptor descriptor;
+    std::size_t worker = 0;
+    std::uint64_t seq = 0;
+    std::uint32_t attempts = 1;
+    bool acked = false;
+    sim::EventHandle timer;  // retransmit timer, then completion timeout
+  };
+  void track_dispatch(const proto::RequestDescriptor& descriptor,
+                      std::size_t worker, std::uint64_t seq);
+  void arm_retransmit(Inflight& entry);
+  void on_retransmit_timeout(std::uint64_t request_id, std::uint64_t seq);
+  void on_completion_timeout(std::uint64_t request_id, std::uint64_t seq);
+  void handle_dispatch_ack(std::size_t worker, const proto::AckMessage& ack);
+  void handle_sequenced_note(std::size_t worker, proto::SequencedNote note);
+  void declare_worker_dead(std::size_t worker);
+  void note_worker_alive(std::size_t worker);
+
   sim::Simulator& sim_;
+  net::EthernetSwitch& network_;
   ModelParams params_;
   Config config_;
 
@@ -143,6 +185,17 @@ class ShinjukuOffloadServer final : public Server {
   std::uint64_t requests_received_ = 0;
   std::uint64_t preemption_requeues_ = 0;
   std::uint64_t malformed_ = 0;
+
+  // --- reliable-dispatch state (empty/idle when !reliable()) ---------------
+  std::unordered_map<std::uint64_t, Inflight> inflight_;  // by request_id
+  std::unordered_map<std::uint64_t, std::uint64_t> seq_to_request_;
+  std::uint64_t next_seq_ = 1;
+  /// Requests whose retry budget ran out; a late completion note for one of
+  /// these decrements `rel_.abandoned` again so conservation stays exact.
+  std::unordered_set<std::uint64_t> abandoned_ids_;
+  std::vector<std::uint32_t> consecutive_timeouts_;     // per worker
+  std::vector<std::unordered_set<std::uint64_t>> seen_note_seqs_;  // per worker
+  ReliabilityStats rel_;
 };
 
 }  // namespace nicsched::core

@@ -14,7 +14,44 @@
 
 #include <cstddef>
 
+namespace nicsched::fault {
+class FaultSurface;
+}  // namespace nicsched::fault
+
 namespace nicsched::core {
+
+/// Knobs for the reliable dispatcher↔worker protocol (DESIGN §9). Off by
+/// default: with `enabled == false` a server's frame flow and event
+/// sequence are bit-identical to the unreliable baseline.
+struct ReliabilityParams {
+  bool enabled = false;
+  /// Initial retransmit timeout for an unacked assignment; doubled by
+  /// `backoff` per retry. Must comfortably exceed the ~5 µs round trip.
+  sim::Duration rto = sim::Duration::micros(50);
+  double backoff = 2.0;
+  /// Assignment send attempts before the request is abandoned.
+  std::uint32_t retry_budget = 5;
+  /// Consecutive retransmit timeouts on one worker before the liveness
+  /// detector declares it dead and re-steers its in-flight requests.
+  std::uint32_t miss_threshold = 3;
+  /// After an assignment is acked, how long the dispatcher waits for the
+  /// completion/preemption note before treating the worker as dead.
+  sim::Duration completion_timeout = sim::Duration::micros(500);
+};
+
+/// Graceful-degradation accounting for reliable dispatch (DESIGN §9): how
+/// the recovery machinery spent its effort. All zero when reliability is
+/// off or no fault ever fired.
+struct ReliabilityStats {
+  std::uint64_t retransmits = 0;       // assignment frames resent
+  std::uint64_t note_retransmits = 0;  // worker note frames resent
+  std::uint64_t timeouts = 0;          // retransmit timers that fired
+  std::uint64_t redispatched = 0;      // requests re-steered off a dead worker
+  std::uint64_t abandoned = 0;         // retry budget exhausted, request dropped
+  std::uint64_t duplicates = 0;        // duplicate frames suppressed
+  std::uint64_t worker_deaths = 0;     // liveness detector declared a worker dead
+  std::uint64_t revivals = 0;          // dead workers heard from again
+};
 
 /// Aggregate counters every server reports; benches and tests read these to
 /// check conservation and to explain throughput differences.
@@ -31,6 +68,9 @@ struct ServerStats {
   std::vector<double> worker_utilization;
   /// Where request payloads were actually resident on first touch (§5.2).
   hw::DdioStats ddio;
+  /// Recovery accounting; meaningful only for servers running reliable
+  /// dispatch under a fault schedule.
+  ReliabilityStats reliability;
 };
 
 /// An instantaneous, cheap-to-take snapshot of live scheduler state, polled
@@ -46,6 +86,8 @@ struct ServerTelemetry {
   std::uint64_t outstanding = 0;
   std::uint64_t preemptions = 0;  // cumulative
   std::uint64_t drops = 0;        // cumulative (malformed + ring overflow)
+  std::uint64_t retransmits = 0;  // cumulative, assignment + note resends
+  std::uint64_t abandoned = 0;    // cumulative, retry budget exhausted
   /// Cumulative per-worker busy time; the sampler differences consecutive
   /// snapshots into per-interval busy fractions.
   std::vector<sim::Duration> worker_busy;
@@ -68,6 +110,10 @@ class Server {
 
   /// Live scheduler state for metric sampling.
   virtual ServerTelemetry telemetry() const = 0;
+
+  /// The server's fault-injection surface, or nullptr if it exposes none.
+  /// run_experiment uses this to install a configured FaultSchedule.
+  virtual fault::FaultSurface* fault_surface() { return nullptr; }
 };
 
 /// Builds the internal descriptor for a freshly received client request,

@@ -21,6 +21,7 @@ std::unique_ptr<Server> make_server(SystemKind kind,
       server.queue_policy = config.queue_policy;
       server.preemption_enabled = config.preemption_enabled;
       server.time_slice = config.time_slice;
+      server.reliability.enabled = config.reliable_dispatch.value_or(false);
       return std::make_unique<ShinjukuServer>(sim, network, config.params,
                                               server);
     }
@@ -35,6 +36,7 @@ std::unique_ptr<Server> make_server(SystemKind kind,
       server.sender_cores = config.sender_cores;
       server.tx_batch_frames = config.tx_batch_frames;
       server.tx_batch_timeout = config.tx_batch_timeout;
+      server.reliability.enabled = config.reliable_dispatch.value_or(false);
       if (config.placement) server.placement = *config.placement;
       return std::make_unique<ShinjukuOffloadServer>(sim, network,
                                                      config.params, server);

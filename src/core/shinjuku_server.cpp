@@ -71,6 +71,7 @@ class ShinjukuServer::Worker {
   hw::InterruptLine& interrupt_line() { return interrupt_line_; }
 
   const hw::CpuCore& core() const { return core_; }
+  hw::CpuCore& mutable_core() { return core_; }
   std::uint64_t preemptions() const { return preemptions_; }
   std::uint64_t responses_sent() const { return responses_sent_; }
   std::uint64_t spurious() const { return interrupt_line_.spurious_count(); }
@@ -97,7 +98,8 @@ class ShinjukuServer::Worker {
     const sim::Duration cost =
         params.context_save_cost + params.cacheline_ipc_cost;
     core_.run(cost, [this, descriptor]() {
-      group_.note_channel.send(Note{id_, true, descriptor});
+      group_.note_channel.send(
+          Note{id_, true, descriptor, descriptor.request_id});
       start_next();
     });
   }
@@ -164,7 +166,7 @@ class ShinjukuServer::Worker {
       pf->transmit(net::make_udp_datagram(address,
                                           make_response(descriptor).serialize()));
       ++responses_sent_;
-      group_.note_channel.send(Note{id_, false, {}});
+      group_.note_channel.send(Note{id_, false, {}, descriptor.request_id});
       start_next();
     });
   }
@@ -205,6 +207,7 @@ ShinjukuServer::ShinjukuServer(sim::Simulator& sim,
                                net::EthernetSwitch& network,
                                const ModelParams& params, Config config)
     : sim_(sim),
+      network_(network),
       params_(params),
       config_(config),
       nic_(sim, nic_config(params)) {
@@ -308,7 +311,27 @@ void ShinjukuServer::dispatcher_step(Group& group) {
   if (!group.note_channel.empty()) {
     group.dispatcher_core.run(params_.dispatch_note_cost, [this, &group]() {
       auto note = group.note_channel.pop();
-      if (note) {
+      if (note && reliable()) {
+        if (!group.status.entry(note->worker).healthy) {
+          // Any note proves the worker is alive again.
+          group.status.set_healthy(note->worker, true);
+          ++rel_.revivals;
+        }
+        RunningInfo& info = group.running[note->worker];
+        if (info.active && info.request_id == note->request_id) {
+          group.status.note_retired(note->worker, sim_.now());
+          info.active = false;
+          info.preempt_in_flight = false;
+          if (note->preempted) {
+            group.queue.push_preempted(std::move(note->descriptor));
+          }
+        } else {
+          // Stale note for a request the liveness watchdog already
+          // re-steered; retiring it would corrupt the bookkeeping of
+          // whatever the worker was assigned next.
+          ++rel_.duplicates;
+        }
+      } else if (note) {
         group.status.note_retired(note->worker, sim_.now());
         group.running[note->worker].active = false;
         group.running[note->worker].preempt_in_flight = false;
@@ -348,6 +371,11 @@ void ShinjukuServer::dispatcher_step(Group& group) {
               info.preempt_in_flight = false;
               if (config_.preemption_enabled) {
                 schedule_slice_check(group, *worker, info.epoch);
+              }
+              if (reliable()) {
+                info.request_id = descriptor->request_id;
+                info.descriptor = *descriptor;
+                arm_liveness(group, *worker, info.epoch);
               }
               group.workers[*worker]->assign_channel().send(
                   std::move(*descriptor));
@@ -421,6 +449,68 @@ void ShinjukuServer::issue_preempt(Group& group, std::size_t worker) {
       });
 }
 
+void ShinjukuServer::arm_liveness(Group& group, std::size_t worker,
+                                  std::uint64_t epoch) {
+  // The dispatch channel is lossless, so the only failure mode is the worker
+  // itself going silent mid-request: if the assignment is still active when
+  // the timeout fires (same epoch — a newer assignment re-arms its own
+  // watchdog), declare the worker dead and re-steer the request.
+  sim_.after(config_.reliability.completion_timeout,
+             [this, &group, worker, epoch]() {
+               RunningInfo& info = group.running[worker];
+               if (!info.active || info.epoch != epoch) return;
+               ++rel_.timeouts;
+               declare_worker_dead(group, worker);
+             });
+}
+
+void ShinjukuServer::declare_worker_dead(Group& group, std::size_t worker) {
+  if (!group.status.entry(worker).healthy) return;
+  group.status.set_healthy(worker, false);
+  ++rel_.worker_deaths;
+  RunningInfo& info = group.running[worker];
+  if (info.active) {
+    group.status.note_retired(worker, sim_.now());
+    info.active = false;
+    info.preempt_in_flight = false;
+    ++rel_.redispatched;
+    group.queue.push_preempted(info.descriptor);
+  }
+  dispatcher_kick(group);
+}
+
+hw::CpuCore& ShinjukuServer::worker_core_at(std::uint32_t worker) {
+  // Workers were pushed round-robin (w % groups) in global order, so the
+  // global index maps to group w % G at in-group slot w / G.
+  Group& group = *groups_[worker % groups_.size()];
+  return group.workers[worker / groups_.size()]->mutable_core();
+}
+
+void ShinjukuServer::inject_ingress_loss(double probability,
+                                         std::uint64_t seed) {
+  network_.set_port_loss(pf_->mac(), probability, seed);
+}
+
+void ShinjukuServer::inject_dispatch_loss(double /*probability*/,
+                                          std::uint64_t /*seed*/) {}
+
+void ShinjukuServer::inject_ingress_degrade(double factor) {
+  network_.set_port_degrade(pf_->mac(), factor);
+}
+
+void ShinjukuServer::inject_worker_stall(std::uint32_t worker,
+                                         sim::Duration duration) {
+  worker_core_at(worker).stall_for(duration);
+}
+
+void ShinjukuServer::inject_worker_crash(std::uint32_t worker) {
+  worker_core_at(worker).stall();
+}
+
+void ShinjukuServer::inject_worker_resume(std::uint32_t worker) {
+  worker_core_at(worker).resume();
+}
+
 ServerStats ShinjukuServer::stats(sim::Duration elapsed) const {
   ServerStats stats;
   for (const auto& group : groups_) {
@@ -445,6 +535,7 @@ ServerStats ShinjukuServer::stats(sim::Duration elapsed) const {
   for (std::size_t ring = 0; ring < pf_->ring_count(); ++ring) {
     stats.drops += pf_->ring(ring).stats().dropped;
   }
+  stats.reliability = rel_;
   return stats;
 }
 
@@ -459,6 +550,12 @@ ServerTelemetry ShinjukuServer::telemetry() const {
       t.worker_busy.push_back(worker->core().stats().busy);
     }
   }
+  t.drops += nic_.rx_unknown_mac_drops();
+  for (std::size_t ring = 0; ring < pf_->ring_count(); ++ring) {
+    t.drops += pf_->ring(ring).stats().dropped;
+  }
+  t.retransmits = rel_.retransmits + rel_.note_retransmits;
+  t.abandoned = rel_.abandoned;
   return t;
 }
 

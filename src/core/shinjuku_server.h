@@ -28,6 +28,7 @@
 #include "core/packet_pump.h"
 #include "core/server.h"
 #include "core/task_queue.h"
+#include "fault/fault_surface.h"
 #include "hw/channel.h"
 #include "hw/cpu_core.h"
 #include "hw/interrupt.h"
@@ -37,7 +38,7 @@
 
 namespace nicsched::core {
 
-class ShinjukuServer final : public Server {
+class ShinjukuServer final : public Server, public fault::FaultSurface {
  public:
   struct Config {
     std::size_t worker_count = 3;
@@ -49,6 +50,11 @@ class ShinjukuServer final : public Server {
     std::uint16_t udp_port = 8080;
     /// Selection policy for each group's centralized task queue.
     QueuePolicy queue_policy = QueuePolicy::kFcfs;
+    /// Reliable dispatch (DESIGN §9). Channels here are lossless cache-line
+    /// IPC, so only the liveness watchdog applies: a worker that holds an
+    /// assignment past `reliability.completion_timeout` is declared dead and
+    /// its request re-steered. Off by default.
+    ReliabilityParams reliability;
   };
 
   ShinjukuServer(sim::Simulator& sim, net::EthernetSwitch& network,
@@ -61,6 +67,20 @@ class ShinjukuServer final : public Server {
   std::string name() const override { return "shinjuku"; }
   ServerStats stats(sim::Duration elapsed) const override;
   ServerTelemetry telemetry() const override;
+
+  // --- fault::FaultSurface -------------------------------------------------
+  fault::FaultSurface* fault_surface() override { return this; }
+  std::uint32_t fault_worker_count() const override {
+    return static_cast<std::uint32_t>(config_.worker_count);
+  }
+  void inject_ingress_loss(double probability, std::uint64_t seed) override;
+  /// No-op: dispatcher↔worker traffic here is lossless cache-line IPC.
+  void inject_dispatch_loss(double probability, std::uint64_t seed) override;
+  void inject_ingress_degrade(double factor) override;
+  void inject_worker_stall(std::uint32_t worker,
+                           sim::Duration duration) override;
+  void inject_worker_crash(std::uint32_t worker) override;
+  void inject_worker_resume(std::uint32_t worker) override;
 
   std::size_t group_count() const { return groups_.size(); }
   /// Requests a group's networker has accepted; exposes RSS imbalance
@@ -76,6 +96,9 @@ class ShinjukuServer final : public Server {
     std::size_t worker = 0;  // index within the group
     bool preempted = false;
     proto::RequestDescriptor descriptor;  // valid when preempted
+    /// Which request the note is about; reliable mode matches it against
+    /// RunningInfo::request_id to discard stale notes from re-steered work.
+    std::uint64_t request_id = 0;
   };
 
   /// Dispatcher-side view of what a worker is running, for slice tracking.
@@ -84,6 +107,10 @@ class ShinjukuServer final : public Server {
     sim::TimePoint assigned_at;
     bool active = false;
     bool preempt_in_flight = false;
+    /// Reliable mode: what was handed out, kept so the liveness watchdog
+    /// can re-steer the request if the worker dies holding it.
+    std::uint64_t request_id = 0;
+    proto::RequestDescriptor descriptor;
   };
 
   /// One networker+dispatcher pair with its worker partition.
@@ -117,13 +144,20 @@ class ShinjukuServer final : public Server {
   void maybe_preempt_for_waiting_work(Group& group);
   void issue_preempt(Group& group, std::size_t worker);
 
+  bool reliable() const { return config_.reliability.enabled; }
+  void arm_liveness(Group& group, std::size_t worker, std::uint64_t epoch);
+  void declare_worker_dead(Group& group, std::size_t worker);
+  hw::CpuCore& worker_core_at(std::uint32_t worker);
+
   sim::Simulator& sim_;
+  net::EthernetSwitch& network_;
   ModelParams params_;
   Config config_;
 
   net::Nic nic_;
   net::NicInterface* pf_ = nullptr;
   std::vector<std::unique_ptr<Group>> groups_;
+  ReliabilityStats rel_;
 };
 
 }  // namespace nicsched::core

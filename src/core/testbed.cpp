@@ -6,6 +6,7 @@
 
 #include "core/distributed_server.h"
 #include "core/server_factory.h"
+#include "fault/fault_injector.h"
 #include "net/ethernet_switch.h"
 #include "obs/capture.h"
 #include "sim/random.h"
@@ -40,7 +41,8 @@ std::string default_capture_label(const ExperimentConfig& config) {
 void add_telemetry_probes(obs::MetricSampler& sampler, const Server& server) {
   const std::size_t worker_count = server.telemetry().worker_busy.size();
   std::vector<std::string> names = {"queue_depth", "outstanding",
-                                    "preemptions", "drops"};
+                                    "preemptions", "drops",
+                                    "retransmits", "abandoned"};
   for (std::size_t i = 0; i < worker_count; ++i) {
     names.push_back("worker" + std::to_string(i) + "_busy_frac");
   }
@@ -53,11 +55,13 @@ void add_telemetry_probes(obs::MetricSampler& sampler, const Server& server) {
       [&server, worker_count, cadence_ps, previous_busy]() {
         const ServerTelemetry t = server.telemetry();
         std::vector<double> values;
-        values.reserve(4 + worker_count);
+        values.reserve(6 + worker_count);
         values.push_back(static_cast<double>(t.queue_depth));
         values.push_back(static_cast<double>(t.outstanding));
         values.push_back(static_cast<double>(t.preemptions));
         values.push_back(static_cast<double>(t.drops));
+        values.push_back(static_cast<double>(t.retransmits));
+        values.push_back(static_cast<double>(t.abandoned));
         for (std::size_t i = 0; i < worker_count; ++i) {
           const sim::Duration busy =
               i < t.worker_busy.size() ? t.worker_busy[i] : sim::Duration();
@@ -119,6 +123,18 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   sim::Simulator sim;
   net::EthernetSwitch network(sim, config.params.switch_forward_latency);
   auto server = make_server(config, sim, network);
+
+  // Install the fault schedule, if any: explicit config wins, otherwise the
+  // NICSCHED_FAULT_* environment contract. Servers without a fault surface
+  // silently run fault-free (there is nothing to inject against).
+  std::optional<fault::FaultSchedule> fault_schedule = config.fault;
+  if (!fault_schedule) fault_schedule = fault::FaultSchedule::from_env();
+  std::optional<fault::FaultInjector> fault_injector;
+  if (fault_schedule && !fault_schedule->empty()) {
+    if (fault::FaultSurface* surface = server->fault_surface()) {
+      fault_injector.emplace(sim, *surface, *fault_schedule);
+    }
+  }
 
   const sim::Duration measure = choose_measure_window(config);
   const sim::TimePoint measure_start = sim::TimePoint::origin() + config.warmup;

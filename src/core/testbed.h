@@ -13,6 +13,7 @@
 #include "core/model_params.h"
 #include "core/server.h"
 #include "core/task_queue.h"
+#include "fault/fault_schedule.h"
 #include "hw/apic_timer.h"
 #include "obs/capture.h"
 #include "sim/time.h"
@@ -96,6 +97,15 @@ struct ExperimentConfig {
   /// capture_options_from_env); set it explicitly to force capture on or off
   /// regardless of the environment.
   std::optional<obs::CaptureOptions> capture;
+
+  /// Fault schedule to install against the server's FaultSurface. Unset
+  /// defers to the NICSCHED_FAULT_* environment contract
+  /// (fault::FaultSchedule::from_env); an empty schedule injects nothing.
+  std::optional<fault::FaultSchedule> fault;
+  /// Reliable dispatcher↔worker protocol (DESIGN §9) for the systems that
+  /// support it (shinjuku, shinjuku-offload). Unset = off, preserving the
+  /// baseline frame flow bit for bit.
+  std::optional<bool> reliable_dispatch;
 
   ModelParams params = ModelParams::defaults();
 
@@ -208,6 +218,14 @@ struct ExperimentConfig {
   }
   ExperimentConfig& with_capture(obs::CaptureOptions options) {
     capture = std::move(options);
+    return *this;
+  }
+  ExperimentConfig& with_faults(fault::FaultSchedule schedule) {
+    fault = std::move(schedule);
+    return *this;
+  }
+  ExperimentConfig& reliable(bool on = true) {
+    reliable_dispatch = on;
     return *this;
   }
 };

@@ -66,7 +66,15 @@ void write_server_json(std::ostream& out, const core::ServerStats& s) {
   }
   out << "], \"ddio\": {\"l1_touches\": " << s.ddio.l1_touches
       << ", \"llc_touches\": " << s.ddio.llc_touches
-      << ", \"dram_touches\": " << s.ddio.dram_touches << "}}";
+      << ", \"dram_touches\": " << s.ddio.dram_touches
+      << "}, \"reliability\": {\"retransmits\": " << s.reliability.retransmits
+      << ", \"note_retransmits\": " << s.reliability.note_retransmits
+      << ", \"timeouts\": " << s.reliability.timeouts
+      << ", \"redispatched\": " << s.reliability.redispatched
+      << ", \"abandoned\": " << s.reliability.abandoned
+      << ", \"duplicates\": " << s.reliability.duplicates
+      << ", \"worker_deaths\": " << s.reliability.worker_deaths
+      << ", \"revivals\": " << s.reliability.revivals << "}}";
 }
 
 // ---- parsing ---------------------------------------------------------------
@@ -292,6 +300,17 @@ core::ServerStats server_from_json(const JsonValue& json) {
     server.ddio.llc_touches = ddio->count_or("llc_touches");
     server.ddio.dram_touches = ddio->count_or("dram_touches");
   }
+  if (const JsonValue* reliability = json.find("reliability")) {
+    server.reliability.retransmits = reliability->count_or("retransmits");
+    server.reliability.note_retransmits =
+        reliability->count_or("note_retransmits");
+    server.reliability.timeouts = reliability->count_or("timeouts");
+    server.reliability.redispatched = reliability->count_or("redispatched");
+    server.reliability.abandoned = reliability->count_or("abandoned");
+    server.reliability.duplicates = reliability->count_or("duplicates");
+    server.reliability.worker_deaths = reliability->count_or("worker_deaths");
+    server.reliability.revivals = reliability->count_or("revivals");
+  }
   return server;
 }
 
@@ -337,7 +356,9 @@ void CsvResultSink::write(std::ostream& out) const {
          "p90_us,p99_us,p999_us,max_us,preemptions,srv_requests_received,"
          "srv_responses_sent,srv_preemptions,srv_spurious_interrupts,"
          "srv_steals,srv_drops,srv_queue_max_depth,mean_worker_utilization,"
-         "worker_utilization,ddio_l1,ddio_llc,ddio_dram\n";
+         "worker_utilization,ddio_l1,ddio_llc,ddio_dram,srv_retransmits,"
+         "srv_note_retransmits,srv_timeouts,srv_redispatched,srv_abandoned,"
+         "srv_duplicates,srv_worker_deaths,srv_revivals\n";
   for (const ResultRow& row : rows_) {
     const stats::RunSummary& s = row.summary;
     const core::ServerStats& server = row.server;
@@ -358,7 +379,15 @@ void CsvResultSink::write(std::ostream& out) const {
       out << num(server.worker_utilization[i]);
     }
     out << ',' << server.ddio.l1_touches << ',' << server.ddio.llc_touches
-        << ',' << server.ddio.dram_touches << '\n';
+        << ',' << server.ddio.dram_touches << ','
+        << server.reliability.retransmits << ','
+        << server.reliability.note_retransmits << ','
+        << server.reliability.timeouts << ','
+        << server.reliability.redispatched << ','
+        << server.reliability.abandoned << ','
+        << server.reliability.duplicates << ','
+        << server.reliability.worker_deaths << ','
+        << server.reliability.revivals << '\n';
   }
 }
 
@@ -447,9 +476,9 @@ std::optional<std::vector<ResultRow>> parse_csv_rows(std::string_view text,
       continue;
     }
     const auto cells = split(line, ',');
-    if (cells.size() != 24) {
+    if (cells.size() != 32) {
       if (error != nullptr) {
-        *error = "expected 24 cells, got " + std::to_string(cells.size());
+        *error = "expected 32 cells, got " + std::to_string(cells.size());
       }
       return std::nullopt;
     }
@@ -487,6 +516,22 @@ std::optional<std::vector<ResultRow>> parse_csv_rows(std::string_view text,
         std::strtoull(cells[22].c_str(), nullptr, 10);
     row.server.ddio.dram_touches =
         std::strtoull(cells[23].c_str(), nullptr, 10);
+    row.server.reliability.retransmits =
+        std::strtoull(cells[24].c_str(), nullptr, 10);
+    row.server.reliability.note_retransmits =
+        std::strtoull(cells[25].c_str(), nullptr, 10);
+    row.server.reliability.timeouts =
+        std::strtoull(cells[26].c_str(), nullptr, 10);
+    row.server.reliability.redispatched =
+        std::strtoull(cells[27].c_str(), nullptr, 10);
+    row.server.reliability.abandoned =
+        std::strtoull(cells[28].c_str(), nullptr, 10);
+    row.server.reliability.duplicates =
+        std::strtoull(cells[29].c_str(), nullptr, 10);
+    row.server.reliability.worker_deaths =
+        std::strtoull(cells[30].c_str(), nullptr, 10);
+    row.server.reliability.revivals =
+        std::strtoull(cells[31].c_str(), nullptr, 10);
     rows.push_back(std::move(row));
   }
   return rows;

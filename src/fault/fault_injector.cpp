@@ -1,0 +1,69 @@
+#include "fault/fault_injector.h"
+
+#include <utility>
+
+namespace nicsched::fault {
+
+namespace {
+
+/// SplitMix64-style mix so each loss window gets an independent stream.
+std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t salt) {
+  std::uint64_t z = seed + 0x9E3779B97F4A7C15ULL * (salt + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(sim::Simulator& sim, FaultSurface& surface,
+                             FaultSchedule schedule)
+    : schedule_(std::move(schedule)) {
+  FaultSurface* s = &surface;
+
+  std::uint64_t salt = 0;
+  for (const LossWindow& w : schedule_.ingress_loss_windows()) {
+    const std::uint64_t seed = mix_seed(schedule_.seed(), salt++);
+    const double p = w.probability;
+    sim.at(w.start, [s, p, seed]() { s->inject_ingress_loss(p, seed); });
+    sim.at(w.end, [s]() { s->inject_ingress_loss(0.0, 0); });
+  }
+  for (const LossWindow& w : schedule_.dispatch_loss_windows()) {
+    const std::uint64_t seed = mix_seed(schedule_.seed(), salt++);
+    const double p = w.probability;
+    sim.at(w.start, [s, p, seed]() { s->inject_dispatch_loss(p, seed); });
+    sim.at(w.end, [s]() { s->inject_dispatch_loss(0.0, 0); });
+  }
+  for (const DegradeWindow& w : schedule_.degrade_windows()) {
+    const double factor = w.factor;
+    sim.at(w.start, [s, factor]() { s->inject_ingress_degrade(factor); });
+    sim.at(w.end, [s]() { s->inject_ingress_degrade(1.0); });
+  }
+  for (const WorkerAction& action : schedule_.worker_actions()) {
+    const std::uint32_t worker = action.worker;
+    switch (action.kind) {
+      case WorkerActionKind::kStall: {
+        const sim::Duration duration = action.duration;
+        sim.at(action.at, [s, worker, duration]() {
+          if (s->fault_worker_count() == 0) return;
+          s->inject_worker_stall(worker % s->fault_worker_count(), duration);
+        });
+        break;
+      }
+      case WorkerActionKind::kCrash:
+        sim.at(action.at, [s, worker]() {
+          if (s->fault_worker_count() == 0) return;
+          s->inject_worker_crash(worker % s->fault_worker_count());
+        });
+        break;
+      case WorkerActionKind::kResume:
+        sim.at(action.at, [s, worker]() {
+          if (s->fault_worker_count() == 0) return;
+          s->inject_worker_resume(worker % s->fault_worker_count());
+        });
+        break;
+    }
+  }
+}
+
+}  // namespace nicsched::fault

@@ -1,0 +1,35 @@
+// FaultInjector: turns a FaultSchedule value into simulator events against a
+// server's FaultSurface.
+//
+// Construction schedules everything up front: a loss/degrade window becomes
+// two events (apply at `start`, restore at `end`), a worker action becomes
+// one. Each loss window derives its own RNG seed from the schedule seed and
+// the window's index, so retiming one window never reshuffles another's drop
+// pattern. After construction the injector holds no state the events need —
+// the closures capture the surface pointer and plain values — but keeping it
+// alive alongside the run is the normal pattern.
+#pragma once
+
+#include "fault/fault_schedule.h"
+#include "fault/fault_surface.h"
+#include "sim/simulator.h"
+
+namespace nicsched::fault {
+
+class FaultInjector {
+ public:
+  /// Schedules every action in `schedule` against `surface`. The surface
+  /// must outlive the simulation run.
+  FaultInjector(sim::Simulator& sim, FaultSurface& surface,
+                FaultSchedule schedule);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  const FaultSchedule& schedule() const { return schedule_; }
+
+ private:
+  FaultSchedule schedule_;
+};
+
+}  // namespace nicsched::fault

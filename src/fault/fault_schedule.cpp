@@ -1,0 +1,106 @@
+#include "fault/fault_schedule.h"
+
+#include <cstdlib>
+#include <string>
+
+#include "sim/random.h"
+
+namespace nicsched::fault {
+
+FaultSchedule FaultSchedule::randomized(std::uint64_t seed,
+                                        std::uint32_t worker_count,
+                                        sim::TimePoint start,
+                                        sim::TimePoint end,
+                                        bool with_dispatch_loss) {
+  FaultSchedule schedule;
+  schedule.with_seed(seed);
+  sim::Rng rng(seed ^ 0xFA17FA17FA17FA17ULL);
+  const sim::Duration span = end - start;
+
+  auto window = [&](double latest_start, double min_len, double max_len) {
+    const double begin = rng.uniform(0.0, latest_start);
+    const double len = rng.uniform(min_len, max_len);
+    return std::pair<sim::TimePoint, sim::TimePoint>(
+        start + span * begin, start + span * (begin + len));
+  };
+
+  const std::uint64_t loss_windows = 1 + rng.uniform_int(0, 2);
+  for (std::uint64_t i = 0; i < loss_windows; ++i) {
+    auto [from, to] = window(0.7, 0.05, 0.25);
+    schedule.ingress_loss(from, to, rng.uniform(0.005, 0.05));
+  }
+
+  if (rng.bernoulli(0.5)) {
+    auto [from, to] = window(0.6, 0.1, 0.3);
+    schedule.degrade_ingress(from, to, rng.uniform(1.5, 4.0));
+  }
+
+  // Stalls are always timed (stall_for auto-resumes), so a randomized
+  // schedule can never leave a worker dead and the run always quiesces.
+  if (worker_count > 0) {
+    const std::uint64_t stalls = rng.uniform_int(1, worker_count);
+    for (std::uint64_t i = 0; i < stalls; ++i) {
+      const auto worker =
+          static_cast<std::uint32_t>(rng.uniform_int(0, worker_count - 1));
+      const sim::TimePoint at = start + span * rng.uniform(0.1, 0.6);
+      schedule.stall_worker(at, worker, span * rng.uniform(0.02, 0.1));
+    }
+  }
+
+  if (with_dispatch_loss) {
+    const std::uint64_t windows = 1 + rng.uniform_int(0, 1);
+    for (std::uint64_t i = 0; i < windows; ++i) {
+      auto [from, to] = window(0.7, 0.05, 0.25);
+      schedule.dispatch_loss(from, to, rng.uniform(0.002, 0.02));
+    }
+  }
+  return schedule;
+}
+
+namespace {
+
+std::optional<double> env_double(const char* name) {
+  const char* value = std::getenv(name);
+  if (!value || !*value) return std::nullopt;
+  return std::strtod(value, nullptr);
+}
+
+std::optional<std::uint64_t> env_u64(const char* name) {
+  const char* value = std::getenv(name);
+  if (!value || !*value) return std::nullopt;
+  return std::strtoull(value, nullptr, 10);
+}
+
+}  // namespace
+
+std::optional<FaultSchedule> FaultSchedule::from_env() {
+  FaultSchedule schedule;
+  schedule.with_seed(env_u64("NICSCHED_FAULT_SEED").value_or(1));
+
+  // Env-configured windows cover the whole run; benches finish well inside.
+  const sim::TimePoint begin = sim::TimePoint::origin();
+  const sim::TimePoint forever = begin + sim::Duration::micros(10'000'000);
+
+  if (auto p = env_double("NICSCHED_FAULT_INGRESS_LOSS")) {
+    schedule.ingress_loss(begin, forever, *p);
+  }
+  if (auto p = env_double("NICSCHED_FAULT_DISPATCH_LOSS")) {
+    schedule.dispatch_loss(begin, forever, *p);
+  }
+  if (auto f = env_double("NICSCHED_FAULT_DEGRADE")) {
+    schedule.degrade_ingress(begin, forever, *f);
+  }
+  if (auto us = env_double("NICSCHED_FAULT_STALL_US")) {
+    const auto worker = static_cast<std::uint32_t>(
+        env_u64("NICSCHED_FAULT_STALL_WORKER").value_or(0));
+    const double at_us =
+        env_double("NICSCHED_FAULT_STALL_AT_US").value_or(0.0);
+    schedule.stall_worker(begin + sim::Duration::micros(at_us), worker,
+                          sim::Duration::micros(*us));
+  }
+
+  if (schedule.empty()) return std::nullopt;
+  return schedule;
+}
+
+}  // namespace nicsched::fault

@@ -1,0 +1,131 @@
+// FaultSchedule: a deterministic, sim-clock-driven script of faults.
+//
+// A schedule is a plain value — timed loss windows, link-degradation
+// windows, and worker stall/crash/resume actions — built either explicitly
+// (tests scripting one precise failure), pseudo-randomly from a seed
+// (`randomized`, the conservation/replay tests' fuzzing substrate), or from
+// NICSCHED_FAULT_* environment knobs (`from_env`, for benches). The
+// FaultInjector turns the value into simulator events against a server's
+// FaultSurface; the schedule itself holds no simulator state, so the same
+// value can drive any number of runs and always produces the same faults.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace nicsched::fault {
+
+/// Frame loss at `probability` over [start, end); the window close restores
+/// exact no-loss behaviour.
+struct LossWindow {
+  sim::TimePoint start;
+  sim::TimePoint end;
+  double probability = 0.0;
+};
+
+/// Serialization slowed by `factor` over [start, end).
+struct DegradeWindow {
+  sim::TimePoint start;
+  sim::TimePoint end;
+  double factor = 1.0;
+};
+
+enum class WorkerActionKind : std::uint8_t {
+  kStall,   // timed pause, auto-resumes after `duration`
+  kCrash,   // open-ended, only a later kResume revives
+  kResume,  // ends any stall or crash
+};
+
+struct WorkerAction {
+  sim::TimePoint at;
+  std::uint32_t worker = 0;  // taken modulo the surface's worker count
+  WorkerActionKind kind = WorkerActionKind::kStall;
+  sim::Duration duration;  // kStall only
+};
+
+class FaultSchedule {
+ public:
+  /// Base seed for the per-window loss RNGs (mixed with a window index, so
+  /// two windows never share a stream).
+  FaultSchedule& with_seed(std::uint64_t seed) {
+    seed_ = seed;
+    return *this;
+  }
+
+  FaultSchedule& ingress_loss(sim::TimePoint start, sim::TimePoint end,
+                              double probability) {
+    ingress_loss_.push_back({start, end, probability});
+    return *this;
+  }
+
+  FaultSchedule& dispatch_loss(sim::TimePoint start, sim::TimePoint end,
+                               double probability) {
+    dispatch_loss_.push_back({start, end, probability});
+    return *this;
+  }
+
+  FaultSchedule& degrade_ingress(sim::TimePoint start, sim::TimePoint end,
+                                 double factor) {
+    degrade_ingress_.push_back({start, end, factor});
+    return *this;
+  }
+
+  FaultSchedule& stall_worker(sim::TimePoint at, std::uint32_t worker,
+                              sim::Duration duration) {
+    workers_.push_back({at, worker, WorkerActionKind::kStall, duration});
+    return *this;
+  }
+
+  FaultSchedule& crash_worker(sim::TimePoint at, std::uint32_t worker) {
+    workers_.push_back(
+        {at, worker, WorkerActionKind::kCrash, sim::Duration::zero()});
+    return *this;
+  }
+
+  FaultSchedule& resume_worker(sim::TimePoint at, std::uint32_t worker) {
+    workers_.push_back(
+        {at, worker, WorkerActionKind::kResume, sim::Duration::zero()});
+    return *this;
+  }
+
+  std::uint64_t seed() const { return seed_; }
+  const std::vector<LossWindow>& ingress_loss_windows() const {
+    return ingress_loss_;
+  }
+  const std::vector<LossWindow>& dispatch_loss_windows() const {
+    return dispatch_loss_;
+  }
+  const std::vector<DegradeWindow>& degrade_windows() const {
+    return degrade_ingress_;
+  }
+  const std::vector<WorkerAction>& worker_actions() const { return workers_; }
+
+  bool empty() const {
+    return ingress_loss_.empty() && dispatch_loss_.empty() &&
+           degrade_ingress_.empty() && workers_.empty();
+  }
+
+  /// A deterministic pseudo-random schedule over [start, end): a few ingress
+  /// loss windows, an optional degrade window, worker stalls (always timed,
+  /// so every run quiesces), and — when `with_dispatch_loss` — loss windows
+  /// on the dispatcher↔worker path. Same arguments ⇒ same schedule.
+  static FaultSchedule randomized(std::uint64_t seed,
+                                  std::uint32_t worker_count,
+                                  sim::TimePoint start, sim::TimePoint end,
+                                  bool with_dispatch_loss);
+
+  /// Reads the NICSCHED_FAULT_* knobs (see README); nullopt when none set.
+  static std::optional<FaultSchedule> from_env();
+
+ private:
+  std::uint64_t seed_ = 1;
+  std::vector<LossWindow> ingress_loss_;
+  std::vector<LossWindow> dispatch_loss_;
+  std::vector<DegradeWindow> degrade_ingress_;
+  std::vector<WorkerAction> workers_;
+};
+
+}  // namespace nicsched::fault

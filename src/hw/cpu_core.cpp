@@ -13,7 +13,7 @@ void CpuCore::run(sim::Duration cost, std::function<void()> done) {
 }
 
 void CpuCore::start_next_op() {
-  if (queue_.empty() || busy_) return;
+  if (queue_.empty() || busy_ || stalled_) return;
   busy_ = true;
   Op op = std::move(queue_.front());
   queue_.pop_front();
@@ -45,15 +45,41 @@ void CpuCore::run_preemptible(sim::Duration work,
   preemptible_active_ = true;
   preemptible_work_ = work;
   preemptible_started_ = sim_.now();
-  auto complete = std::make_shared<std::function<void()>>(std::move(on_complete));
-  preemptible_done_ = sim_.after(scale(work), [this, complete]() {
-    busy_ = false;
-    preemptible_active_ = false;
-    stats_.busy += scale(preemptible_work_);
-    ++stats_.tasks_completed;
-    (*complete)();
-    start_next_op();
-  });
+  preemptible_complete_ = std::move(on_complete);
+  if (stalled_) {
+    // The caller handed us a task mid-stall (e.g. a serialized op's boundary
+    // completion chained into execution); it starts once the stall ends.
+    preemptible_paused_ = true;
+    return;
+  }
+  preemptible_done_ =
+      sim_.after(scale(work), [this]() { finish_preemptible(); });
+}
+
+void CpuCore::finish_preemptible() {
+  busy_ = false;
+  preemptible_active_ = false;
+  stats_.busy += scale(preemptible_work_);
+  ++stats_.tasks_completed;
+  auto complete = std::move(preemptible_complete_);
+  preemptible_complete_ = nullptr;
+  if (complete) complete();
+  start_next_op();
+}
+
+void CpuCore::pause_preemptible() {
+  preemptible_done_.cancel();
+  const sim::Duration executed_scaled = sim_.now() - preemptible_started_;
+  stats_.busy += executed_scaled;
+
+  const double scale_factor = config_.time_scale;
+  const sim::Duration executed =
+      scale_factor == 1.0 ? executed_scaled
+                          : executed_scaled * (1.0 / scale_factor);
+  sim::Duration remaining = preemptible_work_ - executed;
+  if (remaining.is_negative()) remaining = sim::Duration::zero();
+  preemptible_work_ = remaining;
+  preemptible_paused_ = true;
 }
 
 void CpuCore::interrupt(sim::Duration handler_entry_cost,
@@ -62,26 +88,72 @@ void CpuCore::interrupt(sim::Duration handler_entry_cost,
     throw std::logic_error("CpuCore::interrupt on core '" + config_.name +
                            "': no preemptible task running");
   }
-  preemptible_done_.cancel();
-  const sim::Duration executed_scaled = sim_.now() - preemptible_started_;
-  stats_.busy += executed_scaled;
-  ++stats_.tasks_interrupted;
+  sim::Duration remaining;
+  if (preemptible_paused_) {
+    // Paused by a stall: no burst in flight, the residue is already exact.
+    remaining = preemptible_work_;
+    preemptible_paused_ = false;
+  } else {
+    preemptible_done_.cancel();
+    const sim::Duration executed_scaled = sim_.now() - preemptible_started_;
+    stats_.busy += executed_scaled;
 
-  // Un-scale to get the work actually retired, then the remainder.
-  const double scale_factor = config_.time_scale;
-  const sim::Duration executed =
-      scale_factor == 1.0 ? executed_scaled
-                          : executed_scaled * (1.0 / scale_factor);
-  sim::Duration remaining = preemptible_work_ - executed;
-  if (remaining.is_negative()) remaining = sim::Duration::zero();
+    // Un-scale to get the work actually retired, then the remainder.
+    const double scale_factor = config_.time_scale;
+    const sim::Duration executed =
+        scale_factor == 1.0 ? executed_scaled
+                            : executed_scaled * (1.0 / scale_factor);
+    remaining = preemptible_work_ - executed;
+    if (remaining.is_negative()) remaining = sim::Duration::zero();
+  }
+  ++stats_.tasks_interrupted;
 
   preemptible_active_ = false;
   busy_ = false;
+  preemptible_complete_ = nullptr;
 
   // The handler entry path (interrupt delivery, trap, state save) occupies
-  // the core as an ordinary serialized operation.
+  // the core as an ordinary serialized operation. Under a stall it queues
+  // and runs once the stall ends.
   run(handler_entry_cost,
       [remaining, cb = std::move(on_interrupted)]() { cb(remaining); });
+}
+
+void CpuCore::enter_stall() {
+  stalled_ = true;
+  if (preemptible_active_ && !preemptible_paused_) pause_preemptible();
+}
+
+void CpuCore::stall_for(sim::Duration d) {
+  if (d.is_negative() || d.is_zero()) return;
+  const sim::TimePoint end = sim_.now() + d;
+  enter_stall();
+  if (stall_open_ended_) return;  // a crash dominates any timed window
+  if (stall_end_.pending() && !(stall_until_ < end)) return;
+  stall_end_.cancel();
+  stall_until_ = end;
+  stall_end_ = sim_.at(end, [this]() { resume(); });
+}
+
+void CpuCore::stall() {
+  enter_stall();
+  stall_open_ended_ = true;
+  stall_end_.cancel();
+}
+
+void CpuCore::resume() {
+  if (!stalled_) return;
+  stalled_ = false;
+  stall_open_ended_ = false;
+  stall_end_.cancel();
+  if (preemptible_paused_) {
+    preemptible_paused_ = false;
+    preemptible_started_ = sim_.now();
+    preemptible_done_ = sim_.after(scale(preemptible_work_),
+                                   [this]() { finish_preemptible(); });
+  } else if (!busy_) {
+    start_next_op();
+  }
 }
 
 }  // namespace nicsched::hw

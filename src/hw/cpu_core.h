@@ -89,6 +89,23 @@ class CpuCore {
   void interrupt(sim::Duration handler_entry_cost,
                  std::function<void(sim::Duration)> on_interrupted);
 
+  /// Stalls the core until `d` from now (fault injection: a GC pause, an
+  /// SMI, a hypervisor steal window). An overlapping call extends the window
+  /// to whichever end is later. While stalled the core retires no new work:
+  /// the op already in flight finishes at its boundary, queued ops wait, and
+  /// a running preemptible task pauses (progress so far is kept) and resumes
+  /// when the stall ends.
+  void stall_for(sim::Duration d);
+
+  /// Open-ended stall — a crashed core. Only resume() ends it.
+  void stall();
+
+  /// Ends any stall immediately and restarts deferred work.
+  void resume();
+
+  /// True while a stall window (timed or open-ended) is in effect.
+  bool stalled() const { return stalled_; }
+
  private:
   struct Op {
     sim::Duration cost;  // reference time, unscaled
@@ -97,6 +114,9 @@ class CpuCore {
 
   void start_next_op();
   void finish_op(Op op);
+  void finish_preemptible();
+  void enter_stall();
+  void pause_preemptible();
 
   sim::Simulator& sim_;
   Config config_;
@@ -106,9 +126,16 @@ class CpuCore {
   std::deque<Op> queue_;
 
   bool preemptible_active_ = false;
-  sim::Duration preemptible_work_;       // total, reference time
-  sim::TimePoint preemptible_started_;   // when execution began
+  bool preemptible_paused_ = false;      // paused by a stall window
+  sim::Duration preemptible_work_;       // still to execute, reference time
+  sim::TimePoint preemptible_started_;   // when the current burst began
   sim::EventHandle preemptible_done_;
+  std::function<void()> preemptible_complete_;
+
+  bool stalled_ = false;
+  bool stall_open_ended_ = false;        // crash: no scheduled end
+  sim::TimePoint stall_until_;
+  sim::EventHandle stall_end_;
 };
 
 }  // namespace nicsched::hw

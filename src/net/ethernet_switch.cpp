@@ -25,6 +25,15 @@ void EthernetSwitch::set_port_loss(MacAddress mac, double probability,
   it->second->set_loss(probability, seed);
 }
 
+void EthernetSwitch::set_port_degrade(MacAddress mac, double factor) {
+  auto it = ports_.find(mac);
+  if (it == ports_.end()) {
+    throw std::logic_error("EthernetSwitch::set_port_degrade: unknown MAC " +
+                           mac.to_string());
+  }
+  it->second->set_degrade(factor);
+}
+
 const Wire::Stats& EthernetSwitch::port_stats(MacAddress mac) const {
   auto it = ports_.find(mac);
   if (it == ports_.end()) {

@@ -45,6 +45,10 @@ class EthernetSwitch : public PacketSink {
   /// Wire::set_loss. Throws if `mac` is not attached.
   void set_port_loss(MacAddress mac, double probability, std::uint64_t seed);
 
+  /// Fault injection: slow one egress port's serialization by `factor`; see
+  /// Wire::set_degrade. Throws if `mac` is not attached.
+  void set_port_degrade(MacAddress mac, double factor);
+
   /// Egress-wire stats for one attached MAC (lost counts live here).
   const Wire::Stats& port_stats(MacAddress mac) const;
 

@@ -48,9 +48,22 @@ class Wire {
   /// Fault injection: drop each frame independently with `probability`
   /// (CRC corruption / congestion loss on the path). Dropped frames still
   /// occupy the transmitter's serialization slot. Deterministic in `seed`.
+  /// A probability <= 0 clears loss entirely (no RNG draw per frame), so
+  /// closing a fault window restores the wire's exact no-loss behaviour.
   void set_loss(double probability, std::uint64_t seed) {
+    if (probability <= 0.0) {
+      loss_probability_ = 0.0;
+      loss_rng_.reset();
+      return;
+    }
     loss_probability_ = probability;
     loss_rng_.emplace(seed);
+  }
+
+  /// Fault injection: multiply serialization time by `factor` >= 1 (link
+  /// negotiated down / flapping). A factor <= 1 restores full rate.
+  void set_degrade(double factor) {
+    degrade_factor_ = factor > 1.0 ? factor : 1.0;
   }
 
   const Stats& stats() const { return stats_; }
@@ -59,7 +72,8 @@ class Wire {
   /// Serialization time for `bytes` on this wire.
   sim::Duration serialization_delay(std::size_t bytes) const {
     // bits / (gbps * 1e9 bits/s) seconds = bits / gbps nanoseconds.
-    return sim::Duration::nanos(static_cast<double>(bytes) * 8.0 / gbps_);
+    return sim::Duration::nanos(static_cast<double>(bytes) * 8.0 / gbps_ *
+                                degrade_factor_);
   }
 
  private:
@@ -71,6 +85,7 @@ class Wire {
   Stats stats_;
   double loss_probability_ = 0.0;
   std::optional<sim::Rng> loss_rng_;
+  double degrade_factor_ = 1.0;
 };
 
 }  // namespace nicsched::net

@@ -18,6 +18,41 @@ bool read_header(net::ByteReader& reader, MessageType expected) {
   return reader.u8() == static_cast<std::uint8_t>(expected);
 }
 
+constexpr std::size_t kDescriptorBodySize = 48;
+
+void write_descriptor_body(net::ByteWriter& writer,
+                           const RequestDescriptor& descriptor) {
+  writer.u64(descriptor.request_id);
+  writer.u32(descriptor.client_id);
+  writer.u16(descriptor.kind);
+  writer.u64(descriptor.remaining_ps);
+  writer.u64(descriptor.total_ps);
+  writer.u16(descriptor.preempt_count);
+  writer.u32(descriptor.queue_depth);
+  writer.bytes(descriptor.client_mac.octets());
+  writer.u32(descriptor.client_ip.bits());
+  writer.u16(descriptor.client_port);
+}
+
+std::optional<RequestDescriptor> read_descriptor_body(net::ByteReader& reader) {
+  if (reader.remaining() < kDescriptorBodySize) return std::nullopt;
+  RequestDescriptor descriptor;
+  descriptor.request_id = reader.u64();
+  descriptor.client_id = reader.u32();
+  descriptor.kind = reader.u16();
+  descriptor.remaining_ps = reader.u64();
+  descriptor.total_ps = reader.u64();
+  descriptor.preempt_count = reader.u16();
+  descriptor.queue_depth = reader.u32();
+  std::array<std::uint8_t, net::MacAddress::kSize> mac{};
+  auto mac_bytes = reader.bytes(net::MacAddress::kSize);
+  std::copy(mac_bytes.begin(), mac_bytes.end(), mac.begin());
+  descriptor.client_mac = net::MacAddress(mac);
+  descriptor.client_ip = net::Ipv4Address(reader.u32());
+  descriptor.client_port = reader.u16();
+  return descriptor;
+}
+
 }  // namespace
 
 std::optional<MessageType> peek_type(std::span<const std::uint8_t> payload) {
@@ -27,7 +62,7 @@ std::optional<MessageType> peek_type(std::span<const std::uint8_t> payload) {
   if (reader.u8() != kVersion) return std::nullopt;
   const std::uint8_t type = reader.u8();
   if (type < static_cast<std::uint8_t>(MessageType::kRequest) ||
-      type > static_cast<std::uint8_t>(MessageType::kResponse)) {
+      type > static_cast<std::uint8_t>(MessageType::kNoteAck)) {
     return std::nullopt;
   }
   return static_cast<MessageType>(type);
@@ -65,19 +100,10 @@ std::optional<RequestMessage> RequestMessage::parse(
 std::vector<std::uint8_t> RequestDescriptor::serialize(
     MessageType type) const {
   std::vector<std::uint8_t> out;
-  out.reserve(48);
+  out.reserve(4 + kDescriptorBodySize);
   net::ByteWriter writer(out);
   write_header(writer, type);
-  writer.u64(request_id);
-  writer.u32(client_id);
-  writer.u16(kind);
-  writer.u64(remaining_ps);
-  writer.u64(total_ps);
-  writer.u16(preempt_count);
-  writer.u32(queue_depth);
-  writer.bytes(client_mac.octets());
-  writer.u32(client_ip.bits());
-  writer.u16(client_port);
+  write_descriptor_body(writer, *this);
   return out;
 }
 
@@ -89,22 +115,86 @@ std::optional<RequestDescriptor> RequestDescriptor::parse(
   }
   net::ByteReader reader(payload);
   if (!read_header(reader, expected_type)) return std::nullopt;
-  if (reader.remaining() < 48) return std::nullopt;
-  RequestDescriptor descriptor;
-  descriptor.request_id = reader.u64();
-  descriptor.client_id = reader.u32();
-  descriptor.kind = reader.u16();
-  descriptor.remaining_ps = reader.u64();
-  descriptor.total_ps = reader.u64();
-  descriptor.preempt_count = reader.u16();
-  descriptor.queue_depth = reader.u32();
-  std::array<std::uint8_t, net::MacAddress::kSize> mac{};
-  auto mac_bytes = reader.bytes(net::MacAddress::kSize);
-  std::copy(mac_bytes.begin(), mac_bytes.end(), mac.begin());
-  descriptor.client_mac = net::MacAddress(mac);
-  descriptor.client_ip = net::Ipv4Address(reader.u32());
-  descriptor.client_port = reader.u16();
-  return descriptor;
+  return read_descriptor_body(reader);
+}
+
+std::vector<std::uint8_t> SequencedAssignment::serialize() const {
+  std::vector<std::uint8_t> out;
+  out.reserve(12 + kDescriptorBodySize);
+  net::ByteWriter writer(out);
+  write_header(writer, MessageType::kSequencedAssignment);
+  writer.u64(seq);
+  write_descriptor_body(writer, descriptor);
+  return out;
+}
+
+std::optional<SequencedAssignment> SequencedAssignment::parse(
+    std::span<const std::uint8_t> payload) {
+  net::ByteReader reader(payload);
+  if (!read_header(reader, MessageType::kSequencedAssignment)) {
+    return std::nullopt;
+  }
+  if (reader.remaining() < 8) return std::nullopt;
+  SequencedAssignment message;
+  message.seq = reader.u64();
+  auto descriptor = read_descriptor_body(reader);
+  if (!descriptor) return std::nullopt;
+  message.descriptor = std::move(*descriptor);
+  return message;
+}
+
+std::vector<std::uint8_t> AckMessage::serialize(MessageType type) const {
+  std::vector<std::uint8_t> out;
+  out.reserve(16);
+  net::ByteWriter writer(out);
+  write_header(writer, type);
+  writer.u64(seq);
+  writer.u32(worker_id);
+  return out;
+}
+
+std::optional<AckMessage> AckMessage::parse(
+    std::span<const std::uint8_t> payload, MessageType expected_type) {
+  if (expected_type != MessageType::kDispatchAck &&
+      expected_type != MessageType::kNoteAck) {
+    return std::nullopt;
+  }
+  net::ByteReader reader(payload);
+  if (!read_header(reader, expected_type)) return std::nullopt;
+  if (reader.remaining() < 12) return std::nullopt;
+  AckMessage message;
+  message.seq = reader.u64();
+  message.worker_id = reader.u32();
+  return message;
+}
+
+std::vector<std::uint8_t> SequencedNote::serialize() const {
+  std::vector<std::uint8_t> out;
+  out.reserve(17 + kDescriptorBodySize);
+  net::ByteWriter writer(out);
+  write_header(writer, MessageType::kSequencedNote);
+  writer.u64(seq);
+  writer.u32(worker_id);
+  writer.u8(preempted ? 1 : 0);
+  write_descriptor_body(writer, descriptor);
+  return out;
+}
+
+std::optional<SequencedNote> SequencedNote::parse(
+    std::span<const std::uint8_t> payload) {
+  net::ByteReader reader(payload);
+  if (!read_header(reader, MessageType::kSequencedNote)) return std::nullopt;
+  if (reader.remaining() < 13) return std::nullopt;
+  SequencedNote message;
+  message.seq = reader.u64();
+  message.worker_id = reader.u32();
+  const std::uint8_t preempted = reader.u8();
+  if (preempted > 1) return std::nullopt;  // corrupted flag byte
+  message.preempted = preempted == 1;
+  auto descriptor = read_descriptor_body(reader);
+  if (!descriptor) return std::nullopt;
+  message.descriptor = std::move(*descriptor);
+  return message;
 }
 
 std::vector<std::uint8_t> CompletionMessage::serialize() const {

@@ -9,6 +9,14 @@
 //   kCompletion  worker → dispatcher    frees the worker's dispatcher slot
 //   kResponse    worker → client        completes the request
 //
+// Four more types exist for the *reliable* dispatch mode (DESIGN §9), where
+// the dispatcher↔worker UDP path is allowed to drop frames:
+//
+//   kSequencedAssignment  dispatcher → worker   kAssignment + sequence number
+//   kDispatchAck          worker → dispatcher   confirms assignment receipt
+//   kSequencedNote        worker → dispatcher   completion/preemption + seq
+//   kNoteAck              dispatcher → worker   confirms note receipt
+//
 // The synthetic workload (§4.1) encodes "fake work that keeps the server
 // busy for a specific amount of time" as `work_ps` in the request payload.
 // Preempted requests save their progress host-side; on the wire the
@@ -35,6 +43,10 @@ enum class MessageType : std::uint8_t {
   kPreemption = 3,
   kCompletion = 4,
   kResponse = 5,
+  kSequencedAssignment = 6,
+  kDispatchAck = 7,
+  kSequencedNote = 8,
+  kNoteAck = 9,
 };
 
 /// Peeks at a payload's message type without a full parse.
@@ -92,6 +104,51 @@ struct CompletionMessage {
       std::span<const std::uint8_t> payload);
 
   bool operator==(const CompletionMessage&) const = default;
+};
+
+/// Dispatcher → worker in reliable mode: an assignment descriptor carrying
+/// the dispatcher's sequence number, so the worker can ack receipt and the
+/// dispatcher can retransmit unacked assignments (DESIGN §9).
+struct SequencedAssignment {
+  std::uint64_t seq = 0;
+  RequestDescriptor descriptor;
+
+  std::vector<std::uint8_t> serialize() const;
+  static std::optional<SequencedAssignment> parse(
+      std::span<const std::uint8_t> payload);
+
+  bool operator==(const SequencedAssignment&) const = default;
+};
+
+/// A bare ack, serialized as kDispatchAck (worker confirms an assignment) or
+/// kNoteAck (dispatcher confirms a worker note). The parse side must name
+/// the expected direction so the two ack flows cannot be confused.
+struct AckMessage {
+  std::uint64_t seq = 0;
+  std::uint32_t worker_id = 0;
+
+  std::vector<std::uint8_t> serialize(MessageType type) const;
+  static std::optional<AckMessage> parse(std::span<const std::uint8_t> payload,
+                                         MessageType expected_type);
+
+  bool operator==(const AckMessage&) const = default;
+};
+
+/// Worker → dispatcher in reliable mode: a sequenced completion or
+/// preemption note. Always carries the full descriptor — completions need
+/// the request_id to clear the dispatcher's in-flight entry, and carrying
+/// the whole body keeps the frame fixed-size regardless of note kind.
+struct SequencedNote {
+  std::uint64_t seq = 0;
+  std::uint32_t worker_id = 0;
+  bool preempted = false;
+  RequestDescriptor descriptor;
+
+  std::vector<std::uint8_t> serialize() const;
+  static std::optional<SequencedNote> parse(
+      std::span<const std::uint8_t> payload);
+
+  bool operator==(const SequencedNote&) const = default;
 };
 
 /// Worker → client.

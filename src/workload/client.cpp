@@ -95,7 +95,10 @@ void ClientMachine::handle_rx() {
     if (!response) continue;
 
     auto it = pending_.find(response->request_id);
-    if (it == pending_.end()) continue;  // duplicate or stray
+    if (it == pending_.end()) {
+      ++duplicates_;  // re-executed under reliable dispatch, or stray
+      continue;
+    }
 
     ++received_;
     if (sim_.span_enabled()) {

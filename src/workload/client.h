@@ -80,6 +80,10 @@ class ClientMachine {
   std::uint64_t sent() const { return sent_; }
   std::uint64_t received() const { return received_; }
   std::uint64_t outstanding() const { return pending_.size(); }
+  /// Responses for requests no longer pending — re-executed work under
+  /// reliable dispatch (the request was re-steered or the original worker
+  /// revived and finished it twice). Conservation tests read this.
+  std::uint64_t duplicates() const { return duplicates_; }
 
  private:
   struct Pending {
@@ -103,6 +107,7 @@ class ClientMachine {
   sim::TimePoint issue_until_;
   std::uint64_t sent_ = 0;
   std::uint64_t received_ = 0;
+  std::uint64_t duplicates_ = 0;
   std::uint64_t next_sequence_ = 0;
   std::unordered_map<std::uint64_t, Pending> pending_;
   ResponseCallback on_response_;

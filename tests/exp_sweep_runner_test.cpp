@@ -54,6 +54,17 @@ void expect_row_identical(const exp::ResultRow& a, const exp::ResultRow& b) {
   EXPECT_EQ(a.server.ddio.l1_touches, b.server.ddio.l1_touches);
   EXPECT_EQ(a.server.ddio.llc_touches, b.server.ddio.llc_touches);
   EXPECT_EQ(a.server.ddio.dram_touches, b.server.ddio.dram_touches);
+  EXPECT_EQ(a.server.reliability.retransmits, b.server.reliability.retransmits);
+  EXPECT_EQ(a.server.reliability.note_retransmits,
+            b.server.reliability.note_retransmits);
+  EXPECT_EQ(a.server.reliability.timeouts, b.server.reliability.timeouts);
+  EXPECT_EQ(a.server.reliability.redispatched,
+            b.server.reliability.redispatched);
+  EXPECT_EQ(a.server.reliability.abandoned, b.server.reliability.abandoned);
+  EXPECT_EQ(a.server.reliability.duplicates, b.server.reliability.duplicates);
+  EXPECT_EQ(a.server.reliability.worker_deaths,
+            b.server.reliability.worker_deaths);
+  EXPECT_EQ(a.server.reliability.revivals, b.server.reliability.revivals);
   EXPECT_EQ(a.mean_worker_utilization, b.mean_worker_utilization);
 }
 
@@ -143,6 +154,14 @@ exp::ResultRow sample_row() {
   row.server.ddio.l1_touches = 9'000;
   row.server.ddio.llc_touches = 900;
   row.server.ddio.dram_touches = 150;
+  row.server.reliability.retransmits = 31;
+  row.server.reliability.note_retransmits = 17;
+  row.server.reliability.timeouts = 48;
+  row.server.reliability.redispatched = 5;
+  row.server.reliability.abandoned = 2;
+  row.server.reliability.duplicates = 9;
+  row.server.reliability.worker_deaths = 1;
+  row.server.reliability.revivals = 1;
   row.mean_worker_utilization = (0.91 + 0.875 + 1.0 / 3.0) / 3.0;
   return row;
 }

@@ -1,0 +1,192 @@
+// Determinism under fault injection: the same seed and the same
+// FaultSchedule must reproduce a run bit for bit — every response record,
+// every span in every request lifecycle, every counter — including when
+// frame loss forces the reliable-dispatch machinery to retransmit. And a
+// config that installs no schedule must match the plain baseline exactly:
+// the fault layer's zero-cost contract.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/testbed.h"
+#include "fault/fault_schedule.h"
+#include "obs/capture.h"
+#include "stats/response_log.h"
+
+namespace nicsched {
+namespace {
+
+sim::TimePoint at_ms(std::int64_t ms) {
+  return sim::TimePoint::origin() + sim::Duration::millis(ms);
+}
+
+/// A small but non-trivial point: bimodal service exercises preemption and
+/// requeue paths, spans are captured in memory for comparison.
+core::ExperimentConfig base_config(core::SystemKind kind, bool reliable) {
+  obs::CaptureOptions capture;
+  capture.enabled = true;
+  capture.spans = true;
+  capture.metric_cadence = sim::Duration::zero();  // spans only
+  return core::ExperimentConfig::of(kind)
+      .workers(4)
+      .outstanding(2)
+      .slice(sim::Duration::micros(10))
+      .bimodal(sim::Duration::micros(2), sim::Duration::micros(30), 0.05)
+      .load(150e3)
+      .clients(2, 32)
+      .measure_for(sim::Duration::millis(8))
+      .with_seed(17)
+      .reliable(reliable)
+      .with_capture(capture);
+}
+
+struct Replay {
+  core::ExperimentResult result;
+  stats::ResponseLog log;
+};
+
+Replay run_once(core::ExperimentConfig config) {
+  Replay replay;
+  config.response_log = &replay.log;
+  replay.result = core::run_experiment(config);
+  return replay;
+}
+
+void expect_identical(const Replay& a, const Replay& b) {
+  // Headline summary.
+  EXPECT_EQ(a.result.summary.issued, b.result.summary.issued);
+  EXPECT_EQ(a.result.summary.completed, b.result.summary.completed);
+  EXPECT_EQ(a.result.summary.mean_us, b.result.summary.mean_us);
+  EXPECT_EQ(a.result.summary.p99_us, b.result.summary.p99_us);
+  EXPECT_EQ(a.result.summary.max_us, b.result.summary.max_us);
+  EXPECT_EQ(a.result.summary.preemptions, b.result.summary.preemptions);
+
+  // Server counters, including the full recovery accounting.
+  const core::ServerStats& sa = a.result.server;
+  const core::ServerStats& sb = b.result.server;
+  EXPECT_EQ(sa.requests_received, sb.requests_received);
+  EXPECT_EQ(sa.responses_sent, sb.responses_sent);
+  EXPECT_EQ(sa.preemptions, sb.preemptions);
+  EXPECT_EQ(sa.drops, sb.drops);
+  EXPECT_EQ(sa.queue_max_depth, sb.queue_max_depth);
+  EXPECT_EQ(sa.reliability.retransmits, sb.reliability.retransmits);
+  EXPECT_EQ(sa.reliability.note_retransmits, sb.reliability.note_retransmits);
+  EXPECT_EQ(sa.reliability.timeouts, sb.reliability.timeouts);
+  EXPECT_EQ(sa.reliability.redispatched, sb.reliability.redispatched);
+  EXPECT_EQ(sa.reliability.abandoned, sb.reliability.abandoned);
+  EXPECT_EQ(sa.reliability.duplicates, sb.reliability.duplicates);
+  EXPECT_EQ(sa.reliability.worker_deaths, sb.reliability.worker_deaths);
+  EXPECT_EQ(sa.reliability.revivals, sb.reliability.revivals);
+
+  // Every in-window response, field for field.
+  const auto& ra = a.log.records();
+  const auto& rb = b.log.records();
+  ASSERT_EQ(ra.size(), rb.size());
+  for (std::size_t i = 0; i < ra.size(); ++i) {
+    ASSERT_EQ(ra[i].request_id, rb[i].request_id) << "record " << i;
+    EXPECT_EQ(ra[i].kind, rb[i].kind);
+    EXPECT_EQ(ra[i].preempt_count, rb[i].preempt_count);
+    EXPECT_EQ(ra[i].sent_at, rb[i].sent_at);
+    EXPECT_EQ(ra[i].received_at, rb[i].received_at);
+    EXPECT_EQ(ra[i].work, rb[i].work);
+  }
+
+  // Every span of every completed lifecycle. A re-steered request that ends
+  // up executing twice cannot satisfy the one-open-span tiling invariant —
+  // the recorder counts those violations instead of throwing — but the
+  // counts themselves must replay exactly.
+  ASSERT_NE(a.result.capture, nullptr);
+  ASSERT_NE(b.result.capture, nullptr);
+  EXPECT_EQ(a.result.capture->spans().violations(),
+            b.result.capture->spans().violations());
+  EXPECT_EQ(a.result.capture->spans().events_seen(),
+            b.result.capture->spans().events_seen());
+  const auto la = a.result.capture->spans().completed();
+  const auto lb = b.result.capture->spans().completed();
+  ASSERT_EQ(la.size(), lb.size());
+  for (std::size_t i = 0; i < la.size(); ++i) {
+    ASSERT_EQ(la[i].request_id, lb[i].request_id) << "lifecycle " << i;
+    ASSERT_EQ(la[i].spans.size(), lb[i].spans.size())
+        << "request " << la[i].request_id;
+    for (std::size_t s = 0; s < la[i].spans.size(); ++s) {
+      EXPECT_EQ(la[i].spans[s].kind, lb[i].spans[s].kind);
+      EXPECT_EQ(la[i].spans[s].component, lb[i].spans[s].component);
+      EXPECT_EQ(la[i].spans[s].begin, lb[i].spans[s].begin);
+      EXPECT_EQ(la[i].spans[s].end, lb[i].spans[s].end);
+    }
+  }
+}
+
+struct KindCase {
+  core::SystemKind kind;
+  bool reliable;
+};
+
+TEST(FaultReplay, SameSeedAndScheduleReplayBitForBit) {
+  const KindCase cases[] = {
+      {core::SystemKind::kShinjuku, true},
+      {core::SystemKind::kShinjukuOffload, true},
+      {core::SystemKind::kRss, false},
+      {core::SystemKind::kIdealNic, false},
+  };
+  for (const KindCase& c : cases) {
+    SCOPED_TRACE(core::to_string(c.kind));
+    // Faults span warmup (5 ms) into the 8 ms measurement window. The
+    // offload case also takes randomized dispatch loss, so its replay
+    // covers the retransmit/ack machinery.
+    auto config = base_config(c.kind, c.reliable);
+    config.with_faults(fault::FaultSchedule::randomized(
+        21, 4, at_ms(2), at_ms(12), c.reliable));
+
+    const Replay first = run_once(config);
+    const Replay second = run_once(config);
+    ASSERT_GT(first.log.records().size(), 200u);
+    expect_identical(first, second);
+  }
+}
+
+TEST(FaultReplay, RetransmissionPathReplaysBitForBit) {
+  // Force heavy dispatch loss so retransmits, duplicate suppression and
+  // (possibly) liveness verdicts all fire — the replay must still be exact.
+  auto config = base_config(core::SystemKind::kShinjukuOffload, true);
+  fault::FaultSchedule schedule;
+  schedule.with_seed(9).dispatch_loss(at_ms(1), at_ms(13), 0.05);
+  config.with_faults(schedule);
+
+  const Replay first = run_once(config);
+  const Replay second = run_once(config);
+  ASSERT_GT(first.result.server.reliability.retransmits +
+                first.result.server.reliability.note_retransmits,
+            0u)
+      << "loss never exercised the retransmit path";
+  expect_identical(first, second);
+}
+
+TEST(FaultReplay, NoScheduleMatchesPlainBaselineBitForBit) {
+  // Zero-cost contract: a config that threads the fault machinery but
+  // installs nothing (empty schedule, reliability off) is indistinguishable
+  // from one that never mentions faults at all.
+  for (const auto kind :
+       {core::SystemKind::kShinjukuOffload, core::SystemKind::kShinjuku}) {
+    SCOPED_TRACE(core::to_string(kind));
+    auto plain = base_config(kind, false);
+    plain.reliable_dispatch.reset();  // never mentions reliability either
+
+    auto threaded = base_config(kind, false);
+    threaded.with_faults(fault::FaultSchedule{});
+
+    const Replay a = run_once(plain);
+    const Replay b = run_once(threaded);
+    ASSERT_GT(a.log.records().size(), 200u);
+    expect_identical(a, b);
+    // Without faults every request executes exactly once, so the span
+    // traces must be violation-free, not merely equal.
+    EXPECT_EQ(a.result.capture->spans().violations(), 0u);
+    EXPECT_EQ(b.result.capture->spans().violations(), 0u);
+    EXPECT_EQ(b.result.server.reliability.retransmits, 0u);
+    EXPECT_EQ(b.result.server.reliability.worker_deaths, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace nicsched

@@ -3,7 +3,10 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "core/shinjuku_server.h"
+#include "net/ethernet_switch.h"
 #include "obs/metrics.h"
+#include "proto/messages.h"
 #include "sim/simulator.h"
 
 namespace nicsched {
@@ -67,6 +70,43 @@ TEST(MetricSampler, RejectsBadConfiguration) {
   sampler.start(at_us(3));
   EXPECT_THROW(sampler.add_probe("late", []() { return 0.0; }),
                std::logic_error);
+}
+
+TEST(ServerTelemetry, RingOverflowDropsReachTelemetry) {
+  // Regression: RX-ring overflow was counted in run-end stats() but not in
+  // the live telemetry() snapshot the metric sampler polls, so the sampled
+  // "drops" series silently understated loss.
+  sim::Simulator sim;
+  core::ModelParams params = core::ModelParams::defaults();
+  params.ring_capacity = 2;
+  net::EthernetSwitch network(sim, params.switch_forward_latency);
+
+  core::ShinjukuServer::Config config;
+  config.worker_count = 1;
+  config.preemption_enabled = false;
+  core::ShinjukuServer server(sim, network, params, config);
+
+  net::DatagramAddress address;
+  address.src_mac = net::MacAddress::from_index(1);
+  address.dst_mac = server.ingress_mac();
+  address.src_ip = net::Ipv4Address::from_index(1);
+  address.dst_ip = server.ingress_ip();
+  address.src_port = 1234;
+  address.dst_port = server.port();
+
+  proto::RequestMessage request;
+  request.client_id = 1;
+  request.work_ps = 5'000'000;  // 5 us
+  for (int i = 0; i < 32; ++i) {
+    request.request_id = static_cast<std::uint64_t>(i + 1);
+    network.ingress().deliver(
+        net::make_udp_datagram(address, request.serialize()));
+  }
+  sim.run_until(at_us(2'000));
+
+  const core::ServerStats stats = server.stats(sim::Duration::millis(2));
+  ASSERT_GT(stats.drops, 0u) << "burst did not overflow the 2-slot ring";
+  EXPECT_EQ(server.telemetry().drops, stats.drops);
 }
 
 TEST(MetricSampler, WritesAlignedCsv) {

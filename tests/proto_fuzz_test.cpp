@@ -34,8 +34,55 @@ TEST_P(ProtoFuzz, RandomBytesNeverCrashAnyParser) {
                                           proto::MessageType::kPreemption);
     (void)proto::CompletionMessage::parse(bytes);
     (void)proto::ResponseMessage::parse(bytes);
+    (void)proto::SequencedAssignment::parse(bytes);
+    (void)proto::AckMessage::parse(bytes, proto::MessageType::kDispatchAck);
+    (void)proto::AckMessage::parse(bytes, proto::MessageType::kNoteAck);
+    (void)proto::SequencedNote::parse(bytes);
     (void)net::parse_udp_datagram(net::Packet(bytes));
   }
+}
+
+TEST_P(ProtoFuzz, TruncationsOfReliableMessagesAreRejectedNotCrashing) {
+  proto::RequestDescriptor descriptor;
+  descriptor.request_id = 7;
+  descriptor.remaining_ps = 123;
+
+  const auto assignment =
+      proto::SequencedAssignment{11, descriptor}.serialize();
+  for (std::size_t len = 0; len < assignment.size(); ++len) {
+    auto truncated = assignment;
+    truncated.resize(len);
+    EXPECT_FALSE(proto::SequencedAssignment::parse(truncated).has_value())
+        << "accepted a " << len << "-byte truncation";
+  }
+  EXPECT_TRUE(proto::SequencedAssignment::parse(assignment).has_value());
+
+  proto::SequencedNote note;
+  note.seq = 12;
+  note.worker_id = 2;
+  note.preempted = true;
+  note.descriptor = descriptor;
+  const auto note_bytes = note.serialize();
+  for (std::size_t len = 0; len < note_bytes.size(); ++len) {
+    auto truncated = note_bytes;
+    truncated.resize(len);
+    EXPECT_FALSE(proto::SequencedNote::parse(truncated).has_value())
+        << "accepted a " << len << "-byte truncation";
+  }
+  EXPECT_TRUE(proto::SequencedNote::parse(note_bytes).has_value());
+
+  const auto ack =
+      proto::AckMessage{13, 4}.serialize(proto::MessageType::kNoteAck);
+  for (std::size_t len = 0; len < ack.size(); ++len) {
+    auto truncated = ack;
+    truncated.resize(len);
+    EXPECT_FALSE(
+        proto::AckMessage::parse(truncated, proto::MessageType::kNoteAck)
+            .has_value())
+        << "accepted a " << len << "-byte truncation";
+  }
+  EXPECT_TRUE(proto::AckMessage::parse(ack, proto::MessageType::kNoteAck)
+                  .has_value());
 }
 
 TEST_P(ProtoFuzz, MutatedDatagramsNeverCrashAndParseConsistently) {

@@ -89,6 +89,86 @@ TEST(ResponseMessage, RoundTrip) {
   EXPECT_EQ(*parsed, message);
 }
 
+TEST(SequencedAssignment, RoundTrip) {
+  SequencedAssignment message;
+  message.seq = 0xDEADBEEFCAFE0001ULL;
+  message.descriptor = sample_descriptor();
+  const auto parsed = SequencedAssignment::parse(message.serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, message);
+}
+
+TEST(SequencedAssignment, ParseRejectsTruncation) {
+  const SequencedAssignment message{1, sample_descriptor()};
+  auto bytes = message.serialize();
+  for (std::size_t cut = 1; cut <= bytes.size(); cut += 7) {
+    auto truncated = bytes;
+    truncated.resize(bytes.size() - cut);
+    EXPECT_FALSE(SequencedAssignment::parse(truncated).has_value());
+  }
+}
+
+TEST(AckMessage, RoundTripBothAckTypes) {
+  AckMessage message;
+  message.seq = 42;
+  message.worker_id = 3;
+  for (const MessageType type :
+       {MessageType::kDispatchAck, MessageType::kNoteAck}) {
+    const auto parsed = AckMessage::parse(message.serialize(type), type);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, message);
+  }
+}
+
+TEST(AckMessage, TypeMismatchRejected) {
+  AckMessage message;
+  message.seq = 7;
+  const auto bytes = message.serialize(MessageType::kDispatchAck);
+  EXPECT_FALSE(AckMessage::parse(bytes, MessageType::kNoteAck).has_value());
+  // Non-ack expected types are rejected outright.
+  EXPECT_FALSE(AckMessage::parse(bytes, MessageType::kRequest).has_value());
+}
+
+TEST(SequencedNote, RoundTripCompletionAndPreemption) {
+  SequencedNote message;
+  message.seq = 0x1122334455667788ULL;
+  message.worker_id = 6;
+  message.descriptor = sample_descriptor();
+  for (const bool preempted : {false, true}) {
+    message.preempted = preempted;
+    const auto parsed = SequencedNote::parse(message.serialize());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, message);
+  }
+}
+
+TEST(SequencedNote, ParseRejectsBadFlagAndTruncation) {
+  SequencedNote message;
+  message.seq = 9;
+  message.worker_id = 1;
+  message.descriptor = sample_descriptor();
+  auto bytes = message.serialize();
+  // The preempted flag byte sits after seq (8) + worker (4) in the body.
+  auto bad_flag = bytes;
+  bad_flag[4 + 8 + 4] = 2;
+  EXPECT_FALSE(SequencedNote::parse(bad_flag).has_value());
+  auto truncated = bytes;
+  truncated.resize(truncated.size() - 1);
+  EXPECT_FALSE(SequencedNote::parse(truncated).has_value());
+}
+
+TEST(PeekType, IdentifiesReliableTypes) {
+  EXPECT_EQ(peek_type(SequencedAssignment{1, sample_descriptor()}.serialize()),
+            MessageType::kSequencedAssignment);
+  EXPECT_EQ(peek_type(AckMessage{}.serialize(MessageType::kDispatchAck)),
+            MessageType::kDispatchAck);
+  EXPECT_EQ(peek_type(AckMessage{}.serialize(MessageType::kNoteAck)),
+            MessageType::kNoteAck);
+  SequencedNote note;
+  note.descriptor = sample_descriptor();
+  EXPECT_EQ(peek_type(note.serialize()), MessageType::kSequencedNote);
+}
+
 TEST(PeekType, IdentifiesAllTypes) {
   RequestMessage request;
   EXPECT_EQ(peek_type(request.serialize()), MessageType::kRequest);
