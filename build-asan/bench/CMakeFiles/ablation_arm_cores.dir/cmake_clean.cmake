@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_arm_cores.dir/ablation_arm_cores.cpp.o"
+  "CMakeFiles/ablation_arm_cores.dir/ablation_arm_cores.cpp.o.d"
+  "ablation_arm_cores"
+  "ablation_arm_cores.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_arm_cores.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_bursts.dir/ablation_bursts.cpp.o"
+  "CMakeFiles/ablation_bursts.dir/ablation_bursts.cpp.o.d"
+  "ablation_bursts"
+  "ablation_bursts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_bursts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ddio.dir/ablation_ddio.cpp.o"
+  "CMakeFiles/ablation_ddio.dir/ablation_ddio.cpp.o.d"
+  "ablation_ddio"
+  "ablation_ddio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ddio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

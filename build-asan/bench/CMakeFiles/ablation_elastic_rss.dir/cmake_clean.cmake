@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_elastic_rss.dir/ablation_elastic_rss.cpp.o"
+  "CMakeFiles/ablation_elastic_rss.dir/ablation_elastic_rss.cpp.o.d"
+  "ablation_elastic_rss"
+  "ablation_elastic_rss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_elastic_rss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

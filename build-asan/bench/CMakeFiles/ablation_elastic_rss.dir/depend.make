@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_elastic_rss.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ideal_nic.dir/ablation_ideal_nic.cpp.o"
+  "CMakeFiles/ablation_ideal_nic.dir/ablation_ideal_nic.cpp.o.d"
+  "ablation_ideal_nic"
+  "ablation_ideal_nic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ideal_nic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_jit_cc.dir/ablation_jit_cc.cpp.o"
+  "CMakeFiles/ablation_jit_cc.dir/ablation_jit_cc.cpp.o.d"
+  "ablation_jit_cc"
+  "ablation_jit_cc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_jit_cc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

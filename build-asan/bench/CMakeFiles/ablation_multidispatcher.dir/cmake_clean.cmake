@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_multidispatcher.dir/ablation_multidispatcher.cpp.o"
+  "CMakeFiles/ablation_multidispatcher.dir/ablation_multidispatcher.cpp.o.d"
+  "ablation_multidispatcher"
+  "ablation_multidispatcher.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_multidispatcher.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_bimodal.dir/fig2_bimodal.cpp.o"
+  "CMakeFiles/fig2_bimodal.dir/fig2_bimodal.cpp.o.d"
+  "fig2_bimodal"
+  "fig2_bimodal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_bimodal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_outstanding.dir/fig3_outstanding.cpp.o"
+  "CMakeFiles/fig3_outstanding.dir/fig3_outstanding.cpp.o.d"
+  "fig3_outstanding"
+  "fig3_outstanding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_outstanding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_fixed5us.dir/fig4_fixed5us.cpp.o"
+  "CMakeFiles/fig4_fixed5us.dir/fig4_fixed5us.cpp.o.d"
+  "fig4_fixed5us"
+  "fig4_fixed5us.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_fixed5us.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

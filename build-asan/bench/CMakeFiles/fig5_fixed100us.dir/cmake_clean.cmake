@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_fixed100us.dir/fig5_fixed100us.cpp.o"
+  "CMakeFiles/fig5_fixed100us.dir/fig5_fixed100us.cpp.o.d"
+  "fig5_fixed100us"
+  "fig5_fixed100us.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_fixed100us.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

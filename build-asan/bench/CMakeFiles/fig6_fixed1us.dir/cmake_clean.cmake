@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_fixed1us.dir/fig6_fixed1us.cpp.o"
+  "CMakeFiles/fig6_fixed1us.dir/fig6_fixed1us.cpp.o.d"
+  "fig6_fixed1us"
+  "fig6_fixed1us.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_fixed1us.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_latency_breakdown.dir/tab_latency_breakdown.cpp.o"
+  "CMakeFiles/tab_latency_breakdown.dir/tab_latency_breakdown.cpp.o.d"
+  "tab_latency_breakdown"
+  "tab_latency_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_latency_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_model_constants.dir/tab_model_constants.cpp.o"
+  "CMakeFiles/tab_model_constants.dir/tab_model_constants.cpp.o.d"
+  "tab_model_constants"
+  "tab_model_constants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_model_constants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

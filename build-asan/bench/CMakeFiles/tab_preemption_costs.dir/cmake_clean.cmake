@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_preemption_costs.dir/tab_preemption_costs.cpp.o"
+  "CMakeFiles/tab_preemption_costs.dir/tab_preemption_costs.cpp.o.d"
+  "tab_preemption_costs"
+  "tab_preemption_costs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_preemption_costs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_request_sizes.dir/tab_request_sizes.cpp.o"
+  "CMakeFiles/tab_request_sizes.dir/tab_request_sizes.cpp.o.d"
+  "tab_request_sizes"
+  "tab_request_sizes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_request_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

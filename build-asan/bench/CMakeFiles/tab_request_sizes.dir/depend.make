@@ -1,0 +1,2 @@
+# Empty dependencies file for tab_request_sizes.
+# This may be replaced when dependencies are built.

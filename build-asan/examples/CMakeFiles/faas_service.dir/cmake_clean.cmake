@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faas_service.dir/faas_service.cpp.o"
+  "CMakeFiles/faas_service.dir/faas_service.cpp.o.d"
+  "faas_service"
+  "faas_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faas_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

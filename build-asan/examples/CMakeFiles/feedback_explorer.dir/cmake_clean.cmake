@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feedback_explorer.dir/feedback_explorer.cpp.o"
+  "CMakeFiles/feedback_explorer.dir/feedback_explorer.cpp.o.d"
+  "feedback_explorer"
+  "feedback_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feedback_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

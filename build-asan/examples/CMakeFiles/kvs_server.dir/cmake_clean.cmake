@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kvs_server.dir/kvs_server.cpp.o"
+  "CMakeFiles/kvs_server.dir/kvs_server.cpp.o.d"
+  "kvs_server"
+  "kvs_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kvs_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

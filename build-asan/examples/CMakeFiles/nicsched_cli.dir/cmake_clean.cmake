@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nicsched_cli.dir/nicsched_cli.cpp.o"
+  "CMakeFiles/nicsched_cli.dir/nicsched_cli.cpp.o.d"
+  "nicsched_cli"
+  "nicsched_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nicsched_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-asan/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("sim")
+subdirs("net")
+subdirs("fault")
+subdirs("hw")
+subdirs("proto")
+subdirs("obs")
+subdirs("workload")
+subdirs("stats")
+subdirs("core")
+subdirs("exp")

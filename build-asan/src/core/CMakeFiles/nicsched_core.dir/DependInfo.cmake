@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/distributed_server.cpp" "src/core/CMakeFiles/nicsched_core.dir/distributed_server.cpp.o" "gcc" "src/core/CMakeFiles/nicsched_core.dir/distributed_server.cpp.o.d"
+  "/root/repo/src/core/ideal_nic_server.cpp" "src/core/CMakeFiles/nicsched_core.dir/ideal_nic_server.cpp.o" "gcc" "src/core/CMakeFiles/nicsched_core.dir/ideal_nic_server.cpp.o.d"
+  "/root/repo/src/core/offload_server.cpp" "src/core/CMakeFiles/nicsched_core.dir/offload_server.cpp.o" "gcc" "src/core/CMakeFiles/nicsched_core.dir/offload_server.cpp.o.d"
+  "/root/repo/src/core/server_factory.cpp" "src/core/CMakeFiles/nicsched_core.dir/server_factory.cpp.o" "gcc" "src/core/CMakeFiles/nicsched_core.dir/server_factory.cpp.o.d"
+  "/root/repo/src/core/shinjuku_server.cpp" "src/core/CMakeFiles/nicsched_core.dir/shinjuku_server.cpp.o" "gcc" "src/core/CMakeFiles/nicsched_core.dir/shinjuku_server.cpp.o.d"
+  "/root/repo/src/core/task_queue.cpp" "src/core/CMakeFiles/nicsched_core.dir/task_queue.cpp.o" "gcc" "src/core/CMakeFiles/nicsched_core.dir/task_queue.cpp.o.d"
+  "/root/repo/src/core/testbed.cpp" "src/core/CMakeFiles/nicsched_core.dir/testbed.cpp.o" "gcc" "src/core/CMakeFiles/nicsched_core.dir/testbed.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/sim/CMakeFiles/nicsched_sim.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/net/CMakeFiles/nicsched_net.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/hw/CMakeFiles/nicsched_hw.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/proto/CMakeFiles/nicsched_proto.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/fault/CMakeFiles/nicsched_fault.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/workload/CMakeFiles/nicsched_workload.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/stats/CMakeFiles/nicsched_stats.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/obs/CMakeFiles/nicsched_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

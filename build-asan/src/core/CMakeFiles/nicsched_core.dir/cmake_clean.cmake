@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nicsched_core.dir/distributed_server.cpp.o"
+  "CMakeFiles/nicsched_core.dir/distributed_server.cpp.o.d"
+  "CMakeFiles/nicsched_core.dir/ideal_nic_server.cpp.o"
+  "CMakeFiles/nicsched_core.dir/ideal_nic_server.cpp.o.d"
+  "CMakeFiles/nicsched_core.dir/offload_server.cpp.o"
+  "CMakeFiles/nicsched_core.dir/offload_server.cpp.o.d"
+  "CMakeFiles/nicsched_core.dir/server_factory.cpp.o"
+  "CMakeFiles/nicsched_core.dir/server_factory.cpp.o.d"
+  "CMakeFiles/nicsched_core.dir/shinjuku_server.cpp.o"
+  "CMakeFiles/nicsched_core.dir/shinjuku_server.cpp.o.d"
+  "CMakeFiles/nicsched_core.dir/task_queue.cpp.o"
+  "CMakeFiles/nicsched_core.dir/task_queue.cpp.o.d"
+  "CMakeFiles/nicsched_core.dir/testbed.cpp.o"
+  "CMakeFiles/nicsched_core.dir/testbed.cpp.o.d"
+  "libnicsched_core.a"
+  "libnicsched_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nicsched_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

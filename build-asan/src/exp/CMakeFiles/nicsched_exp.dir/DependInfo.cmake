@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exp/figure.cpp" "src/exp/CMakeFiles/nicsched_exp.dir/figure.cpp.o" "gcc" "src/exp/CMakeFiles/nicsched_exp.dir/figure.cpp.o.d"
+  "/root/repo/src/exp/grid.cpp" "src/exp/CMakeFiles/nicsched_exp.dir/grid.cpp.o" "gcc" "src/exp/CMakeFiles/nicsched_exp.dir/grid.cpp.o.d"
+  "/root/repo/src/exp/result_sink.cpp" "src/exp/CMakeFiles/nicsched_exp.dir/result_sink.cpp.o" "gcc" "src/exp/CMakeFiles/nicsched_exp.dir/result_sink.cpp.o.d"
+  "/root/repo/src/exp/sweep_runner.cpp" "src/exp/CMakeFiles/nicsched_exp.dir/sweep_runner.cpp.o" "gcc" "src/exp/CMakeFiles/nicsched_exp.dir/sweep_runner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/core/CMakeFiles/nicsched_core.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/hw/CMakeFiles/nicsched_hw.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/fault/CMakeFiles/nicsched_fault.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/stats/CMakeFiles/nicsched_stats.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/workload/CMakeFiles/nicsched_workload.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/proto/CMakeFiles/nicsched_proto.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/net/CMakeFiles/nicsched_net.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/obs/CMakeFiles/nicsched_obs.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sim/CMakeFiles/nicsched_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

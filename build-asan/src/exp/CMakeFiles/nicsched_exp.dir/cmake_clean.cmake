@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nicsched_exp.dir/figure.cpp.o"
+  "CMakeFiles/nicsched_exp.dir/figure.cpp.o.d"
+  "CMakeFiles/nicsched_exp.dir/grid.cpp.o"
+  "CMakeFiles/nicsched_exp.dir/grid.cpp.o.d"
+  "CMakeFiles/nicsched_exp.dir/result_sink.cpp.o"
+  "CMakeFiles/nicsched_exp.dir/result_sink.cpp.o.d"
+  "CMakeFiles/nicsched_exp.dir/sweep_runner.cpp.o"
+  "CMakeFiles/nicsched_exp.dir/sweep_runner.cpp.o.d"
+  "libnicsched_exp.a"
+  "libnicsched_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nicsched_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nicsched_fault.dir/fault_injector.cpp.o"
+  "CMakeFiles/nicsched_fault.dir/fault_injector.cpp.o.d"
+  "CMakeFiles/nicsched_fault.dir/fault_schedule.cpp.o"
+  "CMakeFiles/nicsched_fault.dir/fault_schedule.cpp.o.d"
+  "libnicsched_fault.a"
+  "libnicsched_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nicsched_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/apic_timer.cpp" "src/hw/CMakeFiles/nicsched_hw.dir/apic_timer.cpp.o" "gcc" "src/hw/CMakeFiles/nicsched_hw.dir/apic_timer.cpp.o.d"
+  "/root/repo/src/hw/cpu_core.cpp" "src/hw/CMakeFiles/nicsched_hw.dir/cpu_core.cpp.o" "gcc" "src/hw/CMakeFiles/nicsched_hw.dir/cpu_core.cpp.o.d"
+  "/root/repo/src/hw/ddio.cpp" "src/hw/CMakeFiles/nicsched_hw.dir/ddio.cpp.o" "gcc" "src/hw/CMakeFiles/nicsched_hw.dir/ddio.cpp.o.d"
+  "/root/repo/src/hw/interrupt.cpp" "src/hw/CMakeFiles/nicsched_hw.dir/interrupt.cpp.o" "gcc" "src/hw/CMakeFiles/nicsched_hw.dir/interrupt.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/sim/CMakeFiles/nicsched_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nicsched_hw.dir/apic_timer.cpp.o"
+  "CMakeFiles/nicsched_hw.dir/apic_timer.cpp.o.d"
+  "CMakeFiles/nicsched_hw.dir/cpu_core.cpp.o"
+  "CMakeFiles/nicsched_hw.dir/cpu_core.cpp.o.d"
+  "CMakeFiles/nicsched_hw.dir/ddio.cpp.o"
+  "CMakeFiles/nicsched_hw.dir/ddio.cpp.o.d"
+  "CMakeFiles/nicsched_hw.dir/interrupt.cpp.o"
+  "CMakeFiles/nicsched_hw.dir/interrupt.cpp.o.d"
+  "libnicsched_hw.a"
+  "libnicsched_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nicsched_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

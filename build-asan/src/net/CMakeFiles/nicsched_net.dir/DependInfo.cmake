@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/checksum.cpp" "src/net/CMakeFiles/nicsched_net.dir/checksum.cpp.o" "gcc" "src/net/CMakeFiles/nicsched_net.dir/checksum.cpp.o.d"
+  "/root/repo/src/net/ethernet.cpp" "src/net/CMakeFiles/nicsched_net.dir/ethernet.cpp.o" "gcc" "src/net/CMakeFiles/nicsched_net.dir/ethernet.cpp.o.d"
+  "/root/repo/src/net/ethernet_switch.cpp" "src/net/CMakeFiles/nicsched_net.dir/ethernet_switch.cpp.o" "gcc" "src/net/CMakeFiles/nicsched_net.dir/ethernet_switch.cpp.o.d"
+  "/root/repo/src/net/ipv4.cpp" "src/net/CMakeFiles/nicsched_net.dir/ipv4.cpp.o" "gcc" "src/net/CMakeFiles/nicsched_net.dir/ipv4.cpp.o.d"
+  "/root/repo/src/net/ipv4_address.cpp" "src/net/CMakeFiles/nicsched_net.dir/ipv4_address.cpp.o" "gcc" "src/net/CMakeFiles/nicsched_net.dir/ipv4_address.cpp.o.d"
+  "/root/repo/src/net/mac_address.cpp" "src/net/CMakeFiles/nicsched_net.dir/mac_address.cpp.o" "gcc" "src/net/CMakeFiles/nicsched_net.dir/mac_address.cpp.o.d"
+  "/root/repo/src/net/nic.cpp" "src/net/CMakeFiles/nicsched_net.dir/nic.cpp.o" "gcc" "src/net/CMakeFiles/nicsched_net.dir/nic.cpp.o.d"
+  "/root/repo/src/net/packet.cpp" "src/net/CMakeFiles/nicsched_net.dir/packet.cpp.o" "gcc" "src/net/CMakeFiles/nicsched_net.dir/packet.cpp.o.d"
+  "/root/repo/src/net/toeplitz.cpp" "src/net/CMakeFiles/nicsched_net.dir/toeplitz.cpp.o" "gcc" "src/net/CMakeFiles/nicsched_net.dir/toeplitz.cpp.o.d"
+  "/root/repo/src/net/udp.cpp" "src/net/CMakeFiles/nicsched_net.dir/udp.cpp.o" "gcc" "src/net/CMakeFiles/nicsched_net.dir/udp.cpp.o.d"
+  "/root/repo/src/net/wire.cpp" "src/net/CMakeFiles/nicsched_net.dir/wire.cpp.o" "gcc" "src/net/CMakeFiles/nicsched_net.dir/wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/sim/CMakeFiles/nicsched_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

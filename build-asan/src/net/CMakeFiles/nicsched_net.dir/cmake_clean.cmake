@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nicsched_net.dir/checksum.cpp.o"
+  "CMakeFiles/nicsched_net.dir/checksum.cpp.o.d"
+  "CMakeFiles/nicsched_net.dir/ethernet.cpp.o"
+  "CMakeFiles/nicsched_net.dir/ethernet.cpp.o.d"
+  "CMakeFiles/nicsched_net.dir/ethernet_switch.cpp.o"
+  "CMakeFiles/nicsched_net.dir/ethernet_switch.cpp.o.d"
+  "CMakeFiles/nicsched_net.dir/ipv4.cpp.o"
+  "CMakeFiles/nicsched_net.dir/ipv4.cpp.o.d"
+  "CMakeFiles/nicsched_net.dir/ipv4_address.cpp.o"
+  "CMakeFiles/nicsched_net.dir/ipv4_address.cpp.o.d"
+  "CMakeFiles/nicsched_net.dir/mac_address.cpp.o"
+  "CMakeFiles/nicsched_net.dir/mac_address.cpp.o.d"
+  "CMakeFiles/nicsched_net.dir/nic.cpp.o"
+  "CMakeFiles/nicsched_net.dir/nic.cpp.o.d"
+  "CMakeFiles/nicsched_net.dir/packet.cpp.o"
+  "CMakeFiles/nicsched_net.dir/packet.cpp.o.d"
+  "CMakeFiles/nicsched_net.dir/toeplitz.cpp.o"
+  "CMakeFiles/nicsched_net.dir/toeplitz.cpp.o.d"
+  "CMakeFiles/nicsched_net.dir/udp.cpp.o"
+  "CMakeFiles/nicsched_net.dir/udp.cpp.o.d"
+  "CMakeFiles/nicsched_net.dir/wire.cpp.o"
+  "CMakeFiles/nicsched_net.dir/wire.cpp.o.d"
+  "libnicsched_net.a"
+  "libnicsched_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nicsched_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nicsched_obs.dir/capture.cpp.o"
+  "CMakeFiles/nicsched_obs.dir/capture.cpp.o.d"
+  "CMakeFiles/nicsched_obs.dir/chrome_trace.cpp.o"
+  "CMakeFiles/nicsched_obs.dir/chrome_trace.cpp.o.d"
+  "CMakeFiles/nicsched_obs.dir/metrics.cpp.o"
+  "CMakeFiles/nicsched_obs.dir/metrics.cpp.o.d"
+  "CMakeFiles/nicsched_obs.dir/span_recorder.cpp.o"
+  "CMakeFiles/nicsched_obs.dir/span_recorder.cpp.o.d"
+  "libnicsched_obs.a"
+  "libnicsched_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nicsched_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nicsched_proto.dir/messages.cpp.o"
+  "CMakeFiles/nicsched_proto.dir/messages.cpp.o.d"
+  "libnicsched_proto.a"
+  "libnicsched_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nicsched_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

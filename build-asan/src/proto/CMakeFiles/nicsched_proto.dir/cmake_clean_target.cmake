@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnicsched_proto.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nicsched_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/nicsched_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/nicsched_sim.dir/simulator.cpp.o"
+  "CMakeFiles/nicsched_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/nicsched_sim.dir/time.cpp.o"
+  "CMakeFiles/nicsched_sim.dir/time.cpp.o.d"
+  "CMakeFiles/nicsched_sim.dir/trace.cpp.o"
+  "CMakeFiles/nicsched_sim.dir/trace.cpp.o.d"
+  "libnicsched_sim.a"
+  "libnicsched_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nicsched_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/histogram.cpp" "src/stats/CMakeFiles/nicsched_stats.dir/histogram.cpp.o" "gcc" "src/stats/CMakeFiles/nicsched_stats.dir/histogram.cpp.o.d"
+  "/root/repo/src/stats/recorder.cpp" "src/stats/CMakeFiles/nicsched_stats.dir/recorder.cpp.o" "gcc" "src/stats/CMakeFiles/nicsched_stats.dir/recorder.cpp.o.d"
+  "/root/repo/src/stats/response_log.cpp" "src/stats/CMakeFiles/nicsched_stats.dir/response_log.cpp.o" "gcc" "src/stats/CMakeFiles/nicsched_stats.dir/response_log.cpp.o.d"
+  "/root/repo/src/stats/table.cpp" "src/stats/CMakeFiles/nicsched_stats.dir/table.cpp.o" "gcc" "src/stats/CMakeFiles/nicsched_stats.dir/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/sim/CMakeFiles/nicsched_sim.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/workload/CMakeFiles/nicsched_workload.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/proto/CMakeFiles/nicsched_proto.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/net/CMakeFiles/nicsched_net.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/obs/CMakeFiles/nicsched_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

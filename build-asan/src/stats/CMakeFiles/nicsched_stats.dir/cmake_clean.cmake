@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nicsched_stats.dir/histogram.cpp.o"
+  "CMakeFiles/nicsched_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/nicsched_stats.dir/recorder.cpp.o"
+  "CMakeFiles/nicsched_stats.dir/recorder.cpp.o.d"
+  "CMakeFiles/nicsched_stats.dir/response_log.cpp.o"
+  "CMakeFiles/nicsched_stats.dir/response_log.cpp.o.d"
+  "CMakeFiles/nicsched_stats.dir/table.cpp.o"
+  "CMakeFiles/nicsched_stats.dir/table.cpp.o.d"
+  "libnicsched_stats.a"
+  "libnicsched_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nicsched_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

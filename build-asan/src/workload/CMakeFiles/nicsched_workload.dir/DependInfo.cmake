@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/client.cpp" "src/workload/CMakeFiles/nicsched_workload.dir/client.cpp.o" "gcc" "src/workload/CMakeFiles/nicsched_workload.dir/client.cpp.o.d"
+  "/root/repo/src/workload/distribution.cpp" "src/workload/CMakeFiles/nicsched_workload.dir/distribution.cpp.o" "gcc" "src/workload/CMakeFiles/nicsched_workload.dir/distribution.cpp.o.d"
+  "/root/repo/src/workload/paced_client.cpp" "src/workload/CMakeFiles/nicsched_workload.dir/paced_client.cpp.o" "gcc" "src/workload/CMakeFiles/nicsched_workload.dir/paced_client.cpp.o.d"
+  "/root/repo/src/workload/replay.cpp" "src/workload/CMakeFiles/nicsched_workload.dir/replay.cpp.o" "gcc" "src/workload/CMakeFiles/nicsched_workload.dir/replay.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/net/CMakeFiles/nicsched_net.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/proto/CMakeFiles/nicsched_proto.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/obs/CMakeFiles/nicsched_obs.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sim/CMakeFiles/nicsched_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nicsched_workload.dir/client.cpp.o"
+  "CMakeFiles/nicsched_workload.dir/client.cpp.o.d"
+  "CMakeFiles/nicsched_workload.dir/distribution.cpp.o"
+  "CMakeFiles/nicsched_workload.dir/distribution.cpp.o.d"
+  "CMakeFiles/nicsched_workload.dir/paced_client.cpp.o"
+  "CMakeFiles/nicsched_workload.dir/paced_client.cpp.o.d"
+  "CMakeFiles/nicsched_workload.dir/replay.cpp.o"
+  "CMakeFiles/nicsched_workload.dir/replay.cpp.o.d"
+  "libnicsched_workload.a"
+  "libnicsched_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nicsched_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for nicsched_workload.
+# This may be replaced when dependencies are built.

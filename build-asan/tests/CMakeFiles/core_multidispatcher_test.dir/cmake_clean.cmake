@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_multidispatcher_test.dir/core_multidispatcher_test.cpp.o"
+  "CMakeFiles/core_multidispatcher_test.dir/core_multidispatcher_test.cpp.o.d"
+  "core_multidispatcher_test"
+  "core_multidispatcher_test.pdb"
+  "core_multidispatcher_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_multidispatcher_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

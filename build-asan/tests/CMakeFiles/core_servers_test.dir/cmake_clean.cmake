@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_servers_test.dir/core_servers_test.cpp.o"
+  "CMakeFiles/core_servers_test.dir/core_servers_test.cpp.o.d"
+  "core_servers_test"
+  "core_servers_test.pdb"
+  "core_servers_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_servers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core_shapes_test.cpp" "tests/CMakeFiles/core_shapes_test.dir/core_shapes_test.cpp.o" "gcc" "tests/CMakeFiles/core_shapes_test.dir/core_shapes_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/core/CMakeFiles/nicsched_core.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/hw/CMakeFiles/nicsched_hw.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/fault/CMakeFiles/nicsched_fault.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/stats/CMakeFiles/nicsched_stats.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/workload/CMakeFiles/nicsched_workload.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/proto/CMakeFiles/nicsched_proto.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/net/CMakeFiles/nicsched_net.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/obs/CMakeFiles/nicsched_obs.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sim/CMakeFiles/nicsched_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

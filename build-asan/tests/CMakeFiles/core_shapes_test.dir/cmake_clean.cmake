@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_shapes_test.dir/core_shapes_test.cpp.o"
+  "CMakeFiles/core_shapes_test.dir/core_shapes_test.cpp.o.d"
+  "core_shapes_test"
+  "core_shapes_test.pdb"
+  "core_shapes_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_shapes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

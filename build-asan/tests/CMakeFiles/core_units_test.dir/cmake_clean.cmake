@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_units_test.dir/core_units_test.cpp.o"
+  "CMakeFiles/core_units_test.dir/core_units_test.cpp.o.d"
+  "core_units_test"
+  "core_units_test.pdb"
+  "core_units_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_units_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_replay_test.dir/fault_replay_test.cpp.o"
+  "CMakeFiles/fault_replay_test.dir/fault_replay_test.cpp.o.d"
+  "fault_replay_test"
+  "fault_replay_test.pdb"
+  "fault_replay_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_replay_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_cpu_core_test.dir/hw_cpu_core_test.cpp.o"
+  "CMakeFiles/hw_cpu_core_test.dir/hw_cpu_core_test.cpp.o.d"
+  "hw_cpu_core_test"
+  "hw_cpu_core_test.pdb"
+  "hw_cpu_core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_cpu_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_timer_interrupt_test.dir/hw_timer_interrupt_test.cpp.o"
+  "CMakeFiles/hw_timer_interrupt_test.dir/hw_timer_interrupt_test.cpp.o.d"
+  "hw_timer_interrupt_test"
+  "hw_timer_interrupt_test.pdb"
+  "hw_timer_interrupt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_timer_interrupt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

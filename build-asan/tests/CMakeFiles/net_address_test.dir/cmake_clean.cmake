@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_address_test.dir/net_address_test.cpp.o"
+  "CMakeFiles/net_address_test.dir/net_address_test.cpp.o.d"
+  "net_address_test"
+  "net_address_test.pdb"
+  "net_address_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_address_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

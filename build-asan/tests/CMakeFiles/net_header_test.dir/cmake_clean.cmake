@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_header_test.dir/net_header_test.cpp.o"
+  "CMakeFiles/net_header_test.dir/net_header_test.cpp.o.d"
+  "net_header_test"
+  "net_header_test.pdb"
+  "net_header_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_header_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_loss_test.dir/net_loss_test.cpp.o"
+  "CMakeFiles/net_loss_test.dir/net_loss_test.cpp.o.d"
+  "net_loss_test"
+  "net_loss_test.pdb"
+  "net_loss_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_loss_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

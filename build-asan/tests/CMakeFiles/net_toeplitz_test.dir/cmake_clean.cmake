@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_toeplitz_test.dir/net_toeplitz_test.cpp.o"
+  "CMakeFiles/net_toeplitz_test.dir/net_toeplitz_test.cpp.o.d"
+  "net_toeplitz_test"
+  "net_toeplitz_test.pdb"
+  "net_toeplitz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_toeplitz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proto_fuzz_test.dir/proto_fuzz_test.cpp.o"
+  "CMakeFiles/proto_fuzz_test.dir/proto_fuzz_test.cpp.o.d"
+  "proto_fuzz_test"
+  "proto_fuzz_test.pdb"
+  "proto_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proto_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proto_messages_test.dir/proto_messages_test.cpp.o"
+  "CMakeFiles/proto_messages_test.dir/proto_messages_test.cpp.o.d"
+  "proto_messages_test"
+  "proto_messages_test.pdb"
+  "proto_messages_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proto_messages_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

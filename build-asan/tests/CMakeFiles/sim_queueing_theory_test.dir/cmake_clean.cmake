@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_queueing_theory_test.dir/sim_queueing_theory_test.cpp.o"
+  "CMakeFiles/sim_queueing_theory_test.dir/sim_queueing_theory_test.cpp.o.d"
+  "sim_queueing_theory_test"
+  "sim_queueing_theory_test.pdb"
+  "sim_queueing_theory_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_queueing_theory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

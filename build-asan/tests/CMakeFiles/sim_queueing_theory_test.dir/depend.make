@@ -1,0 +1,2 @@
+# Empty dependencies file for sim_queueing_theory_test.
+# This may be replaced when dependencies are built.

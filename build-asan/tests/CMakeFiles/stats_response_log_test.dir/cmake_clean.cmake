@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_response_log_test.dir/stats_response_log_test.cpp.o"
+  "CMakeFiles/stats_response_log_test.dir/stats_response_log_test.cpp.o.d"
+  "stats_response_log_test"
+  "stats_response_log_test.pdb"
+  "stats_response_log_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_response_log_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_paced_client_test.dir/workload_paced_client_test.cpp.o"
+  "CMakeFiles/workload_paced_client_test.dir/workload_paced_client_test.cpp.o.d"
+  "workload_paced_client_test"
+  "workload_paced_client_test.pdb"
+  "workload_paced_client_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_paced_client_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
