@@ -1,0 +1,271 @@
+#include "perf_common.h"
+
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <utility>
+
+#include "exp/exp.h"
+#include "net/ethernet_switch.h"
+#include "net/packet.h"
+#include "sim/simulator.h"
+#include "stats/table.h"
+
+namespace nicsched::perf {
+
+namespace {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// One self-rescheduling timer chain; the callback captures a single
+/// pointer — the "component pointer + id" shape the slab queue keeps
+/// allocation-free.
+struct HotChain {
+  sim::Simulator* sim = nullptr;
+  std::uint64_t remaining = 0;
+  sim::Duration step;
+
+  void fire() {
+    if (remaining == 0) return;
+    --remaining;
+    sim->after(step, [this]() { fire(); });
+  }
+};
+
+/// The re-armed-timeout idiom: every tick cancels the previous guard timer
+/// and arms a fresh one, so almost every scheduled guard dies cancelled.
+struct ChurnChain {
+  sim::Simulator* sim = nullptr;
+  std::uint64_t remaining = 0;
+  std::uint64_t cancels = 0;
+  sim::EventHandle guard;
+
+  void fire() {
+    if (guard.pending()) {
+      guard.cancel();
+      ++cancels;
+    }
+    if (remaining == 0) return;
+    --remaining;
+    guard = sim->after(sim::Duration::micros(50), []() {});
+    sim->after(sim::Duration::nanos(200), [this]() { fire(); });
+  }
+};
+
+struct CountingSink : net::PacketSink {
+  std::uint64_t delivered = 0;
+  std::uint64_t parsed = 0;
+
+  void deliver(net::Packet packet) override {
+    ++delivered;
+    if (net::parse_udp_datagram(packet)) ++parsed;
+  }
+};
+
+/// Open-loop frame generator pushing one datagram into the switch per gap.
+struct FrameSource {
+  sim::Simulator* sim = nullptr;
+  net::PacketSink* ingress = nullptr;
+  net::DatagramAddress address;
+  std::vector<std::uint8_t> payload;
+  std::uint64_t remaining = 0;
+  sim::Duration gap;
+
+  void send() {
+    if (remaining == 0) return;
+    --remaining;
+    ingress->deliver(net::make_udp_datagram(address, payload));
+    sim->after(gap, [this]() { send(); });
+  }
+};
+
+std::string metric_key(std::string text) {
+  for (char& c : text) {
+    if (c == '-' || c == ' ') c = '_';
+  }
+  return text;
+}
+
+}  // namespace
+
+Measurement measure_event_queue_hot(std::uint64_t target_events) {
+  sim::Simulator sim;
+  constexpr std::size_t kChains = 64;
+  std::vector<HotChain> chains(kChains);
+  const std::uint64_t per_chain = target_events / kChains;
+  for (std::size_t i = 0; i < kChains; ++i) {
+    chains[i].sim = &sim;
+    chains[i].remaining = per_chain;
+    // Co-prime-ish steps interleave the chains instead of firing in lockstep.
+    chains[i].step = sim::Duration::nanos(100 + 7 * (i + 1));
+    HotChain* chain = &chains[i];
+    sim.after(chain->step, [chain]() { chain->fire(); });
+  }
+  WallTimer timer;
+  sim.run();
+  const double wall = timer.seconds();
+  return Measurement{"event_queue_hot", static_cast<double>(sim.events_fired()) / wall,
+                     sim.events_fired(), wall};
+}
+
+Measurement measure_event_queue_churn(std::uint64_t target_events) {
+  sim::Simulator sim;
+  constexpr std::size_t kChains = 32;
+  std::vector<ChurnChain> chains(kChains);
+  const std::uint64_t per_chain = target_events / (3 * kChains);
+  for (std::size_t i = 0; i < kChains; ++i) {
+    chains[i].sim = &sim;
+    chains[i].remaining = per_chain;
+    ChurnChain* chain = &chains[i];
+    sim.after(sim::Duration::nanos(100 + 13 * (i + 1)),
+              [chain]() { chain->fire(); });
+  }
+  WallTimer timer;
+  sim.run();
+  const double wall = timer.seconds();
+  std::uint64_t cancels = 0;
+  for (const auto& chain : chains) cancels += chain.cancels;
+  const std::uint64_t ops =
+      sim.queue().scheduled_count() + cancels + sim.events_fired();
+  return Measurement{"event_queue_churn", static_cast<double>(ops) / wall, ops,
+                     wall};
+}
+
+const std::vector<core::SystemKind>& end_to_end_kinds() {
+  static const std::vector<core::SystemKind> kinds = {
+      core::SystemKind::kShinjuku,
+      core::SystemKind::kShinjukuOffload,
+      core::SystemKind::kRss,
+      core::SystemKind::kIdealNic,
+  };
+  return kinds;
+}
+
+Measurement measure_end_to_end(core::SystemKind kind) {
+  auto config = core::ExperimentConfig::of(kind)
+                    .workers(4)
+                    .outstanding(4)
+                    .fixed(sim::Duration::micros(1))
+                    .no_preemption()  // fig3 shape: fixed loads, K sweep axis
+                    .load(800e3)
+                    .clients(4, 64)
+                    .measure_for(exp::fast_mode() ? sim::Duration::millis(10)
+                                                  : sim::Duration::millis(80))
+                    .with_seed(42);
+  config.warmup = sim::Duration::millis(2);
+  config.drain = sim::Duration::millis(2);
+  WallTimer timer;
+  const core::ExperimentResult result = core::run_experiment(config);
+  const double wall = timer.seconds();
+  return Measurement{std::string("e2e_") + metric_key(core::to_string(kind)),
+                     static_cast<double>(result.events_fired) / wall,
+                     result.events_fired, wall};
+}
+
+Measurement measure_switch_packets(std::uint64_t target_frames) {
+  sim::Simulator sim;
+  net::EthernetSwitch fabric(sim, sim::Duration::nanos(300));
+  CountingSink sink;
+  const net::MacAddress src_mac = net::MacAddress::from_index(1);
+  const net::MacAddress dst_mac = net::MacAddress::from_index(2);
+  fabric.attach(dst_mac, sink, sim::Duration::nanos(500), 10.0);
+
+  FrameSource source;
+  source.sim = &sim;
+  source.ingress = &fabric.ingress();
+  source.address =
+      net::DatagramAddress{src_mac, dst_mac, net::Ipv4Address::from_index(1),
+                           net::Ipv4Address::from_index(2), 1111, 2222};
+  source.payload.assign(64, 0xab);
+  source.remaining = target_frames;
+  source.gap = sim::Duration::nanos(150);
+  sim.defer([&source]() { source.send(); });
+
+  WallTimer timer;
+  sim.run();
+  const double wall = timer.seconds();
+  if (sink.parsed != target_frames) {
+    std::cerr << "warning: switch bench parsed " << sink.parsed << " of "
+              << target_frames << " frames\n";
+  }
+  return Measurement{"switch_packets",
+                     static_cast<double>(sink.parsed) / wall, sink.parsed,
+                     wall};
+}
+
+std::vector<Measurement> all_measurements() {
+  // The perf harness opts into checksum elision: every frame these kernels
+  // parse was built by make_udp_datagram inside the simulation, so skipping
+  // re-verification is sound here. Tests and experiments keep the
+  // always-verify default; sim_determinism_test proves the flag is
+  // result-invisible.
+  const bool elision_was_on = net::checksum_elision_enabled();
+  net::set_checksum_elision(true);
+  const bool fast = exp::fast_mode();
+  std::vector<Measurement> measurements;
+  measurements.push_back(
+      measure_event_queue_hot(fast ? 200'000 : 4'000'000));
+  measurements.push_back(
+      measure_event_queue_churn(fast ? 200'000 : 4'000'000));
+  for (core::SystemKind kind : end_to_end_kinds()) {
+    measurements.push_back(measure_end_to_end(kind));
+  }
+  measurements.push_back(measure_switch_packets(fast ? 50'000 : 500'000));
+  net::set_checksum_elision(elision_was_on);
+  return measurements;
+}
+
+int run_perf_figure(const std::string& name, const std::string& title,
+                    const std::vector<Measurement>& measurements) {
+  std::cout << title << "\n\n";
+  stats::Table table({"metric", "per_sec", "units", "wall_s"});
+  for (const Measurement& m : measurements) {
+    table.add_row({m.name, stats::fmt(m.per_sec, 0), std::to_string(m.units),
+                   stats::fmt(m.wall_seconds, 3)});
+  }
+  table.print(std::cout);
+  std::cout << "\n";
+
+  exp::JsonResultSink sink(name, title);
+  bool ok = true;
+  for (const Measurement& m : measurements) {
+    sink.add_metric(m.name + "_per_sec", m.per_sec);
+    sink.add_metric(m.name + "_units", static_cast<double>(m.units));
+    const bool nonzero = m.per_sec > 0.0 && m.units > 0;
+    std::cout << (nonzero ? "PASS" : "FAIL") << "  " << m.name
+              << " throughput > 0\n";
+    sink.add_check(m.name + " throughput > 0", nonzero);
+    ok = ok && nonzero;
+  }
+
+  const std::string path = exp::result_file_path("BENCH_" + name + ".json");
+  // Validate the export round-trips through the parser before declaring the
+  // schema healthy — this is what the ctest `perf` label smoke-checks.
+  bool schema_ok = false;
+  {
+    std::ostringstream buffer;
+    sink.write(buffer);
+    schema_ok = exp::parse_json_results(buffer.str()).has_value();
+    std::ofstream out(path);
+    if (out) out << buffer.str();
+    if (!out) std::cerr << "warning: could not write " << path << "\n";
+  }
+  std::cout << (schema_ok ? "PASS" : "FAIL")
+            << "  JSON export parses back (schema valid)\n";
+  ok = ok && schema_ok;
+  return ok ? 0 : 1;
+}
+
+}  // namespace nicsched::perf

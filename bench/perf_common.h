@@ -1,0 +1,62 @@
+// Shared measurement kernels for the perf_* microbench family.
+//
+// Unlike the figure benches (which measure *modelled* latency/throughput in
+// simulated time), these measure how fast the simulator core itself executes
+// on the host: events per wall-clock second through the event queue, through
+// a full end-to-end testbed for each server kind, and frames per second
+// through the switch fabric. tools/run_benches composes every kernel into
+// BENCH_SIM_CORE.json next to the recorded baseline so each PR can show its
+// delta (see README "Benchmarking" for the schema).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/testbed.h"
+
+namespace nicsched::perf {
+
+/// One throughput sample: `units` pieces of work retired in `wall_seconds`.
+struct Measurement {
+  std::string name;         // metric key in the JSON export (…_per_sec)
+  double per_sec = 0.0;
+  std::uint64_t units = 0;  // events fired / queue ops / frames delivered
+  double wall_seconds = 0.0;
+};
+
+/// Event-queue hot path: many concurrent self-rescheduling timer chains with
+/// the common callback shape (one pointer capture). Counts schedule+fire
+/// pairs as one op each; `target_events` scales the run length.
+Measurement measure_event_queue_hot(std::uint64_t target_events);
+
+/// Cancellation-heavy churn: the re-armed-timeout idiom (schedule a guard
+/// timer, cancel it when the near event fires, re-arm both). Ops counted are
+/// schedules + cancels + fires.
+Measurement measure_event_queue_churn(std::uint64_t target_events);
+
+/// End-to-end simulator events/sec for one server kind on the
+/// fig3_outstanding-shaped workload (fixed 1 us service, no preemption,
+/// 4 workers, K=4, fixed offered load below saturation).
+Measurement measure_end_to_end(core::SystemKind kind);
+
+/// The four server kinds the trajectory tracks.
+const std::vector<core::SystemKind>& end_to_end_kinds();
+
+/// Frames/sec through EthernetSwitch -> Wire -> parse at the receiver:
+/// every frame is built with make_udp_datagram and re-parsed on delivery.
+Measurement measure_switch_packets(std::uint64_t target_frames);
+
+/// Every kernel above, in the stable order BENCH_SIM_CORE.json records
+/// (event_queue_hot, event_queue_churn, e2e per kind, switch_packets).
+/// Budgets shrink under NICSCHED_FAST.
+std::vector<Measurement> all_measurements();
+
+/// Prints a table of measurements, exports BENCH_<name>.json (JsonResultSink
+/// schema, metrics = {<name>_per_sec, <name>_units}), re-parses the export to
+/// prove it is schema-valid, and PASS/FAIL-checks every throughput > 0.
+/// Returns the process exit code.
+int run_perf_figure(const std::string& name, const std::string& title,
+                    const std::vector<Measurement>& measurements);
+
+}  // namespace nicsched::perf

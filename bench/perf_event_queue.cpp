@@ -1,0 +1,19 @@
+// Microbench: event-queue operations per wall-clock second — the hot
+// self-rescheduling path and the cancellation-heavy re-armed-timer path.
+// Exports BENCH_perf_event_queue.json; part of the ctest `perf` label.
+#include "perf_common.h"
+
+#include "exp/grid.h"
+
+int main() {
+  using namespace nicsched;
+  const bool fast = exp::fast_mode();
+  const std::uint64_t budget = fast ? 200'000 : 4'000'000;
+  std::vector<perf::Measurement> measurements;
+  measurements.push_back(perf::measure_event_queue_hot(budget));
+  measurements.push_back(perf::measure_event_queue_churn(budget));
+  return perf::run_perf_figure(
+      "perf_event_queue",
+      "perf_event_queue: EventQueue ops/sec (hot + cancellation churn)",
+      measurements);
+}

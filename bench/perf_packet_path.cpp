@@ -1,0 +1,18 @@
+// Microbench: frames per wall-clock second through the switch fabric —
+// make_udp_datagram at the source, EthernetSwitch forwarding, Wire
+// serialization, and a full parse_udp_datagram at the sink. Exports
+// BENCH_perf_packet_path.json; part of the ctest `perf` label.
+#include "perf_common.h"
+
+#include "exp/grid.h"
+
+int main() {
+  using namespace nicsched;
+  const std::uint64_t frames = exp::fast_mode() ? 50'000 : 500'000;
+  std::vector<perf::Measurement> measurements;
+  measurements.push_back(perf::measure_switch_packets(frames));
+  return perf::run_perf_figure(
+      "perf_packet_path",
+      "perf_packet_path: frames/sec through switch + wire + parse",
+      measurements);
+}

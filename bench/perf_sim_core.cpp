@@ -1,0 +1,17 @@
+// Microbench: end-to-end simulator events per wall-clock second for each of
+// the four tracked server kinds on the fig3-shaped workload (fixed 1 us
+// service, 4 workers, K=4). Exports BENCH_perf_sim_core.json; part of the
+// ctest `perf` label.
+#include "perf_common.h"
+
+int main() {
+  using namespace nicsched;
+  std::vector<perf::Measurement> measurements;
+  for (core::SystemKind kind : perf::end_to_end_kinds()) {
+    measurements.push_back(perf::measure_end_to_end(kind));
+  }
+  return perf::run_perf_figure(
+      "perf_sim_core",
+      "perf_sim_core: end-to-end sim events/sec per server kind",
+      measurements);
+}

@@ -85,9 +85,8 @@ class DistributedServer::Worker {
     prologue += hw::payload_touch_cost(
         stolen ? hw::PlacementPolicy::kDdioLlc : server_.config_.placement,
         server_.params_.cache_costs, queued_behind, ddio_);
-    auto shared = std::make_shared<net::Packet>(std::move(*packet));
-    core_.run(prologue, [this, shared]() {
-      const auto datagram = net::parse_udp_datagram(*shared);
+    core_.run(prologue, [this, p = std::move(*packet)]() {
+      const auto datagram = net::parse_udp_datagram(p);
       if (!datagram || !server_.accepts_port(datagram->udp.dst_port)) {
         ++server_.malformed_;
         start_next();
@@ -107,7 +106,7 @@ class DistributedServer::Worker {
         // Run-to-completion: no dispatcher, so the request goes straight
         // from NIC RX (ring residency counts as NIC time) into service.
         const auto lane = static_cast<std::uint32_t>(100 + id_);
-        const sim::TimePoint rx = shared->rx_at();
+        const sim::TimePoint rx = p.rx_at();
         obs::end_span_at(sim, rx, descriptor.request_id,
                          obs::SpanKind::kClientWire, lane);
         obs::begin_span_at(sim, rx, descriptor.request_id,

@@ -101,9 +101,8 @@ class ShinjukuOffloadServer::Worker {
     if (server_.config_.preemption_enabled) {
       prologue += timer_.set_cost();
     }
-    auto shared = std::make_shared<net::Packet>(std::move(*packet));
-    core_.run(prologue, [this, shared]() {
-      const auto datagram = net::parse_udp_datagram(*shared);
+    core_.run(prologue, [this, p = std::move(*packet)]() {
+      const auto datagram = net::parse_udp_datagram(p);
       if (!datagram) {
         start_next();
         return;

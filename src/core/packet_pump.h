@@ -44,9 +44,8 @@ class PacketPump {
       active_ = false;
       return;
     }
-    auto shared = std::make_shared<net::Packet>(std::move(*packet));
-    core_.run(cost_, [this, shared]() {
-      handler_(std::move(*shared));
+    core_.run(cost_, [this, p = std::move(*packet)]() mutable {
+      handler_(std::move(p));
       step();
     });
   }
@@ -87,9 +86,8 @@ class ChannelPump {
       active_ = false;
       return;
     }
-    auto shared = std::make_shared<T>(std::move(*item));
-    core_.run(cost_, [this, shared]() {
-      handler_(std::move(*shared));
+    core_.run(cost_, [this, it = std::move(*item)]() mutable {
+      handler_(std::move(it));
       step();
     });
   }

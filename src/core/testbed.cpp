@@ -220,6 +220,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   });
 
   sim.run_until(measure_end + config.drain);
+  result.events_fired = sim.events_fired();
 
   if (result.capture) result.capture->export_files();
 

@@ -234,6 +234,10 @@ struct ExperimentResult {
   stats::RunSummary summary;
   /// Server counters snapshotted at the end of the measurement window.
   ServerStats server;
+  /// Total simulator events fired over the whole run (warmup + measure +
+  /// drain). The perf-benchmark harness divides this by wall time to get the
+  /// events/sec trajectory; it has no effect on the modelled results.
+  std::uint64_t events_fired = 0;
   /// Full recorder (overall + per-kind histograms) for richer analysis.
   stats::LatencyRecorder recorder;
   /// Mean worker utilization over the run (busy/wall).

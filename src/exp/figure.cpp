@@ -12,14 +12,6 @@ namespace nicsched::exp {
 
 namespace {
 
-std::string result_path(const std::string& file_name) {
-  const char* dir = std::getenv("NICSCHED_RESULT_DIR");
-  if (dir == nullptr || *dir == '\0') return file_name;
-  std::string path = dir;
-  if (path.back() != '/') path += '/';
-  return path + file_name;
-}
-
 std::string sanitize_label(const std::string& text) {
   std::string out = text;
   for (char& c : out) {
@@ -129,13 +121,13 @@ void Figure::emit(ResultSink& sink) const {
 int Figure::finish() const {
   JsonResultSink json(name_, title_);
   emit(json);
-  const std::string json_path = result_path("BENCH_" + name_ + ".json");
+  const std::string json_path = result_file_path("BENCH_" + name_ + ".json");
   if (!json.write_file(json_path)) {
     std::cerr << "warning: could not write " << json_path << "\n";
   }
   CsvResultSink csv;
   emit(csv);
-  const std::string csv_path = result_path("BENCH_" + name_ + ".csv");
+  const std::string csv_path = result_file_path("BENCH_" + name_ + ".csv");
   if (!csv.write_file(csv_path)) {
     std::cerr << "warning: could not write " << csv_path << "\n";
   }

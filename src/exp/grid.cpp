@@ -25,6 +25,14 @@ std::uint64_t bench_samples(std::uint64_t full) {
   return fast_mode() ? full / 10 : full;
 }
 
+std::string result_file_path(const std::string& file_name) {
+  const char* dir = std::getenv("NICSCHED_RESULT_DIR");
+  if (dir == nullptr || *dir == '\0') return file_name;
+  std::string path = dir;
+  if (path.back() != '/') path += '/';
+  return path + file_name;
+}
+
 double saturation_point(const std::vector<stats::RunSummary>& sweep,
                         double efficiency, double tail_cap_us) {
   double best = 0.0;

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "stats/recorder.h"
@@ -22,6 +23,11 @@ bool fast_mode();
 
 /// `full` samples normally, `full / 10` under NICSCHED_FAST.
 std::uint64_t bench_samples(std::uint64_t full);
+
+/// Resolves `file_name` against NICSCHED_RESULT_DIR (current directory when
+/// unset). This is the single definition of where BENCH_* exports land;
+/// Figure::finish and the perf harness both go through it.
+std::string result_file_path(const std::string& file_name);
 
 /// Offered load (RPS) of the last sweep point whose achieved throughput kept
 /// up with offered load (within `efficiency`) AND whose p99 stayed under

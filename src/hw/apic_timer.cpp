@@ -7,9 +7,7 @@ namespace nicsched::hw {
 void ApicTimer::arm(sim::Duration slice,
                     std::function<void(sim::Duration)> on_expired) {
   pending_.cancel();
-  auto callback =
-      std::make_shared<std::function<void(sim::Duration)>>(std::move(on_expired));
-  pending_ = sim_.after(slice, [this, callback]() {
+  pending_ = sim_.after(slice, [this, cb = std::move(on_expired)]() mutable {
     if (!core_.preemptible_running()) {
       // The request completed in the same instant or the worker is between
       // requests; treat as spurious (the real handler would find no task).
@@ -17,10 +15,7 @@ void ApicTimer::arm(sim::Duration slice,
       return;
     }
     ++fired_;
-    core_.interrupt(core_.cycles(costs_.receive_cycles),
-                    [callback](sim::Duration remaining) {
-                      (*callback)(remaining);
-                    });
+    core_.interrupt(core_.cycles(costs_.receive_cycles), std::move(cb));
   });
 }
 

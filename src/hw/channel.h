@@ -45,9 +45,8 @@ class MessageChannel {
   /// Publishes a message; it becomes poppable after the visibility latency.
   void send(T message) {
     ++stats_.sent;
-    auto shared = std::make_shared<T>(std::move(message));
-    sim_.after(visibility_latency_, [this, shared]() mutable {
-      queue_.push_back(std::move(*shared));
+    sim_.after(visibility_latency_, [this, m = std::move(message)]() mutable {
+      queue_.push_back(std::move(m));
       if (on_message_) on_message_();
     });
   }

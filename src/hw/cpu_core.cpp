@@ -4,7 +4,7 @@
 
 namespace nicsched::hw {
 
-void CpuCore::run(sim::Duration cost, std::function<void()> done) {
+void CpuCore::run(sim::Duration cost, sim::EventFn done) {
   if (cost.is_negative()) {
     throw std::logic_error("CpuCore::run: negative cost");
   }
@@ -15,25 +15,26 @@ void CpuCore::run(sim::Duration cost, std::function<void()> done) {
 void CpuCore::start_next_op() {
   if (queue_.empty() || busy_ || stalled_) return;
   busy_ = true;
-  Op op = std::move(queue_.front());
+  current_ = std::move(queue_.front());
   queue_.pop_front();
-  const sim::Duration scaled = scale(op.cost);
+  const sim::Duration scaled = scale(current_.cost);
   // Completion is scheduled even for zero-cost ops so that `done` never runs
   // re-entrantly inside the caller of run().
-  auto shared = std::make_shared<Op>(std::move(op));
-  sim_.after(scaled, [this, shared]() { finish_op(std::move(*shared)); });
+  sim_.after(scaled, [this]() { finish_current_op(); });
   stats_.busy += scaled;
 }
 
-void CpuCore::finish_op(Op op) {
+void CpuCore::finish_current_op() {
   busy_ = false;
   ++stats_.ops;
-  if (op.done) op.done();
+  // Move the completion out first: it may call run() and restart the op
+  // chain, which would overwrite current_.
+  sim::EventFn done = std::move(current_.done);
+  if (done) done();
   start_next_op();
 }
 
-void CpuCore::run_preemptible(sim::Duration work,
-                              std::function<void()> on_complete) {
+void CpuCore::run_preemptible(sim::Duration work, sim::EventFn on_complete) {
   if (busy_ || preemptible_active_ || !queue_.empty()) {
     throw std::logic_error("CpuCore::run_preemptible on core '" +
                            config_.name + "': core not idle");
@@ -61,8 +62,7 @@ void CpuCore::finish_preemptible() {
   preemptible_active_ = false;
   stats_.busy += scale(preemptible_work_);
   ++stats_.tasks_completed;
-  auto complete = std::move(preemptible_complete_);
-  preemptible_complete_ = nullptr;
+  sim::EventFn complete = std::move(preemptible_complete_);
   if (complete) complete();
   start_next_op();
 }
@@ -83,7 +83,7 @@ void CpuCore::pause_preemptible() {
 }
 
 void CpuCore::interrupt(sim::Duration handler_entry_cost,
-                        std::function<void(sim::Duration)> on_interrupted) {
+                        sim::SmallFn<void(sim::Duration)> on_interrupted) {
   if (!preemptible_active_) {
     throw std::logic_error("CpuCore::interrupt on core '" + config_.name +
                            "': no preemptible task running");
@@ -114,9 +114,15 @@ void CpuCore::interrupt(sim::Duration handler_entry_cost,
 
   // The handler entry path (interrupt delivery, trap, state save) occupies
   // the core as an ordinary serialized operation. Under a stall it queues
-  // and runs once the stall ends.
-  run(handler_entry_cost,
-      [remaining, cb = std::move(on_interrupted)]() { cb(remaining); });
+  // and runs once the stall ends. Only one interrupt can be in flight
+  // (interrupt() throws until the task state is re-armed), so the
+  // continuation parks in members and the op captures only `this`.
+  interrupt_cb_ = std::move(on_interrupted);
+  interrupt_remaining_ = remaining;
+  run(handler_entry_cost, [this]() {
+    auto cb = std::move(interrupt_cb_);
+    cb(interrupt_remaining_);
+  });
 }
 
 void CpuCore::enter_stall() {

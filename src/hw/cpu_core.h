@@ -19,11 +19,11 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <stdexcept>
 #include <string>
 
 #include "sim/simulator.h"
+#include "sim/small_fn.h"
 #include "sim/time.h"
 
 namespace nicsched::hw {
@@ -73,11 +73,11 @@ class CpuCore {
   /// Enqueues a serialized operation costing `cost` (reference time);
   /// `done` runs on completion. Zero-cost operations are legal and complete
   /// via a deferred event to keep callback ordering sane.
-  void run(sim::Duration cost, std::function<void()> done);
+  void run(sim::Duration cost, sim::EventFn done);
 
   /// Starts the preemptible task. The core must be fully idle. `on_complete`
   /// runs when `work` (reference time) has been executed uninterrupted.
-  void run_preemptible(sim::Duration work, std::function<void()> on_complete);
+  void run_preemptible(sim::Duration work, sim::EventFn on_complete);
 
   /// True if a preemptible task is currently executing.
   bool preemptible_running() const { return preemptible_active_; }
@@ -87,7 +87,7 @@ class CpuCore {
   /// e.g. the 1272-cycle posted-interrupt receive path) before
   /// `on_interrupted(remaining_work)` runs. Throws if no task is running.
   void interrupt(sim::Duration handler_entry_cost,
-                 std::function<void(sim::Duration)> on_interrupted);
+                 sim::SmallFn<void(sim::Duration)> on_interrupted);
 
   /// Stalls the core until `d` from now (fault injection: a GC pause, an
   /// SMI, a hypervisor steal window). An overlapping call extends the window
@@ -109,11 +109,11 @@ class CpuCore {
  private:
   struct Op {
     sim::Duration cost;  // reference time, unscaled
-    std::function<void()> done;
+    sim::EventFn done;
   };
 
   void start_next_op();
-  void finish_op(Op op);
+  void finish_current_op();
   void finish_preemptible();
   void enter_stall();
   void pause_preemptible();
@@ -124,13 +124,23 @@ class CpuCore {
 
   bool busy_ = false;
   std::deque<Op> queue_;
+  // The single in-flight op lives here (busy_ guards exclusivity) so its
+  // completion event captures only `this` and stays in SmallFn's inline
+  // buffer — no per-op allocation.
+  Op current_;
 
   bool preemptible_active_ = false;
   bool preemptible_paused_ = false;      // paused by a stall window
   sim::Duration preemptible_work_;       // still to execute, reference time
   sim::TimePoint preemptible_started_;   // when the current burst began
   sim::EventHandle preemptible_done_;
-  std::function<void()> preemptible_complete_;
+  sim::EventFn preemptible_complete_;
+
+  // The single pending interrupt continuation (interrupt() throws if one is
+  // already in flight, so a member suffices and keeps the handler-entry
+  // closure down to `this`).
+  sim::SmallFn<void(sim::Duration)> interrupt_cb_;
+  sim::Duration interrupt_remaining_;
 
   bool stalled_ = false;
   bool stall_open_ended_ = false;        // crash: no scheduled end

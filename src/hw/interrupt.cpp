@@ -1,28 +1,25 @@
 #include "hw/interrupt.h"
 
-#include <memory>
 #include <utility>
 
 namespace nicsched::hw {
 
 void InterruptLine::send(std::function<void(sim::Duration)> on_delivered,
                          std::function<void()> on_spurious) {
-  auto delivered =
-      std::make_shared<std::function<void(sim::Duration)>>(std::move(on_delivered));
-  auto spurious =
-      std::make_shared<std::function<void()>>(std::move(on_spurious));
-  sim_.after(config_.delivery_latency, [this, delivered, spurious]() {
-    if (!target_.preemptible_running()) {
-      ++spurious_;
-      if (*spurious) (*spurious)();
-      return;
-    }
-    ++delivered_;
-    target_.interrupt(target_.cycles(config_.receive_cycles),
-                      [delivered](sim::Duration remaining) {
-                        (*delivered)(remaining);
-                      });
-  });
+  // The event closure is move-only (SmallFn), so the callbacks move straight
+  // in — no shared_ptr wrappers needed to satisfy copyability.
+  sim_.after(config_.delivery_latency,
+             [this, delivered = std::move(on_delivered),
+              spurious = std::move(on_spurious)]() mutable {
+               if (!target_.preemptible_running()) {
+                 ++spurious_;
+                 if (spurious) spurious();
+                 return;
+               }
+               ++delivered_;
+               target_.interrupt(target_.cycles(config_.receive_cycles),
+                                 std::move(delivered));
+             });
 }
 
 }  // namespace nicsched::hw

@@ -48,9 +48,8 @@ void EthernetSwitch::deliver(Packet packet) {
     forward(std::move(packet));
     return;
   }
-  auto shared = std::make_shared<Packet>(std::move(packet));
   sim_.after(forward_latency_,
-             [this, shared]() mutable { forward(std::move(*shared)); });
+             [this, p = std::move(packet)]() mutable { forward(std::move(p)); });
 }
 
 void EthernetSwitch::forward(Packet packet) {

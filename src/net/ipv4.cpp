@@ -1,25 +1,37 @@
 #include "net/ipv4.h"
 
-#include <vector>
+#include <array>
 
 #include "net/checksum.h"
 
 namespace nicsched::net {
 
 void Ipv4Header::serialize(ByteWriter& writer) const {
-  std::vector<std::uint8_t> scratch;
-  scratch.reserve(kSize);
-  ByteWriter header(scratch);
-  header.u8(0x45);  // version 4, IHL 5 words
-  header.u8(dscp_ecn);
-  header.u16(total_length);
-  header.u16(identification);
-  header.u16(flags_fragment);
-  header.u8(ttl);
-  header.u8(protocol);
-  header.u16(0);  // checksum placeholder
-  header.u32(src.bits());
-  header.u32(dst.bits());
+  // Fixed-size stack scratch: this runs once per frame on the packet fast
+  // path, so it must not touch the heap.
+  std::array<std::uint8_t, kSize> scratch;
+  scratch[0] = 0x45;  // version 4, IHL 5 words
+  scratch[1] = dscp_ecn;
+  scratch[2] = static_cast<std::uint8_t>(total_length >> 8);
+  scratch[3] = static_cast<std::uint8_t>(total_length);
+  scratch[4] = static_cast<std::uint8_t>(identification >> 8);
+  scratch[5] = static_cast<std::uint8_t>(identification);
+  scratch[6] = static_cast<std::uint8_t>(flags_fragment >> 8);
+  scratch[7] = static_cast<std::uint8_t>(flags_fragment);
+  scratch[8] = ttl;
+  scratch[9] = protocol;
+  scratch[10] = 0;  // checksum placeholder
+  scratch[11] = 0;
+  const std::uint32_t src_bits = src.bits();
+  const std::uint32_t dst_bits = dst.bits();
+  scratch[12] = static_cast<std::uint8_t>(src_bits >> 24);
+  scratch[13] = static_cast<std::uint8_t>(src_bits >> 16);
+  scratch[14] = static_cast<std::uint8_t>(src_bits >> 8);
+  scratch[15] = static_cast<std::uint8_t>(src_bits);
+  scratch[16] = static_cast<std::uint8_t>(dst_bits >> 24);
+  scratch[17] = static_cast<std::uint8_t>(dst_bits >> 16);
+  scratch[18] = static_cast<std::uint8_t>(dst_bits >> 8);
+  scratch[19] = static_cast<std::uint8_t>(dst_bits);
 
   const std::uint16_t checksum = internet_checksum(scratch);
   scratch[10] = static_cast<std::uint8_t>(checksum >> 8);

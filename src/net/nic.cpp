@@ -164,9 +164,8 @@ void Nic::deliver(Packet packet) {
     iface->receive(std::move(packet));
     return;
   }
-  auto shared = std::make_shared<Packet>(std::move(packet));
-  sim_.after(config_.rx_latency, [iface, shared]() mutable {
-    iface->receive(std::move(*shared));
+  sim_.after(config_.rx_latency, [iface, p = std::move(packet)]() mutable {
+    iface->receive(std::move(p));
   });
 }
 
@@ -178,9 +177,8 @@ void Nic::transmit_on_uplink(Packet packet) {
     uplink_->transmit(std::move(packet));
     return;
   }
-  auto shared = std::make_shared<Packet>(std::move(packet));
-  sim_.after(config_.tx_latency, [this, shared]() mutable {
-    uplink_->transmit(std::move(*shared));
+  sim_.after(config_.tx_latency, [this, p = std::move(packet)]() mutable {
+    uplink_->transmit(std::move(p));
   });
 }
 

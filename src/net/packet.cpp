@@ -1,8 +1,23 @@
 #include "net/packet.h"
 
+#include <atomic>
+
 #include "net/checksum.h"
 
 namespace nicsched::net {
+
+namespace {
+// Default off: every parse verifies, exactly as before the fast path landed.
+std::atomic<bool> g_checksum_elision{false};
+}  // namespace
+
+void set_checksum_elision(bool enabled) {
+  g_checksum_elision.store(enabled, std::memory_order_relaxed);
+}
+
+bool checksum_elision_enabled() {
+  return g_checksum_elision.load(std::memory_order_relaxed);
+}
 
 std::optional<MacAddress> Packet::dst_mac() const {
   if (bytes_.size() < EthernetHeader::kSize) return std::nullopt;
@@ -17,8 +32,8 @@ Packet make_udp_datagram(const DatagramAddress& address,
   const std::size_t udp_length = UdpHeader::kSize + payload.size();
   const std::size_t ip_length = Ipv4Header::kSize + udp_length;
 
-  std::vector<std::uint8_t> frame;
-  frame.reserve(EthernetHeader::kSize + ip_length);
+  std::vector<std::uint8_t> frame =
+      PacketBufferPool::instance().acquire(EthernetHeader::kSize + ip_length);
   ByteWriter writer(frame);
 
   EthernetHeader eth;
@@ -33,8 +48,10 @@ Packet make_udp_datagram(const DatagramAddress& address,
   ip.dst = address.dst_ip;
   ip.serialize(writer);
 
-  // Build the UDP segment separately so the checksum can cover it.
-  std::vector<std::uint8_t> segment;
+  // Build the UDP segment separately so the checksum can cover it. The
+  // scratch buffer is reused across calls (thread-local, like the pool).
+  static thread_local std::vector<std::uint8_t> segment;
+  segment.clear();
   segment.reserve(udp_length);
   ByteWriter segment_writer(segment);
   UdpHeader udp;
@@ -51,7 +68,11 @@ Packet make_udp_datagram(const DatagramAddress& address,
   segment[7] = static_cast<std::uint8_t>(checksum);
 
   writer.bytes(segment);
-  return Packet(std::move(frame));
+  Packet packet(std::move(frame));
+  // We computed both checksums ourselves and nothing can mutate the bytes:
+  // receivers may skip re-verification when elision is enabled.
+  packet.set_checksum_trusted(true);
+  return packet;
 }
 
 std::optional<UdpDatagramView> parse_udp_datagram(const Packet& packet) {
@@ -83,7 +104,9 @@ std::optional<UdpDatagramView> parse_udp_datagram(const Packet& packet) {
   const std::size_t payload_len = udp->length - UdpHeader::kSize;
   auto payload = reader.bytes(payload_len);
 
-  if (udp->checksum != 0) {
+  const bool skip_verify =
+      packet.checksum_trusted() && checksum_elision_enabled();
+  if (udp->checksum != 0 && !skip_verify) {
     auto segment = packet.bytes().subspan(ip_offset + Ipv4Header::kSize,
                                           udp->length);
     InternetChecksum verify;

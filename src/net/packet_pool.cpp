@@ -1,0 +1,41 @@
+#include "net/packet_pool.h"
+
+#include <utility>
+
+namespace nicsched::net {
+
+PacketBufferPool& PacketBufferPool::instance() {
+  static thread_local PacketBufferPool pool;
+  return pool;
+}
+
+std::vector<std::uint8_t> PacketBufferPool::acquire(
+    std::size_t capacity_hint) {
+  ++stats_.acquired;
+  std::vector<std::uint8_t> buffer;
+  if (!free_.empty()) {
+    ++stats_.reused;
+    buffer = std::move(free_.back());
+    free_.pop_back();
+    buffer.clear();
+  }
+  if (buffer.capacity() < capacity_hint) buffer.reserve(capacity_hint);
+  return buffer;
+}
+
+void PacketBufferPool::release(std::vector<std::uint8_t>&& buffer) {
+  if (buffer.capacity() == 0 || free_.size() >= kMaxPooled) {
+    ++stats_.dropped;
+    return;  // let the vector free itself
+  }
+  ++stats_.released;
+  free_.push_back(std::move(buffer));
+}
+
+void PacketBufferPool::clear() {
+  free_.clear();
+  free_.shrink_to_fit();
+  stats_ = Stats{};
+}
+
+}  // namespace nicsched::net

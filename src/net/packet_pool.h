@@ -1,0 +1,60 @@
+// Recycled backing stores for packet frames.
+//
+// Every frame that crosses the simulated network used to allocate a fresh
+// `std::vector<uint8_t>` in `make_udp_datagram` and free it when the last
+// copy of the `Packet` died — typically a few microseconds of simulated time
+// later, after 4-6 hops. The pool breaks that cycle: `Packet` returns its
+// buffer here on destruction and `make_udp_datagram` (and `Packet`'s copy
+// operations) draw from it, so steady-state traffic reuses a small working
+// set of buffers instead of exercising the allocator per frame.
+//
+// The pool is `thread_local`: the experiment sweep runner runs one simulator
+// per thread, and a per-thread free list needs no locking and cannot leak
+// buffer-reuse order across concurrently running experiments. Recycling only
+// ever changes *where* a buffer lives, never its contents — acquired buffers
+// are handed out empty (size 0) and fully rewritten — so pooling is invisible
+// to simulation results (enforced by tests/sim_determinism_test).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace nicsched::net {
+
+class PacketBufferPool {
+ public:
+  struct Stats {
+    std::uint64_t acquired = 0;  // total acquire() calls
+    std::uint64_t reused = 0;    // acquires served from the free list
+    std::uint64_t released = 0;  // buffers returned to the free list
+    std::uint64_t dropped = 0;   // returns discarded (pool full / no capacity)
+  };
+
+  /// The calling thread's pool.
+  static PacketBufferPool& instance();
+
+  /// Returns an empty buffer with at least `capacity_hint` reserved,
+  /// recycled if one is available.
+  std::vector<std::uint8_t> acquire(std::size_t capacity_hint);
+
+  /// Takes ownership of `buffer` for future reuse. Buffers without capacity
+  /// (e.g. moved-from husks) and overflow beyond the pool cap are discarded.
+  void release(std::vector<std::uint8_t>&& buffer);
+
+  std::size_t size() const { return free_.size(); }
+  const Stats& stats() const { return stats_; }
+
+  /// Drops every pooled buffer and zeroes the stats (test isolation).
+  void clear();
+
+ private:
+  // Enough for the deepest in-flight frame population the experiments reach
+  // (rings + wires + batches); beyond this, returns fall through to free().
+  static constexpr std::size_t kMaxPooled = 4096;
+
+  std::vector<std::vector<std::uint8_t>> free_;
+  Stats stats_;
+};
+
+}  // namespace nicsched::net

@@ -21,9 +21,8 @@ void Wire::transmit(Packet packet) {
 
   const sim::TimePoint arrival = tx_done + latency_;
   // Move the packet into the event closure; it is delivered exactly once.
-  auto shared = std::make_shared<Packet>(std::move(packet));
-  sim_.at(arrival, [this, shared]() mutable {
-    destination_.deliver(std::move(*shared));
+  sim_.at(arrival, [this, p = std::move(packet)]() mutable {
+    destination_.deliver(std::move(p));
   });
 }
 

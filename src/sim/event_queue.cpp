@@ -4,51 +4,39 @@
 
 namespace nicsched::sim {
 
-EventHandle EventQueue::schedule(TimePoint when,
-                                 std::function<void()> callback) {
-  auto state = std::make_shared<detail::EventState>();
-  state->callback = std::move(callback);
-  EventHandle handle{std::weak_ptr<detail::EventState>(state)};
-  heap_.push(Entry{when, next_seq_++, std::move(state)});
-  return handle;
+EventHandle EventQueue::schedule(TimePoint when, EventFn callback) {
+  std::uint32_t slot;
+  if (!free_.empty()) {
+    slot = free_.back();
+    free_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& s = slots_[slot];
+  s.callback = std::move(callback);
+  heap_.push(Entry{when, next_seq_++, slot, s.generation});
+  ++live_;
+  return EventHandle{this, slot, s.generation};
 }
 
-void EventQueue::drop_cancelled_top() {
-  while (!heap_.empty() && heap_.top().state->cancelled) heap_.pop();
-}
-
-bool EventQueue::pop_next(TimePoint& when, std::function<void()>& callback) {
-  drop_cancelled_top();
+bool EventQueue::pop_next(TimePoint& when, EventFn& callback) {
+  prune_top();
   if (heap_.empty()) return false;
-  // Move the entry out before returning: the callback may schedule new
-  // events and mutate the heap when the caller fires it.
-  Entry entry = heap_.top();
+  // Copy the (trivial) entry out before popping: the caller fires the
+  // callback, which may schedule new events and mutate the heap.
+  const Entry entry = heap_.top();
   heap_.pop();
   when = entry.when;
-  callback = std::move(entry.state->callback);
+  callback = std::move(slots_[entry.slot].callback);
+  release_slot(entry.slot);
   return true;
 }
 
-TimePoint EventQueue::next_event_time() {
-  drop_cancelled_top();
+TimePoint EventQueue::next_event_time() const {
+  prune_top();
   if (heap_.empty()) return TimePoint::max();
   return heap_.top().when;
-}
-
-bool EventQueue::empty() {
-  drop_cancelled_top();
-  return heap_.empty();
-}
-
-std::size_t EventQueue::live_count() const {
-  // priority_queue hides its container; copy and drain. Test-only helper.
-  auto copy = heap_;
-  std::size_t live = 0;
-  while (!copy.empty()) {
-    if (!copy.top().state->cancelled) ++live;
-    copy.pop();
-  }
-  return live;
 }
 
 }  // namespace nicsched::sim

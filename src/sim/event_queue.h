@@ -4,84 +4,96 @@
 // in the order they were scheduled — a deterministic tie-break that keeps
 // whole-simulation results reproducible for a given seed.
 //
-// Cancellation is lazy: `EventHandle::cancel()` marks the event and the queue
-// drops it when it reaches the top. This keeps scheduling O(log n) and is the
-// common idiom for timers that are almost always re-armed (e.g. preemption
-// timers cancelled when a request finishes early).
+// Storage is a slab: callbacks live in a recycled pool of slots and the heap
+// orders lightweight `{when, seq, slot, generation}` entries. A slot's
+// generation is bumped every time the slot is released (fired or cancelled),
+// so a stale handle — or a heap entry left behind by a cancellation — is
+// detected by a generation mismatch instead of by `weak_ptr` bookkeeping.
+// Scheduling therefore costs zero heap allocations once the slab and heap
+// have warmed up, and the callback itself is a `SmallFn` whose common capture
+// (a component pointer plus an id) stays in inline storage.
+//
+// Cancellation is O(1): the slot's callback is destroyed and the slot
+// recycled immediately; the orphaned heap entry is dropped lazily when it
+// reaches the top. Handles do not keep events alive — they observe them —
+// and must not outlive the queue they came from.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <memory>
 #include <queue>
 #include <vector>
 
+#include "sim/small_fn.h"
 #include "sim/time.h"
 
 namespace nicsched::sim {
 
-namespace detail {
-struct EventState {
-  std::function<void()> callback;
-  bool cancelled = false;
-};
-}  // namespace detail
+class EventQueue;
 
 /// A handle to a scheduled event. Default-constructed handles refer to no
-/// event; all operations on them are safe no-ops. Handles do not keep the
-/// event alive — they observe it.
+/// event; all operations on them are safe no-ops. A handle left over from an
+/// event that fired (or was cancelled) goes inert even if its slot has since
+/// been recycled for a new event: the generation check tells them apart.
 class EventHandle {
  public:
   EventHandle() = default;
 
   /// Prevents the event from firing. Safe to call multiple times, after the
   /// event fired, or on an empty handle.
-  void cancel() {
-    if (auto state = state_.lock()) state->cancelled = true;
-  }
+  inline void cancel();
 
   /// True if the event is still scheduled to fire (not cancelled, not fired).
-  bool pending() const {
-    auto state = state_.lock();
-    return state != nullptr && !state->cancelled;
-  }
+  inline bool pending() const;
 
  private:
   friend class EventQueue;
-  explicit EventHandle(std::weak_ptr<detail::EventState> state)
-      : state_(std::move(state)) {}
+  EventHandle(EventQueue* queue, std::uint32_t slot, std::uint64_t generation)
+      : queue_(queue), slot_(slot), generation_(generation) {}
 
-  std::weak_ptr<detail::EventState> state_;
+  EventQueue* queue_ = nullptr;
+  std::uint32_t slot_ = 0;
+  std::uint64_t generation_ = 0;
 };
 
 /// Min-heap of pending events ordered by (fire time, insertion sequence).
 class EventQueue {
  public:
   /// Schedules `callback` to fire at absolute time `when`.
-  EventHandle schedule(TimePoint when, std::function<void()> callback);
+  EventHandle schedule(TimePoint when, EventFn callback);
 
   /// Removes the earliest live event without firing it, skipping cancelled
   /// events. Returns false if no live event remains. The caller advances its
   /// clock to `when` before invoking `callback`, so callbacks always observe
   /// the correct current time.
-  bool pop_next(TimePoint& when, std::function<void()>& callback);
+  bool pop_next(TimePoint& when, EventFn& callback);
 
   /// Timestamp of the earliest live event, or TimePoint::max() if none.
-  TimePoint next_event_time();
+  TimePoint next_event_time() const;
 
-  bool empty();
+  bool empty() const { return live_ == 0; }
 
-  /// Number of live (non-cancelled) events. O(n); intended for tests.
-  std::size_t live_count() const;
+  /// Number of live (non-cancelled) events. O(1).
+  std::size_t live_count() const { return live_; }
 
   /// Total events ever scheduled; monotonically increasing.
   std::uint64_t scheduled_count() const { return next_seq_; }
 
+  /// Slots currently in the slab (live + recycled). Exposed for tests.
+  std::size_t slab_size() const { return slots_.size(); }
+
  private:
+  friend class EventHandle;
+
+  struct Slot {
+    std::uint64_t generation = 0;
+    EventFn callback;
+  };
+
   struct Entry {
     TimePoint when;
     std::uint64_t seq;
-    std::shared_ptr<detail::EventState> state;
+    std::uint32_t slot;
+    std::uint64_t generation;
 
     // std::priority_queue is a max-heap; invert so earliest fires first.
     bool operator<(const Entry& other) const {
@@ -90,10 +102,46 @@ class EventQueue {
     }
   };
 
-  void drop_cancelled_top();
+  bool slot_live(std::uint32_t slot, std::uint64_t generation) const {
+    return slot < slots_.size() && slots_[slot].generation == generation;
+  }
 
-  std::priority_queue<Entry> heap_;
+  /// Destroys the slot's callback, bumps its generation (invalidating every
+  /// outstanding handle and heap entry pointing at it), and recycles it.
+  void release_slot(std::uint32_t slot) {
+    Slot& s = slots_[slot];
+    s.callback.reset();
+    ++s.generation;
+    free_.push_back(slot);
+    --live_;
+  }
+
+  void cancel_slot(std::uint32_t slot, std::uint64_t generation) {
+    if (slot_live(slot, generation)) release_slot(slot);
+  }
+
+  /// Drops heap entries orphaned by cancellation. Logically const: it only
+  /// sheds cache of already-dead events, hence the mutable heap.
+  void prune_top() const {
+    while (!heap_.empty() &&
+           !slot_live(heap_.top().slot, heap_.top().generation)) {
+      heap_.pop();
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_;
+  mutable std::priority_queue<Entry> heap_;
+  std::size_t live_ = 0;
   std::uint64_t next_seq_ = 0;
 };
+
+inline void EventHandle::cancel() {
+  if (queue_ != nullptr) queue_->cancel_slot(slot_, generation_);
+}
+
+inline bool EventHandle::pending() const {
+  return queue_ != nullptr && queue_->slot_live(slot_, generation_);
+}
 
 }  // namespace nicsched::sim

@@ -6,7 +6,7 @@ std::uint64_t Simulator::run() {
   stopped_ = false;
   std::uint64_t fired = 0;
   TimePoint when;
-  std::function<void()> callback;
+  EventFn callback;
   while (!stopped_ && queue_.pop_next(when, callback)) {
     now_ = when;
     callback();
@@ -20,7 +20,7 @@ std::uint64_t Simulator::run_until(TimePoint deadline) {
   stopped_ = false;
   std::uint64_t fired = 0;
   TimePoint when;
-  std::function<void()> callback;
+  EventFn callback;
   while (!stopped_) {
     const TimePoint next = queue_.next_event_time();
     if (next > deadline) break;
@@ -36,7 +36,7 @@ std::uint64_t Simulator::run_until(TimePoint deadline) {
 
 bool Simulator::step() {
   TimePoint when;
-  std::function<void()> callback;
+  EventFn callback;
   if (!queue_.pop_next(when, callback)) return false;
   now_ = when;
   callback();

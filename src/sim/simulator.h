@@ -9,7 +9,6 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <stdexcept>
 
 #include "sim/event_queue.h"
@@ -30,7 +29,7 @@ class Simulator {
 
   /// Schedules `fn` to run at absolute time `when`. Scheduling in the past
   /// is a logic error and throws.
-  EventHandle at(TimePoint when, std::function<void()> fn) {
+  EventHandle at(TimePoint when, EventFn fn) {
     if (when < now_) {
       throw std::logic_error("Simulator::at: scheduling into the past");
     }
@@ -38,7 +37,7 @@ class Simulator {
   }
 
   /// Schedules `fn` to run `delay` after the current time.
-  EventHandle after(Duration delay, std::function<void()> fn) {
+  EventHandle after(Duration delay, EventFn fn) {
     if (delay.is_negative()) {
       throw std::logic_error("Simulator::after: negative delay");
     }
@@ -47,7 +46,7 @@ class Simulator {
 
   /// Schedules `fn` at the current time, after all callbacks already queued
   /// for this instant. Used to decouple call chains without advancing time.
-  EventHandle defer(std::function<void()> fn) {
+  EventHandle defer(EventFn fn) {
     return queue_.schedule(now_, std::move(fn));
   }
 

@@ -1,0 +1,153 @@
+// Move-only type-erased callable with small-buffer optimization.
+//
+// The simulator fires millions of events per second of wall time, and every
+// one of them used to round-trip a `std::function` whose capture exceeded the
+// libstdc++ inline buffer — a heap allocation per event. `SmallFn` keeps the
+// common simulation capture (a component pointer plus an id, or a component
+// pointer plus a moved-in `Packet`) in 64 bytes of inline storage, and being
+// move-only it can hold move-only captures directly, which is what lets the
+// packet path move frames into event closures instead of wrapping them in
+// `std::make_shared`.
+//
+// Semantics mirror the useful subset of `std::move_only_function`:
+//  * construct from any callable; small + nothrow-movable ones live inline,
+//    anything else falls back to a single heap allocation
+//  * move-only; moved-from is empty
+//  * invoking an empty SmallFn is undefined (callers check `operator bool`)
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace nicsched::sim {
+
+template <typename Signature, std::size_t Capacity = 64>
+class SmallFn;
+
+template <typename R, typename... Args, std::size_t Capacity>
+class SmallFn<R(Args...), Capacity> {
+ public:
+  SmallFn() noexcept = default;
+  SmallFn(std::nullptr_t) noexcept {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F, typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, SmallFn> &&
+                                        std::is_invocable_r_v<R, D&, Args...>>>
+  SmallFn(F&& fn) {  // NOLINT(google-explicit-constructor)
+    if constexpr (fits_inline<D>) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(fn));
+      ops_ = &kInlineOps<D>;
+    } else {
+      ::new (static_cast<void*>(storage_)) D*(new D(std::forward<F>(fn)));
+      ops_ = &kHeapOps<D>;
+    }
+  }
+
+  SmallFn(SmallFn&& other) noexcept { steal(other); }
+
+  SmallFn& operator=(SmallFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      steal(other);
+    }
+    return *this;
+  }
+
+  SmallFn& operator=(std::nullptr_t) noexcept {
+    reset();
+    return *this;
+  }
+
+  SmallFn(const SmallFn&) = delete;
+  SmallFn& operator=(const SmallFn&) = delete;
+
+  ~SmallFn() { reset(); }
+
+  /// Destroys the held callable, leaving the SmallFn empty.
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  R operator()(Args... args) {
+    return ops_->invoke(storage_, std::forward<Args>(args)...);
+  }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  /// True if the held callable lives in the inline buffer (empty counts as
+  /// inline). Exposed so tests can assert the hot captures never heap-spill.
+  bool is_inline() const noexcept {
+    return ops_ == nullptr || !ops_->heap_allocated;
+  }
+
+ private:
+  struct Ops {
+    R (*invoke)(void*, Args&&...);
+    void (*relocate)(void* from, void* to) noexcept;
+    void (*destroy)(void*) noexcept;
+    bool heap_allocated;
+  };
+
+  template <typename D>
+  static constexpr bool fits_inline =
+      sizeof(D) <= Capacity && alignof(D) <= alignof(std::max_align_t) &&
+      std::is_nothrow_move_constructible_v<D>;
+
+  template <typename D>
+  static D* inline_target(void* storage) noexcept {
+    return std::launder(reinterpret_cast<D*>(storage));
+  }
+  template <typename D>
+  static D* heap_target(void* storage) noexcept {
+    return *std::launder(reinterpret_cast<D**>(storage));
+  }
+
+  template <typename D>
+  static constexpr Ops kInlineOps = {
+      /*invoke=*/[](void* storage, Args&&... args) -> R {
+        return (*inline_target<D>(storage))(std::forward<Args>(args)...);
+      },
+      /*relocate=*/
+      [](void* from, void* to) noexcept {
+        D* source = inline_target<D>(from);
+        ::new (to) D(std::move(*source));
+        source->~D();
+      },
+      /*destroy=*/[](void* storage) noexcept { inline_target<D>(storage)->~D(); },
+      /*heap_allocated=*/false,
+  };
+
+  template <typename D>
+  static constexpr Ops kHeapOps = {
+      /*invoke=*/[](void* storage, Args&&... args) -> R {
+        return (*heap_target<D>(storage))(std::forward<Args>(args)...);
+      },
+      /*relocate=*/
+      [](void* from, void* to) noexcept {
+        ::new (to) D*(heap_target<D>(from));
+      },
+      /*destroy=*/[](void* storage) noexcept { delete heap_target<D>(storage); },
+      /*heap_allocated=*/true,
+  };
+
+  void steal(SmallFn& other) noexcept {
+    if (other.ops_ != nullptr) {
+      other.ops_->relocate(other.storage_, storage_);
+      ops_ = std::exchange(other.ops_, nullptr);
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[Capacity];
+  const Ops* ops_ = nullptr;
+};
+
+/// The event-callback type used throughout the simulator.
+using EventFn = SmallFn<void()>;
+
+}  // namespace nicsched::sim

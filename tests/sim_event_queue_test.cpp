@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <memory>
 #include <vector>
 
 namespace nicsched::sim {
@@ -11,13 +13,10 @@ TimePoint at_us(std::int64_t us) {
   return TimePoint::origin() + Duration::micros(us);
 }
 
-std::vector<int> drain(EventQueue& queue) {
-  std::vector<int> order;
+void drain(EventQueue& queue) {
   TimePoint when;
-  std::function<void()> callback;
+  EventFn callback;
   while (queue.pop_next(when, callback)) callback();
-  (void)order;
-  return order;
 }
 
 TEST(EventQueue, FiresInTimestampOrder) {
@@ -27,9 +26,7 @@ TEST(EventQueue, FiresInTimestampOrder) {
   queue.schedule(at_us(10), [&]() { order.push_back(1); });
   queue.schedule(at_us(20), [&]() { order.push_back(2); });
 
-  TimePoint when;
-  std::function<void()> callback;
-  while (queue.pop_next(when, callback)) callback();
+  drain(queue);
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
 }
 
@@ -39,9 +36,7 @@ TEST(EventQueue, SimultaneousEventsFireInScheduleOrder) {
   for (int i = 0; i < 5; ++i) {
     queue.schedule(at_us(7), [&order, i]() { order.push_back(i); });
   }
-  TimePoint when;
-  std::function<void()> callback;
-  while (queue.pop_next(when, callback)) callback();
+  drain(queue);
   EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
 }
 
@@ -54,7 +49,7 @@ TEST(EventQueue, CancelPreventsFiring) {
   EXPECT_FALSE(handle.pending());
 
   TimePoint when;
-  std::function<void()> callback;
+  EventFn callback;
   EXPECT_FALSE(queue.pop_next(when, callback));
   EXPECT_FALSE(fired);
 }
@@ -63,7 +58,7 @@ TEST(EventQueue, CancelIsIdempotentAndSafeAfterFire) {
   EventQueue queue;
   EventHandle handle = queue.schedule(at_us(1), []() {});
   TimePoint when;
-  std::function<void()> callback;
+  EventFn callback;
   ASSERT_TRUE(queue.pop_next(when, callback));
   callback();
   handle.cancel();  // no effect, no crash
@@ -84,9 +79,7 @@ TEST(EventQueue, CancelledEventsAreSkippedNotReturned) {
   h1.cancel();
   h3.cancel();
 
-  TimePoint when;
-  std::function<void()> callback;
-  while (queue.pop_next(when, callback)) callback();
+  drain(queue);
   EXPECT_EQ(order, (std::vector<int>{2}));
 }
 
@@ -101,12 +94,15 @@ TEST(EventQueue, NextEventTimeSkipsCancelled) {
 
 TEST(EventQueue, EmptyAccountsForCancellation) {
   EventQueue queue;
-  EXPECT_TRUE(queue.empty());
-  EXPECT_EQ(queue.next_event_time(), TimePoint::max());
+  // empty()/next_event_time() are const now — exercise them through a
+  // const reference, as monitoring code does.
+  const EventQueue& view = queue;
+  EXPECT_TRUE(view.empty());
+  EXPECT_EQ(view.next_event_time(), TimePoint::max());
   auto handle = queue.schedule(at_us(1), []() {});
-  EXPECT_FALSE(queue.empty());
+  EXPECT_FALSE(view.empty());
   handle.cancel();
-  EXPECT_TRUE(queue.empty());
+  EXPECT_TRUE(view.empty());
 }
 
 TEST(EventQueue, LiveCountExcludesCancelled) {
@@ -114,10 +110,11 @@ TEST(EventQueue, LiveCountExcludesCancelled) {
   auto h1 = queue.schedule(at_us(1), []() {});
   queue.schedule(at_us(2), []() {});
   queue.schedule(at_us(3), []() {});
-  EXPECT_EQ(queue.live_count(), 3u);
+  const EventQueue& view = queue;  // O(1) and const
+  EXPECT_EQ(view.live_count(), 3u);
   h1.cancel();
-  EXPECT_EQ(queue.live_count(), 2u);
-  EXPECT_EQ(queue.scheduled_count(), 3u);
+  EXPECT_EQ(view.live_count(), 2u);
+  EXPECT_EQ(view.scheduled_count(), 3u);
 }
 
 TEST(EventQueue, CallbackMayScheduleMoreEvents) {
@@ -127,10 +124,119 @@ TEST(EventQueue, CallbackMayScheduleMoreEvents) {
     order.push_back(1);
     queue.schedule(at_us(2), [&]() { order.push_back(2); });
   });
-  TimePoint when;
-  std::function<void()> callback;
-  while (queue.pop_next(when, callback)) callback();
+  drain(queue);
   EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+// ---------------------------------------------------------------------------
+// Slab-specific behaviour: slot recycling, generation safety, churn.
+
+// A handle whose event fired (or was cancelled) must stay inert even after
+// its slot is recycled for a brand-new event: the generation check keeps the
+// stale handle from cancelling the slot's new occupant.
+TEST(EventQueueSlab, StaleHandleCannotTouchRecycledSlot) {
+  EventQueue queue;
+  bool first_fired = false;
+  EventHandle stale = queue.schedule(at_us(1), [&]() { first_fired = true; });
+  drain(queue);
+  EXPECT_TRUE(first_fired);
+  EXPECT_FALSE(stale.pending());
+
+  // The queue is empty, so the next schedule recycles the same slot.
+  bool second_fired = false;
+  EventHandle fresh = queue.schedule(at_us(2), [&]() { second_fired = true; });
+  EXPECT_EQ(queue.slab_size(), 1u);
+
+  stale.cancel();  // must NOT cancel the recycled slot's new event
+  EXPECT_FALSE(stale.pending());
+  EXPECT_TRUE(fresh.pending());
+  drain(queue);
+  EXPECT_TRUE(second_fired);
+}
+
+TEST(EventQueueSlab, StaleHandleAfterCancelIsAlsoInert) {
+  EventQueue queue;
+  EventHandle stale = queue.schedule(at_us(1), []() {});
+  stale.cancel();
+
+  bool fired = false;
+  queue.schedule(at_us(1), [&]() { fired = true; });
+  stale.cancel();  // stale generation, same slot: no-op
+  EXPECT_FALSE(stale.pending());
+  drain(queue);
+  EXPECT_TRUE(fired);
+}
+
+// The re-armed timer idiom: cancel + reschedule on every packet. The slab
+// must recycle slots (bounded slab growth) and the orphaned heap entries
+// must never fire or corrupt ordering.
+TEST(EventQueueSlab, CancellationChurnRecyclesSlots) {
+  EventQueue queue;
+  std::uint64_t fired = 0;
+  EventHandle timer;
+  for (int i = 0; i < 10'000; ++i) {
+    timer.cancel();
+    timer = queue.schedule(at_us(100 + i), [&]() { ++fired; });
+    EXPECT_EQ(queue.live_count(), 1u);
+  }
+  // One live event plus whatever transient slots the warmup used; the slab
+  // must not have grown per-iteration.
+  EXPECT_LE(queue.slab_size(), 4u);
+  drain(queue);
+  EXPECT_EQ(fired, 1u);  // only the last armed timer survives
+  EXPECT_TRUE(queue.empty());
+  EXPECT_EQ(queue.live_count(), 0u);
+}
+
+// (time, seq) ordering holds across recycled slots: slot reuse must not
+// perturb the deterministic tie-break.
+TEST(EventQueueSlab, OrderingStableAcrossSlotReuse) {
+  EventQueue queue;
+  std::vector<int> order;
+  // Round 1 populates and drains slots 0..2.
+  for (int i = 0; i < 3; ++i) {
+    queue.schedule(at_us(1), [&order, i]() { order.push_back(i); });
+  }
+  drain(queue);
+  // Round 2 reuses those slots in some order; same timestamps, so the
+  // insertion sequence alone must decide firing order.
+  for (int i = 3; i < 9; ++i) {
+    queue.schedule(at_us(2), [&order, i]() { order.push_back(i); });
+  }
+  drain(queue);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7, 8}));
+}
+
+TEST(EventQueueSlab, MixedCancelAndFireKeepsCountsExact) {
+  EventQueue queue;
+  std::vector<EventHandle> handles;
+  handles.reserve(100);
+  for (int i = 0; i < 100; ++i) {
+    handles.push_back(queue.schedule(at_us(i), []() {}));
+  }
+  for (std::size_t i = 0; i < handles.size(); i += 2) handles[i].cancel();
+  EXPECT_EQ(queue.live_count(), 50u);
+  TimePoint when;
+  EventFn callback;
+  std::size_t popped = 0;
+  while (queue.pop_next(when, callback)) ++popped;
+  EXPECT_EQ(popped, 50u);
+  EXPECT_EQ(queue.live_count(), 0u);
+  EXPECT_TRUE(queue.empty());
+  for (auto& handle : handles) EXPECT_FALSE(handle.pending());
+}
+
+// Move-only captures now flow straight into event closures — the property
+// the packet path relies on instead of shared_ptr wrappers.
+TEST(EventQueueSlab, HoldsMoveOnlyCaptures) {
+  EventQueue queue;
+  auto payload = std::make_unique<int>(41);
+  int result = 0;
+  queue.schedule(at_us(1), [&result, p = std::move(payload)]() {
+    result = *p + 1;
+  });
+  drain(queue);
+  EXPECT_EQ(result, 42);
 }
 
 }  // namespace

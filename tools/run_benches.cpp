@@ -1,0 +1,160 @@
+// run_benches: the single documented command behind BENCH_SIM_CORE.json.
+//
+// Runs every perf kernel (event-queue ops/sec, end-to-end events/sec per
+// server kind, switch frames/sec) in-process, loads the recorded baseline
+// (bench/baseline_sim_core.json, measured at the pre-fast-path commit on the
+// same container class), and emits BENCH_SIM_CORE.json into
+// NICSCHED_RESULT_DIR containing baseline_*, current_* and speedup_* metrics
+// plus PASS/FAIL checks — so every future PR can show its perf delta against
+// the recorded trajectory.
+//
+//   ./build/tools/run_benches                 # compare against the baseline
+//   ./build/tools/run_benches --record-baseline
+//                                             # (re)write the baseline file
+//   --baseline=<path>                         # explicit baseline location
+//
+// NICSCHED_BASELINE_FILE overrides the default baseline path; NICSCHED_FAST
+// shrinks budgets and downgrades the >=1.5x gate to informational (tiny
+// budgets are too noisy to enforce a ratio).
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "exp/exp.h"
+#include "perf_common.h"
+#include "stats/table.h"
+
+namespace {
+
+std::string default_baseline_path() {
+  if (const char* env = std::getenv("NICSCHED_BASELINE_FILE")) {
+    if (*env != '\0') return env;
+  }
+#ifdef NICSCHED_SOURCE_DIR
+  return std::string(NICSCHED_SOURCE_DIR) + "/bench/baseline_sim_core.json";
+#else
+  return "baseline_sim_core.json";
+#endif
+}
+
+std::optional<nicsched::exp::ParsedResults> load_baseline(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return nicsched::exp::parse_json_results(buffer.str());
+}
+
+double find_metric(const nicsched::exp::ParsedResults& results,
+                   const std::string& name) {
+  for (const auto& [key, value] : results.metrics) {
+    if (key == name) return value;
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace nicsched;
+
+  bool record_baseline = false;
+  std::string baseline_path = default_baseline_path();
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--record-baseline") {
+      record_baseline = true;
+    } else if (arg.rfind("--baseline=", 0) == 0) {
+      baseline_path = arg.substr(std::string("--baseline=").size());
+    } else {
+      std::cerr << "usage: run_benches [--record-baseline] "
+                   "[--baseline=<path>]\n";
+      return 2;
+    }
+  }
+
+  const std::vector<perf::Measurement> current = perf::all_measurements();
+
+  if (record_baseline) {
+    exp::JsonResultSink sink("sim_core_baseline",
+                             "Simulator-core perf baseline");
+    for (const auto& m : current) {
+      sink.add_metric(m.name + "_per_sec", m.per_sec);
+      sink.add_metric(m.name + "_units", static_cast<double>(m.units));
+    }
+    if (!sink.write_file(baseline_path)) {
+      std::cerr << "FAIL  could not write baseline " << baseline_path << "\n";
+      return 1;
+    }
+    std::cout << "recorded baseline -> " << baseline_path << "\n";
+    for (const auto& m : current) {
+      std::cout << "  " << m.name << ": " << stats::fmt(m.per_sec, 0)
+                << "/s\n";
+    }
+    return 0;
+  }
+
+  const auto baseline = load_baseline(baseline_path);
+  const bool fast = exp::fast_mode();
+
+  exp::JsonResultSink sink("SIM_CORE",
+                           "Simulator-core perf trajectory vs baseline");
+  stats::Table table({"metric", "baseline/s", "current/s", "speedup"});
+  bool ok = true;
+  double min_e2e_speedup = -1.0;
+  for (const auto& m : current) {
+    const double base =
+        baseline ? find_metric(*baseline, m.name + "_per_sec") : 0.0;
+    const double speedup = base > 0.0 ? m.per_sec / base : 0.0;
+    sink.add_metric("baseline_" + m.name + "_per_sec", base);
+    sink.add_metric("current_" + m.name + "_per_sec", m.per_sec);
+    sink.add_metric("speedup_" + m.name, speedup);
+    table.add_row({m.name, stats::fmt(base, 0), stats::fmt(m.per_sec, 0),
+                   base > 0.0 ? stats::fmt(speedup, 2) + "x" : "n/a"});
+    if (m.name.rfind("e2e_", 0) == 0 && base > 0.0) {
+      if (min_e2e_speedup < 0.0 || speedup < min_e2e_speedup) {
+        min_e2e_speedup = speedup;
+      }
+    }
+    const bool nonzero = m.per_sec > 0.0 && m.units > 0;
+    sink.add_check(m.name + " throughput > 0", nonzero);
+    ok = ok && nonzero;
+  }
+  sink.add_metric("min_e2e_speedup", min_e2e_speedup);
+  table.print(std::cout);
+  std::cout << "\n";
+
+  const bool have_baseline = baseline.has_value();
+  sink.add_check("baseline loaded from " + baseline_path, have_baseline);
+  if (!have_baseline) {
+    std::cout << "FAIL  baseline not loadable: " << baseline_path << "\n";
+    ok = false;
+  }
+  // The headline gate: >=1.5x events/sec on the fig3-shaped end-to-end
+  // workload, minimum across server kinds. Informational under NICSCHED_FAST.
+  const bool gate = min_e2e_speedup >= 1.5;
+  std::cout << (gate ? "PASS" : (fast ? "INFO" : "FAIL"))
+            << "  end-to-end events/sec >= 1.5x baseline (min across kinds: "
+            << stats::fmt(min_e2e_speedup, 2) << "x)\n";
+  sink.add_check("end-to-end events/sec >= 1.5x baseline (min across kinds)",
+                 fast ? true : gate);
+  ok = ok && (fast || gate);
+
+  const std::string path = exp::result_file_path("BENCH_SIM_CORE.json");
+  std::ostringstream buffer;
+  sink.write(buffer);
+  const bool schema_ok = exp::parse_json_results(buffer.str()).has_value();
+  {
+    std::ofstream out(path);
+    if (out) out << buffer.str();
+    if (!out) std::cerr << "warning: could not write " << path << "\n";
+  }
+  std::cout << (schema_ok ? "PASS" : "FAIL")
+            << "  BENCH_SIM_CORE.json parses back (schema valid)\n";
+  ok = ok && schema_ok;
+  std::cout << (ok ? "\nOK\n" : "\nFAILED\n");
+  return ok ? 0 : 1;
+}
