@@ -66,6 +66,14 @@ class CoreStatusTable {
     entries_[worker].healthy = healthy;
   }
 
+  /// Adaptive-K backpressure (DESIGN §11): the overload governor shrinks a
+  /// slow worker's outstanding bound and restores it as the worker drains.
+  /// Requests already in flight above a shrunken bound simply drain — the
+  /// table never forgets them.
+  void set_capacity(std::size_t worker, std::uint32_t capacity) {
+    entries_[worker].capacity = capacity;
+  }
+
   void note_sent(std::size_t worker, sim::TimePoint now) {
     Entry& entry = entries_[worker];
     ++entry.outstanding;

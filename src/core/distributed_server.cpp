@@ -37,7 +37,8 @@ class DistributedServer::Worker {
           config.name = "rtc-worker" + std::to_string(id);
           config.frequency = server.params_.host_frequency;
           return config;
-        }()) {
+        }()),
+        admission_(server.config_.overload) {
     ring().set_on_packet([this]() {
       if (idle_) start_next();
     });
@@ -48,6 +49,9 @@ class DistributedServer::Worker {
   std::uint64_t responses_sent() const { return responses_sent_; }
   std::uint64_t requests_received() const { return requests_received_; }
   std::uint64_t steals() const { return steals_; }
+  std::uint64_t admitted() const { return admitted_; }
+  std::uint64_t rejected() const { return rejected_; }
+  std::uint64_t shed() const { return shed_; }
   const hw::DdioStats& ddio() const { return ddio_; }
 
   net::RxRing& ring() { return server_.pf_->ring(id_); }
@@ -99,6 +103,11 @@ class DistributedServer::Worker {
         return;
       }
       ++requests_received_;
+      if (server_.config_.overload.enabled &&
+          overload_gate(p, *datagram, *request)) {
+        start_next();
+        return;
+      }
       const proto::RequestDescriptor descriptor =
           make_descriptor(*request, *datagram);
       sim::Simulator& sim = server_.sim_;
@@ -121,6 +130,65 @@ class DistributedServer::Worker {
               static_cast<std::int64_t>(descriptor.remaining_ps)),
           [this, descriptor]() { on_complete(descriptor); });
     });
+  }
+
+  /// Per-core overload control (DESIGN §11), applied at parse time — the
+  /// earliest point a run-to-completion core can act. Returns true when the
+  /// request was consumed (shed or rejected) and must not be served.
+  bool overload_gate(const net::Packet& p,
+                     const net::UdpDatagramView& datagram,
+                     const proto::RequestMessage& request) {
+    sim::Simulator& sim = server_.sim_;
+    const overload::OverloadParams& params = server_.config_.overload;
+    // Ring residency is this core's queueing delay; feed the EWMA the same
+    // signal the dispatcherful servers measure at their pop.
+    admission_.observe_queue_delay(sim.now() - p.rx_at());
+    if (params.shedding_enabled && request.deadline_ps != 0 &&
+        sim.now().to_picos() >=
+            static_cast<std::int64_t>(request.deadline_ps)) {
+      // Already expired: serving it would burn the core for a response
+      // nobody counts. Drop silently; the client's own deadline timer
+      // accounts it as expired.
+      ++shed_;
+      if (sim.span_enabled()) {
+        const auto lane = static_cast<std::uint32_t>(100 + id_);
+        const sim::TimePoint rx = p.rx_at();
+        obs::end_span_at(sim, rx, request.request_id,
+                         obs::SpanKind::kClientWire, lane);
+        obs::begin_span_at(sim, rx, request.request_id, obs::SpanKind::kNicRx,
+                           lane);
+        obs::end_span(sim, request.request_id, obs::SpanKind::kNicRx, lane);
+      }
+      return true;
+    }
+    if (!admission_.admit(ring().depth())) {
+      ++rejected_;
+      if (sim.span_enabled()) {
+        const auto lane = static_cast<std::uint32_t>(100 + id_);
+        const sim::TimePoint rx = p.rx_at();
+        obs::end_span_at(sim, rx, request.request_id,
+                         obs::SpanKind::kClientWire, lane);
+        obs::begin_span_at(sim, rx, request.request_id, obs::SpanKind::kNicRx,
+                           lane);
+        obs::end_span(sim, request.request_id, obs::SpanKind::kNicRx, lane);
+        obs::begin_span(sim, request.request_id, obs::SpanKind::kResponse,
+                        lane);
+      }
+      net::DatagramAddress reply;
+      reply.src_mac = server_.pf_->mac();
+      reply.dst_mac = datagram.eth.src;
+      reply.src_ip = server_.pf_->ip();
+      reply.dst_ip = datagram.ip.src;
+      reply.src_port = datagram.udp.dst_port;
+      reply.dst_port = datagram.udp.src_port;
+      auto& scratch = proto::serialization_scratch();
+      make_reject(request, static_cast<std::uint32_t>(ring().depth()))
+          .serialize_into(scratch);
+      server_.pf_->transmit(net::make_udp_datagram(reply, scratch));
+      return true;
+    }
+    ++admitted_;
+    return false;
   }
 
   std::optional<net::Packet> steal() {
@@ -158,8 +226,9 @@ class DistributedServer::Worker {
       address.dst_ip = descriptor.client_ip;
       address.src_port = kWorkerPort;
       address.dst_port = descriptor.client_port;
-      server_.pf_->transmit(net::make_udp_datagram(
-          address, make_response(descriptor).serialize()));
+      auto& scratch = proto::serialization_scratch();
+      make_response(descriptor).serialize_into(scratch);
+      server_.pf_->transmit(net::make_udp_datagram(address, scratch));
       ++responses_sent_;
       start_next();
     });
@@ -168,10 +237,15 @@ class DistributedServer::Worker {
   DistributedServer& server_;
   std::size_t id_;
   hw::CpuCore core_;
+  /// Per-core admission state (each core only sees its own ring).
+  overload::AdmissionController admission_;
   bool idle_ = true;
   std::uint64_t requests_received_ = 0;
   std::uint64_t responses_sent_ = 0;
   std::uint64_t steals_ = 0;
+  std::uint64_t admitted_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::uint64_t shed_ = 0;
   hw::DdioStats ddio_;
 };
 
@@ -297,6 +371,11 @@ ServerStats DistributedServer::stats(sim::Duration elapsed) const {
   for (std::size_t i = 0; i < config_.worker_count; ++i) {
     stats.drops += pf_->ring(i).stats().dropped;
   }
+  for (const auto& worker : workers_) {
+    stats.overload.admitted += worker->admitted();
+    stats.overload.rejected += worker->rejected();
+    stats.overload.shed_expired += worker->shed();
+  }
   return stats;
 }
 
@@ -308,8 +387,10 @@ ServerTelemetry DistributedServer::telemetry() const {
     t.drops += pf_->ring(i).stats().dropped;
   }
   for (const auto& worker : workers_) {
-    t.outstanding +=
-        worker->requests_received() - worker->responses_sent();
+    t.outstanding += worker->requests_received() - worker->responses_sent() -
+                     worker->rejected() - worker->shed();
+    t.rejected += worker->rejected();
+    t.shed += worker->shed();
     t.worker_busy.push_back(worker->core().stats().busy);
   }
   return t;

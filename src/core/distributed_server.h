@@ -51,6 +51,11 @@ class DistributedServer final : public Server, public fault::FaultSurface {
     /// pointless here under load — exactly the paper's argument for why L1
     /// placement needs a scheduler that bounds outstanding requests.
     hw::PlacementPolicy placement = hw::PlacementPolicy::kDdioLlc;
+    /// Overload control (DESIGN §11). Run-to-completion has no central
+    /// queue, so each core makes its own decisions at parse time: shed
+    /// already-expired requests and reject against its own ring depth and
+    /// ring-sojourn EWMA. Off by default.
+    overload::OverloadParams overload;
   };
 
   DistributedServer(sim::Simulator& sim, net::EthernetSwitch& network,

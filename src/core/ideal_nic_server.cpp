@@ -152,8 +152,9 @@ class IdealNicServer::Worker {
       address.dst_ip = descriptor.client_ip;
       address.src_port = kWorkerPort;
       address.dst_port = descriptor.client_port;
-      server_.pf_->transmit(net::make_udp_datagram(
-          address, make_response(descriptor).serialize()));
+      auto& scratch = proto::serialization_scratch();
+      make_response(descriptor).serialize_into(scratch);
+      server_.pf_->transmit(net::make_udp_datagram(address, scratch));
       ++responses_sent_;
       server_.status_channel_.send(
           StatusNote{id_, NoteKind::kCompleted, descriptor.request_id, {}});
@@ -187,7 +188,10 @@ IdealNicServer::IdealNicServer(sim::Simulator& sim,
       status_channel_(sim, params.cxl_one_way_latency),
       queue_(config.queue_policy),
       status_(config.worker_count, config.outstanding_per_worker),
-      running_(config.worker_count) {
+      running_(config.worker_count),
+      admission_(config.overload) {
+  queue_.set_shed_expired(config_.overload.enabled &&
+                          config_.overload.shedding_enabled);
   if (config_.worker_count == 0) {
     throw std::invalid_argument("IdealNicServer: need >= 1 worker");
   }
@@ -228,6 +232,37 @@ void IdealNicServer::scheduler_handle(net::Packet packet) {
     return;
   }
   ++requests_received_;
+  if (config_.overload.enabled) {
+    // Informed admission (DESIGN §11) straight in the ASIC pipeline; the
+    // reject frame leaves without involving any host core.
+    const std::size_t depth = queue_.depth();
+    if (!admission_.admit(depth)) {
+      ++overload_rejected_;
+      if (sim_.span_enabled()) {
+        const sim::TimePoint rx = packet.rx_at();
+        obs::end_span_at(sim_, rx, request->request_id,
+                         obs::SpanKind::kClientWire, 0);
+        obs::begin_span_at(sim_, rx, request->request_id,
+                           obs::SpanKind::kNicRx, 0);
+        obs::end_span(sim_, request->request_id, obs::SpanKind::kNicRx, 0);
+        obs::begin_span(sim_, request->request_id, obs::SpanKind::kResponse,
+                        0);
+      }
+      net::DatagramAddress reply;
+      reply.src_mac = pf_->mac();
+      reply.dst_mac = datagram->eth.src;
+      reply.src_ip = pf_->ip();
+      reply.dst_ip = datagram->ip.src;
+      reply.src_port = config_.udp_port;
+      reply.dst_port = datagram->udp.src_port;
+      auto& scratch = proto::serialization_scratch();
+      make_reject(*request, static_cast<std::uint32_t>(depth))
+          .serialize_into(scratch);
+      pf_->transmit(net::make_udp_datagram(reply, scratch));
+      return;
+    }
+    ++overload_admitted_;
+  }
   if (sim_.span_enabled()) {
     const sim::TimePoint rx = packet.rx_at();
     obs::end_span_at(sim_, rx, request->request_id,
@@ -238,7 +273,7 @@ void IdealNicServer::scheduler_handle(net::Packet packet) {
     obs::begin_span(sim_, request->request_id, obs::SpanKind::kDispatchQueue,
                     0);
   }
-  queue_.push_new(make_descriptor(*request, *datagram));
+  queue_.push_new(make_descriptor(*request, *datagram), sim_.now());
   scheduler_kick();
 }
 
@@ -271,7 +306,7 @@ void IdealNicServer::scheduler_step() {
           case NoteKind::kPreempted:
             status_.note_retired(note->worker, sim_.now());
             if (info.request_id == note->request_id) info.running = false;
-            queue_.push_preempted(std::move(note->descriptor));
+            queue_.push_preempted(std::move(note->descriptor), sim_.now());
             break;
         }
       }
@@ -283,7 +318,13 @@ void IdealNicServer::scheduler_step() {
     asic_.run(params_.asic_dispatch_cost, [this]() {
       const auto worker = status_.pick_least_loaded();
       if (worker) {
-        auto descriptor = queue_.pop();
+        sim::Duration queue_delay = sim::Duration::zero();
+        auto descriptor = config_.overload.enabled
+                              ? queue_.pop(sim_.now(), queue_delay)
+                              : queue_.pop();
+        if (descriptor && config_.overload.enabled) {
+          admission_.observe_queue_delay(queue_delay);
+        }
         if (descriptor) {
           descriptor->queue_depth =
               static_cast<std::uint32_t>(queue_.depth());
@@ -377,6 +418,9 @@ ServerStats IdealNicServer::stats(sim::Duration elapsed) const {
   }
   stats.drops =
       nic_.rx_unknown_mac_drops() + malformed_ + pf_->ring(0).stats().dropped;
+  stats.overload.admitted = overload_admitted_;
+  stats.overload.rejected = overload_rejected_;
+  stats.overload.shed_expired = queue_.stats().shed_expired;
   return stats;
 }
 
@@ -385,6 +429,8 @@ ServerTelemetry IdealNicServer::telemetry() const {
   t.queue_depth = queue_.depth();
   t.outstanding = status_.total_outstanding();
   t.drops = malformed_ + pf_->ring(0).stats().dropped;
+  t.rejected = overload_rejected_;
+  t.shed = queue_.stats().shed_expired;
   for (const auto& worker : workers_) {
     t.preemptions += worker->preemptions();
     t.worker_busy.push_back(worker->core().stats().busy);

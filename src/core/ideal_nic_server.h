@@ -50,6 +50,10 @@ class IdealNicServer final : public Server, public fault::FaultSurface {
     /// §5.2: a NIC whose scheduler bounds per-core outstanding requests can
     /// place payloads straight into L1 "without danger of filling it".
     hw::PlacementPolicy placement = hw::PlacementPolicy::kDdioL1;
+    /// Overload control (DESIGN §11): admission + deadline shedding in the
+    /// ASIC pipeline. The coherent status path keeps the core-status table
+    /// near-fresh, so adaptive-K adds nothing here. Off by default.
+    overload::OverloadParams overload;
   };
 
   IdealNicServer(sim::Simulator& sim, net::EthernetSwitch& network,
@@ -126,6 +130,11 @@ class IdealNicServer final : public Server, public fault::FaultSurface {
 
   std::uint64_t requests_received_ = 0;
   std::uint64_t malformed_ = 0;
+
+  // --- overload control (inert when !config_.overload.enabled) -------------
+  overload::AdmissionController admission_;
+  std::uint64_t overload_admitted_ = 0;
+  std::uint64_t overload_rejected_ = 0;
 };
 
 }  // namespace nicsched::core

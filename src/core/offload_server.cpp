@@ -102,6 +102,10 @@ class ShinjukuOffloadServer::Worker {
       prologue += timer_.set_cost();
     }
     core_.run(prologue, [this, p = std::move(*packet)]() {
+      // Queue sojourn at this worker: frame arrival at the VF to the start
+      // of handling. Piggybacked on the feedback note so the dispatcher's
+      // adaptive-K governor sees per-worker backlog (DESIGN §11).
+      current_sojourn_ = server_.sim_.now() - p.rx_at();
       const auto datagram = net::parse_udp_datagram(p);
       if (!datagram) {
         start_next();
@@ -144,9 +148,9 @@ class ShinjukuOffloadServer::Worker {
       proto::AckMessage ack;
       ack.seq = assignment->seq;
       ack.worker_id = static_cast<std::uint32_t>(id_);
-      vf_.transmit(net::make_udp_datagram(
-          dispatcher_address(),
-          ack.serialize(proto::MessageType::kDispatchAck)));
+      auto& scratch = proto::serialization_scratch();
+      ack.serialize_into(proto::MessageType::kDispatchAck, scratch);
+      vf_.transmit(net::make_udp_datagram(dispatcher_address(), scratch));
       if (!seen_assign_seqs_.insert(assignment->seq).second) {
         ++server_.rel_.duplicates;
         start_next();
@@ -217,8 +221,9 @@ class ShinjukuOffloadServer::Worker {
       address.dst_ip = descriptor.client_ip;
       address.src_port = kWorkerPort;
       address.dst_port = descriptor.client_port;
-      vf_.transmit(net::make_udp_datagram(
-          address, make_response(descriptor).serialize()));
+      auto& scratch = proto::serialization_scratch();
+      make_response(descriptor).serialize_into(scratch);
+      vf_.transmit(net::make_udp_datagram(address, scratch));
       ++responses_sent_;
 
       core_.run(server_.params_.packet_build_cost, [this, descriptor]() {
@@ -228,8 +233,15 @@ class ShinjukuOffloadServer::Worker {
           proto::CompletionMessage completion;
           completion.request_id = descriptor.request_id;
           completion.worker_id = static_cast<std::uint32_t>(id_);
-          vf_.transmit(net::make_udp_datagram(dispatcher_address(),
-                                              completion.serialize()));
+          if (sojourn_sampling()) {
+            completion.has_sojourn = true;
+            completion.sojourn_ps =
+                static_cast<std::uint64_t>(current_sojourn_.to_picos());
+          }
+          auto& completion_scratch = proto::serialization_scratch();
+          completion.serialize_into(completion_scratch);
+          vf_.transmit(
+              net::make_udp_datagram(dispatcher_address(), completion_scratch));
         }
         start_next();
       });
@@ -265,9 +277,9 @@ class ShinjukuOffloadServer::Worker {
       if (server_.reliable()) {
         send_note(true, descriptor);
       } else {
-        vf_.transmit(net::make_udp_datagram(
-            dispatcher_address(),
-            descriptor.serialize(proto::MessageType::kPreemption)));
+        auto& scratch = proto::serialization_scratch();
+        descriptor.serialize_into(proto::MessageType::kPreemption, scratch);
+        vf_.transmit(net::make_udp_datagram(dispatcher_address(), scratch));
       }
       start_next();
     });
@@ -282,6 +294,11 @@ class ShinjukuOffloadServer::Worker {
     note.worker_id = static_cast<std::uint32_t>(id_);
     note.preempted = preempted;
     note.descriptor = descriptor;
+    if (sojourn_sampling()) {
+      note.has_sojourn = true;
+      note.sojourn_ps =
+          static_cast<std::uint64_t>(current_sojourn_.to_picos());
+    }
     PendingNote pending;
     pending.payload = note.serialize();
     pending.next_rto = server_.config_.reliability.rto;
@@ -319,6 +336,11 @@ class ShinjukuOffloadServer::Worker {
     pending_notes_.erase(it);
   }
 
+  bool sojourn_sampling() const {
+    return server_.config_.overload.enabled &&
+           server_.config_.overload.adaptive_k_enabled;
+  }
+
   net::DatagramAddress dispatcher_address() const {
     net::DatagramAddress address;
     address.src_mac = vf_.mac();
@@ -337,6 +359,8 @@ class ShinjukuOffloadServer::Worker {
   hw::ApicTimer timer_;
   bool idle_ = true;
   std::optional<proto::RequestDescriptor> current_;
+  /// Sojourn of the most recently popped frame (see start_next).
+  sim::Duration current_sojourn_;
   std::uint64_t preemptions_ = 0;
   std::uint64_t responses_sent_ = 0;
   hw::DdioStats ddio_;
@@ -371,7 +395,10 @@ ShinjukuOffloadServer::ShinjukuOffloadServer(sim::Simulator& sim,
       note_channel_(sim, params.cacheline_ipc_latency),
       queue_(config.queue_policy),
       status_(config.worker_count, config.outstanding_per_worker),
-      host_nic_(sim, host_nic_config(params)) {
+      host_nic_(sim, host_nic_config(params)),
+      admission_(config.overload),
+      adaptive_k_(config.overload, config.worker_count,
+                  config.outstanding_per_worker) {
   if (config_.worker_count == 0) {
     throw std::invalid_argument("ShinjukuOffloadServer: need >= 1 worker");
   }
@@ -383,6 +410,8 @@ ShinjukuOffloadServer::ShinjukuOffloadServer(sim::Simulator& sim,
     throw std::invalid_argument(
         "ShinjukuOffloadServer: sender_cores must be in [1, 5]");
   }
+  queue_.set_shed_expired(config_.overload.enabled &&
+                          config_.overload.shedding_enabled);
 
   arm_net_ = &arm_nic_.add_interface("arm-net",
                                      net::MacAddress::from_index(kArmNetIndex),
@@ -465,6 +494,42 @@ void ShinjukuOffloadServer::networker_handle(net::Packet packet) {
                      "request " + std::to_string(request->request_id) +
                          " received"};
   });
+  if (config_.overload.enabled) {
+    // Informed admission (DESIGN §11): the networker consults D1's measured
+    // queueing delay (EWMA) and the instantaneous backlog before spending
+    // any dispatcher work, answering refusals straight from the NIC.
+    const std::size_t depth = queue_.depth() + intake_channel_.depth();
+    if (!admission_.admit(depth)) {
+      ++overload_rejected_;
+      sim_.trace(sim::TraceCategory::kClient, [&] {
+        return std::pair{std::string("networker"),
+                         "reject " + std::to_string(request->request_id) +
+                             " depth " + std::to_string(depth)};
+      });
+      if (sim_.span_enabled()) {
+        const sim::TimePoint rx = packet.rx_at();
+        obs::end_span_at(sim_, rx, request->request_id,
+                         obs::SpanKind::kClientWire);
+        obs::begin_span_at(sim_, rx, request->request_id,
+                           obs::SpanKind::kNicRx);
+        obs::end_span(sim_, request->request_id, obs::SpanKind::kNicRx);
+        obs::begin_span(sim_, request->request_id, obs::SpanKind::kResponse);
+      }
+      net::DatagramAddress reply;
+      reply.src_mac = arm_net_->mac();
+      reply.dst_mac = datagram->eth.src;
+      reply.src_ip = arm_net_->ip();
+      reply.dst_ip = datagram->ip.src;
+      reply.src_port = config_.udp_port;
+      reply.dst_port = datagram->udp.src_port;
+      auto& scratch = proto::serialization_scratch();
+      make_reject(*request, static_cast<std::uint32_t>(depth))
+          .serialize_into(scratch);
+      arm_net_->transmit(net::make_udp_datagram(reply, scratch));
+      return;
+    }
+    ++overload_admitted_;
+  }
   if (sim_.span_enabled()) {
     // The ARM NIC stamped the frame's arrival; attribute wire vs RX/parse.
     const sim::TimePoint rx = packet.rx_at();
@@ -492,6 +557,16 @@ void ShinjukuOffloadServer::d1_step() {
       auto note = note_channel_.pop();
       if (note) {
         status_.note_retired(note->worker, sim_.now());
+        if (config_.overload.enabled && config_.overload.adaptive_k_enabled &&
+            note->has_sojourn) {
+          // Adaptive-K backpressure: fold the piggybacked sojourn sample and
+          // apply the governor's bound to the status table immediately.
+          status_.set_capacity(
+              note->worker,
+              static_cast<std::uint32_t>(adaptive_k_.observe_sojourn(
+                  note->worker, sim::Duration::picos(static_cast<std::int64_t>(
+                                    note->sojourn_ps)))));
+        }
         if (note->preempted) {
           ++preemption_requeues_;
           sim_.trace(sim::TraceCategory::kQueue, [&] {
@@ -499,7 +574,7 @@ void ShinjukuOffloadServer::d1_step() {
                              "requeue " +
                                  std::to_string(note->descriptor.request_id)};
           });
-          queue_.push_preempted(std::move(note->descriptor));
+          queue_.push_preempted(std::move(note->descriptor), sim_.now());
         }
       }
       d1_step();
@@ -510,7 +585,15 @@ void ShinjukuOffloadServer::d1_step() {
     d1_core_.run(params_.dispatch_assign_cost, [this]() {
       const auto worker = status_.pick_least_loaded();
       if (worker) {
-        auto descriptor = queue_.pop();
+        sim::Duration queue_delay = sim::Duration::zero();
+        auto descriptor = config_.overload.enabled
+                              ? queue_.pop(sim_.now(), queue_delay)
+                              : queue_.pop();
+        if (descriptor && config_.overload.enabled) {
+          // The pop measured how long the request actually queued; this is
+          // the signal the admission EWMA smooths.
+          admission_.observe_queue_delay(queue_delay);
+        }
         if (descriptor) {
           // Stamp the congestion feedback the response will carry (§5.2).
           descriptor->queue_depth =
@@ -548,7 +631,7 @@ void ShinjukuOffloadServer::d1_step() {
   if (!intake_channel_.empty()) {
     d1_core_.run(params_.dispatch_enqueue_cost, [this]() {
       auto descriptor = intake_channel_.pop();
-      if (descriptor) queue_.push_new(std::move(*descriptor));
+      if (descriptor) queue_.push_new(std::move(*descriptor), sim_.now());
       d1_step();
     });
     return;
@@ -570,12 +653,15 @@ void ShinjukuOffloadServer::d2_send(Assignment assignment) {
     proto::SequencedAssignment sequenced;
     sequenced.seq = assignment.seq;
     sequenced.descriptor = std::move(assignment.descriptor);
-    arm_disp_->transmit(net::make_udp_datagram(address, sequenced.serialize()));
+    auto& scratch = proto::serialization_scratch();
+    sequenced.serialize_into(scratch);
+    arm_disp_->transmit(net::make_udp_datagram(address, scratch));
     return;
   }
-  arm_disp_->transmit(net::make_udp_datagram(
-      address,
-      assignment.descriptor.serialize(proto::MessageType::kAssignment)));
+  auto& scratch = proto::serialization_scratch();
+  assignment.descriptor.serialize_into(proto::MessageType::kAssignment,
+                                       scratch);
+  arm_disp_->transmit(net::make_udp_datagram(address, scratch));
 }
 
 void ShinjukuOffloadServer::d3_handle(net::Packet packet) {
@@ -623,7 +709,15 @@ void ShinjukuOffloadServer::d3_handle(net::Packet packet) {
     }
   }
   if (type == proto::MessageType::kCompletion) {
-    note_channel_.send(Note{worker_id, false, {}});
+    const auto completion = proto::CompletionMessage::parse(datagram->payload);
+    if (completion) {
+      Note note{worker_id, false, {}};
+      note.has_sojourn = completion->has_sojourn;
+      note.sojourn_ps = completion->sojourn_ps;
+      note_channel_.send(std::move(note));
+    } else {
+      ++malformed_;
+    }
   } else if (type == proto::MessageType::kPreemption) {
     auto descriptor = proto::RequestDescriptor::parse(
         datagram->payload, proto::MessageType::kPreemption);
@@ -767,8 +861,9 @@ void ShinjukuOffloadServer::handle_sequenced_note(std::size_t worker,
   address.dst_ip = vf.ip();
   address.src_port = kDispatchPort;
   address.dst_port = kWorkerPort;
-  arm_disp_->transmit(net::make_udp_datagram(
-      address, ack.serialize(proto::MessageType::kNoteAck)));
+  auto& scratch = proto::serialization_scratch();
+  ack.serialize_into(proto::MessageType::kNoteAck, scratch);
+  arm_disp_->transmit(net::make_udp_datagram(address, scratch));
 
   note_worker_alive(worker);
   if (!seen_note_seqs_[worker].insert(note.seq).second) {
@@ -797,7 +892,10 @@ void ShinjukuOffloadServer::handle_sequenced_note(std::size_t worker,
   it->second.timer.cancel();
   seq_to_request_.erase(it->second.seq);
   inflight_.erase(it);
-  note_channel_.send(Note{worker, note.preempted, std::move(note.descriptor)});
+  Note out{worker, note.preempted, std::move(note.descriptor)};
+  out.has_sojourn = note.has_sojourn;
+  out.sojourn_ps = note.sojourn_ps;
+  note_channel_.send(std::move(out));
 }
 
 void ShinjukuOffloadServer::declare_worker_dead(std::size_t worker) {
@@ -805,6 +903,12 @@ void ShinjukuOffloadServer::declare_worker_dead(std::size_t worker) {
   status_.set_healthy(worker, false);
   ++rel_.worker_deaths;
   consecutive_timeouts_[worker] = 0;
+  if (config_.overload.enabled && config_.overload.adaptive_k_enabled) {
+    // Forget the dead worker's sojourn history; it restarts from full K so
+    // the re-steer path and the governor compose cleanly.
+    status_.set_capacity(worker,
+                         static_cast<std::uint32_t>(adaptive_k_.reset(worker)));
+  }
   sim_.trace(sim::TraceCategory::kDispatch, [&] {
     return std::pair{std::string("d1"),
                      "worker" + std::to_string(worker) + " declared dead"};
@@ -825,7 +929,7 @@ void ShinjukuOffloadServer::declare_worker_dead(std::size_t worker) {
     inflight_.erase(it);
     status_.note_retired(worker, sim_.now());
     ++rel_.redispatched;
-    queue_.push_preempted(std::move(descriptor));
+    queue_.push_preempted(std::move(descriptor), sim_.now());
   }
   d1_kick();
 }
@@ -835,6 +939,10 @@ void ShinjukuOffloadServer::note_worker_alive(std::size_t worker) {
   if (!status_.entry(worker).healthy) {
     status_.set_healthy(worker, true);
     ++rel_.revivals;
+    if (config_.overload.enabled && config_.overload.adaptive_k_enabled) {
+      status_.set_capacity(
+          worker, static_cast<std::uint32_t>(adaptive_k_.reset(worker)));
+    }
     d1_kick();
   }
 }
@@ -902,6 +1010,11 @@ ServerStats ShinjukuOffloadServer::stats(sim::Duration elapsed) const {
     stats.drops += vf->ring(0).stats().dropped;
   }
   stats.reliability = rel_;
+  stats.overload.admitted = overload_admitted_;
+  stats.overload.rejected = overload_rejected_;
+  stats.overload.shed_expired = queue_.stats().shed_expired;
+  stats.overload.k_shrinks = adaptive_k_.shrinks();
+  stats.overload.k_restores = adaptive_k_.restores();
   return stats;
 }
 
@@ -921,10 +1034,14 @@ ServerTelemetry ShinjukuOffloadServer::telemetry() const {
   }
   t.retransmits = rel_.retransmits + rel_.note_retransmits;
   t.abandoned = rel_.abandoned;
+  t.rejected = overload_rejected_;
+  t.shed = queue_.stats().shed_expired;
   t.worker_busy.reserve(workers_.size());
-  for (const auto& worker : workers_) {
-    t.preemptions += worker->preemptions();
-    t.worker_busy.push_back(worker->core().stats().busy);
+  t.worker_capacity.reserve(workers_.size());
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    t.preemptions += workers_[i]->preemptions();
+    t.worker_busy.push_back(workers_[i]->core().stats().busy);
+    t.worker_capacity.push_back(status_.entry(i).capacity);
   }
   return t;
 }

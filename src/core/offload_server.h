@@ -75,6 +75,10 @@ class ShinjukuOffloadServer final : public Server, public fault::FaultSurface {
     /// Reliable dispatcher↔worker protocol (DESIGN §9). Off by default so
     /// the baseline frame flow stays bit-identical.
     ReliabilityParams reliability;
+    /// Overload control (DESIGN §11): informed admission at the networker,
+    /// deadline shedding at D1's pop, adaptive-K from worker sojourn
+    /// samples. Off by default — disabled runs stay bit-identical.
+    overload::OverloadParams overload;
   };
 
   ShinjukuOffloadServer(sim::Simulator& sim, net::EthernetSwitch& network,
@@ -118,6 +122,9 @@ class ShinjukuOffloadServer final : public Server, public fault::FaultSurface {
     std::size_t worker = 0;
     bool preempted = false;
     proto::RequestDescriptor descriptor;  // valid when preempted
+    /// Piggybacked worker queue-sojourn sample (adaptive-K input).
+    bool has_sojourn = false;
+    std::uint64_t sojourn_ps = 0;
   };
 
   void networker_handle(net::Packet packet);
@@ -185,6 +192,12 @@ class ShinjukuOffloadServer final : public Server, public fault::FaultSurface {
   std::uint64_t requests_received_ = 0;
   std::uint64_t preemption_requeues_ = 0;
   std::uint64_t malformed_ = 0;
+
+  // --- overload control (DESIGN §11; inert when !config_.overload.enabled) -
+  overload::AdmissionController admission_;
+  overload::AdaptiveKController adaptive_k_;
+  std::uint64_t overload_admitted_ = 0;
+  std::uint64_t overload_rejected_ = 0;
 
   // --- reliable-dispatch state (empty/idle when !reliable()) ---------------
   std::unordered_map<std::uint64_t, Inflight> inflight_;  // by request_id

@@ -9,6 +9,7 @@
 #include "hw/ddio.h"
 #include "net/mac_address.h"
 #include "net/packet.h"
+#include "overload/overload.h"
 #include "proto/messages.h"
 #include "sim/time.h"
 
@@ -71,6 +72,9 @@ struct ServerStats {
   /// Recovery accounting; meaningful only for servers running reliable
   /// dispatch under a fault schedule.
   ReliabilityStats reliability;
+  /// Overload-control accounting (DESIGN §11); all zero when the subsystem
+  /// is disabled.
+  overload::OverloadStats overload;
 };
 
 /// An instantaneous, cheap-to-take snapshot of live scheduler state, polled
@@ -88,9 +92,14 @@ struct ServerTelemetry {
   std::uint64_t drops = 0;        // cumulative (malformed + ring overflow)
   std::uint64_t retransmits = 0;  // cumulative, assignment + note resends
   std::uint64_t abandoned = 0;    // cumulative, retry budget exhausted
+  std::uint64_t rejected = 0;     // cumulative, admission-control rejections
+  std::uint64_t shed = 0;         // cumulative, expired requests shed
   /// Cumulative per-worker busy time; the sampler differences consecutive
   /// snapshots into per-interval busy fractions.
   std::vector<sim::Duration> worker_busy;
+  /// Current per-worker outstanding-K bound (the adaptive-K governor's
+  /// output); empty for systems without a queuing optimization.
+  std::vector<std::uint32_t> worker_capacity;
 };
 
 class Server {
@@ -130,7 +139,19 @@ inline proto::RequestDescriptor make_descriptor(
   descriptor.client_mac = from.eth.src;
   descriptor.client_ip = from.ip.src;
   descriptor.client_port = from.udp.src_port;
+  descriptor.deadline_ps = request.deadline_ps;
   return descriptor;
+}
+
+/// The rejection notice for a refused request (overload admission control).
+inline proto::RejectMessage make_reject(const proto::RequestMessage& request,
+                                        std::uint32_t queue_depth) {
+  proto::RejectMessage reject;
+  reject.request_id = request.request_id;
+  reject.client_id = request.client_id;
+  reject.kind = request.kind;
+  reject.queue_depth = queue_depth;
+  return reject;
 }
 
 /// The response for a completed descriptor.

@@ -13,6 +13,10 @@ std::unique_ptr<Server> make_server(SystemKind kind,
                                     const ExperimentConfig& config,
                                     sim::Simulator& sim,
                                     net::EthernetSwitch& network) {
+  // Overload knobs: resolved by run_experiment (config wins over env);
+  // direct make_server callers that left the field unset get everything off.
+  const overload::OverloadParams overload_params =
+      config.overload.value_or(overload::OverloadParams{});
   switch (kind) {
     case SystemKind::kShinjuku: {
       ShinjukuServer::Config server;
@@ -22,6 +26,7 @@ std::unique_ptr<Server> make_server(SystemKind kind,
       server.preemption_enabled = config.preemption_enabled;
       server.time_slice = config.time_slice;
       server.reliability.enabled = config.reliable_dispatch.value_or(false);
+      server.overload = overload_params;
       return std::make_unique<ShinjukuServer>(sim, network, config.params,
                                               server);
     }
@@ -37,6 +42,7 @@ std::unique_ptr<Server> make_server(SystemKind kind,
       server.tx_batch_frames = config.tx_batch_frames;
       server.tx_batch_timeout = config.tx_batch_timeout;
       server.reliability.enabled = config.reliable_dispatch.value_or(false);
+      server.overload = overload_params;
       if (config.placement) server.placement = *config.placement;
       return std::make_unique<ShinjukuOffloadServer>(sim, network,
                                                      config.params, server);
@@ -54,6 +60,7 @@ std::unique_ptr<Server> make_server(SystemKind kind,
                       : kind == SystemKind::kWorkStealing
                           ? DistributedServer::Policy::kWorkStealing
                           : DistributedServer::Policy::kElasticRss;
+      server.overload = overload_params;
       if (config.placement) server.placement = *config.placement;
       return std::make_unique<DistributedServer>(sim, network, config.params,
                                                  server);
@@ -65,6 +72,7 @@ std::unique_ptr<Server> make_server(SystemKind kind,
       server.preemption_enabled = config.preemption_enabled;
       server.time_slice = config.time_slice;
       server.queue_policy = config.queue_policy;
+      server.overload = overload_params;
       if (config.placement) server.placement = *config.placement;
       return std::make_unique<IdealNicServer>(sim, network, config.params,
                                               server);
@@ -78,6 +86,7 @@ std::unique_ptr<Server> make_server(SystemKind kind,
       server.outstanding_per_worker = 1;
       server.preemption_enabled = false;
       server.queue_policy = config.queue_policy;
+      server.overload = overload_params;
       if (config.placement) server.placement = *config.placement;
       ModelParams params = config.params;
       params.cxl_one_way_latency = sim::Duration::nanos(50);

@@ -163,8 +163,9 @@ class ShinjukuServer::Worker {
       address.dst_ip = descriptor.client_ip;
       address.src_port = kWorkerPort;
       address.dst_port = descriptor.client_port;
-      pf->transmit(net::make_udp_datagram(address,
-                                          make_response(descriptor).serialize()));
+      auto& scratch = proto::serialization_scratch();
+      make_response(descriptor).serialize_into(scratch);
+      pf->transmit(net::make_udp_datagram(address, scratch));
       ++responses_sent_;
       group_.note_channel.send(Note{id_, false, {}, descriptor.request_id});
       start_next();
@@ -199,7 +200,11 @@ ShinjukuServer::Group::Group(ShinjukuServer& server_ref, std::size_t index_arg)
       // scans the few worker context lines tightly.
       note_channel(server_ref.sim_, server_ref.params_.dedicated_poll_latency),
       queue(server_ref.config_.queue_policy),
-      status(0, 1) {}
+      status(0, 1),
+      admission(server_ref.config_.overload) {
+  queue.set_shed_expired(server_ref.config_.overload.enabled &&
+                         server_ref.config_.overload.shedding_enabled);
+}
 
 // ------------------------------------------------------------- the server
 
@@ -287,6 +292,38 @@ void ShinjukuServer::networker_handle(Group& group, net::Packet packet) {
     return;
   }
   ++group.requests_received;
+  if (config_.overload.enabled) {
+    // Informed admission (DESIGN §11), scoped to this group's queue.
+    const std::size_t depth =
+        group.queue.depth() + group.intake_channel.depth();
+    if (!group.admission.admit(depth)) {
+      ++group.overload_rejected;
+      if (sim_.span_enabled()) {
+        const sim::TimePoint rx = packet.rx_at();
+        const auto lane = static_cast<std::uint32_t>(group.index);
+        obs::end_span_at(sim_, rx, request->request_id,
+                         obs::SpanKind::kClientWire, lane);
+        obs::begin_span_at(sim_, rx, request->request_id,
+                           obs::SpanKind::kNicRx, lane);
+        obs::end_span(sim_, request->request_id, obs::SpanKind::kNicRx, lane);
+        obs::begin_span(sim_, request->request_id, obs::SpanKind::kResponse,
+                        lane);
+      }
+      net::DatagramAddress reply;
+      reply.src_mac = pf_->mac();
+      reply.dst_mac = datagram->eth.src;
+      reply.src_ip = pf_->ip();
+      reply.dst_ip = datagram->ip.src;
+      reply.src_port = config_.udp_port;
+      reply.dst_port = datagram->udp.src_port;
+      auto& scratch = proto::serialization_scratch();
+      make_reject(*request, static_cast<std::uint32_t>(depth))
+          .serialize_into(scratch);
+      pf_->transmit(net::make_udp_datagram(reply, scratch));
+      return;
+    }
+    ++group.overload_admitted;
+  }
   if (sim_.span_enabled()) {
     const sim::TimePoint rx = packet.rx_at();
     const auto lane = static_cast<std::uint32_t>(group.index);
@@ -323,7 +360,8 @@ void ShinjukuServer::dispatcher_step(Group& group) {
           info.active = false;
           info.preempt_in_flight = false;
           if (note->preempted) {
-            group.queue.push_preempted(std::move(note->descriptor));
+            group.queue.push_preempted(std::move(note->descriptor),
+                                       sim_.now());
           }
         } else {
           // Stale note for a request the liveness watchdog already
@@ -349,7 +387,13 @@ void ShinjukuServer::dispatcher_step(Group& group) {
         [this, &group]() {
           const auto worker = group.status.pick_least_loaded();
           if (worker) {
-            auto descriptor = group.queue.pop();
+            sim::Duration queue_delay = sim::Duration::zero();
+            auto descriptor = config_.overload.enabled
+                                  ? group.queue.pop(sim_.now(), queue_delay)
+                                  : group.queue.pop();
+            if (descriptor && config_.overload.enabled) {
+              group.admission.observe_queue_delay(queue_delay);
+            }
             if (descriptor) {
               descriptor->queue_depth =
                   static_cast<std::uint32_t>(group.queue.depth());
@@ -389,7 +433,7 @@ void ShinjukuServer::dispatcher_step(Group& group) {
     group.dispatcher_core.run(params_.dispatch_enqueue_cost, [this, &group]() {
       auto descriptor = group.intake_channel.pop();
       if (descriptor) {
-        group.queue.push_new(std::move(*descriptor));
+        group.queue.push_new(std::move(*descriptor), sim_.now());
         // A request arriving with every worker saturated may justify
         // preempting someone already past their slice.
         maybe_preempt_for_waiting_work(group);
@@ -474,7 +518,7 @@ void ShinjukuServer::declare_worker_dead(Group& group, std::size_t worker) {
     info.active = false;
     info.preempt_in_flight = false;
     ++rel_.redispatched;
-    group.queue.push_preempted(info.descriptor);
+    group.queue.push_preempted(info.descriptor, sim_.now());
   }
   dispatcher_kick(group);
 }
@@ -518,6 +562,9 @@ ServerStats ShinjukuServer::stats(sim::Duration elapsed) const {
     stats.queue_max_depth =
         std::max(stats.queue_max_depth, group->queue.stats().max_depth);
     stats.drops += group->malformed;
+    stats.overload.admitted += group->overload_admitted;
+    stats.overload.rejected += group->overload_rejected;
+    stats.overload.shed_expired += group->queue.stats().shed_expired;
     for (const auto& worker : group->workers) {
       stats.responses_sent += worker->responses_sent();
       stats.preemptions += worker->preemptions();
@@ -545,6 +592,8 @@ ServerTelemetry ShinjukuServer::telemetry() const {
     t.queue_depth += group->queue.depth() + group->intake_channel.depth();
     t.outstanding += group->status.total_outstanding();
     t.drops += group->malformed;
+    t.rejected += group->overload_rejected;
+    t.shed += group->queue.stats().shed_expired;
     for (const auto& worker : group->workers) {
       t.preemptions += worker->preemptions();
       t.worker_busy.push_back(worker->core().stats().busy);

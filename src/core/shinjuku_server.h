@@ -55,6 +55,11 @@ class ShinjukuServer final : public Server, public fault::FaultSurface {
     /// assignment past `reliability.completion_timeout` is declared dead and
     /// its request re-steered. Off by default.
     ReliabilityParams reliability;
+    /// Overload control (DESIGN §11): per-group informed admission at the
+    /// networker plus deadline shedding at the dispatcher's pop. Workers
+    /// here have no queuing optimization (K == 1), so adaptive-K does not
+    /// apply. Off by default.
+    overload::OverloadParams overload;
   };
 
   ShinjukuServer(sim::Simulator& sim, net::EthernetSwitch& network,
@@ -134,6 +139,12 @@ class ShinjukuServer final : public Server, public fault::FaultSurface {
     std::uint64_t requests_received = 0;
     std::uint64_t malformed = 0;
     std::uint64_t preempts_issued = 0;
+
+    /// Per-group overload control: each dispatcher pair admits against its
+    /// own queue, so an overloaded RSS bucket rejects while others accept.
+    overload::AdmissionController admission;
+    std::uint64_t overload_admitted = 0;
+    std::uint64_t overload_rejected = 0;
   };
 
   void networker_handle(Group& group, net::Packet packet);

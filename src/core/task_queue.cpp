@@ -14,33 +14,33 @@ const char* to_string(QueuePolicy policy) {
   return "unknown";
 }
 
-void TaskQueue::insert(proto::RequestDescriptor descriptor) {
+void TaskQueue::insert(Entry entry) {
   switch (policy_) {
     case QueuePolicy::kFcfs:
-      fifo_.push_back(std::move(descriptor));
+      fifo_.push_back(std::move(entry));
       break;
     case QueuePolicy::kSjf:
-      by_work_.emplace(descriptor.remaining_ps, std::move(descriptor));
+      by_work_.emplace(entry.descriptor.remaining_ps, std::move(entry));
       break;
     case QueuePolicy::kMultiClass:
-      by_class_[descriptor.kind].push_back(std::move(descriptor));
+      by_class_[entry.descriptor.kind].push_back(std::move(entry));
       break;
     case QueuePolicy::kBvt: {
-      auto& queue = by_class_[descriptor.kind];
+      auto& queue = by_class_[entry.descriptor.kind];
       if (queue.empty()) {
         // A class returning from idle must not monopolize with its stale
         // (low) virtual time: catch it up to the least-advanced *backlogged*
         // class, the standard BVT/fair-queueing re-entry rule.
         double min_active = -1.0;
         for (const auto& [kind, pending] : by_class_) {
-          if (pending.empty() || kind == descriptor.kind) continue;
+          if (pending.empty() || kind == entry.descriptor.kind) continue;
           const double vt = class_state_[kind].virtual_time;
           if (min_active < 0.0 || vt < min_active) min_active = vt;
         }
-        BvtClass& state = class_state_[descriptor.kind];
+        BvtClass& state = class_state_[entry.descriptor.kind];
         if (min_active > state.virtual_time) state.virtual_time = min_active;
       }
-      queue.push_back(std::move(descriptor));
+      queue.push_back(std::move(entry));
       break;
     }
   }
@@ -48,23 +48,23 @@ void TaskQueue::insert(proto::RequestDescriptor descriptor) {
   note_depth();
 }
 
-std::optional<proto::RequestDescriptor> TaskQueue::pop() {
+std::optional<TaskQueue::Entry> TaskQueue::pop_entry() {
   if (size_ == 0) return std::nullopt;
-  proto::RequestDescriptor descriptor;
+  Entry entry;
   switch (policy_) {
     case QueuePolicy::kFcfs:
-      descriptor = std::move(fifo_.front());
+      entry = std::move(fifo_.front());
       fifo_.pop_front();
       break;
     case QueuePolicy::kSjf: {
       auto it = by_work_.begin();
-      descriptor = std::move(it->second);
+      entry = std::move(it->second);
       by_work_.erase(it);
       break;
     }
     case QueuePolicy::kMultiClass: {
       auto it = by_class_.begin();
-      descriptor = std::move(it->second.front());
+      entry = std::move(it->second.front());
       it->second.pop_front();
       if (it->second.empty()) by_class_.erase(it);
       break;
@@ -82,20 +82,43 @@ std::optional<proto::RequestDescriptor> TaskQueue::pop() {
           best_vt = vt;
         }
       }
-      descriptor = std::move(best->second.front());
+      entry = std::move(best->second.front());
       best->second.pop_front();
       // Charge the work about to run (possibly a preemption slice's worth
       // less on re-entry) against the class, scaled by its weight.
       BvtClass& state = class_state_[best->first];
-      state.virtual_time += static_cast<double>(descriptor.remaining_ps) /
-                            1e6 / state.weight;
+      state.virtual_time +=
+          static_cast<double>(entry.descriptor.remaining_ps) / 1e6 /
+          state.weight;
       if (best->second.empty()) by_class_.erase(best);
       break;
     }
   }
   --size_;
+  return entry;
+}
+
+std::optional<proto::RequestDescriptor> TaskQueue::pop() {
+  auto entry = pop_entry();
+  if (!entry) return std::nullopt;
   ++stats_.dequeued;
-  return descriptor;
+  return std::move(entry->descriptor);
+}
+
+std::optional<proto::RequestDescriptor> TaskQueue::pop(
+    sim::TimePoint now, sim::Duration& queue_delay) {
+  while (auto entry = pop_entry()) {
+    if (shed_expired_ && entry->descriptor.deadline_ps != 0 &&
+        now.to_picos() >= static_cast<std::int64_t>(
+                              entry->descriptor.deadline_ps)) {
+      ++stats_.shed_expired;
+      continue;  // expired in queue: shed instead of wasting a worker
+    }
+    ++stats_.dequeued;
+    queue_delay = now - entry->enqueued_at;
+    return std::move(entry->descriptor);
+  }
+  return std::nullopt;
 }
 
 }  // namespace nicsched::core

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "proto/messages.h"
+#include "sim/time.h"
 
 namespace nicsched::core {
 
@@ -50,6 +51,7 @@ class TaskQueue {
     std::uint64_t enqueued_new = 0;
     std::uint64_t enqueued_preempted = 0;
     std::uint64_t dequeued = 0;
+    std::uint64_t shed_expired = 0;  ///< past-deadline drops before dispatch
     std::size_t max_depth = 0;
   };
 
@@ -70,40 +72,62 @@ class TaskQueue {
     return it == class_state_.end() ? 0.0 : it->second.virtual_time;
   }
 
-  void push_new(proto::RequestDescriptor descriptor) {
+  void push_new(proto::RequestDescriptor descriptor,
+                sim::TimePoint now = {}) {
     ++stats_.enqueued_new;
-    insert(std::move(descriptor));
+    insert({std::move(descriptor), now});
   }
 
-  void push_preempted(proto::RequestDescriptor descriptor) {
+  void push_preempted(proto::RequestDescriptor descriptor,
+                      sim::TimePoint now = {}) {
     ++stats_.enqueued_preempted;
-    insert(std::move(descriptor));
+    insert({std::move(descriptor), now});
   }
 
   /// Removes and returns the next request under the configured policy.
   std::optional<proto::RequestDescriptor> pop();
+
+  /// As `pop()`, but measures the popped request's queueing delay (time
+  /// since enqueue, the admission controller's input signal) and — when
+  /// shedding is enabled — silently drops entries whose deadline has
+  /// already passed, counting them in `stats().shed_expired`.
+  std::optional<proto::RequestDescriptor> pop(sim::TimePoint now,
+                                              sim::Duration& queue_delay);
+
+  /// Deadline-aware shedding: drop already-expired requests inside pop()
+  /// instead of handing them to a worker (overload control, DESIGN §11).
+  void set_shed_expired(bool on) { shed_expired_ = on; }
 
   bool empty() const { return size_ == 0; }
   std::size_t depth() const { return size_; }
   const Stats& stats() const { return stats_; }
 
  private:
-  void insert(proto::RequestDescriptor descriptor);
+  /// A queued request plus its enqueue timestamp; the timestamp feeds the
+  /// queueing-delay signal and costs nothing when callers never ask for it.
+  struct Entry {
+    proto::RequestDescriptor descriptor;
+    sim::TimePoint enqueued_at;
+  };
+
+  void insert(Entry entry);
+  std::optional<Entry> pop_entry();
   void note_depth() {
     if (size_ > stats_.max_depth) stats_.max_depth = size_;
   }
 
   QueuePolicy policy_;
+  bool shed_expired_ = false;
   std::size_t size_ = 0;
   Stats stats_;
 
   /// kFcfs storage.
-  std::deque<proto::RequestDescriptor> fifo_;
+  std::deque<Entry> fifo_;
   /// kSjf storage: ordered by remaining work; equal keys keep insertion
   /// order (std::multimap guarantees it), making the policy deterministic.
-  std::multimap<std::uint64_t, proto::RequestDescriptor> by_work_;
+  std::multimap<std::uint64_t, Entry> by_work_;
   /// kMultiClass and kBvt storage: one FIFO per kind.
-  std::map<std::uint16_t, std::deque<proto::RequestDescriptor>> by_class_;
+  std::map<std::uint16_t, std::deque<Entry>> by_class_;
 
   /// kBvt per-class accounting.
   struct BvtClass {

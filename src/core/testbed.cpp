@@ -42,7 +42,8 @@ void add_telemetry_probes(obs::MetricSampler& sampler, const Server& server) {
   const std::size_t worker_count = server.telemetry().worker_busy.size();
   std::vector<std::string> names = {"queue_depth", "outstanding",
                                     "preemptions", "drops",
-                                    "retransmits", "abandoned"};
+                                    "retransmits", "abandoned",
+                                    "rejected",    "shed"};
   for (std::size_t i = 0; i < worker_count; ++i) {
     names.push_back("worker" + std::to_string(i) + "_busy_frac");
   }
@@ -55,13 +56,15 @@ void add_telemetry_probes(obs::MetricSampler& sampler, const Server& server) {
       [&server, worker_count, cadence_ps, previous_busy]() {
         const ServerTelemetry t = server.telemetry();
         std::vector<double> values;
-        values.reserve(6 + worker_count);
+        values.reserve(8 + worker_count);
         values.push_back(static_cast<double>(t.queue_depth));
         values.push_back(static_cast<double>(t.outstanding));
         values.push_back(static_cast<double>(t.preemptions));
         values.push_back(static_cast<double>(t.drops));
         values.push_back(static_cast<double>(t.retransmits));
         values.push_back(static_cast<double>(t.abandoned));
+        values.push_back(static_cast<double>(t.rejected));
+        values.push_back(static_cast<double>(t.shed));
         for (std::size_t i = 0; i < worker_count; ++i) {
           const sim::Duration busy =
               i < t.worker_busy.size() ? t.worker_busy[i] : sim::Duration();
@@ -118,6 +121,14 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   }
   if (config.client_machines <= 0) {
     throw std::invalid_argument("run_experiment: need >= 1 client machine");
+  }
+  if (!config.overload) {
+    // Resolve the overload parameters once so the server factory and every
+    // client machine see identical knobs: explicit config wins, otherwise the
+    // NICSCHED_OVERLOAD_* environment contract (mirrors the fault schedule).
+    ExperimentConfig resolved = config;
+    resolved.overload = overload::OverloadParams::from_env();
+    return run_experiment(resolved);
   }
 
   sim::Simulator sim;
@@ -178,6 +189,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     client.request_padding = config.request_padding;
     client.partition_count = partition_count;
     client.wire_latency = config.params.client_wire_latency;
+    client.overload = *config.overload;
 
     // Client wires carry the configured propagation latency; the server-side
     // attachment latencies were chosen by the server itself.
@@ -221,6 +233,18 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
 
   sim.run_until(measure_end + config.drain);
   result.events_fired = sim.events_fired();
+
+  for (const auto& client : clients) {
+    result.clients.sent += client->sent();
+    result.clients.completed += client->received();
+    result.clients.goodput += client->goodput();
+    result.clients.rejected += client->rejected();
+    result.clients.expired += client->expired();
+    result.clients.abandoned += client->abandoned();
+    result.clients.outstanding += client->outstanding();
+    result.clients.retries += client->retries();
+    result.clients.duplicates += client->duplicates();
+  }
 
   if (result.capture) result.capture->export_files();
 

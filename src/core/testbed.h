@@ -16,6 +16,7 @@
 #include "fault/fault_schedule.h"
 #include "hw/apic_timer.h"
 #include "obs/capture.h"
+#include "overload/overload.h"
 #include "sim/time.h"
 #include "stats/recorder.h"
 #include "stats/response_log.h"
@@ -106,6 +107,13 @@ struct ExperimentConfig {
   /// support it (shinjuku, shinjuku-offload). Unset = off, preserving the
   /// baseline frame flow bit for bit.
   std::optional<bool> reliable_dispatch;
+  /// Overload control (DESIGN §11): client deadlines/retries plus informed
+  /// admission, deadline-aware shedding, and adaptive-K backpressure at the
+  /// server. Unset defers to the NICSCHED_OVERLOAD_* environment contract
+  /// (overload::OverloadParams::from_env); every feature defaults off, so an
+  /// unset field with a clean environment is bit-identical to pre-overload
+  /// builds.
+  std::optional<overload::OverloadParams> overload;
 
   ModelParams params = ModelParams::defaults();
 
@@ -228,6 +236,10 @@ struct ExperimentConfig {
     reliable_dispatch = on;
     return *this;
   }
+  ExperimentConfig& with_overload(overload::OverloadParams knobs) {
+    overload = knobs;
+    return *this;
+  }
 };
 
 struct ExperimentResult {
@@ -245,6 +257,20 @@ struct ExperimentResult {
   /// Set when capture was enabled for the run: recorded spans and sampled
   /// time series, already exported if an export prefix was configured.
   std::shared_ptr<obs::Capture> capture;
+  /// Client-side accounting aggregated over the whole run (warmup + measure
+  /// + drain). At quiescence the overload conservation identity holds:
+  ///   sent == completed + rejected + expired + abandoned + outstanding.
+  struct ClientTotals {
+    std::uint64_t sent = 0;         // first transmissions (retries excluded)
+    std::uint64_t completed = 0;
+    std::uint64_t goodput = 0;      // completed within deadline
+    std::uint64_t rejected = 0;     // terminal kReject outcomes
+    std::uint64_t expired = 0;      // deadline passed before any response
+    std::uint64_t abandoned = 0;    // retry budget exhausted
+    std::uint64_t outstanding = 0;  // still pending when the run stopped
+    std::uint64_t retries = 0;      // timeout retransmissions
+    std::uint64_t duplicates = 0;   // responses for non-pending ids
+  } clients;
 };
 
 /// Runs one load point end to end. Deterministic in `config.seed`.

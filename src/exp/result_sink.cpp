@@ -49,7 +49,9 @@ void write_summary_json(std::ostream& out, const stats::RunSummary& s) {
       << ", \"p99_us\": " << num(s.p99_us)
       << ", \"p999_us\": " << num(s.p999_us)
       << ", \"max_us\": " << num(s.max_us)
-      << ", \"preemptions\": " << s.preemptions << "}";
+      << ", \"preemptions\": " << s.preemptions
+      << ", \"goodput\": " << s.goodput
+      << ", \"goodput_rps\": " << num(s.goodput_rps) << "}";
 }
 
 void write_server_json(std::ostream& out, const core::ServerStats& s) {
@@ -74,7 +76,12 @@ void write_server_json(std::ostream& out, const core::ServerStats& s) {
       << ", \"abandoned\": " << s.reliability.abandoned
       << ", \"duplicates\": " << s.reliability.duplicates
       << ", \"worker_deaths\": " << s.reliability.worker_deaths
-      << ", \"revivals\": " << s.reliability.revivals << "}}";
+      << ", \"revivals\": " << s.reliability.revivals
+      << "}, \"overload\": {\"admitted\": " << s.overload.admitted
+      << ", \"rejected\": " << s.overload.rejected
+      << ", \"shed_expired\": " << s.overload.shed_expired
+      << ", \"k_shrinks\": " << s.overload.k_shrinks
+      << ", \"k_restores\": " << s.overload.k_restores << "}}";
 }
 
 // ---- parsing ---------------------------------------------------------------
@@ -277,6 +284,8 @@ stats::RunSummary summary_from_json(const JsonValue& json) {
   summary.p999_us = json.number_or("p999_us");
   summary.max_us = json.number_or("max_us");
   summary.preemptions = json.count_or("preemptions");
+  summary.goodput = json.count_or("goodput");
+  summary.goodput_rps = json.number_or("goodput_rps");
   return summary;
 }
 
@@ -310,6 +319,13 @@ core::ServerStats server_from_json(const JsonValue& json) {
     server.reliability.duplicates = reliability->count_or("duplicates");
     server.reliability.worker_deaths = reliability->count_or("worker_deaths");
     server.reliability.revivals = reliability->count_or("revivals");
+  }
+  if (const JsonValue* overload = json.find("overload")) {
+    server.overload.admitted = overload->count_or("admitted");
+    server.overload.rejected = overload->count_or("rejected");
+    server.overload.shed_expired = overload->count_or("shed_expired");
+    server.overload.k_shrinks = overload->count_or("k_shrinks");
+    server.overload.k_restores = overload->count_or("k_restores");
   }
   return server;
 }
@@ -358,7 +374,9 @@ void CsvResultSink::write(std::ostream& out) const {
          "srv_steals,srv_drops,srv_queue_max_depth,mean_worker_utilization,"
          "worker_utilization,ddio_l1,ddio_llc,ddio_dram,srv_retransmits,"
          "srv_note_retransmits,srv_timeouts,srv_redispatched,srv_abandoned,"
-         "srv_duplicates,srv_worker_deaths,srv_revivals\n";
+         "srv_duplicates,srv_worker_deaths,srv_revivals,goodput,goodput_rps,"
+         "srv_admitted,srv_rejected,srv_shed_expired,srv_k_shrinks,"
+         "srv_k_restores\n";
   for (const ResultRow& row : rows_) {
     const stats::RunSummary& s = row.summary;
     const core::ServerStats& server = row.server;
@@ -387,7 +405,11 @@ void CsvResultSink::write(std::ostream& out) const {
         << server.reliability.abandoned << ','
         << server.reliability.duplicates << ','
         << server.reliability.worker_deaths << ','
-        << server.reliability.revivals << '\n';
+        << server.reliability.revivals << ',' << s.goodput << ','
+        << num(s.goodput_rps) << ',' << server.overload.admitted << ','
+        << server.overload.rejected << ',' << server.overload.shed_expired
+        << ',' << server.overload.k_shrinks << ','
+        << server.overload.k_restores << '\n';
   }
 }
 
@@ -476,9 +498,9 @@ std::optional<std::vector<ResultRow>> parse_csv_rows(std::string_view text,
       continue;
     }
     const auto cells = split(line, ',');
-    if (cells.size() != 32) {
+    if (cells.size() != 39) {
       if (error != nullptr) {
-        *error = "expected 32 cells, got " + std::to_string(cells.size());
+        *error = "expected 39 cells, got " + std::to_string(cells.size());
       }
       return std::nullopt;
     }
@@ -532,6 +554,18 @@ std::optional<std::vector<ResultRow>> parse_csv_rows(std::string_view text,
         std::strtoull(cells[30].c_str(), nullptr, 10);
     row.server.reliability.revivals =
         std::strtoull(cells[31].c_str(), nullptr, 10);
+    row.summary.goodput = std::strtoull(cells[32].c_str(), nullptr, 10);
+    row.summary.goodput_rps = std::atof(cells[33].c_str());
+    row.server.overload.admitted =
+        std::strtoull(cells[34].c_str(), nullptr, 10);
+    row.server.overload.rejected =
+        std::strtoull(cells[35].c_str(), nullptr, 10);
+    row.server.overload.shed_expired =
+        std::strtoull(cells[36].c_str(), nullptr, 10);
+    row.server.overload.k_shrinks =
+        std::strtoull(cells[37].c_str(), nullptr, 10);
+    row.server.overload.k_restores =
+        std::strtoull(cells[38].c_str(), nullptr, 10);
     rows.push_back(std::move(row));
   }
   return rows;

@@ -8,14 +8,19 @@
 // `MessageChannel`: sender-visible cost is paid by the sender's core (as a
 // `CpuCore::run` op), and the message becomes visible to the receiver after
 // `visibility_latency`.
+//
+// Storage is a grow-only ring: messages are staged in the ring at send time
+// and a plain counter flips them visible after the latency, so the delivery
+// event captures only `this` (inline in SmallFn) and steady-state traffic
+// never touches the heap — the deque-node churn and per-send closure spill
+// this replaced are regression-tested by tests/sim_alloc_test.
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
-#include <memory>
 #include <optional>
 #include <utility>
+#include <vector>
 
 #include "sim/simulator.h"
 #include "sim/time.h"
@@ -43,31 +48,59 @@ class MessageChannel {
   }
 
   /// Publishes a message; it becomes poppable after the visibility latency.
+  /// Messages share one latency, so ring order == visibility order.
   void send(T message) {
     ++stats_.sent;
-    sim_.after(visibility_latency_, [this, m = std::move(message)]() mutable {
-      queue_.push_back(std::move(m));
+    push(std::move(message));
+    sim_.after(visibility_latency_, [this]() {
+      ++visible_;
       if (on_message_) on_message_();
     });
   }
 
   std::optional<T> pop() {
-    if (queue_.empty()) return std::nullopt;
-    T message = std::move(queue_.front());
-    queue_.pop_front();
+    if (visible_ == 0) return std::nullopt;
+    --visible_;
     ++stats_.received;
+    T message = std::move(ring_[head_]);
+    head_ = (head_ + 1) % ring_.size();
+    --staged_;
     return message;
   }
 
-  bool empty() const { return queue_.empty(); }
-  std::size_t depth() const { return queue_.size(); }
+  bool empty() const { return visible_ == 0; }
+  std::size_t depth() const { return visible_; }
   const Stats& stats() const { return stats_; }
   sim::Duration visibility_latency() const { return visibility_latency_; }
 
  private:
+  void push(T message) {
+    if (staged_ == ring_.size()) grow();
+    ring_[tail_] = std::move(message);
+    tail_ = (tail_ + 1) % ring_.size();
+    ++staged_;
+  }
+
+  /// Doubles the ring, unrolling the circular contents into send order. Only
+  /// runs while the occupancy high-water mark is still rising; after that the
+  /// working set is recycled in place.
+  void grow() {
+    std::vector<T> bigger(ring_.empty() ? 16 : ring_.size() * 2);
+    for (std::size_t i = 0; i < staged_; ++i) {
+      bigger[i] = std::move(ring_[(head_ + i) % ring_.size()]);
+    }
+    ring_ = std::move(bigger);
+    head_ = 0;
+    tail_ = staged_;
+  }
+
   sim::Simulator& sim_;
   sim::Duration visibility_latency_;
-  std::deque<T> queue_;
+  std::vector<T> ring_;
+  std::size_t head_ = 0;    // oldest staged message
+  std::size_t tail_ = 0;    // next free slot
+  std::size_t staged_ = 0;  // in-flight + visible messages in the ring
+  std::size_t visible_ = 0; // poppable prefix of the staged messages
   std::function<void()> on_message_;
   Stats stats_;
 };

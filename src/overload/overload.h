@@ -1,0 +1,217 @@
+// Overload control & graceful degradation (DESIGN §11).
+//
+// Under sustained overload an uncontrolled dispatcher collapses into the
+// hockey-stick: queues grow without bound, every response arrives after its
+// deadline, and goodput goes to zero even though raw throughput stays at
+// capacity. This subsystem adds the three classic counter-measures, all
+// driven by the same host-load feedback the paper argues the NIC should
+// consume:
+//
+//  * informed admission — the NIC ingress rejects new requests (explicit
+//    kReject on the wire, so clients back off instead of timing out) when an
+//    EWMA of measured queueing delay or the instantaneous task-queue depth
+//    crosses a threshold;
+//  * deadline-aware shedding — requests whose deadline has already passed
+//    are dropped before dispatch instead of wasting worker time producing a
+//    response nobody counts;
+//  * adaptive-K backpressure — per-worker queue-delay samples piggybacked on
+//    the worker-feedback path shrink a degraded worker's outstanding-K and
+//    restore it as the worker drains, composing with crash/stall re-steer.
+//
+// Everything here is deterministic: controllers are pure functions of the
+// sample stream, and client retry jitter derives from a per-client seed.
+// All features default OFF; with `enabled == false` no wire format, RNG
+// draw, or event changes — benches stay bit-identical to pre-overload runs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace nicsched::overload {
+
+/// Tuning knobs for the overload-control subsystem. Lives on
+/// `ExperimentConfig`; resolvable from `NICSCHED_OVERLOAD_*` env vars.
+struct OverloadParams {
+  /// Master switch. When false the whole subsystem is inert: servers emit
+  /// version-1 frames, clients draw no extra random numbers, and runs are
+  /// bit-identical to builds without the subsystem.
+  bool enabled = false;
+
+  // --- Client side -------------------------------------------------------
+  /// Per-request completion deadline (0 = no deadline). Responses arriving
+  /// later count toward throughput but not goodput.
+  sim::Duration deadline = sim::Duration::micros(200);
+  /// Retries per request after the initial send (0 = never retry). The
+  /// budget caps retry amplification during overload.
+  std::uint32_t retry_budget = 0;
+  /// Base retransmit timeout for the first retry.
+  sim::Duration retry_timeout = sim::Duration::micros(100);
+  /// Multiplier applied to the timeout per successive retry.
+  double retry_backoff = 2.0;
+  /// Uniform jitter fraction applied to each retry delay (+/- fraction),
+  /// drawn from a dedicated per-client RNG so the workload streams are
+  /// untouched.
+  double retry_jitter = 0.1;
+
+  // --- Dispatcher admission ---------------------------------------------
+  /// Admit/reject new requests at NIC ingress.
+  bool admission_enabled = true;
+  /// EWMA smoothing factor for queueing-delay samples observed at dispatch.
+  double admission_alpha = 0.2;
+  /// Reject when the smoothed queueing delay exceeds this.
+  sim::Duration admission_delay_limit = sim::Duration::micros(50);
+  /// Reject when the instantaneous task-queue depth exceeds this. Covers
+  /// EWMA staleness: under a full stall nothing dispatches, so no delay
+  /// samples arrive, but depth keeps growing.
+  std::size_t admission_depth_limit = 512;
+
+  // --- Deadline shedding -------------------------------------------------
+  /// Drop already-expired requests before dispatch.
+  bool shedding_enabled = true;
+
+  // --- Adaptive outstanding-K backpressure (offload dispatcher) ----------
+  bool adaptive_k_enabled = true;
+  /// Floor for a degraded worker's outstanding-K.
+  std::size_t k_min = 1;
+  /// EWMA smoothing factor for per-worker sojourn samples.
+  double sojourn_alpha = 0.3;
+  /// Shrink K by one when a worker's smoothed sojourn exceeds this.
+  sim::Duration k_shrink_limit = sim::Duration::micros(40);
+  /// Restore K by one when the smoothed sojourn falls back below this.
+  sim::Duration k_restore_limit = sim::Duration::micros(10);
+
+  /// Overrides fields of `base` from NICSCHED_OVERLOAD_* environment
+  /// variables (see README): NICSCHED_OVERLOAD=1 flips `enabled`;
+  /// NICSCHED_OVERLOAD_DEADLINE_US, _RETRY_BUDGET, _RETRY_TIMEOUT_US,
+  /// _DELAY_LIMIT_US, _DEPTH_LIMIT, _ADMISSION, _SHEDDING, _ADAPTIVE_K.
+  static OverloadParams from_env(OverloadParams base);
+  static OverloadParams from_env() { return from_env(OverloadParams{}); }
+
+  bool operator==(const OverloadParams&) const = default;
+};
+
+/// Counters every server family reports through `ServerStats::overload`.
+struct OverloadStats {
+  std::uint64_t admitted = 0;      ///< requests accepted at ingress
+  std::uint64_t rejected = 0;      ///< kReject sent instead of enqueueing
+  std::uint64_t shed_expired = 0;  ///< dropped past-deadline before dispatch
+  std::uint64_t k_shrinks = 0;     ///< adaptive-K capacity decrements
+  std::uint64_t k_restores = 0;    ///< adaptive-K capacity increments
+
+  bool operator==(const OverloadStats&) const = default;
+};
+
+/// Ingress admission decision: EWMA of dispatch-observed queueing delay,
+/// guarded by an instantaneous depth cap. Deterministic — state is a pure
+/// fold over the sample stream.
+class AdmissionController {
+ public:
+  explicit AdmissionController(const OverloadParams& params)
+      : params_(params) {}
+
+  /// Feeds one queueing-delay measurement (taken when a request is popped
+  /// for dispatch).
+  void observe_queue_delay(sim::Duration delay) {
+    const double sample = static_cast<double>(delay.to_picos());
+    if (!seeded_) {
+      ewma_ps_ = sample;
+      seeded_ = true;
+    } else {
+      ewma_ps_ += params_.admission_alpha * (sample - ewma_ps_);
+    }
+  }
+
+  /// Admit/reject a request arriving when the queue holds `depth` entries.
+  bool admit(std::size_t depth) {
+    if (!params_.enabled || !params_.admission_enabled) return true;
+    if (depth > params_.admission_depth_limit) return false;
+    if (depth == 0) {
+      // An empty queue is direct evidence of zero queueing delay. Fold it
+      // in: the EWMA is otherwise fed only by dispatch pops, and rejections
+      // stop dispatches — without this the gate freezes at its overload
+      // value after the queue drains and never reopens.
+      observe_queue_delay(sim::Duration{});
+      return true;
+    }
+    return !(seeded_ &&
+             ewma_ps_ >
+                 static_cast<double>(params_.admission_delay_limit.to_picos()));
+  }
+
+  double ewma_delay_ps() const { return seeded_ ? ewma_ps_ : 0.0; }
+
+ private:
+  OverloadParams params_;
+  double ewma_ps_ = 0.0;
+  bool seeded_ = false;
+};
+
+/// Per-worker outstanding-K governor. Workers piggyback queue-sojourn
+/// samples on their feedback notes; the dispatcher shrinks a slow worker's
+/// capacity toward `k_min` and restores it one step at a time as the
+/// smoothed sojourn falls. Zero-valued samples are legitimate (an idle
+/// worker) and are exactly what drives restoration, so sample presence is
+/// signalled explicitly by the caller, never inferred from the value.
+class AdaptiveKController {
+ public:
+  AdaptiveKController(const OverloadParams& params, std::size_t worker_count,
+                      std::size_t base_k)
+      : params_(params), base_k_(base_k), workers_(worker_count) {
+    for (auto& w : workers_) w.k = base_k;
+  }
+
+  /// Folds one sojourn sample for `worker`; returns the (possibly updated)
+  /// capacity the caller should apply to its core-status table.
+  std::size_t observe_sojourn(std::size_t worker, sim::Duration sojourn) {
+    State& state = workers_[worker];
+    const double sample = static_cast<double>(sojourn.to_picos());
+    if (!state.seeded) {
+      state.ewma_ps = sample;
+      state.seeded = true;
+    } else {
+      state.ewma_ps += params_.sojourn_alpha * (sample - state.ewma_ps);
+    }
+    if (state.ewma_ps >
+            static_cast<double>(params_.k_shrink_limit.to_picos()) &&
+        state.k > params_.k_min) {
+      --state.k;
+      ++shrinks_;
+    } else if (state.ewma_ps <
+                   static_cast<double>(params_.k_restore_limit.to_picos()) &&
+               state.k < base_k_) {
+      ++state.k;
+      ++restores_;
+    }
+    return state.k;
+  }
+
+  /// Forgets a worker's history (crash/revival re-steer composes here: a
+  /// revived worker restarts from full capacity and a clean EWMA).
+  std::size_t reset(std::size_t worker) {
+    workers_[worker] = State{};
+    workers_[worker].k = base_k_;
+    return base_k_;
+  }
+
+  std::size_t capacity(std::size_t worker) const { return workers_[worker].k; }
+  std::uint64_t shrinks() const { return shrinks_; }
+  std::uint64_t restores() const { return restores_; }
+
+ private:
+  struct State {
+    double ewma_ps = 0.0;
+    bool seeded = false;
+    std::size_t k = 1;
+  };
+
+  OverloadParams params_;
+  std::size_t base_k_ = 1;
+  std::vector<State> workers_;
+  std::uint64_t shrinks_ = 0;
+  std::uint64_t restores_ = 0;
+};
+
+}  // namespace nicsched::overload

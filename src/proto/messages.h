@@ -36,6 +36,13 @@ namespace nicsched::proto {
 
 inline constexpr std::uint16_t kMagic = 0x4E53;  // "NS"
 inline constexpr std::uint8_t kVersion = 1;
+/// Version byte for extended frames (DESIGN §11): requests and descriptors
+/// gain a deadline, worker notes gain a queue-sojourn sample. Extended
+/// layouts are fixed-size per version — never optional trailing bytes — so
+/// truncation is always detectable. Messages serialize as version 1 whenever
+/// the extended fields are absent, which keeps runs with overload control
+/// disabled bit-identical on the wire.
+inline constexpr std::uint8_t kVersionExtended = 2;
 
 enum class MessageType : std::uint8_t {
   kRequest = 1,
@@ -47,10 +54,20 @@ enum class MessageType : std::uint8_t {
   kDispatchAck = 7,
   kSequencedNote = 8,
   kNoteAck = 9,
+  kReject = 10,
 };
 
 /// Peeks at a payload's message type without a full parse.
 std::optional<MessageType> peek_type(std::span<const std::uint8_t> payload);
+
+/// The calling thread's recycled serialization buffer. Hot TX paths write
+/// into it with `serialize_into` and hand the contents straight to
+/// net::make_udp_datagram (which copies them into a pooled frame), so
+/// steady-state frame construction never touches the allocator. Contents are
+/// valid until the next `serialize_into(serialization_scratch())` on this
+/// thread; code that needs to *keep* bytes (e.g. retransmit queues) uses the
+/// owning `serialize()` instead.
+std::vector<std::uint8_t>& serialization_scratch();
 
 /// A client's request. `padding` inflates the datagram to model different
 /// request sizes (the paper's 64 B vs 1 KiB discussion, §1).
@@ -59,9 +76,14 @@ struct RequestMessage {
   std::uint32_t client_id = 0;
   std::uint16_t kind = 0;        // workload class (short/long, app id, ...)
   std::uint64_t work_ps = 0;     // synthetic service time, picoseconds
+  /// Absolute completion deadline in simulation picoseconds (0 = none).
+  /// Nonzero deadlines serialize as a version-2 frame.
+  std::uint64_t deadline_ps = 0;
   std::uint16_t padding = 0;     // extra payload bytes appended on the wire
 
   std::vector<std::uint8_t> serialize() const;
+  /// Overwrites `out` with the serialized frame, reusing its capacity.
+  void serialize_into(std::vector<std::uint8_t>& out) const;
   static std::optional<RequestMessage> parse(
       std::span<const std::uint8_t> payload);
 
@@ -85,8 +107,13 @@ struct RequestDescriptor {
   net::MacAddress client_mac;
   net::Ipv4Address client_ip;
   std::uint16_t client_port = 0;
+  /// Absolute completion deadline (0 = none); carried so the dispatcher can
+  /// shed already-expired work before it reaches a worker. Nonzero values
+  /// serialize the enclosing message as version 2.
+  std::uint64_t deadline_ps = 0;
 
   std::vector<std::uint8_t> serialize(MessageType type) const;
+  void serialize_into(MessageType type, std::vector<std::uint8_t>& out) const;
   static std::optional<RequestDescriptor> parse(
       std::span<const std::uint8_t> payload, MessageType expected_type);
 
@@ -98,8 +125,15 @@ struct RequestDescriptor {
 struct CompletionMessage {
   std::uint64_t request_id = 0;
   std::uint32_t worker_id = 0;
+  /// Optional queue-sojourn sample (time the completed request waited in
+  /// the worker's local queue before service), the host-load feedback the
+  /// adaptive-K governor consumes. Presence is explicit: a zero sojourn is
+  /// a legitimate sample from an idle worker and is what restores K.
+  bool has_sojourn = false;
+  std::uint64_t sojourn_ps = 0;
 
   std::vector<std::uint8_t> serialize() const;
+  void serialize_into(std::vector<std::uint8_t>& out) const;
   static std::optional<CompletionMessage> parse(
       std::span<const std::uint8_t> payload);
 
@@ -114,6 +148,7 @@ struct SequencedAssignment {
   RequestDescriptor descriptor;
 
   std::vector<std::uint8_t> serialize() const;
+  void serialize_into(std::vector<std::uint8_t>& out) const;
   static std::optional<SequencedAssignment> parse(
       std::span<const std::uint8_t> payload);
 
@@ -128,6 +163,7 @@ struct AckMessage {
   std::uint32_t worker_id = 0;
 
   std::vector<std::uint8_t> serialize(MessageType type) const;
+  void serialize_into(MessageType type, std::vector<std::uint8_t>& out) const;
   static std::optional<AckMessage> parse(std::span<const std::uint8_t> payload,
                                          MessageType expected_type);
 
@@ -143,12 +179,34 @@ struct SequencedNote {
   std::uint32_t worker_id = 0;
   bool preempted = false;
   RequestDescriptor descriptor;
+  /// Optional queue-sojourn sample, as on CompletionMessage.
+  bool has_sojourn = false;
+  std::uint64_t sojourn_ps = 0;
 
   std::vector<std::uint8_t> serialize() const;
+  void serialize_into(std::vector<std::uint8_t>& out) const;
   static std::optional<SequencedNote> parse(
       std::span<const std::uint8_t> payload);
 
   bool operator==(const SequencedNote&) const = default;
+};
+
+/// Server → client: the dispatcher refused admission (overload control,
+/// DESIGN §11). An explicit rejection lets the client back off immediately
+/// instead of burning its retry budget against a timeout.
+struct RejectMessage {
+  std::uint64_t request_id = 0;
+  std::uint32_t client_id = 0;
+  std::uint16_t kind = 0;
+  /// Task-queue depth observed at rejection — congestion feedback.
+  std::uint32_t queue_depth = 0;
+
+  std::vector<std::uint8_t> serialize() const;
+  void serialize_into(std::vector<std::uint8_t>& out) const;
+  static std::optional<RejectMessage> parse(
+      std::span<const std::uint8_t> payload);
+
+  bool operator==(const RejectMessage&) const = default;
 };
 
 /// Worker → client.
@@ -162,6 +220,7 @@ struct ResponseMessage {
   std::uint32_t queue_depth = 0;
 
   std::vector<std::uint8_t> serialize() const;
+  void serialize_into(std::vector<std::uint8_t>& out) const;
   static std::optional<ResponseMessage> parse(
       std::span<const std::uint8_t> payload);
 

@@ -7,6 +7,7 @@ void LatencyRecorder::record(const workload::ResponseRecord& response) {
     return;
   }
   ++completed_;
+  if (response.within_deadline()) ++goodput_;
   preemptions_ += response.preempt_count;
   overall_.record(response.latency());
   per_kind_[response.kind].record(response.latency());
@@ -27,7 +28,9 @@ RunSummary LatencyRecorder::summarize(double offered_rps) const {
   if (window_seconds > 0.0) {
     summary.achieved_rps =
         static_cast<double>(completed_) / window_seconds;
+    summary.goodput_rps = static_cast<double>(goodput_) / window_seconds;
   }
+  summary.goodput = goodput_;
   summary.mean_us = overall_.mean().to_micros();
   summary.p50_us = overall_.quantile(0.50).to_micros();
   summary.p90_us = overall_.quantile(0.90).to_micros();

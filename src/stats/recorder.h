@@ -23,6 +23,11 @@ struct RunSummary {
   double p999_us = 0.0;
   double max_us = 0.0;
   std::uint64_t preemptions = 0; // total across the measurement window
+  /// Responses that met their deadline (== completed when deadlines are
+  /// off). Overload figures plot goodput_rps against achieved_rps to show
+  /// the hockey-stick vs graceful degradation (DESIGN §11).
+  std::uint64_t goodput = 0;
+  double goodput_rps = 0.0;
 };
 
 /// Collects client-side response records inside a measurement window
@@ -49,6 +54,7 @@ class LatencyRecorder {
 
   std::uint64_t issued_in_window() const { return issued_; }
   std::uint64_t completed_in_window() const { return completed_; }
+  std::uint64_t goodput_in_window() const { return goodput_; }
   std::uint64_t preemptions_observed() const { return preemptions_; }
 
   /// Called by the harness for every request issued (the recorder cannot see
@@ -66,6 +72,7 @@ class LatencyRecorder {
   std::map<std::uint16_t, Histogram> per_kind_;
   std::uint64_t issued_ = 0;
   std::uint64_t completed_ = 0;
+  std::uint64_t goodput_ = 0;
   std::uint64_t preemptions_ = 0;
 };
 

@@ -1,5 +1,6 @@
 #include "workload/client.h"
 
+#include <cmath>
 #include <utility>
 
 #include "obs/span.h"
@@ -31,6 +32,7 @@ ClientMachine::ClientMachine(sim::Simulator& sim,
       service_(std::move(service)),
       arrivals_(std::move(arrivals)),
       rng_(std::move(rng)),
+      retry_rng_(rng_.seed() ^ 0x9E3779B97F4A7C15ULL),
       nic_(sim, client_nic_config()) {
   interface_ = &nic_.add_interface("client" + std::to_string(config_.client_id),
                                    config_.mac, config_.ip);
@@ -56,13 +58,7 @@ void ClientMachine::issue_request() {
   const ServiceSample sample = service_->sample(rng_);
   const std::uint64_t request_id =
       (static_cast<std::uint64_t>(config_.client_id) << 40) | next_sequence_++;
-
-  proto::RequestMessage message;
-  message.request_id = request_id;
-  message.client_id = config_.client_id;
-  message.kind = sample.kind;
-  message.work_ps = static_cast<std::uint64_t>(sample.work.to_picos());
-  message.padding = config_.request_padding;
+  const overload::OverloadParams& overload = config_.overload;
 
   net::DatagramAddress address;
   address.src_mac = config_.mac;
@@ -77,20 +73,114 @@ void ClientMachine::issue_request() {
         config_.server_port + rng_.uniform_int(0, config_.partition_count - 1));
   }
 
-  pending_.emplace(request_id, Pending{sim_.now(), sample.work, sample.kind});
+  Pending pending{sim_.now(), sample.work, sample.kind,
+                  sim::TimePoint(),   {},    address,     {}};
+  if (overload.enabled && !overload.deadline.is_zero()) {
+    pending.deadline = sim_.now() + overload.deadline;
+  }
+  pending.attempts = 1;
+  auto [it, inserted] = pending_.emplace(request_id, std::move(pending));
   ++sent_;
   if (on_issue_) on_issue_(sim_.now());
   if (sim_.span_enabled()) {
     obs::begin_span(sim_, request_id, obs::SpanKind::kClientWire,
                     config_.client_id);
   }
-  interface_->transmit(net::make_udp_datagram(address, message.serialize()));
+  transmit_pending(request_id, it->second);
+  if (overload.enabled) arm_timer(request_id, it->second);
+}
+
+void ClientMachine::transmit_pending(std::uint64_t request_id,
+                                     const Pending& pending) {
+  proto::RequestMessage message;
+  message.request_id = request_id;
+  message.client_id = config_.client_id;
+  message.kind = pending.kind;
+  message.work_ps = static_cast<std::uint64_t>(pending.work.to_picos());
+  message.deadline_ps = pending.deadline == sim::TimePoint()
+                            ? 0
+                            : static_cast<std::uint64_t>(
+                                  pending.deadline.to_picos());
+  message.padding = config_.request_padding;
+  auto& scratch = proto::serialization_scratch();
+  message.serialize_into(scratch);
+  interface_->transmit(net::make_udp_datagram(pending.address, scratch));
+}
+
+void ClientMachine::arm_timer(std::uint64_t request_id, Pending& pending) {
+  const overload::OverloadParams& overload = config_.overload;
+  if (overload.retry_budget > 0) {
+    // Exponential backoff with deterministic per-client jitter. The jitter
+    // draw comes from retry_rng_, so the workload streams never shift.
+    sim::Duration delay =
+        overload.retry_timeout *
+        std::pow(overload.retry_backoff,
+                 static_cast<double>(pending.attempts - 1));
+    if (overload.retry_jitter > 0.0) {
+      delay = delay * (1.0 + retry_rng_.uniform(-overload.retry_jitter,
+                                                overload.retry_jitter));
+    }
+    pending.timer = sim_.after(delay, [this, request_id]() {
+      on_timer(request_id);
+    });
+  } else if (pending.deadline != sim::TimePoint()) {
+    // No retries: just expire the request locally at its deadline so the
+    // conservation identity closes at quiescence.
+    pending.timer = sim_.at(pending.deadline, [this, request_id]() {
+      on_timer(request_id);
+    });
+  }
+}
+
+void ClientMachine::on_timer(std::uint64_t request_id) {
+  auto it = pending_.find(request_id);
+  if (it == pending_.end()) return;
+  Pending& pending = it->second;
+  const overload::OverloadParams& overload = config_.overload;
+
+  const bool past_deadline = pending.deadline != sim::TimePoint() &&
+                             sim_.now() >= pending.deadline;
+  if (past_deadline) {
+    ++expired_;  // deadline passed with no response: stop retrying
+    pending_.erase(it);
+    return;
+  }
+  if (pending.attempts <= overload.retry_budget) {
+    ++pending.attempts;
+    ++retries_;
+    transmit_pending(request_id, pending);
+    arm_timer(request_id, pending);
+    return;
+  }
+  ++abandoned_;  // retry budget exhausted before the deadline
+  pending_.erase(it);
 }
 
 void ClientMachine::handle_rx() {
   while (auto packet = interface_->ring(0).pop()) {
     const auto datagram = net::parse_udp_datagram(*packet);
     if (!datagram) continue;
+    const auto type = proto::peek_type(datagram->payload);
+    if (!type) continue;
+
+    if (*type == proto::MessageType::kReject) {
+      const auto reject = proto::RejectMessage::parse(datagram->payload);
+      if (!reject) continue;
+      auto it = pending_.find(reject->request_id);
+      if (it == pending_.end()) {
+        ++duplicates_;  // raced a local expiry/abandonment
+        continue;
+      }
+      ++rejected_;  // explicit server backpressure: terminal, no retry
+      it->second.timer.cancel();
+      if (sim_.span_enabled()) {
+        obs::end_span(sim_, reject->request_id, obs::SpanKind::kResponse,
+                      config_.client_id);
+      }
+      pending_.erase(it);
+      continue;
+    }
+
     const auto response = proto::ResponseMessage::parse(datagram->payload);
     if (!response) continue;
 
@@ -101,20 +191,21 @@ void ClientMachine::handle_rx() {
     }
 
     ++received_;
+    it->second.timer.cancel();
     if (sim_.span_enabled()) {
       obs::end_span(sim_, response->request_id, obs::SpanKind::kResponse,
                     config_.client_id);
     }
-    if (on_response_) {
-      ResponseRecord record;
-      record.request_id = response->request_id;
-      record.kind = it->second.kind;
-      record.preempt_count = response->preempt_count;
-      record.sent_at = it->second.sent_at;
-      record.received_at = sim_.now();
-      record.work = it->second.work;
-      on_response_(record);
-    }
+    ResponseRecord record;
+    record.request_id = response->request_id;
+    record.kind = it->second.kind;
+    record.preempt_count = response->preempt_count;
+    record.sent_at = it->second.sent_at;
+    record.received_at = sim_.now();
+    record.work = it->second.work;
+    record.deadline = it->second.deadline;
+    if (record.within_deadline()) ++goodput_;
+    if (on_response_) on_response_(record);
     pending_.erase(it);
   }
 }

@@ -11,6 +11,7 @@
 
 #include "net/ethernet_switch.h"
 #include "net/nic.h"
+#include "overload/overload.h"
 #include "sim/random.h"
 #include "sim/simulator.h"
 #include "workload/arrival.h"
@@ -26,8 +27,14 @@ struct ResponseRecord {
   sim::TimePoint sent_at;
   sim::TimePoint received_at;
   sim::Duration work;
+  /// Absolute deadline the request was issued with; origin (0) = none.
+  sim::TimePoint deadline;
 
   sim::Duration latency() const { return received_at - sent_at; }
+  /// Goodput test: completed in time (deadline-less requests always count).
+  bool within_deadline() const {
+    return deadline == sim::TimePoint() || received_at <= deadline;
+  }
 };
 
 class ClientMachine {
@@ -54,6 +61,10 @@ class ClientMachine {
     std::uint16_t partition_count = 0;
     /// One-way propagation between this client machine and the ToR.
     sim::Duration wire_latency = sim::Duration::micros(2);
+    /// Overload-control knobs: per-request deadlines, timeout retries with
+    /// backoff + jitter, retry budget. Disabled by default; when disabled
+    /// the client's RNG draws and event sequence are untouched.
+    overload::OverloadParams overload;
   };
 
   using ResponseCallback = std::function<void(const ResponseRecord&)>;
@@ -84,23 +95,44 @@ class ClientMachine {
   /// reliable dispatch (the request was re-steered or the original worker
   /// revived and finished it twice). Conservation tests read this.
   std::uint64_t duplicates() const { return duplicates_; }
+  /// Completed within deadline (== received() when deadlines are off).
+  std::uint64_t goodput() const { return goodput_; }
+  /// Terminal outcomes besides completion; at quiescence
+  /// `sent == received + rejected + expired + abandoned + outstanding`.
+  std::uint64_t rejected() const { return rejected_; }
+  std::uint64_t expired() const { return expired_; }
+  std::uint64_t abandoned() const { return abandoned_; }
+  /// Timeout-triggered retransmissions (not counted in sent()).
+  std::uint64_t retries() const { return retries_; }
 
  private:
   struct Pending {
     sim::TimePoint sent_at;
     sim::Duration work;
     std::uint16_t kind;
+    sim::TimePoint deadline;       // origin = none
+    std::uint32_t attempts = 1;    // transmissions so far
+    net::DatagramAddress address;  // reused verbatim on retransmit
+    sim::EventHandle timer;        // retry/expiry timer
   };
 
   void schedule_next_arrival();
   void issue_request();
   void handle_rx();
+  void transmit_pending(std::uint64_t request_id, const Pending& pending);
+  void arm_timer(std::uint64_t request_id, Pending& pending);
+  void on_timer(std::uint64_t request_id);
 
   sim::Simulator& sim_;
   Config config_;
   std::shared_ptr<ServiceDistribution> service_;
   std::unique_ptr<ArrivalProcess> arrivals_;
   sim::Rng rng_;
+  /// Dedicated stream for retry-backoff jitter. Derived from the workload
+  /// stream's seed but never shared with it: enabling retries must not
+  /// perturb arrival/service/port draws, and runs with overload disabled
+  /// draw nothing from it at all.
+  sim::Rng retry_rng_;
   net::Nic nic_;
   net::NicInterface* interface_ = nullptr;
 
@@ -108,6 +140,11 @@ class ClientMachine {
   std::uint64_t sent_ = 0;
   std::uint64_t received_ = 0;
   std::uint64_t duplicates_ = 0;
+  std::uint64_t goodput_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::uint64_t expired_ = 0;
+  std::uint64_t abandoned_ = 0;
+  std::uint64_t retries_ = 0;
   std::uint64_t next_sequence_ = 0;
   std::unordered_map<std::uint64_t, Pending> pending_;
   ResponseCallback on_response_;

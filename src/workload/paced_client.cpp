@@ -55,11 +55,20 @@ void PacedClient::issue_request() {
   const std::uint64_t request_id =
       (static_cast<std::uint64_t>(config_.client_id) << 40) | next_sequence_++;
 
+  sim::TimePoint deadline;
+  if (config_.overload.enabled && !config_.overload.deadline.is_zero()) {
+    deadline = sim_.now() + config_.overload.deadline;
+  }
+
   proto::RequestMessage message;
   message.request_id = request_id;
   message.client_id = config_.client_id;
   message.kind = sample.kind;
   message.work_ps = static_cast<std::uint64_t>(sample.work.to_picos());
+  message.deadline_ps =
+      deadline == sim::TimePoint()
+          ? 0
+          : static_cast<std::uint64_t>(deadline.to_picos());
   message.padding = config_.request_padding;
 
   net::DatagramAddress address;
@@ -71,13 +80,16 @@ void PacedClient::issue_request() {
       config_.port_base + rng_.uniform_int(0, config_.flow_count - 1));
   address.dst_port = config_.server_port;
 
-  pending_.emplace(request_id, Pending{sim_.now(), sample.work, sample.kind});
+  pending_.emplace(request_id,
+                   Pending{sim_.now(), sample.work, sample.kind, deadline});
   ++sent_;
   if (sim_.span_enabled()) {
     obs::begin_span(sim_, request_id, obs::SpanKind::kClientWire,
                     config_.client_id);
   }
-  interface_->transmit(net::make_udp_datagram(address, message.serialize()));
+  auto& scratch = proto::serialization_scratch();
+  message.serialize_into(scratch);
+  interface_->transmit(net::make_udp_datagram(address, scratch));
 }
 
 void PacedClient::on_feedback(std::uint32_t queue_depth) {
@@ -94,6 +106,28 @@ void PacedClient::handle_rx() {
   while (auto packet = interface_->ring(0).pop()) {
     const auto datagram = net::parse_udp_datagram(*packet);
     if (!datagram) continue;
+    const auto type = proto::peek_type(datagram->payload);
+    if (!type) continue;
+
+    if (*type == proto::MessageType::kReject) {
+      const auto reject = proto::RejectMessage::parse(datagram->payload);
+      if (!reject) continue;
+      auto it = pending_.find(reject->request_id);
+      if (it == pending_.end()) continue;
+      ++rejected_;
+      // A rejection is the strongest congestion signal the server can send:
+      // treat it as loss-equivalent (multiplicative decrease), not as a
+      // completion that would grow the window.
+      last_depth_ = reject->queue_depth;
+      window_ = std::max(1.0, window_ * config_.multiplicative_decrease);
+      if (sim_.span_enabled()) {
+        obs::end_span(sim_, reject->request_id, obs::SpanKind::kResponse,
+                      config_.client_id);
+      }
+      pending_.erase(it);
+      continue;
+    }
+
     const auto response = proto::ResponseMessage::parse(datagram->payload);
     if (!response) continue;
 
@@ -106,16 +140,16 @@ void PacedClient::handle_rx() {
                     config_.client_id);
     }
     on_feedback(response->queue_depth);
-    if (on_response_) {
-      ResponseRecord record;
-      record.request_id = response->request_id;
-      record.kind = it->second.kind;
-      record.preempt_count = response->preempt_count;
-      record.sent_at = it->second.sent_at;
-      record.received_at = sim_.now();
-      record.work = it->second.work;
-      on_response_(record);
-    }
+    ResponseRecord record;
+    record.request_id = response->request_id;
+    record.kind = it->second.kind;
+    record.preempt_count = response->preempt_count;
+    record.sent_at = it->second.sent_at;
+    record.received_at = sim_.now();
+    record.work = it->second.work;
+    record.deadline = it->second.deadline;
+    if (record.within_deadline()) ++goodput_;
+    if (on_response_) on_response_(record);
     pending_.erase(it);
   }
   fill_window();

@@ -39,6 +39,10 @@ class PacedClient {
     std::uint16_t request_padding = 24;
     /// One-way propagation between this client machine and the ToR.
     sim::Duration wire_latency = sim::Duration::micros(2);
+    /// Overload-control knobs. The closed loop needs no retry machinery —
+    /// a kReject completes the window slot and doubles as a congestion
+    /// signal — so only deadlines (goodput) and reject handling apply.
+    overload::OverloadParams overload;
 
     /// Congestion-control parameters.
     std::uint32_t target_queue_depth = 4;  // standing queue to aim for
@@ -63,6 +67,10 @@ class PacedClient {
   std::uint64_t sent() const { return sent_; }
   std::uint64_t received() const { return received_; }
   std::uint64_t outstanding() const { return pending_.size(); }
+  /// Completed within deadline (== received() when deadlines are off).
+  std::uint64_t goodput() const { return goodput_; }
+  /// Admission-control rejections (each also triggers a window decrease).
+  std::uint64_t rejected() const { return rejected_; }
   double window() const { return window_; }
   std::uint32_t last_reported_depth() const { return last_depth_; }
 
@@ -71,6 +79,7 @@ class PacedClient {
     sim::TimePoint sent_at;
     sim::Duration work;
     std::uint16_t kind;
+    sim::TimePoint deadline;  // origin = none
   };
 
   void fill_window();
@@ -90,6 +99,8 @@ class PacedClient {
   std::uint32_t last_depth_ = 0;
   std::uint64_t sent_ = 0;
   std::uint64_t received_ = 0;
+  std::uint64_t goodput_ = 0;
+  std::uint64_t rejected_ = 0;
   std::uint64_t next_sequence_ = 0;
   std::unordered_map<std::uint64_t, Pending> pending_;
   ResponseCallback on_response_;

@@ -38,6 +38,8 @@ void expect_summary_identical(const stats::RunSummary& a,
   EXPECT_EQ(a.p999_us, b.p999_us);
   EXPECT_EQ(a.max_us, b.max_us);
   EXPECT_EQ(a.preemptions, b.preemptions);
+  EXPECT_EQ(a.goodput, b.goodput);
+  EXPECT_EQ(a.goodput_rps, b.goodput_rps);
 }
 
 void expect_row_identical(const exp::ResultRow& a, const exp::ResultRow& b) {
@@ -65,6 +67,11 @@ void expect_row_identical(const exp::ResultRow& a, const exp::ResultRow& b) {
   EXPECT_EQ(a.server.reliability.worker_deaths,
             b.server.reliability.worker_deaths);
   EXPECT_EQ(a.server.reliability.revivals, b.server.reliability.revivals);
+  EXPECT_EQ(a.server.overload.admitted, b.server.overload.admitted);
+  EXPECT_EQ(a.server.overload.rejected, b.server.overload.rejected);
+  EXPECT_EQ(a.server.overload.shed_expired, b.server.overload.shed_expired);
+  EXPECT_EQ(a.server.overload.k_shrinks, b.server.overload.k_shrinks);
+  EXPECT_EQ(a.server.overload.k_restores, b.server.overload.k_restores);
   EXPECT_EQ(a.mean_worker_utilization, b.mean_worker_utilization);
 }
 
@@ -162,6 +169,13 @@ exp::ResultRow sample_row() {
   row.server.reliability.duplicates = 9;
   row.server.reliability.worker_deaths = 1;
   row.server.reliability.revivals = 1;
+  row.summary.goodput = 9'500;
+  row.summary.goodput_rps = 95000.000000456;
+  row.server.overload.admitted = 10'020;
+  row.server.overload.rejected = 30;
+  row.server.overload.shed_expired = 11;
+  row.server.overload.k_shrinks = 6;
+  row.server.overload.k_restores = 4;
   row.mean_worker_utilization = (0.91 + 0.875 + 1.0 / 3.0) / 3.0;
   return row;
 }

@@ -162,6 +162,46 @@ TEST(FaultReplay, RetransmissionPathReplaysBitForBit) {
   expect_identical(first, second);
 }
 
+TEST(FaultReplay, RetriesWithJitterReplayBitForBit) {
+  // Overload-control determinism (DESIGN §11): client retries draw backoff
+  // jitter from a dedicated per-client RNG, so a run that loses requests on
+  // the ingress wire — forcing timeout retransmissions with jittered
+  // backoff — must still replay bit for bit, counter for counter.
+  auto config = base_config(core::SystemKind::kShinjukuOffload, false);
+  overload::OverloadParams params;
+  params.enabled = true;
+  params.retry_budget = 3;
+  params.retry_jitter = 0.25;
+  config.with_overload(params);
+  fault::FaultSchedule schedule;
+  schedule.with_seed(13).ingress_loss(at_ms(1), at_ms(13), 0.03);
+  config.with_faults(schedule);
+
+  const Replay first = run_once(config);
+  const Replay second = run_once(config);
+  ASSERT_GT(first.result.clients.retries, 0u)
+      << "ingress loss never exercised the retry path";
+  expect_identical(first, second);
+
+  // The client-side overload accounting replays exactly too.
+  const auto& ca = first.result.clients;
+  const auto& cb = second.result.clients;
+  EXPECT_EQ(ca.sent, cb.sent);
+  EXPECT_EQ(ca.completed, cb.completed);
+  EXPECT_EQ(ca.goodput, cb.goodput);
+  EXPECT_EQ(ca.rejected, cb.rejected);
+  EXPECT_EQ(ca.expired, cb.expired);
+  EXPECT_EQ(ca.abandoned, cb.abandoned);
+  EXPECT_EQ(ca.outstanding, cb.outstanding);
+  EXPECT_EQ(ca.retries, cb.retries);
+  EXPECT_EQ(ca.duplicates, cb.duplicates);
+  EXPECT_EQ(first.result.summary.goodput, second.result.summary.goodput);
+  EXPECT_TRUE(first.result.server.overload == second.result.server.overload);
+  // At quiescence every issued request is accounted for exactly once.
+  EXPECT_EQ(ca.sent, ca.completed + ca.rejected + ca.expired + ca.abandoned +
+                         ca.outstanding);
+}
+
 TEST(FaultReplay, NoScheduleMatchesPlainBaselineBitForBit) {
   // Zero-cost contract: a config that threads the fault machinery but
   // installs nothing (empty schedule, reliability off) is indistinguishable

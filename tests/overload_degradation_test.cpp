@@ -1,0 +1,203 @@
+// Overload control acceptance tests (DESIGN §11).
+//
+// The headline contract: at 2x saturation the informed dispatcher (EWMA
+// admission + deadline shedding + adaptive-K) keeps goodput >= 70 % of its
+// peak, while the same system with the counter-measures disabled collapses
+// below 30 % — the hockey-stick the subsystem exists to remove. Plus the
+// composition and accounting guarantees around it:
+//
+//  * the client conservation identity holds exactly at the end of a run:
+//      sent == completed + rejected + expired + abandoned + outstanding
+//  * adaptive-K composes with PR 3 fault injection: a mid-run worker stall
+//    shrinks K and sheds load without losing a single non-shed request;
+//  * an explicit all-off OverloadParams is indistinguishable from leaving
+//    the config field unset (the env-resolution path) — the feature is
+//    genuinely inert by default.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <vector>
+
+#include "core/testbed.h"
+#include "fault/fault_schedule.h"
+#include "overload/overload.h"
+
+namespace nicsched {
+namespace {
+
+// 4 workers x 5 us fixed service: capacity 800 kRPS, so 1.6 MRPS is 2x
+// saturation. Mirrors examples/overload_sweep.cpp.
+constexpr double kCapacityRps = 800e3;
+
+core::ExperimentConfig base_config(std::uint64_t seed) {
+  return core::ExperimentConfig::offload()
+      .workers(4)
+      .outstanding(4)
+      .fixed_5us()
+      .samples(20'000)
+      .with_seed(seed);
+}
+
+overload::OverloadParams informed_params() {
+  overload::OverloadParams params;
+  params.enabled = true;  // admission/shedding/adaptive-K on by default
+  return params;
+}
+
+overload::OverloadParams no_control_params() {
+  overload::OverloadParams params;
+  params.enabled = true;  // deadlines tagged, nothing enforced
+  params.admission_enabled = false;
+  params.shedding_enabled = false;
+  params.adaptive_k_enabled = false;
+  return params;
+}
+
+std::vector<std::uint64_t> seeds() {
+  if (std::getenv("NICSCHED_FAST") != nullptr) return {1};
+  return {1, 2, 3};
+}
+
+void expect_conserved(const core::ExperimentResult::ClientTotals& t) {
+  EXPECT_EQ(t.sent, t.completed + t.rejected + t.expired + t.abandoned +
+                        t.outstanding);
+}
+
+TEST(OverloadDegradation, InformedControlKeepsGoodputAtTwiceSaturation) {
+  for (const std::uint64_t seed : seeds()) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    const auto near_peak = core::run_experiment(
+        base_config(seed).load(0.875 * kCapacityRps).with_overload(
+            informed_params()));
+    const auto informed = core::run_experiment(
+        base_config(seed).load(2.0 * kCapacityRps).with_overload(
+            informed_params()));
+    const auto uncontrolled = core::run_experiment(
+        base_config(seed).load(2.0 * kCapacityRps).with_overload(
+            no_control_params()));
+
+    const double peak = std::max(near_peak.summary.goodput_rps,
+                                 informed.summary.goodput_rps);
+    ASSERT_GT(peak, 0.0);
+    // ISSUE acceptance: informed control holds >= 70 % of peak goodput at
+    // 2x saturation; without it goodput collapses below 30 %.
+    EXPECT_GE(informed.summary.goodput_rps, 0.70 * peak);
+    EXPECT_LT(uncontrolled.summary.goodput_rps, 0.30 * peak);
+    // The informed run sheds explicitly: rejects on the wire, and the
+    // accepted remainder completes inside the deadline.
+    EXPECT_GT(informed.server.overload.rejected, 0u);
+    EXPECT_EQ(uncontrolled.server.overload.rejected, 0u);
+    expect_conserved(informed.clients);
+    expect_conserved(uncontrolled.clients);
+  }
+}
+
+TEST(OverloadDegradation, ConservationIdentityHoldsWithRetriesAndJitter) {
+  // Retries + backoff jitter exercise every client-side counter at once:
+  // timeouts fire (p99 under 2x overload exceeds the 100 us retry timeout),
+  // rejections terminate retry chains, and the budget abandons the rest.
+  overload::OverloadParams params = informed_params();
+  params.retry_budget = 2;
+  const auto result = core::run_experiment(
+      base_config(7).load(2.0 * kCapacityRps).with_overload(params));
+
+  const auto& t = result.clients;
+  ASSERT_GT(t.sent, 10'000u);
+  EXPECT_GT(t.rejected, 0u);
+  EXPECT_GT(t.retries, 0u);
+  expect_conserved(t);
+}
+
+TEST(OverloadDegradation, AdaptiveKComposesWithMidRunWorkerStall) {
+  // PR 3 composition: repeated 300 us stalls on one worker mid-measurement.
+  // With unreliable dispatch there is no liveness watchdog, so the stalled
+  // worker survives, drains its local backlog after each stall, and
+  // piggybacks ~300 us sojourn samples that drive the adaptive-K governor
+  // over its 40 us shrink limit; once the backlog clears the samples fall
+  // back and K is restored. Requests stuck behind the stall blow the 200 us
+  // deadline and are shed at dispatch. Through all of it the conservation
+  // identity must hold exactly — faults may shed or expire requests, never
+  // lose one.
+  fault::FaultSchedule schedule;
+  for (int i = 0; i < 4; ++i) {
+    schedule.stall_worker(sim::TimePoint::origin() +
+                              sim::Duration::millis(10 + i),
+                          0, sim::Duration::micros(300));
+  }
+
+  const auto result = core::run_experiment(base_config(5)
+                                               .load(0.75 * kCapacityRps)
+                                               .with_faults(schedule)
+                                               .with_overload(informed_params()));
+
+  ASSERT_GT(result.clients.sent, 10'000u);
+  EXPECT_GT(result.server.overload.k_shrinks, 0u)
+      << "the stall backlog never tripped the sojourn governor";
+  EXPECT_GT(result.server.overload.k_restores, 0u)
+      << "capacity was never restored after the backlog drained";
+  EXPECT_GT(result.server.overload.shed_expired, 0u)
+      << "no already-expired request was shed at dispatch";
+  expect_conserved(result.clients);
+}
+
+TEST(OverloadDegradation, AdaptiveKComposesWithReliableReSteer) {
+  // The same stalls under reliable dispatch (DESIGN §9): now the liveness
+  // detector declares the stalled worker dead after consecutive RTO misses
+  // and re-steers its in-flight assignments, and the adaptive-K governor
+  // forgets the dead worker's sojourn history so its revival restarts from
+  // full capacity. Recovery machinery plus overload control together must
+  // still account for every request.
+  fault::FaultSchedule schedule;
+  for (int i = 0; i < 3; ++i) {
+    schedule.stall_worker(sim::TimePoint::origin() +
+                              sim::Duration::millis(10 + 2 * i),
+                          0, sim::Duration::micros(300));
+  }
+
+  const auto result = core::run_experiment(base_config(5)
+                                               .load(0.75 * kCapacityRps)
+                                               .reliable()
+                                               .with_faults(schedule)
+                                               .with_overload(informed_params()));
+
+  ASSERT_GT(result.clients.sent, 10'000u);
+  EXPECT_GT(result.server.reliability.worker_deaths, 0u);
+  EXPECT_GT(result.server.reliability.redispatched, 0u);
+  // Re-steer loses nothing: everything the clients sent is accounted for.
+  expect_conserved(result.clients);
+  EXPECT_EQ(result.clients.outstanding, 0u);
+  EXPECT_EQ(result.clients.abandoned, 0u);
+}
+
+TEST(OverloadDegradation, ExplicitlyDisabledMatchesUnsetConfig) {
+  // Leaving `overload` unset resolves via the NICSCHED_OVERLOAD_* env
+  // contract; with a clean environment that is all-off. Both paths must
+  // produce the same run, and an all-off run must show zero overload
+  // activity with goodput degenerating to plain completions.
+  const auto unset = core::run_experiment(base_config(3).load(600e3));
+  const auto disabled = core::run_experiment(
+      base_config(3).load(600e3).with_overload(overload::OverloadParams{}));
+
+  EXPECT_EQ(unset.summary.completed, disabled.summary.completed);
+  EXPECT_EQ(unset.summary.goodput, disabled.summary.goodput);
+  EXPECT_EQ(unset.summary.p50_us, disabled.summary.p50_us);
+  EXPECT_EQ(unset.summary.p99_us, disabled.summary.p99_us);
+  EXPECT_EQ(unset.server.requests_received, disabled.server.requests_received);
+  EXPECT_EQ(unset.server.responses_sent, disabled.server.responses_sent);
+  EXPECT_TRUE(unset.server.overload == disabled.server.overload);
+  EXPECT_EQ(unset.events_fired, disabled.events_fired);
+
+  // Inert means inert: no rejects, no shedding, no K movement, and every
+  // completion counts as goodput because no deadline was assigned.
+  EXPECT_EQ(disabled.server.overload.rejected, 0u);
+  EXPECT_EQ(disabled.server.overload.shed_expired, 0u);
+  EXPECT_EQ(disabled.server.overload.k_shrinks, 0u);
+  EXPECT_EQ(disabled.summary.goodput, disabled.summary.completed);
+  EXPECT_EQ(disabled.clients.rejected, 0u);
+  EXPECT_EQ(disabled.clients.expired, 0u);
+  expect_conserved(disabled.clients);
+}
+
+}  // namespace
+}  // namespace nicsched

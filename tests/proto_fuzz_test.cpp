@@ -38,6 +38,7 @@ TEST_P(ProtoFuzz, RandomBytesNeverCrashAnyParser) {
     (void)proto::AckMessage::parse(bytes, proto::MessageType::kDispatchAck);
     (void)proto::AckMessage::parse(bytes, proto::MessageType::kNoteAck);
     (void)proto::SequencedNote::parse(bytes);
+    (void)proto::RejectMessage::parse(bytes);
     (void)net::parse_udp_datagram(net::Packet(bytes));
   }
 }
@@ -144,6 +145,123 @@ TEST_P(ProtoFuzz, TruncationsOfValidMessagesAreRejectedNotCrashing) {
   EXPECT_TRUE(proto::RequestDescriptor::parse(full,
                                               proto::MessageType::kAssignment)
                   .has_value());
+}
+
+TEST_P(ProtoFuzz, TruncationsOfExtendedAndRejectMessagesAreRejected) {
+  // Version-2 frames (DESIGN §11) are fixed-size per version: a truncated
+  // extended frame must be rejected outright, never mis-parsed as its
+  // shorter version-1 layout with the extended fields silently dropped.
+  proto::RequestMessage request;
+  request.request_id = 7;
+  request.work_ps = 123;
+  request.deadline_ps = 99'000'000;  // forces version 2
+  request.padding = 16;
+  const auto request_bytes = request.serialize();
+  for (std::size_t len = 0; len < request_bytes.size(); ++len) {
+    auto truncated = request_bytes;
+    truncated.resize(len);
+    EXPECT_FALSE(proto::RequestMessage::parse(truncated).has_value())
+        << "accepted a " << len << "-byte truncation";
+  }
+  const auto request_parsed = proto::RequestMessage::parse(request_bytes);
+  ASSERT_TRUE(request_parsed.has_value());
+  EXPECT_EQ(*request_parsed, request);
+
+  proto::RequestDescriptor descriptor;
+  descriptor.request_id = 7;
+  descriptor.remaining_ps = 123;
+  descriptor.deadline_ps = 99'000'000;
+  const auto descriptor_bytes =
+      descriptor.serialize(proto::MessageType::kAssignment);
+  for (std::size_t len = 0; len < descriptor_bytes.size(); ++len) {
+    auto truncated = descriptor_bytes;
+    truncated.resize(len);
+    EXPECT_FALSE(proto::RequestDescriptor::parse(
+                     truncated, proto::MessageType::kAssignment)
+                     .has_value())
+        << "accepted a " << len << "-byte truncation";
+  }
+  const auto descriptor_parsed = proto::RequestDescriptor::parse(
+      descriptor_bytes, proto::MessageType::kAssignment);
+  ASSERT_TRUE(descriptor_parsed.has_value());
+  EXPECT_EQ(*descriptor_parsed, descriptor);
+
+  proto::CompletionMessage completion;
+  completion.request_id = 9;
+  completion.worker_id = 1;
+  completion.has_sojourn = true;
+  completion.sojourn_ps = 0;  // zero sample is legitimate and must survive
+  const auto completion_bytes = completion.serialize();
+  for (std::size_t len = 0; len < completion_bytes.size(); ++len) {
+    auto truncated = completion_bytes;
+    truncated.resize(len);
+    EXPECT_FALSE(proto::CompletionMessage::parse(truncated).has_value())
+        << "accepted a " << len << "-byte truncation";
+  }
+  const auto completion_parsed =
+      proto::CompletionMessage::parse(completion_bytes);
+  ASSERT_TRUE(completion_parsed.has_value());
+  EXPECT_EQ(*completion_parsed, completion);
+
+  proto::SequencedNote note;
+  note.seq = 12;
+  note.worker_id = 2;
+  note.descriptor = descriptor;
+  note.has_sojourn = true;
+  note.sojourn_ps = 44'000'000;
+  const auto note_bytes = note.serialize();
+  for (std::size_t len = 0; len < note_bytes.size(); ++len) {
+    auto truncated = note_bytes;
+    truncated.resize(len);
+    EXPECT_FALSE(proto::SequencedNote::parse(truncated).has_value())
+        << "accepted a " << len << "-byte truncation";
+  }
+  const auto note_parsed = proto::SequencedNote::parse(note_bytes);
+  ASSERT_TRUE(note_parsed.has_value());
+  EXPECT_EQ(*note_parsed, note);
+
+  proto::RejectMessage reject;
+  reject.request_id = 5;
+  reject.client_id = 3;
+  reject.queue_depth = 512;
+  const auto reject_bytes = reject.serialize();
+  for (std::size_t len = 0; len < reject_bytes.size(); ++len) {
+    auto truncated = reject_bytes;
+    truncated.resize(len);
+    EXPECT_FALSE(proto::RejectMessage::parse(truncated).has_value())
+        << "accepted a " << len << "-byte truncation";
+  }
+  const auto reject_parsed = proto::RejectMessage::parse(reject_bytes);
+  ASSERT_TRUE(reject_parsed.has_value());
+  EXPECT_EQ(*reject_parsed, reject);
+}
+
+TEST_P(ProtoFuzz, CorruptedSojournFlagBytesAreRejectedNotCrashing) {
+  // The explicit sojourn-presence flag must be 0 or 1; every other value is
+  // a corrupted frame and must fail the parse, whatever the rest holds.
+  proto::CompletionMessage completion;
+  completion.request_id = 9;
+  completion.has_sojourn = true;
+  completion.sojourn_ps = 1'000'000;
+  auto completion_bytes = completion.serialize();
+  const std::size_t completion_flag = 4 + 8 + 4;  // header + id + worker
+
+  proto::SequencedNote note;
+  note.seq = 12;
+  note.has_sojourn = true;
+  auto note_bytes = note.serialize();
+  const std::size_t note_flag = 4 + 8 + 4 + 1;  // header + seq + worker + flag
+
+  sim::Rng rng(GetParam() + 3000);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto bad = static_cast<std::uint8_t>(rng.uniform_int(2, 255));
+    completion_bytes[completion_flag] = bad;
+    EXPECT_FALSE(proto::CompletionMessage::parse(completion_bytes).has_value())
+        << "accepted sojourn flag " << int(bad);
+    note_bytes[note_flag] = bad;
+    EXPECT_FALSE(proto::SequencedNote::parse(note_bytes).has_value())
+        << "accepted sojourn flag " << int(bad);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ProtoFuzz, ::testing::Values(1, 2, 3, 4));

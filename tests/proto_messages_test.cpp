@@ -42,6 +42,40 @@ TEST(RequestMessage, PaddingControlsWireSize) {
   EXPECT_EQ(large.serialize().size() - small.serialize().size(), 996u);
 }
 
+TEST(RequestMessage, DeadlineForcesVersion2AndRoundTrips) {
+  RequestMessage message;
+  message.request_id = 99;
+  message.work_ps = 5'000'000;
+  message.deadline_ps = 777'000'000;
+  message.padding = 8;
+
+  const auto bytes = message.serialize();
+  EXPECT_EQ(bytes[2], kVersionExtended);
+  EXPECT_EQ(bytes.size(), 4u + 32u + 8u);  // header + v2 body + padding
+  const auto parsed = RequestMessage::parse(bytes);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, message);
+
+  // Zero deadline emits the legacy version-1 frame bit for bit — overload
+  // control off means nothing changes on the wire.
+  message.deadline_ps = 0;
+  const auto v1 = message.serialize();
+  EXPECT_EQ(v1[2], kVersion);
+  EXPECT_EQ(v1.size(), 4u + 24u + 8u);
+}
+
+TEST(RequestMessage, TruncatedVersion2NeverAliasesToVersion1) {
+  RequestMessage message;
+  message.deadline_ps = 1;
+  message.padding = 0;
+  auto bytes = message.serialize();
+  // Cut the frame down to exactly the version-1 size: the header still says
+  // version 2, so the fixed v2 layout no longer fits and the parse fails
+  // rather than silently dropping the deadline.
+  bytes.resize(4 + 24 + 2);
+  EXPECT_FALSE(RequestMessage::parse(bytes).has_value());
+}
+
 TEST(RequestMessage, ParseRejectsTruncatedPadding) {
   RequestMessage message;
   message.padding = 100;
@@ -76,6 +110,74 @@ TEST(CompletionMessage, RoundTrip) {
   const auto parsed = CompletionMessage::parse(message.serialize());
   ASSERT_TRUE(parsed.has_value());
   EXPECT_EQ(*parsed, message);
+}
+
+TEST(RequestDescriptor, DeadlineForcesVersion2AndRoundTrips) {
+  RequestDescriptor descriptor = sample_descriptor();
+  descriptor.deadline_ps = 321'000'000;
+  for (const MessageType type :
+       {MessageType::kAssignment, MessageType::kPreemption}) {
+    const auto bytes = descriptor.serialize(type);
+    EXPECT_EQ(bytes[2], kVersionExtended);
+    EXPECT_EQ(bytes.size(), 4u + 48u + 8u);  // header + v1 body + deadline
+    const auto parsed = RequestDescriptor::parse(bytes, type);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, descriptor);
+  }
+  // Without a deadline the legacy frame is emitted unchanged.
+  descriptor.deadline_ps = 0;
+  EXPECT_EQ(descriptor.serialize(MessageType::kAssignment)[2], kVersion);
+}
+
+TEST(CompletionMessage, SojournSampleRoundTripsIncludingZero) {
+  // Presence is an explicit flag: a zero-valued sample (idle worker — what
+  // restores adaptive-K) must be distinguishable from "no sample".
+  CompletionMessage message;
+  message.request_id = 12345;
+  message.worker_id = 9;
+  message.has_sojourn = true;
+  for (const std::uint64_t sojourn :
+       {std::uint64_t{0}, std::uint64_t{44'000'000}}) {
+    message.sojourn_ps = sojourn;
+    const auto bytes = message.serialize();
+    EXPECT_EQ(bytes[2], kVersionExtended);
+    const auto parsed = CompletionMessage::parse(bytes);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, message);
+    EXPECT_TRUE(parsed->has_sojourn);
+  }
+  message.has_sojourn = false;
+  message.sojourn_ps = 0;
+  const auto v1 = message.serialize();
+  EXPECT_EQ(v1[2], kVersion);
+  const auto parsed = CompletionMessage::parse(v1);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_FALSE(parsed->has_sojourn);
+}
+
+TEST(CompletionMessage, CorruptedSojournFlagRejected) {
+  CompletionMessage message;
+  message.has_sojourn = true;
+  auto bytes = message.serialize();
+  bytes[4 + 8 + 4] = 2;  // flag byte after header + request_id + worker_id
+  EXPECT_FALSE(CompletionMessage::parse(bytes).has_value());
+}
+
+TEST(RejectMessage, RoundTripAndPeek) {
+  RejectMessage message;
+  message.request_id = 0xABCDEF01ULL;
+  message.client_id = 6;
+  message.kind = 2;
+  message.queue_depth = 513;
+  const auto bytes = message.serialize();
+  EXPECT_EQ(peek_type(bytes), MessageType::kReject);
+  const auto parsed = RejectMessage::parse(bytes);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, message);
+
+  auto truncated = bytes;
+  truncated.resize(truncated.size() - 1);
+  EXPECT_FALSE(RejectMessage::parse(truncated).has_value());
 }
 
 TEST(ResponseMessage, RoundTrip) {
@@ -140,6 +242,76 @@ TEST(SequencedNote, RoundTripCompletionAndPreemption) {
     ASSERT_TRUE(parsed.has_value());
     EXPECT_EQ(*parsed, message);
   }
+}
+
+TEST(SequencedNote, SojournAndDeadlineRoundTripAsVersion2) {
+  SequencedNote message;
+  message.seq = 0x1122334455667788ULL;
+  message.worker_id = 6;
+  message.descriptor = sample_descriptor();
+  message.descriptor.deadline_ps = 200'000'000;
+  message.has_sojourn = true;
+  message.sojourn_ps = 17'000'000;
+  const auto bytes = message.serialize();
+  EXPECT_EQ(bytes[2], kVersionExtended);
+  const auto parsed = SequencedNote::parse(bytes);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, message);
+  // A sojourn sample alone (no deadline) still promotes the frame.
+  message.descriptor.deadline_ps = 0;
+  EXPECT_EQ(message.serialize()[2], kVersionExtended);
+  // Neither extended field → the legacy frame, unchanged.
+  message.has_sojourn = false;
+  message.sojourn_ps = 0;
+  EXPECT_EQ(message.serialize()[2], kVersion);
+}
+
+TEST(AllMessages, ScratchSerializeIntoMatchesOwningSerialize) {
+  // The hot-path serialize_into(scratch) contract: identical bytes to the
+  // owning serialize(), for both frame versions.
+  auto& scratch = serialization_scratch();
+
+  RequestMessage request;
+  request.request_id = 5;
+  request.padding = 12;
+  for (const std::uint64_t deadline :
+       {std::uint64_t{0}, std::uint64_t{9'000'000}}) {
+    request.deadline_ps = deadline;
+    request.serialize_into(scratch);
+    EXPECT_EQ(scratch, request.serialize());
+  }
+
+  RequestDescriptor descriptor = sample_descriptor();
+  descriptor.deadline_ps = 9'000'000;
+  descriptor.serialize_into(MessageType::kPreemption, scratch);
+  EXPECT_EQ(scratch, descriptor.serialize(MessageType::kPreemption));
+
+  CompletionMessage completion;
+  completion.request_id = 5;
+  completion.has_sojourn = true;
+  completion.serialize_into(scratch);
+  EXPECT_EQ(scratch, completion.serialize());
+
+  SequencedNote note;
+  note.seq = 3;
+  note.descriptor = descriptor;
+  note.serialize_into(scratch);
+  EXPECT_EQ(scratch, note.serialize());
+
+  RejectMessage reject;
+  reject.request_id = 5;
+  reject.serialize_into(scratch);
+  EXPECT_EQ(scratch, reject.serialize());
+
+  ResponseMessage response;
+  response.request_id = 5;
+  response.serialize_into(scratch);
+  EXPECT_EQ(scratch, response.serialize());
+
+  AckMessage ack;
+  ack.seq = 8;
+  ack.serialize_into(MessageType::kNoteAck, scratch);
+  EXPECT_EQ(scratch, ack.serialize(MessageType::kNoteAck));
 }
 
 TEST(SequencedNote, ParseRejectsBadFlagAndTruncation) {

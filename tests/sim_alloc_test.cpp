@@ -20,8 +20,10 @@
 #include <cstdlib>
 #include <new>
 
+#include "hw/channel.h"
 #include "net/packet.h"
 #include "net/packet_pool.h"
+#include "proto/messages.h"
 #include "sim/simulator.h"
 #include "sim/small_fn.h"
 
@@ -151,6 +153,103 @@ TEST(SimAlloc, PacketBuildParseRoundTripIsAllocationFree) {
   EXPECT_EQ(after - before, 0u)
       << "steady-state frames must recycle pooled buffers";
   EXPECT_EQ(parsed, 10'000u);
+}
+
+// The dispatch hop: descriptor-sized messages through a MessageChannel. The
+// grow-only ring must absorb steady-state send/pop churn without touching the
+// heap — the deque-node churn *and* the per-send closure spill (a captured
+// descriptor exceeds SmallFn's inline buffer) both used to allocate here.
+TEST(SimAlloc, MessageChannelSteadyStateIsAllocationFree) {
+  sim::Simulator sim;
+  hw::MessageChannel<proto::RequestDescriptor> channel(
+      sim, sim::Duration::nanos(500));
+  std::uint64_t received = 0;
+  channel.set_on_message([&channel, &received]() {
+    while (auto descriptor = channel.pop()) {
+      received += descriptor->request_id != 0 ? 1 : 1;
+    }
+  });
+
+  std::uint64_t next_id = 1;
+  std::function<void()> produce = [&]() {
+    proto::RequestDescriptor descriptor;
+    descriptor.request_id = next_id++;
+    descriptor.remaining_ps = 5'000'000;
+    channel.send(descriptor);
+    sim.after(sim::Duration::nanos(200), [&produce]() { produce(); });
+  };
+  produce();
+  sim.run_for(sim::Duration::micros(20));  // warm the ring past its high-water
+
+  const std::uint64_t before = allocation_count();
+  sim.run_for(sim::Duration::millis(1));
+  const std::uint64_t after = allocation_count();
+
+  EXPECT_EQ(after - before, 0u)
+      << "steady-state channel traffic must recycle the ring";
+  EXPECT_GE(received, 4'000u);
+}
+
+// The TX hot path: serialize_into the thread-local scratch, wrap in a frame,
+// parse it back. Covers every message family the servers emit per request.
+TEST(SimAlloc, ScratchSerializationRoundTripIsAllocationFree) {
+  net::DatagramAddress address;
+  address.src_mac = net::MacAddress::from_index(3);
+  address.dst_mac = net::MacAddress::from_index(4);
+  address.src_ip = net::Ipv4Address(10, 0, 0, 3);
+  address.dst_ip = net::Ipv4Address(10, 0, 0, 4);
+  address.src_port = 41'000;
+  address.dst_port = 8'080;
+
+  proto::RequestMessage request;
+  request.request_id = 7;
+  request.work_ps = 5'000'000;
+  request.deadline_ps = 123'456'789;  // forces the larger v2 layout
+  request.padding = 24;
+  proto::RequestDescriptor descriptor;
+  descriptor.request_id = 7;
+  descriptor.remaining_ps = 5'000'000;
+  proto::CompletionMessage completion;
+  completion.request_id = 7;
+  completion.has_sojourn = true;
+  completion.sojourn_ps = 1'000'000;
+  proto::ResponseMessage response;
+  response.request_id = 7;
+  proto::RejectMessage reject;
+  reject.request_id = 7;
+  reject.queue_depth = 512;
+
+  auto& scratch = proto::serialization_scratch();
+  auto transmit_all = [&]() {
+    std::uint64_t ok = 0;
+    request.serialize_into(scratch);
+    ok += net::parse_udp_datagram(net::make_udp_datagram(address, scratch))
+              .has_value();
+    descriptor.serialize_into(proto::MessageType::kAssignment, scratch);
+    ok += net::parse_udp_datagram(net::make_udp_datagram(address, scratch))
+              .has_value();
+    completion.serialize_into(scratch);
+    ok += net::parse_udp_datagram(net::make_udp_datagram(address, scratch))
+              .has_value();
+    response.serialize_into(scratch);
+    ok += net::parse_udp_datagram(net::make_udp_datagram(address, scratch))
+              .has_value();
+    reject.serialize_into(scratch);
+    ok += net::parse_udp_datagram(net::make_udp_datagram(address, scratch))
+              .has_value();
+    return ok;
+  };
+
+  for (int i = 0; i < 16; ++i) transmit_all();  // warm scratch + packet pool
+
+  const std::uint64_t before = allocation_count();
+  std::uint64_t parsed = 0;
+  for (int i = 0; i < 10'000; ++i) parsed += transmit_all();
+  const std::uint64_t after = allocation_count();
+
+  EXPECT_EQ(after - before, 0u)
+      << "scratch serialization must reuse the thread-local buffer";
+  EXPECT_EQ(parsed, 50'000u);
 }
 
 // Direct checks that the hot capture shapes stay inline in SmallFn.

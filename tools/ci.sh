@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# The repo's one-command CI gate, in three tiers:
+#
+#   1. tier-1: configure, build, full ctest — the bar every change must hold
+#   2. perf smoke: the sim-core perf harness under NICSCHED_FAST=1 (schema
+#      and throughput-nonzero hard-fail; speedup ratios informational on
+#      loaded machines)
+#   3. fault smoke: one-seed conservation invariant, same NICSCHED_FAST tier
+#
+# Usage: tools/ci.sh [build-dir]    (default: build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+echo "==> tier-1: configure + build + full test suite"
+cmake -B "$BUILD_DIR" -S .
+cmake --build "$BUILD_DIR" -j
+(cd "$BUILD_DIR" && ctest --output-on-failure -j)
+
+echo "==> perf smoke (NICSCHED_FAST=1, ctest -L perf)"
+(cd "$BUILD_DIR" && NICSCHED_FAST=1 ctest -L perf --output-on-failure)
+
+echo "==> fault smoke (NICSCHED_FAST=1, ctest -L fault)"
+(cd "$BUILD_DIR" && NICSCHED_FAST=1 ctest -L fault --output-on-failure)
+
+echo "==> ci.sh: all tiers green"
