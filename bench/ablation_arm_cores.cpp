@@ -15,7 +15,7 @@
 #include <string>
 #include <vector>
 
-#include "core/server_factory.h"
+#include "core/cluster.h"
 #include "core/testbed.h"
 #include "exp/exp.h"
 #include "stats/table.h"
@@ -35,14 +35,17 @@ double saturation_with_senders(std::size_t sender_cores,
 
     sim::Simulator sim;
     const core::ModelParams params = core::ModelParams::defaults();
-    net::EthernetSwitch network(sim, params.switch_forward_latency);
     const auto experiment = core::ExperimentConfig::offload()
                                 .workers(16)
                                 .outstanding(5)
                                 .no_preemption()
                                 .senders(sender_cores);
-    const auto server_ptr = core::make_server(experiment, sim, network);
-    core::Server& server = *server_ptr;
+    core::ClusterBuilder topology(sim);
+    topology.switch_latency(params.switch_forward_latency);
+    topology.add_host(core::HostSpec::from_config(experiment));
+    core::Cluster cluster = topology.build();
+    net::EthernetSwitch& network = cluster.client_network();
+    core::Server& server = cluster.server();
 
     const double measure_ms =
         std::min(100.0, static_cast<double>(samples) / offered * 1e3);

@@ -16,7 +16,7 @@
 #include <string>
 #include <vector>
 
-#include "core/server_factory.h"
+#include "core/cluster.h"
 #include "core/testbed.h"
 #include "exp/exp.h"
 #include "stats/recorder.h"
@@ -37,13 +37,16 @@ JitResult run_paced(double measure_ms, std::uint32_t target_depth,
                     int client_count) {
   sim::Simulator sim;
   const core::ModelParams params = core::ModelParams::defaults();
-  net::EthernetSwitch network(sim, params.switch_forward_latency);
 
   const auto experiment =
       core::ExperimentConfig::ideal_nic().workers(8).outstanding(2)
           .no_preemption();
-  const auto server_ptr = core::make_server(experiment, sim, network);
-  core::Server& server = *server_ptr;
+  core::ClusterBuilder topology(sim);
+  topology.switch_latency(params.switch_forward_latency);
+  topology.add_host(core::HostSpec::from_config(experiment));
+  core::Cluster cluster = topology.build();
+  net::EthernetSwitch& network = cluster.client_network();
+  core::Server& server = cluster.server();
 
   const sim::TimePoint start = sim::TimePoint::origin();
   const sim::TimePoint end = start + sim::Duration::millis(measure_ms);

@@ -14,7 +14,7 @@
 #include <memory>
 #include <vector>
 
-#include "core/server_factory.h"
+#include "core/cluster.h"
 #include "core/shinjuku_server.h"
 #include "exp/exp.h"
 #include "stats/table.h"
@@ -43,12 +43,16 @@ double probe_group_imbalance(const core::ExperimentConfig& base,
   probe.dispatcher_count = dispatchers;
   probe.preemption_enabled = false;
   sim::Simulator sim;
-  net::EthernetSwitch network(sim, probe.params.switch_forward_latency);
-  const auto server_ptr =
-      core::make_server(core::SystemKind::kShinjuku, probe, sim, network);
+  core::ClusterBuilder topology(sim);
+  topology.switch_latency(probe.params.switch_forward_latency);
+  core::HostSpec host = core::HostSpec::from_config(probe);
+  host.system = core::SystemKind::kShinjuku;
+  topology.add_host(host);
+  core::Cluster cluster = topology.build();
+  net::EthernetSwitch& network = cluster.client_network();
   // The per-group intake counters are Shinjuku-specific, not part of the
   // common Server interface.
-  auto& server = dynamic_cast<core::ShinjukuServer&>(*server_ptr);
+  auto& server = dynamic_cast<core::ShinjukuServer&>(cluster.server());
   sim::Rng master(probe.seed);
   std::vector<std::unique_ptr<workload::ClientMachine>> clients;
   for (int c = 0; c < probe.client_machines; ++c) {

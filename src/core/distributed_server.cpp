@@ -90,6 +90,10 @@ class DistributedServer::Worker {
         stolen ? hw::PlacementPolicy::kDdioLlc : server_.config_.placement,
         server_.params_.cache_costs, queued_behind, ddio_);
     core_.run(prologue, [this, p = std::move(*packet)]() {
+      // Ring sojourn: frame arrival at the NIC to the start of handling.
+      // Run-to-completion serves one request at a time, so the sample is
+      // still current when the response is built.
+      current_sojourn_ = server_.sim_.now() - p.rx_at();
       const auto datagram = net::parse_udp_datagram(p);
       if (!datagram || !server_.accepts_port(datagram->udp.dst_port)) {
         ++server_.malformed_;
@@ -227,7 +231,13 @@ class DistributedServer::Worker {
       address.src_port = kWorkerPort;
       address.dst_port = descriptor.client_port;
       auto& scratch = proto::serialization_scratch();
-      make_response(descriptor).serialize_into(scratch);
+      auto response = make_response(descriptor);
+      if (server_.config_.load_feedback) {
+        response.has_sojourn = true;
+        response.sojourn_ps =
+            static_cast<std::uint64_t>(current_sojourn_.to_picos());
+      }
+      response.serialize_into(scratch);
       server_.pf_->transmit(net::make_udp_datagram(address, scratch));
       ++responses_sent_;
       start_next();
@@ -246,6 +256,8 @@ class DistributedServer::Worker {
   std::uint64_t admitted_ = 0;
   std::uint64_t rejected_ = 0;
   std::uint64_t shed_ = 0;
+  /// Ring wait of the request currently in service (load-feedback echo).
+  sim::Duration current_sojourn_;
   hw::DdioStats ddio_;
 };
 

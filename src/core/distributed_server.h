@@ -56,6 +56,9 @@ class DistributedServer final : public Server, public fault::FaultSurface {
     /// already-expired requests and reject against its own ring depth and
     /// ring-sojourn EWMA. Off by default.
     overload::OverloadParams overload;
+    /// Rack-level load feedback (DESIGN §12): responses echo the request's
+    /// ring sojourn as a version-2 frame for ToR snooping. Off by default.
+    bool load_feedback = false;
   };
 
   DistributedServer(sim::Simulator& sim, net::EthernetSwitch& network,

@@ -1,5 +1,6 @@
 #include "core/ideal_nic_server.h"
 
+#include <deque>
 #include <stdexcept>
 #include <utility>
 
@@ -60,6 +61,12 @@ class IdealNicServer::Worker {
   }
   hw::InterruptLine& interrupt_line() { return interrupt_line_; }
 
+  /// Load feedback: one queued sample per assignment sent, in channel
+  /// order; the worker pops the matching sample at pop time.
+  void push_pending_sojourn(sim::Duration sojourn) {
+    pending_sojourns_.push_back(sojourn);
+  }
+
   const hw::CpuCore& core() const { return core_; }
   hw::CpuCore& mutable_core() { return core_; }
   std::uint64_t preemptions() const { return preemptions_; }
@@ -100,6 +107,12 @@ class IdealNicServer::Worker {
       return;
     }
     idle_ = false;
+    if (!pending_sojourns_.empty()) {
+      current_sojourn_ = pending_sojourns_.front();
+      pending_sojourns_.pop_front();
+    } else {
+      current_sojourn_ = sim::Duration::zero();
+    }
     auto shared =
         std::make_shared<proto::RequestDescriptor>(std::move(*descriptor));
     // Descriptor pop + the payload's first touch (DDIO targeted L1, §5.2,
@@ -153,7 +166,13 @@ class IdealNicServer::Worker {
       address.src_port = kWorkerPort;
       address.dst_port = descriptor.client_port;
       auto& scratch = proto::serialization_scratch();
-      make_response(descriptor).serialize_into(scratch);
+      auto response = make_response(descriptor);
+      if (server_.config_.load_feedback) {
+        response.has_sojourn = true;
+        response.sojourn_ps =
+            static_cast<std::uint64_t>(current_sojourn_.to_picos());
+      }
+      response.serialize_into(scratch);
       server_.pf_->transmit(net::make_udp_datagram(address, scratch));
       ++responses_sent_;
       server_.status_channel_.send(
@@ -169,6 +188,8 @@ class IdealNicServer::Worker {
   hw::MessageChannel<proto::RequestDescriptor> assign_channel_;
   bool idle_ = true;
   std::optional<proto::RequestDescriptor> current_;
+  std::deque<sim::Duration> pending_sojourns_;
+  sim::Duration current_sojourn_;
   std::uint64_t preemptions_ = 0;
   std::uint64_t responses_sent_ = 0;
   hw::DdioStats ddio_;
@@ -319,9 +340,9 @@ void IdealNicServer::scheduler_step() {
       const auto worker = status_.pick_least_loaded();
       if (worker) {
         sim::Duration queue_delay = sim::Duration::zero();
-        auto descriptor = config_.overload.enabled
-                              ? queue_.pop(sim_.now(), queue_delay)
-                              : queue_.pop();
+        const bool measure = config_.overload.enabled || config_.load_feedback;
+        auto descriptor = measure ? queue_.pop(sim_.now(), queue_delay)
+                                  : queue_.pop();
         if (descriptor && config_.overload.enabled) {
           admission_.observe_queue_delay(queue_delay);
         }
@@ -337,6 +358,9 @@ void IdealNicServer::scheduler_step() {
                           1);
             obs::begin_span(sim_, descriptor->request_id,
                             obs::SpanKind::kDispatch, 1);
+          }
+          if (config_.load_feedback) {
+            workers_[*worker]->push_pending_sojourn(queue_delay);
           }
           workers_[*worker]->assign_channel().send(std::move(*descriptor));
         }

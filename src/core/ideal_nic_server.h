@@ -54,6 +54,10 @@ class IdealNicServer final : public Server, public fault::FaultSurface {
     /// ASIC pipeline. The coherent status path keeps the core-status table
     /// near-fresh, so adaptive-K adds nothing here. Off by default.
     overload::OverloadParams overload;
+    /// Rack-level load feedback (DESIGN §12): responses echo the request's
+    /// NIC-queue sojourn as a version-2 frame for ToR snooping. Off by
+    /// default.
+    bool load_feedback = false;
   };
 
   IdealNicServer(sim::Simulator& sim, net::EthernetSwitch& network,

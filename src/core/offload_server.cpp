@@ -222,7 +222,15 @@ class ShinjukuOffloadServer::Worker {
       address.src_port = kWorkerPort;
       address.dst_port = descriptor.client_port;
       auto& scratch = proto::serialization_scratch();
-      make_response(descriptor).serialize_into(scratch);
+      auto response = make_response(descriptor);
+      if (server_.config_.load_feedback) {
+        // Echo the worker's queue-sojourn sample client-ward (DESIGN §12)
+        // so the ToR layer can snoop per-server load off this response.
+        response.has_sojourn = true;
+        response.sojourn_ps =
+            static_cast<std::uint64_t>(current_sojourn_.to_picos());
+      }
+      response.serialize_into(scratch);
       vf_.transmit(net::make_udp_datagram(address, scratch));
       ++responses_sent_;
 

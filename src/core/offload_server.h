@@ -79,6 +79,11 @@ class ShinjukuOffloadServer final : public Server, public fault::FaultSurface {
     /// deadline shedding at D1's pop, adaptive-K from worker sojourn
     /// samples. Off by default — disabled runs stay bit-identical.
     overload::OverloadParams overload;
+    /// Rack-level load feedback (DESIGN §12): workers echo their queue
+    /// sojourn sample on client-bound responses (version-2 frames) so a ToR
+    /// scheduler can snoop per-server load. Off by default — responses stay
+    /// version-1 and runs stay bit-identical.
+    bool load_feedback = false;
   };
 
   ShinjukuOffloadServer(sim::Simulator& sim, net::EthernetSwitch& network,

@@ -9,72 +9,71 @@
 
 namespace nicsched::core {
 
-std::unique_ptr<Server> make_server(SystemKind kind,
-                                    const ExperimentConfig& config,
-                                    sim::Simulator& sim,
-                                    net::EthernetSwitch& network) {
-  // Overload knobs: resolved by run_experiment (config wins over env);
-  // direct make_server callers that left the field unset get everything off.
-  const overload::OverloadParams overload_params =
-      config.overload.value_or(overload::OverloadParams{});
-  switch (kind) {
+std::unique_ptr<Server> make_host_server(const HostSpec& spec,
+                                         sim::Simulator& sim,
+                                         net::EthernetSwitch& network) {
+  switch (spec.system) {
     case SystemKind::kShinjuku: {
       ShinjukuServer::Config server;
-      server.worker_count = config.worker_count;
-      server.dispatcher_count = config.dispatcher_count;
-      server.queue_policy = config.queue_policy;
-      server.preemption_enabled = config.preemption_enabled;
-      server.time_slice = config.time_slice;
-      server.reliability.enabled = config.reliable_dispatch.value_or(false);
-      server.overload = overload_params;
-      return std::make_unique<ShinjukuServer>(sim, network, config.params,
+      server.worker_count = spec.worker_count;
+      server.dispatcher_count = spec.dispatcher_count;
+      server.queue_policy = spec.queue_policy;
+      server.preemption_enabled = spec.preemption_enabled;
+      server.time_slice = spec.time_slice;
+      server.reliability = spec.reliability;
+      server.overload = spec.overload;
+      server.load_feedback = spec.load_feedback;
+      return std::make_unique<ShinjukuServer>(sim, network, spec.params,
                                               server);
     }
     case SystemKind::kShinjukuOffload: {
       ShinjukuOffloadServer::Config server;
-      server.worker_count = config.worker_count;
-      server.outstanding_per_worker = config.outstanding_per_worker;
-      server.preemption_enabled = config.preemption_enabled;
-      server.time_slice = config.time_slice;
-      server.timer_costs = config.timer_costs;
-      server.queue_policy = config.queue_policy;
-      server.sender_cores = config.sender_cores;
-      server.tx_batch_frames = config.tx_batch_frames;
-      server.tx_batch_timeout = config.tx_batch_timeout;
-      server.reliability.enabled = config.reliable_dispatch.value_or(false);
-      server.overload = overload_params;
-      if (config.placement) server.placement = *config.placement;
-      return std::make_unique<ShinjukuOffloadServer>(sim, network,
-                                                     config.params, server);
+      server.worker_count = spec.worker_count;
+      server.outstanding_per_worker = spec.outstanding_per_worker;
+      server.preemption_enabled = spec.preemption_enabled;
+      server.time_slice = spec.time_slice;
+      server.timer_costs = spec.timer_costs;
+      server.queue_policy = spec.queue_policy;
+      server.sender_cores = spec.sender_cores;
+      server.tx_batch_frames = spec.tx_batch_frames;
+      server.tx_batch_timeout = spec.tx_batch_timeout;
+      server.reliability = spec.reliability;
+      server.overload = spec.overload;
+      server.load_feedback = spec.load_feedback;
+      if (spec.placement) server.placement = *spec.placement;
+      return std::make_unique<ShinjukuOffloadServer>(sim, network, spec.params,
+                                                     server);
     }
     case SystemKind::kRss:
     case SystemKind::kFlowDirector:
     case SystemKind::kWorkStealing:
     case SystemKind::kElasticRss: {
       DistributedServer::Config server;
-      server.worker_count = config.worker_count;
-      server.policy = kind == SystemKind::kRss
+      server.worker_count = spec.worker_count;
+      server.policy = spec.system == SystemKind::kRss
                           ? DistributedServer::Policy::kRss
-                      : kind == SystemKind::kFlowDirector
+                      : spec.system == SystemKind::kFlowDirector
                           ? DistributedServer::Policy::kFlowDirector
-                      : kind == SystemKind::kWorkStealing
+                      : spec.system == SystemKind::kWorkStealing
                           ? DistributedServer::Policy::kWorkStealing
                           : DistributedServer::Policy::kElasticRss;
-      server.overload = overload_params;
-      if (config.placement) server.placement = *config.placement;
-      return std::make_unique<DistributedServer>(sim, network, config.params,
+      server.overload = spec.overload;
+      server.load_feedback = spec.load_feedback;
+      if (spec.placement) server.placement = *spec.placement;
+      return std::make_unique<DistributedServer>(sim, network, spec.params,
                                                  server);
     }
     case SystemKind::kIdealNic: {
       IdealNicServer::Config server;
-      server.worker_count = config.worker_count;
-      server.outstanding_per_worker = config.outstanding_per_worker;
-      server.preemption_enabled = config.preemption_enabled;
-      server.time_slice = config.time_slice;
-      server.queue_policy = config.queue_policy;
-      server.overload = overload_params;
-      if (config.placement) server.placement = *config.placement;
-      return std::make_unique<IdealNicServer>(sim, network, config.params,
+      server.worker_count = spec.worker_count;
+      server.outstanding_per_worker = spec.outstanding_per_worker;
+      server.preemption_enabled = spec.preemption_enabled;
+      server.time_slice = spec.time_slice;
+      server.queue_policy = spec.queue_policy;
+      server.overload = spec.overload;
+      server.load_feedback = spec.load_feedback;
+      if (spec.placement) server.placement = *spec.placement;
+      return std::make_unique<IdealNicServer>(sim, network, spec.params,
                                               server);
     }
     case SystemKind::kRpcValet: {
@@ -82,18 +81,19 @@ std::unique_ptr<Server> make_server(SystemKind kind,
       // nanoseconds and the queue is consulted per request — but requests
       // run to completion.
       IdealNicServer::Config server;
-      server.worker_count = config.worker_count;
+      server.worker_count = spec.worker_count;
       server.outstanding_per_worker = 1;
       server.preemption_enabled = false;
-      server.queue_policy = config.queue_policy;
-      server.overload = overload_params;
-      if (config.placement) server.placement = *config.placement;
-      ModelParams params = config.params;
+      server.queue_policy = spec.queue_policy;
+      server.overload = spec.overload;
+      server.load_feedback = spec.load_feedback;
+      if (spec.placement) server.placement = *spec.placement;
+      ModelParams params = spec.params;
       params.cxl_one_way_latency = sim::Duration::nanos(50);
       return std::make_unique<IdealNicServer>(sim, network, params, server);
     }
   }
-  throw std::invalid_argument("make_server: unknown system kind");
+  throw std::invalid_argument("make_host_server: unknown system kind");
 }
 
 }  // namespace nicsched::core

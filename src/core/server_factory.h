@@ -1,11 +1,13 @@
-// The one place an ExperimentConfig becomes a concrete server system.
-// Benches, examples, and the testbed all construct servers through
-// make_server so per-system Config mapping (and modelling decisions like
-// RPCValet's 50 ns feedback latency) is not copy-pasted at every call site.
+// The one place a host specification becomes a concrete server system.
+// ClusterBuilder, benches, examples, and the testbed all construct servers
+// through make_host_server so per-system Config mapping (and modelling
+// decisions like RPCValet's 50 ns feedback latency) is not copy-pasted at
+// every call site.
 #pragma once
 
 #include <memory>
 
+#include "core/cluster.h"
 #include "core/server.h"
 #include "core/testbed.h"
 #include "net/ethernet_switch.h"
@@ -13,21 +15,31 @@
 
 namespace nicsched::core {
 
-/// Builds the server system `kind` from the shared experiment knobs in
-/// `config` (worker counts, K, preemption, queue policy, placement, model
-/// params), attached to `network`. `config.system` is ignored — the caller
-/// picks the kind — so one config can be retargeted across systems without
-/// mutation. Throws std::invalid_argument on an unknown kind.
-std::unique_ptr<Server> make_server(SystemKind kind,
-                                    const ExperimentConfig& config,
-                                    sim::Simulator& sim,
-                                    net::EthernetSwitch& network);
+/// Builds the server system described by `spec` attached to `network`.
+/// Throws std::invalid_argument on an unknown system kind.
+std::unique_ptr<Server> make_host_server(const HostSpec& spec,
+                                         sim::Simulator& sim,
+                                         net::EthernetSwitch& network);
 
-/// Convenience: builds `config.system`.
+/// Deprecated single-host shim kept for older call sites: lifts the config
+/// through HostSpec::from_config and retargets the system kind. New code
+/// should build a HostSpec (or a ClusterBuilder topology) directly.
+[[deprecated("build a HostSpec / ClusterBuilder topology instead")]]
+inline std::unique_ptr<Server> make_server(SystemKind kind,
+                                           const ExperimentConfig& config,
+                                           sim::Simulator& sim,
+                                           net::EthernetSwitch& network) {
+  HostSpec spec = HostSpec::from_config(config);
+  spec.system = kind;
+  return make_host_server(spec, sim, network);
+}
+
+/// Deprecated convenience: builds `config.system`.
+[[deprecated("build a HostSpec / ClusterBuilder topology instead")]]
 inline std::unique_ptr<Server> make_server(const ExperimentConfig& config,
                                            sim::Simulator& sim,
                                            net::EthernetSwitch& network) {
-  return make_server(config.system, config, sim, network);
+  return make_host_server(HostSpec::from_config(config), sim, network);
 }
 
 }  // namespace nicsched::core

@@ -1,5 +1,6 @@
 #include "core/shinjuku_server.h"
 
+#include <deque>
 #include <stdexcept>
 #include <utility>
 
@@ -70,6 +71,13 @@ class ShinjukuServer::Worker {
   }
   hw::InterruptLine& interrupt_line() { return interrupt_line_; }
 
+  /// Load feedback: the dispatcher pairs each assignment it sends with the
+  /// request's measured dispatch-queue sojourn. The FIFO mirrors the assign
+  /// channel's order, so the worker pops the matching sample at pop time.
+  void push_pending_sojourn(sim::Duration sojourn) {
+    pending_sojourns_.push_back(sojourn);
+  }
+
   const hw::CpuCore& core() const { return core_; }
   hw::CpuCore& mutable_core() { return core_; }
   std::uint64_t preemptions() const { return preemptions_; }
@@ -112,6 +120,12 @@ class ShinjukuServer::Worker {
       return;
     }
     idle_ = false;
+    if (!pending_sojourns_.empty()) {
+      current_sojourn_ = pending_sojourns_.front();
+      pending_sojourns_.pop_front();
+    } else {
+      current_sojourn_ = sim::Duration::zero();
+    }
     auto shared =
         std::make_shared<proto::RequestDescriptor>(std::move(*descriptor));
     const ModelParams& params = group_.server.params_;
@@ -164,7 +178,13 @@ class ShinjukuServer::Worker {
       address.src_port = kWorkerPort;
       address.dst_port = descriptor.client_port;
       auto& scratch = proto::serialization_scratch();
-      make_response(descriptor).serialize_into(scratch);
+      auto response = make_response(descriptor);
+      if (group_.server.config_.load_feedback) {
+        response.has_sojourn = true;
+        response.sojourn_ps =
+            static_cast<std::uint64_t>(current_sojourn_.to_picos());
+      }
+      response.serialize_into(scratch);
       pf->transmit(net::make_udp_datagram(address, scratch));
       ++responses_sent_;
       group_.note_channel.send(Note{id_, false, {}, descriptor.request_id});
@@ -179,6 +199,8 @@ class ShinjukuServer::Worker {
   hw::MessageChannel<proto::RequestDescriptor> assign_channel_;
   bool idle_ = true;
   std::optional<proto::RequestDescriptor> current_;
+  std::deque<sim::Duration> pending_sojourns_;
+  sim::Duration current_sojourn_;
   std::uint64_t preemptions_ = 0;
   std::uint64_t responses_sent_ = 0;
   hw::DdioStats ddio_;
@@ -374,7 +396,7 @@ void ShinjukuServer::dispatcher_step(Group& group) {
         group.running[note->worker].active = false;
         group.running[note->worker].preempt_in_flight = false;
         if (note->preempted) {
-          group.queue.push_preempted(std::move(note->descriptor));
+          group.queue.push_preempted(std::move(note->descriptor), sim_.now());
         }
       }
       dispatcher_step(group);
@@ -388,7 +410,11 @@ void ShinjukuServer::dispatcher_step(Group& group) {
           const auto worker = group.status.pick_least_loaded();
           if (worker) {
             sim::Duration queue_delay = sim::Duration::zero();
-            auto descriptor = config_.overload.enabled
+            // Load feedback also needs the measured pop (same semantics as
+            // the plain pop while shedding is off).
+            const bool measure =
+                config_.overload.enabled || config_.load_feedback;
+            auto descriptor = measure
                                   ? group.queue.pop(sim_.now(), queue_delay)
                                   : group.queue.pop();
             if (descriptor && config_.overload.enabled) {
@@ -420,6 +446,9 @@ void ShinjukuServer::dispatcher_step(Group& group) {
                 info.request_id = descriptor->request_id;
                 info.descriptor = *descriptor;
                 arm_liveness(group, *worker, info.epoch);
+              }
+              if (config_.load_feedback) {
+                group.workers[*worker]->push_pending_sojourn(queue_delay);
               }
               group.workers[*worker]->assign_channel().send(
                   std::move(*descriptor));

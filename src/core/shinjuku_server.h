@@ -60,6 +60,10 @@ class ShinjukuServer final : public Server, public fault::FaultSurface {
     /// here have no queuing optimization (K == 1), so adaptive-K does not
     /// apply. Off by default.
     overload::OverloadParams overload;
+    /// Rack-level load feedback (DESIGN §12): responses echo the request's
+    /// dispatch-queue sojourn as a version-2 frame for ToR snooping. Off by
+    /// default.
+    bool load_feedback = false;
   };
 
   ShinjukuServer(sim::Simulator& sim, net::EthernetSwitch& network,

@@ -4,8 +4,7 @@
 #include <stdexcept>
 #include <utility>
 
-#include "core/distributed_server.h"
-#include "core/server_factory.h"
+#include "core/cluster.h"
 #include "fault/fault_injector.h"
 #include "net/ethernet_switch.h"
 #include "obs/capture.h"
@@ -37,15 +36,22 @@ std::string default_capture_label(const ExperimentConfig& config) {
 /// One probe block over Server::telemetry(): the snapshot is taken once per
 /// tick and fans into gauge series plus per-worker busy *fractions* (the
 /// sampler sees cumulative busy time; this closure differences consecutive
-/// snapshots over the cadence).
-void add_telemetry_probes(obs::MetricSampler& sampler, const Server& server) {
+/// snapshots over the cadence). `prefix` namespaces the series for rack runs
+/// ("host2_queue_depth"); single-host runs pass "" so the series names stay
+/// identical to every pre-rack capture.
+void add_telemetry_probes(obs::MetricSampler& sampler, const Server& server,
+                          const std::string& prefix) {
   const std::size_t worker_count = server.telemetry().worker_busy.size();
-  std::vector<std::string> names = {"queue_depth", "outstanding",
-                                    "preemptions", "drops",
-                                    "retransmits", "abandoned",
-                                    "rejected",    "shed"};
+  std::vector<std::string> names = {prefix + "queue_depth",
+                                    prefix + "outstanding",
+                                    prefix + "preemptions",
+                                    prefix + "drops",
+                                    prefix + "retransmits",
+                                    prefix + "abandoned",
+                                    prefix + "rejected",
+                                    prefix + "shed"};
   for (std::size_t i = 0; i < worker_count; ++i) {
-    names.push_back("worker" + std::to_string(i) + "_busy_frac");
+    names.push_back(prefix + "worker" + std::to_string(i) + "_busy_frac");
   }
   const double cadence_ps =
       static_cast<double>(sampler.cadence().to_picos());
@@ -132,17 +138,37 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   }
 
   sim::Simulator sim;
-  net::EthernetSwitch network(sim, config.params.switch_forward_latency);
-  auto server = make_server(config, sim, network);
+  ClusterBuilder builder(sim);
+  builder.switch_latency(config.params.switch_forward_latency);
+  const HostSpec host_spec = HostSpec::from_config(config);
+  const bool rack_mode = config.rack && config.rack->hosts > 1;
+  if (rack_mode) {
+    rack::TorParams tor_params;
+    if (config.rack->tor) {
+      tor_params = *config.rack->tor;
+    } else {
+      tor_params.policy = config.rack->policy;
+      tor_params = rack::TorParams::from_env(tor_params);
+    }
+    builder.with_rack(tor_params);
+    for (std::size_t i = 0; i < config.rack->hosts; ++i) {
+      builder.add_host(host_spec);
+    }
+  } else {
+    builder.add_host(host_spec);
+  }
+  Cluster cluster = builder.build();
 
   // Install the fault schedule, if any: explicit config wins, otherwise the
   // NICSCHED_FAULT_* environment contract. Servers without a fault surface
-  // silently run fault-free (there is nothing to inject against).
+  // silently run fault-free (there is nothing to inject against). In rack
+  // mode the schedule targets host 0 only — the rest of the rack stays
+  // healthy, which is exactly the asymmetry the ToR must steer around.
   std::optional<fault::FaultSchedule> fault_schedule = config.fault;
   if (!fault_schedule) fault_schedule = fault::FaultSchedule::from_env();
   std::optional<fault::FaultInjector> fault_injector;
   if (fault_schedule && !fault_schedule->empty()) {
-    if (fault::FaultSurface* surface = server->fault_surface()) {
+    if (fault::FaultSurface* surface = cluster.server(0).fault_surface()) {
       fault_injector.emplace(sim, *surface, *fault_schedule);
     }
   }
@@ -163,16 +189,21 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     result.capture =
         std::make_shared<obs::Capture>(sim, std::move(capture_options));
     if (obs::MetricSampler* sampler = result.capture->metrics()) {
-      add_telemetry_probes(*sampler, *server);
+      if (rack_mode) {
+        for (std::size_t host = 0; host < cluster.host_count(); ++host) {
+          add_telemetry_probes(*sampler, cluster.server(host),
+                               "host" + std::to_string(host) + "_");
+        }
+      } else {
+        add_telemetry_probes(*sampler, cluster.server(), "");
+      }
     }
     result.capture->start(measure_end);
   }
 
-  // The FlowDirector system needs clients to address partitions by port.
-  std::uint16_t partition_count = 0;
-  if (auto* distributed = dynamic_cast<DistributedServer*>(server.get())) {
-    partition_count = distributed->partition_count();
-  }
+  // The FlowDirector system needs clients to address partitions by port
+  // (the ToR preserves destination ports, so one plan serves every host).
+  const std::uint16_t partition_count = cluster.partition_count();
 
   sim::Rng master(config.seed);
   std::vector<std::unique_ptr<workload::ClientMachine>> clients;
@@ -183,9 +214,9 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     client.mac = net::MacAddress::from_index(client.client_id);
     client.ip = net::Ipv4Address::from_index(client.client_id);
     client.flow_count = config.flows_per_client;
-    client.server_mac = server->ingress_mac();
-    client.server_ip = server->ingress_ip();
-    client.server_port = server->port();
+    client.server_mac = cluster.service_mac();
+    client.server_ip = cluster.service_ip();
+    client.server_port = cluster.service_port();
     client.request_padding = config.request_padding;
     client.partition_count = partition_count;
     client.wire_latency = config.params.client_wire_latency;
@@ -204,8 +235,8 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
           config.offered_rps / config.client_machines);
     }
     auto machine = std::make_unique<workload::ClientMachine>(
-        sim, network, client, config.service, std::move(arrivals),
-        master.fork());
+        sim, cluster.client_network(), client, config.service,
+        std::move(arrivals), master.fork());
     stats::ResponseLog* log = config.response_log;
     machine->set_on_response(
         [&result, log, measure_start, measure_end](
@@ -225,10 +256,19 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   for (auto& client : clients) client->start(measure_end);
 
   // Snapshot server counters exactly at the end of the measurement window so
-  // utilization excludes the drain phase.
+  // utilization excludes the drain phase. Rack mode also records per-host
+  // rows and the ToR's dispatch counters at the same instant.
   const sim::Duration elapsed_at_snapshot = config.warmup + measure;
-  sim.at(measure_end, [&result, &server, elapsed_at_snapshot]() {
-    result.server = server->stats(elapsed_at_snapshot);
+  sim.at(measure_end, [&result, &cluster, elapsed_at_snapshot]() {
+    result.server = cluster.stats(elapsed_at_snapshot);
+    if (cluster.tor() != nullptr) {
+      result.rack_hosts.reserve(cluster.host_count());
+      for (std::size_t host = 0; host < cluster.host_count(); ++host) {
+        result.rack_hosts.push_back(
+            cluster.server(host).stats(elapsed_at_snapshot));
+      }
+      result.rack = cluster.tor()->stats();
+    }
   });
 
   sim.run_until(measure_end + config.drain);

@@ -17,6 +17,7 @@
 #include "hw/apic_timer.h"
 #include "obs/capture.h"
 #include "overload/overload.h"
+#include "rack/tor_scheduler.h"
 #include "sim/time.h"
 #include "stats/recorder.h"
 #include "stats/response_log.h"
@@ -47,6 +48,22 @@ const char* to_string(SystemKind kind);
 /// try_from_string for the non-throwing variant.
 SystemKind from_string(std::string_view name);
 std::optional<SystemKind> try_from_string(std::string_view name);
+
+/// Rack-scale topology for an experiment (DESIGN §12): N identical server
+/// hosts behind a ToR scheduler steering at request granularity. `hosts <= 1`
+/// degenerates to the classic single-server testbed — no ToR is built and
+/// the run is bit-identical with the field unset.
+struct RackConfig {
+  std::size_t hosts = 4;
+  rack::TorPolicy policy = rack::TorPolicy::kPowerOfTwo;
+  /// Echo per-request queue sojourn on responses (v2 frames) so the ToR's
+  /// p2c scoring is informed. On by default in rack mode; kJsqIdeal reads
+  /// true telemetry instead and flow-hash/random/rr ignore feedback.
+  bool load_feedback = true;
+  /// Full ToR knob set. Unset = TorParams defaults with `policy` applied,
+  /// then the NICSCHED_RACK_* environment contract; set = used verbatim.
+  std::optional<rack::TorParams> tor;
+};
 
 struct ExperimentConfig {
   SystemKind system = SystemKind::kShinjukuOffload;
@@ -114,6 +131,10 @@ struct ExperimentConfig {
   /// unset field with a clean environment is bit-identical to pre-overload
   /// builds.
   std::optional<overload::OverloadParams> overload;
+  /// Rack-scale topology (DESIGN §12). Unset (or hosts <= 1) runs the
+  /// classic single-server testbed, bit for bit. In rack mode the configured
+  /// fault schedule targets host 0 only.
+  std::optional<RackConfig> rack;
 
   ModelParams params = ModelParams::defaults();
 
@@ -240,6 +261,19 @@ struct ExperimentConfig {
     overload = knobs;
     return *this;
   }
+  ExperimentConfig& with_rack(RackConfig topology) {
+    rack = std::move(topology);
+    return *this;
+  }
+  /// Shorthand: N hosts behind a ToR running `steer`.
+  ExperimentConfig& with_rack(
+      std::size_t hosts, rack::TorPolicy steer = rack::TorPolicy::kPowerOfTwo) {
+    RackConfig topology;
+    topology.hosts = hosts;
+    topology.policy = steer;
+    rack = std::move(topology);
+    return *this;
+  }
 };
 
 struct ExperimentResult {
@@ -257,6 +291,12 @@ struct ExperimentResult {
   /// Set when capture was enabled for the run: recorded spans and sampled
   /// time series, already exported if an export prefix was configured.
   std::shared_ptr<obs::Capture> capture;
+  /// Rack mode only: per-host server counters, index-aligned with the rack's
+  /// hosts. Empty for single-host runs, where `server` is the whole story
+  /// (in rack mode `server` holds the cross-host aggregate).
+  std::vector<ServerStats> rack_hosts;
+  /// Rack mode only: ToR dispatch/feedback counters and per-host snapshots.
+  std::optional<rack::RackStats> rack;
   /// Client-side accounting aggregated over the whole run (warmup + measure
   /// + drain). At quiescence the overload conservation identity holds:
   ///   sent == completed + rejected + expired + abandoned + outstanding.

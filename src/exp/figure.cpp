@@ -141,6 +141,7 @@ ResultRow make_row(const std::string& series_label,
   row.summary = result.summary;
   row.server = result.server;
   row.mean_worker_utilization = result.mean_worker_utilization;
+  row.rack = result.rack;
   return row;
 }
 

@@ -84,6 +84,35 @@ void write_server_json(std::ostream& out, const core::ServerStats& s) {
       << ", \"k_restores\": " << s.overload.k_restores << "}}";
 }
 
+void write_rack_json(std::ostream& out, const rack::RackStats& r) {
+  out << "{\"requests_forwarded\": " << r.requests_forwarded
+      << ", \"responses_forwarded\": " << r.responses_forwarded
+      << ", \"rejects_forwarded\": " << r.rejects_forwarded
+      << ", \"other_forwarded\": " << r.other_forwarded
+      << ", \"malformed_dropped\": " << r.malformed_dropped
+      << ", \"affinity_hits\": " << r.affinity_hits
+      << ", \"affinity_expired\": " << r.affinity_expired
+      << ", \"unknown_responses\": " << r.unknown_responses
+      << ", \"informed_decisions\": " << r.informed_decisions
+      << ", \"stale_decisions\": " << r.stale_decisions
+      << ", \"feedback_samples\": " << r.feedback_samples
+      << ", \"feedback_discarded_dead\": " << r.feedback_discarded_dead
+      << ", \"hosts\": [";
+  for (std::size_t i = 0; i < r.hosts.size(); ++i) {
+    const rack::RackHostStats& h = r.hosts[i];
+    out << (i == 0 ? "" : ", ") << "{\"requests\": " << h.requests
+        << ", \"responses\": " << h.responses
+        << ", \"rejects\": " << h.rejects
+        << ", \"outstanding\": " << h.outstanding
+        << ", \"deaths\": " << h.deaths << ", \"revivals\": " << h.revivals
+        << ", \"resets\": " << h.resets
+        << ", \"feedback_discarded\": " << h.feedback_discarded
+        << ", \"sojourn_ewma_us\": " << num(h.sojourn_ewma_us)
+        << ", \"queue_depth\": " << h.queue_depth << "}";
+  }
+  out << "]}";
+}
+
 // ---- parsing ---------------------------------------------------------------
 
 /// Just enough JSON to read back what the writers above emit (and any other
@@ -330,6 +359,40 @@ core::ServerStats server_from_json(const JsonValue& json) {
   return server;
 }
 
+rack::RackStats rack_from_json(const JsonValue& json) {
+  rack::RackStats r;
+  r.requests_forwarded = json.count_or("requests_forwarded");
+  r.responses_forwarded = json.count_or("responses_forwarded");
+  r.rejects_forwarded = json.count_or("rejects_forwarded");
+  r.other_forwarded = json.count_or("other_forwarded");
+  r.malformed_dropped = json.count_or("malformed_dropped");
+  r.affinity_hits = json.count_or("affinity_hits");
+  r.affinity_expired = json.count_or("affinity_expired");
+  r.unknown_responses = json.count_or("unknown_responses");
+  r.informed_decisions = json.count_or("informed_decisions");
+  r.stale_decisions = json.count_or("stale_decisions");
+  r.feedback_samples = json.count_or("feedback_samples");
+  r.feedback_discarded_dead = json.count_or("feedback_discarded_dead");
+  if (const JsonValue* hosts = json.find("hosts")) {
+    for (const JsonValue& entry : hosts->array) {
+      rack::RackHostStats h;
+      h.requests = entry.count_or("requests");
+      h.responses = entry.count_or("responses");
+      h.rejects = entry.count_or("rejects");
+      h.outstanding = entry.count_or("outstanding");
+      h.deaths = entry.count_or("deaths");
+      h.revivals = entry.count_or("revivals");
+      h.resets = entry.count_or("resets");
+      h.feedback_discarded = entry.count_or("feedback_discarded");
+      h.sojourn_ewma_us = entry.number_or("sojourn_ewma_us");
+      h.queue_depth =
+          static_cast<std::uint32_t>(entry.number_or("queue_depth"));
+      r.hosts.push_back(h);
+    }
+  }
+  return r;
+}
+
 }  // namespace
 
 bool ResultSink::write_file(const std::string& path) const {
@@ -351,7 +414,12 @@ void JsonResultSink::write(std::ostream& out) const {
     out << ", \"server\": ";
     write_server_json(out, row.server);
     out << ", \"mean_worker_utilization\": "
-        << num(row.mean_worker_utilization) << "}";
+        << num(row.mean_worker_utilization);
+    if (row.rack) {
+      out << ", \"rack\": ";
+      write_rack_json(out, *row.rack);
+    }
+    out << "}";
   }
   out << (rows_.empty() ? "]" : "\n ]") << ",\n \"metrics\": {";
   for (std::size_t i = 0; i < metrics_.size(); ++i) {
@@ -376,7 +444,10 @@ void CsvResultSink::write(std::ostream& out) const {
          "srv_note_retransmits,srv_timeouts,srv_redispatched,srv_abandoned,"
          "srv_duplicates,srv_worker_deaths,srv_revivals,goodput,goodput_rps,"
          "srv_admitted,srv_rejected,srv_shed_expired,srv_k_shrinks,"
-         "srv_k_restores\n";
+         "srv_k_restores,tor_hosts,tor_requests,tor_responses,tor_rejects,"
+         "tor_other,tor_malformed,tor_affinity_hits,tor_affinity_expired,"
+         "tor_unknown_responses,tor_informed,tor_stale,tor_feedback_samples,"
+         "tor_feedback_discarded_dead\n";
   for (const ResultRow& row : rows_) {
     const stats::RunSummary& s = row.summary;
     const core::ServerStats& server = row.server;
@@ -409,7 +480,21 @@ void CsvResultSink::write(std::ostream& out) const {
         << num(s.goodput_rps) << ',' << server.overload.admitted << ','
         << server.overload.rejected << ',' << server.overload.shed_expired
         << ',' << server.overload.k_shrinks << ','
-        << server.overload.k_restores << '\n';
+        << server.overload.k_restores << ',';
+    // Rack aggregates, zeros when the row has none; tor_hosts doubles as the
+    // presence marker the parser keys on.
+    const rack::RackStats rack_stats =
+        row.rack ? *row.rack : rack::RackStats{};
+    out << (row.rack ? rack_stats.hosts.size() : 0u) << ','
+        << rack_stats.requests_forwarded << ','
+        << rack_stats.responses_forwarded << ','
+        << rack_stats.rejects_forwarded << ',' << rack_stats.other_forwarded
+        << ',' << rack_stats.malformed_dropped << ','
+        << rack_stats.affinity_hits << ',' << rack_stats.affinity_expired
+        << ',' << rack_stats.unknown_responses << ','
+        << rack_stats.informed_decisions << ',' << rack_stats.stale_decisions
+        << ',' << rack_stats.feedback_samples << ','
+        << rack_stats.feedback_discarded_dead << '\n';
   }
 }
 
@@ -445,6 +530,9 @@ std::optional<ParsedResults> parse_json_results(std::string_view text,
       }
       row.mean_worker_utilization =
           entry.number_or("mean_worker_utilization");
+      if (const JsonValue* rack = entry.find("rack")) {
+        row.rack = rack_from_json(*rack);
+      }
       results.rows.push_back(std::move(row));
     }
   }
@@ -498,9 +586,10 @@ std::optional<std::vector<ResultRow>> parse_csv_rows(std::string_view text,
       continue;
     }
     const auto cells = split(line, ',');
-    if (cells.size() != 39) {
+    // 39 cells = pre-rack exports (still parseable); 52 = current schema.
+    if (cells.size() != 39 && cells.size() != 52) {
       if (error != nullptr) {
-        *error = "expected 39 cells, got " + std::to_string(cells.size());
+        *error = "expected 39 or 52 cells, got " + std::to_string(cells.size());
       }
       return std::nullopt;
     }
@@ -566,6 +655,41 @@ std::optional<std::vector<ResultRow>> parse_csv_rows(std::string_view text,
         std::strtoull(cells[37].c_str(), nullptr, 10);
     row.server.overload.k_restores =
         std::strtoull(cells[38].c_str(), nullptr, 10);
+    if (cells.size() == 52) {
+      const std::uint64_t tor_hosts =
+          std::strtoull(cells[39].c_str(), nullptr, 10);
+      if (tor_hosts > 0) {
+        rack::RackStats rack_stats;
+        rack_stats.requests_forwarded =
+            std::strtoull(cells[40].c_str(), nullptr, 10);
+        rack_stats.responses_forwarded =
+            std::strtoull(cells[41].c_str(), nullptr, 10);
+        rack_stats.rejects_forwarded =
+            std::strtoull(cells[42].c_str(), nullptr, 10);
+        rack_stats.other_forwarded =
+            std::strtoull(cells[43].c_str(), nullptr, 10);
+        rack_stats.malformed_dropped =
+            std::strtoull(cells[44].c_str(), nullptr, 10);
+        rack_stats.affinity_hits =
+            std::strtoull(cells[45].c_str(), nullptr, 10);
+        rack_stats.affinity_expired =
+            std::strtoull(cells[46].c_str(), nullptr, 10);
+        rack_stats.unknown_responses =
+            std::strtoull(cells[47].c_str(), nullptr, 10);
+        rack_stats.informed_decisions =
+            std::strtoull(cells[48].c_str(), nullptr, 10);
+        rack_stats.stale_decisions =
+            std::strtoull(cells[49].c_str(), nullptr, 10);
+        rack_stats.feedback_samples =
+            std::strtoull(cells[50].c_str(), nullptr, 10);
+        rack_stats.feedback_discarded_dead =
+            std::strtoull(cells[51].c_str(), nullptr, 10);
+        // CSV carries the aggregates only; the per-host breakdown lives in
+        // the JSON export. Size the hosts vector so host_count survives.
+        rack_stats.hosts.resize(tor_hosts);
+        row.rack = std::move(rack_stats);
+      }
+    }
     rows.push_back(std::move(row));
   }
   return rows;

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/server.h"
+#include "rack/tor_scheduler.h"
 #include "stats/recorder.h"
 
 namespace nicsched::exp {
@@ -24,8 +25,15 @@ namespace nicsched::exp {
 struct ResultRow {
   std::string series;
   stats::RunSummary summary;
+  /// Single-host: that host's counters. Rack mode: the cross-host aggregate
+  /// (the per-host breakdown travels inside `rack`).
   core::ServerStats server;
   double mean_worker_utilization = 0.0;
+  /// Rack mode only (DESIGN §12): ToR dispatch/feedback counters plus
+  /// per-host snapshots. JSON round-trips it losslessly; CSV exports the
+  /// aggregate columns (zeros when absent) with presence encoded as
+  /// tor_hosts > 0, and does not carry the per-host rows.
+  std::optional<rack::RackStats> rack;
 };
 
 struct CheckResult {

@@ -15,6 +15,14 @@ void EthernetSwitch::attach(MacAddress mac, PacketSink& device_rx,
   }
 }
 
+void EthernetSwitch::set_uplink(PacketSink& sink, sim::Duration latency,
+                                double gbps) {
+  if (uplink_) {
+    throw std::logic_error("EthernetSwitch::set_uplink: uplink already set");
+  }
+  uplink_ = std::make_unique<Wire>(sim_, sink, latency, gbps);
+}
+
 void EthernetSwitch::set_port_loss(MacAddress mac, double probability,
                                    std::uint64_t seed) {
   auto it = ports_.find(mac);
@@ -65,6 +73,11 @@ void EthernetSwitch::forward(Packet packet) {
   }
   auto it = ports_.find(*dst);
   if (it == ports_.end()) {
+    if (uplink_) {
+      ++stats_.uplinked;
+      uplink_->transmit(std::move(packet));
+      return;
+    }
     ++stats_.dropped_unknown;
     return;
   }

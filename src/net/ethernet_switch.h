@@ -22,6 +22,7 @@ class EthernetSwitch : public PacketSink {
     std::uint64_t forwarded = 0;
     std::uint64_t flooded = 0;
     std::uint64_t dropped_unknown = 0;
+    std::uint64_t uplinked = 0;  // unknown-unicast frames sent out the uplink
   };
 
   /// `forward_latency` models the switching decision; per-port wires add
@@ -40,6 +41,14 @@ class EthernetSwitch : public PacketSink {
 
   /// PacketSink: a frame arriving at the switch.
   void deliver(Packet packet) override;
+
+  /// Installs a default route: unicast frames whose destination MAC is not
+  /// attached locally egress on an uplink wire toward `sink` instead of
+  /// being dropped. This is how a host-local fabric inside a rack forwards
+  /// server→client traffic up to the ToR layer (DESIGN §12); broadcast
+  /// frames still flood local ports only. At most one uplink.
+  void set_uplink(PacketSink& sink, sim::Duration latency, double gbps);
+  bool has_uplink() const { return uplink_ != nullptr; }
 
   /// Fault injection on one egress port (frames *toward* `mac`); see
   /// Wire::set_loss. Throws if `mac` is not attached.
@@ -60,6 +69,7 @@ class EthernetSwitch : public PacketSink {
   sim::Simulator& sim_;
   sim::Duration forward_latency_;
   std::unordered_map<MacAddress, std::unique_ptr<Wire>> ports_;
+  std::unique_ptr<Wire> uplink_;
   Stats stats_;
 };
 

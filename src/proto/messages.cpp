@@ -376,26 +376,44 @@ std::vector<std::uint8_t> ResponseMessage::serialize() const {
 
 void ResponseMessage::serialize_into(std::vector<std::uint8_t>& out) const {
   out.clear();
+  // Version 2 if and only if a sojourn sample rides along (same contract as
+  // CompletionMessage): the flag byte is written explicitly so a zero sample
+  // from an idle server survives the wire unambiguously.
+  const std::uint8_t version = has_sojourn ? kVersionExtended : kVersion;
   net::ByteWriter writer(out);
-  write_header(writer, MessageType::kResponse);
+  write_header(writer, MessageType::kResponse, version);
   writer.u64(request_id);
   writer.u32(client_id);
   writer.u16(kind);
   writer.u16(preempt_count);
   writer.u32(queue_depth);
+  if (version == kVersionExtended) {
+    writer.u8(has_sojourn ? 1 : 0);
+    writer.u64(sojourn_ps);
+  }
 }
 
 std::optional<ResponseMessage> ResponseMessage::parse(
     std::span<const std::uint8_t> payload) {
   net::ByteReader reader(payload);
-  if (!read_header(reader, MessageType::kResponse)) return std::nullopt;
-  if (reader.remaining() < 20) return std::nullopt;
+  std::uint8_t version = 0;
+  if (!read_header_versioned(reader, MessageType::kResponse, version)) {
+    return std::nullopt;
+  }
+  const std::size_t body_size = version == kVersionExtended ? 29 : 20;
+  if (reader.remaining() < body_size) return std::nullopt;
   ResponseMessage message;
   message.request_id = reader.u64();
   message.client_id = reader.u32();
   message.kind = reader.u16();
   message.preempt_count = reader.u16();
   message.queue_depth = reader.u32();
+  if (version == kVersionExtended) {
+    const std::uint8_t has_sojourn = reader.u8();
+    if (has_sojourn > 1) return std::nullopt;  // corrupted flag byte
+    message.has_sojourn = has_sojourn == 1;
+    message.sojourn_ps = reader.u64();
+  }
   return message;
 }
 

@@ -218,6 +218,14 @@ struct ResponseMessage {
   /// Scheduler queue depth observed when this request was dispatched —
   /// the host-side load feedback a JIT congestion controller consumes.
   std::uint32_t queue_depth = 0;
+  /// Optional queue-sojourn sample (DESIGN §12): the same per-request wait
+  /// the worker already piggybacks dispatcher-ward on CompletionMessage /
+  /// SequencedNote, additionally echoed client-ward so a ToR-layer
+  /// scheduler can snoop per-server load off in-flight responses. Presence
+  /// is explicit (a zero sojourn from an idle server is a legitimate
+  /// sample); present fields serialize the frame as version 2.
+  bool has_sojourn = false;
+  std::uint64_t sojourn_ps = 0;
 
   std::vector<std::uint8_t> serialize() const;
   void serialize_into(std::vector<std::uint8_t>& out) const;

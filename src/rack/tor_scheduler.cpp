@@ -1,0 +1,425 @@
+#include "rack/tor_scheduler.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "proto/messages.h"
+
+namespace nicsched::rack {
+
+namespace {
+
+bool env_string(const char* name, std::string& out) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return false;
+  out = value;
+  return true;
+}
+
+double env_double(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(value, &end);
+  return end == value ? fallback : parsed;
+}
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(value, &end, 10);
+  return end == value ? fallback : static_cast<std::uint64_t>(parsed);
+}
+
+/// Score offset that makes a presumed-dead host lose every comparison while
+/// preserving relative order among dead hosts (both-dead pairs still pick
+/// the less loaded one).
+constexpr double kDeadPenalty = 1e18;
+
+}  // namespace
+
+const char* to_string(TorPolicy policy) {
+  switch (policy) {
+    case TorPolicy::kFlowHash:
+      return "flow_hash";
+    case TorPolicy::kRoundRobin:
+      return "round_robin";
+    case TorPolicy::kRandom:
+      return "random";
+    case TorPolicy::kPowerOfTwo:
+      return "p2c";
+    case TorPolicy::kJsqIdeal:
+      return "jsq";
+  }
+  return "unknown";
+}
+
+std::optional<TorPolicy> tor_policy_from_string(std::string_view name) {
+  if (name == "flow_hash" || name == "ecmp") return TorPolicy::kFlowHash;
+  if (name == "round_robin" || name == "rr") return TorPolicy::kRoundRobin;
+  if (name == "random") return TorPolicy::kRandom;
+  if (name == "p2c" || name == "power_of_two") return TorPolicy::kPowerOfTwo;
+  if (name == "jsq" || name == "ideal") return TorPolicy::kJsqIdeal;
+  return std::nullopt;
+}
+
+TorParams TorParams::from_env(TorParams base) {
+  std::string text;
+  if (env_string("NICSCHED_RACK_POLICY", text)) {
+    if (const auto parsed = tor_policy_from_string(text)) base.policy = *parsed;
+  }
+  base.decision_latency = sim::Duration::nanos(
+      env_double("NICSCHED_RACK_DECISION_NS", base.decision_latency.to_nanos()));
+  base.host_link_latency = sim::Duration::nanos(
+      env_double("NICSCHED_RACK_LINK_NS", base.host_link_latency.to_nanos()));
+  base.host_link_gbps =
+      env_double("NICSCHED_RACK_LINK_GBPS", base.host_link_gbps);
+  base.feedback_stale_after = sim::Duration::micros(env_double(
+      "NICSCHED_RACK_STALE_US", base.feedback_stale_after.to_micros()));
+  base.sojourn_alpha =
+      env_double("NICSCHED_RACK_SOJOURN_ALPHA", base.sojourn_alpha);
+  base.sojourn_weight_per_us =
+      env_double("NICSCHED_RACK_SOJOURN_WEIGHT", base.sojourn_weight_per_us);
+  base.affinity_ttl = sim::Duration::micros(
+      env_double("NICSCHED_RACK_AFFINITY_TTL_US", base.affinity_ttl.to_micros()));
+  base.host_timeout = sim::Duration::micros(
+      env_double("NICSCHED_RACK_HOST_TIMEOUT_US", base.host_timeout.to_micros()));
+  base.seed = env_u64("NICSCHED_RACK_SEED", base.seed);
+  return base;
+}
+
+/// Per-host uplink adapter: tags arriving frames with their source host so
+/// the ToR can snoop the right feedback stream before forwarding.
+struct TorScheduler::HostUplink final : net::PacketSink {
+  HostUplink(TorScheduler& tor, std::size_t index) : tor_(tor), index_(index) {}
+  void deliver(net::Packet packet) override {
+    tor_.from_host(index_, std::move(packet));
+  }
+  TorScheduler& tor_;
+  std::size_t index_;
+};
+
+TorScheduler::TorScheduler(sim::Simulator& sim, TorParams params)
+    : sim_(sim), params_(params), rng_(params.seed) {}
+
+TorScheduler::~TorScheduler() = default;
+
+std::size_t TorScheduler::add_host(net::MacAddress mac, net::Ipv4Address ip,
+                                   net::PacketSink& host_network) {
+  const std::size_t index = hosts_.size();
+  auto host = std::make_unique<HostState>();
+  host->mac = mac;
+  host->ip = ip;
+  host->downlink = std::make_unique<net::Wire>(
+      sim_, host_network, params_.host_link_latency, params_.host_link_gbps);
+  host->uplink = std::make_unique<HostUplink>(*this, index);
+  hosts_.push_back(std::move(host));
+  return index;
+}
+
+net::PacketSink& TorScheduler::host_uplink(std::size_t host) {
+  return *hosts_.at(host)->uplink;
+}
+
+void TorScheduler::attach(net::EthernetSwitch& client_network,
+                          sim::Duration latency, double gbps) {
+  client_network.attach(vip_mac(), *this, latency, gbps);
+  client_network_ = &client_network;
+}
+
+net::MacAddress TorScheduler::vip_mac() const {
+  return net::MacAddress::from_index(kVipIndex);
+}
+
+net::Ipv4Address TorScheduler::vip_ip() const {
+  return net::Ipv4Address::from_index(kVipIndex);
+}
+
+void TorScheduler::set_oracle(std::function<double(std::size_t)> oracle) {
+  oracle_ = std::move(oracle);
+}
+
+void TorScheduler::mark_host_reset(std::size_t host) {
+  HostState& state = *hosts_.at(host);
+  state.reset_at = sim_.now();
+  state.sojourn_seeded = false;
+  state.sojourn_ewma_us = 0.0;
+  state.depth_seeded = false;
+  state.queue_depth = 0;
+  ++state.counters.resets;
+}
+
+void TorScheduler::deliver(net::Packet packet) {
+  const auto now = sim_.now();
+  sweep_affinity(now);
+  const auto view = net::parse_udp_datagram(packet);
+  if (!view) {
+    ++stats_.malformed_dropped;
+    return;
+  }
+  const auto type = proto::peek_type(view->payload);
+  if (type != proto::MessageType::kRequest || hosts_.empty()) {
+    ++stats_.malformed_dropped;
+    return;
+  }
+  const auto request = proto::RequestMessage::parse(view->payload);
+  if (!request) {
+    ++stats_.malformed_dropped;
+    return;
+  }
+  steer(std::move(packet), *view, request->request_id);
+}
+
+void TorScheduler::steer(net::Packet packet, const net::UdpDatagramView& view,
+                         std::uint64_t request_id) {
+  const auto now = sim_.now();
+  std::size_t target;
+  if (const auto it = affinity_.find(request_id); it != affinity_.end()) {
+    // Retransmit of an in-flight request: keep it on the host that holds
+    // its execution/dedup state, regardless of current load.
+    target = it->second.host;
+    it->second.last_sent = now;
+    affinity_log_.emplace_back(request_id, now);
+    ++stats_.affinity_hits;
+  } else {
+    target = pick_host(view.five_tuple());
+    affinity_.emplace(request_id,
+                      Affinity{static_cast<std::uint32_t>(target), now, now});
+    affinity_log_.emplace_back(request_id, now);
+    HostState& host = *hosts_[target];
+    if (host.outstanding == 0) host.outstanding_since = now;
+    ++host.outstanding;
+  }
+  HostState& host = *hosts_[target];
+  ++host.counters.requests;
+  ++stats_.requests_forwarded;
+
+  // Readdress to the host's ingress endpoint; the client's source fields
+  // ride through so the server replies straight toward the client.
+  net::DatagramAddress address;
+  address.src_mac = view.eth.src;
+  address.dst_mac = host.mac;
+  address.src_ip = view.ip.src;
+  address.dst_ip = host.ip;
+  address.src_port = view.udp.src_port;
+  address.dst_port = view.udp.dst_port;
+  net::Packet steered = net::make_udp_datagram(address, view.payload);
+  (void)packet;  // original frame retired; `steered` replaces it
+
+  net::Wire& downlink = *host.downlink;
+  if (params_.decision_latency.is_zero()) {
+    downlink.transmit(std::move(steered));
+    return;
+  }
+  sim_.after(params_.decision_latency,
+             [&downlink, p = std::move(steered)]() mutable {
+               downlink.transmit(std::move(p));
+             });
+}
+
+std::size_t TorScheduler::pick_host(const net::FiveTuple& flow) {
+  const std::size_t n = hosts_.size();
+  if (n == 1) return 0;
+  const auto now = sim_.now();
+  switch (params_.policy) {
+    case TorPolicy::kFlowHash:
+      return std::hash<net::FiveTuple>{}(flow) % n;
+    case TorPolicy::kRoundRobin:
+      return static_cast<std::size_t>(round_robin_next_++ % n);
+    case TorPolicy::kRandom:
+      return static_cast<std::size_t>(rng_.uniform_int(0, n - 1));
+    case TorPolicy::kPowerOfTwo: {
+      auto a = static_cast<std::size_t>(rng_.uniform_int(0, n - 1));
+      auto b = static_cast<std::size_t>(rng_.uniform_int(0, n - 2));
+      if (b >= a) ++b;
+      bool a_fresh = false;
+      bool b_fresh = false;
+      const double score_a = score(*hosts_[a], now, a_fresh);
+      const double score_b = score(*hosts_[b], now, b_fresh);
+      if (a_fresh && b_fresh) {
+        ++stats_.informed_decisions;
+      } else {
+        ++stats_.stale_decisions;
+      }
+      if (score_a == score_b) return std::min(a, b);
+      return score_a < score_b ? a : b;
+    }
+    case TorPolicy::kJsqIdeal: {
+      std::size_t best = 0;
+      double best_score = std::numeric_limits<double>::infinity();
+      for (std::size_t i = 0; i < n; ++i) {
+        const double host_score =
+            oracle_ ? oracle_(i)
+                    : static_cast<double>(hosts_[i]->outstanding);
+        if (host_score < best_score) {
+          best_score = host_score;
+          best = i;
+        }
+      }
+      return best;
+    }
+  }
+  return 0;
+}
+
+double TorScheduler::score(HostState& host, sim::TimePoint now, bool& fresh) {
+  double value = static_cast<double>(host.outstanding);
+  if (dead_now(host, now)) {
+    fresh = false;
+    return kDeadPenalty + value;
+  }
+  const bool seeded = host.depth_seeded || host.sojourn_seeded;
+  fresh = seeded && (now - host.feedback_at) <= params_.feedback_stale_after;
+  if (fresh) {
+    if (host.depth_seeded) value += static_cast<double>(host.queue_depth);
+    if (host.sojourn_seeded) {
+      value += host.sojourn_ewma_us * params_.sojourn_weight_per_us;
+    }
+  }
+  return value;
+}
+
+bool TorScheduler::dead_now(HostState& host, sim::TimePoint now) {
+  if (host.dead) return true;
+  if (host.outstanding == 0) return false;
+  const auto reference = std::max(host.last_heard, host.outstanding_since);
+  if (now - reference <= params_.host_timeout) return false;
+  host.dead = true;
+  ++host.counters.deaths;
+  // Death verdict == feedback epoch boundary: estimates accumulated from the
+  // previous incarnation are cleared, and any sample still in flight from a
+  // request forwarded before this instant will be discarded on arrival
+  // (fold_feedback's gate) rather than resurrecting the dead EWMA.
+  host.reset_at = now;
+  host.sojourn_seeded = false;
+  host.sojourn_ewma_us = 0.0;
+  host.depth_seeded = false;
+  host.queue_depth = 0;
+  return true;
+}
+
+void TorScheduler::fold_feedback(HostState& host, const Affinity& entry,
+                                 std::uint32_t depth, bool has_sojourn,
+                                 std::uint64_t sojourn_ps) {
+  if (entry.last_sent < host.reset_at) {
+    ++host.counters.feedback_discarded;
+    return;
+  }
+  const auto now = sim_.now();
+  host.queue_depth = depth;
+  host.depth_seeded = true;
+  if (has_sojourn) {
+    const double sample_us =
+        static_cast<double>(sojourn_ps) / 1e6;  // ps → µs
+    host.sojourn_ewma_us =
+        host.sojourn_seeded
+            ? params_.sojourn_alpha * sample_us +
+                  (1.0 - params_.sojourn_alpha) * host.sojourn_ewma_us
+            : sample_us;
+    host.sojourn_seeded = true;
+  }
+  host.feedback_at = now;
+  ++stats_.feedback_samples;
+}
+
+void TorScheduler::complete(std::size_t host, std::uint64_t request_id) {
+  HostState& state = *hosts_[host];
+  if (state.outstanding > 0) --state.outstanding;
+  affinity_.erase(request_id);
+}
+
+void TorScheduler::from_host(std::size_t index, net::Packet packet) {
+  HostState& host = *hosts_[index];
+  const auto now = sim_.now();
+  host.last_heard = now;
+  if (host.dead) {
+    // Heard from again: the silence verdict lifts, but the feedback epoch
+    // set at the verdict stays — only post-verdict samples are trusted.
+    host.dead = false;
+    ++host.counters.revivals;
+  }
+
+  const auto view = net::parse_udp_datagram(packet);
+  if (view) {
+    const auto type = proto::peek_type(view->payload);
+    if (type == proto::MessageType::kResponse) {
+      if (const auto response = proto::ResponseMessage::parse(view->payload)) {
+        const auto it = affinity_.find(response->request_id);
+        if (it != affinity_.end() && it->second.host == index) {
+          fold_feedback(host, it->second, response->queue_depth,
+                        response->has_sojourn, response->sojourn_ps);
+          ++host.counters.responses;
+          complete(index, response->request_id);
+        } else {
+          ++stats_.unknown_responses;
+        }
+      }
+      ++stats_.responses_forwarded;
+    } else if (type == proto::MessageType::kReject) {
+      if (const auto reject = proto::RejectMessage::parse(view->payload)) {
+        const auto it = affinity_.find(reject->request_id);
+        if (it != affinity_.end() && it->second.host == index) {
+          fold_feedback(host, it->second, reject->queue_depth,
+                        /*has_sojourn=*/false, 0);
+          ++host.counters.rejects;
+          complete(index, reject->request_id);
+        } else {
+          ++stats_.unknown_responses;
+        }
+      }
+      ++stats_.rejects_forwarded;
+    } else {
+      ++stats_.other_forwarded;
+    }
+  } else {
+    ++stats_.other_forwarded;
+  }
+
+  if (client_network_ != nullptr) {
+    client_network_->ingress().deliver(std::move(packet));
+  }
+}
+
+void TorScheduler::sweep_affinity(sim::TimePoint now) {
+  while (!affinity_log_.empty()) {
+    const auto [request_id, logged] = affinity_log_.front();
+    if (logged + params_.affinity_ttl > now) break;
+    affinity_log_.pop_front();
+    const auto it = affinity_.find(request_id);
+    if (it == affinity_.end()) continue;  // already completed
+    if (it->second.last_sent != logged) {
+      // Touched since this log entry was written; re-arm at the new time.
+      affinity_log_.emplace_back(request_id, it->second.last_sent);
+      continue;
+    }
+    HostState& host = *hosts_[it->second.host];
+    if (host.outstanding > 0) --host.outstanding;
+    affinity_.erase(it);
+    ++stats_.affinity_expired;
+  }
+}
+
+RackStats TorScheduler::stats() const {
+  RackStats out = stats_;
+  out.hosts.reserve(hosts_.size());
+  for (const auto& host : hosts_) {
+    RackHostStats row = host->counters;
+    row.outstanding = host->outstanding;
+    row.sojourn_ewma_us = host->sojourn_seeded ? host->sojourn_ewma_us : 0.0;
+    row.queue_depth = host->depth_seeded ? host->queue_depth : 0;
+    out.feedback_discarded_dead += row.feedback_discarded;
+    out.hosts.push_back(row);
+  }
+  return out;
+}
+
+std::uint64_t TorScheduler::outstanding(std::size_t host) const {
+  return hosts_.at(host)->outstanding;
+}
+
+}  // namespace nicsched::rack

@@ -1,0 +1,260 @@
+// Rack-scale request steering at the top-of-rack switch (DESIGN §12).
+//
+// The paper argues the NIC is the right place for *intra*-server scheduling
+// because it sees every request before the host does. RackSched (OSDI '20,
+// PAPERS.md) extends the same argument one level up: a ToR switch sees every
+// request before any *server* does, so a two-level policy — request-level
+// inter-server load balancing at the ToR on top of the per-server NIC
+// schedulers this repo already models — approaches a centralized ideal
+// scheduler for the whole rack.
+//
+// `TorScheduler` is that top level. It owns a virtual service endpoint (one
+// VIP MAC/IP the clients address), a downlink wire per backend host, and a
+// per-host uplink sink that snoops server→client responses for piggybacked
+// load feedback before forwarding them on. Steering policies:
+//
+//   kFlowHash    flow-level ECMP: a five-tuple hash pins each flow to one
+//                host. The uninformed baseline that collapses under skew.
+//   kRoundRobin  request-level, uninformed.
+//   kRandom      request-level, uninformed.
+//   kPowerOfTwo  request-level power-of-two-choices on piggybacked feedback
+//                (queue depth + EWMA sojourn snooped off responses).
+//   kJsqIdeal    join-shortest-queue on an oracle that reads true
+//                instantaneous server state — the centralized-ideal upper
+//                bound with zero feedback staleness.
+//
+// Feedback is stale by construction (it rode a response through real wires),
+// so staleness is modelled explicitly: samples older than
+// `feedback_stale_after` are ignored and the decision falls back to the
+// ToR's own outstanding-request count, which is never stale.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "net/ethernet_switch.h"
+#include "net/packet.h"
+#include "net/wire.h"
+#include "sim/random.h"
+#include "sim/simulator.h"
+
+namespace nicsched::rack {
+
+enum class TorPolicy : std::uint8_t {
+  kFlowHash = 0,
+  kRoundRobin = 1,
+  kRandom = 2,
+  kPowerOfTwo = 3,
+  kJsqIdeal = 4,
+};
+
+const char* to_string(TorPolicy policy);
+std::optional<TorPolicy> tor_policy_from_string(std::string_view name);
+
+struct TorParams {
+  TorPolicy policy = TorPolicy::kPowerOfTwo;
+
+  /// Per-request steering decision cost in the switch pipeline. RackSched
+  /// implements the decision in P4 match-action stages at line rate; a small
+  /// constant models the extra pipeline passes.
+  sim::Duration decision_latency = sim::Duration::nanos(50);
+
+  /// ToR↔host port propagation + line rate. Rack links are a hop shorter
+  /// than the client path and typically faster than host NICs.
+  sim::Duration host_link_latency = sim::Duration::nanos(500);
+  double host_link_gbps = 40.0;
+
+  /// EWMA smoothing for snooped sojourn samples (per host).
+  double sojourn_alpha = 0.3;
+  /// How a microsecond of EWMA sojourn trades against one unit of queue
+  /// depth when scoring a host.
+  double sojourn_weight_per_us = 1.0;
+  /// Feedback older than this is ignored; the decision then scores hosts on
+  /// the ToR-local outstanding count only. This is the sweepable staleness
+  /// knob: 0 disables feedback entirely, Duration::max() trusts any sample.
+  sim::Duration feedback_stale_after = sim::Duration::micros(100);
+
+  /// Request→host affinity entries idle longer than this are evicted (and
+  /// their outstanding slot reclaimed). Covers client retry horizons.
+  sim::Duration affinity_ttl = sim::Duration::millis(5);
+
+  /// Rack-level death verdict: a host with outstanding requests that has
+  /// been silent this long is presumed dead; its feedback state is cleared
+  /// and informed policies steer away until it is heard from again.
+  sim::Duration host_timeout = sim::Duration::millis(1);
+
+  /// Seed for the ToR's own RNG stream (kRandom draws, kPowerOfTwo
+  /// candidate pairs). Forked per TorScheduler, never shared with clients
+  /// or servers, so adding a rack does not perturb their streams.
+  std::uint64_t seed = 0x70F2;
+
+  /// Applies NICSCHED_RACK_* environment overrides on top of `base`:
+  ///   NICSCHED_RACK_POLICY          flow_hash|round_robin|random|p2c|jsq
+  ///   NICSCHED_RACK_DECISION_NS     steering decision latency
+  ///   NICSCHED_RACK_LINK_NS         ToR↔host propagation
+  ///   NICSCHED_RACK_LINK_GBPS      ToR↔host line rate
+  ///   NICSCHED_RACK_STALE_US        feedback staleness tolerance
+  ///   NICSCHED_RACK_SOJOURN_ALPHA   EWMA smoothing factor
+  ///   NICSCHED_RACK_SOJOURN_WEIGHT  sojourn-vs-depth score weight
+  ///   NICSCHED_RACK_AFFINITY_TTL_US affinity eviction horizon
+  ///   NICSCHED_RACK_HOST_TIMEOUT_US death-verdict silence threshold
+  static TorParams from_env(TorParams base);
+  static TorParams from_env() { return from_env(TorParams{}); }
+};
+
+struct RackHostStats {
+  std::uint64_t requests = 0;   // requests steered to this host
+  std::uint64_t responses = 0;  // responses matched to an affinity entry
+  std::uint64_t rejects = 0;    // rejects matched to an affinity entry
+  std::uint64_t outstanding = 0;  // in-flight snapshot at stats() time
+  std::uint64_t deaths = 0;       // silence verdicts
+  std::uint64_t revivals = 0;     // heard from again after a verdict
+  std::uint64_t resets = 0;       // external mark_host_reset calls
+  /// Feedback samples discarded because their request was forwarded before
+  /// the host's last death verdict / reset — the rack-level analogue of the
+  /// per-worker reset-on-death EWMA rule (DESIGN §11): a late sample from a
+  /// previous incarnation must not resurrect the dead incarnation's load
+  /// estimate.
+  std::uint64_t feedback_discarded = 0;
+  double sojourn_ewma_us = 0.0;   // snapshot (0 until seeded)
+  std::uint32_t queue_depth = 0;  // last snooped depth (0 until seeded)
+};
+
+struct RackStats {
+  std::uint64_t requests_forwarded = 0;
+  std::uint64_t responses_forwarded = 0;  // kResponse frames sent client-ward
+  std::uint64_t rejects_forwarded = 0;    // kReject frames sent client-ward
+  std::uint64_t other_forwarded = 0;      // non-client-facing uplink frames
+  std::uint64_t malformed_dropped = 0;
+  std::uint64_t affinity_hits = 0;     // retransmits steered to their host
+  std::uint64_t affinity_expired = 0;  // TTL evictions
+  std::uint64_t unknown_responses = 0;  // no affinity entry (dup/expired)
+  std::uint64_t informed_decisions = 0;  // p2c with fresh feedback
+  std::uint64_t stale_decisions = 0;     // p2c fell back to outstanding-only
+  std::uint64_t feedback_samples = 0;    // accepted into a host estimate
+  std::uint64_t feedback_discarded_dead = 0;  // sum of per-host discards
+  std::vector<RackHostStats> hosts;
+};
+
+/// The ToR request scheduler. Clients address the VIP; `deliver` steers each
+/// request to a backend host; per-host uplink sinks snoop and forward the
+/// return traffic. All state is ToR-local — hosts and clients are unmodified
+/// and unaware of the rack layer.
+class TorScheduler : public net::PacketSink {
+ public:
+  /// MAC/IP index of the virtual service endpoint on the client-side
+  /// switch. Far above any client index (clients use small integers).
+  static constexpr std::uint32_t kVipIndex = 0xF0'0000;
+
+  TorScheduler(sim::Simulator& sim, TorParams params);
+  ~TorScheduler() override;
+
+  TorScheduler(const TorScheduler&) = delete;
+  TorScheduler& operator=(const TorScheduler&) = delete;
+
+  /// Registers a backend host whose ingress endpoint (the server's PF) is
+  /// `mac`/`ip` on `host_network`. Steered requests are readdressed to
+  /// `mac`/`ip` and egress on a dedicated downlink wire into the host's
+  /// fabric. Returns the host index.
+  std::size_t add_host(net::MacAddress mac, net::Ipv4Address ip,
+                       net::PacketSink& host_network);
+
+  /// The sink a host fabric's uplink (EthernetSwitch::set_uplink) should
+  /// target: frames arriving here are snooped for load feedback, then
+  /// forwarded on toward the clients.
+  net::PacketSink& host_uplink(std::size_t host);
+
+  /// Attaches the VIP endpoint to the client-side switch: frames the
+  /// clients send to `vip_mac()` reach `deliver`, and snooped return
+  /// traffic re-enters `client_network` for final delivery.
+  void attach(net::EthernetSwitch& client_network, sim::Duration latency,
+              double gbps);
+
+  net::MacAddress vip_mac() const;
+  net::Ipv4Address vip_ip() const;
+  std::size_t host_count() const { return hosts_.size(); }
+
+  /// Installs the kJsqIdeal oracle: a function returning host `i`'s true
+  /// instantaneous load. Centralized-ideal baseline — no wire, no staleness.
+  void set_oracle(std::function<double(std::size_t)> oracle);
+
+  /// External notice that a host lost state (e.g. a fault schedule killed
+  /// its dispatcher): clears the host's feedback estimates and discards
+  /// samples from requests forwarded before this instant.
+  void mark_host_reset(std::size_t host);
+
+  /// PacketSink: a client→VIP frame to steer.
+  void deliver(net::Packet packet) override;
+
+  RackStats stats() const;
+
+  /// ToR-local in-flight count for one host (test/telemetry accessor).
+  std::uint64_t outstanding(std::size_t host) const;
+  const TorParams& params() const { return params_; }
+
+ private:
+  struct HostUplink;
+
+  struct HostState {
+    net::MacAddress mac;
+    net::Ipv4Address ip;
+    std::unique_ptr<net::Wire> downlink;
+    std::unique_ptr<HostUplink> uplink;
+
+    std::uint64_t outstanding = 0;
+    sim::TimePoint outstanding_since;  // last 0→nonzero transition
+    sim::TimePoint last_heard;         // last uplink frame from this host
+    sim::TimePoint reset_at;           // feedback epoch floor
+    bool dead = false;
+
+    bool sojourn_seeded = false;
+    double sojourn_ewma_us = 0.0;
+    bool depth_seeded = false;
+    std::uint32_t queue_depth = 0;
+    sim::TimePoint feedback_at;  // when the freshest sample arrived
+
+    RackHostStats counters;  // requests/responses/deaths/... (not snapshots)
+  };
+
+  struct Affinity {
+    std::uint32_t host = 0;
+    sim::TimePoint first_sent;
+    sim::TimePoint last_sent;
+  };
+
+  void from_host(std::size_t host, net::Packet packet);
+  void steer(net::Packet packet, const net::UdpDatagramView& view,
+             std::uint64_t request_id);
+  std::size_t pick_host(const net::FiveTuple& flow);
+  double score(HostState& host, sim::TimePoint now, bool& fresh);
+  bool dead_now(HostState& host, sim::TimePoint now);
+  void fold_feedback(HostState& host, const Affinity& entry,
+                     std::uint32_t depth, bool has_sojourn,
+                     std::uint64_t sojourn_ps);
+  void complete(std::size_t host, std::uint64_t request_id);
+  void sweep_affinity(sim::TimePoint now);
+
+  sim::Simulator& sim_;
+  TorParams params_;
+  sim::Rng rng_;
+  net::EthernetSwitch* client_network_ = nullptr;
+  std::vector<std::unique_ptr<HostState>> hosts_;
+  std::function<double(std::size_t)> oracle_;
+  std::uint64_t round_robin_next_ = 0;
+
+  std::unordered_map<std::uint64_t, Affinity> affinity_;
+  /// Insertion-ordered (request_id, last_sent) log for lazy TTL sweeps; an
+  /// entry whose logged time no longer matches the map is re-validated, not
+  /// evicted.
+  std::deque<std::pair<std::uint64_t, sim::TimePoint>> affinity_log_;
+
+  RackStats stats_;
+};
+
+}  // namespace nicsched::rack

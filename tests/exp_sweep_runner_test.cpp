@@ -75,6 +75,57 @@ void expect_row_identical(const exp::ResultRow& a, const exp::ResultRow& b) {
   EXPECT_EQ(a.mean_worker_utilization, b.mean_worker_utilization);
 }
 
+void expect_rack_aggregates_identical(const rack::RackStats& a,
+                                      const rack::RackStats& b) {
+  EXPECT_EQ(a.requests_forwarded, b.requests_forwarded);
+  EXPECT_EQ(a.responses_forwarded, b.responses_forwarded);
+  EXPECT_EQ(a.rejects_forwarded, b.rejects_forwarded);
+  EXPECT_EQ(a.other_forwarded, b.other_forwarded);
+  EXPECT_EQ(a.malformed_dropped, b.malformed_dropped);
+  EXPECT_EQ(a.affinity_hits, b.affinity_hits);
+  EXPECT_EQ(a.affinity_expired, b.affinity_expired);
+  EXPECT_EQ(a.unknown_responses, b.unknown_responses);
+  EXPECT_EQ(a.informed_decisions, b.informed_decisions);
+  EXPECT_EQ(a.stale_decisions, b.stale_decisions);
+  EXPECT_EQ(a.feedback_samples, b.feedback_samples);
+  EXPECT_EQ(a.feedback_discarded_dead, b.feedback_discarded_dead);
+  EXPECT_EQ(a.hosts.size(), b.hosts.size());
+}
+
+exp::ResultRow rack_row() {
+  exp::ResultRow row;
+  row.series = "rack p2c";
+  row.summary.offered_rps = 1.2e6;
+  row.summary.completed = 50'000;
+  rack::RackStats rack_stats;
+  rack_stats.requests_forwarded = 50'100;
+  rack_stats.responses_forwarded = 50'000;
+  rack_stats.rejects_forwarded = 40;
+  rack_stats.other_forwarded = 3;
+  rack_stats.malformed_dropped = 1;
+  rack_stats.affinity_hits = 27;
+  rack_stats.affinity_expired = 4;
+  rack_stats.unknown_responses = 2;
+  rack_stats.informed_decisions = 49'000;
+  rack_stats.stale_decisions = 1'100;
+  rack_stats.feedback_samples = 50'000;
+  rack_stats.feedback_discarded_dead = 9;
+  rack::RackHostStats host;
+  host.requests = 12'525;
+  host.responses = 12'500;
+  host.rejects = 10;
+  host.outstanding = 15;
+  host.deaths = 1;
+  host.revivals = 1;
+  host.resets = 2;
+  host.feedback_discarded = 9;
+  host.sojourn_ewma_us = 7.0 / 3.0;  // non-terminating binary fraction
+  host.queue_depth = 6;
+  rack_stats.hosts.assign(4, host);
+  row.rack = std::move(rack_stats);
+  return row;
+}
+
 TEST(SweepRunner, ParallelMatchesSerialBitForBit) {
   const auto base = small_config();
   const auto loads = exp::load_grid(50e3, 250e3, 5);
@@ -227,6 +278,82 @@ TEST(ResultSink, CsvRoundTripsAllFields) {
   ASSERT_TRUE(rows.has_value()) << error;
   ASSERT_EQ(rows->size(), 1u);
   expect_row_identical((*rows)[0], sample_row());
+}
+
+TEST(ResultSink, JsonRoundTripsRackStats) {
+  exp::JsonResultSink sink("rack_test", "rack");
+  sink.add(sample_row());  // no rack block
+  sink.add(rack_row());
+
+  std::ostringstream out;
+  sink.write(out);
+
+  std::string error;
+  const auto parsed = exp::parse_json_results(out.str(), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  ASSERT_EQ(parsed->rows.size(), 2u);
+  EXPECT_FALSE(parsed->rows[0].rack.has_value());
+  ASSERT_TRUE(parsed->rows[1].rack.has_value());
+  const exp::ResultRow reference = rack_row();
+  expect_rack_aggregates_identical(*parsed->rows[1].rack, *reference.rack);
+  // JSON is the lossless path: per-host rows survive too.
+  ASSERT_EQ(parsed->rows[1].rack->hosts.size(), 4u);
+  const rack::RackHostStats& host = parsed->rows[1].rack->hosts[2];
+  EXPECT_EQ(host.requests, 12'525u);
+  EXPECT_EQ(host.responses, 12'500u);
+  EXPECT_EQ(host.rejects, 10u);
+  EXPECT_EQ(host.outstanding, 15u);
+  EXPECT_EQ(host.deaths, 1u);
+  EXPECT_EQ(host.revivals, 1u);
+  EXPECT_EQ(host.resets, 2u);
+  EXPECT_EQ(host.feedback_discarded, 9u);
+  EXPECT_EQ(host.sojourn_ewma_us, 7.0 / 3.0);
+  EXPECT_EQ(host.queue_depth, 6u);
+}
+
+TEST(ResultSink, CsvRoundTripsRackAggregates) {
+  exp::CsvResultSink sink;
+  sink.add(sample_row());  // rack columns all zero
+  sink.add(rack_row());
+
+  std::ostringstream out;
+  sink.write(out);
+
+  std::string error;
+  const auto rows = exp::parse_csv_rows(out.str(), &error);
+  ASSERT_TRUE(rows.has_value()) << error;
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_FALSE((*rows)[0].rack.has_value());
+  ASSERT_TRUE((*rows)[1].rack.has_value());
+  const exp::ResultRow reference = rack_row();
+  expect_rack_aggregates_identical(*(*rows)[1].rack, *reference.rack);
+}
+
+TEST(ResultSink, CsvParsesLegacyPreRackRows) {
+  // A 39-cell row from a pre-rack export must still parse (rack absent).
+  exp::CsvResultSink sink;
+  sink.add(sample_row());
+  std::ostringstream out;
+  sink.write(out);
+  std::string text = out.str();
+  // Strip the 13 rack cells from header and row to fabricate the old schema.
+  auto strip_last_cells = [](std::string line, int count) {
+    for (int i = 0; i < count; ++i) line.erase(line.rfind(','));
+    return line;
+  };
+  const std::size_t newline = text.find('\n');
+  std::string header = strip_last_cells(text.substr(0, newline), 13);
+  std::string row =
+      strip_last_cells(text.substr(newline + 1,
+                                   text.size() - newline - 2), 13);
+  const std::string legacy = header + "\n" + row + "\n";
+
+  std::string error;
+  const auto rows = exp::parse_csv_rows(legacy, &error);
+  ASSERT_TRUE(rows.has_value()) << error;
+  ASSERT_EQ(rows->size(), 1u);
+  expect_row_identical((*rows)[0], sample_row());
+  EXPECT_FALSE((*rows)[0].rack.has_value());
 }
 
 TEST(ResultSink, JsonRejectsMalformedInput) {

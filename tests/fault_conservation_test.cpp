@@ -16,7 +16,7 @@
 #include <optional>
 #include <vector>
 
-#include "core/server_factory.h"
+#include "core/cluster.h"
 #include "core/testbed.h"
 #include "fault/fault_injector.h"
 #include "fault/fault_schedule.h"
@@ -50,8 +50,12 @@ Outcome run_faulted(const core::ExperimentConfig& config,
                     std::uint64_t client_seed, sim::TimePoint issue_until,
                     sim::TimePoint run_until) {
   sim::Simulator sim;
-  net::EthernetSwitch network(sim, config.params.switch_forward_latency);
-  auto server = core::make_server(config, sim, network);
+  core::ClusterBuilder topology(sim);
+  topology.switch_latency(config.params.switch_forward_latency);
+  topology.add_host(core::HostSpec::from_config(config));
+  core::Cluster cluster = topology.build();
+  net::EthernetSwitch& network = cluster.client_network();
+  core::Server* server = &cluster.server();
 
   workload::ClientMachine::Config client_config;
   client_config.client_id = 1;

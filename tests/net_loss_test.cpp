@@ -4,8 +4,8 @@
 
 #include <memory>
 
+#include "core/cluster.h"
 #include "core/offload_server.h"
-#include "core/server_factory.h"
 #include "core/testbed.h"
 #include "net/ethernet_switch.h"
 #include "net/nic.h"
@@ -96,13 +96,16 @@ TEST(LossEndToEnd, OffloadKeepsServingUnderExternalLoss) {
   // must track the surviving traffic — no wedging, no slot leak.
   sim::Simulator sim;
   const core::ModelParams params = core::ModelParams::defaults();
-  net::EthernetSwitch network(sim, params.switch_forward_latency);
 
   const auto experiment =
       core::ExperimentConfig::offload().workers(4).outstanding(4)
           .no_preemption();
-  const auto server_ptr = core::make_server(experiment, sim, network);
-  auto& server = dynamic_cast<core::ShinjukuOffloadServer&>(*server_ptr);
+  core::ClusterBuilder topology(sim);
+  topology.switch_latency(params.switch_forward_latency);
+  topology.add_host(core::HostSpec::from_config(experiment));
+  core::Cluster cluster = topology.build();
+  net::EthernetSwitch& network = cluster.client_network();
+  auto& server = dynamic_cast<core::ShinjukuOffloadServer&>(cluster.server());
 
   workload::ClientMachine::Config client_config;
   client_config.client_id = 1;

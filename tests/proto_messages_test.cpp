@@ -191,6 +191,49 @@ TEST(ResponseMessage, RoundTrip) {
   EXPECT_EQ(*parsed, message);
 }
 
+TEST(ResponseMessage, SojournSampleRoundTripsAsVersion2) {
+  ResponseMessage message;
+  message.request_id = 778;
+  message.client_id = 5;
+  message.queue_depth = 17;
+  message.has_sojourn = true;
+  message.sojourn_ps = 42'000'000;
+  const auto bytes = message.serialize();
+  EXPECT_EQ(bytes[2], kVersionExtended);
+  const auto parsed = ResponseMessage::parse(bytes);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, message);
+
+  // A zero sample from an idle server is still an explicit sample.
+  message.sojourn_ps = 0;
+  const auto idle = ResponseMessage::parse(message.serialize());
+  ASSERT_TRUE(idle.has_value());
+  EXPECT_TRUE(idle->has_sojourn);
+
+  // Without the sample the frame stays version 1 bit-for-bit.
+  message.has_sojourn = false;
+  EXPECT_EQ(message.serialize()[2], kVersion);
+}
+
+TEST(ResponseMessage, Version2RejectsTruncationAndBadFlag) {
+  ResponseMessage message;
+  message.request_id = 779;
+  message.has_sojourn = true;
+  message.sojourn_ps = 7;
+  const auto bytes = message.serialize();
+  // Truncating extended fields must never alias a version-1 parse.
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    auto truncated = bytes;
+    truncated.resize(len);
+    EXPECT_FALSE(ResponseMessage::parse(truncated).has_value())
+        << "accepted a " << len << "-byte truncation";
+  }
+  // The sojourn flag byte sits after the 20-byte version-1 body.
+  auto bad_flag = bytes;
+  bad_flag[4 + 20] = 2;
+  EXPECT_FALSE(ResponseMessage::parse(bad_flag).has_value());
+}
+
 TEST(SequencedAssignment, RoundTrip) {
   SequencedAssignment message;
   message.seq = 0xDEADBEEFCAFE0001ULL;

@@ -1,0 +1,456 @@
+// ToR request steering (DESIGN §12): unit tests drive a TorScheduler
+// directly with crafted frames to pin down p2c scoring, request→host
+// affinity, feedback staleness, and the death-verdict feedback epoch; then
+// integration runs assert rack-wide conservation identities across seeds and
+// that a one-host rack is bit-identical to the rackless testbed.
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/testbed.h"
+#include "net/ethernet_switch.h"
+#include "net/packet.h"
+#include "proto/messages.h"
+#include "rack/tor_scheduler.h"
+#include "sim/simulator.h"
+#include "stats/response_log.h"
+
+namespace nicsched {
+namespace {
+
+constexpr std::uint16_t kClientPort = 9000;
+constexpr std::uint16_t kServicePort = 8080;
+
+net::MacAddress client_mac() { return net::MacAddress::from_index(1); }
+net::Ipv4Address client_ip() { return net::Ipv4Address::from_index(1); }
+net::MacAddress host_mac(std::size_t i) {
+  return net::MacAddress::from_index(100 + static_cast<std::uint32_t>(i));
+}
+net::Ipv4Address host_ip(std::size_t i) {
+  return net::Ipv4Address::from_index(100 + static_cast<std::uint32_t>(i));
+}
+
+/// Terminal sink standing in for a host fabric or the client NIC.
+struct Collector final : net::PacketSink {
+  std::vector<net::Packet> packets;
+  void deliver(net::Packet packet) override {
+    packets.push_back(std::move(packet));
+  }
+  std::vector<std::uint64_t> request_ids() const {
+    std::vector<std::uint64_t> ids;
+    for (const auto& packet : packets) {
+      const auto view = net::parse_udp_datagram(packet);
+      if (!view) continue;
+      if (const auto request = proto::RequestMessage::parse(view->payload)) {
+        ids.push_back(request->request_id);
+      }
+    }
+    return ids;
+  }
+};
+
+/// A ToR wired between one client endpoint and N collector "hosts". Requests
+/// are injected straight into the ToR's VIP sink; responses are injected into
+/// the per-host uplink snoop path, exactly as a host fabric's uplink would.
+struct TorHarness {
+  sim::Simulator sim;
+  net::EthernetSwitch client_net;
+  rack::TorScheduler tor;
+  Collector client_rx;
+  std::vector<std::unique_ptr<Collector>> host_rx;
+
+  TorHarness(rack::TorParams params, std::size_t hosts)
+      : client_net(sim, sim::Duration::zero()), tor(sim, params) {
+    client_net.attach(client_mac(), client_rx, sim::Duration::zero(), 100.0);
+    for (std::size_t i = 0; i < hosts; ++i) {
+      auto rx = std::make_unique<Collector>();
+      tor.add_host(host_mac(i), host_ip(i), *rx);
+      host_rx.push_back(std::move(rx));
+    }
+    tor.attach(client_net, sim::Duration::zero(), 100.0);
+  }
+
+  void send_request(std::uint64_t id, std::uint16_t src_port = kClientPort) {
+    proto::RequestMessage msg;
+    msg.request_id = id;
+    msg.client_id = 1;
+    msg.work_ps = 1000;
+    net::DatagramAddress address{client_mac(), tor.vip_mac(), client_ip(),
+                                 tor.vip_ip(), src_port, kServicePort};
+    tor.deliver(net::make_udp_datagram(address, msg.serialize()));
+    flush();
+  }
+
+  void send_response(std::size_t host, std::uint64_t id, std::uint32_t depth,
+                     std::optional<std::uint64_t> sojourn_ps) {
+    proto::ResponseMessage msg;
+    msg.request_id = id;
+    msg.client_id = 1;
+    msg.queue_depth = depth;
+    if (sojourn_ps) {
+      msg.has_sojourn = true;
+      msg.sojourn_ps = *sojourn_ps;
+    }
+    net::DatagramAddress address{host_mac(host), client_mac(), host_ip(host),
+                                 client_ip(), kServicePort, kClientPort};
+    tor.host_uplink(host).deliver(net::make_udp_datagram(address,
+                                                         msg.serialize()));
+    flush();
+  }
+
+  void flush() { sim.run_for(sim::Duration::micros(2)); }
+};
+
+rack::TorParams unit_params() {
+  rack::TorParams params;
+  params.policy = rack::TorPolicy::kPowerOfTwo;
+  params.feedback_stale_after = sim::Duration::millis(10);
+  return params;
+}
+
+// A steered request is readdressed to the chosen host's ingress endpoint
+// with the client's source fields preserved, and the payload rides through
+// untouched.
+TEST(TorScheduler, SteersAndReaddressesToHostIngress) {
+  TorHarness h(unit_params(), 2);
+  h.send_request(41);
+
+  ASSERT_EQ(h.host_rx[0]->packets.size() + h.host_rx[1]->packets.size(), 1u);
+  const Collector& hit =
+      h.host_rx[0]->packets.empty() ? *h.host_rx[1] : *h.host_rx[0];
+  const std::size_t index = h.host_rx[0]->packets.empty() ? 1 : 0;
+  const auto view = net::parse_udp_datagram(hit.packets.front());
+  ASSERT_TRUE(view.has_value());
+  EXPECT_EQ(view->eth.dst, host_mac(index));
+  EXPECT_EQ(view->ip.dst, host_ip(index));
+  EXPECT_EQ(view->eth.src, client_mac());
+  EXPECT_EQ(view->udp.src_port, kClientPort);
+  const auto request = proto::RequestMessage::parse(view->payload);
+  ASSERT_TRUE(request.has_value());
+  EXPECT_EQ(request->request_id, 41u);
+
+  const rack::RackStats stats = h.tor.stats();
+  EXPECT_EQ(stats.requests_forwarded, 1u);
+  EXPECT_EQ(h.tor.outstanding(index), 1u);
+}
+
+// With two hosts, p2c compares both every time, so steering is a pure
+// function of the scores: a host whose piggybacked feedback reports a deep
+// queue loses to the unloaded host until its own in-flight count catches up.
+TEST(TorScheduler, P2cPrefersLowerFeedbackScore) {
+  TorHarness h(unit_params(), 2);
+
+  // Tie-break on equal scores is the lower index.
+  h.send_request(1);
+  ASSERT_EQ(h.host_rx[0]->packets.size(), 1u);
+
+  // Host 0 reports depth 100, sojourn 50us on its response.
+  h.send_response(0, 1, 100, sim::Duration::micros(50).to_picos());
+  EXPECT_EQ(h.tor.outstanding(0), 0u);
+  EXPECT_EQ(h.client_rx.packets.size(), 1u);  // forwarded client-ward
+
+  // Every subsequent request avoids host 0: its advertised score (100 depth
+  // + 50us sojourn) dwarfs host 1's growing outstanding count.
+  for (std::uint64_t id = 2; id <= 11; ++id) h.send_request(id);
+  EXPECT_EQ(h.host_rx[0]->packets.size(), 1u);
+  EXPECT_EQ(h.host_rx[1]->packets.size(), 10u);
+
+  // Host 1 was unseeded, so those decisions counted as stale fallbacks. A
+  // response from host 1 seeds it; the next decision is fully informed.
+  rack::RackStats stats = h.tor.stats();
+  EXPECT_EQ(stats.informed_decisions, 0u);
+  EXPECT_GE(stats.stale_decisions, 10u);
+  EXPECT_EQ(stats.feedback_samples, 1u);
+
+  h.send_response(1, 2, 0, sim::Duration::zero().to_picos());
+  h.send_request(12);
+  stats = h.tor.stats();
+  EXPECT_EQ(stats.informed_decisions, 1u);
+  EXPECT_EQ(stats.feedback_samples, 2u);
+  EXPECT_EQ(h.host_rx[1]->packets.size(), 11u);
+}
+
+// A retransmit of an in-flight request sticks to the host holding its
+// execution state even when the load comparison favors the other host; TTL
+// expiry reclaims the outstanding slots and later responses are unknown.
+TEST(TorScheduler, AffinityPinsRetransmitsAndExpires) {
+  TorHarness h(unit_params(), 2);
+  h.send_request(7);  // tie -> host 0
+  h.send_request(8);  // host 0 loaded -> host 1
+  h.send_request(9);  // tie at 1 vs 1 -> host 0, outstanding 2
+  ASSERT_EQ(h.host_rx[0]->request_ids(), (std::vector<std::uint64_t>{7, 9}));
+  ASSERT_EQ(h.host_rx[1]->request_ids(), (std::vector<std::uint64_t>{8}));
+
+  // Retransmit id 7: host 0 scores 2 vs host 1's 1, but affinity wins.
+  h.send_request(7);
+  EXPECT_EQ(h.host_rx[0]->request_ids(),
+            (std::vector<std::uint64_t>{7, 9, 7}));
+  rack::RackStats stats = h.tor.stats();
+  EXPECT_EQ(stats.affinity_hits, 1u);
+  EXPECT_EQ(h.tor.outstanding(0), 2u);  // retransmit is not a new slot
+
+  // Nothing ever completes; past the TTL the sweep evicts all three entries
+  // and reclaims their slots.
+  h.sim.run_for(h.tor.params().affinity_ttl + sim::Duration::millis(1));
+  h.send_request(100);  // triggers the sweep before steering
+  stats = h.tor.stats();
+  EXPECT_EQ(stats.affinity_expired, 3u);
+  EXPECT_EQ(h.tor.outstanding(0) + h.tor.outstanding(1), 1u);  // just id 100
+
+  // A response for the evicted id no longer matches anything, but is still
+  // forwarded toward the client.
+  const std::size_t forwarded_before = h.client_rx.packets.size();
+  h.send_response(0, 7, 3, std::nullopt);
+  stats = h.tor.stats();
+  EXPECT_EQ(stats.unknown_responses, 1u);
+  EXPECT_EQ(h.client_rx.packets.size(), forwarded_before + 1);
+}
+
+// The staleness knob: the same advertised queue depth steers requests away
+// while fresh, and is ignored (falling back to the ToR-local outstanding
+// count) once older than feedback_stale_after.
+TEST(TorScheduler, StaleFeedbackFallsBackToOutstanding) {
+  rack::TorParams params = unit_params();
+  params.feedback_stale_after = sim::Duration::micros(10);
+  TorHarness h(params, 2);
+
+  h.send_request(1);  // tie -> host 0
+  h.send_response(0, 1, 100, std::nullopt);
+
+  // Fresh sample: host 0's depth 100 loses to unseeded host 1.
+  h.send_request(2);
+  EXPECT_EQ(h.host_rx[1]->request_ids(), (std::vector<std::uint64_t>{2}));
+
+  // Let the sample age past tolerance. Now host 0 scores on outstanding
+  // alone (0) and beats host 1 (1 in flight) despite the recorded depth.
+  h.sim.run_for(sim::Duration::micros(50));
+  const std::uint64_t stale_before = h.tor.stats().stale_decisions;
+  h.send_request(3);
+  EXPECT_EQ(h.host_rx[0]->request_ids(), (std::vector<std::uint64_t>{1, 3}));
+  EXPECT_EQ(h.tor.stats().stale_decisions, stale_before + 1);
+}
+
+// mark_host_reset starts a new feedback epoch: samples riding responses to
+// requests steered before the reset are discarded instead of resurrecting
+// the previous incarnation's estimate (the rack-level analogue of the
+// per-worker reset-on-death EWMA rule).
+TEST(TorScheduler, ResetDiscardsPreEpochFeedback) {
+  TorHarness h(unit_params(), 2);
+  h.send_request(50);  // tie -> host 0
+  h.tor.mark_host_reset(0);
+  h.send_response(0, 50, 100, sim::Duration::micros(500).to_picos());
+
+  rack::RackStats stats = h.tor.stats();
+  EXPECT_EQ(stats.hosts[0].resets, 1u);
+  EXPECT_EQ(stats.hosts[0].feedback_discarded, 1u);
+  EXPECT_EQ(stats.feedback_discarded_dead, 1u);
+  EXPECT_EQ(stats.feedback_samples, 0u);
+  EXPECT_EQ(stats.hosts[0].queue_depth, 0u);
+  EXPECT_EQ(stats.hosts[0].sojourn_ewma_us, 0.0);
+  // The response itself still completes the request and reaches the client.
+  EXPECT_EQ(stats.hosts[0].responses, 1u);
+  EXPECT_EQ(h.tor.outstanding(0), 0u);
+  EXPECT_EQ(h.client_rx.packets.size(), 1u);
+
+  // Post-epoch traffic folds normally.
+  h.send_request(51);  // tie -> host 0
+  h.send_response(0, 51, 7, std::nullopt);
+  stats = h.tor.stats();
+  EXPECT_EQ(stats.feedback_samples, 1u);
+  EXPECT_EQ(stats.hosts[0].queue_depth, 7u);
+}
+
+// A host silent past host_timeout with requests in flight draws a death
+// verdict: informed policies steer away, and when it is heard from again the
+// verdict lifts but pre-verdict feedback stays discarded.
+TEST(TorScheduler, SilenceVerdictSteersAwayAndRevivalKeepsEpoch) {
+  rack::TorParams params = unit_params();
+  params.host_timeout = sim::Duration::micros(100);
+  TorHarness h(params, 2);
+
+  h.send_request(60);  // tie -> host 0, then silence
+  h.sim.run_for(sim::Duration::micros(300));
+
+  // Scoring for the next request passes the death verdict on host 0.
+  h.send_request(61);
+  rack::RackStats stats = h.tor.stats();
+  EXPECT_EQ(stats.hosts[0].deaths, 1u);
+  EXPECT_EQ(h.host_rx[1]->request_ids(), (std::vector<std::uint64_t>{61}));
+
+  // The late response revives host 0 but its feedback predates the verdict
+  // epoch, so the sample is discarded.
+  h.send_response(0, 60, 40, sim::Duration::micros(200).to_picos());
+  stats = h.tor.stats();
+  EXPECT_EQ(stats.hosts[0].revivals, 1u);
+  EXPECT_EQ(stats.hosts[0].feedback_discarded, 1u);
+  EXPECT_EQ(stats.hosts[0].responses, 1u);
+
+  // Revived and idle, host 0 wins the next comparison again.
+  h.send_request(62);
+  EXPECT_EQ(h.host_rx[0]->request_ids(),
+            (std::vector<std::uint64_t>{60, 62}));
+}
+
+// ---- integration: full rack experiments through the testbed --------------
+
+core::ExperimentConfig rack_config(std::uint64_t seed, std::size_t hosts,
+                                   double offered_rps) {
+  auto config = core::ExperimentConfig::offload()
+                    .workers(2)
+                    .outstanding(2)
+                    .bimodal()
+                    .load(offered_rps)
+                    .clients(2, 16)
+                    .measure_for(sim::Duration::millis(2))
+                    .with_seed(seed)
+                    .with_rack(hosts, rack::TorPolicy::kPowerOfTwo);
+  config.warmup = sim::Duration::millis(1);
+  config.drain = sim::Duration::millis(1);
+  return config;
+}
+
+// Rack-wide conservation identities hold for every seed: every steered
+// request is accounted to exactly one host, every forwarded return frame is
+// either matched or counted unknown, and in-flight slots balance the books.
+TEST(RackDispatch, ConservationIdentitiesAcrossSeeds) {
+  for (const std::uint64_t seed : {1u, 2u, 3u}) {
+    const auto result = core::run_experiment(rack_config(seed, 4, 800e3));
+    ASSERT_TRUE(result.rack.has_value()) << "seed=" << seed;
+    const rack::RackStats& tor = *result.rack;
+    ASSERT_EQ(tor.hosts.size(), 4u);
+    EXPECT_EQ(result.rack_hosts.size(), 4u);
+
+    std::uint64_t steered = 0;
+    std::uint64_t responses = 0;
+    std::uint64_t rejects = 0;
+    std::uint64_t outstanding = 0;
+    for (const rack::RackHostStats& host : tor.hosts) {
+      steered += host.requests;
+      responses += host.responses;
+      rejects += host.rejects;
+      outstanding += host.outstanding;
+    }
+    EXPECT_EQ(steered, tor.requests_forwarded) << "seed=" << seed;
+    EXPECT_EQ(tor.responses_forwarded + tor.rejects_forwarded,
+              responses + rejects + tor.unknown_responses)
+        << "seed=" << seed;
+    // New affinity entries = forwarded - retransmit hits; each is retired by
+    // a matched completion, a TTL eviction, or is still in flight.
+    EXPECT_EQ(tor.requests_forwarded - tor.affinity_hits,
+              responses + rejects + tor.affinity_expired + outstanding)
+        << "seed=" << seed;
+    EXPECT_EQ(tor.malformed_dropped, 0u) << "seed=" << seed;
+    EXPECT_GT(result.summary.completed, 0u) << "seed=" << seed;
+    EXPECT_LE(result.summary.completed, tor.responses_forwarded)
+        << "seed=" << seed;
+  }
+}
+
+// Distrusting feedback degrades p2c gracefully toward outstanding-only
+// steering: tail within a small multiple of the fresh-feedback tail, and
+// throughput preserved.
+TEST(RackDispatch, StaleFeedbackDegradesGracefully) {
+  auto run = [](double stale_us) {
+    core::RackConfig topology;
+    topology.hosts = 2;
+    topology.policy = rack::TorPolicy::kPowerOfTwo;
+    rack::TorParams tor;
+    tor.policy = rack::TorPolicy::kPowerOfTwo;
+    tor.feedback_stale_after = sim::Duration::micros(stale_us);
+    topology.tor = tor;
+    auto config = rack_config(42, 2, 500e3);
+    config.rack = topology;
+    return core::run_experiment(config);
+  };
+  const auto fresh = run(1000.0);
+  const auto blind = run(1.0);
+
+  ASSERT_TRUE(fresh.rack && blind.rack);
+  EXPECT_GT(fresh.rack->informed_decisions, fresh.rack->stale_decisions);
+  EXPECT_GT(blind.rack->stale_decisions, blind.rack->informed_decisions);
+  EXPECT_LE(blind.summary.p99_us, 3.0 * fresh.summary.p99_us);
+  EXPECT_GT(blind.summary.completed, 9 * fresh.summary.completed / 10);
+}
+
+// ---- N=1 regression: a one-host rack config is the rackless testbed ------
+
+class Digest {
+ public:
+  void add(std::uint64_t value) {
+    for (int i = 0; i < 8; ++i) {
+      hash_ ^= (value >> (8 * i)) & 0xff;
+      hash_ *= 1099511628211ULL;  // FNV-1a 64
+    }
+  }
+  void add_signed(std::int64_t value) {
+    add(static_cast<std::uint64_t>(value));
+  }
+  std::uint64_t value() const { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 14695981039346656037ULL;
+};
+
+std::uint64_t run_digest(core::SystemKind kind, std::uint64_t seed,
+                         bool one_host_rack) {
+  stats::ResponseLog log;
+  auto config = core::ExperimentConfig::of(kind)
+                    .workers(2)
+                    .outstanding(2)
+                    .bimodal()
+                    .load(150e3)
+                    .clients(2, 16)
+                    .measure_for(sim::Duration::millis(1))
+                    .with_seed(seed);
+  config.warmup = sim::Duration::millis(1);
+  config.drain = sim::Duration::millis(1);
+  config.response_log = &log;
+  if (one_host_rack) {
+    core::RackConfig topology;
+    topology.hosts = 1;
+    config.with_rack(topology);
+  }
+
+  const core::ExperimentResult result = core::run_experiment(config);
+  EXPECT_FALSE(result.rack.has_value());  // hosts <= 1 builds no ToR
+
+  Digest digest;
+  digest.add(log.seen());
+  for (const auto& r : log.records()) {
+    digest.add(r.request_id);
+    digest.add(r.kind);
+    digest.add(r.preempt_count);
+    digest.add_signed(r.sent_at.to_picos());
+    digest.add_signed(r.received_at.to_picos());
+    digest.add_signed(r.work.to_picos());
+  }
+  const core::ServerStats& s = result.server;
+  digest.add(s.requests_received);
+  digest.add(s.responses_sent);
+  digest.add(s.preemptions);
+  digest.add(s.steals);
+  digest.add(s.drops);
+  digest.add(s.queue_max_depth);
+  return digest.value();
+}
+
+// with_rack(hosts = 1) must degenerate to exactly the single-server testbed:
+// same responses, same timestamps, same counters, for every family and seed.
+TEST(RackDispatch, OneHostRackIsBitIdenticalToRackless) {
+  for (const auto kind :
+       {core::SystemKind::kShinjuku, core::SystemKind::kShinjukuOffload,
+        core::SystemKind::kRss, core::SystemKind::kIdealNic}) {
+    for (const std::uint64_t seed : {1u, 2u, 3u}) {
+      const std::uint64_t rackless = run_digest(kind, seed, false);
+      const std::uint64_t one_host = run_digest(kind, seed, true);
+      EXPECT_EQ(rackless, one_host)
+          << "kind=" << core::to_string(kind) << " seed=" << seed;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nicsched

@@ -3,7 +3,7 @@
 
 #include <memory>
 
-#include "core/server_factory.h"
+#include "core/cluster.h"
 #include "core/testbed.h"
 #include "sim/simulator.h"
 #include "sim/trace.h"
@@ -60,11 +60,14 @@ TEST(TracerEndToEnd, OffloadRequestLifecycleIsVisible) {
   sim.tracer().set_sink(collector.sink());
 
   const core::ModelParams params = core::ModelParams::defaults();
-  net::EthernetSwitch network(sim, params.switch_forward_latency);
   const auto experiment = core::ExperimentConfig::offload().workers(1).slice(
       sim::Duration::micros(10));
-  const auto server_ptr = core::make_server(experiment, sim, network);
-  core::Server& server = *server_ptr;
+  core::ClusterBuilder topology(sim);
+  topology.switch_latency(params.switch_forward_latency);
+  topology.add_host(core::HostSpec::from_config(experiment));
+  core::Cluster cluster = topology.build();
+  net::EthernetSwitch& network = cluster.client_network();
+  core::Server& server = cluster.server();
 
   workload::ClientMachine::Config client_config;
   client_config.client_id = 1;

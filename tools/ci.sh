@@ -6,6 +6,7 @@
 #      and throughput-nonzero hard-fail; speedup ratios informational on
 #      loaded machines)
 #   3. fault smoke: one-seed conservation invariant, same NICSCHED_FAST tier
+#   4. rack smoke: ToR dispatch tests + the rack_sweep shape checks, same tier
 #
 # Usage: tools/ci.sh [build-dir]    (default: build)
 set -euo pipefail
@@ -23,5 +24,8 @@ echo "==> perf smoke (NICSCHED_FAST=1, ctest -L perf)"
 
 echo "==> fault smoke (NICSCHED_FAST=1, ctest -L fault)"
 (cd "$BUILD_DIR" && NICSCHED_FAST=1 ctest -L fault --output-on-failure)
+
+echo "==> rack smoke (NICSCHED_FAST=1, ctest -L rack)"
+(cd "$BUILD_DIR" && NICSCHED_FAST=1 ctest -L rack --output-on-failure)
 
 echo "==> ci.sh: all tiers green"
