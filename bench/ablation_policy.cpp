@@ -33,7 +33,7 @@ int main() {
                         .workers(8)
                         .outstanding(1)  // pure centralized queueing
                         .slice(sim::Duration::micros(25))
-                        .with_service(service)
+                        .with_tenants({nicsched::tenant::make_tenant(0).with_service(service)})
                         // Mean ≈ 44 us → 8 workers saturate near 180 kRPS;
                         // run at ~85 %.
                         .load(155e3)

@@ -36,7 +36,7 @@ int main() {
   const auto base = core::ExperimentConfig::offload()
                         .workers(16)
                         .outstanding(2)
-                        .with_service(service)
+                        .with_tenants({nicsched::tenant::make_tenant(0).with_service(service)})
                         .load(100e3)
                         .samples(40'000);
 

@@ -32,7 +32,7 @@ int main(int argc, char** argv) {
                         .workers(workers)
                         .outstanding(5)
                         .no_preemption()  // homogeneous: nothing to preempt
-                        .with_service(service)
+                        .with_tenants({nicsched::tenant::make_tenant(0).with_service(service)})
                         .samples(60'000)
                         .padding(40);  // ~64 B keys on the wire
 

@@ -1,0 +1,144 @@
+// Multi-tenant isolation demo (DESIGN §13): weighted-fair dispatch at the
+// NIC keeps an aggressive tenant from destroying its neighbour's tail.
+//
+// One offload host, 4 workers, K=1. Two tenants share it:
+//
+//   victim      latency-critical, fixed 100 us requests at 20 kRPS — two
+//               workers' worth of well-behaved load.
+//   aggressor   best-effort, fixed 5 us requests at 800 kRPS — twice the
+//               saturation rate of the two workers left over, so its
+//               backlog grows without bound for the whole run.
+//
+// Three runs per seed:
+//
+//   alone       the victim by itself (baseline tail).
+//   fair        both tenants under SLO-class priority + DRR dispatch: the
+//               victim's p99 moves by at most 10 % — the only interference
+//               left is the residual service time of whatever the workers
+//               are already running.
+//   fifo        the same mix through one shared FIFO (tenant_fifo()): every
+//               victim request waits behind the aggressor's unbounded
+//               backlog, and the victim's tail explodes — the interference
+//               this layer exists to remove.
+//
+//   $ ./tenant_isolation        (NICSCHED_FAST=1 shrinks the windows)
+#include <algorithm>
+#include <iostream>
+#include <string>
+
+#include "exp/exp.h"
+#include "stats/table.h"
+#include "tenant/tenant.h"
+
+int main() {
+  using namespace nicsched;
+
+  // The victim offers only 10 kRPS, so the windows are sized by its p99
+  // estimate (>= ~250 tail samples), not by the aggressor's event volume.
+  const bool fast = exp::fast_mode();
+  const sim::Duration measure =
+      fast ? sim::Duration::millis(25) : sim::Duration::millis(60);
+
+  const double victim_rps = 20e3;     // 2.0 erlangs of fixed 100 us work
+  const double aggressor_rps = 800e3;  // 2x the leftover 2-worker 5us capacity
+
+  const auto victim_spec = tenant::make_tenant(1)
+                               .named("victim")
+                               .weighted(1.0)
+                               .slo_class(tenant::SloClass::kLatencyCritical)
+                               .fixed(sim::Duration::micros(100))
+                               .load(victim_rps);
+  const auto aggressor_spec = tenant::make_tenant(2)
+                                  .named("aggressor")
+                                  .weighted(1.0)
+                                  .slo_class(tenant::SloClass::kBestEffort)
+                                  .fixed(sim::Duration::micros(5))
+                                  .load(aggressor_rps);
+
+  auto base = [&](std::uint64_t seed) {
+    auto config = core::ExperimentConfig::offload()
+                      .workers(4)
+                      .outstanding(1)
+                      .slice(sim::Duration::micros(200))  // > any request
+                      .clients(2, 16)
+                      .measure_for(measure)
+                      .with_seed(seed);
+    config.warmup = sim::Duration::millis(2);
+    config.drain = sim::Duration::millis(5);
+    return config;
+  };
+
+  exp::Figure fig("tenant_isolation",
+                  "Tenant isolation: victim p99 vs an aggressor at 2x "
+                  "saturation, weighted-fair vs FIFO dispatch");
+
+  stats::Table table({"seed", "mode", "victim_p99_us", "victim_completed",
+                      "aggr_completed", "victim_delta_pct"});
+  double worst_fair_delta = 0.0;
+  double best_fifo_delta = -1.0;
+
+  for (const std::uint64_t seed : {1u, 2u, 3u}) {
+    auto victim_p99 = [](const core::ExperimentResult& result) {
+      return result.tenants.at(0).summary.p99_us;
+    };
+
+    const auto alone = core::run_experiment(
+        base(seed).load(victim_rps).with_tenants({victim_spec}));
+    const auto fair =
+        core::run_experiment(base(seed)
+                                 .load(victim_rps + aggressor_rps)
+                                 .with_tenants({victim_spec, aggressor_spec}));
+    const auto fifo =
+        core::run_experiment(base(seed)
+                                 .load(victim_rps + aggressor_rps)
+                                 .with_tenants({victim_spec, aggressor_spec})
+                                 .tenant_fifo());
+
+    fig.add_row("alone s" + std::to_string(seed), alone);
+    fig.add_row("fair s" + std::to_string(seed), fair);
+    fig.add_row("fifo s" + std::to_string(seed), fifo);
+
+    const double baseline = victim_p99(alone);
+    const double fair_delta = victim_p99(fair) / baseline - 1.0;
+    const double fifo_delta = victim_p99(fifo) / baseline - 1.0;
+    worst_fair_delta = std::max(worst_fair_delta, fair_delta);
+    best_fifo_delta = best_fifo_delta < 0.0
+                          ? fifo_delta
+                          : std::min(best_fifo_delta, fifo_delta);
+
+    auto row = [&](const char* mode, const core::ExperimentResult& r,
+                   double delta) {
+      table.add_row({std::to_string(seed), mode,
+                     stats::fmt(r.tenants.at(0).summary.p99_us),
+                     std::to_string(r.tenants.at(0).clients.completed),
+                     std::to_string(r.tenants.size() > 1
+                                        ? r.tenants.at(1).clients.completed
+                                        : 0),
+                     stats::fmt(delta * 100.0, 1)});
+    };
+    row("alone", alone, 0.0);
+    row("fair", fair, fair_delta);
+    row("fifo", fifo, fifo_delta);
+  }
+
+  std::cout << fig.title() << "\n\n";
+  table.print(std::cout);
+
+  fig.note_metric("worst_fair_victim_p99_delta", worst_fair_delta);
+  fig.note_metric("best_fifo_victim_p99_delta", best_fifo_delta);
+  // ISSUE acceptance: weighted-fair dispatch bounds the victim's p99
+  // degradation at 10 % across every seed, and the FIFO baseline fails the
+  // same bound — by an order of magnitude, not at the margin.
+  fig.check("weighted-fair keeps victim p99 within 10% of alone",
+            worst_fair_delta <= 0.10);
+  fig.check("fifo baseline breaks the 10% bound for every seed",
+            best_fifo_delta > 0.10);
+  fig.check("fifo interference is unbounded (victim p99 > 2x alone)",
+            best_fifo_delta > 1.0);
+
+  std::cout << "\nReading: under DRR + class priority the victim only ever "
+               "waits out the residual\nservice of in-flight requests, so "
+               "its tail barely moves; the shared FIFO parks\nevery victim "
+               "request behind the aggressor's unbounded backlog.\n";
+  return fig.finish();
+}

@@ -27,6 +27,9 @@ HostSpec HostSpec::from_config(const ExperimentConfig& config) {
   // Overload knobs: run_experiment resolves config-vs-environment before
   // mapping; direct callers that left the field unset get everything off.
   spec.overload = config.overload.value_or(overload::OverloadParams{});
+  // Tenant mix: run_experiment resolves config-vs-NICSCHED_TENANTS before
+  // mapping, so direct callers with an empty spec list keep the layer off.
+  spec.tenant = config.tenant_params();
   if (config.rack && config.rack->hosts > 1) {
     spec.load_feedback = config.rack->load_feedback;
   }
@@ -84,6 +87,7 @@ ServerStats Cluster::stats(sim::Duration elapsed) const {
     total.overload.shed_expired += s.overload.shed_expired;
     total.overload.k_shrinks += s.overload.k_shrinks;
     total.overload.k_restores += s.overload.k_restores;
+    tenant::accumulate(total.tenants, s.tenants);
   }
   return total;
 }

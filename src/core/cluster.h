@@ -39,6 +39,7 @@
 #include "overload/overload.h"
 #include "rack/tor_scheduler.h"
 #include "sim/simulator.h"
+#include "tenant/tenant.h"
 
 namespace nicsched::core {
 
@@ -71,6 +72,9 @@ struct HostSpec {
   /// Rack-level load feedback (DESIGN §12): echo queue-sojourn samples on
   /// client-bound responses as version-2 frames for ToR snooping.
   bool load_feedback = false;
+  /// Multi-tenant dispatch/admission (DESIGN §13); disabled by default so
+  /// the host keeps its classic single-queue path bit for bit.
+  tenant::TenantParams tenant;
   ModelParams params = ModelParams::defaults();
 
   /// The shared knob mapping the testbed and every bench use: lifts an

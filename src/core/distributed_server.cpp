@@ -39,6 +39,17 @@ class DistributedServer::Worker {
           return config;
         }()),
         admission_(server.config_.overload) {
+    if (server.config_.tenant.enabled) {
+      const auto& tenants = server.config_.tenant.tenants;
+      tenant_stats_.resize(std::max<std::size_t>(tenants.size(), 1));
+      for (std::size_t i = 0; i < tenants.size(); ++i) {
+        tenant_stats_[i].id = tenants[i].id;
+      }
+      if (server.config_.overload.enabled) {
+        tenant_admission_ = std::make_unique<tenant::TenantAdmission>(
+            server.config_.tenant, server.config_.overload);
+      }
+    }
     ring().set_on_packet([this]() {
       if (idle_) start_next();
     });
@@ -53,6 +64,20 @@ class DistributedServer::Worker {
   std::uint64_t rejected() const { return rejected_; }
   std::uint64_t shed() const { return shed_; }
   const hw::DdioStats& ddio() const { return ddio_; }
+
+  /// Per-tenant rows for this core (counters + its gates' outcomes); empty
+  /// when the tenant layer is off.
+  std::vector<tenant::TenantStats> tenant_rows() const {
+    auto rows = tenant_stats_;
+    if (tenant_admission_ != nullptr) {
+      const auto& gates = tenant_admission_->stats();
+      for (std::size_t i = 0; i < rows.size() && i < gates.size(); ++i) {
+        rows[i].overload.admitted += gates[i].admitted;
+        rows[i].overload.rejected += gates[i].rejected;
+      }
+    }
+    return rows;
+  }
 
   net::RxRing& ring() { return server_.pf_->ring(id_); }
 
@@ -107,10 +132,18 @@ class DistributedServer::Worker {
         return;
       }
       ++requests_received_;
+      if (!tenant_stats_.empty()) {
+        ++tenant_stats_[server_.config_.tenant.index_of(request->tenant)]
+              .enqueued;
+      }
       if (server_.config_.overload.enabled &&
           overload_gate(p, *datagram, *request)) {
         start_next();
         return;
+      }
+      if (!tenant_stats_.empty()) {
+        ++tenant_stats_[server_.config_.tenant.index_of(request->tenant)]
+              .dispatched;
       }
       const proto::RequestDescriptor descriptor =
           make_descriptor(*request, *datagram);
@@ -145,8 +178,17 @@ class DistributedServer::Worker {
     sim::Simulator& sim = server_.sim_;
     const overload::OverloadParams& params = server_.config_.overload;
     // Ring residency is this core's queueing delay; feed the EWMA the same
-    // signal the dispatcherful servers measure at their pop.
-    admission_.observe_queue_delay(sim.now() - p.rx_at());
+    // signal the dispatcherful servers measure at their pop. With tenants on
+    // (§13) the sample feeds the request's own tenant gate.
+    const std::size_t slot =
+        tenant_admission_ != nullptr
+            ? server_.config_.tenant.index_of(request.tenant)
+            : 0;
+    if (tenant_admission_ != nullptr) {
+      tenant_admission_->observe(slot, sim.now() - p.rx_at());
+    } else {
+      admission_.observe_queue_delay(sim.now() - p.rx_at());
+    }
     if (params.shedding_enabled && request.deadline_ps != 0 &&
         sim.now().to_picos() >=
             static_cast<std::int64_t>(request.deadline_ps)) {
@@ -154,6 +196,9 @@ class DistributedServer::Worker {
       // nobody counts. Drop silently; the client's own deadline timer
       // accounts it as expired.
       ++shed_;
+      if (!tenant_stats_.empty()) {
+        ++tenant_stats_[slot].overload.shed_expired;
+      }
       if (sim.span_enabled()) {
         const auto lane = static_cast<std::uint32_t>(100 + id_);
         const sim::TimePoint rx = p.rx_at();
@@ -165,7 +210,11 @@ class DistributedServer::Worker {
       }
       return true;
     }
-    if (!admission_.admit(ring().depth())) {
+    const bool admit_ok =
+        tenant_admission_ != nullptr
+            ? tenant_admission_->admit(slot, ring().depth())
+            : admission_.admit(ring().depth());
+    if (!admit_ok) {
       ++rejected_;
       if (sim.span_enabled()) {
         const auto lane = static_cast<std::uint32_t>(100 + id_);
@@ -249,6 +298,10 @@ class DistributedServer::Worker {
   hw::CpuCore core_;
   /// Per-core admission state (each core only sees its own ring).
   overload::AdmissionController admission_;
+  /// Tenant layer (DESIGN §13): per-tenant gates (overload on) and per-core
+  /// per-tenant counters. Empty/null when the layer is off.
+  std::unique_ptr<tenant::TenantAdmission> tenant_admission_;
+  std::vector<tenant::TenantStats> tenant_stats_;
   bool idle_ = true;
   std::uint64_t requests_received_ = 0;
   std::uint64_t responses_sent_ = 0;
@@ -387,6 +440,7 @@ ServerStats DistributedServer::stats(sim::Duration elapsed) const {
     stats.overload.admitted += worker->admitted();
     stats.overload.rejected += worker->rejected();
     stats.overload.shed_expired += worker->shed();
+    tenant::accumulate(stats.tenants, worker->tenant_rows());
   }
   return stats;
 }

@@ -59,6 +59,12 @@ class DistributedServer final : public Server, public fault::FaultSurface {
     /// Rack-level load feedback (DESIGN §12): responses echo the request's
     /// ring sojourn as a version-2 frame for ToR snooping. Off by default.
     bool load_feedback = false;
+    /// Multi-tenant accounting and admission (DESIGN §13). Run-to-completion
+    /// shares one FIFO ring per core, so there is no DRR here — requests are
+    /// tenant-tagged for stats and each core runs per-tenant admission
+    /// gates, which is exactly the isolation RTC *can* offer (and the bench
+    /// shows it is not much). Off by default.
+    tenant::TenantParams tenant;
   };
 
   DistributedServer(sim::Simulator& sim, net::EthernetSwitch& network,

@@ -58,6 +58,10 @@ class IdealNicServer final : public Server, public fault::FaultSurface {
     /// NIC-queue sojourn as a version-2 frame for ToR snooping. Off by
     /// default.
     bool load_feedback = false;
+    /// Multi-tenant dispatch/admission (DESIGN §13) in the ASIC pipeline:
+    /// SLO-priority + DRR replace the FCFS task queue and per-tenant gates
+    /// replace the global one. Off by default.
+    tenant::TenantParams tenant;
   };
 
   IdealNicServer(sim::Simulator& sim, net::EthernetSwitch& network,
@@ -113,6 +117,15 @@ class IdealNicServer final : public Server, public fault::FaultSurface {
   void schedule_slice_check(std::size_t worker, std::uint64_t request_id);
   void issue_preempt(std::size_t worker);
 
+  // --- tenant-aware central-queue facade (DESIGN §13) ----------------------
+  bool tenants_on() const { return tenant_queue_ != nullptr; }
+  bool central_empty() const;
+  std::size_t central_depth() const;
+  void central_push_new(proto::RequestDescriptor descriptor);
+  void central_push_preempted(proto::RequestDescriptor descriptor);
+  std::optional<proto::RequestDescriptor> central_pop(
+      sim::Duration& queue_delay);
+
   sim::Simulator& sim_;
   net::EthernetSwitch& network_;
   ModelParams params_;
@@ -139,6 +152,10 @@ class IdealNicServer final : public Server, public fault::FaultSurface {
   overload::AdmissionController admission_;
   std::uint64_t overload_admitted_ = 0;
   std::uint64_t overload_rejected_ = 0;
+
+  // --- tenant layer (DESIGN §13; both null when !config_.tenant.enabled) ---
+  std::unique_ptr<tenant::TenantDispatchQueue> tenant_queue_;
+  std::unique_ptr<tenant::TenantAdmission> tenant_admission_;
 };
 
 }  // namespace nicsched::core

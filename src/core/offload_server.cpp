@@ -420,6 +420,16 @@ ShinjukuOffloadServer::ShinjukuOffloadServer(sim::Simulator& sim,
   }
   queue_.set_shed_expired(config_.overload.enabled &&
                           config_.overload.shedding_enabled);
+  if (config_.tenant.enabled) {
+    tenant_queue_ =
+        std::make_unique<tenant::TenantDispatchQueue>(config_.tenant);
+    tenant_queue_->set_shed_expired(config_.overload.enabled &&
+                                    config_.overload.shedding_enabled);
+    if (config_.overload.enabled) {
+      tenant_admission_ = std::make_unique<tenant::TenantAdmission>(
+          config_.tenant, config_.overload);
+    }
+  }
 
   arm_net_ = &arm_nic_.add_interface("arm-net",
                                      net::MacAddress::from_index(kArmNetIndex),
@@ -505,9 +515,19 @@ void ShinjukuOffloadServer::networker_handle(net::Packet packet) {
   if (config_.overload.enabled) {
     // Informed admission (DESIGN §11): the networker consults D1's measured
     // queueing delay (EWMA) and the instantaneous backlog before spending
-    // any dispatcher work, answering refusals straight from the NIC.
-    const std::size_t depth = queue_.depth() + intake_channel_.depth();
-    if (!admission_.admit(depth)) {
+    // any dispatcher work, answering refusals straight from the NIC. With
+    // tenants on (DESIGN §13) the request is judged by its own tenant's
+    // gate and backlog, so a saturating neighbour cannot close the door.
+    std::size_t depth = central_depth() + intake_channel_.depth();
+    bool admitted;
+    if (tenant_admission_ != nullptr) {
+      const std::size_t slot = tenant_queue_->index_of(request->tenant);
+      depth = tenant_queue_->depth_of(slot);
+      admitted = tenant_admission_->admit(slot, depth);
+    } else {
+      admitted = admission_.admit(depth);
+    }
+    if (!admitted) {
       ++overload_rejected_;
       sim_.trace(sim::TraceCategory::kClient, [&] {
         return std::pair{std::string("networker"),
@@ -582,30 +602,22 @@ void ShinjukuOffloadServer::d1_step() {
                              "requeue " +
                                  std::to_string(note->descriptor.request_id)};
           });
-          queue_.push_preempted(std::move(note->descriptor), sim_.now());
+          central_push_preempted(std::move(note->descriptor));
         }
       }
       d1_step();
     });
     return;
   }
-  if (!queue_.empty() && status_.pick_least_loaded().has_value()) {
+  if (!central_empty() && status_.pick_least_loaded().has_value()) {
     d1_core_.run(params_.dispatch_assign_cost, [this]() {
       const auto worker = status_.pick_least_loaded();
       if (worker) {
-        sim::Duration queue_delay = sim::Duration::zero();
-        auto descriptor = config_.overload.enabled
-                              ? queue_.pop(sim_.now(), queue_delay)
-                              : queue_.pop();
-        if (descriptor && config_.overload.enabled) {
-          // The pop measured how long the request actually queued; this is
-          // the signal the admission EWMA smooths.
-          admission_.observe_queue_delay(queue_delay);
-        }
+        auto descriptor = central_pop();
         if (descriptor) {
           // Stamp the congestion feedback the response will carry (§5.2).
           descriptor->queue_depth =
-              static_cast<std::uint32_t>(queue_.depth());
+              static_cast<std::uint32_t>(central_depth());
           status_.note_sent(*worker, sim_.now());
           sim_.trace(sim::TraceCategory::kDispatch, [&] {
             return std::pair{std::string("d1"),
@@ -639,12 +651,62 @@ void ShinjukuOffloadServer::d1_step() {
   if (!intake_channel_.empty()) {
     d1_core_.run(params_.dispatch_enqueue_cost, [this]() {
       auto descriptor = intake_channel_.pop();
-      if (descriptor) queue_.push_new(std::move(*descriptor), sim_.now());
+      if (descriptor) central_push_new(std::move(*descriptor));
       d1_step();
     });
     return;
   }
   d1_pumping_ = false;
+}
+
+// --------------------------------------------- central-queue facade (§13)
+
+bool ShinjukuOffloadServer::central_empty() const {
+  return tenants_on() ? tenant_queue_->empty() : queue_.empty();
+}
+
+std::size_t ShinjukuOffloadServer::central_depth() const {
+  return tenants_on() ? tenant_queue_->depth() : queue_.depth();
+}
+
+void ShinjukuOffloadServer::central_push_new(
+    proto::RequestDescriptor descriptor) {
+  if (tenants_on()) {
+    tenant_queue_->push_new(std::move(descriptor), sim_.now());
+  } else {
+    queue_.push_new(std::move(descriptor), sim_.now());
+  }
+}
+
+void ShinjukuOffloadServer::central_push_preempted(
+    proto::RequestDescriptor descriptor) {
+  if (tenants_on()) {
+    tenant_queue_->push_preempted(std::move(descriptor), sim_.now());
+  } else {
+    queue_.push_preempted(std::move(descriptor), sim_.now());
+  }
+}
+
+std::optional<proto::RequestDescriptor> ShinjukuOffloadServer::central_pop() {
+  if (tenants_on()) {
+    auto popped = tenant_queue_->pop(sim_.now());
+    if (!popped) return std::nullopt;
+    if (tenant_admission_ != nullptr) {
+      // The pop measured how long the request queued in its own lane; feed
+      // the owning tenant's gate, not a shared EWMA.
+      tenant_admission_->observe(popped->tenant_index, popped->queue_delay);
+    }
+    return std::move(popped->descriptor);
+  }
+  sim::Duration queue_delay = sim::Duration::zero();
+  auto descriptor = config_.overload.enabled ? queue_.pop(sim_.now(), queue_delay)
+                                             : queue_.pop();
+  if (descriptor && config_.overload.enabled) {
+    // The pop measured how long the request actually queued; this is the
+    // signal the admission EWMA smooths.
+    admission_.observe_queue_delay(queue_delay);
+  }
+  return descriptor;
 }
 
 void ShinjukuOffloadServer::d2_send(Assignment assignment) {
@@ -937,7 +999,7 @@ void ShinjukuOffloadServer::declare_worker_dead(std::size_t worker) {
     inflight_.erase(it);
     status_.note_retired(worker, sim_.now());
     ++rel_.redispatched;
-    queue_.push_preempted(std::move(descriptor), sim_.now());
+    central_push_preempted(std::move(descriptor));
   }
   d1_kick();
 }
@@ -993,7 +1055,8 @@ void ShinjukuOffloadServer::inject_worker_resume(std::uint32_t worker) {
 ServerStats ShinjukuOffloadServer::stats(sim::Duration elapsed) const {
   ServerStats stats;
   stats.requests_received = requests_received_;
-  stats.queue_max_depth = queue_.stats().max_depth;
+  stats.queue_max_depth =
+      tenants_on() ? tenant_queue_->max_depth() : queue_.stats().max_depth;
   for (const auto& worker : workers_) {
     stats.responses_sent += worker->responses_sent();
     stats.preemptions += worker->preemptions();
@@ -1020,15 +1083,18 @@ ServerStats ShinjukuOffloadServer::stats(sim::Duration elapsed) const {
   stats.reliability = rel_;
   stats.overload.admitted = overload_admitted_;
   stats.overload.rejected = overload_rejected_;
-  stats.overload.shed_expired = queue_.stats().shed_expired;
+  stats.overload.shed_expired =
+      tenants_on() ? tenant_queue_->shed_total() : queue_.stats().shed_expired;
   stats.overload.k_shrinks = adaptive_k_.shrinks();
   stats.overload.k_restores = adaptive_k_.restores();
+  stats.tenants = tenant::assemble_stats(config_.tenant, tenant_queue_.get(),
+                                         tenant_admission_.get());
   return stats;
 }
 
 ServerTelemetry ShinjukuOffloadServer::telemetry() const {
   ServerTelemetry t;
-  t.queue_depth = queue_.depth() + intake_channel_.depth();
+  t.queue_depth = central_depth() + intake_channel_.depth();
   t.outstanding = status_.total_outstanding();
   // Every ring that can overflow feeds the live drop counter, mirroring
   // what stats() aggregates; a VF overflow silently corrupting the
@@ -1043,7 +1109,14 @@ ServerTelemetry ShinjukuOffloadServer::telemetry() const {
   t.retransmits = rel_.retransmits + rel_.note_retransmits;
   t.abandoned = rel_.abandoned;
   t.rejected = overload_rejected_;
-  t.shed = queue_.stats().shed_expired;
+  t.shed =
+      tenants_on() ? tenant_queue_->shed_total() : queue_.stats().shed_expired;
+  if (tenants_on()) {
+    t.tenant_depths.reserve(tenant_queue_->tenant_count());
+    for (std::size_t i = 0; i < tenant_queue_->tenant_count(); ++i) {
+      t.tenant_depths.push_back(tenant_queue_->depth_of(i));
+    }
+  }
   t.worker_busy.reserve(workers_.size());
   t.worker_capacity.reserve(workers_.size());
   for (std::size_t i = 0; i < workers_.size(); ++i) {

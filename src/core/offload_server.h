@@ -84,6 +84,11 @@ class ShinjukuOffloadServer final : public Server, public fault::FaultSurface {
     /// scheduler can snoop per-server load. Off by default — responses stay
     /// version-1 and runs stay bit-identical.
     bool load_feedback = false;
+    /// Multi-tenant dispatch/admission (DESIGN §13): per-tenant queues with
+    /// strict SLO-class priority + DRR replace the central TaskQueue, and
+    /// per-tenant EWMA gates replace the global admission gate. Off by
+    /// default — the classic single-queue path runs bit for bit.
+    tenant::TenantParams tenant;
   };
 
   ShinjukuOffloadServer(sim::Simulator& sim, net::EthernetSwitch& network,
@@ -137,6 +142,16 @@ class ShinjukuOffloadServer final : public Server, public fault::FaultSurface {
   void d1_step();
   void d2_send(Assignment assignment);
   void d3_handle(net::Packet packet);
+
+  // --- tenant layer (DESIGN §13); the central-queue facade ----------------
+  // With tenants on, the TenantDispatchQueue plays the TaskQueue role; these
+  // route each central-queue touch to whichever queue is live.
+  bool tenants_on() const { return tenant_queue_ != nullptr; }
+  bool central_empty() const;
+  std::size_t central_depth() const;
+  void central_push_new(proto::RequestDescriptor descriptor);
+  void central_push_preempted(proto::RequestDescriptor descriptor);
+  std::optional<proto::RequestDescriptor> central_pop();
 
   // --- reliable dispatch (DESIGN §9); all no-ops when !reliable() ----------
   bool reliable() const { return config_.reliability.enabled; }
@@ -203,6 +218,10 @@ class ShinjukuOffloadServer final : public Server, public fault::FaultSurface {
   overload::AdaptiveKController adaptive_k_;
   std::uint64_t overload_admitted_ = 0;
   std::uint64_t overload_rejected_ = 0;
+
+  // --- tenant layer (DESIGN §13; both null when !config_.tenant.enabled) ---
+  std::unique_ptr<tenant::TenantDispatchQueue> tenant_queue_;
+  std::unique_ptr<tenant::TenantAdmission> tenant_admission_;
 
   // --- reliable-dispatch state (empty/idle when !reliable()) ---------------
   std::unordered_map<std::uint64_t, Inflight> inflight_;  // by request_id

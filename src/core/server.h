@@ -12,6 +12,7 @@
 #include "overload/overload.h"
 #include "proto/messages.h"
 #include "sim/time.h"
+#include "tenant/tenant.h"
 
 #include <cstddef>
 
@@ -75,6 +76,9 @@ struct ServerStats {
   /// Overload-control accounting (DESIGN §11); all zero when the subsystem
   /// is disabled.
   overload::OverloadStats overload;
+  /// Per-tenant dispatch/admission rows (DESIGN §13), slot-aligned with the
+  /// configured TenantParams; empty when the tenant layer is off.
+  std::vector<tenant::TenantStats> tenants;
 };
 
 /// An instantaneous, cheap-to-take snapshot of live scheduler state, polled
@@ -100,6 +104,10 @@ struct ServerTelemetry {
   /// Current per-worker outstanding-K bound (the adaptive-K governor's
   /// output); empty for systems without a queuing optimization.
   std::vector<std::uint32_t> worker_capacity;
+  /// Per-tenant dispatch-queue backlog (DESIGN §13), slot-aligned with the
+  /// configured TenantParams; empty when the tenant layer is off (and for
+  /// run-to-completion systems, which have no central per-tenant queues).
+  std::vector<std::size_t> tenant_depths;
 };
 
 class Server {
@@ -140,6 +148,7 @@ inline proto::RequestDescriptor make_descriptor(
   descriptor.client_ip = from.ip.src;
   descriptor.client_port = from.udp.src_port;
   descriptor.deadline_ps = request.deadline_ps;
+  descriptor.tenant = request.tenant;
   return descriptor;
 }
 

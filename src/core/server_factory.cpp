@@ -23,6 +23,7 @@ std::unique_ptr<Server> make_host_server(const HostSpec& spec,
       server.reliability = spec.reliability;
       server.overload = spec.overload;
       server.load_feedback = spec.load_feedback;
+      server.tenant = spec.tenant;
       return std::make_unique<ShinjukuServer>(sim, network, spec.params,
                                               server);
     }
@@ -40,6 +41,7 @@ std::unique_ptr<Server> make_host_server(const HostSpec& spec,
       server.reliability = spec.reliability;
       server.overload = spec.overload;
       server.load_feedback = spec.load_feedback;
+      server.tenant = spec.tenant;
       if (spec.placement) server.placement = *spec.placement;
       return std::make_unique<ShinjukuOffloadServer>(sim, network, spec.params,
                                                      server);
@@ -59,6 +61,7 @@ std::unique_ptr<Server> make_host_server(const HostSpec& spec,
                           : DistributedServer::Policy::kElasticRss;
       server.overload = spec.overload;
       server.load_feedback = spec.load_feedback;
+      server.tenant = spec.tenant;
       if (spec.placement) server.placement = *spec.placement;
       return std::make_unique<DistributedServer>(sim, network, spec.params,
                                                  server);
@@ -72,6 +75,7 @@ std::unique_ptr<Server> make_host_server(const HostSpec& spec,
       server.queue_policy = spec.queue_policy;
       server.overload = spec.overload;
       server.load_feedback = spec.load_feedback;
+      server.tenant = spec.tenant;
       if (spec.placement) server.placement = *spec.placement;
       return std::make_unique<IdealNicServer>(sim, network, spec.params,
                                               server);
@@ -87,6 +91,7 @@ std::unique_ptr<Server> make_host_server(const HostSpec& spec,
       server.queue_policy = spec.queue_policy;
       server.overload = spec.overload;
       server.load_feedback = spec.load_feedback;
+      server.tenant = spec.tenant;
       if (spec.placement) server.placement = *spec.placement;
       ModelParams params = spec.params;
       params.cxl_one_way_latency = sim::Duration::nanos(50);

@@ -64,6 +64,10 @@ class ShinjukuServer final : public Server, public fault::FaultSurface {
     /// dispatch-queue sojourn as a version-2 frame for ToR snooping. Off by
     /// default.
     bool load_feedback = false;
+    /// Multi-tenant dispatch/admission (DESIGN §13), instantiated per
+    /// dispatcher group: each group runs its own SLO-priority + DRR queue
+    /// and per-tenant gates over its worker partition. Off by default.
+    tenant::TenantParams tenant;
   };
 
   ShinjukuServer(sim::Simulator& sim, net::EthernetSwitch& network,
@@ -149,11 +153,27 @@ class ShinjukuServer final : public Server, public fault::FaultSurface {
     overload::AdmissionController admission;
     std::uint64_t overload_admitted = 0;
     std::uint64_t overload_rejected = 0;
+
+    /// Tenant layer (DESIGN §13); both null when !config_.tenant.enabled.
+    std::unique_ptr<tenant::TenantDispatchQueue> tenant_queue;
+    std::unique_ptr<tenant::TenantAdmission> tenant_admission;
   };
 
   void networker_handle(Group& group, net::Packet packet);
   void dispatcher_kick(Group& group);
   void dispatcher_step(Group& group);
+
+  // --- tenant-aware central-queue facade (DESIGN §13) ----------------------
+  bool tenants_on() const { return config_.tenant.enabled; }
+  static bool central_empty(const Group& group);
+  static std::size_t central_depth(const Group& group);
+  void central_push_new(Group& group, proto::RequestDescriptor descriptor);
+  void central_push_preempted(Group& group,
+                              proto::RequestDescriptor descriptor);
+  /// Pops under the group's live policy; fills `queue_delay` when measuring
+  /// (overload, load feedback, or tenants on) and feeds the owning gate.
+  std::optional<proto::RequestDescriptor> central_pop(
+      Group& group, sim::Duration& queue_delay);
   void schedule_slice_check(Group& group, std::size_t worker,
                             std::uint64_t epoch);
   void maybe_preempt_for_waiting_work(Group& group);

@@ -41,7 +41,11 @@ std::string default_capture_label(const ExperimentConfig& config) {
 /// identical to every pre-rack capture.
 void add_telemetry_probes(obs::MetricSampler& sampler, const Server& server,
                           const std::string& prefix) {
-  const std::size_t worker_count = server.telemetry().worker_busy.size();
+  const ServerTelemetry snapshot = server.telemetry();
+  const std::size_t worker_count = snapshot.worker_busy.size();
+  /// Tenant-layer-on servers also expose per-tenant backlog series; for
+  /// untenanted runs this is zero extra series, so captures stay identical.
+  const std::size_t tenant_count = snapshot.tenant_depths.size();
   std::vector<std::string> names = {prefix + "queue_depth",
                                     prefix + "outstanding",
                                     prefix + "preemptions",
@@ -53,16 +57,19 @@ void add_telemetry_probes(obs::MetricSampler& sampler, const Server& server,
   for (std::size_t i = 0; i < worker_count; ++i) {
     names.push_back(prefix + "worker" + std::to_string(i) + "_busy_frac");
   }
+  for (std::size_t i = 0; i < tenant_count; ++i) {
+    names.push_back(prefix + "tenant" + std::to_string(i) + "_depth");
+  }
   const double cadence_ps =
       static_cast<double>(sampler.cadence().to_picos());
   auto previous_busy =
       std::make_shared<std::vector<sim::Duration>>(worker_count);
   sampler.add_probe_block(
       std::move(names),
-      [&server, worker_count, cadence_ps, previous_busy]() {
+      [&server, worker_count, tenant_count, cadence_ps, previous_busy]() {
         const ServerTelemetry t = server.telemetry();
         std::vector<double> values;
-        values.reserve(8 + worker_count);
+        values.reserve(8 + worker_count + tenant_count);
         values.push_back(static_cast<double>(t.queue_depth));
         values.push_back(static_cast<double>(t.outstanding));
         values.push_back(static_cast<double>(t.preemptions));
@@ -78,6 +85,11 @@ void add_telemetry_probes(obs::MetricSampler& sampler, const Server& server,
           values.push_back(
               static_cast<double>((busy - prev).to_picos()) / cadence_ps);
           (*previous_busy)[i] = busy;
+        }
+        for (std::size_t i = 0; i < tenant_count; ++i) {
+          values.push_back(i < t.tenant_depths.size()
+                               ? static_cast<double>(t.tenant_depths[i])
+                               : 0.0);
         }
         return values;
       });
@@ -119,8 +131,27 @@ const char* to_string(SystemKind kind) {
 }
 
 ExperimentResult run_experiment(const ExperimentConfig& config) {
+  if (config.tenants.empty()) {
+    // Tenant mix resolution mirrors the overload contract below: an explicit
+    // with_tenants wins, otherwise NICSCHED_TENANTS declares the mix (specs
+    // inherit the legacy service knob; rates split offered_rps by weight).
+    std::vector<tenant::TenantSpec> env_tenants = tenant::tenants_from_env();
+    if (!env_tenants.empty()) {
+      ExperimentConfig resolved = config;
+      resolved.tenants = std::move(env_tenants);
+      return run_experiment(resolved);
+    }
+  }
   if (!config.service) {
-    throw std::invalid_argument("run_experiment: service distribution unset");
+    // The legacy knob may stay unset only when every tenant brings its own
+    // distribution.
+    bool tenants_cover = !config.tenants.empty();
+    for (const auto& spec : config.tenants) {
+      if (!spec.service) tenants_cover = false;
+    }
+    if (!tenants_cover) {
+      throw std::invalid_argument("run_experiment: service distribution unset");
+    }
   }
   if (config.offered_rps <= 0.0) {
     throw std::invalid_argument("run_experiment: offered_rps must be > 0");
@@ -205,52 +236,102 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   // (the ToR preserves destination ports, so one plan serves every host).
   const std::uint16_t partition_count = cluster.partition_count();
 
+  // Resolve the tenant mix into one client-stream description per tenant.
+  // An empty mix is the classic single stream; a mix of only tenant 0 is
+  // the explicit one-tenant shim. Every case takes the same construction
+  // loop below — same client ids, same RNG fork order, same config fields —
+  // so untenanted and shim runs are bit-identical to the pre-tenant testbed
+  // by construction.
+  std::vector<tenant::TenantSpec> streams = config.tenants;
+  if (streams.empty()) streams.push_back(tenant::make_tenant(0));
+  double unpinned_weight = 0.0;
+  for (const auto& spec : streams) {
+    if (spec.rate_rps <= 0.0) unpinned_weight += spec.weight;
+  }
+  double total_rate = 0.0;
+  for (auto& spec : streams) {
+    if (!spec.service) spec.service = config.service;
+    if (!spec.service) {
+      throw std::invalid_argument("run_experiment: tenant '" + spec.label() +
+                                  "' has no service distribution");
+    }
+    if (spec.rate_rps <= 0.0) {
+      // Rate-less tenants share offered_rps in proportion to their weight.
+      spec.rate_rps = unpinned_weight > 0.0
+                          ? config.offered_rps * (spec.weight / unpinned_weight)
+                          : 0.0;
+    }
+    total_rate += spec.rate_rps;
+  }
+  const bool tenant_mode = config.tenant_params().enabled;
+  if (tenant_mode) {
+    result.tenants.resize(streams.size());
+    for (std::size_t t = 0; t < streams.size(); ++t) {
+      result.tenants[t].spec = streams[t];
+      result.tenants[t].offered_rps = streams[t].rate_rps;
+      result.tenants[t].recorder.set_window(measure_start, measure_end);
+    }
+  }
+
+  const auto machines = static_cast<std::size_t>(config.client_machines);
   sim::Rng master(config.seed);
   std::vector<std::unique_ptr<workload::ClientMachine>> clients;
-  clients.reserve(static_cast<std::size_t>(config.client_machines));
-  for (int i = 0; i < config.client_machines; ++i) {
-    workload::ClientMachine::Config client;
-    client.client_id = static_cast<std::uint32_t>(i + 1);
-    client.mac = net::MacAddress::from_index(client.client_id);
-    client.ip = net::Ipv4Address::from_index(client.client_id);
-    client.flow_count = config.flows_per_client;
-    client.server_mac = cluster.service_mac();
-    client.server_ip = cluster.service_ip();
-    client.server_port = cluster.service_port();
-    client.request_padding = config.request_padding;
-    client.partition_count = partition_count;
-    client.wire_latency = config.params.client_wire_latency;
-    client.overload = *config.overload;
+  clients.reserve(streams.size() * machines);
+  for (std::size_t t = 0; t < streams.size(); ++t) {
+    const tenant::TenantSpec& stream = streams[t];
+    stats::LatencyRecorder* tenant_recorder =
+        tenant_mode ? &result.tenants[t].recorder : nullptr;
+    for (int i = 0; i < config.client_machines; ++i) {
+      workload::ClientMachine::Config client;
+      client.client_id = static_cast<std::uint32_t>(
+          t * machines + static_cast<std::size_t>(i) + 1);
+      client.mac = net::MacAddress::from_index(client.client_id);
+      client.ip = net::Ipv4Address::from_index(client.client_id);
+      client.flow_count = config.flows_per_client;
+      client.server_mac = cluster.service_mac();
+      client.server_ip = cluster.service_ip();
+      client.server_port = cluster.service_port();
+      client.request_padding = config.request_padding;
+      client.partition_count = partition_count;
+      client.wire_latency = config.params.client_wire_latency;
+      client.overload = *config.overload;
+      if (!stream.deadline.is_zero()) {
+        client.overload.deadline = stream.deadline;
+      }
+      client.tenant = stream.id;
 
-    // Client wires carry the configured propagation latency; the server-side
-    // attachment latencies were chosen by the server itself.
-    std::unique_ptr<workload::ArrivalProcess> arrivals;
-    if (config.bursty_arrivals) {
-      workload::BurstyArrivals::Config bursty = *config.bursty_arrivals;
-      bursty.normal_rps /= config.client_machines;
-      bursty.burst_rps /= config.client_machines;
-      arrivals = std::make_unique<workload::BurstyArrivals>(bursty);
-    } else {
-      arrivals = std::make_unique<workload::PoissonArrivals>(
-          config.offered_rps / config.client_machines);
+      // Client wires carry the configured propagation latency; the
+      // server-side attachment latencies were chosen by the server itself.
+      std::unique_ptr<workload::ArrivalProcess> arrivals;
+      if (config.bursty_arrivals && streams.size() == 1 && stream.id == 0) {
+        workload::BurstyArrivals::Config bursty = *config.bursty_arrivals;
+        bursty.normal_rps /= config.client_machines;
+        bursty.burst_rps /= config.client_machines;
+        arrivals = std::make_unique<workload::BurstyArrivals>(bursty);
+      } else {
+        arrivals = std::make_unique<workload::PoissonArrivals>(
+            stream.rate_rps / config.client_machines);
+      }
+      auto machine = std::make_unique<workload::ClientMachine>(
+          sim, cluster.client_network(), client, stream.service,
+          std::move(arrivals), master.fork());
+      stats::ResponseLog* log = config.response_log;
+      machine->set_on_response(
+          [&result, tenant_recorder, log, measure_start, measure_end](
+              const workload::ResponseRecord& r) {
+            result.recorder.record(r);
+            if (tenant_recorder != nullptr) tenant_recorder->record(r);
+            if (log != nullptr && r.sent_at >= measure_start &&
+                r.sent_at <= measure_end) {
+              log->record(r);
+            }
+          });
+      machine->set_on_issue([&result, tenant_recorder](sim::TimePoint at) {
+        result.recorder.note_issued(at);
+        if (tenant_recorder != nullptr) tenant_recorder->note_issued(at);
+      });
+      clients.push_back(std::move(machine));
     }
-    auto machine = std::make_unique<workload::ClientMachine>(
-        sim, cluster.client_network(), client, config.service,
-        std::move(arrivals), master.fork());
-    stats::ResponseLog* log = config.response_log;
-    machine->set_on_response(
-        [&result, log, measure_start, measure_end](
-            const workload::ResponseRecord& r) {
-          result.recorder.record(r);
-          if (log != nullptr && r.sent_at >= measure_start &&
-              r.sent_at <= measure_end) {
-            log->record(r);
-          }
-        });
-    machine->set_on_issue([&result](sim::TimePoint at) {
-      result.recorder.note_issued(at);
-    });
-    clients.push_back(std::move(machine));
   }
 
   for (auto& client : clients) client->start(measure_end);
@@ -274,21 +355,31 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   sim.run_until(measure_end + config.drain);
   result.events_fired = sim.events_fired();
 
-  for (const auto& client : clients) {
-    result.clients.sent += client->sent();
-    result.clients.completed += client->received();
-    result.clients.goodput += client->goodput();
-    result.clients.rejected += client->rejected();
-    result.clients.expired += client->expired();
-    result.clients.abandoned += client->abandoned();
-    result.clients.outstanding += client->outstanding();
-    result.clients.retries += client->retries();
-    result.clients.duplicates += client->duplicates();
+  for (std::size_t index = 0; index < clients.size(); ++index) {
+    const auto& client = clients[index];
+    const auto add = [&client](ExperimentResult::ClientTotals& totals) {
+      totals.sent += client->sent();
+      totals.completed += client->received();
+      totals.goodput += client->goodput();
+      totals.rejected += client->rejected();
+      totals.expired += client->expired();
+      totals.abandoned += client->abandoned();
+      totals.outstanding += client->outstanding();
+      totals.retries += client->retries();
+      totals.duplicates += client->duplicates();
+    };
+    add(result.clients);
+    // Clients are laid out stream-major, so `index / machines` is the
+    // tenant slot this machine generated load for.
+    if (tenant_mode) add(result.tenants[index / machines].clients);
   }
 
   if (result.capture) result.capture->export_files();
 
-  result.summary = result.recorder.summarize(config.offered_rps);
+  result.summary = result.recorder.summarize(total_rate);
+  for (auto& row : result.tenants) {
+    row.summary = row.recorder.summarize(row.offered_rps);
+  }
   if (!result.server.worker_utilization.empty()) {
     double sum = 0.0;
     for (double u : result.server.worker_utilization) sum += u;

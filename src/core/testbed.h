@@ -21,6 +21,7 @@
 #include "sim/time.h"
 #include "stats/recorder.h"
 #include "stats/response_log.h"
+#include "tenant/tenant.h"
 #include "workload/arrival.h"
 #include "workload/distribution.h"
 
@@ -135,6 +136,24 @@ struct ExperimentConfig {
   /// classic single-server testbed, bit for bit. In rack mode the configured
   /// fault schedule targets host 0 only.
   std::optional<RackConfig> rack;
+  /// Multi-tenant workload mix (DESIGN §13): the canonical way to describe
+  /// offered load. Each spec is one tenant stream — its own service
+  /// distribution (null = inherit `service`), offered rate (0 = a
+  /// weight-proportional share of `offered_rps`), SLO class, DRR weight, and
+  /// deadline — and builds `client_machines` open-loop clients of its own.
+  /// Empty defers to the NICSCHED_TENANTS environment contract; empty with a
+  /// clean environment runs the classic single stream, bit for bit. A mix
+  /// that is only tenant id 0 is the explicit one-tenant shim: it takes the
+  /// identical construction path and is also bit-identical. Tenant streams
+  /// are always Poisson; `bursty_arrivals` applies to the single-stream shim
+  /// only.
+  std::vector<tenant::TenantSpec> tenants;
+  /// False: the servers keep one FIFO across tenants (the interference
+  /// baseline `examples/tenant_isolation` compares against) instead of
+  /// strict-priority + weighted DRR between per-tenant queues.
+  bool tenant_fair_dispatch = true;
+  /// DRR credit granted per unit weight per round, in service time.
+  sim::Duration tenant_quantum = sim::Duration::micros(5);
 
   ModelParams params = ModelParams::defaults();
 
@@ -200,20 +219,32 @@ struct ExperimentConfig {
     placement = where;
     return *this;
   }
+  /// Superseded by the TenantSpec workload API (DESIGN §13): a raw
+  /// single-stream distribution is the degenerate one-tenant case. Use
+  /// `with_tenants({...})` (each spec carries its own service), or the
+  /// `fixed()`/`bimodal()` shim shorthands for classic single-stream runs.
+  /// See README "Describing workloads".
+  [[deprecated(
+      "describe workloads with with_tenants(...) / tenant::TenantSpec, or "
+      "the fixed()/bimodal() single-stream shorthands")]]
   ExperimentConfig& with_service(
       std::shared_ptr<workload::ServiceDistribution> distribution) {
     service = std::move(distribution);
     return *this;
   }
-  /// Service shorthands for the paper's standard workloads.
+  /// Service shorthands for the paper's standard workloads. These are the
+  /// supported single-stream spellings: they build the one-tenant shim over
+  /// the TenantSpec model and stay bit-identical to pre-tenant builds.
   ExperimentConfig& fixed(sim::Duration work) {
-    return with_service(std::make_shared<workload::FixedDistribution>(work));
+    service = std::make_shared<workload::FixedDistribution>(work);
+    return *this;
   }
   ExperimentConfig& fixed_5us() { return fixed(sim::Duration::micros(5)); }
   ExperimentConfig& bimodal(sim::Duration common, sim::Duration rare,
                             double rare_fraction) {
-    return with_service(std::make_shared<workload::BimodalDistribution>(
-        common, rare, rare_fraction));
+    service = std::make_shared<workload::BimodalDistribution>(common, rare,
+                                                              rare_fraction);
+    return *this;
   }
   /// Figure 2's workload: 99.5 % x 5 us, 0.5 % x 100 us.
   ExperimentConfig& bimodal() {
@@ -274,6 +305,40 @@ struct ExperimentConfig {
     rack = std::move(topology);
     return *this;
   }
+  /// The canonical workload description (DESIGN §13):
+  ///
+  ///   config.with_tenants({
+  ///       tenant::make_tenant(1).named("search").weighted(4)
+  ///           .slo_class(tenant::SloClass::kLatencyCritical)
+  ///           .fixed(sim::Duration::micros(5)).load(200e3),
+  ///       tenant::make_tenant(2).named("batch")
+  ///           .slo_class(tenant::SloClass::kBestEffort),
+  ///   });
+  ExperimentConfig& with_tenants(std::vector<tenant::TenantSpec> mix) {
+    tenants = std::move(mix);
+    return *this;
+  }
+  /// Interference baseline: tenants tagged and accounted but dispatched
+  /// from one shared FIFO.
+  ExperimentConfig& tenant_fifo() {
+    tenant_fair_dispatch = false;
+    return *this;
+  }
+  ExperimentConfig& with_tenant_quantum(sim::Duration quantum) {
+    tenant_quantum = quantum;
+    return *this;
+  }
+
+  /// The server-facing dispatch/admission view of the configured mix
+  /// (HostSpec::from_config reads this). Disabled — the classic
+  /// single-queue path, bit for bit — unless a real (id != 0) tenant is
+  /// present.
+  tenant::TenantParams tenant_params() const {
+    tenant::TenantParams view = tenant::TenantParams::from_specs(tenants);
+    view.fair_dispatch = tenant_fair_dispatch;
+    view.quantum = tenant_quantum;
+    return view;
+  }
 };
 
 struct ExperimentResult {
@@ -311,6 +376,19 @@ struct ExperimentResult {
     std::uint64_t retries = 0;      // timeout retransmissions
     std::uint64_t duplicates = 0;   // responses for non-pending ids
   } clients;
+  /// Per-tenant slice of the run (DESIGN §13), populated only when a real
+  /// tenant mix is configured (empty for untenanted runs and the one-tenant
+  /// shim, keeping those results bit-identical). Order matches
+  /// `ExperimentConfig::tenants`. Each tenant satisfies the conservation
+  /// identity on its own `clients`, and the rows sum to the global totals.
+  struct TenantResult {
+    tenant::TenantSpec spec;    // as configured (service resolved)
+    double offered_rps = 0.0;   // resolved offered rate for this tenant
+    stats::RunSummary summary;
+    stats::LatencyRecorder recorder;
+    ClientTotals clients;
+  };
+  std::vector<TenantResult> tenants;
 };
 
 /// Runs one load point end to end. Deterministic in `config.seed`.

@@ -81,7 +81,25 @@ void write_server_json(std::ostream& out, const core::ServerStats& s) {
       << ", \"rejected\": " << s.overload.rejected
       << ", \"shed_expired\": " << s.overload.shed_expired
       << ", \"k_shrinks\": " << s.overload.k_shrinks
-      << ", \"k_restores\": " << s.overload.k_restores << "}}";
+      << ", \"k_restores\": " << s.overload.k_restores << "}";
+  // Per-tenant rows (DESIGN §13), emitted only when the tenant layer ran so
+  // untenanted exports stay byte-identical. k_shrinks/k_restores are per
+  // worker, never per tenant, so the rows do not carry them.
+  if (!s.tenants.empty()) {
+    out << ", \"tenants\": [";
+    for (std::size_t i = 0; i < s.tenants.size(); ++i) {
+      const tenant::TenantStats& t = s.tenants[i];
+      out << (i == 0 ? "" : ", ") << "{\"id\": " << t.id
+          << ", \"enqueued\": " << t.enqueued
+          << ", \"dispatched\": " << t.dispatched
+          << ", \"max_depth\": " << t.max_depth
+          << ", \"admitted\": " << t.overload.admitted
+          << ", \"rejected\": " << t.overload.rejected
+          << ", \"shed_expired\": " << t.overload.shed_expired << "}";
+    }
+    out << "]";
+  }
+  out << "}";
 }
 
 void write_rack_json(std::ostream& out, const rack::RackStats& r) {
@@ -108,9 +126,35 @@ void write_rack_json(std::ostream& out, const rack::RackStats& r) {
         << ", \"resets\": " << h.resets
         << ", \"feedback_discarded\": " << h.feedback_discarded
         << ", \"sojourn_ewma_us\": " << num(h.sojourn_ewma_us)
-        << ", \"queue_depth\": " << h.queue_depth << "}";
+        << ", \"queue_depth\": " << h.queue_depth;
+    if (!h.tenants.empty()) {
+      out << ", \"tenants\": [";
+      for (std::size_t j = 0; j < h.tenants.size(); ++j) {
+        const rack::RackTenantStats& t = h.tenants[j];
+        out << (j == 0 ? "" : ", ") << "{\"tenant\": " << t.tenant
+            << ", \"requests\": " << t.requests
+            << ", \"responses\": " << t.responses
+            << ", \"rejects\": " << t.rejects
+            << ", \"outstanding\": " << t.outstanding << "}";
+      }
+      out << "]";
+    }
+    out << "}";
   }
-  out << "]}";
+  out << "]";
+  if (!r.tenants.empty()) {
+    out << ", \"tenants\": [";
+    for (std::size_t i = 0; i < r.tenants.size(); ++i) {
+      const rack::RackTenantStats& t = r.tenants[i];
+      out << (i == 0 ? "" : ", ") << "{\"tenant\": " << t.tenant
+          << ", \"requests\": " << t.requests
+          << ", \"responses\": " << t.responses
+          << ", \"rejects\": " << t.rejects
+          << ", \"outstanding\": " << t.outstanding << "}";
+    }
+    out << "]";
+  }
+  out << "}";
 }
 
 // ---- parsing ---------------------------------------------------------------
@@ -356,6 +400,19 @@ core::ServerStats server_from_json(const JsonValue& json) {
     server.overload.k_shrinks = overload->count_or("k_shrinks");
     server.overload.k_restores = overload->count_or("k_restores");
   }
+  if (const JsonValue* tenants = json.find("tenants")) {
+    for (const JsonValue& entry : tenants->array) {
+      tenant::TenantStats t;
+      t.id = static_cast<std::uint16_t>(entry.number_or("id"));
+      t.enqueued = entry.count_or("enqueued");
+      t.dispatched = entry.count_or("dispatched");
+      t.max_depth = static_cast<std::size_t>(entry.number_or("max_depth"));
+      t.overload.admitted = entry.count_or("admitted");
+      t.overload.rejected = entry.count_or("rejected");
+      t.overload.shed_expired = entry.count_or("shed_expired");
+      server.tenants.push_back(t);
+    }
+  }
   return server;
 }
 
@@ -373,6 +430,21 @@ rack::RackStats rack_from_json(const JsonValue& json) {
   r.stale_decisions = json.count_or("stale_decisions");
   r.feedback_samples = json.count_or("feedback_samples");
   r.feedback_discarded_dead = json.count_or("feedback_discarded_dead");
+  const auto tenant_rows = [](const JsonValue& node) {
+    std::vector<rack::RackTenantStats> rows;
+    if (const JsonValue* tenants = node.find("tenants")) {
+      for (const JsonValue& entry : tenants->array) {
+        rack::RackTenantStats t;
+        t.tenant = static_cast<std::uint16_t>(entry.number_or("tenant"));
+        t.requests = entry.count_or("requests");
+        t.responses = entry.count_or("responses");
+        t.rejects = entry.count_or("rejects");
+        t.outstanding = entry.count_or("outstanding");
+        rows.push_back(t);
+      }
+    }
+    return rows;
+  };
   if (const JsonValue* hosts = json.find("hosts")) {
     for (const JsonValue& entry : hosts->array) {
       rack::RackHostStats h;
@@ -387,9 +459,11 @@ rack::RackStats rack_from_json(const JsonValue& json) {
       h.sojourn_ewma_us = entry.number_or("sojourn_ewma_us");
       h.queue_depth =
           static_cast<std::uint32_t>(entry.number_or("queue_depth"));
+      h.tenants = tenant_rows(entry);
       r.hosts.push_back(h);
     }
   }
+  r.tenants = tenant_rows(json);
   return r;
 }
 
@@ -436,7 +510,12 @@ void JsonResultSink::write(std::ostream& out) const {
 }
 
 void CsvResultSink::write(std::ostream& out) const {
-  out << "series,offered_rps,achieved_rps,issued,completed,mean_us,p50_us,"
+  // Schema 3 (DESIGN §13): a leading integer `schema` cell versions every
+  // row, and a trailing `tenants` cell packs the per-tenant breakdown.
+  // Legacy exports (39-cell pre-rack, 52-cell rack-era) led with the series
+  // name instead — the parser dispatches on whether cell 0 is an integer.
+  out << "schema,"
+         "series,offered_rps,achieved_rps,issued,completed,mean_us,p50_us,"
          "p90_us,p99_us,p999_us,max_us,preemptions,srv_requests_received,"
          "srv_responses_sent,srv_preemptions,srv_spurious_interrupts,"
          "srv_steals,srv_drops,srv_queue_max_depth,mean_worker_utilization,"
@@ -447,11 +526,12 @@ void CsvResultSink::write(std::ostream& out) const {
          "srv_k_restores,tor_hosts,tor_requests,tor_responses,tor_rejects,"
          "tor_other,tor_malformed,tor_affinity_hits,tor_affinity_expired,"
          "tor_unknown_responses,tor_informed,tor_stale,tor_feedback_samples,"
-         "tor_feedback_discarded_dead\n";
+         "tor_feedback_discarded_dead,tenants\n";
   for (const ResultRow& row : rows_) {
     const stats::RunSummary& s = row.summary;
     const core::ServerStats& server = row.server;
-    out << row.series << ',' << num(s.offered_rps) << ','
+    out << kCsvSchemaVersion << ','
+        << row.series << ',' << num(s.offered_rps) << ','
         << num(s.achieved_rps) << ',' << s.issued << ',' << s.completed << ','
         << num(s.mean_us) << ',' << num(s.p50_us) << ',' << num(s.p90_us)
         << ',' << num(s.p99_us) << ',' << num(s.p999_us) << ','
@@ -494,7 +574,18 @@ void CsvResultSink::write(std::ostream& out) const {
         << ',' << rack_stats.unknown_responses << ','
         << rack_stats.informed_decisions << ',' << rack_stats.stale_decisions
         << ',' << rack_stats.feedback_samples << ','
-        << rack_stats.feedback_discarded_dead << '\n';
+        << rack_stats.feedback_discarded_dead << ',';
+    // Per-tenant rows pack into one ';'-joined cell of ':'-separated fields
+    // (id:enqueued:dispatched:max_depth:admitted:rejected:shed_expired);
+    // empty for untenanted rows.
+    for (std::size_t i = 0; i < server.tenants.size(); ++i) {
+      const tenant::TenantStats& t = server.tenants[i];
+      if (i > 0) out << ';';
+      out << t.id << ':' << t.enqueued << ':' << t.dispatched << ':'
+          << t.max_depth << ':' << t.overload.admitted << ':'
+          << t.overload.rejected << ':' << t.overload.shed_expired;
+    }
+    out << '\n';
   }
 }
 
@@ -585,11 +676,38 @@ std::optional<std::vector<ResultRow>> parse_csv_rows(std::string_view text,
       header = false;
       continue;
     }
-    const auto cells = split(line, ',');
-    // 39 cells = pre-rack exports (still parseable); 52 = current schema.
-    if (cells.size() != 39 && cells.size() != 52) {
+    auto cells = split(line, ',');
+    // Dispatch on the schema cell: versioned rows (schema >= 3) lead with a
+    // bare integer; legacy unversioned rows lead with the series name. A
+    // series named like an integer would be misread — series labels have
+    // always been system names, so the ambiguity is theoretical. Popping the
+    // schema cell lets every legacy column keep its historical index.
+    std::uint64_t schema = 0;
+    if (!cells.empty() && !cells[0].empty() &&
+        cells[0].find_first_not_of("0123456789") == std::string::npos) {
+      schema = std::strtoull(cells[0].c_str(), nullptr, 10);
+      cells.erase(cells.begin());
+    }
+    if (schema == 0) {
+      // 39 cells = pre-rack exports (still parseable); 52 = rack-era.
+      if (cells.size() != 39 && cells.size() != 52) {
+        if (error != nullptr) {
+          *error =
+              "expected 39 or 52 cells, got " + std::to_string(cells.size());
+        }
+        return std::nullopt;
+      }
+    } else if (schema == kCsvSchemaVersion) {
+      if (cells.size() != 53) {
+        if (error != nullptr) {
+          *error = "schema 3 expects 53 payload cells, got " +
+                   std::to_string(cells.size());
+        }
+        return std::nullopt;
+      }
+    } else {
       if (error != nullptr) {
-        *error = "expected 39 or 52 cells, got " + std::to_string(cells.size());
+        *error = "unsupported schema version " + std::to_string(schema);
       }
       return std::nullopt;
     }
@@ -655,7 +773,7 @@ std::optional<std::vector<ResultRow>> parse_csv_rows(std::string_view text,
         std::strtoull(cells[37].c_str(), nullptr, 10);
     row.server.overload.k_restores =
         std::strtoull(cells[38].c_str(), nullptr, 10);
-    if (cells.size() == 52) {
+    if (cells.size() >= 52) {
       const std::uint64_t tor_hosts =
           std::strtoull(cells[39].c_str(), nullptr, 10);
       if (tor_hosts > 0) {
@@ -688,6 +806,29 @@ std::optional<std::vector<ResultRow>> parse_csv_rows(std::string_view text,
         // the JSON export. Size the hosts vector so host_count survives.
         rack_stats.hosts.resize(tor_hosts);
         row.rack = std::move(rack_stats);
+      }
+    }
+    if (schema >= 3 && !cells[52].empty()) {
+      for (const std::string& packed : split(cells[52], ';')) {
+        const auto fields = split(packed, ':');
+        if (fields.size() != 7) {
+          if (error != nullptr) {
+            *error = "bad tenant cell entry '" + packed + "'";
+          }
+          return std::nullopt;
+        }
+        tenant::TenantStats t;
+        t.id = static_cast<std::uint16_t>(
+            std::strtoull(fields[0].c_str(), nullptr, 10));
+        t.enqueued = std::strtoull(fields[1].c_str(), nullptr, 10);
+        t.dispatched = std::strtoull(fields[2].c_str(), nullptr, 10);
+        t.max_depth = static_cast<std::size_t>(
+            std::strtoull(fields[3].c_str(), nullptr, 10));
+        t.overload.admitted = std::strtoull(fields[4].c_str(), nullptr, 10);
+        t.overload.rejected = std::strtoull(fields[5].c_str(), nullptr, 10);
+        t.overload.shed_expired =
+            std::strtoull(fields[6].c_str(), nullptr, 10);
+        row.server.tenants.push_back(t);
       }
     }
     rows.push_back(std::move(row));

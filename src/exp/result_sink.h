@@ -92,6 +92,12 @@ class JsonResultSink : public ResultSink {
   std::string title_;
 };
 
+/// Version stamped into the leading `schema` cell of every CSV row. History:
+/// unversioned 39-cell rows (pre-rack), unversioned 52-cell rows (rack-era),
+/// then schema 3 = 53 payload cells (52 legacy + packed per-tenant cell)
+/// behind the version marker. parse_csv_rows reads all three shapes.
+inline constexpr std::uint64_t kCsvSchemaVersion = 3;
+
 /// One header line plus one line per row; metrics and checks are not part of
 /// the CSV (they go to JSON), keeping the file loadable as a plain dataframe.
 class CsvResultSink : public ResultSink {

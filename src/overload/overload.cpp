@@ -1,58 +1,28 @@
 #include "overload/overload.h"
 
-#include <cstdlib>
-#include <string>
+#include "core/env_spec.h"
 
 namespace nicsched::overload {
 
-namespace {
-
-bool env_flag(const char* name, bool fallback) {
-  const char* value = std::getenv(name);
-  if (value == nullptr || *value == '\0') return fallback;
-  const std::string text(value);
-  return !(text == "0" || text == "false" || text == "off");
-}
-
-double env_double(const char* name, double fallback) {
-  const char* value = std::getenv(name);
-  if (value == nullptr || *value == '\0') return fallback;
-  char* end = nullptr;
-  const double parsed = std::strtod(value, &end);
-  return end == value ? fallback : parsed;
-}
-
-std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
-  const char* value = std::getenv(name);
-  if (value == nullptr || *value == '\0') return fallback;
-  char* end = nullptr;
-  const unsigned long long parsed = std::strtoull(value, &end, 10);
-  return end == value ? fallback : static_cast<std::uint64_t>(parsed);
-}
-
-}  // namespace
-
 OverloadParams OverloadParams::from_env(OverloadParams base) {
-  base.enabled = env_flag("NICSCHED_OVERLOAD", base.enabled);
-  base.deadline =
-      sim::Duration::micros(env_double("NICSCHED_OVERLOAD_DEADLINE_US",
-                                       base.deadline.to_micros()));
+  using core::EnvSpec;
+  base.enabled = EnvSpec::flag("NICSCHED_OVERLOAD", base.enabled);
+  base.deadline = EnvSpec::micros("NICSCHED_OVERLOAD_DEADLINE_US",
+                                  base.deadline);
   base.retry_budget = static_cast<std::uint32_t>(
-      env_u64("NICSCHED_OVERLOAD_RETRY_BUDGET", base.retry_budget));
-  base.retry_timeout =
-      sim::Duration::micros(env_double("NICSCHED_OVERLOAD_RETRY_TIMEOUT_US",
-                                       base.retry_timeout.to_micros()));
+      EnvSpec::u64("NICSCHED_OVERLOAD_RETRY_BUDGET", base.retry_budget));
+  base.retry_timeout = EnvSpec::micros("NICSCHED_OVERLOAD_RETRY_TIMEOUT_US",
+                                       base.retry_timeout);
   base.admission_enabled =
-      env_flag("NICSCHED_OVERLOAD_ADMISSION", base.admission_enabled);
-  base.admission_delay_limit =
-      sim::Duration::micros(env_double("NICSCHED_OVERLOAD_DELAY_LIMIT_US",
-                                       base.admission_delay_limit.to_micros()));
-  base.admission_depth_limit = static_cast<std::size_t>(
-      env_u64("NICSCHED_OVERLOAD_DEPTH_LIMIT", base.admission_depth_limit));
+      EnvSpec::flag("NICSCHED_OVERLOAD_ADMISSION", base.admission_enabled);
+  base.admission_delay_limit = EnvSpec::micros(
+      "NICSCHED_OVERLOAD_DELAY_LIMIT_US", base.admission_delay_limit);
+  base.admission_depth_limit = static_cast<std::size_t>(EnvSpec::u64(
+      "NICSCHED_OVERLOAD_DEPTH_LIMIT", base.admission_depth_limit));
   base.shedding_enabled =
-      env_flag("NICSCHED_OVERLOAD_SHEDDING", base.shedding_enabled);
+      EnvSpec::flag("NICSCHED_OVERLOAD_SHEDDING", base.shedding_enabled);
   base.adaptive_k_enabled =
-      env_flag("NICSCHED_OVERLOAD_ADAPTIVE_K", base.adaptive_k_enabled);
+      EnvSpec::flag("NICSCHED_OVERLOAD_ADAPTIVE_K", base.adaptive_k_enabled);
   return base;
 }
 

@@ -35,13 +35,16 @@ bool read_header_versioned(net::ByteReader& reader, MessageType expected,
 
 constexpr std::size_t kDescriptorBodySize = 48;
 /// Version-2 descriptor body: the version-1 layout plus a trailing u64
-/// deadline. Fixed-size per version so truncation cannot alias.
-constexpr std::size_t kDescriptorBodySizeV2 = kDescriptorBodySize + 8;
+/// deadline and u16 tenant. Fixed-size per version so truncation cannot
+/// alias.
+constexpr std::size_t kDescriptorBodySizeV2 = kDescriptorBodySize + 10;
 
 /// The version a descriptor-carrying frame must use: extended fields force
 /// version 2, otherwise the legacy layout is emitted bit-for-bit.
 std::uint8_t descriptor_version(const RequestDescriptor& descriptor) {
-  return descriptor.deadline_ps != 0 ? kVersionExtended : kVersion;
+  return (descriptor.deadline_ps != 0 || descriptor.tenant != 0)
+             ? kVersionExtended
+             : kVersion;
 }
 
 void write_descriptor_body(net::ByteWriter& writer,
@@ -57,7 +60,10 @@ void write_descriptor_body(net::ByteWriter& writer,
   writer.bytes(descriptor.client_mac.octets());
   writer.u32(descriptor.client_ip.bits());
   writer.u16(descriptor.client_port);
-  if (version == kVersionExtended) writer.u64(descriptor.deadline_ps);
+  if (version == kVersionExtended) {
+    writer.u64(descriptor.deadline_ps);
+    writer.u16(descriptor.tenant);
+  }
 }
 
 std::optional<RequestDescriptor> read_descriptor_body(net::ByteReader& reader,
@@ -80,7 +86,10 @@ std::optional<RequestDescriptor> read_descriptor_body(net::ByteReader& reader,
   descriptor.client_mac = net::MacAddress(mac);
   descriptor.client_ip = net::Ipv4Address(reader.u32());
   descriptor.client_port = reader.u16();
-  if (version == kVersionExtended) descriptor.deadline_ps = reader.u64();
+  if (version == kVersionExtended) {
+    descriptor.deadline_ps = reader.u64();
+    descriptor.tenant = reader.u16();
+  }
   return descriptor;
 }
 
@@ -118,21 +127,24 @@ std::optional<MessageType> peek_type(std::span<const std::uint8_t> payload) {
 }
 
 std::vector<std::uint8_t> RequestMessage::serialize() const {
-  return owned(36 + padding,
+  return owned(38 + padding,
                [this](std::vector<std::uint8_t>& out) { serialize_into(out); });
 }
 
 void RequestMessage::serialize_into(std::vector<std::uint8_t>& out) const {
   out.clear();
   const std::uint8_t version =
-      deadline_ps != 0 ? kVersionExtended : kVersion;
+      (deadline_ps != 0 || tenant != 0) ? kVersionExtended : kVersion;
   net::ByteWriter writer(out);
   write_header(writer, MessageType::kRequest, version);
   writer.u64(request_id);
   writer.u32(client_id);
   writer.u16(kind);
   writer.u64(work_ps);
-  if (version == kVersionExtended) writer.u64(deadline_ps);
+  if (version == kVersionExtended) {
+    writer.u64(deadline_ps);
+    writer.u16(tenant);
+  }
   writer.u16(padding);
   out.resize(out.size() + padding, 0);
 }
@@ -144,14 +156,17 @@ std::optional<RequestMessage> RequestMessage::parse(
   if (!read_header_versioned(reader, MessageType::kRequest, version)) {
     return std::nullopt;
   }
-  const std::size_t body_size = version == kVersionExtended ? 32 : 24;
+  const std::size_t body_size = version == kVersionExtended ? 34 : 24;
   if (reader.remaining() < body_size) return std::nullopt;
   RequestMessage message;
   message.request_id = reader.u64();
   message.client_id = reader.u32();
   message.kind = reader.u16();
   message.work_ps = reader.u64();
-  if (version == kVersionExtended) message.deadline_ps = reader.u64();
+  if (version == kVersionExtended) {
+    message.deadline_ps = reader.u64();
+    message.tenant = reader.u16();
+  }
   message.padding = reader.u16();
   if (reader.remaining() < message.padding) return std::nullopt;
   return message;

@@ -79,6 +79,9 @@ struct RequestMessage {
   /// Absolute completion deadline in simulation picoseconds (0 = none).
   /// Nonzero deadlines serialize as a version-2 frame.
   std::uint64_t deadline_ps = 0;
+  /// Tenant id (DESIGN §13; 0 = untenanted). Nonzero tenants serialize as a
+  /// version-2 frame so single-tenant runs stay bit-identical on the wire.
+  std::uint16_t tenant = 0;
   std::uint16_t padding = 0;     // extra payload bytes appended on the wire
 
   std::vector<std::uint8_t> serialize() const;
@@ -111,6 +114,10 @@ struct RequestDescriptor {
   /// shed already-expired work before it reaches a worker. Nonzero values
   /// serialize the enclosing message as version 2.
   std::uint64_t deadline_ps = 0;
+  /// Tenant id (0 = untenanted); rides the descriptor so per-tenant dispatch
+  /// queues and stats survive preemption round-trips. Nonzero values
+  /// serialize the enclosing message as version 2.
+  std::uint16_t tenant = 0;
 
   std::vector<std::uint8_t> serialize(MessageType type) const;
   void serialize_into(MessageType type, std::vector<std::uint8_t>& out) const;

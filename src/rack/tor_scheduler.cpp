@@ -7,34 +7,12 @@
 #include <string>
 #include <utility>
 
+#include "core/env_spec.h"
 #include "proto/messages.h"
 
 namespace nicsched::rack {
 
 namespace {
-
-bool env_string(const char* name, std::string& out) {
-  const char* value = std::getenv(name);
-  if (value == nullptr || *value == '\0') return false;
-  out = value;
-  return true;
-}
-
-double env_double(const char* name, double fallback) {
-  const char* value = std::getenv(name);
-  if (value == nullptr || *value == '\0') return fallback;
-  char* end = nullptr;
-  const double parsed = std::strtod(value, &end);
-  return end == value ? fallback : parsed;
-}
-
-std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
-  const char* value = std::getenv(name);
-  if (value == nullptr || *value == '\0') return fallback;
-  char* end = nullptr;
-  const unsigned long long parsed = std::strtoull(value, &end, 10);
-  return end == value ? fallback : static_cast<std::uint64_t>(parsed);
-}
 
 /// Score offset that makes a presumed-dead host lose every comparison while
 /// preserving relative order among dead hosts (both-dead pairs still pick
@@ -69,27 +47,28 @@ std::optional<TorPolicy> tor_policy_from_string(std::string_view name) {
 }
 
 TorParams TorParams::from_env(TorParams base) {
+  using core::EnvSpec;
   std::string text;
-  if (env_string("NICSCHED_RACK_POLICY", text)) {
+  if (EnvSpec::text("NICSCHED_RACK_POLICY", text)) {
     if (const auto parsed = tor_policy_from_string(text)) base.policy = *parsed;
   }
-  base.decision_latency = sim::Duration::nanos(
-      env_double("NICSCHED_RACK_DECISION_NS", base.decision_latency.to_nanos()));
-  base.host_link_latency = sim::Duration::nanos(
-      env_double("NICSCHED_RACK_LINK_NS", base.host_link_latency.to_nanos()));
+  base.decision_latency =
+      EnvSpec::nanos("NICSCHED_RACK_DECISION_NS", base.decision_latency);
+  base.host_link_latency =
+      EnvSpec::nanos("NICSCHED_RACK_LINK_NS", base.host_link_latency);
   base.host_link_gbps =
-      env_double("NICSCHED_RACK_LINK_GBPS", base.host_link_gbps);
-  base.feedback_stale_after = sim::Duration::micros(env_double(
-      "NICSCHED_RACK_STALE_US", base.feedback_stale_after.to_micros()));
+      EnvSpec::number("NICSCHED_RACK_LINK_GBPS", base.host_link_gbps);
+  base.feedback_stale_after =
+      EnvSpec::micros("NICSCHED_RACK_STALE_US", base.feedback_stale_after);
   base.sojourn_alpha =
-      env_double("NICSCHED_RACK_SOJOURN_ALPHA", base.sojourn_alpha);
+      EnvSpec::number("NICSCHED_RACK_SOJOURN_ALPHA", base.sojourn_alpha);
   base.sojourn_weight_per_us =
-      env_double("NICSCHED_RACK_SOJOURN_WEIGHT", base.sojourn_weight_per_us);
-  base.affinity_ttl = sim::Duration::micros(
-      env_double("NICSCHED_RACK_AFFINITY_TTL_US", base.affinity_ttl.to_micros()));
-  base.host_timeout = sim::Duration::micros(
-      env_double("NICSCHED_RACK_HOST_TIMEOUT_US", base.host_timeout.to_micros()));
-  base.seed = env_u64("NICSCHED_RACK_SEED", base.seed);
+      EnvSpec::number("NICSCHED_RACK_SOJOURN_WEIGHT", base.sojourn_weight_per_us);
+  base.affinity_ttl =
+      EnvSpec::micros("NICSCHED_RACK_AFFINITY_TTL_US", base.affinity_ttl);
+  base.host_timeout =
+      EnvSpec::micros("NICSCHED_RACK_HOST_TIMEOUT_US", base.host_timeout);
+  base.seed = EnvSpec::u64("NICSCHED_RACK_SEED", base.seed);
   return base;
 }
 
@@ -172,11 +151,20 @@ void TorScheduler::deliver(net::Packet packet) {
     ++stats_.malformed_dropped;
     return;
   }
-  steer(std::move(packet), *view, request->request_id);
+  steer(std::move(packet), *view, request->request_id, request->tenant);
+}
+
+RackTenantStats& TorScheduler::tenant_row(std::vector<RackTenantStats>& rows,
+                                          std::uint16_t id) {
+  for (RackTenantStats& row : rows) {
+    if (row.tenant == id) return row;
+  }
+  rows.push_back(RackTenantStats{id, 0, 0, 0, 0});
+  return rows.back();
 }
 
 void TorScheduler::steer(net::Packet packet, const net::UdpDatagramView& view,
-                         std::uint64_t request_id) {
+                         std::uint64_t request_id, std::uint16_t tenant) {
   const auto now = sim_.now();
   std::size_t target;
   if (const auto it = affinity_.find(request_id); it != affinity_.end()) {
@@ -188,15 +176,19 @@ void TorScheduler::steer(net::Packet packet, const net::UdpDatagramView& view,
     ++stats_.affinity_hits;
   } else {
     target = pick_host(view.five_tuple());
-    affinity_.emplace(request_id,
-                      Affinity{static_cast<std::uint32_t>(target), now, now});
+    affinity_.emplace(request_id, Affinity{static_cast<std::uint32_t>(target),
+                                           tenant, now, now});
     affinity_log_.emplace_back(request_id, now);
     HostState& host = *hosts_[target];
     if (host.outstanding == 0) host.outstanding_since = now;
     ++host.outstanding;
+    if (tenant != 0) {
+      ++tenant_row(host.counters.tenants, tenant).outstanding;
+    }
   }
   HostState& host = *hosts_[target];
   ++host.counters.requests;
+  if (tenant != 0) ++tenant_row(host.counters.tenants, tenant).requests;
   ++stats_.requests_forwarded;
 
   // Readdress to the host's ingress endpoint; the client's source fields
@@ -330,7 +322,15 @@ void TorScheduler::fold_feedback(HostState& host, const Affinity& entry,
 void TorScheduler::complete(std::size_t host, std::uint64_t request_id) {
   HostState& state = *hosts_[host];
   if (state.outstanding > 0) --state.outstanding;
-  affinity_.erase(request_id);
+  const auto it = affinity_.find(request_id);
+  if (it != affinity_.end()) {
+    if (it->second.tenant != 0) {
+      RackTenantStats& row =
+          tenant_row(state.counters.tenants, it->second.tenant);
+      if (row.outstanding > 0) --row.outstanding;
+    }
+    affinity_.erase(it);
+  }
 }
 
 void TorScheduler::from_host(std::size_t index, net::Packet packet) {
@@ -354,6 +354,9 @@ void TorScheduler::from_host(std::size_t index, net::Packet packet) {
           fold_feedback(host, it->second, response->queue_depth,
                         response->has_sojourn, response->sojourn_ps);
           ++host.counters.responses;
+          if (it->second.tenant != 0) {
+            ++tenant_row(host.counters.tenants, it->second.tenant).responses;
+          }
           complete(index, response->request_id);
         } else {
           ++stats_.unknown_responses;
@@ -367,6 +370,9 @@ void TorScheduler::from_host(std::size_t index, net::Packet packet) {
           fold_feedback(host, it->second, reject->queue_depth,
                         /*has_sojourn=*/false, 0);
           ++host.counters.rejects;
+          if (it->second.tenant != 0) {
+            ++tenant_row(host.counters.tenants, it->second.tenant).rejects;
+          }
           complete(index, reject->request_id);
         } else {
           ++stats_.unknown_responses;
@@ -399,6 +405,11 @@ void TorScheduler::sweep_affinity(sim::TimePoint now) {
     }
     HostState& host = *hosts_[it->second.host];
     if (host.outstanding > 0) --host.outstanding;
+    if (it->second.tenant != 0) {
+      RackTenantStats& row =
+          tenant_row(host.counters.tenants, it->second.tenant);
+      if (row.outstanding > 0) --row.outstanding;
+    }
     affinity_.erase(it);
     ++stats_.affinity_expired;
   }
@@ -413,6 +424,13 @@ RackStats TorScheduler::stats() const {
     row.sojourn_ewma_us = host->sojourn_seeded ? host->sojourn_ewma_us : 0.0;
     row.queue_depth = host->depth_seeded ? host->queue_depth : 0;
     out.feedback_discarded_dead += row.feedback_discarded;
+    for (const RackTenantStats& slice : row.tenants) {
+      RackTenantStats& total = tenant_row(out.tenants, slice.tenant);
+      total.requests += slice.requests;
+      total.responses += slice.responses;
+      total.rejects += slice.rejects;
+      total.outstanding += slice.outstanding;
+    }
     out.hosts.push_back(row);
   }
   return out;

@@ -108,6 +108,20 @@ struct TorParams {
   static TorParams from_env() { return from_env(TorParams{}); }
 };
 
+/// Per-tenant slice of the ToR's steering/feedback counters (DESIGN §13):
+/// the rack-level view of which tenant the forwarded requests and snooped
+/// responses belong to, so p2c feedback and PR 5 backpressure verdicts stay
+/// tenant-attributable. Rows appear in first-seen order. Untenanted traffic
+/// (wire tenant 0) is not tracked — the vectors stay empty, and the stats
+/// bit-identical, when the tenant layer is off.
+struct RackTenantStats {
+  std::uint16_t tenant = 0;
+  std::uint64_t requests = 0;     // forwards (including affinity retransmits)
+  std::uint64_t responses = 0;    // kResponse frames matched to an affinity
+  std::uint64_t rejects = 0;      // kReject frames matched to an affinity
+  std::uint64_t outstanding = 0;  // ToR-local in-flight count
+};
+
 struct RackHostStats {
   std::uint64_t requests = 0;   // requests steered to this host
   std::uint64_t responses = 0;  // responses matched to an affinity entry
@@ -124,6 +138,8 @@ struct RackHostStats {
   std::uint64_t feedback_discarded = 0;
   double sojourn_ewma_us = 0.0;   // snapshot (0 until seeded)
   std::uint32_t queue_depth = 0;  // last snooped depth (0 until seeded)
+  /// Per-tenant slice of this host's counters; empty for untenanted runs.
+  std::vector<RackTenantStats> tenants;
 };
 
 struct RackStats {
@@ -140,6 +156,8 @@ struct RackStats {
   std::uint64_t feedback_samples = 0;    // accepted into a host estimate
   std::uint64_t feedback_discarded_dead = 0;  // sum of per-host discards
   std::vector<RackHostStats> hosts;
+  /// Rack-wide per-tenant rows (per-host slices summed, first-seen order).
+  std::vector<RackTenantStats> tenants;
 };
 
 /// The ToR request scheduler. Clients address the VIP; `deliver` steers each
@@ -224,13 +242,20 @@ class TorScheduler : public net::PacketSink {
 
   struct Affinity {
     std::uint32_t host = 0;
+    /// Wire tenant tag snooped off the request (0 = untenanted); return
+    /// traffic is attributed to this tenant without reparsing.
+    std::uint16_t tenant = 0;
     sim::TimePoint first_sent;
     sim::TimePoint last_sent;
   };
 
+  /// Find-or-append the per-tenant row for `id` (first-seen order).
+  static RackTenantStats& tenant_row(std::vector<RackTenantStats>& rows,
+                                     std::uint16_t id);
+
   void from_host(std::size_t host, net::Packet packet);
   void steer(net::Packet packet, const net::UdpDatagramView& view,
-             std::uint64_t request_id);
+             std::uint64_t request_id, std::uint16_t tenant);
   std::size_t pick_host(const net::FiveTuple& flow);
   double score(HostState& host, sim::TimePoint now, bool& fresh);
   bool dead_now(HostState& host, sim::TimePoint now);

@@ -102,6 +102,7 @@ void ClientMachine::transmit_pending(std::uint64_t request_id,
                             : static_cast<std::uint64_t>(
                                   pending.deadline.to_picos());
   message.padding = config_.request_padding;
+  message.tenant = config_.tenant;
   auto& scratch = proto::serialization_scratch();
   message.serialize_into(scratch);
   interface_->transmit(net::make_udp_datagram(pending.address, scratch));
@@ -199,6 +200,7 @@ void ClientMachine::handle_rx() {
     ResponseRecord record;
     record.request_id = response->request_id;
     record.kind = it->second.kind;
+    record.tenant = config_.tenant;
     record.preempt_count = response->preempt_count;
     record.sent_at = it->second.sent_at;
     record.received_at = sim_.now();

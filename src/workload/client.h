@@ -23,6 +23,8 @@ namespace nicsched::workload {
 struct ResponseRecord {
   std::uint64_t request_id = 0;
   std::uint16_t kind = 0;
+  /// Tenant the issuing stream belongs to (DESIGN §13); 0 = untenanted.
+  std::uint16_t tenant = 0;
   std::uint16_t preempt_count = 0;
   sim::TimePoint sent_at;
   sim::TimePoint received_at;
@@ -65,6 +67,9 @@ class ClientMachine {
     /// backoff + jitter, retry budget. Disabled by default; when disabled
     /// the client's RNG draws and event sequence are untouched.
     overload::OverloadParams overload;
+    /// Tenant id stamped on every request (DESIGN §13). 0 = untenanted:
+    /// requests stay version-1 frames, bit-identical to pre-tenant builds.
+    std::uint16_t tenant = 0;
   };
 
   using ResponseCallback = std::function<void(const ResponseRecord&)>;

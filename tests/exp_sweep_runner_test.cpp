@@ -72,6 +72,7 @@ void expect_row_identical(const exp::ResultRow& a, const exp::ResultRow& b) {
   EXPECT_EQ(a.server.overload.shed_expired, b.server.overload.shed_expired);
   EXPECT_EQ(a.server.overload.k_shrinks, b.server.overload.k_shrinks);
   EXPECT_EQ(a.server.overload.k_restores, b.server.overload.k_restores);
+  EXPECT_EQ(a.server.tenants, b.server.tenants);
   EXPECT_EQ(a.mean_worker_utilization, b.mean_worker_utilization);
 }
 
@@ -121,7 +122,20 @@ exp::ResultRow rack_row() {
   host.feedback_discarded = 9;
   host.sojourn_ewma_us = 7.0 / 3.0;  // non-terminating binary fraction
   host.queue_depth = 6;
+  rack::RackTenantStats slice;
+  slice.tenant = 3;
+  slice.requests = 12'000;
+  slice.responses = 11'990;
+  slice.rejects = 4;
+  slice.outstanding = 6;
+  host.tenants = {slice};
   rack_stats.hosts.assign(4, host);
+  rack::RackTenantStats total = slice;
+  total.requests *= 4;
+  total.responses *= 4;
+  total.rejects *= 4;
+  total.outstanding *= 4;
+  rack_stats.tenants = {total};
   row.rack = std::move(rack_stats);
   return row;
 }
@@ -309,6 +323,13 @@ TEST(ResultSink, JsonRoundTripsRackStats) {
   EXPECT_EQ(host.feedback_discarded, 9u);
   EXPECT_EQ(host.sojourn_ewma_us, 7.0 / 3.0);
   EXPECT_EQ(host.queue_depth, 6u);
+  // Per-tenant slices survive JSON at both levels (host and rack-wide).
+  ASSERT_EQ(host.tenants.size(), 1u);
+  EXPECT_EQ(host.tenants[0].tenant, 3u);
+  EXPECT_EQ(host.tenants[0].requests, 12'000u);
+  EXPECT_EQ(host.tenants[0].outstanding, 6u);
+  ASSERT_EQ(parsed->rows[1].rack->tenants.size(), 1u);
+  EXPECT_EQ(parsed->rows[1].rack->tenants[0].requests, 48'000u);
 }
 
 TEST(ResultSink, CsvRoundTripsRackAggregates) {
@@ -329,24 +350,33 @@ TEST(ResultSink, CsvRoundTripsRackAggregates) {
   expect_rack_aggregates_identical(*(*rows)[1].rack, *reference.rack);
 }
 
-TEST(ResultSink, CsvParsesLegacyPreRackRows) {
-  // A 39-cell row from a pre-rack export must still parse (rack absent).
-  exp::CsvResultSink sink;
-  sink.add(sample_row());
-  std::ostringstream out;
-  sink.write(out);
-  std::string text = out.str();
-  // Strip the 13 rack cells from header and row to fabricate the old schema.
+// Fabricates unversioned legacy lines from current writer output: drops the
+// leading schema cell and `trailing` cells off the end of header and row.
+std::string fabricate_legacy_csv(const std::string& text, int trailing) {
+  auto strip_first_cell = [](std::string line) {
+    return line.substr(line.find(',') + 1);
+  };
   auto strip_last_cells = [](std::string line, int count) {
     for (int i = 0; i < count; ++i) line.erase(line.rfind(','));
     return line;
   };
   const std::size_t newline = text.find('\n');
-  std::string header = strip_last_cells(text.substr(0, newline), 13);
-  std::string row =
-      strip_last_cells(text.substr(newline + 1,
-                                   text.size() - newline - 2), 13);
-  const std::string legacy = header + "\n" + row + "\n";
+  const std::string header = strip_last_cells(
+      strip_first_cell(text.substr(0, newline)), trailing);
+  const std::string row = strip_last_cells(
+      strip_first_cell(text.substr(newline + 1, text.size() - newline - 2)),
+      trailing);
+  return header + "\n" + row + "\n";
+}
+
+TEST(ResultSink, CsvParsesLegacyPreRackRows) {
+  // A 39-cell row from a pre-rack export must still parse (rack absent):
+  // strip the schema cell plus 14 trailing cells (13 rack + tenants).
+  exp::CsvResultSink sink;
+  sink.add(sample_row());
+  std::ostringstream out;
+  sink.write(out);
+  const std::string legacy = fabricate_legacy_csv(out.str(), 14);
 
   std::string error;
   const auto rows = exp::parse_csv_rows(legacy, &error);
@@ -354,6 +384,94 @@ TEST(ResultSink, CsvParsesLegacyPreRackRows) {
   ASSERT_EQ(rows->size(), 1u);
   expect_row_identical((*rows)[0], sample_row());
   EXPECT_FALSE((*rows)[0].rack.has_value());
+}
+
+TEST(ResultSink, CsvParsesLegacyRackEraRows) {
+  // A 52-cell rack-era row (no schema cell, no tenants cell) still parses.
+  exp::CsvResultSink sink;
+  sink.add(rack_row());
+  std::ostringstream out;
+  sink.write(out);
+  const std::string legacy = fabricate_legacy_csv(out.str(), 1);
+
+  std::string error;
+  const auto rows = exp::parse_csv_rows(legacy, &error);
+  ASSERT_TRUE(rows.has_value()) << error;
+  ASSERT_EQ(rows->size(), 1u);
+  ASSERT_TRUE((*rows)[0].rack.has_value());
+  const exp::ResultRow reference = rack_row();
+  expect_rack_aggregates_identical(*(*rows)[0].rack, *reference.rack);
+}
+
+exp::ResultRow tenant_row() {
+  exp::ResultRow row = sample_row();
+  row.series = "tenant mix";
+  tenant::TenantStats lc;
+  lc.id = 1;
+  lc.enqueued = 9'000;
+  lc.dispatched = 8'990;
+  lc.max_depth = 17;
+  lc.overload.admitted = 9'100;
+  lc.overload.rejected = 100;
+  lc.overload.shed_expired = 12;
+  tenant::TenantStats be;
+  be.id = 7;
+  be.enqueued = 480;
+  be.dispatched = 475;
+  be.max_depth = 233;
+  be.overload.admitted = 500;
+  be.overload.rejected = 20;
+  be.overload.shed_expired = 5;
+  row.server.tenants = {lc, be};
+  return row;
+}
+
+TEST(ResultSink, CsvRoundTripsTenantRows) {
+  exp::CsvResultSink sink;
+  sink.add(sample_row());  // empty tenants cell
+  sink.add(tenant_row());
+
+  std::ostringstream out;
+  sink.write(out);
+
+  std::string error;
+  const auto rows = exp::parse_csv_rows(out.str(), &error);
+  ASSERT_TRUE(rows.has_value()) << error;
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_TRUE((*rows)[0].server.tenants.empty());
+  expect_row_identical((*rows)[1], tenant_row());
+}
+
+TEST(ResultSink, JsonRoundTripsTenantRows) {
+  exp::JsonResultSink sink("tenant_test", "tenants");
+  sink.add(sample_row());
+  sink.add(tenant_row());
+
+  std::ostringstream out;
+  sink.write(out);
+
+  std::string error;
+  const auto parsed = exp::parse_json_results(out.str(), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  ASSERT_EQ(parsed->rows.size(), 2u);
+  EXPECT_TRUE(parsed->rows[0].server.tenants.empty());
+  expect_row_identical(parsed->rows[1], tenant_row());
+}
+
+TEST(ResultSink, CsvRejectsUnsupportedSchemaVersion) {
+  exp::CsvResultSink sink;
+  sink.add(sample_row());
+  std::ostringstream out;
+  sink.write(out);
+  std::string text = out.str();
+  // Bump the schema cell of the data row to a version this parser predates.
+  const std::size_t newline = text.find('\n');
+  text = text.substr(0, newline + 1) + "99" +
+         text.substr(newline + 1 + 1);  // "3" -> "99"
+
+  std::string error;
+  EXPECT_FALSE(exp::parse_csv_rows(text, &error).has_value());
+  EXPECT_NE(error.find("unsupported schema"), std::string::npos) << error;
 }
 
 TEST(ResultSink, JsonRejectsMalformedInput) {

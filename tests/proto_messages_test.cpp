@@ -51,7 +51,7 @@ TEST(RequestMessage, DeadlineForcesVersion2AndRoundTrips) {
 
   const auto bytes = message.serialize();
   EXPECT_EQ(bytes[2], kVersionExtended);
-  EXPECT_EQ(bytes.size(), 4u + 32u + 8u);  // header + v2 body + padding
+  EXPECT_EQ(bytes.size(), 4u + 34u + 8u);  // header + v2 body + padding
   const auto parsed = RequestMessage::parse(bytes);
   ASSERT_TRUE(parsed.has_value());
   EXPECT_EQ(*parsed, message);
@@ -62,6 +62,41 @@ TEST(RequestMessage, DeadlineForcesVersion2AndRoundTrips) {
   const auto v1 = message.serialize();
   EXPECT_EQ(v1[2], kVersion);
   EXPECT_EQ(v1.size(), 4u + 24u + 8u);
+}
+
+TEST(RequestMessage, TenantForcesVersion2AndRoundTrips) {
+  RequestMessage message;
+  message.request_id = 100;
+  message.work_ps = 5'000'000;
+  message.tenant = 7;  // no deadline: the tenant tag alone promotes
+  message.padding = 4;
+
+  const auto bytes = message.serialize();
+  EXPECT_EQ(bytes[2], kVersionExtended);
+  EXPECT_EQ(bytes.size(), 4u + 34u + 4u);
+  const auto parsed = RequestMessage::parse(bytes);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, message);
+  EXPECT_EQ(parsed->tenant, 7);
+
+  // Tenant 0 (untenanted) with no deadline stays a version-1 frame.
+  message.tenant = 0;
+  EXPECT_EQ(message.serialize()[2], kVersion);
+}
+
+TEST(RequestDescriptor, TenantForcesVersion2AndRoundTrips) {
+  RequestDescriptor descriptor = sample_descriptor();
+  descriptor.tenant = 3;
+  for (const MessageType type :
+       {MessageType::kAssignment, MessageType::kPreemption}) {
+    const auto bytes = descriptor.serialize(type);
+    EXPECT_EQ(bytes[2], kVersionExtended);
+    const auto parsed = RequestDescriptor::parse(bytes, type);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, descriptor);
+  }
+  descriptor.tenant = 0;
+  EXPECT_EQ(descriptor.serialize(MessageType::kAssignment)[2], kVersion);
 }
 
 TEST(RequestMessage, TruncatedVersion2NeverAliasesToVersion1) {
@@ -119,7 +154,7 @@ TEST(RequestDescriptor, DeadlineForcesVersion2AndRoundTrips) {
        {MessageType::kAssignment, MessageType::kPreemption}) {
     const auto bytes = descriptor.serialize(type);
     EXPECT_EQ(bytes[2], kVersionExtended);
-    EXPECT_EQ(bytes.size(), 4u + 48u + 8u);  // header + v1 body + deadline
+    EXPECT_EQ(bytes.size(), 4u + 48u + 10u);  // header + v1 body + ext fields
     const auto parsed = RequestDescriptor::parse(bytes, type);
     ASSERT_TRUE(parsed.has_value());
     EXPECT_EQ(*parsed, descriptor);

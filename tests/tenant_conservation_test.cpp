@@ -1,0 +1,128 @@
+// Per-tenant accounting (DESIGN §13): under a real multi-tenant mix — with
+// overload control on, so rejects and sheds occur — every tenant's own
+// client ledger satisfies the conservation identity at quiescence,
+//
+//   sent == completed + rejected + expired + abandoned + outstanding,
+//
+// and the per-tenant rows sum exactly to the global ClientTotals. Runs 3
+// seeds across the four dispatcherful/RTC server families so no family's
+// wiring can silently drop or double-count a tenant's traffic.
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/testbed.h"
+#include "overload/overload.h"
+#include "tenant/tenant.h"
+
+namespace nicsched {
+namespace {
+
+overload::OverloadParams overload_on() {
+  overload::OverloadParams params;
+  params.enabled = true;
+  params.admission_enabled = true;
+  params.shedding_enabled = true;
+  params.deadline = sim::Duration::micros(200);
+  params.retry_budget = 0;
+  return params;
+}
+
+core::ExperimentConfig mixed_config(core::SystemKind kind,
+                                    std::uint64_t seed) {
+  auto config = core::ExperimentConfig::of(kind)
+                    .workers(2)
+                    .outstanding(2)
+                    .load(400e3)
+                    .clients(2, 16)
+                    .measure_for(sim::Duration::millis(1))
+                    .with_seed(seed)
+                    .with_overload(overload_on())
+                    .with_tenants({
+                        tenant::make_tenant(1)
+                            .named("gold")
+                            .weighted(4.0)
+                            .slo_class(tenant::SloClass::kLatencyCritical)
+                            .fixed(sim::Duration::micros(4)),
+                        tenant::make_tenant(2)
+                            .named("batch")
+                            .slo_class(tenant::SloClass::kBestEffort)
+                            .bimodal(sim::Duration::micros(5),
+                                     sim::Duration::micros(100), 0.005),
+                    });
+  config.warmup = sim::Duration::millis(1);
+  config.drain = sim::Duration::millis(2);  // long drain -> quiescence
+  return config;
+}
+
+void expect_conserved(const core::ExperimentResult::ClientTotals& t,
+                      const std::string& label) {
+  EXPECT_EQ(t.sent, t.completed + t.rejected + t.expired + t.abandoned +
+                        t.outstanding)
+      << label;
+}
+
+TEST(TenantConservation, PerTenantLedgersConserveAndSumToGlobal) {
+  for (const auto kind :
+       {core::SystemKind::kShinjuku, core::SystemKind::kShinjukuOffload,
+        core::SystemKind::kRss, core::SystemKind::kIdealNic}) {
+    for (const std::uint64_t seed : {1u, 2u, 3u}) {
+      const std::string label = std::string("kind=") + core::to_string(kind) +
+                                " seed=" + std::to_string(seed);
+      const auto result = core::run_experiment(mixed_config(kind, seed));
+
+      ASSERT_EQ(result.tenants.size(), 2u) << label;
+      EXPECT_EQ(result.tenants[0].spec.id, 1u) << label;
+      EXPECT_EQ(result.tenants[1].spec.id, 2u) << label;
+
+      core::ExperimentResult::ClientTotals sum;
+      for (const auto& row : result.tenants) {
+        expect_conserved(row.clients, label + " tenant " + row.spec.label());
+        EXPECT_GT(row.clients.sent, 0u)
+            << label << " tenant " << row.spec.label();
+        sum.sent += row.clients.sent;
+        sum.completed += row.clients.completed;
+        sum.goodput += row.clients.goodput;
+        sum.rejected += row.clients.rejected;
+        sum.expired += row.clients.expired;
+        sum.abandoned += row.clients.abandoned;
+        sum.outstanding += row.clients.outstanding;
+        sum.retries += row.clients.retries;
+        sum.duplicates += row.clients.duplicates;
+      }
+      const auto& total = result.clients;
+      EXPECT_EQ(sum.sent, total.sent) << label;
+      EXPECT_EQ(sum.completed, total.completed) << label;
+      EXPECT_EQ(sum.goodput, total.goodput) << label;
+      EXPECT_EQ(sum.rejected, total.rejected) << label;
+      EXPECT_EQ(sum.expired, total.expired) << label;
+      EXPECT_EQ(sum.abandoned, total.abandoned) << label;
+      EXPECT_EQ(sum.outstanding, total.outstanding) << label;
+      EXPECT_EQ(sum.retries, total.retries) << label;
+      EXPECT_EQ(sum.duplicates, total.duplicates) << label;
+      expect_conserved(total, label + " global");
+
+      // The weighted split of the offered load covers the whole rate: the
+      // two resolved per-tenant rates sum to the experiment's offered_rps.
+      EXPECT_DOUBLE_EQ(
+          result.tenants[0].offered_rps + result.tenants[1].offered_rps,
+          400e3)
+          << label;
+
+      // Server-side per-tenant rows exist for every family and carry this
+      // mix's ids in slot order.
+      ASSERT_EQ(result.server.tenants.size(), 2u) << label;
+      EXPECT_EQ(result.server.tenants[0].id, 1u) << label;
+      EXPECT_EQ(result.server.tenants[1].id, 2u) << label;
+      EXPECT_GT(result.server.tenants[0].overload.admitted +
+                    result.server.tenants[1].overload.admitted,
+                0u)
+          << label;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nicsched

@@ -1,0 +1,288 @@
+// Multi-tenant dispatch/admission (DESIGN §13): unit tests drive the
+// TenantDispatchQueue and TenantAdmission directly — strict SLO-class
+// priority, DRR work-share ratios inside a class, the FIFO interference
+// baseline, shed-at-pop accounting — plus the TenantSpec plumbing
+// (parse_tenant_list, from_specs shim gating, NICSCHED_TENANTS).
+#include <algorithm>
+#include <cstdlib>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "overload/overload.h"
+#include "proto/messages.h"
+#include "tenant/tenant.h"
+
+namespace nicsched {
+namespace {
+
+using tenant::SloClass;
+using tenant::TenantDispatchQueue;
+using tenant::TenantParams;
+using tenant::TenantSpec;
+
+proto::RequestDescriptor request(std::uint64_t id, std::uint16_t tenant_id,
+                                 sim::Duration work) {
+  proto::RequestDescriptor descriptor;
+  descriptor.request_id = id;
+  descriptor.tenant = tenant_id;
+  descriptor.remaining_ps = static_cast<std::uint64_t>(work.to_picos());
+  descriptor.total_ps = descriptor.remaining_ps;
+  return descriptor;
+}
+
+TenantParams three_class_params() {
+  return TenantParams::from_specs({
+      tenant::make_tenant(1).slo_class(SloClass::kBestEffort),
+      tenant::make_tenant(2).slo_class(SloClass::kLatencyCritical),
+      tenant::make_tenant(3).slo_class(SloClass::kStandard),
+  });
+}
+
+// Pops drain by SLO class regardless of arrival order: every queued
+// latency-critical request is served before any standard one, and standard
+// before best-effort.
+TEST(TenantDispatchQueue, StrictPriorityAcrossSloClasses) {
+  TenantDispatchQueue queue(three_class_params());
+  const sim::TimePoint now{};
+  const sim::Duration work = sim::Duration::micros(1);
+  queue.push_new(request(10, 1, work), now);  // best-effort
+  queue.push_new(request(20, 2, work), now);  // latency-critical
+  queue.push_new(request(30, 3, work), now);  // standard
+  queue.push_new(request(21, 2, work), now);  // latency-critical
+
+  std::vector<std::uint64_t> order;
+  while (auto popped = queue.pop(now)) {
+    order.push_back(popped->descriptor.request_id);
+  }
+  EXPECT_EQ(order, (std::vector<std::uint64_t>{20, 21, 30, 10}));
+  EXPECT_TRUE(queue.empty());
+}
+
+// Two backlogged same-class tenants at weight 3:1 with equal request cost
+// split dispatches 3:1 per DRR round; the weight buys worker time, not a
+// turn count.
+TEST(TenantDispatchQueue, DrrSharesWorkByWeightWithinClass) {
+  TenantParams params = TenantParams::from_specs({
+      tenant::make_tenant(1).weighted(3.0),
+      tenant::make_tenant(2).weighted(1.0),
+  });
+  params.quantum = sim::Duration::micros(5);
+  TenantDispatchQueue queue(params);
+  const sim::TimePoint now{};
+  const sim::Duration work = sim::Duration::micros(5);  // == quantum
+  for (std::uint64_t i = 0; i < 12; ++i) {
+    queue.push_new(request(100 + i, 1, work), now);
+    queue.push_new(request(200 + i, 2, work), now);
+  }
+
+  // Two full rounds: each grants tenant 1 three requests' credit and tenant
+  // 2 one — so the first 8 pops split 6:2 exactly.
+  std::uint64_t from_t1 = 0;
+  std::uint64_t from_t2 = 0;
+  for (int i = 0; i < 8; ++i) {
+    const auto popped = queue.pop(now);
+    ASSERT_TRUE(popped.has_value());
+    (popped->tenant_index == 0 ? from_t1 : from_t2) += 1;
+  }
+  EXPECT_EQ(from_t1, 6u);
+  EXPECT_EQ(from_t2, 2u);
+
+  // The rotation also interleaves: tenant 2 is never starved for a whole
+  // extra round even though tenant 1 stays backlogged.
+  const auto ninth = queue.pop(now);
+  ASSERT_TRUE(ninth.has_value());
+  const auto& stats = queue.stats();
+  EXPECT_EQ(stats[0].dispatched + stats[1].dispatched, 9u);
+  EXPECT_GE(stats[1].dispatched, 2u);
+}
+
+// A request costing more than one grant is still served once enough turns
+// bank credit — outsized work delays a tenant, it does not wedge the queue.
+TEST(TenantDispatchQueue, OversizedRequestAccumulatesCreditAcrossRounds) {
+  TenantParams params = TenantParams::from_specs({
+      tenant::make_tenant(1),
+      tenant::make_tenant(2),
+  });
+  params.quantum = sim::Duration::micros(5);
+  TenantDispatchQueue queue(params);
+  const sim::TimePoint now{};
+  queue.push_new(request(1, 1, sim::Duration::micros(12)), now);
+  queue.push_new(request(2, 2, sim::Duration::micros(1)), now);
+
+  const auto first = queue.pop(now);
+  const auto second = queue.pop(now);
+  ASSERT_TRUE(first && second);
+  // Tenant 1's 12us head cannot be covered by one 5us grant; tenant 2's 1us
+  // request overtakes it, then the banked credit serves the big one.
+  EXPECT_EQ(first->descriptor.request_id, 2u);
+  EXPECT_EQ(second->descriptor.request_id, 1u);
+  EXPECT_TRUE(queue.empty());
+}
+
+// fair_dispatch = false is the interference baseline: one global FIFO in
+// arrival order, weights and classes ignored, per-tenant counters intact.
+TEST(TenantDispatchQueue, FifoModeIgnoresWeightsAndClasses) {
+  TenantParams params = TenantParams::from_specs({
+      tenant::make_tenant(1).weighted(100.0).slo_class(
+          SloClass::kLatencyCritical),
+      tenant::make_tenant(2).weighted(0.01).slo_class(SloClass::kBestEffort),
+  });
+  params.fair_dispatch = false;
+  TenantDispatchQueue queue(params);
+  const sim::TimePoint now{};
+  const sim::Duration work = sim::Duration::micros(1);
+  queue.push_new(request(1, 2, work), now);
+  queue.push_new(request(2, 1, work), now);
+  queue.push_new(request(3, 2, work), now);
+
+  std::vector<std::uint64_t> order;
+  while (auto popped = queue.pop(now)) {
+    order.push_back(popped->descriptor.request_id);
+  }
+  EXPECT_EQ(order, (std::vector<std::uint64_t>{1, 2, 3}));
+  EXPECT_EQ(queue.stats()[0].dispatched, 1u);
+  EXPECT_EQ(queue.stats()[1].dispatched, 2u);
+}
+
+// Shed-at-pop: expired entries are dropped and charged to their tenant, in
+// both dispatch modes; entries without deadlines are untouched.
+TEST(TenantDispatchQueue, ShedsExpiredEntriesPerTenant) {
+  for (const bool fair : {true, false}) {
+    SCOPED_TRACE(fair ? "drr" : "fifo");
+    TenantParams params = TenantParams::from_specs({
+        tenant::make_tenant(1),
+        tenant::make_tenant(2),
+    });
+    params.fair_dispatch = fair;
+    TenantDispatchQueue queue(params);
+    queue.set_shed_expired(true);
+
+    const sim::TimePoint start{};
+    const sim::Duration work = sim::Duration::micros(1);
+    auto expired = request(1, 1, work);
+    expired.deadline_ps = sim::Duration::micros(10).to_picos();
+    auto alive = request(2, 1, work);
+    alive.deadline_ps = sim::Duration::millis(10).to_picos();
+    queue.push_new(expired, start);
+    queue.push_new(alive, start);
+    queue.push_new(request(3, 2, work), start);  // no deadline
+
+    const sim::TimePoint later =
+        sim::TimePoint{} + sim::Duration::micros(20);
+    std::vector<std::uint64_t> order;
+    while (auto popped = queue.pop(later)) {
+      order.push_back(popped->descriptor.request_id);
+    }
+    EXPECT_EQ(order.size(), 2u);
+    EXPECT_TRUE(std::find(order.begin(), order.end(), 1u) == order.end());
+    EXPECT_EQ(queue.shed_total(), 1u);
+    EXPECT_EQ(queue.stats()[0].overload.shed_expired, 1u);
+    EXPECT_EQ(queue.stats()[1].overload.shed_expired, 0u);
+  }
+}
+
+// Unknown wire ids ride slot 0 (nothing is dropped for lack of a spec), and
+// the queue reports the popped entry's waiting time for the admission EWMA.
+TEST(TenantDispatchQueue, UnknownIdRidesSlotZeroAndReportsDelay) {
+  TenantDispatchQueue queue(TenantParams::from_specs({
+      tenant::make_tenant(1),
+      tenant::make_tenant(2),
+  }));
+  const sim::TimePoint start{};
+  queue.push_new(request(9, 999, sim::Duration::micros(1)), start);
+  EXPECT_EQ(queue.depth_of(0), 1u);
+
+  const sim::TimePoint later = sim::TimePoint{} + sim::Duration::micros(7);
+  const auto popped = queue.pop(later);
+  ASSERT_TRUE(popped.has_value());
+  EXPECT_EQ(popped->tenant_index, 0u);
+  EXPECT_EQ(popped->queue_delay, sim::Duration::micros(7));
+}
+
+// Per-tenant admission: a saturating tenant's delay samples close its own
+// gate while its neighbour's gate stays open — the isolation property the
+// shared PR 5 gate cannot give.
+TEST(TenantAdmission, GatesAreIndependentPerTenant) {
+  const TenantParams params = TenantParams::from_specs({
+      tenant::make_tenant(1),
+      tenant::make_tenant(2),
+  });
+  overload::OverloadParams knobs;
+  knobs.enabled = true;
+  knobs.admission_enabled = true;
+  knobs.admission_alpha = 1.0;  // gate follows the latest sample exactly
+  knobs.admission_delay_limit = sim::Duration::micros(50);
+  tenant::TenantAdmission admission(params, knobs);
+
+  admission.observe(0, sim::Duration::micros(500));  // tenant 1 saturates
+  admission.observe(1, sim::Duration::micros(1));
+
+  // Non-zero depth: an empty lane is direct evidence of zero delay and
+  // always admits, so judge both gates against a backlogged lane.
+  EXPECT_FALSE(admission.admit(0, 5));
+  EXPECT_TRUE(admission.admit(1, 5));
+  EXPECT_EQ(admission.stats()[0].rejected, 1u);
+  EXPECT_EQ(admission.stats()[1].admitted, 1u);
+}
+
+// ---- spec plumbing -------------------------------------------------------
+
+// The enabled flag keys on a real (non-zero) tenant id: the id-0 one-tenant
+// shim must leave the server's classic path untouched.
+TEST(TenantParams, FromSpecsEnablesOnlyForRealTenants) {
+  EXPECT_FALSE(TenantParams::from_specs({}).enabled);
+  EXPECT_FALSE(TenantParams::from_specs({tenant::make_tenant(0)}).enabled);
+  const TenantParams real = TenantParams::from_specs(
+      {tenant::make_tenant(0), tenant::make_tenant(1)});
+  EXPECT_TRUE(real.enabled);
+  ASSERT_EQ(real.tenants.size(), 2u);
+  EXPECT_EQ(real.index_of(1), 1u);
+  EXPECT_EQ(real.index_of(777), 0u);  // unknown -> slot 0
+}
+
+TEST(TenantSpec, ParseTenantListAcceptsTheDocumentedGrammar) {
+  const auto specs = tenant::parse_tenant_list("1:4:lc,2:1:be:250000");
+  ASSERT_TRUE(specs.has_value());
+  ASSERT_EQ(specs->size(), 2u);
+  EXPECT_EQ((*specs)[0].id, 1u);
+  EXPECT_EQ((*specs)[0].weight, 4.0);
+  EXPECT_EQ((*specs)[0].slo, SloClass::kLatencyCritical);
+  EXPECT_EQ((*specs)[0].rate_rps, 0.0);  // inherit
+  EXPECT_EQ((*specs)[1].id, 2u);
+  EXPECT_EQ((*specs)[1].slo, SloClass::kBestEffort);
+  EXPECT_EQ((*specs)[1].rate_rps, 250000.0);
+
+  EXPECT_FALSE(tenant::parse_tenant_list("").has_value());
+  EXPECT_FALSE(tenant::parse_tenant_list("1:4").has_value());
+  EXPECT_FALSE(tenant::parse_tenant_list("1:4:warp").has_value());
+  EXPECT_FALSE(tenant::parse_tenant_list("1:-2:lc").has_value());
+  EXPECT_FALSE(tenant::parse_tenant_list("99999:1:std").has_value());
+  EXPECT_FALSE(tenant::parse_tenant_list("1:1:lc,").has_value());
+}
+
+TEST(TenantSpec, EnvOverrideParsesAndIgnoresMalformedInput) {
+  ::setenv("NICSCHED_TENANTS", "1:2:std,2:1:be", 1);
+  const auto specs = tenant::tenants_from_env();
+  ASSERT_EQ(specs.size(), 2u);
+  EXPECT_EQ(specs[0].weight, 2.0);
+
+  ::setenv("NICSCHED_TENANTS", "not-a-spec", 1);
+  EXPECT_TRUE(tenant::tenants_from_env().empty());
+  ::unsetenv("NICSCHED_TENANTS");
+  EXPECT_TRUE(tenant::tenants_from_env().empty());
+}
+
+TEST(TenantSpec, LabelsAndSloRoundTrip) {
+  EXPECT_EQ(tenant::make_tenant(4).label(), "t4");
+  EXPECT_EQ(tenant::make_tenant(4).named("gold").label(), "gold");
+  for (const SloClass slo : {SloClass::kLatencyCritical, SloClass::kStandard,
+                             SloClass::kBestEffort}) {
+    const auto parsed = tenant::slo_class_from_string(tenant::to_string(slo));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, slo);
+  }
+}
+
+}  // namespace
+}  // namespace nicsched

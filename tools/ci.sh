@@ -7,6 +7,8 @@
 #      loaded machines)
 #   3. fault smoke: one-seed conservation invariant, same NICSCHED_FAST tier
 #   4. rack smoke: ToR dispatch tests + the rack_sweep shape checks, same tier
+#   5. tenant smoke: tenant dispatch/shim/conservation tests + the
+#      tenant_isolation interference checks, same NICSCHED_FAST tier
 #
 # Usage: tools/ci.sh [build-dir]    (default: build)
 set -euo pipefail
@@ -27,5 +29,8 @@ echo "==> fault smoke (NICSCHED_FAST=1, ctest -L fault)"
 
 echo "==> rack smoke (NICSCHED_FAST=1, ctest -L rack)"
 (cd "$BUILD_DIR" && NICSCHED_FAST=1 ctest -L rack --output-on-failure)
+
+echo "==> tenant smoke (NICSCHED_FAST=1, ctest -L tenant)"
+(cd "$BUILD_DIR" && NICSCHED_FAST=1 ctest -L tenant --output-on-failure)
 
 echo "==> ci.sh: all tiers green"
