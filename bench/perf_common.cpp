@@ -174,6 +174,30 @@ Measurement measure_end_to_end(core::SystemKind kind) {
                      result.events_fired, wall};
 }
 
+Measurement measure_rack_end_to_end(std::size_t shards) {
+  auto config = core::ExperimentConfig::offload()
+                    .workers(2)
+                    .outstanding(2)
+                    .fixed(sim::Duration::micros(1))
+                    .no_preemption()
+                    .load(800e3)
+                    .clients(4, 64)
+                    .measure_for(exp::fast_mode() ? sim::Duration::millis(5)
+                                                  : sim::Duration::millis(40))
+                    .with_rack(4)
+                    .with_shards(shards)
+                    .with_seed(42);
+  config.warmup = sim::Duration::millis(2);
+  config.drain = sim::Duration::millis(2);
+  WallTimer timer;
+  const core::ExperimentResult result = core::run_experiment(config);
+  const double wall = timer.seconds();
+  const std::string name =
+      shards > 1 ? "rack_shard" + std::to_string(shards) : "rack_serial";
+  return Measurement{name, static_cast<double>(result.events_fired) / wall,
+                     result.events_fired, wall};
+}
+
 Measurement measure_switch_packets(std::uint64_t target_frames) {
   sim::Simulator sim;
   net::EthernetSwitch fabric(sim, sim::Duration::nanos(300));
@@ -223,6 +247,8 @@ std::vector<Measurement> all_measurements() {
     measurements.push_back(measure_end_to_end(kind));
   }
   measurements.push_back(measure_switch_packets(fast ? 50'000 : 500'000));
+  measurements.push_back(measure_rack_end_to_end(1));
+  measurements.push_back(measure_rack_end_to_end(4));
   net::set_checksum_elision(elision_was_on);
   return measurements;
 }

@@ -47,9 +47,15 @@ const std::vector<core::SystemKind>& end_to_end_kinds();
 /// every frame is built with make_udp_datagram and re-parsed on delivery.
 Measurement measure_switch_packets(std::uint64_t target_frames);
 
+/// Simulator events/sec for a 4-host power-of-two rack run at the given
+/// shard count (DESIGN §14): `rack_serial` for 1, `rack_shard<N>` above.
+/// Deliberately not `e2e_`-prefixed — the parallel speedup is reported
+/// informationally (it depends on host core count), never gated.
+Measurement measure_rack_end_to_end(std::size_t shards);
+
 /// Every kernel above, in the stable order BENCH_SIM_CORE.json records
-/// (event_queue_hot, event_queue_churn, e2e per kind, switch_packets).
-/// Budgets shrink under NICSCHED_FAST.
+/// (event_queue_hot, event_queue_churn, e2e per kind, switch_packets,
+/// rack_serial, rack_shard4). Budgets shrink under NICSCHED_FAST.
 std::vector<Measurement> all_measurements();
 
 /// Prints a table of measurements, exports BENCH_<name>.json (JsonResultSink

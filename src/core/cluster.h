@@ -38,6 +38,7 @@
 #include "net/ethernet_switch.h"
 #include "overload/overload.h"
 #include "rack/tor_scheduler.h"
+#include "sim/shard.h"
 #include "sim/simulator.h"
 #include "tenant/tenant.h"
 
@@ -142,6 +143,16 @@ class Cluster {
     return *hosts_.at(host).network;
   }
 
+  /// The simulator shard this host's components schedule on. Identical to
+  /// the builder's front simulator unless the cluster was built over a
+  /// multi-shard ShardGroup. Anything injected into a host mid-run (fault
+  /// surfaces, probes) must schedule here, not on shard 0.
+  sim::Simulator& host_sim(std::size_t host = 0) { return *hosts_.at(host).sim; }
+  /// Shard index the host was placed on (0 without sharding).
+  std::uint32_t host_shard(std::size_t host = 0) const {
+    return hosts_.at(host).shard;
+  }
+
   /// Non-null for multi-host builds.
   rack::TorScheduler* tor() { return tor_.get(); }
   const rack::TorScheduler* tor() const { return tor_.get(); }
@@ -167,6 +178,8 @@ class Cluster {
     std::unique_ptr<net::EthernetSwitch> network;  // null when no rack
     std::unique_ptr<Server> server;
     HostSpec spec;
+    sim::Simulator* sim = nullptr;
+    std::uint32_t shard = 0;
   };
   Cluster() = default;
 
@@ -180,6 +193,14 @@ class Cluster {
 class ClusterBuilder {
  public:
   explicit ClusterBuilder(sim::Simulator& sim) : sim_(sim) {}
+
+  /// Shard-aware form (DESIGN §14): clients, the client switch, and the ToR
+  /// build on shard 0; host `i` of an N-host rack builds on shard
+  /// `1 + i % (shards - 1)`, and the ToR↔host wires become cross-shard
+  /// mailbox links whose 500 ns propagation is the group's lookahead. A
+  /// one-shard group is exactly the serial constructor.
+  explicit ClusterBuilder(sim::ShardGroup& group)
+      : sim_(group.front()), group_(&group) {}
 
   /// Switching-decision latency for every switch in the topology (client
   /// side and per-host fabrics).
@@ -210,7 +231,10 @@ class ClusterBuilder {
   Cluster build();
 
  private:
+  std::uint32_t shard_for_host(std::size_t index) const;
+
   sim::Simulator& sim_;
+  sim::ShardGroup* group_ = nullptr;
   sim::Duration switch_latency_ = ModelParams::defaults().switch_forward_latency;
   std::optional<rack::TorParams> rack_params_;
   std::vector<HostSpec> specs_;

@@ -482,7 +482,10 @@ ShinjukuOffloadServer::ShinjukuOffloadServer(sim::Simulator& sim,
             kWorkerBaseIndex + static_cast<std::uint32_t>(i)))));
   }
   consecutive_timeouts_.assign(config_.worker_count, 0);
-  seen_note_seqs_.resize(config_.worker_count);
+  seen_note_seqs_.reserve(config_.worker_count);
+  for (std::size_t i = 0; i < config_.worker_count; ++i) {
+    seen_note_seqs_.emplace_back(&rel_arena_);
+  }
 }
 
 ShinjukuOffloadServer::~ShinjukuOffloadServer() = default;

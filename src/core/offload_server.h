@@ -21,6 +21,7 @@
 #pragma once
 
 #include <memory>
+#include <memory_resource>
 #include <optional>
 #include <unordered_map>
 #include <unordered_set>
@@ -37,6 +38,7 @@
 #include "hw/cpu_core.h"
 #include "net/ethernet_switch.h"
 #include "net/nic.h"
+#include "sim/arena.h"
 #include "sim/simulator.h"
 
 namespace nicsched::core {
@@ -224,14 +226,21 @@ class ShinjukuOffloadServer final : public Server, public fault::FaultSurface {
   std::unique_ptr<tenant::TenantAdmission> tenant_admission_;
 
   // --- reliable-dispatch state (empty/idle when !reliable()) ---------------
-  std::unordered_map<std::uint64_t, Inflight> inflight_;  // by request_id
-  std::unordered_map<std::uint64_t, std::uint64_t> seq_to_request_;
+  // Per-request bookkeeping nodes churn once per tracked request; the arena's
+  // exact-size freelists recycle them so the reliable steady state stays off
+  // the global allocator (sim_alloc_test pins this). Declared before the
+  // containers it feeds: members destroy in reverse order, so the maps
+  // release their nodes while the arena still exists.
+  sim::ArenaResource rel_arena_;
+  std::pmr::unordered_map<std::uint64_t, Inflight> inflight_{&rel_arena_};
+  std::pmr::unordered_map<std::uint64_t, std::uint64_t> seq_to_request_{
+      &rel_arena_};
   std::uint64_t next_seq_ = 1;
   /// Requests whose retry budget ran out; a late completion note for one of
   /// these decrements `rel_.abandoned` again so conservation stays exact.
-  std::unordered_set<std::uint64_t> abandoned_ids_;
+  std::pmr::unordered_set<std::uint64_t> abandoned_ids_{&rel_arena_};
   std::vector<std::uint32_t> consecutive_timeouts_;     // per worker
-  std::vector<std::unordered_set<std::uint64_t>> seen_note_seqs_;  // per worker
+  std::vector<std::pmr::unordered_set<std::uint64_t>> seen_note_seqs_;  // per worker
   ReliabilityStats rel_;
 };
 

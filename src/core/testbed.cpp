@@ -1,6 +1,7 @@
 #include "core/testbed.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <stdexcept>
 #include <utility>
 
@@ -9,6 +10,7 @@
 #include "net/ethernet_switch.h"
 #include "obs/capture.h"
 #include "sim/random.h"
+#include "sim/shard.h"
 #include "sim/simulator.h"
 #include "workload/arrival.h"
 #include "workload/client.h"
@@ -25,6 +27,25 @@ sim::Duration choose_measure_window(const ExperimentConfig& config) {
   const sim::Duration lo = sim::Duration::millis(20);
   const sim::Duration hi = sim::Duration::millis(500);
   return std::clamp(window, lo, hi);
+}
+
+/// The ExperimentConfig::shards contract (DESIGN §14): 0 defers to
+/// NICSCHED_SHARDS (unset = 1). Topologies with no wire boundary to shard
+/// across — no rack — and the kJsqIdeal oracle (live cross-shard reads) run
+/// serial regardless; a rack never needs more than hosts + 1 shards.
+std::size_t resolve_shard_count(const ExperimentConfig& config, bool rack_mode,
+                                std::size_t hosts, rack::TorPolicy policy) {
+  std::size_t shards = config.shards;
+  if (shards == 0) {
+    if (const char* env = std::getenv("NICSCHED_SHARDS");
+        env != nullptr && *env != '\0') {
+      const long parsed = std::atol(env);
+      if (parsed > 0) shards = static_cast<std::size_t>(parsed);
+    }
+  }
+  if (shards <= 1) return 1;
+  if (!rack_mode || policy == rack::TorPolicy::kJsqIdeal) return 1;
+  return std::min(shards, hosts + 1);
 }
 
 std::string default_capture_label(const ExperimentConfig& config) {
@@ -168,20 +189,32 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     return run_experiment(resolved);
   }
 
-  sim::Simulator sim;
-  ClusterBuilder builder(sim);
+  const bool rack_mode = config.rack && config.rack->hosts > 1;
+  std::optional<rack::TorParams> tor_params;
+  if (rack_mode) {
+    rack::TorParams params;
+    if (config.rack->tor) {
+      params = *config.rack->tor;
+    } else {
+      params.policy = config.rack->policy;
+      params = rack::TorParams::from_env(params);
+    }
+    tor_params = params;
+  }
+  const std::size_t shard_count = resolve_shard_count(
+      config, rack_mode, rack_mode ? config.rack->hosts : 1,
+      tor_params ? tor_params->policy : rack::TorPolicy::kRoundRobin);
+
+  // A one-shard group IS the serial engine (ShardGroup delegates run/sync
+  // straight to the single Simulator), so this path is bit-identical to the
+  // pre-shard testbed whenever shard_count == 1.
+  sim::ShardGroup group(shard_count);
+  sim::Simulator& sim = group.front();
+  ClusterBuilder builder(group);
   builder.switch_latency(config.params.switch_forward_latency);
   const HostSpec host_spec = HostSpec::from_config(config);
-  const bool rack_mode = config.rack && config.rack->hosts > 1;
   if (rack_mode) {
-    rack::TorParams tor_params;
-    if (config.rack->tor) {
-      tor_params = *config.rack->tor;
-    } else {
-      tor_params.policy = config.rack->policy;
-      tor_params = rack::TorParams::from_env(tor_params);
-    }
-    builder.with_rack(tor_params);
+    builder.with_rack(*tor_params);
     for (std::size_t i = 0; i < config.rack->hosts; ++i) {
       builder.add_host(host_spec);
     }
@@ -200,7 +233,9 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   std::optional<fault::FaultInjector> fault_injector;
   if (fault_schedule && !fault_schedule->empty()) {
     if (fault::FaultSurface* surface = cluster.server(0).fault_surface()) {
-      fault_injector.emplace(sim, *surface, *fault_schedule);
+      // The injector's events must fire on the shard host 0 lives on (its
+      // timers race the host's own events, not shard 0's).
+      fault_injector.emplace(cluster.host_sim(0), *surface, *fault_schedule);
     }
   }
 
@@ -218,7 +253,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   }
   if (capture_options.enabled) {
     result.capture =
-        std::make_shared<obs::Capture>(sim, std::move(capture_options));
+        std::make_shared<obs::Capture>(group, std::move(capture_options));
     if (obs::MetricSampler* sampler = result.capture->metrics()) {
       if (rack_mode) {
         for (std::size_t host = 0; host < cluster.host_count(); ++host) {
@@ -338,9 +373,11 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
 
   // Snapshot server counters exactly at the end of the measurement window so
   // utilization excludes the drain phase. Rack mode also records per-host
-  // rows and the ToR's dispatch counters at the same instant.
+  // rows and the ToR's dispatch counters at the same instant. As a sync
+  // event this is allowed to read every shard's servers; with one shard it
+  // is literally `sim.at(measure_end, ...)`.
   const sim::Duration elapsed_at_snapshot = config.warmup + measure;
-  sim.at(measure_end, [&result, &cluster, elapsed_at_snapshot]() {
+  group.sync_at(measure_end, [&result, &cluster, elapsed_at_snapshot]() {
     result.server = cluster.stats(elapsed_at_snapshot);
     if (cluster.tor() != nullptr) {
       result.rack_hosts.reserve(cluster.host_count());
@@ -352,8 +389,8 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     }
   });
 
-  sim.run_until(measure_end + config.drain);
-  result.events_fired = sim.events_fired();
+  group.run_until(measure_end + config.drain);
+  result.events_fired = group.events_fired();
 
   for (std::size_t index = 0; index < clients.size(); ++index) {
     const auto& client = clients[index];
@@ -374,7 +411,10 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     if (tenant_mode) add(result.tenants[index / machines].clients);
   }
 
-  if (result.capture) result.capture->export_files();
+  if (result.capture) {
+    result.capture->finalize();
+    result.capture->export_files();
+  }
 
   result.summary = result.recorder.summarize(total_rate);
   for (auto& row : result.tenants) {

@@ -155,6 +155,15 @@ struct ExperimentConfig {
   /// DRR credit granted per unit weight per round, in service time.
   sim::Duration tenant_quantum = sim::Duration::micros(5);
 
+  /// Simulator shards for the parallel engine (DESIGN §14). 0 defers to the
+  /// NICSCHED_SHARDS environment contract (unset = 1); 1 is the serial
+  /// engine, bit for bit. Values > 1 require rack mode (hosts >= 2) — the
+  /// ToR↔host wires are the shard boundary — and are clamped to hosts + 1
+  /// (shard 0 carries clients + ToR, hosts spread over the rest). kJsqIdeal
+  /// racks clamp to 1: the oracle reads live cross-shard state. Digests are
+  /// shard-count-invariant; see sim_shard_determinism_test.
+  std::size_t shards = 0;
+
   ModelParams params = ModelParams::defaults();
 
   // ---- fluent builder ------------------------------------------------------
@@ -326,6 +335,10 @@ struct ExperimentConfig {
   }
   ExperimentConfig& with_tenant_quantum(sim::Duration quantum) {
     tenant_quantum = quantum;
+    return *this;
+  }
+  ExperimentConfig& with_shards(std::size_t count) {
+    shards = count;
     return *this;
   }
 

@@ -50,6 +50,11 @@ class EthernetSwitch : public PacketSink {
   void set_uplink(PacketSink& sink, sim::Duration latency, double gbps);
   bool has_uplink() const { return uplink_ != nullptr; }
 
+  /// The uplink wire, for shard placement: a host fabric living on a host
+  /// shard marks its uplink as crossing back to the ToR's shard. Null when
+  /// no uplink is installed.
+  Wire* uplink_wire() { return uplink_.get(); }
+
   /// Fault injection on one egress port (frames *toward* `mac`); see
   /// Wire::set_loss. Throws if `mac` is not attached.
   void set_port_loss(MacAddress mac, double probability, std::uint64_t seed);

@@ -20,10 +20,41 @@ void Wire::transmit(Packet packet) {
   }
 
   const sim::TimePoint arrival = tx_done + latency_;
-  // Move the packet into the event closure; it is delivered exactly once.
-  sim_.at(arrival, [this, p = std::move(packet)]() mutable {
-    destination_.deliver(std::move(p));
-  });
+  if (group_ != nullptr) {
+    // Cross-shard: the delivery closure runs on the destination shard after
+    // the next barrier flush; the mailbox itself is the burst batch.
+    group_->post(src_shard_, dst_shard_, arrival,
+                 [this, p = std::move(packet)]() mutable {
+                   destination_.deliver(std::move(p));
+                 });
+    return;
+  }
+
+  const std::uint64_t seq = sim_.queue().reserve_seq();
+  pending_.push_back(Pending{arrival, seq, std::move(packet)});
+  // Serialization keeps arrivals on one wire strictly increasing, so a
+  // pending delivery event always precedes this frame; only an idle wire
+  // needs arming.
+  if (!delivery_.pending()) arm_delivery(arrival, seq);
+}
+
+void Wire::arm_delivery(sim::TimePoint arrival, std::uint64_t seq) {
+  delivery_ = sim_.queue().schedule_reserved(arrival, seq,
+                                             [this]() { deliver_front(); });
+}
+
+void Wire::deliver_front() {
+  Pending front = std::move(pending_[pending_head_]);
+  ++pending_head_;
+  if (pending_head_ == pending_.size()) {
+    pending_.clear();  // keeps capacity for the next burst
+    pending_head_ = 0;
+  } else {
+    // Re-arm before delivering: the sink may transmit on this wire again.
+    const Pending& next = pending_[pending_head_];
+    arm_delivery(next.arrival, next.seq);
+  }
+  destination_.deliver(std::move(front.packet));
 }
 
 }  // namespace nicsched::net

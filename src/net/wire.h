@@ -1,14 +1,33 @@
 // Point-to-point transmission: the `PacketSink` interface every receiving
 // element implements, and the `Wire`, a unidirectional path with propagation
 // latency and store-and-forward serialization at a fixed line rate.
+//
+// Delivery is batched per wire: frames park in a FIFO of (arrival, packet)
+// and one small re-armed event walks it, so a burst holds one live event in
+// the queue instead of one 72-byte closure per in-flight frame.
+// Serialization makes arrival times on one wire strictly increasing, so the
+// FIFO order is the delivery order. Each frame reserves its event-queue
+// sequence number at transmit time and the re-armed event is scheduled with
+// it, so same-instant tie-breaks against other events are bit-identical to
+// the per-frame scheduling this replaces; the determinism goldens pin it.
+//
+// A wire may also span two shards of a `sim::ShardGroup` (`set_cross_shard`):
+// transmit then runs on the source shard and, instead of scheduling a local
+// event, posts the delivery into the group's time-stamped mailbox, which the
+// coordinator flushes into the destination shard's queue at the next sync
+// barrier. The wire's propagation latency is registered as a lookahead bound,
+// which is what guarantees the arrival always lands at or beyond the current
+// sync window.
 #pragma once
 
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "net/packet.h"
 #include "sim/random.h"
+#include "sim/shard.h"
 #include "sim/simulator.h"
 #include "sim/time.h"
 
@@ -45,6 +64,20 @@ class Wire {
   /// destination at serialization-end + latency.
   void transmit(Packet packet);
 
+  /// Marks this wire as crossing from shard `src` to shard `dst` of `group`:
+  /// deliveries go through the group's barrier mailbox instead of the local
+  /// event queue, and the wire's latency is registered as a lookahead bound.
+  /// Must be called during topology construction, before any transmit.
+  void set_cross_shard(sim::ShardGroup& group, std::uint32_t src,
+                       std::uint32_t dst) {
+    group.register_link(latency_);
+    group_ = &group;
+    src_shard_ = src;
+    dst_shard_ = dst;
+  }
+
+  bool cross_shard() const { return group_ != nullptr; }
+
   /// Fault injection: drop each frame independently with `probability`
   /// (CRC corruption / congestion loss on the path). Dropped frames still
   /// occupy the transmitter's serialization slot. Deterministic in `seed`.
@@ -69,6 +102,11 @@ class Wire {
   const Stats& stats() const { return stats_; }
   sim::Duration latency() const { return latency_; }
 
+  /// Frames parked awaiting delivery (burst-batching FIFO). For tests.
+  std::size_t pending_deliveries() const {
+    return pending_.size() - pending_head_;
+  }
+
   /// Serialization time for `bytes` on this wire.
   sim::Duration serialization_delay(std::size_t bytes) const {
     // bits / (gbps * 1e9 bits/s) seconds = bits / gbps nanoseconds.
@@ -77,6 +115,15 @@ class Wire {
   }
 
  private:
+  struct Pending {
+    sim::TimePoint arrival;
+    std::uint64_t seq;  // reserved at transmit; the frame's tie-break rank
+    Packet packet;
+  };
+
+  void arm_delivery(sim::TimePoint arrival, std::uint64_t seq);
+  void deliver_front();
+
   sim::Simulator& sim_;
   PacketSink& destination_;
   sim::Duration latency_;
@@ -86,6 +133,17 @@ class Wire {
   double loss_probability_ = 0.0;
   std::optional<sim::Rng> loss_rng_;
   double degrade_factor_ = 1.0;
+
+  // Burst-batching FIFO: a head index over a grow-only vector, so steady
+  // state recycles capacity instead of churning deque blocks.
+  std::vector<Pending> pending_;
+  std::size_t pending_head_ = 0;
+  sim::EventHandle delivery_;
+
+  // Cross-shard mailbox routing; null for ordinary same-shard wires.
+  sim::ShardGroup* group_ = nullptr;
+  std::uint32_t src_shard_ = 0;
+  std::uint32_t dst_shard_ = 0;
 };
 
 }  // namespace nicsched::net

@@ -1,0 +1,213 @@
+#include "sim/shard.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+namespace nicsched::sim {
+
+namespace {
+
+// Window end from a start time and the lookahead, saturating: an unbounded
+// lookahead (no cross-shard links) or a start near the epoch horizon both
+// clamp to "forever" and let the deadline/sync clips decide.
+TimePoint saturating_end(TimePoint start, Duration lookahead) {
+  const std::int64_t s = start.to_picos();
+  const std::int64_t l = lookahead.to_picos();
+  if (l >= std::numeric_limits<std::int64_t>::max() - s) return TimePoint::max();
+  return TimePoint::from_picos(s + l);
+}
+
+}  // namespace
+
+ShardGroup::ShardGroup(std::size_t shard_count) {
+  if (shard_count == 0) shard_count = 1;
+  shards_.reserve(shard_count);
+  for (std::size_t i = 0; i < shard_count; ++i) {
+    shards_.push_back(std::make_unique<Simulator>());
+  }
+  outboxes_ = std::vector<Outbox>(shard_count);
+  const unsigned hw = std::thread::hardware_concurrency();
+  // Spinning only pays when the other shard threads actually run in
+  // parallel; on an oversubscribed machine go straight to the futex.
+  spin_budget_ = (hw >= shard_count && shard_count > 1) ? 4096 : 0;
+}
+
+ShardGroup::~ShardGroup() {
+  if (!workers_.empty()) {
+    shutdown_.store(true, std::memory_order_release);
+    epoch_.fetch_add(1, std::memory_order_release);
+    epoch_.notify_all();
+    for (std::thread& worker : workers_) worker.join();
+  }
+}
+
+void ShardGroup::register_link(Duration latency) {
+  if (latency <= Duration::zero()) {
+    throw std::logic_error(
+        "ShardGroup::register_link: cross-shard links need positive latency");
+  }
+  lookahead_ = std::min(lookahead_, latency);
+}
+
+void ShardGroup::post(std::uint32_t src, std::uint32_t dst, TimePoint when,
+                      EventFn fn) {
+  if (when < window_end_) {
+    throw std::logic_error(
+        "ShardGroup::post: arrival inside the current sync window — "
+        "cross-shard link shorter than the registered lookahead");
+  }
+  outboxes_[src].mail.push_back(Mail{when, dst, std::move(fn)});
+}
+
+void ShardGroup::sync_at(TimePoint when, EventFn fn) {
+  if (shard_count() == 1) {
+    shards_[0]->at(when, std::move(fn));
+    return;
+  }
+  syncs_.emplace(when, std::move(fn));
+}
+
+std::uint64_t ShardGroup::run() {
+  if (shard_count() == 1) return shards_[0]->run();
+  return drain(TimePoint::max(), /*finish_clocks_at_deadline=*/false);
+}
+
+std::uint64_t ShardGroup::run_until(TimePoint deadline) {
+  if (shard_count() == 1) return shards_[0]->run_until(deadline);
+  return drain(deadline, /*finish_clocks_at_deadline=*/true);
+}
+
+std::uint64_t ShardGroup::events_fired() const {
+  std::uint64_t total = 0;
+  for (const auto& sim : shards_) total += sim->events_fired();
+  return total;
+}
+
+bool ShardGroup::any_stopped() const {
+  for (const auto& sim : shards_) {
+    if (sim->stopped()) return true;
+  }
+  return false;
+}
+
+void ShardGroup::flush_mailboxes() {
+  std::size_t total = 0;
+  for (const Outbox& box : outboxes_) total += box.mail.size();
+  if (total == 0) return;
+  // Stable order: concatenating outboxes in source order and stable-sorting
+  // by `when` yields (when, src, send order) — the deterministic sequence in
+  // which destination seq numbers are assigned.
+  flush_scratch_.clear();
+  flush_scratch_.reserve(total);
+  for (Outbox& box : outboxes_) {
+    for (Mail& mail : box.mail) flush_scratch_.push_back(&mail);
+  }
+  std::stable_sort(
+      flush_scratch_.begin(), flush_scratch_.end(),
+      [](const Mail* a, const Mail* b) { return a->when < b->when; });
+  for (Mail* mail : flush_scratch_) {
+    shards_[mail->dst]->at(mail->when, std::move(mail->fn));
+  }
+  for (Outbox& box : outboxes_) box.mail.clear();
+}
+
+void ShardGroup::start_workers() {
+  if (!workers_.empty()) return;
+  workers_.reserve(shard_count() - 1);
+  for (std::size_t i = 1; i < shard_count(); ++i) {
+    workers_.emplace_back([this, i] { worker_main(i); });
+  }
+}
+
+void ShardGroup::worker_main(std::size_t index) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    std::uint64_t current = epoch_.load(std::memory_order_acquire);
+    for (int spin = 0; current == seen && spin < spin_budget_; ++spin) {
+      current = epoch_.load(std::memory_order_acquire);
+    }
+    while (current == seen) {
+      epoch_.wait(seen, std::memory_order_acquire);
+      current = epoch_.load(std::memory_order_acquire);
+    }
+    if (shutdown_.load(std::memory_order_acquire)) return;
+    seen = current;
+    shards_[index]->run_window(window_end_);
+    arrived_.fetch_add(1, std::memory_order_release);
+    arrived_.notify_all();
+  }
+}
+
+std::uint64_t ShardGroup::run_epoch(TimePoint end) {
+  const std::uint64_t before = events_fired();
+  window_end_ = end;
+  arrived_.store(0, std::memory_order_relaxed);
+  epoch_.fetch_add(1, std::memory_order_release);
+  epoch_.notify_all();
+  shards_[0]->run_window(end);
+  const std::size_t worker_count = shard_count() - 1;
+  for (;;) {
+    std::size_t done = arrived_.load(std::memory_order_acquire);
+    for (int spin = 0; done != worker_count && spin < spin_budget_; ++spin) {
+      done = arrived_.load(std::memory_order_acquire);
+    }
+    if (done == worker_count) break;
+    arrived_.wait(done, std::memory_order_acquire);
+  }
+  return events_fired() - before;
+}
+
+std::uint64_t ShardGroup::drain(TimePoint deadline,
+                                bool finish_clocks_at_deadline) {
+  start_workers();
+  std::uint64_t fired = 0;
+  for (auto& sim : shards_) sim->reset_stop();
+  for (;;) {
+    flush_mailboxes();
+    TimePoint next = TimePoint::max();
+    for (const auto& sim : shards_) {
+      next = std::min(next, sim->queue().next_event_time());
+    }
+    const TimePoint next_sync =
+        syncs_.empty() ? TimePoint::max() : syncs_.begin()->first;
+    const TimePoint target = std::min(next, next_sync);
+    if (target > deadline || target == TimePoint::max()) break;
+    if (next > next_sync) {
+      // Every event at or before the sync instant has fired (the window clip
+      // below is inclusive); run the sync callbacks (registration order) with
+      // all clocks at exactly that time. The inclusive cut mirrors the serial
+      // engine, where the harness registers its syncs *after* the components
+      // whose events can coincide with them, so same-instant events hold
+      // earlier sequence numbers and fire first there too.
+      for (auto& sim : shards_) sim->advance_to(next_sync);
+      while (!syncs_.empty() && syncs_.begin()->first == next_sync) {
+        EventFn fn = std::move(syncs_.begin()->second);
+        syncs_.erase(syncs_.begin());
+        fn();
+      }
+      continue;
+    }
+    TimePoint end = saturating_end(next, lookahead_);
+    if (next_sync < TimePoint::max()) {
+      // Inclusive: the window may fire events at the sync instant itself.
+      end = std::min(end, next_sync + Duration::picos(1));
+    }
+    if (deadline < TimePoint::max()) {
+      end = std::min(end, deadline + Duration::picos(1));
+    }
+    fired += run_epoch(end);
+    if (any_stopped()) break;
+  }
+  // A final flush keeps late cross-shard sends queued (beyond the deadline)
+  // rather than stranded in outboxes, mirroring serial run_until semantics
+  // where unfired events stay in the queue.
+  flush_mailboxes();
+  if (finish_clocks_at_deadline) {
+    for (auto& sim : shards_) sim->advance_to(deadline);
+  }
+  return fired;
+}
+
+}  // namespace nicsched::sim

@@ -182,6 +182,36 @@ TEST(SweepRunner, RunConfigsKeepsOrderAcrossSystems) {
   }
 }
 
+TEST(SweepRunner, ShardOverrideMatchesSerialAndDividesThePool) {
+  // The pool shrinks so points x shards stays at the thread budget...
+  exp::SweepRunner sharded(
+      exp::SweepRunner::Options{.threads = 8, .shards = 4});
+  EXPECT_EQ(sharded.thread_count(), 2u);
+  EXPECT_EQ(sharded.shard_count(), 4u);
+  exp::SweepRunner starved(
+      exp::SweepRunner::Options{.threads = 2, .shards = 4});
+  EXPECT_EQ(starved.thread_count(), 1u);  // never below one point at a time
+
+  // ...and the override changes only where the points run, not what they
+  // compute: a rack sweep at 4 shards reproduces the serial results.
+  const auto base = core::ExperimentConfig::offload()
+                        .workers(2)
+                        .outstanding(2)
+                        .bimodal()
+                        .samples(2'000)
+                        .with_rack(4)
+                        .with_seed(11);
+  const auto loads = exp::load_grid(100e3, 200e3, 2);
+  exp::SweepRunner serial(exp::SweepRunner::Options{.threads = 1});
+  const auto reference = serial.run(base, loads);
+  const auto parallel = sharded.run(base, loads);
+  ASSERT_EQ(parallel.size(), reference.size());
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    SCOPED_TRACE("load index " + std::to_string(i));
+    expect_summary_identical(parallel[i].summary, reference[i].summary);
+  }
+}
+
 TEST(SweepRunner, RejectsSharedResponseLog) {
   stats::ResponseLog log;
   auto config = small_config();

@@ -14,6 +14,7 @@
 #include <cstdlib>
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "core/cluster.h"
@@ -21,7 +22,9 @@
 #include "fault/fault_injector.h"
 #include "fault/fault_schedule.h"
 #include "net/ethernet_switch.h"
+#include "overload/overload.h"
 #include "sim/simulator.h"
+#include "tenant/tenant.h"
 #include "workload/arrival.h"
 #include "workload/client.h"
 
@@ -202,6 +205,114 @@ TEST(FaultConservation, ShinjukuLivenessWatchdogReSteersOffACrashedWorker) {
   EXPECT_GE(out.stats.reliability.worker_deaths, 1u);
   EXPECT_EQ(out.received, out.sent);
   expect_conserved(out);
+}
+
+// DESIGN §14: the conservation ledger is shard-count-invariant. A faulted,
+// overloaded, multi-tenant rack run must satisfy the client-side identity
+//
+//   sent == completed + rejected + expired + abandoned + outstanding
+//
+// at every shard count, per tenant and globally, and the parallel engine's
+// ledger must match the serial engine field for field — a shard that lost a
+// mailbox flush or double-delivered a cross-shard frame shows up here even
+// if latency digests happen to collide.
+TEST(FaultConservation, MultiShardRackRunsConserveAndMatchSerial) {
+  std::vector<std::uint64_t> seeds = {1, 2, 3};
+  if (std::getenv("NICSCHED_FAST") != nullptr) seeds = {1};
+
+  overload::OverloadParams overload;
+  overload.enabled = true;
+  overload.admission_enabled = true;
+  overload.shedding_enabled = true;
+  overload.deadline = sim::Duration::micros(300);
+  overload.retry_budget = 0;
+
+  for (const std::uint64_t seed : seeds) {
+    std::optional<core::ExperimentResult::ClientTotals> serial;
+    std::optional<core::ServerStats> serial_server;
+    for (const std::size_t shards : {std::size_t{1}, std::size_t{4}}) {
+      const std::string label = "seed=" + std::to_string(seed) +
+                                " shards=" + std::to_string(shards);
+      SCOPED_TRACE(label);
+      fault::FaultSchedule schedule;
+      schedule.with_seed(seed * 31 + 7)
+          .ingress_loss(at_ms(1), at_ms(2), 0.02)
+          .stall_worker(at_ms(1), 0, sim::Duration::micros(200));
+      auto config = core::ExperimentConfig::offload()
+                        .workers(2)
+                        .outstanding(2)
+                        .load(400e3)
+                        .clients(2, 16)
+                        .measure_for(sim::Duration::millis(1))
+                        .with_seed(seed)
+                        .with_rack(4)
+                        .with_overload(overload)
+                        .with_tenants({
+                            tenant::make_tenant(1)
+                                .named("gold")
+                                .weighted(4.0)
+                                .slo_class(tenant::SloClass::kLatencyCritical)
+                                .fixed(sim::Duration::micros(4)),
+                            tenant::make_tenant(2)
+                                .named("batch")
+                                .slo_class(tenant::SloClass::kBestEffort)
+                                .bimodal(sim::Duration::micros(5),
+                                         sim::Duration::micros(100), 0.005),
+                        })
+                        .with_shards(shards)
+                        .with_faults(schedule);
+      config.warmup = sim::Duration::millis(1);
+      config.drain = sim::Duration::millis(2);
+
+      const auto result = core::run_experiment(config);
+      const auto& totals = result.clients;
+      ASSERT_GT(totals.sent, 500u);
+      EXPECT_EQ(totals.sent, totals.completed + totals.rejected +
+                                 totals.expired + totals.abandoned +
+                                 totals.outstanding);
+
+      // Per-tenant rows conserve individually and sum to the global ledger.
+      ASSERT_EQ(result.tenants.size(), 2u);
+      core::ExperimentResult::ClientTotals sum;
+      for (const auto& row : result.tenants) {
+        EXPECT_EQ(row.clients.sent,
+                  row.clients.completed + row.clients.rejected +
+                      row.clients.expired + row.clients.abandoned +
+                      row.clients.outstanding)
+            << "tenant " << row.spec.label();
+        sum.sent += row.clients.sent;
+        sum.completed += row.clients.completed;
+        sum.rejected += row.clients.rejected;
+        sum.expired += row.clients.expired;
+        sum.abandoned += row.clients.abandoned;
+        sum.outstanding += row.clients.outstanding;
+      }
+      EXPECT_EQ(sum.sent, totals.sent);
+      EXPECT_EQ(sum.completed, totals.completed);
+
+      if (!serial) {
+        serial = totals;
+        serial_server = result.server;
+        continue;
+      }
+      // Field-for-field match with the serial engine.
+      EXPECT_EQ(totals.sent, serial->sent);
+      EXPECT_EQ(totals.completed, serial->completed);
+      EXPECT_EQ(totals.goodput, serial->goodput);
+      EXPECT_EQ(totals.rejected, serial->rejected);
+      EXPECT_EQ(totals.expired, serial->expired);
+      EXPECT_EQ(totals.abandoned, serial->abandoned);
+      EXPECT_EQ(totals.outstanding, serial->outstanding);
+      EXPECT_EQ(totals.retries, serial->retries);
+      EXPECT_EQ(totals.duplicates, serial->duplicates);
+      EXPECT_EQ(result.server.requests_received,
+                serial_server->requests_received);
+      EXPECT_EQ(result.server.responses_sent, serial_server->responses_sent);
+      EXPECT_EQ(result.server.drops, serial_server->drops);
+      EXPECT_EQ(result.server.overload.rejected,
+                serial_server->overload.rejected);
+    }
+  }
 }
 
 TEST(FaultConservation, IngressLossIsChargedToTheWireNotTheServer) {

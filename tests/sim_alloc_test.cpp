@@ -18,12 +18,16 @@
 #include <cstddef>
 #include <cstdint>
 #include <cstdlib>
+#include <memory_resource>
 #include <new>
+#include <unordered_map>
+#include <unordered_set>
 
 #include "hw/channel.h"
 #include "net/packet.h"
 #include "net/packet_pool.h"
 #include "proto/messages.h"
+#include "sim/arena.h"
 #include "sim/simulator.h"
 #include "sim/small_fn.h"
 
@@ -74,7 +78,10 @@ TEST(SimAlloc, HotEventLoopIsAllocationFree) {
   sim::Simulator sim;
   TickingComponent component{sim, 42};
   component.arm();
-  sim.run_for(sim::Duration::micros(10));  // warm slab + heap storage
+  // Warmup must cover one full timer-wheel revolution (~268us): each of the
+  // 256 bucket vectors grows to its stationary population once, and every
+  // revolution after that recycles the same storage.
+  sim.run_for(sim::Duration::micros(300));
 
   const std::uint64_t before = allocation_count();
   sim.run_for(sim::Duration::millis(1));  // 10'000 events
@@ -112,7 +119,8 @@ TEST(SimAlloc, CancellationChurnIsAllocationFree) {
   sim::Simulator sim;
   ChurningComponent component{sim};
   component.arm();
-  sim.run_for(sim::Duration::micros(20));
+  // One wheel revolution (see HotEventLoop) plus the dead-guard plateau.
+  sim.run_for(sim::Duration::micros(300));
 
   const std::uint64_t before = allocation_count();
   sim.run_for(sim::Duration::millis(1));
@@ -179,7 +187,9 @@ TEST(SimAlloc, MessageChannelSteadyStateIsAllocationFree) {
     sim.after(sim::Duration::nanos(200), [&produce]() { produce(); });
   };
   produce();
-  sim.run_for(sim::Duration::micros(20));  // warm the ring past its high-water
+  // Warm the ring past its high-water mark and the timer wheel through one
+  // full revolution.
+  sim.run_for(sim::Duration::micros(300));
 
   const std::uint64_t before = allocation_count();
   sim.run_for(sim::Duration::millis(1));
@@ -250,6 +260,54 @@ TEST(SimAlloc, ScratchSerializationRoundTripIsAllocationFree) {
   EXPECT_EQ(after - before, 0u)
       << "scratch serialization must reuse the thread-local buffer";
   EXPECT_EQ(parsed, 50'000u);
+}
+
+// The reliable-dispatch bookkeeping shape: map/set nodes that churn once per
+// tracked request. On an ArenaResource the first wave warms exact-size
+// freelists; after that, insert/erase cycles must never reach the global
+// allocator. This is the same arena + container layout
+// ShinjukuOffloadServer uses for its inflight/seq/dedupe tables.
+TEST(SimAlloc, ArenaBackedReliableTablesAreAllocationFree) {
+  sim::ArenaResource arena;
+  struct Inflight {
+    std::uint64_t seq = 0;
+    std::uint32_t attempts = 1;
+    sim::EventHandle timer;
+  };
+  std::pmr::unordered_map<std::uint64_t, Inflight> inflight{&arena};
+  std::pmr::unordered_map<std::uint64_t, std::uint64_t> seq_to_request{&arena};
+  std::pmr::unordered_set<std::uint64_t> dedupe{&arena};
+
+  // Warm: grow bucket arrays and node freelists past the steady population
+  // (which transiently reaches kWindow + 1: each ack lands after the next
+  // insert), doubled for rehash-threshold margin.
+  constexpr std::uint64_t kWindow = 64;
+  for (std::uint64_t id = 1; id <= 2 * kWindow; ++id) {
+    inflight.emplace(id, Inflight{id, 1, {}});
+    seq_to_request.emplace(id, id);
+    dedupe.insert(id);
+  }
+  for (std::uint64_t id = 1; id <= 2 * kWindow; ++id) {
+    inflight.erase(id);
+    seq_to_request.erase(id);
+  }
+  dedupe.clear();
+
+  const std::uint64_t before = allocation_count();
+  for (std::uint64_t id = kWindow + 1; id <= kWindow + 10'000; ++id) {
+    inflight.emplace(id, Inflight{id, 1, {}});
+    seq_to_request.emplace(id, id);
+    dedupe.insert(id);
+    const std::uint64_t retire = id - kWindow;  // ack lands a window later
+    inflight.erase(retire);
+    seq_to_request.erase(retire);
+    dedupe.erase(retire);
+  }
+  const std::uint64_t after = allocation_count();
+
+  EXPECT_EQ(after - before, 0u)
+      << "steady-state reliable bookkeeping must recycle arena freelists";
+  EXPECT_GT(arena.reused_allocations(), 0u);
 }
 
 // Direct checks that the hot capture shapes stay inline in SmallFn.

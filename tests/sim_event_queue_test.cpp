@@ -2,8 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
+#include <utility>
 #include <vector>
 
 namespace nicsched::sim {
@@ -224,6 +226,196 @@ TEST(EventQueueSlab, MixedCancelAndFireKeepsCountsExact) {
   EXPECT_EQ(queue.live_count(), 0u);
   EXPECT_TRUE(queue.empty());
   for (auto& handle : handles) EXPECT_FALSE(handle.pending());
+}
+
+// ---------------------------------------------------------------------------
+// Timer-wheel / 4-ary-heap hybrid: routing, cascade boundaries, wrap-around,
+// lazy cancellation inside buckets, and a randomized model check against a
+// reference sort. The hybrid is an ordering *cache* — none of these tests
+// may observe anything but exact (time, seq) pop order.
+
+TimePoint at_ps(std::int64_t ps) {
+  return TimePoint::origin() + Duration::picos(ps);
+}
+
+// A schedule inside the wheel's horizon parks in a bucket; one past the
+// horizon goes straight to the heap.
+TEST(EventQueueWheel, RoutesByHorizon) {
+  EventQueue queue;
+  const Duration span = EventQueue::wheel_span();
+  queue.schedule(TimePoint::origin() + span - Duration::picos(1), []() {});
+  EXPECT_EQ(queue.wheel_size(), 1u);
+  EXPECT_EQ(queue.heap_size(), 0u);
+
+  queue.schedule(TimePoint::origin() + span, []() {});  // first step beyond
+  EXPECT_EQ(queue.wheel_size(), 1u);
+  EXPECT_EQ(queue.heap_size(), 1u);
+
+  queue.schedule(TimePoint::origin() + Duration::millis(50), []() {});
+  EXPECT_EQ(queue.heap_size(), 2u);
+}
+
+// Pop order is exact across the structures: heap-resident far events fire
+// after wheel-resident near ones, and entries on either side of a bucket
+// boundary (same bucket vs adjacent bucket) keep strict time order.
+TEST(EventQueueWheel, BucketBoundariesPreserveOrder) {
+  EventQueue queue;
+  const std::int64_t width = EventQueue::bucket_width().to_picos();
+  std::vector<int> order;
+  // Last picosecond of bucket 0, first of bucket 1, plus a same-bucket pair
+  // one tick apart and a far-future heap entry.
+  queue.schedule(at_ps(width), [&]() { order.push_back(3); });
+  queue.schedule(at_ps(width - 1), [&]() { order.push_back(2); });
+  queue.schedule(at_ps(1), [&]() { order.push_back(0); });
+  queue.schedule(at_ps(2), [&]() { order.push_back(1); });
+  queue.schedule(TimePoint::origin() + EventQueue::wheel_span() * 2,
+                 [&]() { order.push_back(4); });
+  EXPECT_EQ(queue.heap_size(), 1u);
+  drain(queue);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+// Same-instant events split across a cascade (scheduled before and after an
+// intervening pop) still fire in seq order.
+TEST(EventQueueWheel, SameInstantAcrossCascadeKeepsSeqOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  const TimePoint later = at_us(100);
+  queue.schedule(later, [&]() { order.push_back(1); });
+  queue.schedule(at_us(1), [&]() { order.push_back(0); });
+  TimePoint when;
+  EventFn callback;
+  ASSERT_TRUE(queue.pop_next(when, callback));  // forces a settle + cascade
+  callback();
+  queue.schedule(later, [&]() { order.push_back(2); });
+  drain(queue);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+// The wheel window slides with the cursor: after a pop advances it, a time
+// beyond cursor + span must route to the heap (parking it in a bucket would
+// fire it one revolution early), and a time *behind* the cursor — whose
+// bucket already drained — must route to the heap as well, never resurrect
+// the stale bucket.
+TEST(EventQueueWheel, SlidWindowRoutesOutOfRangeTimesToHeap) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.schedule(at_us(10), [&]() { order.push_back(0); });
+  TimePoint when;
+  EventFn callback;
+  ASSERT_TRUE(queue.pop_next(when, callback));
+  callback();
+  // Cursor sits just past 10us; the window now covers ~[10us, 280us).
+  queue.schedule(at_us(280), [&]() { order.push_back(3); });  // beyond window
+  queue.schedule(at_us(5), [&]() { order.push_back(1); });    // behind cursor
+  EXPECT_EQ(queue.heap_size(), 2u)
+      << "out-of-window times must route to the heap, not alias a bucket";
+  queue.schedule(at_us(20), [&]() { order.push_back(2); });  // in window
+  EXPECT_EQ(queue.wheel_size(), 1u);
+  drain(queue);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+// Cancelling a wheel-resident event is O(1) on the slot; the bucket entry is
+// dropped lazily and never fires, and the queue's live view is immediate.
+TEST(EventQueueWheel, CancellationInsideBucketIsLazyButExact) {
+  EventQueue queue;
+  bool fired = false;
+  EventHandle doomed = queue.schedule(at_us(3), [&]() { fired = true; });
+  queue.schedule(at_us(5), []() {});
+  ASSERT_EQ(queue.wheel_size(), 2u);
+  doomed.cancel();
+  EXPECT_EQ(queue.wheel_size(), 2u);  // entry parked until its bucket drains
+  EXPECT_EQ(queue.live_count(), 1u);
+  EXPECT_EQ(queue.next_event_time(), at_us(5));
+  drain(queue);
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(queue.wheel_size(), 0u);
+}
+
+// Reserved sequence numbers give an insert the tie-break rank of the moment
+// its cause happened, regardless of actual insertion order — the contract
+// Wire's burst batching leans on.
+TEST(EventQueueWheel, ReservedSeqOutranksLaterSchedulesAtSameInstant) {
+  EventQueue queue;
+  std::vector<int> order;
+  const std::uint64_t early = queue.reserve_seq();
+  queue.schedule(at_us(4), [&]() { order.push_back(1); });
+  queue.schedule_reserved(at_us(4), early, [&]() { order.push_back(0); });
+  EXPECT_EQ(queue.scheduled_count(), 2u);
+  drain(queue);
+  EXPECT_EQ(order, (std::vector<int>{0, 1}));
+}
+
+// Randomized model check: a few thousand schedules spanning wheel and heap
+// horizons, with a slice cancelled, must pop in exactly the reference
+// (time, seq) order. Deterministic LCG, so a failure is replayable.
+TEST(EventQueueWheel, RandomizedPopOrderMatchesReferenceSort) {
+  EventQueue queue;
+  std::uint64_t state = 0x9E3779B97F4A7C15ull;
+  auto next_random = [&state]() {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return state >> 11;
+  };
+  const std::int64_t horizon = EventQueue::wheel_span().to_picos() * 3;
+  std::vector<std::pair<std::int64_t, std::uint64_t>> reference;  // (ps, seq)
+  std::vector<std::uint64_t> popped;
+  std::vector<EventHandle> handles;
+  for (std::uint64_t seq = 0; seq < 5000; ++seq) {
+    const std::int64_t ps =
+        static_cast<std::int64_t>(next_random() % horizon);
+    handles.push_back(
+        queue.schedule(at_ps(ps), [&popped, seq]() { popped.push_back(seq); }));
+    if (next_random() % 10 == 0) {
+      handles.back().cancel();
+    } else {
+      reference.emplace_back(ps, seq);
+    }
+  }
+  std::sort(reference.begin(), reference.end());
+  drain(queue);
+  ASSERT_EQ(popped.size(), reference.size());
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    EXPECT_EQ(popped[i], reference[i].second) << "divergence at pop " << i;
+  }
+  EXPECT_TRUE(queue.empty());
+  EXPECT_EQ(queue.wheel_size(), 0u);
+  EXPECT_EQ(queue.heap_size(), 0u);
+}
+
+// Interleaved pop/schedule with a moving cursor: events scheduled relative
+// to "now" as the clock advances (the simulation's actual usage pattern)
+// never fire out of order even as buckets recycle across revolutions.
+TEST(EventQueueWheel, InterleavedScheduleAndPopAcrossRevolutions) {
+  EventQueue queue;
+  std::uint64_t state = 42;
+  auto next_random = [&state]() {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return state >> 11;
+  };
+  TimePoint now = TimePoint::origin();
+  std::vector<TimePoint> fired;
+  const std::int64_t reach = EventQueue::wheel_span().to_picos();  // 1 lap
+  for (int i = 0; i < 64; ++i) {
+    queue.schedule(now + Duration::picos(static_cast<std::int64_t>(
+                             next_random() % reach)),
+                   [&fired, &now]() { fired.push_back(now); });
+  }
+  TimePoint when;
+  EventFn callback;
+  while (queue.pop_next(when, callback)) {
+    ASSERT_GE(when, now);
+    now = when;
+    callback();
+    // Keep ~4 revolutions of churn flowing through the recycled buckets.
+    if (fired.size() < 512) {
+      queue.schedule(now + Duration::picos(static_cast<std::int64_t>(
+                               next_random() % reach) + 1),
+                     [&fired, &now]() { fired.push_back(now); });
+    }
+  }
+  EXPECT_GE(fired.size(), 512u);
+  EXPECT_TRUE(std::is_sorted(fired.begin(), fired.end()));
 }
 
 // Move-only captures now flow straight into event closures — the property

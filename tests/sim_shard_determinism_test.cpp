@@ -1,0 +1,342 @@
+// Parallel-engine determinism tier (DESIGN §14).
+//
+// The sharded simulator's whole contract is that parallelism is invisible in
+// results:
+//
+//   * one shard IS the serial engine — `ShardGroup(1)` delegates run/sync
+//     straight to its single `Simulator`, so every pre-shard golden (see
+//     sim_determinism_test) now runs through the group and still matches bit
+//     for bit;
+//   * N shards are *shard-count-invariant* — the full observable output of a
+//     rack run (every response record, every span, client totals, server and
+//     ToR counters) hashes to the same digest for 1, 2, and 4 shards, across
+//     seeds, server families, reliable-dispatch retransmission, and fault
+//     schedules;
+//   * runs are seed-stable — repeating a 4-shard run yields the identical
+//     digest regardless of thread scheduling.
+//
+// The smoke tier (NICSCHED_FAST=1, `ctest -L parallel`) keeps one seed and
+// shard counts {1, 2}; the full tier runs three seeds and {1, 2, 4}.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <cstdlib>
+#include <vector>
+
+#include "core/cluster.h"
+#include "core/testbed.h"
+#include "fault/fault_schedule.h"
+#include "obs/capture.h"
+#include "rack/tor_scheduler.h"
+#include "sim/shard.h"
+#include "stats/response_log.h"
+
+namespace nicsched {
+namespace {
+
+sim::TimePoint at_ms(std::int64_t ms) {
+  return sim::TimePoint::origin() + sim::Duration::millis(ms);
+}
+
+bool fast_mode() { return std::getenv("NICSCHED_FAST") != nullptr; }
+
+std::vector<std::uint64_t> tier_seeds() {
+  return fast_mode() ? std::vector<std::uint64_t>{1}
+                     : std::vector<std::uint64_t>{1, 2, 3};
+}
+
+std::vector<std::size_t> tier_shard_counts() {
+  return fast_mode() ? std::vector<std::size_t>{1, 2}
+                     : std::vector<std::size_t>{1, 2, 4};
+}
+
+class Digest {
+ public:
+  void add(std::uint64_t value) {
+    for (int i = 0; i < 8; ++i) {
+      hash_ ^= (value >> (8 * i)) & 0xff;
+      hash_ *= 1099511628211ULL;  // FNV-1a 64
+    }
+  }
+  void add_signed(std::int64_t value) {
+    add(static_cast<std::uint64_t>(value));
+  }
+  void add_double(double value) { add(std::bit_cast<std::uint64_t>(value)); }
+  std::uint64_t value() const { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 14695981039346656037ULL;
+};
+
+void hash_lifecycles(Digest& digest,
+                     const std::vector<obs::RequestLifecycle>& lifecycles) {
+  digest.add(lifecycles.size());
+  for (const auto& lifecycle : lifecycles) {
+    digest.add(lifecycle.request_id);
+    digest.add(lifecycle.complete ? 1 : 0);
+    digest.add(lifecycle.spans.size());
+    for (const auto& span : lifecycle.spans) {
+      digest.add(static_cast<std::uint64_t>(span.kind));
+      digest.add(span.component);
+      digest.add_signed(span.begin.to_picos());
+      digest.add_signed(span.end.to_picos());
+    }
+  }
+}
+
+void hash_server_stats(Digest& digest, const core::ServerStats& s) {
+  digest.add(s.requests_received);
+  digest.add(s.responses_sent);
+  digest.add(s.preemptions);
+  digest.add(s.spurious_interrupts);
+  digest.add(s.steals);
+  digest.add(s.drops);
+  digest.add(s.queue_max_depth);
+  for (double u : s.worker_utilization) digest.add_double(u);
+  digest.add(s.ddio.l1_touches);
+  digest.add(s.ddio.llc_touches);
+  digest.add(s.ddio.dram_touches);
+  digest.add(s.reliability.retransmits);
+  digest.add(s.reliability.timeouts);
+  digest.add(s.reliability.redispatched);
+  digest.add(s.reliability.abandoned);
+  digest.add(s.reliability.duplicates);
+  digest.add(s.overload.admitted);
+  digest.add(s.overload.rejected);
+  digest.add(s.overload.shed_expired);
+}
+
+/// Which extra machinery the rack run exercises on top of plain dispatch.
+enum class Scenario {
+  kPlain,
+  kReliable,  // dispatcher↔worker reliable protocol + dispatch-frame loss
+  kFaulted,   // ingress loss, link degrade, worker stall/crash on host 0
+};
+
+/// One 4-host rack run at `shards`, hashed over everything observable:
+/// ordered response log, client totals, aggregate + per-host server stats,
+/// ToR dispatch counters, and the merged span streams (lifecycles are keyed
+/// by request id, so the hash is independent of merge bookkeeping).
+std::uint64_t rack_digest(core::SystemKind kind, std::uint64_t seed,
+                          std::size_t shards, Scenario scenario) {
+  stats::ResponseLog log;
+  obs::CaptureOptions capture;
+  capture.enabled = true;
+  capture.spans = true;
+  capture.metric_cadence = sim::Duration::zero();  // spans only
+  capture.label = "shard_determinism";
+
+  auto config = core::ExperimentConfig::of(kind)
+                    .workers(2)
+                    .outstanding(2)
+                    .bimodal()  // 5us/100us: preemption + requeue traffic
+                    .load(200e3)
+                    .clients(2, 8)
+                    .measure_for(sim::Duration::millis(2))
+                    .with_seed(seed)
+                    .with_rack(4, rack::TorPolicy::kPowerOfTwo)
+                    .with_shards(shards)
+                    .with_capture(capture);
+  config.warmup = sim::Duration::millis(1);
+  config.drain = sim::Duration::millis(1);
+  config.response_log = &log;
+  if (scenario == Scenario::kReliable) {
+    config.reliable();
+    config.with_faults(fault::FaultSchedule{}
+                           .with_seed(seed * 977 + 11)
+                           .dispatch_loss(at_ms(1), at_ms(2), 0.05));
+  } else if (scenario == Scenario::kFaulted) {
+    config.with_faults(fault::FaultSchedule{}
+                           .with_seed(seed * 977 + 11)
+                           .ingress_loss(at_ms(1), at_ms(2), 0.02)
+                           .degrade_ingress(at_ms(1), at_ms(3), 2.0)
+                           .stall_worker(at_ms(1), 0, sim::Duration::micros(200))
+                           .crash_worker(at_ms(2), 1)
+                           .resume_worker(at_ms(3), 1));
+  }
+
+  const core::ExperimentResult result = core::run_experiment(config);
+
+  Digest digest;
+  digest.add(log.seen());
+  for (const auto& r : log.records()) {
+    digest.add(r.request_id);
+    digest.add(r.kind);
+    digest.add(r.preempt_count);
+    digest.add_signed(r.sent_at.to_picos());
+    digest.add_signed(r.received_at.to_picos());
+    digest.add_signed(r.work.to_picos());
+  }
+  const auto& totals = result.clients;
+  digest.add(totals.sent);
+  digest.add(totals.completed);
+  digest.add(totals.goodput);
+  digest.add(totals.rejected);
+  digest.add(totals.expired);
+  digest.add(totals.abandoned);
+  digest.add(totals.outstanding);
+  digest.add(totals.retries);
+  digest.add(totals.duplicates);
+  hash_server_stats(digest, result.server);
+  for (const auto& host : result.rack_hosts) hash_server_stats(digest, host);
+  if (result.rack) {
+    digest.add(result.rack->requests_forwarded);
+    digest.add(result.rack->responses_forwarded);
+    digest.add(result.rack->rejects_forwarded);
+    digest.add(result.rack->affinity_hits);
+    digest.add(result.rack->informed_decisions);
+    digest.add(result.rack->stale_decisions);
+    digest.add(result.rack->feedback_samples);
+    for (const auto& host : result.rack->hosts) {
+      digest.add(host.requests);
+      digest.add(host.responses);
+      digest.add(host.deaths);
+      digest.add(host.revivals);
+    }
+  }
+  if (result.capture) {
+    hash_lifecycles(digest, result.capture->spans().completed());
+    hash_lifecycles(digest, result.capture->spans().incomplete());
+    digest.add(result.capture->spans().violations());
+  }
+  return digest.value();
+}
+
+const core::SystemKind kFamilies[] = {
+    core::SystemKind::kShinjuku,
+    core::SystemKind::kShinjukuOffload,
+    core::SystemKind::kRss,
+    core::SystemKind::kIdealNic,
+};
+
+// The headline invariant: the digest of a rack run does not depend on how
+// many shards executed it.
+TEST(ShardDeterminism, DigestInvariantAcrossShardCounts) {
+  for (const core::SystemKind kind : kFamilies) {
+    for (const std::uint64_t seed : tier_seeds()) {
+      const std::uint64_t serial =
+          rack_digest(kind, seed, 1, Scenario::kPlain);
+      for (const std::size_t shards : tier_shard_counts()) {
+        if (shards == 1) continue;
+        EXPECT_EQ(rack_digest(kind, seed, shards, Scenario::kPlain), serial)
+            << "kind=" << core::to_string(kind) << " seed=" << seed
+            << " shards=" << shards;
+      }
+    }
+  }
+}
+
+// Reliable dispatch adds retransmission timers and redispatch inside each
+// host; dispatch-frame loss forces them to fire. All host-local, so the
+// invariance must survive it.
+TEST(ShardDeterminism, ReliableRetransmissionInvariant) {
+  for (const std::uint64_t seed : tier_seeds()) {
+    const std::uint64_t serial = rack_digest(
+        core::SystemKind::kShinjukuOffload, seed, 1, Scenario::kReliable);
+    for (const std::size_t shards : tier_shard_counts()) {
+      if (shards == 1) continue;
+      EXPECT_EQ(rack_digest(core::SystemKind::kShinjukuOffload, seed, shards,
+                            Scenario::kReliable),
+                serial)
+          << "seed=" << seed << " shards=" << shards;
+    }
+  }
+}
+
+// Fault schedules target host 0, which lives on shard 1 in sharded builds;
+// the injector's events must interleave with the host's own identically.
+TEST(ShardDeterminism, FaultScheduleInvariant) {
+  for (const std::uint64_t seed : tier_seeds()) {
+    const std::uint64_t serial = rack_digest(
+        core::SystemKind::kShinjukuOffload, seed, 1, Scenario::kFaulted);
+    for (const std::size_t shards : tier_shard_counts()) {
+      if (shards == 1) continue;
+      EXPECT_EQ(rack_digest(core::SystemKind::kShinjukuOffload, seed, shards,
+                            Scenario::kFaulted),
+                serial)
+          << "seed=" << seed << " shards=" << shards;
+    }
+  }
+}
+
+// Thread-schedule independence: the same 4-shard run twice in one process.
+TEST(ShardDeterminism, RepeatedShardedRunsAgree) {
+  const std::size_t shards = fast_mode() ? 2 : 4;
+  const std::uint64_t first =
+      rack_digest(core::SystemKind::kShinjukuOffload, 7, shards,
+                  Scenario::kPlain);
+  const std::uint64_t second =
+      rack_digest(core::SystemKind::kShinjukuOffload, 7, shards,
+                  Scenario::kPlain);
+  EXPECT_EQ(first, second);
+  // And the digest is not degenerate: a different seed must not collide.
+  EXPECT_NE(first, rack_digest(core::SystemKind::kShinjukuOffload, 8, shards,
+                               Scenario::kPlain));
+}
+
+// Topologies with no wire boundary clamp to one shard rather than failing:
+// requesting 4 shards for a single-host run is the serial run.
+TEST(ShardDeterminism, SingleHostClampsToSerial) {
+  stats::ResponseLog log_a;
+  stats::ResponseLog log_b;
+  auto config = core::ExperimentConfig::of(core::SystemKind::kShinjukuOffload)
+                    .workers(2)
+                    .outstanding(2)
+                    .bimodal()
+                    .load(150e3)
+                    .clients(2, 8)
+                    .measure_for(sim::Duration::millis(2))
+                    .with_seed(5);
+  config.response_log = &log_a;
+  auto shardy = config;
+  shardy.with_shards(4);
+  shardy.response_log = &log_b;
+  const auto serial = core::run_experiment(config);
+  const auto clamped = core::run_experiment(shardy);
+  EXPECT_EQ(serial.events_fired, clamped.events_fired);
+  ASSERT_EQ(log_a.records().size(), log_b.records().size());
+  for (std::size_t i = 0; i < log_a.records().size(); ++i) {
+    EXPECT_EQ(log_a.records()[i].request_id, log_b.records()[i].request_id);
+    EXPECT_EQ(log_a.records()[i].received_at, log_b.records()[i].received_at);
+  }
+}
+
+// The kJsqIdeal oracle reads live cross-shard telemetry, which no lookahead
+// licenses: run_experiment clamps it to one shard, and building the same
+// topology over a multi-shard group by hand throws.
+TEST(ShardDeterminism, JsqIdealClampsAndBuilderRejects) {
+  const std::uint64_t serial = rack_digest(core::SystemKind::kShinjukuOffload,
+                                           1, 1, Scenario::kPlain);
+  (void)serial;  // rack_digest above also warms the comparison path
+  auto config = core::ExperimentConfig::of(core::SystemKind::kShinjukuOffload)
+                    .workers(2)
+                    .bimodal()
+                    .load(150e3)
+                    .clients(2, 8)
+                    .measure_for(sim::Duration::millis(1))
+                    .with_rack(4, rack::TorPolicy::kJsqIdeal)
+                    .with_seed(1);
+  auto clamped = config;
+  clamped.with_shards(4);
+  const auto a = core::run_experiment(config);
+  const auto b = core::run_experiment(clamped);
+  EXPECT_EQ(a.events_fired, b.events_fired);
+  EXPECT_EQ(a.clients.completed, b.clients.completed);
+
+  // Direct builder misuse is loud, not silently serial.
+  sim::ShardGroup group(3);
+  core::ClusterBuilder single(group);
+  single.add_host(core::HostSpec::offload());
+  EXPECT_THROW(single.build(), std::invalid_argument);
+
+  core::ClusterBuilder oracle(group);
+  rack::TorParams params;
+  params.policy = rack::TorPolicy::kJsqIdeal;
+  oracle.with_rack(params);
+  for (int i = 0; i < 4; ++i) oracle.add_host(core::HostSpec::offload());
+  EXPECT_THROW(oracle.build(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nicsched

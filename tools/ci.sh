@@ -9,6 +9,8 @@
 #   4. rack smoke: ToR dispatch tests + the rack_sweep shape checks, same tier
 #   5. tenant smoke: tenant dispatch/shim/conservation tests + the
 #      tenant_isolation interference checks, same NICSCHED_FAST tier
+#   6. parallel smoke: the sharded-engine determinism tier (serial
+#      bit-identity + shard-count digest invariance), same NICSCHED_FAST tier
 #
 # Usage: tools/ci.sh [build-dir]    (default: build)
 set -euo pipefail
@@ -32,5 +34,8 @@ echo "==> rack smoke (NICSCHED_FAST=1, ctest -L rack)"
 
 echo "==> tenant smoke (NICSCHED_FAST=1, ctest -L tenant)"
 (cd "$BUILD_DIR" && NICSCHED_FAST=1 ctest -L tenant --output-on-failure)
+
+echo "==> parallel smoke (NICSCHED_FAST=1, ctest -L parallel)"
+(cd "$BUILD_DIR" && NICSCHED_FAST=1 ctest -L parallel --output-on-failure)
 
 echo "==> ci.sh: all tiers green"

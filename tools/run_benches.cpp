@@ -20,6 +20,7 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "exp/exp.h"
@@ -105,6 +106,8 @@ int main(int argc, char** argv) {
   stats::Table table({"metric", "baseline/s", "current/s", "speedup"});
   bool ok = true;
   double min_e2e_speedup = -1.0;
+  double rack_serial_per_sec = 0.0;
+  double rack_sharded_per_sec = 0.0;
   for (const auto& m : current) {
     const double base =
         baseline ? find_metric(*baseline, m.name + "_per_sec") : 0.0;
@@ -112,6 +115,15 @@ int main(int argc, char** argv) {
     sink.add_metric("baseline_" + m.name + "_per_sec", base);
     sink.add_metric("current_" + m.name + "_per_sec", m.per_sec);
     sink.add_metric("speedup_" + m.name, speedup);
+    // One row per kernel so downstream tooling sees the trajectory in the
+    // rows table too, not only in flat metrics: achieved_rps carries the
+    // wall-clock throughput, issued/completed the units retired.
+    exp::ResultRow row;
+    row.series = m.name;
+    row.summary.achieved_rps = m.per_sec;
+    row.summary.issued = m.units;
+    row.summary.completed = m.units;
+    sink.add(row);
     table.add_row({m.name, stats::fmt(base, 0), stats::fmt(m.per_sec, 0),
                    base > 0.0 ? stats::fmt(speedup, 2) + "x" : "n/a"});
     if (m.name.rfind("e2e_", 0) == 0 && base > 0.0) {
@@ -119,6 +131,8 @@ int main(int argc, char** argv) {
         min_e2e_speedup = speedup;
       }
     }
+    if (m.name == "rack_serial") rack_serial_per_sec = m.per_sec;
+    if (m.name.rfind("rack_shard", 0) == 0) rack_sharded_per_sec = m.per_sec;
     const bool nonzero = m.per_sec > 0.0 && m.units > 0;
     sink.add_check(m.name + " throughput > 0", nonzero);
     ok = ok && nonzero;
@@ -126,6 +140,16 @@ int main(int argc, char** argv) {
   sink.add_metric("min_e2e_speedup", min_e2e_speedup);
   table.print(std::cout);
   std::cout << "\n";
+
+  // Parallel-engine speedup, informational only: >= 2x needs >= 4 real
+  // cores, and CI containers often pin this binary to one.
+  const double rack_parallel_speedup =
+      rack_serial_per_sec > 0.0 ? rack_sharded_per_sec / rack_serial_per_sec
+                                : 0.0;
+  sink.add_metric("rack_parallel_speedup", rack_parallel_speedup);
+  std::cout << "INFO  sharded rack engine vs serial: "
+            << stats::fmt(rack_parallel_speedup, 2) << "x ("
+            << std::thread::hardware_concurrency() << " hardware threads)\n";
 
   const bool have_baseline = baseline.has_value();
   sink.add_check("baseline loaded from " + baseline_path, have_baseline);
