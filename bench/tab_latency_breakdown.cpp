@@ -1,8 +1,11 @@
 // Where does an unloaded request's time go? A single 5 us request through
-// Shinjuku-Offload, decomposed from the trace stream: client → networker →
-// dispatcher → worker → response. This is the per-stage view behind the
-// latency floors in every figure, and a demonstration of the library's
-// tracing hooks.
+// Shinjuku-Offload and through the RDMA-assisted `rain` family, decomposed
+// from the trace stream: client → ingress → dispatcher → worker → response.
+// This is the per-stage view behind the latency floors in every figure, a
+// demonstration of the library's tracing hooks, and the dispatch-path
+// ablation (DESIGN §15) seen one request at a time: the same centralized
+// scheduler, with the 2.56 us frame-based dispatcher→worker hop replaced by
+// a one-sided RDMA write.
 #include <iostream>
 #include <memory>
 
@@ -13,20 +16,20 @@
 #include "stats/table.h"
 #include "workload/client.h"
 
-int main() {
+namespace {
+
+struct StageTimes {
+  nicsched::sim::TimePoint sent, ingress, dispatch, start, complete, received;
+  bool ok = false;
+};
+
+StageTimes measure(const nicsched::core::ExperimentConfig& experiment) {
   using namespace nicsched;
-
-  exp::Figure fig("tab_latency_breakdown",
-                  "Unloaded latency breakdown: one 5us request through "
-                  "Shinjuku-Offload");
-
   sim::Simulator sim;
   sim::TraceCollector collector;
   sim.tracer().set_sink(collector.sink());
 
   const core::ModelParams params = core::ModelParams::defaults();
-  const auto experiment =
-      core::ExperimentConfig::offload().workers(1).no_preemption();
   core::ClusterBuilder topology(sim);
   topology.switch_latency(params.switch_forward_latency);
   topology.add_host(core::HostSpec::from_config(experiment));
@@ -42,65 +45,97 @@ int main() {
   client_config.server_ip = server.ingress_ip();
   client_config.server_port = server.port();
 
-  sim::TimePoint sent_at, received_at;
+  StageTimes times;
   workload::ClientMachine client(
       sim, network, client_config,
       std::make_shared<workload::FixedDistribution>(sim::Duration::micros(5)),
       std::make_unique<workload::UniformArrivals>(10.0), sim::Rng(1));
-  client.set_on_issue([&](sim::TimePoint at) { sent_at = at; });
+  client.set_on_issue([&](sim::TimePoint at) { times.sent = at; });
   client.set_on_response([&](const workload::ResponseRecord& record) {
-    received_at = record.received_at;
+    times.received = record.received_at;
   });
   client.start(sim::TimePoint::origin() + sim::Duration::millis(150));
   sim.run_until(sim::TimePoint::origin() + sim::Duration::millis(200));
-
-  if (client.received() == 0) {
-    std::cout << "FAIL  no response observed\n";
-    return 1;
-  }
+  if (client.received() == 0) return times;
 
   // Pull stage timestamps for the last completed request from the trace.
-  sim::TimePoint at_networker, at_dispatch, at_worker_start, at_complete;
   for (const auto& record : collector.records()) {
-    if (record.when < sent_at) continue;
+    if (record.when < times.sent) continue;
     switch (record.category) {
-      case sim::TraceCategory::kClient: at_networker = record.when; break;
-      case sim::TraceCategory::kDispatch: at_dispatch = record.when; break;
+      case sim::TraceCategory::kClient: times.ingress = record.when; break;
+      case sim::TraceCategory::kDispatch: times.dispatch = record.when; break;
       case sim::TraceCategory::kWorker:
         if (record.message.rfind("start", 0) == 0) {
-          at_worker_start = record.when;
+          times.start = record.when;
         } else {
-          at_complete = record.when;
+          times.complete = record.when;
         }
         break;
       default: break;
     }
   }
+  times.ok = true;
+  return times;
+}
 
-  stats::Table table({"stage", "span_us", "path"});
-  auto row = [&](const char* stage, sim::TimePoint from, sim::TimePoint to,
-                 const char* path) {
-    table.add_row({stage, stats::fmt((to - from).to_micros(), 2), path});
-    fig.note_metric(std::string("span_us/") + stage, (to - from).to_micros());
+}  // namespace
+
+int main() {
+  using namespace nicsched;
+
+  exp::Figure fig("tab_latency_breakdown",
+                  "Unloaded latency breakdown: one 5us request through "
+                  "Shinjuku-Offload (UDP dispatch) vs rain (RDMA dispatch)");
+
+  const auto offload =
+      measure(core::ExperimentConfig::offload().workers(1).no_preemption());
+  const auto rain =
+      measure(core::ExperimentConfig::rain().workers(1).no_preemption());
+  if (!offload.ok || !rain.ok) {
+    std::cout << "FAIL  no response observed\n";
+    return 1;
+  }
+
+  stats::Table table({"stage", "offload_us", "rain_us", "path"});
+  auto row = [&](const char* stage, sim::TimePoint offload_from,
+                 sim::TimePoint offload_to, sim::TimePoint rain_from,
+                 sim::TimePoint rain_to, const char* path) {
+    const double offload_us = (offload_to - offload_from).to_micros();
+    const double rain_us = (rain_to - rain_from).to_micros();
+    table.add_row(
+        {stage, stats::fmt(offload_us, 2), stats::fmt(rain_us, 2), path});
+    fig.note_metric(std::string("offload_span_us/") + stage, offload_us);
+    fig.note_metric(std::string("rain_span_us/") + stage, rain_us);
   };
-  row("client -> networker parsed", sent_at, at_networker,
-      "wire + ToR + ARM rx + parse");
-  row("networker -> dispatched", at_networker, at_dispatch,
-      "ARM shared memory + D1 queueing");
-  row("dispatched -> worker starts", at_dispatch, at_worker_start,
-      "D2 frame build + NIC fabric + host rx + pop (the 2.56us path)");
-  row("worker executes", at_worker_start, at_complete, "5us of request work");
-  row("complete -> client sees response", at_complete, received_at,
-      "response build + fabric + ToR + wire");
-  row("TOTAL", sent_at, received_at, "");
+  row("client -> ingress parsed", offload.sent, offload.ingress, rain.sent,
+      rain.ingress, "wire + ToR + rx + parse (ARM nw vs NIC ASIC)");
+  row("ingress -> dispatched", offload.ingress, offload.dispatch, rain.ingress,
+      rain.dispatch, "queueing + scheduler decision");
+  row("dispatched -> worker starts", offload.dispatch, offload.start,
+      rain.dispatch, rain.start,
+      "UDP: D2 frame build + fabric + host rx (2.56us); RDMA: one-sided "
+      "write + RQ pop");
+  row("worker executes", offload.start, offload.complete, rain.start,
+      rain.complete, "5us of request work");
+  row("complete -> client sees response", offload.complete, offload.received,
+      rain.complete, rain.received, "response build + fabric + ToR + wire");
+  row("TOTAL", offload.sent, offload.received, rain.sent, rain.received, "");
   table.print(std::cout);
   std::cout << '\n';
 
-  const double total_us = (received_at - sent_at).to_micros();
-  const double dispatch_to_start = (at_worker_start - at_dispatch).to_micros();
-  fig.check("dispatcher->worker stage is dominated by the 2.56us path",
-            dispatch_to_start > 2.3 && dispatch_to_start < 4.0);
-  fig.check("unloaded total is work + ~7-12us of system overhead",
-            total_us > 12.0 && total_us < 17.0);
+  const double offload_total = (offload.received - offload.sent).to_micros();
+  const double rain_total = (rain.received - rain.sent).to_micros();
+  const double offload_hop = (offload.start - offload.dispatch).to_micros();
+  const double rain_hop = (rain.start - rain.dispatch).to_micros();
+  fig.check("offload dispatcher->worker stage is dominated by the 2.56us path",
+            offload_hop > 2.3 && offload_hop < 4.0);
+  fig.check("offload unloaded total is work + ~7-12us of system overhead",
+            offload_total > 12.0 && offload_total < 17.0);
+  fig.check("rain dispatcher->worker stage is sub-microsecond",
+            rain_hop > 0.3 && rain_hop < 1.2);
+  fig.check("the RDMA hop removes >=60% of the UDP dispatch->start stage",
+            rain_hop <= 0.4 * offload_hop);
+  fig.check("rain's unloaded total beats offload's",
+            rain_total < offload_total);
   return fig.finish();
 }

@@ -1,0 +1,165 @@
+// RDMA-assisted dispatch demo (DESIGN §15): the `rain` family next to its
+// two neighbours on the dispatch-path spectrum.
+//
+// Part 1 sweeps bimodal(99.5% x 5us, 0.5% x 100us) load across the three
+// families that share one centralized, informed scheduler and differ only in
+// the NIC↔worker datapath:
+//
+//   offload   UDP frames built by ARM cores — the paper's deployed
+//             prototype, 2.56 us one way (§3.3) and an ARM-bound pipeline.
+//   rain      one-sided RDMA writes into per-worker run-queues, completions
+//             polled back over a CQ (RAIN, PAPERS.md) — deployable RNIC
+//             hardware, scheduling in the NIC's ASIC pipeline.
+//   ideal     the §5.1 CXL-class coherent path — the research upper bound.
+//
+// Part 2 makes feedback staleness a first-class swept parameter: a rain
+// server at 75% load with overload control on takes repeated 300 us worker
+// stalls — the backlog drives per-worker sojourn over the adaptive-K shrink
+// limit — while the worker→scheduler sojourn feedback is delayed by
+// 0/10/100/1000 us (NICSCHED_FEEDBACK_STALENESS_US). Informed backpressure
+// should degrade gracefully — not collapse — as its signal ages.
+//
+//   $ ./rain_sweep
+#include <algorithm>
+#include <cstddef>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "exp/exp.h"
+#include "stats/table.h"
+
+int main() {
+  using namespace nicsched;
+
+  constexpr std::size_t kWorkers = 8;
+  // Bimodal mean service 5.475 us -> 8 workers saturate near 1.46 MRPS.
+  constexpr double kCapacity = kWorkers / 5.475e-6;
+  const std::vector<double> loads = {0.5 * kCapacity, 0.7 * kCapacity,
+                                     0.85 * kCapacity};
+  const std::size_t at85 = 2;
+
+  const auto base_of = [&](core::ExperimentConfig config) {
+    return core::ExperimentConfig(config)
+        .workers(kWorkers)
+        .outstanding(4)
+        .bimodal()
+        .samples(exp::bench_samples(50'000))
+        .with_seed(42);
+  };
+
+  exp::Figure fig("rain_sweep",
+                  "RDMA-assisted dispatch: bimodal(5us/100us), 8 workers, "
+                  "K=4, p99 vs load for offload/rain/ideal, plus rain "
+                  "feedback-staleness sweep at 2x capacity");
+  fig.add_series("offload", base_of(core::ExperimentConfig::offload()), loads);
+  fig.add_series("rain", base_of(core::ExperimentConfig::rain()), loads);
+  fig.add_series("ideal", base_of(core::ExperimentConfig::ideal_nic()), loads);
+  fig.run(exp::SweepRunner());
+  std::cout << fig.title() << "\n\n";
+
+  stats::Table table(
+      {"offered_krps", "family", "achieved_krps", "p50_us", "p99_us"});
+  for (std::size_t s = 0; s < fig.series_count(); ++s) {
+    const auto& series = fig.series(s);
+    for (std::size_t i = 0; i < series.results.size(); ++i) {
+      const auto& r = series.results[i];
+      table.add_row({stats::fmt(loads[i] / 1e3, 0), series.label,
+                     stats::fmt(r.summary.achieved_rps / 1e3, 0),
+                     stats::fmt(r.summary.p50_us),
+                     stats::fmt(r.summary.p99_us)});
+    }
+  }
+  table.print(std::cout);
+
+  auto p99_at = [&](std::size_t series_index, std::size_t load_index) {
+    return fig.series(series_index).results[load_index].summary.p99_us;
+  };
+
+  // Part 2: a rain server at 75% of a fixed-5us capacity (4 workers = 800
+  // kRPS) with overload control on, taking repeated 300 us stalls on worker
+  // 0. Each stall builds a local backlog whose ~300 us sojourn samples ride
+  // kCompleted CQEs back to the NIC scheduler and trip the adaptive-K
+  // governor — unless the feedback is stale by the time it folds in.
+  // 0 = the CQ round-trip alone.
+  overload::OverloadParams informed;
+  informed.enabled = true;
+  fault::FaultSchedule stalls;
+  for (int i = 0; i < 4; ++i) {
+    stalls.stall_worker(
+        sim::TimePoint::origin() + sim::Duration::millis(10 + i), 0,
+        sim::Duration::micros(300));
+  }
+  const auto stale_base = core::ExperimentConfig::rain()
+                              .workers(4)
+                              .outstanding(4)
+                              .fixed_5us()
+                              .samples(exp::bench_samples(40'000))
+                              .with_seed(42)
+                              .with_overload(informed)
+                              .with_faults(stalls);
+  const std::vector<double> staleness_us = {0.0, 10.0, 100.0, 1000.0};
+
+  std::cout << "\nFeedback staleness under 300us worker stalls (rain, fixed "
+               "5us, 4 workers, 75% load):\n";
+  stats::Table stale_table({"staleness_us", "goodput_krps", "p99_us", "shed",
+                            "k_shrinks", "k_restores"});
+  std::vector<core::ExperimentResult> stale_results;
+  for (const double stale : staleness_us) {
+    auto config = core::ExperimentConfig(stale_base)
+                      .with_feedback_staleness(sim::Duration::micros(stale));
+    config.offered_rps = 600e3;  // 75% of the 4-worker / 5us capacity
+    const auto result = core::run_experiment(config);
+    fig.add_row("stale" + stats::fmt(stale, 0) + "us", result);
+    stale_table.add_row(
+        {stats::fmt(stale, 0), stats::fmt(result.summary.goodput_rps / 1e3, 0),
+         stats::fmt(result.summary.p99_us),
+         std::to_string(result.server.overload.shed_expired),
+         std::to_string(result.server.overload.k_shrinks),
+         std::to_string(result.server.overload.k_restores)});
+    stale_results.push_back(result);
+  }
+  stale_table.print(std::cout);
+
+  // ---- shape checks --------------------------------------------------------
+  fig.note_metric("rain_p99_us_at85", p99_at(1, at85));
+  fig.note_metric("ideal_p99_us_at85", p99_at(2, at85));
+  fig.note_metric("offload_p99_us_at85", p99_at(0, at85));
+  fig.check("rain p99 beats the UDP offload path at 85% load",
+            p99_at(1, at85) < p99_at(0, at85));
+  fig.check("rain p99 tracks the coherent ideal within 1.3x at every load",
+            p99_at(1, 0) <= 1.3 * p99_at(2, 0) &&
+                p99_at(1, 1) <= 1.3 * p99_at(2, 1) &&
+                p99_at(1, at85) <= 1.3 * p99_at(2, at85));
+  bool keeps_up = true;
+  for (std::size_t i = 0; i < loads.size(); ++i) {
+    keeps_up = keeps_up &&
+               fig.series(1).results[i].summary.achieved_rps >=
+                   0.95 * loads[i] &&
+               fig.series(2).results[i].summary.achieved_rps >= 0.95 * loads[i];
+  }
+  fig.check("rain and ideal sustain every swept load (achieved >= 95%)",
+            keeps_up);
+
+  double goodput_best = 0.0;
+  double goodput_worst = 1e18;
+  for (const auto& r : stale_results) {
+    goodput_best = std::max(goodput_best, r.summary.goodput_rps);
+    goodput_worst = std::min(goodput_worst, r.summary.goodput_rps);
+  }
+  fig.note_metric("stale_goodput_best_rps", goodput_best);
+  fig.note_metric("stale_goodput_worst_rps", goodput_worst);
+  fig.check("adaptive-K engages over the RDMA CQ with fresh feedback",
+            stale_results.front().server.overload.k_shrinks > 0);
+  fig.check("goodput degrades gracefully with feedback staleness "
+            "(worst >= 70% of best)",
+            goodput_worst >= 0.70 * goodput_best);
+
+  std::cout << "\nReading: replacing the 2.56us frame-based hop with a "
+               "one-sided RDMA write\nkeeps the informed scheduler's tail "
+               "within a whisker of the coherent-NIC\nideal on deployable "
+               "hardware, and the sojourn feedback that drives\nadaptive-K "
+               "keeps working — degrading gracefully, not collapsing — as "
+               "the\nfeedback path gets stale.\n";
+  return fig.finish();
+}

@@ -33,6 +33,11 @@ HostSpec HostSpec::from_config(const ExperimentConfig& config) {
   if (config.rack && config.rack->hosts > 1) {
     spec.load_feedback = config.rack->load_feedback;
   }
+  // Feedback staleness: run_experiment resolves config-vs-environment before
+  // mapping; direct callers that left the field unset get the synchronous
+  // fold.
+  spec.feedback_staleness =
+      config.feedback_staleness.value_or(sim::Duration::zero());
   spec.params = config.params;
   return spec;
 }

@@ -76,6 +76,10 @@ struct HostSpec {
   /// Multi-tenant dispatch/admission (DESIGN §13); disabled by default so
   /// the host keeps its classic single-queue path bit for bit.
   tenant::TenantParams tenant;
+  /// Extra delay before worker sojourn samples reach the adaptive-K
+  /// governor (DESIGN §15; offload and rain families). Zero = synchronous
+  /// fold, bit for bit.
+  sim::Duration feedback_staleness = sim::Duration::zero();
   ModelParams params = ModelParams::defaults();
 
   /// The shared knob mapping the testbed and every bench use: lifts an
@@ -101,6 +105,7 @@ struct HostSpec {
   static HostSpec shinjuku() { return of(SystemKind::kShinjuku); }
   static HostSpec ideal_nic() { return of(SystemKind::kIdealNic); }
   static HostSpec rss() { return of(SystemKind::kRss); }
+  static HostSpec rain() { return of(SystemKind::kRain); }
   HostSpec& workers(std::size_t count) {
     worker_count = count;
     return *this;

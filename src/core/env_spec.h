@@ -55,6 +55,8 @@ class EnvSpec {
         "NICSCHED_RACK_HOST_TIMEOUT_US", "NICSCHED_RACK_SEED",
         // Tenant layer (DESIGN §13).
         "NICSCHED_TENANTS",
+        // RDMA dispatch / feedback staleness (DESIGN §15) and shard pinning.
+        "NICSCHED_FEEDBACK_STALENESS_US", "NICSCHED_SHARD_PIN",
     };
     return keys;
   }

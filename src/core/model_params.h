@@ -132,6 +132,29 @@ struct ModelParams {
   /// `cache_costs`).
   D ddio_pop_cost = D::nanos(50);
 
+  // ------------------------------------------- RDMA dispatch (RAIN-style)
+  // The `rain` family replaces the 2.56 µs offload UDP hop with one-sided
+  // RDMA writes from the NIC scheduler straight into per-worker run-queues
+  // (RAIN, PAPERS.md) and polls completions back over a completion queue.
+  // These constants model deployable-today RNIC hardware, not the §5.1
+  // coherent-CXL future; they sit between the UDP path and the cxl knobs.
+  /// [derived] One-sided RDMA write visibility: NIC-initiated PCIe posted
+  /// write until the payload is pollable in the worker's run-queue. The
+  /// initiator *is* the NIC, so the hop is a single PCIe posted-write
+  /// traversal plus DDIO placement, ~400 ns — a ~6× cut of the 2.56 µs
+  /// frame-based hop [paper §3.3] without new coherence hardware. (Host→NIC
+  /// CQ writes cross the same link and share the constant.)
+  D rdma_write_latency = D::nanos(400);
+  /// [assumed] Initiator-side cost of posting one work-queue entry (build
+  /// the WQE in a cacheline, no frame construction or checksums).
+  D rdma_wqe_post_cost = D::nanos(30);
+  /// [assumed] Doorbell ring: one MMIO write to kick the remote DMA engine.
+  D rdma_doorbell_cost = D::nanos(50);
+  /// [assumed] Completion-queue poll cadence: mean delay until a busy
+  /// polling loop notices a newly DMA'd CQE (bounded batching skew, same
+  /// role as `dedicated_poll_latency` on the cacheline path).
+  D rdma_cq_poll_interval = D::nanos(100);
+
   // ------------------------------------------------------- payload caching
   /// [assumed] First-touch cost of a request payload by residency level and
   /// the per-level budgets before stacking payloads evict earlier ones

@@ -591,12 +591,28 @@ void ShinjukuOffloadServer::d1_step() {
         if (config_.overload.enabled && config_.overload.adaptive_k_enabled &&
             note->has_sojourn) {
           // Adaptive-K backpressure: fold the piggybacked sojourn sample and
-          // apply the governor's bound to the status table immediately.
-          status_.set_capacity(
-              note->worker,
-              static_cast<std::uint32_t>(adaptive_k_.observe_sojourn(
-                  note->worker, sim::Duration::picos(static_cast<std::int64_t>(
-                                    note->sojourn_ps)))));
+          // apply the governor's bound to the status table immediately — or,
+          // under a nonzero feedback-staleness knob (DESIGN §15), after the
+          // configured lag, modelling a control loop whose load signal
+          // trails the data path.
+          const std::size_t sojourn_worker = note->worker;
+          const sim::Duration sojourn = sim::Duration::picos(
+              static_cast<std::int64_t>(note->sojourn_ps));
+          if (config_.feedback_staleness.is_zero()) {
+            status_.set_capacity(sojourn_worker,
+                                 static_cast<std::uint32_t>(
+                                     adaptive_k_.observe_sojourn(sojourn_worker,
+                                                                 sojourn)));
+          } else {
+            sim_.after(config_.feedback_staleness,
+                       [this, sojourn_worker, sojourn]() {
+                         status_.set_capacity(
+                             sojourn_worker,
+                             static_cast<std::uint32_t>(
+                                 adaptive_k_.observe_sojourn(sojourn_worker,
+                                                             sojourn)));
+                       });
+          }
         }
         if (note->preempted) {
           ++preemption_requeues_;

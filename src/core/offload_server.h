@@ -91,6 +91,11 @@ class ShinjukuOffloadServer final : public Server, public fault::FaultSurface {
     /// per-tenant EWMA gates replace the global admission gate. Off by
     /// default — the classic single-queue path runs bit for bit.
     tenant::TenantParams tenant;
+    /// Feedback staleness (DESIGN §15): extra delay before a worker sojourn
+    /// sample folds into the adaptive-K governor, modelling control loops
+    /// whose load signal lags the data path (the bilateral-feedback
+    /// critique). Zero = the synchronous fold, bit for bit.
+    sim::Duration feedback_staleness = sim::Duration::zero();
   };
 
   ShinjukuOffloadServer(sim::Simulator& sim, net::EthernetSwitch& network,

@@ -1,0 +1,862 @@
+#include "core/rain_server.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "obs/span.h"
+
+namespace nicsched::core {
+
+namespace {
+
+constexpr std::uint32_t kPfIndex = 5000;
+constexpr std::uint16_t kWorkerPort = 8083;
+
+net::Nic::Config nic_config(const ModelParams& params) {
+  net::Nic::Config config;
+  config.name = "rain-nic";
+  config.rx_latency = sim::Duration::zero();  // scheduler sees frames on-NIC
+  config.tx_latency = params.host_nic_tx;
+  config.ring_capacity = params.ring_capacity;
+  return config;
+}
+
+hw::CpuCore::Config asic_config(const ModelParams& params) {
+  hw::CpuCore::Config config;
+  config.name = "rain-asic";
+  config.frequency = params.host_frequency;
+  return config;
+}
+
+net::RdmaQueuePair::Config rdma_config(const ModelParams& params) {
+  net::RdmaQueuePair::Config config;
+  config.write_latency = params.rdma_write_latency;
+  config.cq_poll_interval = params.rdma_cq_poll_interval;
+  config.wqe_post_cost = params.rdma_wqe_post_cost;
+  config.doorbell_cost = params.rdma_doorbell_cost;
+  return config;
+}
+
+/// Initiator-side occupancy of one one-sided write (WQE build + doorbell),
+/// charged to whichever core posts it.
+sim::Duration rdma_post_cost(const ModelParams& params) {
+  return params.rdma_wqe_post_cost + params.rdma_doorbell_cost;
+}
+
+}  // namespace
+
+// ----------------------------------------------------------------- Worker
+
+/// A host worker polling its RDMA run-queue. Assignments arrive as
+/// kRdmaRunQueueEntry payloads; every status transition is reported by
+/// posting a kRdmaCqEntry back over the completion queue. Preemption is a
+/// direct NIC→core interrupt whose delivery latency is one posted write.
+class RainServer::Worker {
+ public:
+  Worker(RainServer& server, std::size_t id)
+      : server_(server),
+        id_(id),
+        core_(server.sim_, [&] {
+          hw::CpuCore::Config config;
+          config.name = "rain-worker" + std::to_string(id);
+          config.frequency = server.params_.host_frequency;
+          return config;
+        }()),
+        interrupt_line_(server.sim_, core_,
+                        hw::InterruptLine::Config{
+                            server.params_.rdma_write_latency,
+                            server.params_.timer_receive_cycles}),
+        rq_(server.sim_, rdma_config(server.params_)) {
+    rq_.set_on_receive([this]() {
+      // Stamp the arrival so the pop can measure the local run-queue
+      // sojourn — the adaptive-K backlog signal. Pops consume stamps in
+      // FIFO order, so duplicates dropped at parse time stay aligned.
+      arrivals_.push_back(server_.sim_.now());
+      if (idle_) start_next();
+    });
+  }
+
+  net::RdmaQueuePair& rq() { return rq_; }
+  hw::InterruptLine& interrupt_line() { return interrupt_line_; }
+
+  /// Load feedback: one queued sample per assignment sent, in run-queue
+  /// order; the worker pops the matching sample at pop time.
+  void push_pending_sojourn(sim::Duration sojourn) {
+    pending_sojourns_.push_back(sojourn);
+  }
+
+  const hw::CpuCore& core() const { return core_; }
+  hw::CpuCore& mutable_core() { return core_; }
+  std::uint64_t preemptions() const { return preemptions_; }
+  std::uint64_t responses_sent() const { return responses_sent_; }
+  std::uint64_t spurious() const { return interrupt_line_.spurious_count(); }
+  const hw::DdioStats& ddio() const { return ddio_; }
+
+  void on_preempted(sim::Duration remaining) {
+    ++preemptions_;
+    sim::Simulator& sim = server_.sim_;
+    if (sim.span_enabled()) {
+      const auto lane = static_cast<std::uint32_t>(100 + id_);
+      obs::end_span(sim, current_->request_id, obs::SpanKind::kService, lane);
+      obs::begin_span(sim, current_->request_id, obs::SpanKind::kRequeue,
+                      lane);
+    }
+    proto::RequestDescriptor descriptor = *current_;
+    current_.reset();
+    descriptor.remaining_ps =
+        static_cast<std::uint64_t>(remaining.to_picos());
+    descriptor.preempt_count =
+        static_cast<std::uint16_t>(descriptor.preempt_count + 1);
+
+    const sim::Duration cost =
+        server_.params_.context_save_cost + rdma_post_cost(server_.params_);
+    core_.run(cost, [this, descriptor, seq = current_seq_]() {
+      post_cqe(proto::RdmaCqKind::kPreempted, seq, descriptor);
+      start_next();
+    });
+  }
+
+ private:
+  void start_next() {
+    auto bytes = rq_.poll();
+    if (!bytes) {
+      idle_ = true;
+      return;
+    }
+    idle_ = false;
+    sim::Duration local_sojourn = sim::Duration::zero();
+    if (!arrivals_.empty()) {
+      local_sojourn = server_.sim_.now() - arrivals_.front();
+      arrivals_.pop_front();
+    }
+    auto entry = proto::RdmaRunQueueEntry::parse(*bytes);
+    if (!entry) {
+      ++server_.malformed_;
+      start_next();
+      return;
+    }
+    if (server_.reliable() && !seen_seqs_.insert(entry->seq).second) {
+      // A re-posted write for an entry already picked up: the RTO fired
+      // while this worker was stalled. Suppress the duplicate.
+      ++server_.rel_.duplicates;
+      start_next();
+      return;
+    }
+    if (!pending_sojourns_.empty()) {
+      current_sojourn_ = pending_sojourns_.front();
+      pending_sojourns_.pop_front();
+    } else {
+      current_sojourn_ = sim::Duration::zero();
+    }
+    current_seq_ = entry->seq;
+    current_local_sojourn_ = local_sojourn;
+    auto shared =
+        std::make_shared<proto::RequestDescriptor>(std::move(entry->descriptor));
+    // Descriptor pop + the payload's first touch (DDIO targeted L1, §5.2) +
+    // announcing "started" with one CQ entry — the posted write that plays
+    // the dispatch-ack role under reliable dispatch.
+    const auto queued_behind = static_cast<std::uint32_t>(rq_.depth());
+    sim::Duration prologue =
+        server_.params_.ddio_pop_cost + rdma_post_cost(server_.params_) +
+        hw::payload_touch_cost(server_.config_.placement,
+                               server_.params_.cache_costs, queued_behind,
+                               ddio_);
+    if (shared->preempt_count > 0) {
+      prologue += server_.params_.context_restore_cost;
+    }
+    core_.run(prologue, [this, shared]() {
+      current_ = *shared;
+      sim::Simulator& sim = server_.sim_;
+      sim.trace(sim::TraceCategory::kWorker, [&] {
+        return std::pair{"worker" + std::to_string(id_),
+                         "start " + std::to_string(shared->request_id)};
+      });
+      if (sim.span_enabled()) {
+        const auto lane = static_cast<std::uint32_t>(100 + id_);
+        obs::end_span(sim, shared->request_id, obs::SpanKind::kDispatch, lane);
+        obs::begin_span(sim, shared->request_id, obs::SpanKind::kService,
+                        lane);
+      }
+      post_cqe(proto::RdmaCqKind::kStarted, current_seq_, *shared);
+      core_.run_preemptible(
+          sim::Duration::picos(static_cast<std::int64_t>(shared->remaining_ps)),
+          [this]() { on_complete(); });
+    });
+  }
+
+  void on_complete() {
+    sim::Simulator& sim = server_.sim_;
+    sim.trace(sim::TraceCategory::kWorker, [&] {
+      return std::pair{"worker" + std::to_string(id_),
+                       "complete " + std::to_string(current_->request_id)};
+    });
+    if (sim.span_enabled()) {
+      const auto lane = static_cast<std::uint32_t>(100 + id_);
+      obs::end_span(sim, current_->request_id, obs::SpanKind::kService, lane);
+      obs::begin_span(sim, current_->request_id, obs::SpanKind::kResponse,
+                      lane);
+    }
+    proto::RequestDescriptor descriptor = *current_;
+    current_.reset();
+    const sim::Duration cost =
+        server_.params_.response_build_cost + rdma_post_cost(server_.params_);
+    core_.run(cost, [this, descriptor, seq = current_seq_,
+                     local_sojourn = current_local_sojourn_]() {
+      net::DatagramAddress address;
+      address.src_mac = server_.pf_->mac();
+      address.dst_mac = descriptor.client_mac;
+      address.src_ip = server_.pf_->ip();
+      address.dst_ip = descriptor.client_ip;
+      address.src_port = kWorkerPort;
+      address.dst_port = descriptor.client_port;
+      auto& scratch = proto::serialization_scratch();
+      auto response = make_response(descriptor);
+      if (server_.config_.load_feedback) {
+        response.has_sojourn = true;
+        response.sojourn_ps =
+            static_cast<std::uint64_t>(current_sojourn_.to_picos());
+      }
+      response.serialize_into(scratch);
+      server_.pf_->transmit(net::make_udp_datagram(address, scratch));
+      ++responses_sent_;
+      const bool sample = server_.config_.overload.enabled &&
+                          server_.config_.overload.adaptive_k_enabled;
+      post_cqe(proto::RdmaCqKind::kCompleted, seq, descriptor, sample,
+               static_cast<std::uint64_t>(local_sojourn.to_picos()));
+      start_next();
+    });
+  }
+
+  /// Serializes and posts one CQ entry. The initiator cost was already
+  /// charged to this core by the caller's `core_.run` prologue/epilogue.
+  void post_cqe(proto::RdmaCqKind kind, std::uint64_t seq,
+                const proto::RequestDescriptor& descriptor,
+                bool has_sojourn = false, std::uint64_t sojourn_ps = 0) {
+    proto::RdmaCqEntry cqe;
+    cqe.seq = seq;
+    cqe.worker_id = static_cast<std::uint32_t>(id_);
+    cqe.cq_kind = kind;
+    cqe.descriptor = descriptor;
+    cqe.has_sojourn = has_sojourn;
+    cqe.sojourn_ps = sojourn_ps;
+    auto& scratch = proto::serialization_scratch();
+    cqe.serialize_into(scratch);
+    server_.cq_.post_write(scratch);
+  }
+
+  RainServer& server_;
+  std::size_t id_;
+  hw::CpuCore core_;
+  hw::InterruptLine interrupt_line_;
+  net::RdmaQueuePair rq_;
+  bool idle_ = true;
+  std::optional<proto::RequestDescriptor> current_;
+  std::uint64_t current_seq_ = 0;
+  std::deque<sim::TimePoint> arrivals_;
+  std::deque<sim::Duration> pending_sojourns_;
+  std::unordered_set<std::uint64_t> seen_seqs_;
+  sim::Duration current_sojourn_;        // central-queue delay (ToR echo)
+  sim::Duration current_local_sojourn_;  // run-queue wait (adaptive-K input)
+  std::uint64_t preemptions_ = 0;
+  std::uint64_t responses_sent_ = 0;
+  hw::DdioStats ddio_;
+};
+
+// ------------------------------------------------------------- the server
+
+RainServer::RainServer(sim::Simulator& sim, net::EthernetSwitch& network,
+                       const ModelParams& params, Config config)
+    : sim_(sim),
+      network_(network),
+      params_(params),
+      config_(config),
+      nic_(sim, nic_config(params)),
+      asic_(sim, asic_config(params)),
+      cq_(sim, rdma_config(params)),
+      queue_(config.queue_policy),
+      status_(config.worker_count, config.outstanding_per_worker),
+      running_(config.worker_count),
+      admission_(config.overload),
+      adaptive_k_(config.overload, config.worker_count,
+                  config.outstanding_per_worker),
+      consecutive_timeouts_(config.worker_count, 0) {
+  queue_.set_shed_expired(config_.overload.enabled &&
+                          config_.overload.shedding_enabled);
+  if (config_.tenant.enabled) {
+    tenant_queue_ =
+        std::make_unique<tenant::TenantDispatchQueue>(config_.tenant);
+    tenant_queue_->set_shed_expired(config_.overload.enabled &&
+                                    config_.overload.shedding_enabled);
+    if (config_.overload.enabled) {
+      tenant_admission_ = std::make_unique<tenant::TenantAdmission>(
+          config_.tenant, config_.overload);
+    }
+  }
+  if (config_.worker_count == 0) {
+    throw std::invalid_argument("RainServer: need >= 1 worker");
+  }
+  if (config_.outstanding_per_worker == 0) {
+    throw std::invalid_argument("RainServer: K must be >= 1");
+  }
+
+  pf_ = &nic_.add_interface("pf", net::MacAddress::from_index(kPfIndex),
+                            net::Ipv4Address::from_index(kPfIndex));
+  nic_.attach_to_switch(network, params_.stingray_port_latency,
+                        params_.line_rate_gbps);
+
+  ingress_pump_ = std::make_unique<PacketPump>(
+      asic_, pf_->ring(0), params_.asic_dispatch_cost,
+      [this](net::Packet packet) { scheduler_handle(std::move(packet)); });
+  cq_.set_on_receive([this]() { scheduler_kick(); });
+
+  for (std::size_t i = 0; i < config_.worker_count; ++i) {
+    workers_.push_back(std::make_unique<Worker>(*this, i));
+  }
+}
+
+RainServer::~RainServer() = default;
+
+net::MacAddress RainServer::ingress_mac() const { return pf_->mac(); }
+
+net::Ipv4Address RainServer::ingress_ip() const { return pf_->ip(); }
+
+void RainServer::scheduler_handle(net::Packet packet) {
+  const auto datagram = net::parse_udp_datagram(packet);
+  if (!datagram || datagram->udp.dst_port != config_.udp_port) {
+    ++malformed_;
+    return;
+  }
+  const auto request = proto::RequestMessage::parse(datagram->payload);
+  if (!request) {
+    ++malformed_;
+    return;
+  }
+  ++requests_received_;
+  sim_.trace(sim::TraceCategory::kClient, [&] {
+    return std::pair{std::string("nic"),
+                     "request " + std::to_string(request->request_id) +
+                         " received"};
+  });
+  if (config_.overload.enabled) {
+    // Informed admission (DESIGN §11) in the ASIC pipeline, exactly as on
+    // the ideal NIC; with tenants on (§13) the request is judged by its own
+    // tenant's gate and backlog.
+    std::size_t depth = central_depth();
+    bool admitted;
+    if (tenant_admission_ != nullptr) {
+      const std::size_t slot = tenant_queue_->index_of(request->tenant);
+      depth = tenant_queue_->depth_of(slot);
+      admitted = tenant_admission_->admit(slot, depth);
+    } else {
+      admitted = admission_.admit(depth);
+    }
+    if (!admitted) {
+      ++overload_rejected_;
+      if (sim_.span_enabled()) {
+        const sim::TimePoint rx = packet.rx_at();
+        obs::end_span_at(sim_, rx, request->request_id,
+                         obs::SpanKind::kClientWire, 0);
+        obs::begin_span_at(sim_, rx, request->request_id,
+                           obs::SpanKind::kNicRx, 0);
+        obs::end_span(sim_, request->request_id, obs::SpanKind::kNicRx, 0);
+        obs::begin_span(sim_, request->request_id, obs::SpanKind::kResponse,
+                        0);
+      }
+      net::DatagramAddress reply;
+      reply.src_mac = pf_->mac();
+      reply.dst_mac = datagram->eth.src;
+      reply.src_ip = pf_->ip();
+      reply.dst_ip = datagram->ip.src;
+      reply.src_port = config_.udp_port;
+      reply.dst_port = datagram->udp.src_port;
+      auto& scratch = proto::serialization_scratch();
+      make_reject(*request, static_cast<std::uint32_t>(depth))
+          .serialize_into(scratch);
+      pf_->transmit(net::make_udp_datagram(reply, scratch));
+      return;
+    }
+    ++overload_admitted_;
+  }
+  if (sim_.span_enabled()) {
+    const sim::TimePoint rx = packet.rx_at();
+    obs::end_span_at(sim_, rx, request->request_id,
+                     obs::SpanKind::kClientWire, 0);
+    obs::begin_span_at(sim_, rx, request->request_id, obs::SpanKind::kNicRx,
+                       0);
+    obs::end_span(sim_, request->request_id, obs::SpanKind::kNicRx, 0);
+    obs::begin_span(sim_, request->request_id, obs::SpanKind::kDispatchQueue,
+                    0);
+  }
+  central_push_new(make_descriptor(*request, *datagram));
+  scheduler_kick();
+}
+
+void RainServer::scheduler_kick() {
+  if (pumping_) return;
+  pumping_ = true;
+  scheduler_step();
+}
+
+void RainServer::scheduler_step() {
+  if (!cq_.empty()) {
+    asic_.run(params_.asic_dispatch_cost, [this]() {
+      auto bytes = cq_.poll();
+      if (bytes) {
+        const auto cqe = proto::RdmaCqEntry::parse(*bytes);
+        if (cqe) {
+          handle_cqe(*cqe);
+        } else {
+          ++malformed_;
+        }
+      }
+      scheduler_step();
+    });
+    return;
+  }
+  if (!central_empty() && status_.pick_least_loaded().has_value()) {
+    // One decision plus one one-sided write: the ASIC builds the WQE and
+    // rings the doorbell itself — no D2 frame-construction core.
+    asic_.run(params_.asic_dispatch_cost + rdma_post_cost(params_), [this]() {
+      const auto worker = status_.pick_least_loaded();
+      if (worker) {
+        sim::Duration queue_delay = sim::Duration::zero();
+        auto descriptor = central_pop(queue_delay);
+        if (descriptor) {
+          descriptor->queue_depth =
+              static_cast<std::uint32_t>(central_depth());
+          status_.note_sent(*worker, sim_.now());
+          sim_.trace(sim::TraceCategory::kDispatch, [&] {
+            return std::pair{std::string("rain"),
+                             "dispatch " +
+                                 std::to_string(descriptor->request_id) +
+                                 " -> worker" + std::to_string(*worker)};
+          });
+          if (sim_.span_enabled()) {
+            obs::end_span(sim_, descriptor->request_id,
+                          descriptor->preempt_count > 0
+                              ? obs::SpanKind::kRequeue
+                              : obs::SpanKind::kDispatchQueue,
+                          1);
+            obs::begin_span(sim_, descriptor->request_id,
+                            obs::SpanKind::kDispatch, 1);
+          }
+          if (config_.load_feedback) {
+            workers_[*worker]->push_pending_sojourn(queue_delay);
+          }
+          const std::uint64_t seq = next_seq_++;
+          if (reliable()) track_dispatch(*descriptor, *worker, seq);
+          post_run_queue_entry(*worker, *descriptor, seq);
+        }
+      }
+      scheduler_step();
+    });
+    return;
+  }
+  pumping_ = false;
+}
+
+void RainServer::handle_cqe(const proto::RdmaCqEntry& cqe) {
+  const auto worker = static_cast<std::size_t>(cqe.worker_id);
+  if (worker >= config_.worker_count) {
+    ++malformed_;
+    return;
+  }
+  if (reliable()) note_worker_alive(worker);
+  RunningInfo& info = running_[worker];
+  switch (cqe.cq_kind) {
+    case proto::RdmaCqKind::kStarted:
+      info.request_id = cqe.descriptor.request_id;
+      info.started_at = sim_.now();
+      info.running = true;
+      info.preempt_in_flight = false;
+      if (config_.preemption_enabled) {
+        schedule_slice_check(worker, cqe.descriptor.request_id);
+      }
+      if (reliable()) handle_start_ack(worker, cqe.seq);
+      break;
+    case proto::RdmaCqKind::kCompleted:
+      if (reliable() && !retire_inflight(worker, cqe)) break;
+      status_.note_retired(worker, sim_.now());
+      if (info.request_id == cqe.descriptor.request_id) info.running = false;
+      if (config_.overload.enabled && config_.overload.adaptive_k_enabled &&
+          cqe.has_sojourn) {
+        fold_sojourn(worker, sim::Duration::picos(
+                                 static_cast<std::int64_t>(cqe.sojourn_ps)));
+      }
+      break;
+    case proto::RdmaCqKind::kPreempted:
+      if (reliable() && !retire_inflight(worker, cqe)) break;
+      status_.note_retired(worker, sim_.now());
+      if (info.request_id == cqe.descriptor.request_id) info.running = false;
+      central_push_preempted(cqe.descriptor);
+      break;
+  }
+}
+
+void RainServer::fold_sojourn(std::size_t worker, sim::Duration sojourn) {
+  if (config_.feedback_staleness.is_zero()) {
+    status_.set_capacity(worker, static_cast<std::uint32_t>(
+                                     adaptive_k_.observe_sojourn(worker,
+                                                                 sojourn)));
+  } else {
+    sim_.after(config_.feedback_staleness, [this, worker, sojourn]() {
+      status_.set_capacity(worker, static_cast<std::uint32_t>(
+                                       adaptive_k_.observe_sojourn(worker,
+                                                                   sojourn)));
+    });
+  }
+}
+
+void RainServer::schedule_slice_check(std::size_t worker,
+                                      std::uint64_t request_id) {
+  sim_.after(config_.time_slice, [this, worker, request_id]() {
+    RunningInfo& info = running_[worker];
+    if (!info.running || info.request_id != request_id ||
+        info.preempt_in_flight) {
+      return;
+    }
+    if (central_empty()) {
+      // Informed: nothing waiting, keep running and re-check later.
+      schedule_slice_check(worker, request_id);
+      return;
+    }
+    issue_preempt(worker);
+  });
+}
+
+void RainServer::issue_preempt(std::size_t worker) {
+  running_[worker].preempt_in_flight = true;
+  asic_.run(params_.asic_dispatch_cost, [this, worker]() {
+    workers_[worker]->interrupt_line().send(
+        [this, worker](sim::Duration remaining) {
+          workers_[worker]->on_preempted(remaining);
+        });
+  });
+}
+
+// --------------------------------------------- central-queue facade (§13)
+
+bool RainServer::central_empty() const {
+  return tenants_on() ? tenant_queue_->empty() : queue_.empty();
+}
+
+std::size_t RainServer::central_depth() const {
+  return tenants_on() ? tenant_queue_->depth() : queue_.depth();
+}
+
+void RainServer::central_push_new(proto::RequestDescriptor descriptor) {
+  if (tenants_on()) {
+    tenant_queue_->push_new(std::move(descriptor), sim_.now());
+  } else {
+    queue_.push_new(std::move(descriptor), sim_.now());
+  }
+}
+
+void RainServer::central_push_preempted(proto::RequestDescriptor descriptor) {
+  if (tenants_on()) {
+    tenant_queue_->push_preempted(std::move(descriptor), sim_.now());
+  } else {
+    queue_.push_preempted(std::move(descriptor), sim_.now());
+  }
+}
+
+std::optional<proto::RequestDescriptor> RainServer::central_pop(
+    sim::Duration& queue_delay) {
+  if (tenants_on()) {
+    auto popped = tenant_queue_->pop(sim_.now());
+    if (!popped) return std::nullopt;
+    queue_delay = popped->queue_delay;
+    if (tenant_admission_ != nullptr) {
+      tenant_admission_->observe(popped->tenant_index, popped->queue_delay);
+    }
+    return std::move(popped->descriptor);
+  }
+  const bool measure = config_.overload.enabled || config_.load_feedback;
+  auto descriptor =
+      measure ? queue_.pop(sim_.now(), queue_delay) : queue_.pop();
+  if (descriptor && config_.overload.enabled) {
+    admission_.observe_queue_delay(queue_delay);
+  }
+  return descriptor;
+}
+
+void RainServer::post_run_queue_entry(
+    std::size_t worker, const proto::RequestDescriptor& descriptor,
+    std::uint64_t seq) {
+  proto::RdmaRunQueueEntry entry;
+  entry.seq = seq;
+  entry.descriptor = descriptor;
+  auto& scratch = proto::serialization_scratch();
+  entry.serialize_into(scratch);
+  workers_[worker]->rq().post_write(scratch);
+}
+
+// ---------------------------------- reliable dispatch over doorbell/CQ (§9)
+
+void RainServer::track_dispatch(const proto::RequestDescriptor& descriptor,
+                                std::size_t worker, std::uint64_t seq) {
+  // A request_id should never be dispatched while still tracked; if it ever
+  // is, retire the stale entry's timer so no orphan event fires.
+  auto stale = inflight_.find(descriptor.request_id);
+  if (stale != inflight_.end()) {
+    stale->second.timer.cancel();
+    seq_to_request_.erase(stale->second.seq);
+    inflight_.erase(stale);
+  }
+  Inflight entry;
+  entry.descriptor = descriptor;
+  entry.worker = worker;
+  entry.seq = seq;
+  seq_to_request_[seq] = descriptor.request_id;
+  auto [it, inserted] =
+      inflight_.emplace(descriptor.request_id, std::move(entry));
+  arm_retransmit(it->second);
+}
+
+void RainServer::arm_retransmit(Inflight& entry) {
+  sim::Duration rto = config_.reliability.rto;
+  for (std::uint32_t i = 1; i < entry.attempts; ++i) {
+    rto = rto * config_.reliability.backoff;
+  }
+  entry.timer.cancel();
+  entry.timer =
+      sim_.after(rto, [this, id = entry.descriptor.request_id,
+                       seq = entry.seq]() { on_retransmit_timeout(id, seq); });
+}
+
+void RainServer::on_retransmit_timeout(std::uint64_t request_id,
+                                       std::uint64_t seq) {
+  auto it = inflight_.find(request_id);
+  if (it == inflight_.end() || it->second.seq != seq || it->second.acked) {
+    return;  // retired or re-dispatched since the timer was armed
+  }
+  Inflight& entry = it->second;
+  const std::size_t worker = entry.worker;
+  ++rel_.timeouts;
+  ++consecutive_timeouts_[worker];
+  if (consecutive_timeouts_[worker] >= config_.reliability.miss_threshold) {
+    // The channel is lossless, so a silent run-queue entry means the worker
+    // itself went dark: liveness verdict, which re-steers everything it
+    // holds (including this request).
+    declare_worker_dead(worker);
+    return;
+  }
+  if (entry.attempts >= config_.reliability.retry_budget) {
+    seq_to_request_.erase(entry.seq);
+    inflight_.erase(it);
+    abandoned_ids_.insert(request_id);
+    ++rel_.abandoned;
+    sim_.trace(sim::TraceCategory::kDispatch, [&] {
+      return std::pair{std::string("rain"),
+                       "abandon " + std::to_string(request_id)};
+    });
+    status_.note_retired(worker, sim_.now());
+    scheduler_kick();
+    return;
+  }
+  ++entry.attempts;
+  ++rel_.retransmits;
+  // Re-post the same sequenced write; if the first copy was merely slow to
+  // be picked up, the worker's seq dedup suppresses the duplicate.
+  post_run_queue_entry(worker, entry.descriptor, entry.seq);
+  arm_retransmit(entry);
+}
+
+void RainServer::on_completion_timeout(std::uint64_t request_id,
+                                       std::uint64_t seq) {
+  auto it = inflight_.find(request_id);
+  if (it == inflight_.end() || it->second.seq != seq || !it->second.acked) {
+    return;
+  }
+  // The worker posted kStarted but never a completion: it died (or stalled
+  // far beyond the service-time budget) mid-request.
+  ++rel_.timeouts;
+  declare_worker_dead(it->second.worker);
+}
+
+void RainServer::handle_start_ack(std::size_t worker, std::uint64_t seq) {
+  auto sit = seq_to_request_.find(seq);
+  if (sit == seq_to_request_.end()) {
+    ++rel_.duplicates;  // CQE for an entry already retired/abandoned
+    return;
+  }
+  const std::uint64_t request_id = sit->second;
+  auto it = inflight_.find(request_id);
+  if (it == inflight_.end() || it->second.seq != seq ||
+      it->second.worker != worker) {
+    return;  // stale CQE from a worker the request was re-steered off
+  }
+  Inflight& entry = it->second;
+  if (entry.acked) {
+    ++rel_.duplicates;
+    return;
+  }
+  entry.acked = true;
+  // Pickup is not completion: swap the retransmit timer for a watchdog that
+  // catches a worker dying *after* its kStarted CQE.
+  entry.timer.cancel();
+  entry.timer = sim_.after(config_.reliability.completion_timeout,
+                           [this, request_id, seq]() {
+                             on_completion_timeout(request_id, seq);
+                           });
+}
+
+bool RainServer::retire_inflight(std::size_t worker,
+                                 const proto::RdmaCqEntry& cqe) {
+  const std::uint64_t request_id = cqe.descriptor.request_id;
+  if (abandoned_ids_.contains(request_id)) {
+    if (cqe.cq_kind == proto::RdmaCqKind::kCompleted) {
+      // The "abandoned" request ran to completion after all; the client did
+      // get a response, so un-count the abandonment.
+      abandoned_ids_.erase(request_id);
+      --rel_.abandoned;
+    }
+    // A preemption CQE for an abandoned request is dropped: it stays
+    // accounted as abandoned and is never resumed.
+    return false;
+  }
+  auto it = inflight_.find(request_id);
+  if (it == inflight_.end() || it->second.worker != worker) {
+    // Stale CQE from a worker the request was re-steered off; the dead
+    // worker's slot was already freed when it was declared dead.
+    ++rel_.duplicates;
+    return false;
+  }
+  it->second.timer.cancel();
+  seq_to_request_.erase(it->second.seq);
+  inflight_.erase(it);
+  return true;
+}
+
+void RainServer::declare_worker_dead(std::size_t worker) {
+  if (!status_.entry(worker).healthy) return;
+  status_.set_healthy(worker, false);
+  ++rel_.worker_deaths;
+  consecutive_timeouts_[worker] = 0;
+  if (config_.overload.enabled && config_.overload.adaptive_k_enabled) {
+    // Forget the dead worker's sojourn history; it restarts from full K so
+    // the re-steer path and the governor compose cleanly.
+    status_.set_capacity(worker,
+                         static_cast<std::uint32_t>(adaptive_k_.reset(worker)));
+  }
+  sim_.trace(sim::TraceCategory::kDispatch, [&] {
+    return std::pair{std::string("rain"),
+                     "worker" + std::to_string(worker) + " declared dead"};
+  });
+  // Re-steer everything the dead worker holds back through the centralized
+  // queue; sorted so replay order never depends on hash-table layout.
+  std::vector<std::uint64_t> ids;
+  for (const auto& [id, entry] : inflight_) {
+    if (entry.worker == worker) ids.push_back(id);
+  }
+  std::sort(ids.begin(), ids.end());
+  for (const std::uint64_t id : ids) {
+    auto it = inflight_.find(id);
+    Inflight& entry = it->second;
+    entry.timer.cancel();
+    seq_to_request_.erase(entry.seq);
+    proto::RequestDescriptor descriptor = std::move(entry.descriptor);
+    inflight_.erase(it);
+    status_.note_retired(worker, sim_.now());
+    ++rel_.redispatched;
+    central_push_preempted(std::move(descriptor));
+  }
+  scheduler_kick();
+}
+
+void RainServer::note_worker_alive(std::size_t worker) {
+  consecutive_timeouts_[worker] = 0;
+  if (!status_.entry(worker).healthy) {
+    status_.set_healthy(worker, true);
+    ++rel_.revivals;
+    if (config_.overload.enabled && config_.overload.adaptive_k_enabled) {
+      status_.set_capacity(
+          worker, static_cast<std::uint32_t>(adaptive_k_.reset(worker)));
+    }
+    scheduler_kick();
+  }
+}
+
+// ----------------------------------------------------- fault::FaultSurface
+
+void RainServer::inject_ingress_loss(double probability, std::uint64_t seed) {
+  network_.set_port_loss(pf_->mac(), probability, seed);
+}
+
+void RainServer::inject_dispatch_loss(double /*probability*/,
+                                      std::uint64_t /*seed*/) {}
+
+void RainServer::inject_ingress_degrade(double factor) {
+  network_.set_port_degrade(pf_->mac(), factor);
+}
+
+void RainServer::inject_worker_stall(std::uint32_t worker,
+                                     sim::Duration duration) {
+  workers_[worker]->mutable_core().stall_for(duration);
+}
+
+void RainServer::inject_worker_crash(std::uint32_t worker) {
+  workers_[worker]->mutable_core().stall();
+}
+
+void RainServer::inject_worker_resume(std::uint32_t worker) {
+  workers_[worker]->mutable_core().resume();
+}
+
+ServerStats RainServer::stats(sim::Duration elapsed) const {
+  ServerStats stats;
+  stats.requests_received = requests_received_;
+  stats.queue_max_depth =
+      tenants_on() ? tenant_queue_->max_depth() : queue_.stats().max_depth;
+  for (const auto& worker : workers_) {
+    stats.responses_sent += worker->responses_sent();
+    stats.preemptions += worker->preemptions();
+    stats.spurious_interrupts += worker->spurious();
+    stats.ddio.l1_touches += worker->ddio().l1_touches;
+    stats.ddio.llc_touches += worker->ddio().llc_touches;
+    stats.ddio.dram_touches += worker->ddio().dram_touches;
+    if (elapsed > sim::Duration::zero()) {
+      stats.worker_utilization.push_back(worker->core().stats().busy /
+                                         elapsed);
+    }
+  }
+  stats.drops =
+      nic_.rx_unknown_mac_drops() + malformed_ + pf_->ring(0).stats().dropped;
+  stats.reliability = rel_;
+  stats.overload.admitted = overload_admitted_;
+  stats.overload.rejected = overload_rejected_;
+  stats.overload.shed_expired =
+      tenants_on() ? tenant_queue_->shed_total() : queue_.stats().shed_expired;
+  stats.overload.k_shrinks = adaptive_k_.shrinks();
+  stats.overload.k_restores = adaptive_k_.restores();
+  stats.tenants = tenant::assemble_stats(config_.tenant, tenant_queue_.get(),
+                                         tenant_admission_.get());
+  return stats;
+}
+
+ServerTelemetry RainServer::telemetry() const {
+  ServerTelemetry t;
+  t.queue_depth = central_depth();
+  t.outstanding = status_.total_outstanding();
+  t.drops = malformed_ + pf_->ring(0).stats().dropped;
+  t.retransmits = rel_.retransmits;
+  t.abandoned = rel_.abandoned;
+  t.rejected = overload_rejected_;
+  t.shed =
+      tenants_on() ? tenant_queue_->shed_total() : queue_.stats().shed_expired;
+  if (tenants_on()) {
+    t.tenant_depths.reserve(tenant_queue_->tenant_count());
+    for (std::size_t i = 0; i < tenant_queue_->tenant_count(); ++i) {
+      t.tenant_depths.push_back(tenant_queue_->depth_of(i));
+    }
+  }
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    t.preemptions += workers_[i]->preemptions();
+    t.worker_busy.push_back(workers_[i]->core().stats().busy);
+    t.worker_capacity.push_back(status_.entry(i).capacity);
+  }
+  return t;
+}
+
+}  // namespace nicsched::core

@@ -1,0 +1,217 @@
+// The `rain` family (DESIGN §15): RDMA-assisted NIC dispatch, deployable on
+// today's RNIC hardware.
+//
+// The §5.1 ideal SmartNIC assumes a CXL-class coherent NIC↔host path. RAIN
+// (PAPERS.md) observes that commodity RNICs already offer a primitive almost
+// as good: the NIC-side scheduler posts sequenced assignments as one-sided
+// RDMA writes straight into per-worker run-queues in host memory, and worker
+// completions flow back the same way as completion-queue entries. This
+// server keeps the ideal NIC's line-rate ASIC scheduling pipeline and
+// ablates exactly one thing — the NIC↔worker datapath — replacing the
+// coherent CXL hop with the modelled RDMA write/doorbell/CQ-poll path
+// (`net::RdmaQueuePair`, constants in `ModelParams::rdma_*`):
+//
+//   1. Line-rate scheduling — same ASIC pipeline as the ideal NIC; the
+//      scheduler is not the 2 MRPS ARM bottleneck of Shinjuku-Offload.
+//   2. One-sided dispatch — assignments are kRdmaRunQueueEntry frames
+//      written into the worker's run-queue; no UDP construction, checksums,
+//      or ring DMA. Visibility is one posted-write traversal plus the
+//      poller's batching skew instead of 2.56 µs.
+//   3. CQ feedback — started/completed/preempted kRdmaCqEntry frames flow
+//      back over the same path, so the core-status table is nearly as fresh
+//      as the ideal NIC's.
+//   4. Reliability degrades onto doorbell/CQ semantics (DESIGN §9 reused,
+//      not forked): every run-queue entry carries a sequence number, the
+//      worker's kStarted CQE is the dispatch ack, an RTO re-posts the write
+//      (the worker dedupes by seq), and a completion watchdog catches
+//      workers dying after pickup.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/core_status.h"
+#include "core/model_params.h"
+#include "core/packet_pump.h"
+#include "core/server.h"
+#include "core/task_queue.h"
+#include "fault/fault_surface.h"
+#include "hw/cpu_core.h"
+#include "hw/interrupt.h"
+#include "net/ethernet_switch.h"
+#include "net/nic.h"
+#include "net/rdma.h"
+#include "overload/overload.h"
+#include "sim/simulator.h"
+#include "tenant/tenant.h"
+
+namespace nicsched::core {
+
+class RainServer final : public Server, public fault::FaultSurface {
+ public:
+  struct Config {
+    std::size_t worker_count = 4;
+    /// Requests outstanding per worker. The sub-µs RDMA path makes small
+    /// values viable — the dispatch-path ablation's headline is K=1.
+    std::uint32_t outstanding_per_worker = 2;
+    bool preemption_enabled = true;
+    sim::Duration time_slice = sim::Duration::micros(10);
+    std::uint16_t udp_port = 8080;
+    /// Selection policy for the centralized task queue.
+    QueuePolicy queue_policy = QueuePolicy::kFcfs;
+    /// §5.2 applies unchanged: a scheduler that bounds per-core outstanding
+    /// requests can DDIO payloads into L1.
+    hw::PlacementPolicy placement = hw::PlacementPolicy::kDdioL1;
+    /// Reliable dispatch (DESIGN §9) degraded onto doorbell/CQ semantics;
+    /// off by default so baseline runs carry no seq tracking.
+    ReliabilityParams reliability;
+    /// Overload control (DESIGN §11): admission + shedding in the ASIC
+    /// pipeline, adaptive-K fed by worker sojourn samples on kCompleted CQ
+    /// entries. Off by default.
+    overload::OverloadParams overload;
+    /// Rack-level load feedback (DESIGN §12): responses echo the request's
+    /// NIC-queue sojourn as a version-2 frame for ToR snooping. Off by
+    /// default.
+    bool load_feedback = false;
+    /// Multi-tenant dispatch/admission (DESIGN §13) in the ASIC pipeline.
+    /// Off by default.
+    tenant::TenantParams tenant;
+    /// Extra delay before a CQ sojourn sample folds into the adaptive-K
+    /// governor (DESIGN §15, shared with the offload family). Zero =
+    /// synchronous fold, bit for bit.
+    sim::Duration feedback_staleness = sim::Duration::zero();
+  };
+
+  RainServer(sim::Simulator& sim, net::EthernetSwitch& network,
+             const ModelParams& params, Config config);
+  ~RainServer() override;
+
+  net::MacAddress ingress_mac() const override;
+  net::Ipv4Address ingress_ip() const override;
+  std::uint16_t port() const override { return config_.udp_port; }
+  std::string name() const override { return "rain"; }
+  ServerStats stats(sim::Duration elapsed) const override;
+  ServerTelemetry telemetry() const override;
+
+  const CoreStatusTable& core_status() const { return status_; }
+  const TaskQueue& task_queue() const { return queue_; }
+
+  // --- fault::FaultSurface -------------------------------------------------
+  fault::FaultSurface* fault_surface() override { return this; }
+  std::uint32_t fault_worker_count() const override {
+    return static_cast<std::uint32_t>(config_.worker_count);
+  }
+  void inject_ingress_loss(double probability, std::uint64_t seed) override;
+  /// No-op: one-sided writes into host memory are a lossless channel; the
+  /// reliability layer exists for worker stalls/crashes, not frame loss.
+  void inject_dispatch_loss(double probability, std::uint64_t seed) override;
+  void inject_ingress_degrade(double factor) override;
+  void inject_worker_stall(std::uint32_t worker,
+                           sim::Duration duration) override;
+  void inject_worker_crash(std::uint32_t worker) override;
+  void inject_worker_resume(std::uint32_t worker) override;
+
+ private:
+  class Worker;
+
+  struct RunningInfo {
+    std::uint64_t request_id = 0;
+    sim::TimePoint started_at;
+    bool running = false;
+    bool preempt_in_flight = false;
+  };
+
+  void scheduler_handle(net::Packet packet);
+  void scheduler_kick();
+  void scheduler_step();
+  void handle_cqe(const proto::RdmaCqEntry& cqe);
+  void schedule_slice_check(std::size_t worker, std::uint64_t request_id);
+  void issue_preempt(std::size_t worker);
+  void fold_sojourn(std::size_t worker, sim::Duration sojourn);
+
+  // --- tenant-aware central-queue facade (DESIGN §13) ----------------------
+  bool tenants_on() const { return tenant_queue_ != nullptr; }
+  bool central_empty() const;
+  std::size_t central_depth() const;
+  void central_push_new(proto::RequestDescriptor descriptor);
+  void central_push_preempted(proto::RequestDescriptor descriptor);
+  std::optional<proto::RequestDescriptor> central_pop(
+      sim::Duration& queue_delay);
+
+  // --- reliable dispatch over doorbell/CQ (DESIGN §9/§15) ------------------
+  bool reliable() const { return config_.reliability.enabled; }
+  struct Inflight {
+    proto::RequestDescriptor descriptor;
+    std::size_t worker = 0;
+    std::uint64_t seq = 0;
+    std::uint32_t attempts = 1;
+    bool acked = false;  // kStarted CQE seen
+    sim::EventHandle timer;  // retransmit timer, then completion watchdog
+  };
+  void track_dispatch(const proto::RequestDescriptor& descriptor,
+                      std::size_t worker, std::uint64_t seq);
+  void arm_retransmit(Inflight& entry);
+  void on_retransmit_timeout(std::uint64_t request_id, std::uint64_t seq);
+  void on_completion_timeout(std::uint64_t request_id, std::uint64_t seq);
+  /// The kStarted CQE plays the dispatch-ack role: clears the RTO and arms
+  /// the completion watchdog.
+  void handle_start_ack(std::size_t worker, std::uint64_t seq);
+  /// Retires the inflight entry a completion/preemption CQE resolves.
+  /// Returns false for stale entries (re-steered or abandoned requests),
+  /// whose slot accounting already happened.
+  bool retire_inflight(std::size_t worker, const proto::RdmaCqEntry& cqe);
+  void declare_worker_dead(std::size_t worker);
+  void note_worker_alive(std::size_t worker);
+  void post_run_queue_entry(std::size_t worker,
+                            const proto::RequestDescriptor& descriptor,
+                            std::uint64_t seq);
+
+  sim::Simulator& sim_;
+  net::EthernetSwitch& network_;
+  ModelParams params_;
+  Config config_;
+
+  net::Nic nic_;
+  net::NicInterface* pf_ = nullptr;
+  /// The on-NIC scheduling pipeline — same ASIC model as the ideal NIC.
+  hw::CpuCore asic_;
+  std::unique_ptr<PacketPump> ingress_pump_;
+  /// Worker→NIC completion queue; all workers post into it and the ASIC
+  /// polls it ahead of new assignments.
+  net::RdmaQueuePair cq_;
+  bool pumping_ = false;
+
+  TaskQueue queue_;
+  CoreStatusTable status_;
+  std::vector<RunningInfo> running_;
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+
+  std::uint64_t requests_received_ = 0;
+  std::uint64_t malformed_ = 0;
+
+  // --- overload control (inert when !config_.overload.enabled) -------------
+  overload::AdmissionController admission_;
+  overload::AdaptiveKController adaptive_k_;
+  std::uint64_t overload_admitted_ = 0;
+  std::uint64_t overload_rejected_ = 0;
+
+  // --- tenant layer (DESIGN §13; both null when !config_.tenant.enabled) ---
+  std::unique_ptr<tenant::TenantDispatchQueue> tenant_queue_;
+  std::unique_ptr<tenant::TenantAdmission> tenant_admission_;
+
+  // --- reliable-dispatch state (empty/idle when !reliable()) ---------------
+  std::unordered_map<std::uint64_t, Inflight> inflight_;
+  std::unordered_map<std::uint64_t, std::uint64_t> seq_to_request_;
+  std::uint64_t next_seq_ = 1;
+  std::unordered_set<std::uint64_t> abandoned_ids_;
+  std::vector<std::uint32_t> consecutive_timeouts_;  // per worker
+  ReliabilityStats rel_;
+};
+
+}  // namespace nicsched::core

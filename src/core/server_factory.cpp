@@ -5,6 +5,7 @@
 #include "core/distributed_server.h"
 #include "core/ideal_nic_server.h"
 #include "core/offload_server.h"
+#include "core/rain_server.h"
 #include "core/shinjuku_server.h"
 
 namespace nicsched::core {
@@ -79,6 +80,21 @@ std::unique_ptr<Server> make_host_server(const HostSpec& spec,
       if (spec.placement) server.placement = *spec.placement;
       return std::make_unique<IdealNicServer>(sim, network, spec.params,
                                               server);
+    }
+    case SystemKind::kRain: {
+      RainServer::Config server;
+      server.worker_count = spec.worker_count;
+      server.outstanding_per_worker = spec.outstanding_per_worker;
+      server.preemption_enabled = spec.preemption_enabled;
+      server.time_slice = spec.time_slice;
+      server.queue_policy = spec.queue_policy;
+      server.reliability = spec.reliability;
+      server.overload = spec.overload;
+      server.load_feedback = spec.load_feedback;
+      server.tenant = spec.tenant;
+      server.feedback_staleness = spec.feedback_staleness;
+      if (spec.placement) server.placement = *spec.placement;
+      return std::make_unique<RainServer>(sim, network, spec.params, server);
     }
     case SystemKind::kRpcValet: {
       // NI-on-chip: feedback and assignment latencies collapse to tens of

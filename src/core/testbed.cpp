@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "core/cluster.h"
+#include "core/env_spec.h"
 #include "fault/fault_injector.h"
 #include "net/ethernet_switch.h"
 #include "obs/capture.h"
@@ -124,6 +125,7 @@ std::optional<SystemKind> try_from_string(std::string_view name) {
       SystemKind::kRss,          SystemKind::kFlowDirector,
       SystemKind::kWorkStealing, SystemKind::kElasticRss,
       SystemKind::kIdealNic,     SystemKind::kRpcValet,
+      SystemKind::kRain,
   };
   for (const SystemKind kind : kinds) {
     if (name == to_string(kind)) return kind;
@@ -147,6 +149,7 @@ const char* to_string(SystemKind kind) {
     case SystemKind::kElasticRss: return "elastic-rss";
     case SystemKind::kIdealNic: return "ideal-nic";
     case SystemKind::kRpcValet: return "rpcvalet";
+    case SystemKind::kRain: return "rain";
   }
   return "unknown";
 }
@@ -188,6 +191,15 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     resolved.overload = overload::OverloadParams::from_env();
     return run_experiment(resolved);
   }
+  if (!config.feedback_staleness) {
+    // Same resolution shape for the shared feedback-staleness knob
+    // (DESIGN §15): explicit config wins, otherwise
+    // NICSCHED_FEEDBACK_STALENESS_US, otherwise zero — the synchronous fold.
+    ExperimentConfig resolved = config;
+    resolved.feedback_staleness =
+        EnvSpec::micros("NICSCHED_FEEDBACK_STALENESS_US", sim::Duration::zero());
+    return run_experiment(resolved);
+  }
 
   const bool rack_mode = config.rack && config.rack->hosts > 1;
   std::optional<rack::TorParams> tor_params;
@@ -197,6 +209,12 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
       params = *config.rack->tor;
     } else {
       params.policy = config.rack->policy;
+      // The shared staleness knob seeds the ToR's tolerance before the env
+      // pass so NICSCHED_RACK_STALE_US still wins; zero/unset leaves the
+      // rack default untouched (bit-identical).
+      if (config.feedback_staleness && !config.feedback_staleness->is_zero()) {
+        params.feedback_stale_after = *config.feedback_staleness;
+      }
       params = rack::TorParams::from_env(params);
     }
     tor_params = params;

@@ -40,6 +40,12 @@ enum class SystemKind {
   /// but no preemption, so dispersion still wrecks the tail (§2.2). Modelled
   /// as the ideal-NIC machinery with ~50 ns feedback, K=1, preemption off.
   kRpcValet,
+  /// RAIN-style RDMA-assisted dispatch (DESIGN §15): the ideal-NIC's
+  /// line-rate scheduler pipeline, but the NIC↔worker hop is deployable
+  /// RNIC hardware — sequenced assignments land as one-sided writes in
+  /// per-worker run-queues, feedback returns as polled CQ entries — instead
+  /// of §5.1's coherent-CXL future. Ablates the dispatch datapath alone.
+  kRain,
 };
 
 const char* to_string(SystemKind kind);
@@ -155,6 +161,14 @@ struct ExperimentConfig {
   /// DRR credit granted per unit weight per round, in service time.
   sim::Duration tenant_quantum = sim::Duration::micros(5);
 
+  /// Feedback staleness (DESIGN §15, the bilateral-feedback critique): an
+  /// extra delay before worker sojourn samples reach the scheduler's
+  /// adaptive-K governor, shared by the offload-UDP and rain families; in
+  /// rack mode it also seeds the ToR's feedback_stale_after tolerance.
+  /// Unset defers to NICSCHED_FEEDBACK_STALENESS_US (unset = zero). Zero is
+  /// the synchronous fold, bit for bit.
+  std::optional<sim::Duration> feedback_staleness;
+
   /// Simulator shards for the parallel engine (DESIGN §14). 0 defers to the
   /// NICSCHED_SHARDS environment contract (unset = 1); 1 is the serial
   /// engine, bit for bit. Values > 1 require rack mode (hosts >= 2) — the
@@ -184,6 +198,7 @@ struct ExperimentConfig {
   static ExperimentConfig shinjuku() { return of(SystemKind::kShinjuku); }
   static ExperimentConfig ideal_nic() { return of(SystemKind::kIdealNic); }
   static ExperimentConfig rss() { return of(SystemKind::kRss); }
+  static ExperimentConfig rain() { return of(SystemKind::kRain); }
 
   /// Retargets an existing config at another system (ablation loops).
   ExperimentConfig& on(SystemKind kind) {
@@ -339,6 +354,13 @@ struct ExperimentConfig {
   }
   ExperimentConfig& with_shards(std::size_t count) {
     shards = count;
+    return *this;
+  }
+  /// Sweepable feedback staleness: delays the adaptive-K sojourn fold by
+  /// `delay` (offload + rain) and widens the ToR's staleness tolerance to at
+  /// least `delay` in rack mode. Zero = the synchronous path, bit for bit.
+  ExperimentConfig& with_feedback_staleness(sim::Duration delay) {
+    feedback_staleness = delay;
     return *this;
   }
 

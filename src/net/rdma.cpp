@@ -1,0 +1,46 @@
+#include "net/rdma.h"
+
+#include <utility>
+
+namespace nicsched::net {
+
+sim::Duration RdmaQueuePair::post_write(std::vector<std::uint8_t> payload) {
+  ++stats_.writes;
+  stats_.bytes += payload.size();
+  push(std::move(payload));
+  sim_.after(config_.write_latency + config_.cq_poll_interval, [this]() {
+    ++visible_;
+    if (on_receive_) on_receive_();
+  });
+  return config_.wqe_post_cost + config_.doorbell_cost;
+}
+
+std::optional<std::vector<std::uint8_t>> RdmaQueuePair::poll() {
+  if (visible_ == 0) return std::nullopt;
+  --visible_;
+  ++stats_.delivered;
+  std::vector<std::uint8_t> payload = std::move(ring_[head_]);
+  head_ = (head_ + 1) % ring_.size();
+  --staged_;
+  return payload;
+}
+
+void RdmaQueuePair::push(std::vector<std::uint8_t> payload) {
+  if (staged_ == ring_.size()) grow();
+  ring_[tail_] = std::move(payload);
+  tail_ = (tail_ + 1) % ring_.size();
+  ++staged_;
+}
+
+void RdmaQueuePair::grow() {
+  std::vector<std::vector<std::uint8_t>> bigger(
+      ring_.empty() ? 16 : ring_.size() * 2);
+  for (std::size_t i = 0; i < staged_; ++i) {
+    bigger[i] = std::move(ring_[(head_ + i) % ring_.size()]);
+  }
+  ring_ = std::move(bigger);
+  head_ = 0;
+  tail_ = staged_;
+}
+
+}  // namespace nicsched::net

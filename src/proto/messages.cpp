@@ -120,7 +120,7 @@ std::optional<MessageType> peek_type(std::span<const std::uint8_t> payload) {
   if (version != kVersion && version != kVersionExtended) return std::nullopt;
   const std::uint8_t type = reader.u8();
   if (type < static_cast<std::uint8_t>(MessageType::kRequest) ||
-      type > static_cast<std::uint8_t>(MessageType::kReject)) {
+      type > static_cast<std::uint8_t>(MessageType::kRdmaCqEntry)) {
     return std::nullopt;
   }
   return static_cast<MessageType>(type);
@@ -302,6 +302,89 @@ std::optional<SequencedNote> SequencedNote::parse(
   const std::uint8_t preempted = reader.u8();
   if (preempted > 1) return std::nullopt;  // corrupted flag byte
   message.preempted = preempted == 1;
+  if (version == kVersionExtended) {
+    const std::uint8_t has_sojourn = reader.u8();
+    if (has_sojourn > 1) return std::nullopt;  // corrupted flag byte
+    message.has_sojourn = has_sojourn == 1;
+    message.sojourn_ps = reader.u64();
+  }
+  auto descriptor = read_descriptor_body(reader, version);
+  if (!descriptor) return std::nullopt;
+  message.descriptor = std::move(*descriptor);
+  return message;
+}
+
+std::vector<std::uint8_t> RdmaRunQueueEntry::serialize() const {
+  return owned(12 + kDescriptorBodySizeV2,
+               [this](std::vector<std::uint8_t>& out) { serialize_into(out); });
+}
+
+void RdmaRunQueueEntry::serialize_into(std::vector<std::uint8_t>& out) const {
+  out.clear();
+  const std::uint8_t version = descriptor_version(descriptor);
+  net::ByteWriter writer(out);
+  write_header(writer, MessageType::kRdmaRunQueueEntry, version);
+  writer.u64(seq);
+  write_descriptor_body(writer, descriptor, version);
+}
+
+std::optional<RdmaRunQueueEntry> RdmaRunQueueEntry::parse(
+    std::span<const std::uint8_t> payload) {
+  net::ByteReader reader(payload);
+  std::uint8_t version = 0;
+  if (!read_header_versioned(reader, MessageType::kRdmaRunQueueEntry,
+                             version)) {
+    return std::nullopt;
+  }
+  if (reader.remaining() < 8) return std::nullopt;
+  RdmaRunQueueEntry message;
+  message.seq = reader.u64();
+  auto descriptor = read_descriptor_body(reader, version);
+  if (!descriptor) return std::nullopt;
+  message.descriptor = std::move(*descriptor);
+  return message;
+}
+
+std::vector<std::uint8_t> RdmaCqEntry::serialize() const {
+  return owned(26 + kDescriptorBodySizeV2,
+               [this](std::vector<std::uint8_t>& out) { serialize_into(out); });
+}
+
+void RdmaCqEntry::serialize_into(std::vector<std::uint8_t>& out) const {
+  out.clear();
+  // A sojourn sample promotes the frame to version 2; an extended descriptor
+  // (deadline or tenant) does too, so the body is never silently narrowed.
+  const std::uint8_t version =
+      has_sojourn ? kVersionExtended : descriptor_version(descriptor);
+  net::ByteWriter writer(out);
+  write_header(writer, MessageType::kRdmaCqEntry, version);
+  writer.u64(seq);
+  writer.u32(worker_id);
+  writer.u8(static_cast<std::uint8_t>(cq_kind));
+  if (version == kVersionExtended) {
+    writer.u8(has_sojourn ? 1 : 0);
+    writer.u64(sojourn_ps);
+  }
+  write_descriptor_body(writer, descriptor, version);
+}
+
+std::optional<RdmaCqEntry> RdmaCqEntry::parse(
+    std::span<const std::uint8_t> payload) {
+  net::ByteReader reader(payload);
+  std::uint8_t version = 0;
+  if (!read_header_versioned(reader, MessageType::kRdmaCqEntry, version)) {
+    return std::nullopt;
+  }
+  const std::size_t fixed_size = version == kVersionExtended ? 22 : 13;
+  if (reader.remaining() < fixed_size) return std::nullopt;
+  RdmaCqEntry message;
+  message.seq = reader.u64();
+  message.worker_id = reader.u32();
+  const std::uint8_t kind = reader.u8();
+  if (kind > static_cast<std::uint8_t>(RdmaCqKind::kPreempted)) {
+    return std::nullopt;  // corrupted kind byte
+  }
+  message.cq_kind = static_cast<RdmaCqKind>(kind);
   if (version == kVersionExtended) {
     const std::uint8_t has_sojourn = reader.u8();
     if (has_sojourn > 1) return std::nullopt;  // corrupted flag byte

@@ -17,6 +17,13 @@
 //   kSequencedNote        worker → dispatcher   completion/preemption + seq
 //   kNoteAck              dispatcher → worker   confirms note receipt
 //
+// Two more cover the RDMA-assisted dispatch path (`rain`, DESIGN §15),
+// where sequenced assignments travel as one-sided writes into per-worker
+// run-queues and worker feedback returns as completion-queue entries:
+//
+//   kRdmaRunQueueEntry    NIC → worker    sequenced descriptor in a RQ slot
+//   kRdmaCqEntry          worker → NIC    started/completed/preempted CQE
+//
 // The synthetic workload (§4.1) encodes "fake work that keeps the server
 // busy for a specific amount of time" as `work_ps` in the request payload.
 // Preempted requests save their progress host-side; on the wire the
@@ -55,6 +62,8 @@ enum class MessageType : std::uint8_t {
   kSequencedNote = 8,
   kNoteAck = 9,
   kReject = 10,
+  kRdmaRunQueueEntry = 11,
+  kRdmaCqEntry = 12,
 };
 
 /// Peeks at a payload's message type without a full parse.
@@ -196,6 +205,54 @@ struct SequencedNote {
       std::span<const std::uint8_t> payload);
 
   bool operator==(const SequencedNote&) const = default;
+};
+
+/// NIC → worker over the RDMA path (DESIGN §15): one sequenced request
+/// descriptor placed directly into a worker's run-queue slot by a one-sided
+/// write. The sequence number is the reliable-dispatch protocol's (DESIGN §9)
+/// degraded onto doorbell semantics: the worker's kStarted CQ entry echoing
+/// `seq` is the receipt ack, and a duplicate write after a retransmit is
+/// detected by the worker's expected-seq check.
+struct RdmaRunQueueEntry {
+  std::uint64_t seq = 0;
+  RequestDescriptor descriptor;
+
+  std::vector<std::uint8_t> serialize() const;
+  void serialize_into(std::vector<std::uint8_t>& out) const;
+  static std::optional<RdmaRunQueueEntry> parse(
+      std::span<const std::uint8_t> payload);
+
+  bool operator==(const RdmaRunQueueEntry&) const = default;
+};
+
+/// What a `kRdmaCqEntry` reports. Values outside this set are a corrupted
+/// kind byte and fail the parse.
+enum class RdmaCqKind : std::uint8_t {
+  kStarted = 0,    // run-queue entry picked up — acks its seq
+  kCompleted = 1,  // request finished; slot freed
+  kPreempted = 2,  // descriptor carries the remaining work
+};
+
+/// Worker → NIC over the RDMA path: a completion-queue entry. Always carries
+/// the full descriptor so the frame is fixed-size per version regardless of
+/// kind (preemptions need the body; started/completed entries use only its
+/// request_id). A sojourn sample (adaptive-K feedback) promotes the frame to
+/// version 2, exactly as on SequencedNote.
+struct RdmaCqEntry {
+  std::uint64_t seq = 0;
+  std::uint32_t worker_id = 0;
+  RdmaCqKind cq_kind = RdmaCqKind::kCompleted;
+  RequestDescriptor descriptor;
+  /// Optional queue-sojourn sample, as on CompletionMessage.
+  bool has_sojourn = false;
+  std::uint64_t sojourn_ps = 0;
+
+  std::vector<std::uint8_t> serialize() const;
+  void serialize_into(std::vector<std::uint8_t>& out) const;
+  static std::optional<RdmaCqEntry> parse(
+      std::span<const std::uint8_t> payload);
+
+  bool operator==(const RdmaCqEntry&) const = default;
 };
 
 /// Server → client: the dispatcher refused admission (overload control,

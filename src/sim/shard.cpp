@@ -1,13 +1,34 @@
 #include "sim/shard.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <limits>
 #include <stdexcept>
 #include <utility>
 
+#ifdef __linux__
+#include <pthread.h>
+#include <sched.h>
+#endif
+
 namespace nicsched::sim {
 
 namespace {
+
+// Pin the calling worker thread to `core`. Best-effort: affinity is a
+// scheduling hint, never a correctness knob, so failures are ignored.
+void pin_self_to_core(std::size_t core) {
+#ifdef __linux__
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(core % CPU_SETSIZE, &set);
+  pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+#else
+  (void)core;
+#endif
+}
 
 // Window end from a start time and the lookahead, saturating: an unbounded
 // lookahead (no cross-shard links) or a start near the epoch horizon both
@@ -115,6 +136,24 @@ void ShardGroup::flush_mailboxes() {
 
 void ShardGroup::start_workers() {
   if (!workers_.empty()) return;
+  const char* pin_env = std::getenv("NICSCHED_SHARD_PIN");
+  if (pin_env != nullptr && std::strcmp(pin_env, "1") == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    if (hw != 0 && hw < shard_count()) {
+      std::fprintf(stderr,
+                   "nicsched: NICSCHED_SHARD_PIN=1 ignored: %zu shards need "
+                   "%zu cores but hardware_concurrency() is %u\n",
+                   shard_count(), shard_count(), hw);
+    } else {
+#ifdef __linux__
+      pin_workers_ = true;
+#else
+      std::fprintf(stderr,
+                   "nicsched: NICSCHED_SHARD_PIN=1 ignored: no thread "
+                   "affinity on this platform\n");
+#endif
+    }
+  }
   workers_.reserve(shard_count() - 1);
   for (std::size_t i = 1; i < shard_count(); ++i) {
     workers_.emplace_back([this, i] { worker_main(i); });
@@ -122,6 +161,7 @@ void ShardGroup::start_workers() {
 }
 
 void ShardGroup::worker_main(std::size_t index) {
+  if (pin_workers_) pin_self_to_core(index);
   std::uint64_t seen = 0;
   for (;;) {
     std::uint64_t current = epoch_.load(std::memory_order_acquire);

@@ -154,6 +154,12 @@ class ShardGroup {
   std::atomic<std::size_t> arrived_{0};
   std::atomic<bool> shutdown_{false};
   int spin_budget_ = 0;
+  // NICSCHED_SHARD_PIN=1: pin worker thread i to core i (core 0 stays with
+  // the coordinating thread, which runs shard 0 in place). No-op with a
+  // one-time warning when the machine has fewer cores than shards, or on
+  // platforms without thread affinity. Scheduling-only: pinning cannot
+  // change results, and the determinism tier runs with and without it.
+  bool pin_workers_ = false;
 };
 
 }  // namespace nicsched::sim

@@ -43,7 +43,8 @@ INSTANTIATE_TEST_SUITE_P(
     SystemsByPolicies, PolicyMatrix,
     ::testing::Combine(::testing::Values(SystemKind::kShinjuku,
                                          SystemKind::kShinjukuOffload,
-                                         SystemKind::kIdealNic),
+                                         SystemKind::kIdealNic,
+                                         SystemKind::kRain),
                        ::testing::Values(QueuePolicy::kFcfs, QueuePolicy::kSjf,
                                          QueuePolicy::kMultiClass,
                                          QueuePolicy::kBvt)),

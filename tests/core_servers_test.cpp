@@ -76,7 +76,8 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(SystemKind::kShinjuku, SystemKind::kShinjukuOffload,
                       SystemKind::kRss, SystemKind::kFlowDirector,
                       SystemKind::kWorkStealing, SystemKind::kElasticRss,
-                      SystemKind::kIdealNic, SystemKind::kRpcValet),
+                      SystemKind::kIdealNic, SystemKind::kRpcValet,
+                      SystemKind::kRain),
     [](const ::testing::TestParamInfo<SystemKind>& info) {
       std::string name = to_string(info.param);
       for (char& c : name) {

@@ -116,6 +116,8 @@ TEST(FaultConservation, RandomizedSchedulesConserveEveryRequest) {
       {core::SystemKind::kShinjukuOffload, true},
       {core::SystemKind::kRss, false},
       {core::SystemKind::kIdealNic, false},
+      // Reliable dispatch degraded onto the RDMA doorbell/CQ path (§15).
+      {core::SystemKind::kRain, true},
   };
   // The smoke tier (NICSCHED_FAST=1) keeps one seed per kind; the full fault
   // tier runs three.

@@ -208,6 +208,7 @@ const core::SystemKind kFamilies[] = {
     core::SystemKind::kShinjukuOffload,
     core::SystemKind::kRss,
     core::SystemKind::kIdealNic,
+    core::SystemKind::kRain,
 };
 
 // The headline invariant: the digest of a rack run does not depend on how

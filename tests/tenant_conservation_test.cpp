@@ -67,7 +67,8 @@ void expect_conserved(const core::ExperimentResult::ClientTotals& t,
 TEST(TenantConservation, PerTenantLedgersConserveAndSumToGlobal) {
   for (const auto kind :
        {core::SystemKind::kShinjuku, core::SystemKind::kShinjukuOffload,
-        core::SystemKind::kRss, core::SystemKind::kIdealNic}) {
+        core::SystemKind::kRss, core::SystemKind::kIdealNic,
+        core::SystemKind::kRain}) {
     for (const std::uint64_t seed : {1u, 2u, 3u}) {
       const std::string label = std::string("kind=") + core::to_string(kind) +
                                 " seed=" + std::to_string(seed);

@@ -11,6 +11,9 @@
 #      tenant_isolation interference checks, same NICSCHED_FAST tier
 #   6. parallel smoke: the sharded-engine determinism tier (serial
 #      bit-identity + shard-count digest invariance), same NICSCHED_FAST tier
+#   7. rdma smoke: the RDMA-assisted dispatch tier (queue-pair + rain-server
+#      unit tests, the dispatch-path ablation and rain_sweep shape checks),
+#      same NICSCHED_FAST tier
 #
 # Usage: tools/ci.sh [build-dir]    (default: build)
 set -euo pipefail
@@ -37,5 +40,8 @@ echo "==> tenant smoke (NICSCHED_FAST=1, ctest -L tenant)"
 
 echo "==> parallel smoke (NICSCHED_FAST=1, ctest -L parallel)"
 (cd "$BUILD_DIR" && NICSCHED_FAST=1 ctest -L parallel --output-on-failure)
+
+echo "==> rdma smoke (NICSCHED_FAST=1, ctest -L rdma)"
+(cd "$BUILD_DIR" && NICSCHED_FAST=1 ctest -L rdma --output-on-failure)
 
 echo "==> ci.sh: all tiers green"
