@@ -1,0 +1,246 @@
+// Rack-scale fault tolerance demo (DESIGN §16): kill one of four hosts under
+// load and watch the ToR's failure handling keep the rack whole.
+//
+// A rack of 4 Shinjuku-Offload hosts (8 workers each) behind a failover ToR,
+// bimodal(99.5% x 5us, 0.5% x 100us) service at 70% of rack capacity. At
+// t=4ms host 1 crashes — the frozen-incarnation model: every worker core
+// freezes and both rack links partition, so the host falls silent with its
+// state intact. At t=5ms it thaws and the links heal.
+//
+// What the §16 machinery must deliver, and what the shape checks assert,
+// across three seeds:
+//
+//   * Zero lost admitted requests: the ToR keeps a stored copy of every
+//     in-flight request, declares the victim dead by probe timeout, and
+//     re-steers the strays to live hosts — so at quiescence every request
+//     the clients sent is completed (none outstanding, none silently gone),
+//     with no client-side retry or deadline machinery helping out.
+//   * Recovery: rack p99 over a post-recovery window returns to within 1.3x
+//     of the pre-fault p99 (swept over 1 ms windows after the thaw).
+//   * Hedging earns its keep exactly where it should: a request whose host
+//     has been uplink-silent for 100 us gets a duplicate on a second host
+//     (the informed-hedging gate — healthy hosts are never silent that
+//     long, so steady-state traffic never hedges), cutting the p99.9 of
+//     requests issued during the crash window, when the primary copy would
+//     otherwise sit out the detector's ~500-750 us death verdict.
+//
+//   $ ./rack_failover
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "exp/exp.h"
+#include "fault/fault_schedule.h"
+#include "stats/response_log.h"
+#include "stats/table.h"
+
+namespace {
+
+using namespace nicsched;
+
+sim::TimePoint at_ms(double ms) {
+  return sim::TimePoint::origin() + sim::Duration::micros(ms * 1000.0);
+}
+
+// Per-host capacity: 8 workers / 5.475 us mean service = 1.46 MRPS (two D2
+// sender cores keep the ARM dispatch pipeline above that, so workers bind),
+// and the 4-host rack saturates near 5.8 MRPS; the demo offers 70% of that.
+// While host 1 is dead the three survivors carry ~93% of their own capacity
+// — strained, not collapsed. The 8-wide hosts matter: queue pooling keeps
+// the survivors' own queueing tail well below the detector's verdict
+// latency, so the crash-window p99.9 measures the detection gap — the thing
+// failover and hedging act on — not service-time dispersion.
+constexpr double kRackCapacity = 5.8e6;
+constexpr double kOfferedLoad = 0.70 * kRackCapacity;
+
+constexpr std::uint32_t kVictim = 1;
+const sim::TimePoint kCrashAt = at_ms(4.0);
+const sim::TimePoint kRecoverAt = at_ms(5.0);
+const sim::TimePoint kMeasureStart = at_ms(2.0);  // warmup is 2 ms
+const sim::TimePoint kMeasureEnd = at_ms(8.0);
+
+core::ExperimentConfig failover_config(std::uint64_t seed, bool hedge) {
+  auto config = core::ExperimentConfig::offload()
+                    .workers(8)
+                    .senders(2)
+                    .outstanding(4)
+                    .bimodal()
+                    .load(kOfferedLoad)
+                    .clients(4, 64)
+                    .measure_for(sim::Duration::millis(6))
+                    .with_seed(seed)
+                    .with_rack(4, rack::TorPolicy::kPowerOfTwo);
+  config.warmup = sim::Duration::millis(2);
+  config.drain = sim::Duration::millis(4);
+  // Spell the failure-handling knobs explicitly: a realistically
+  // conservative detector (250 us probe tick + 250 us ack timeout puts the
+  // death verdict ~500-750 us after the crash), and (for the hedged
+  // variant) a 100 us hedge trigger. The informed-hedging gate means
+  // steady-state requests never hedge — a healthy host is uplink-silent
+  // for microseconds at most — so the duplicates go exactly to the
+  // victim-pinned strays stuck inside the detection window, which is the
+  // point.
+  rack::TorParams tor;
+  tor.policy = rack::TorPolicy::kPowerOfTwo;
+  tor.failover = true;
+  tor.probe_interval = sim::Duration::micros(250);
+  tor.probe_timeout = sim::Duration::micros(250);
+  tor.hedge = hedge;
+  tor.hedge_after = sim::Duration::micros(100);
+  config.rack->tor = tor;
+  config.with_faults(fault::FaultSchedule{}
+                         .crash_host(kCrashAt, kVictim)
+                         .recover_host(kRecoverAt, kVictim));
+  return config;
+}
+
+struct FailoverRun {
+  core::ExperimentResult result;
+  stats::ResponseLog log{2'000'000};
+};
+
+/// Latency percentile (us) over the records admitted by `keep`.
+template <typename Filter>
+double percentile_us(const stats::ResponseLog& log, double q, Filter keep) {
+  std::vector<double> us;
+  for (const auto& r : log.records()) {
+    if (!keep(r)) continue;
+    us.push_back(static_cast<double>(r.latency().to_picos()) / 1e6);
+  }
+  if (us.empty()) return 0.0;
+  std::sort(us.begin(), us.end());
+  const auto rank =
+      static_cast<std::size_t>(q * static_cast<double>(us.size() - 1));
+  return us[rank];
+}
+
+}  // namespace
+
+int main() {
+  const bool fast = std::getenv("NICSCHED_FAST") != nullptr;
+  const std::vector<std::uint64_t> seeds =
+      fast ? std::vector<std::uint64_t>{42}
+           : std::vector<std::uint64_t>{42, 43, 44};
+
+  exp::Figure fig("rack_failover",
+                  "Rack failover: kill 1 of 4 shinjuku-offload hosts at 70% "
+                  "rack load, crash window 4-5 ms");
+  std::cout << fig.title() << "\n\n";
+
+  stats::Table table({"seed", "hedge", "completed", "outstanding", "deaths",
+                      "resteered", "hedges", "dup_suppressed", "pre_p99_us",
+                      "crash_p999_us", "recover_p99_us"});
+
+  bool conserved = true;
+  bool drained = true;
+  bool victim_died = true;
+  bool recovered = true;
+  bool hedge_cuts_tail = true;
+
+  for (const std::uint64_t seed : seeds) {
+    FailoverRun runs[2];  // [0] = failover only, [1] = failover + hedging
+    for (int h = 0; h < 2; ++h) {
+      auto config = failover_config(seed, h == 1);
+      config.response_log = &runs[h].log;
+      runs[h].result = core::run_experiment(config);
+    }
+
+    const auto pre_fault = [](const workload::ResponseRecord& r) {
+      return r.received_at >= kMeasureStart && r.received_at < kCrashAt;
+    };
+    const auto crash_window = [](const workload::ResponseRecord& r) {
+      return r.sent_at >= kCrashAt && r.sent_at < kRecoverAt;
+    };
+
+    for (int h = 0; h < 2; ++h) {
+      const FailoverRun& run = runs[h];
+      const auto& ca = run.result.clients;
+      // Zero lost admitted requests: the conservation identity closes with
+      // nothing left outstanding — no deadline or retry machinery is
+      // configured, so every completion is the failover path's own work.
+      conserved = conserved &&
+                  ca.sent == ca.completed + ca.rejected + ca.expired +
+                                 ca.abandoned + ca.outstanding;
+      drained = drained && ca.outstanding == 0 && ca.expired == 0 &&
+                ca.abandoned == 0;
+
+      const rack::RackStats& tor = run.result.rack.value();
+      victim_died = victim_died && tor.hosts.at(kVictim).deaths >= 1 &&
+                    tor.hosts.at(kVictim).revivals >= 1 &&
+                    tor.requests_resteered > 0;
+
+      // Recovery: sweep 1 ms windows after the thaw; the rack p99 must come
+      // back to within 1.3x of the pre-fault p99 in at least one of them.
+      // Judged on the failover-only variant — the hedged run's recovery is
+      // dominated by the extra hedge load it carried through the crash, not
+      // by the failover machinery under test here.
+      const double pre_p99 = percentile_us(run.log, 0.99, pre_fault);
+      double best = 0.0;
+      bool within = false;
+      for (double start_ms = 5.0; start_ms + 1.0 <= 8.0; start_ms += 0.5) {
+        const sim::TimePoint lo = at_ms(start_ms);
+        const sim::TimePoint hi = at_ms(start_ms + 1.0);
+        const double p99 = percentile_us(
+            run.log, 0.99, [&](const workload::ResponseRecord& r) {
+              return r.received_at >= lo && r.received_at < hi;
+            });
+        if (best == 0.0 || p99 < best) best = p99;
+        within = within || p99 <= 1.3 * pre_p99;
+      }
+      if (h == 0) recovered = recovered && within;
+
+      const double crash_p999 = percentile_us(run.log, 0.999, crash_window);
+      table.add_row({std::to_string(seed), h == 1 ? "on" : "off",
+                     std::to_string(ca.completed),
+                     std::to_string(ca.outstanding),
+                     std::to_string(tor.hosts.at(kVictim).deaths),
+                     std::to_string(tor.requests_resteered),
+                     std::to_string(tor.hedges_sent),
+                     std::to_string(tor.duplicates_suppressed),
+                     stats::fmt(pre_p99), stats::fmt(crash_p999),
+                     stats::fmt(best)});
+      fig.add_row(std::string("failover") + (h == 1 ? "+hedge" : "") +
+                      " seed=" + std::to_string(seed),
+                  run.result);
+      fig.note_metric("crash_p999_us_" + std::string(h ? "hedge_" : "") +
+                          std::to_string(seed),
+                      crash_p999);
+    }
+
+    // Hedging's contribution: the p99.9 of requests issued while the victim
+    // was dark must be lower with hedging than without it.
+    const double unhedged = percentile_us(runs[0].log, 0.999, crash_window);
+    const double hedged = percentile_us(runs[1].log, 0.999, crash_window);
+    hedge_cuts_tail =
+        hedge_cuts_tail && runs[1].result.rack->hedges_sent > 0 &&
+        hedged < unhedged;
+  }
+  table.print(std::cout);
+  std::cout << "\n";
+
+  fig.check("conservation: sent == completed+rejected+expired+abandoned+"
+            "outstanding (every run)",
+            conserved);
+  fig.check("zero lost admitted requests: nothing outstanding, expired, or "
+            "abandoned at quiescence",
+            drained);
+  fig.check("victim declared dead, readmitted after thaw, strays re-steered",
+            victim_died);
+  fig.check("post-recovery p99 within 1.3x of pre-fault p99 (1 ms windows "
+            "swept over the thawed tail)",
+            recovered);
+  fig.check("hedging cuts crash-window p99.9 vs failover alone",
+            hedge_cuts_tail);
+
+  std::cout << "\nReading: the ToR's probe machinery turns a silent host into "
+               "a death verdict\n~500-750us after the crash, and the "
+               "stored-copy drain re-steers every in-flight\nrequest, so a "
+               "host crash costs latency — not requests. Hedging shaves the\n"
+               "detection window off the tail: a duplicate copy after 100us "
+               "of uplink silence\nmeans crash-window requests never wait on "
+               "the verdict at all.\n";
+  return fig.finish();
+}

@@ -6,8 +6,18 @@
 
 #include "core/distributed_server.h"
 #include "core/server_factory.h"
+#include "rack/probe_responder.h"
 
 namespace nicsched::core {
+
+namespace {
+// Seeds for the partition wires' loss RNGs. A severed link drops at
+// probability 1.0, so the draws can't change which frames die — the seed
+// only has to be a fixed constant so restores reset the stream identically
+// on every replay.
+constexpr std::uint64_t kUplinkLossSeed = 0x5EED'0B5C'0000'0001ULL;
+constexpr std::uint64_t kDownlinkLossSeed = 0x5EED'0B5C'0000'0002ULL;
+}  // namespace
 
 HostSpec HostSpec::from_config(const ExperimentConfig& config) {
   HostSpec spec;
@@ -72,6 +82,7 @@ ServerStats Cluster::stats(sim::Duration elapsed) const {
     total.spurious_interrupts += s.spurious_interrupts;
     total.steals += s.steals;
     total.drops += s.drops;
+    total.cancelled += s.cancelled;
     total.queue_max_depth = std::max(total.queue_max_depth, s.queue_max_depth);
     total.worker_utilization.insert(total.worker_utilization.end(),
                                     s.worker_utilization.begin(),
@@ -87,6 +98,8 @@ ServerStats Cluster::stats(sim::Duration elapsed) const {
     total.reliability.duplicates += s.reliability.duplicates;
     total.reliability.worker_deaths += s.reliability.worker_deaths;
     total.reliability.revivals += s.reliability.revivals;
+    total.reliability.loss_injections_ignored +=
+        s.reliability.loss_injections_ignored;
     total.overload.admitted += s.overload.admitted;
     total.overload.rejected += s.overload.rejected;
     total.overload.shed_expired += s.overload.shed_expired;
@@ -95,6 +108,49 @@ ServerStats Cluster::stats(sim::Duration elapsed) const {
     tenant::accumulate(total.tenants, s.tenants);
   }
   return total;
+}
+
+fault::FaultSurface& Cluster::host_surface(std::uint32_t host) {
+  fault::FaultSurface* surface = hosts_.at(host).server->fault_surface();
+  if (surface == nullptr) {
+    throw std::logic_error("Cluster: host exposes no fault surface");
+  }
+  return *surface;
+}
+
+void Cluster::inject_host_freeze(std::uint32_t host) {
+  // The crash half of the frozen-incarnation model: every worker core stops
+  // mid-instruction. The probe responder lives on the host *switch* (NIC
+  // management path), so reachability is severed separately via the link
+  // partitions — a frozen-but-connected host still acks probes, exactly the
+  // "slow vs dead" ambiguity the ToR's two detectors disambiguate.
+  fault::FaultSurface& surface = host_surface(host);
+  const std::uint32_t workers = surface.fault_worker_count();
+  for (std::uint32_t w = 0; w < workers; ++w) surface.inject_worker_crash(w);
+}
+
+void Cluster::inject_host_thaw(std::uint32_t host) {
+  fault::FaultSurface& surface = host_surface(host);
+  const std::uint32_t workers = surface.fault_worker_count();
+  for (std::uint32_t w = 0; w < workers; ++w) surface.inject_worker_resume(w);
+}
+
+void Cluster::inject_uplink_partition(std::uint32_t host, bool on) {
+  // Total loss at transmit time on the host→ToR wire: feedback, responses,
+  // and probe acks all go dark, so the ToR's probe timeout fires. The
+  // single-host topology has no uplink — nothing to sever.
+  if (net::EthernetSwitch* network = hosts_.at(host).network.get()) {
+    if (net::Wire* uplink = network->uplink_wire()) {
+      uplink->set_loss(on ? 1.0 : 0.0, kUplinkLossSeed ^ host);
+    }
+  }
+}
+
+void Cluster::inject_downlink_partition(std::uint32_t host, bool on) {
+  if (tor_ != nullptr) {
+    tor_->downlink_wire(host).set_loss(on ? 1.0 : 0.0,
+                                       kDownlinkLossSeed ^ host);
+  }
 }
 
 std::uint32_t ClusterBuilder::shard_for_host(std::size_t index) const {
@@ -131,6 +187,7 @@ Cluster ClusterBuilder::build() {
   }
 
   Cluster cluster;
+  cluster.front_sim_ = &sim_;
   cluster.client_network_ =
       std::make_unique<net::EthernetSwitch>(sim_, switch_latency_);
 
@@ -175,6 +232,18 @@ Cluster ClusterBuilder::build() {
       // 500 ns propagation becomes the group's conservative lookahead.
       cluster.tor_->downlink_wire(index).set_cross_shard(*group_, 0, shard);
       host.network->uplink_wire()->set_cross_shard(*group_, shard, 0);
+    }
+    if (tor_params.failover) {
+      // NIC-management-path probe reflector: parked at the reserved probe
+      // MAC on the host fabric, answering from "firmware" — its replies
+      // default-route up the uplink like any server response. Attached only
+      // when failover is on, so disabled topologies build the exact same
+      // switch tables frame for frame.
+      auto responder =
+          std::make_unique<rack::ProbeResponder>(host.network->ingress());
+      host.network->attach(rack::TorScheduler::probe_mac(), *responder,
+                           sim::Duration::zero(), tor_params.host_link_gbps);
+      host.probe_responder = std::move(responder);
     }
     servers.push_back(host.server.get());
     cluster.hosts_.push_back(std::move(host));

@@ -34,6 +34,7 @@
 #include "core/server.h"
 #include "core/task_queue.h"
 #include "core/testbed.h"
+#include "fault/fault_surface.h"
 #include "hw/apic_timer.h"
 #include "net/ethernet_switch.h"
 #include "overload/overload.h"
@@ -127,7 +128,16 @@ struct HostSpec {
 /// A built topology: the client-side network, one or more server hosts, and
 /// (for multi-host builds) the ToR scheduler joining them. Move-only; owns
 /// every switch, server, and the ToR.
-class Cluster {
+///
+/// The cluster is also the rack's fault surface (DESIGN §16): host-scoped
+/// faults resolve through it onto the components the builder wired — a host
+/// "crash" freezes every worker core of that host's server (the frozen-
+/// incarnation model; the NIC-path probe responder keeps answering, the
+/// cores just stop), and link partitions become total loss on the host's
+/// uplink / the ToR's downlink wire. Each injection point also reports the
+/// simulator shard that owns it, so `ClusterFaultInjector` schedules every
+/// mutation on the right shard.
+class Cluster : public fault::ClusterFaultSurface {
  public:
   Cluster(Cluster&&) = default;
   Cluster& operator=(Cluster&&) = default;
@@ -177,6 +187,20 @@ class Cluster {
   /// utilization); equals host 0's stats for single-host builds.
   ServerStats stats(sim::Duration elapsed) const;
 
+  // ---- fault::ClusterFaultSurface -----------------------------------------
+  std::uint32_t fault_host_count() const override {
+    return static_cast<std::uint32_t>(hosts_.size());
+  }
+  fault::FaultSurface& host_surface(std::uint32_t host) override;
+  sim::Simulator& host_fault_sim(std::uint32_t host) override {
+    return *hosts_.at(host).sim;
+  }
+  sim::Simulator& rack_fault_sim() override { return *front_sim_; }
+  void inject_host_freeze(std::uint32_t host) override;
+  void inject_host_thaw(std::uint32_t host) override;
+  void inject_uplink_partition(std::uint32_t host, bool on) override;
+  void inject_downlink_partition(std::uint32_t host, bool on) override;
+
  private:
   friend class ClusterBuilder;
   struct Host {
@@ -185,12 +209,15 @@ class Cluster {
     HostSpec spec;
     sim::Simulator* sim = nullptr;
     std::uint32_t shard = 0;
+    /// Health-probe reflector parked on the host fabric (failover only).
+    std::unique_ptr<net::PacketSink> probe_responder;
   };
   Cluster() = default;
 
   std::unique_ptr<net::EthernetSwitch> client_network_;
   std::unique_ptr<rack::TorScheduler> tor_;
   std::vector<Host> hosts_;
+  sim::Simulator* front_sim_ = nullptr;
 };
 
 /// Fluent topology builder. Add one host for the classic single-server

@@ -125,6 +125,16 @@ class DistributedServer::Worker {
         start_next();
         return;
       }
+      if (proto::peek_type(datagram->payload) ==
+          proto::MessageType::kCancel) {
+        // Run-to-completion has no central queue to unqueue from — by the
+        // time a ToR cancel reaches the core the request is either already
+        // running or already answered. Count it so hedged racks can see the
+        // frames arrived, and move on.
+        ++server_.cancels_ignored_;
+        start_next();
+        return;
+      }
       const auto request = proto::RequestMessage::parse(datagram->payload);
       if (!request) {
         ++server_.malformed_;

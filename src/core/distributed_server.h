@@ -128,6 +128,9 @@ class DistributedServer final : public Server, public fault::FaultSurface {
 
   std::uint64_t malformed_ = 0;
   std::uint64_t rebalances_ = 0;
+  /// ToR kCancel frames received and ignored: run-to-completion cores have
+  /// no dispatch queue to drop the losing hedge leg from.
+  std::uint64_t cancels_ignored_ = 0;
 };
 
 }  // namespace nicsched::core

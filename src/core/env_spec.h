@@ -53,6 +53,11 @@ class EnvSpec {
         "NICSCHED_RACK_STALE_US", "NICSCHED_RACK_SOJOURN_ALPHA",
         "NICSCHED_RACK_SOJOURN_WEIGHT", "NICSCHED_RACK_AFFINITY_TTL_US",
         "NICSCHED_RACK_HOST_TIMEOUT_US", "NICSCHED_RACK_SEED",
+        // Rack failover, hedging, and seeded chaos (DESIGN §16).
+        "NICSCHED_RACK_FAILOVER", "NICSCHED_RACK_FAILOVER_PROBE_US",
+        "NICSCHED_RACK_FAILOVER_TIMEOUT_US", "NICSCHED_RACK_HEDGE",
+        "NICSCHED_RACK_HEDGE_US", "NICSCHED_RACK_HEDGE_CANCEL",
+        "NICSCHED_CHAOS", "NICSCHED_CHAOS_SEED",
         // Tenant layer (DESIGN §13).
         "NICSCHED_TENANTS",
         // RDMA dispatch / feedback staleness (DESIGN §15) and shard pinning.

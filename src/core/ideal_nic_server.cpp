@@ -257,6 +257,22 @@ void IdealNicServer::scheduler_handle(net::Packet packet) {
     ++malformed_;
     return;
   }
+  if (proto::peek_type(datagram->payload) == proto::MessageType::kCancel) {
+    if (const auto cancel = proto::CancelMessage::parse(datagram->payload)) {
+      // The losing leg of a ToR-hedged pair (DESIGN §16): mark the id for a
+      // lazy drop at dispatch. A mark whose request was already dispatched
+      // (or never arrived here) is consumed-or-harmless — ids are unique
+      // per run.
+      if (tenants_on()) {
+        tenant_queue_->cancel(cancel->request_id);
+      } else {
+        queue_.cancel(cancel->request_id);
+      }
+    } else {
+      ++malformed_;
+    }
+    return;
+  }
   const auto request = proto::RequestMessage::parse(datagram->payload);
   if (!request) {
     ++malformed_;
@@ -508,6 +524,8 @@ ServerStats IdealNicServer::stats(sim::Duration elapsed) const {
   stats.overload.rejected = overload_rejected_;
   stats.overload.shed_expired =
       tenants_on() ? tenant_queue_->shed_total() : queue_.stats().shed_expired;
+  stats.cancelled =
+      tenants_on() ? tenant_queue_->cancelled_total() : queue_.stats().cancelled;
   stats.tenants = tenant::assemble_stats(config_.tenant, tenant_queue_.get(),
                                          tenant_admission_.get());
   return stats;

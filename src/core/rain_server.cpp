@@ -1,6 +1,7 @@
 #include "core/rain_server.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <stdexcept>
 #include <utility>
 
@@ -325,6 +326,22 @@ void RainServer::scheduler_handle(net::Packet packet) {
   const auto datagram = net::parse_udp_datagram(packet);
   if (!datagram || datagram->udp.dst_port != config_.udp_port) {
     ++malformed_;
+    return;
+  }
+  if (proto::peek_type(datagram->payload) == proto::MessageType::kCancel) {
+    if (const auto cancel = proto::CancelMessage::parse(datagram->payload)) {
+      // The losing leg of a ToR-hedged pair (DESIGN §16): mark the id for a
+      // lazy drop at dispatch. A mark whose request was already dispatched
+      // (or never arrived here) is consumed-or-harmless — ids are unique
+      // per run.
+      if (tenants_on()) {
+        tenant_queue_->cancel(cancel->request_id);
+      } else {
+        queue_.cancel(cancel->request_id);
+      }
+    } else {
+      ++malformed_;
+    }
     return;
   }
   const auto request = proto::RequestMessage::parse(datagram->payload);
@@ -784,8 +801,23 @@ void RainServer::inject_ingress_loss(double probability, std::uint64_t seed) {
   network_.set_port_loss(pf_->mac(), probability, seed);
 }
 
-void RainServer::inject_dispatch_loss(double /*probability*/,
-                                      std::uint64_t /*seed*/) {}
+void RainServer::inject_dispatch_loss(double probability,
+                                      std::uint64_t /*seed*/) {
+  // RAIN's dispatch path is one-sided RDMA writes into worker run-queues —
+  // a reliable transport with no loss hook. A schedule asking for dispatch
+  // loss here is asking for a fault this fabric cannot express: count the
+  // attempt (ReliabilityStats::loss_injections_ignored) and warn once, so
+  // the injection doesn't silently vanish. Restores (probability <= 0, the
+  // close of a loss window) are not attempts and stay silent.
+  if (probability <= 0.0) return;
+  ++rel_.loss_injections_ignored;
+  if (!warned_dispatch_loss_) {
+    warned_dispatch_loss_ = true;
+    std::fprintf(stderr,
+                 "nicsched: rain: ignoring dispatch-loss injection "
+                 "(one-sided RDMA dispatch has no loss hook)\n");
+  }
+}
 
 void RainServer::inject_ingress_degrade(double factor) {
   network_.set_port_degrade(pf_->mac(), factor);
@@ -828,6 +860,8 @@ ServerStats RainServer::stats(sim::Duration elapsed) const {
   stats.overload.rejected = overload_rejected_;
   stats.overload.shed_expired =
       tenants_on() ? tenant_queue_->shed_total() : queue_.stats().shed_expired;
+  stats.cancelled =
+      tenants_on() ? tenant_queue_->cancelled_total() : queue_.stats().cancelled;
   stats.overload.k_shrinks = adaptive_k_.shrinks();
   stats.overload.k_restores = adaptive_k_.restores();
   stats.tenants = tenant::assemble_stats(config_.tenant, tenant_queue_.get(),

@@ -212,6 +212,8 @@ class RainServer final : public Server, public fault::FaultSurface {
   std::unordered_set<std::uint64_t> abandoned_ids_;
   std::vector<std::uint32_t> consecutive_timeouts_;  // per worker
   ReliabilityStats rel_;
+  /// One stderr line per run for ignored dispatch-loss injections.
+  bool warned_dispatch_loss_ = false;
 };
 
 }  // namespace nicsched::core

@@ -53,6 +53,11 @@ struct ReliabilityStats {
   std::uint64_t duplicates = 0;        // duplicate frames suppressed
   std::uint64_t worker_deaths = 0;     // liveness detector declared a worker dead
   std::uint64_t revivals = 0;          // dead workers heard from again
+  /// Dispatch-loss injections requested against a server whose dispatch
+  /// path cannot drop frames (RAIN's one-sided RDMA writes). The schedule
+  /// asked for a fault the fabric cannot express; counting the attempts
+  /// keeps the ask visible instead of silently vanishing.
+  std::uint64_t loss_injections_ignored = 0;
 };
 
 /// Aggregate counters every server reports; benches and tests read these to
@@ -64,6 +69,9 @@ struct ServerStats {
   std::uint64_t spurious_interrupts = 0; // fired with nothing running
   std::uint64_t steals = 0;              // work-stealing systems only
   std::uint64_t drops = 0;               // ring overflows etc.
+  /// Requests dropped from a dispatch queue by a ToR kCancel frame (the
+  /// losing leg of a hedged pair, DESIGN §16); zero without hedging.
+  std::uint64_t cancelled = 0;
   std::size_t queue_max_depth = 0;       // centralized queue high-water mark
   /// Per-worker utilization over the run (busy time / wall time); the
   /// Figure 6 analysis ("workers spend 110 % more time waiting") reads this.

@@ -371,6 +371,24 @@ void ShinjukuServer::networker_handle(Group& group, net::Packet packet) {
     ++group.malformed;
     return;
   }
+  if (proto::peek_type(datagram->payload) == proto::MessageType::kCancel) {
+    if (const auto cancel = proto::CancelMessage::parse(datagram->payload)) {
+      // The losing leg of a ToR-hedged pair (DESIGN §16). The cancel's
+      // control 5-tuple need not hash to the group that queued the request,
+      // so mark every group's queue; a mark that never matches is harmless
+      // (ids are unique per run).
+      for (auto& other : groups_) {
+        if (other->tenant_queue) {
+          other->tenant_queue->cancel(cancel->request_id);
+        } else {
+          other->queue.cancel(cancel->request_id);
+        }
+      }
+    } else {
+      ++group.malformed;
+    }
+    return;
+  }
   const auto request = proto::RequestMessage::parse(datagram->payload);
   if (!request) {
     ++group.malformed;
@@ -659,6 +677,9 @@ ServerStats ShinjukuServer::stats(sim::Duration elapsed) const {
     stats.overload.shed_expired += group->tenant_queue
                                        ? group->tenant_queue->shed_total()
                                        : group->queue.stats().shed_expired;
+    stats.cancelled += group->tenant_queue
+                           ? group->tenant_queue->cancelled_total()
+                           : group->queue.stats().cancelled;
     tenant::accumulate(
         stats.tenants,
         tenant::assemble_stats(config_.tenant, group->tenant_queue.get(),

@@ -99,15 +99,18 @@ std::optional<TaskQueue::Entry> TaskQueue::pop_entry() {
 }
 
 std::optional<proto::RequestDescriptor> TaskQueue::pop() {
-  auto entry = pop_entry();
-  if (!entry) return std::nullopt;
-  ++stats_.dequeued;
-  return std::move(entry->descriptor);
+  while (auto entry = pop_entry()) {
+    if (consume_cancel(*entry)) continue;  // cancelled in queue: skip it
+    ++stats_.dequeued;
+    return std::move(entry->descriptor);
+  }
+  return std::nullopt;
 }
 
 std::optional<proto::RequestDescriptor> TaskQueue::pop(
     sim::TimePoint now, sim::Duration& queue_delay) {
   while (auto entry = pop_entry()) {
+    if (consume_cancel(*entry)) continue;  // cancelled in queue: skip it
     if (shed_expired_ && entry->descriptor.deadline_ps != 0 &&
         now.to_picos() >= static_cast<std::int64_t>(
                               entry->descriptor.deadline_ps)) {

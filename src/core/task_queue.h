@@ -29,6 +29,7 @@
 #include <deque>
 #include <map>
 #include <optional>
+#include <unordered_set>
 #include <vector>
 
 #include "proto/messages.h"
@@ -52,6 +53,7 @@ class TaskQueue {
     std::uint64_t enqueued_preempted = 0;
     std::uint64_t dequeued = 0;
     std::uint64_t shed_expired = 0;  ///< past-deadline drops before dispatch
+    std::uint64_t cancelled = 0;     ///< kCancel drops before dispatch
     std::size_t max_depth = 0;
   };
 
@@ -98,6 +100,13 @@ class TaskQueue {
   /// instead of handing them to a worker (overload control, DESIGN §11).
   void set_shed_expired(bool on) { shed_expired_ = on; }
 
+  /// Lazy cancel (DESIGN §16, ToR hedging): marks `request_id` so that if
+  /// it is still queued it is silently dropped at pop time instead of
+  /// occupying a worker. Request ids are unique per run, so a mark for an
+  /// already-dispatched id can never hit a later request; it is consumed on
+  /// match and harmless otherwise. O(1); draws nothing.
+  void cancel(std::uint64_t request_id) { cancelled_ids_.insert(request_id); }
+
   bool empty() const { return size_ == 0; }
   std::size_t depth() const { return size_; }
   const Stats& stats() const { return stats_; }
@@ -112,6 +121,15 @@ class TaskQueue {
 
   void insert(Entry entry);
   std::optional<Entry> pop_entry();
+  /// Consumes a pending cancel mark for this entry, if any.
+  bool consume_cancel(const Entry& entry) {
+    if (cancelled_ids_.empty()) return false;
+    const auto it = cancelled_ids_.find(entry.descriptor.request_id);
+    if (it == cancelled_ids_.end()) return false;
+    cancelled_ids_.erase(it);
+    ++stats_.cancelled;
+    return true;
+  }
   void note_depth() {
     if (size_ > stats_.max_depth) stats_.max_depth = size_;
   }
@@ -120,6 +138,7 @@ class TaskQueue {
   bool shed_expired_ = false;
   std::size_t size_ = 0;
   Stats stats_;
+  std::unordered_set<std::uint64_t> cancelled_ids_;
 
   /// kFcfs storage.
   std::deque<Entry> fifo_;

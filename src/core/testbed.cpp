@@ -209,6 +209,8 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
       params = *config.rack->tor;
     } else {
       params.policy = config.rack->policy;
+      params.failover = config.rack->failover;
+      params.hedge = config.rack->hedge;
       // The shared staleness knob seeds the ToR's tolerance before the env
       // pass so NICSCHED_RACK_STALE_US still wins; zero/unset leaves the
       // rack default untouched (bit-identical).
@@ -241,25 +243,55 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   }
   Cluster cluster = builder.build();
 
+  const sim::Duration measure = choose_measure_window(config);
+  const sim::TimePoint measure_start = sim::TimePoint::origin() + config.warmup;
+  const sim::TimePoint measure_end = measure_start + measure;
+  const sim::TimePoint run_end = measure_end + config.drain;
+
   // Install the fault schedule, if any: explicit config wins, otherwise the
   // NICSCHED_FAULT_* environment contract. Servers without a fault surface
-  // silently run fault-free (there is nothing to inject against). In rack
-  // mode the schedule targets host 0 only — the rest of the rack stays
-  // healthy, which is exactly the asymmetry the ToR must steer around.
+  // silently run fault-free (there is nothing to inject against). A classic
+  // (worker/loss-only) schedule keeps the legacy injector against host 0 —
+  // the rest of the rack stays healthy, which is exactly the asymmetry the
+  // ToR must steer around — bit for bit with pre-§16 builds. A host-scoped
+  // schedule routes through the cluster's rack-wide fault surface instead,
+  // with the run end as the horizon so actions that could never fire are
+  // warned about rather than silently dropped.
   std::optional<fault::FaultSchedule> fault_schedule = config.fault;
   if (!fault_schedule) fault_schedule = fault::FaultSchedule::from_env();
   std::optional<fault::FaultInjector> fault_injector;
+  std::optional<fault::ClusterFaultInjector> cluster_injector;
   if (fault_schedule && !fault_schedule->empty()) {
-    if (fault::FaultSurface* surface = cluster.server(0).fault_surface()) {
+    if (fault_schedule->host_scoped()) {
+      cluster_injector.emplace(cluster, *fault_schedule, run_end);
+    } else if (fault::FaultSurface* surface = cluster.server(0).fault_surface()) {
       // The injector's events must fire on the shard host 0 lives on (its
       // timers race the host's own events, not shard 0's).
       fault_injector.emplace(cluster.host_sim(0), *surface, *fault_schedule);
     }
   }
 
-  const sim::Duration measure = choose_measure_window(config);
-  const sim::TimePoint measure_start = sim::TimePoint::origin() + config.warmup;
-  const sim::TimePoint measure_end = measure_start + measure;
+  // Seeded chaos rides alongside any explicit schedule through its own
+  // injector. The topology and window fields always come from the resolved
+  // run — a chaos seed means "spray *this* cluster over *this* run", never
+  // a hand-built schedule — and the generator guarantees every fault
+  // recovers strictly before `end`, so the drain phase reaches quiescence.
+  std::optional<fault::ChaosOptions> chaos = config.chaos;
+  if (!chaos && EnvSpec::flag("NICSCHED_CHAOS", false)) {
+    fault::ChaosOptions options;
+    options.seed = EnvSpec::u64("NICSCHED_CHAOS_SEED", 1);
+    chaos = options;
+  }
+  std::optional<fault::ClusterFaultInjector> chaos_injector;
+  if (chaos) {
+    chaos->host_count =
+        static_cast<std::uint32_t>(rack_mode ? config.rack->hosts : 1);
+    chaos->worker_count = static_cast<std::uint32_t>(config.worker_count);
+    chaos->start = sim::TimePoint::origin();
+    chaos->end = measure_end;
+    chaos_injector.emplace(cluster, fault::make_chaos_schedule(*chaos),
+                           run_end);
+  }
 
   ExperimentResult result;
   result.recorder.set_window(measure_start, measure_end);
@@ -407,7 +439,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     }
   });
 
-  group.run_until(measure_end + config.drain);
+  group.run_until(run_end);
   result.events_fired = group.events_fired();
 
   for (std::size_t index = 0; index < clients.size(); ++index) {

@@ -13,6 +13,7 @@
 #include "core/model_params.h"
 #include "core/server.h"
 #include "core/task_queue.h"
+#include "fault/chaos_schedule.h"
 #include "fault/fault_schedule.h"
 #include "hw/apic_timer.h"
 #include "obs/capture.h"
@@ -67,8 +68,17 @@ struct RackConfig {
   /// p2c scoring is informed. On by default in rack mode; kJsqIdeal reads
   /// true telemetry instead and flow-hash/random/rr ignore feedback.
   bool load_feedback = true;
-  /// Full ToR knob set. Unset = TorParams defaults with `policy` applied,
-  /// then the NICSCHED_RACK_* environment contract; set = used verbatim.
+  /// ToR failure handling (DESIGN §16): probe-based death detection, host
+  /// ejection, and draining/re-steering of in-flight requests pinned to a
+  /// dead host. Off = the PR-6 silence-only verdict path, bit for bit.
+  /// Applied before the env pass, so NICSCHED_RACK_FAILOVER still wins.
+  bool failover = false;
+  /// Opt-in request hedging: a duplicate copy to the best alternative host
+  /// after TorParams::hedge_after, first response wins, loser cancelled.
+  bool hedge = false;
+  /// Full ToR knob set. Unset = TorParams defaults with `policy`,
+  /// `failover`, and `hedge` applied, then the NICSCHED_RACK_* environment
+  /// contract; set = used verbatim.
   std::optional<rack::TorParams> tor;
 };
 
@@ -126,7 +136,18 @@ struct ExperimentConfig {
   /// Fault schedule to install against the server's FaultSurface. Unset
   /// defers to the NICSCHED_FAULT_* environment contract
   /// (fault::FaultSchedule::from_env); an empty schedule injects nothing.
+  /// A schedule using host-scoped kinds (crash_host, partition, ...)
+  /// installs through the cluster's rack-wide surface; classic schedules
+  /// keep the legacy host-0 injector, bit for bit.
   std::optional<fault::FaultSchedule> fault;
+  /// Seeded chaos (DESIGN §16): a generated schedule of composed host +
+  /// link + worker + loss faults. The harness overwrites the topology and
+  /// window fields (`host_count`, `worker_count`, `start`, `end`) from the
+  /// resolved run, so only the seed and category toggles matter here. Every
+  /// fault recovers before the drain phase, so conservation holds at
+  /// quiescence. Unset defers to NICSCHED_CHAOS / NICSCHED_CHAOS_SEED;
+  /// unset with a clean environment injects nothing, bit for bit.
+  std::optional<fault::ChaosOptions> chaos;
   /// Reliable dispatcher↔worker protocol (DESIGN §9) for the systems that
   /// support it (shinjuku, shinjuku-offload). Unset = off, preserving the
   /// baseline frame flow bit for bit.
@@ -306,6 +327,30 @@ struct ExperimentConfig {
   }
   ExperimentConfig& with_faults(fault::FaultSchedule schedule) {
     fault = std::move(schedule);
+    return *this;
+  }
+  ExperimentConfig& with_chaos(fault::ChaosOptions options) {
+    chaos = options;
+    return *this;
+  }
+  /// Seed-only shorthand; topology and window fields are filled by the
+  /// harness either way.
+  ExperimentConfig& with_chaos(std::uint64_t chaos_seed) {
+    fault::ChaosOptions options;
+    options.seed = chaos_seed;
+    chaos = options;
+    return *this;
+  }
+  /// Enables ToR failure handling (requires rack mode; creates a default
+  /// RackConfig if none is set yet — call after with_rack to compose).
+  ExperimentConfig& with_failover(bool on = true) {
+    if (!rack) rack.emplace();
+    rack->failover = on;
+    return *this;
+  }
+  ExperimentConfig& with_hedging(bool on = true) {
+    if (!rack) rack.emplace();
+    rack->hedge = on;
     return *this;
   }
   ExperimentConfig& reliable(bool on = true) {

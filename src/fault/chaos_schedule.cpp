@@ -1,0 +1,100 @@
+#include "fault/chaos_schedule.h"
+
+#include <algorithm>
+
+#include "sim/random.h"
+
+namespace nicsched::fault {
+
+FaultSchedule make_chaos_schedule(const ChaosOptions& options) {
+  FaultSchedule schedule;
+  schedule.with_seed(options.seed);
+
+  const std::uint32_t hosts = std::max<std::uint32_t>(1, options.host_count);
+  const sim::TimePoint start = options.start;
+  const sim::Duration span = options.end - options.start;
+  auto at = [&](double frac) { return start + span * frac; };
+
+  // One child stream per fault category, forked in a fixed order: toggling a
+  // category off never re-times the windows of the categories left on.
+  sim::Rng root(options.seed ^ 0xC7A05C7A05C7A05ULL);
+  sim::Rng host_rng = root.fork();
+  sim::Rng link_rng = root.fork();
+  sim::Rng worker_rng = root.fork();
+  sim::Rng loss_rng = root.fork();
+
+  auto pick_host = [hosts](sim::Rng& rng) {
+    return static_cast<std::uint32_t>(rng.uniform_int(0, hosts - 1));
+  };
+
+  if (options.host_faults) {
+    // One or two crash/recover pairs on distinct hosts; every crash begins
+    // by 50% of the span and recovers within a further 20%, so the rack has
+    // the back half of the window to detect, drain, and re-converge.
+    const std::uint32_t crashes =
+        std::min<std::uint32_t>(hosts, host_rng.bernoulli(0.4) ? 2 : 1);
+    const std::uint32_t first = pick_host(host_rng);
+    for (std::uint32_t i = 0; i < crashes; ++i) {
+      const std::uint32_t victim = (first + i) % hosts;
+      const double begin = host_rng.uniform(0.10, 0.50);
+      const double len = host_rng.uniform(0.05, 0.20);
+      schedule.crash_host(at(begin), victim);
+      schedule.recover_host(at(begin + len), victim);
+    }
+  }
+
+  if (options.link_faults) {
+    const std::uint64_t windows = 1 + link_rng.uniform_int(0, 1);
+    for (std::uint64_t i = 0; i < windows; ++i) {
+      const std::uint32_t host = pick_host(link_rng);
+      const auto direction =
+          static_cast<LinkDirection>(link_rng.uniform_int(0, 2));
+      const double begin = link_rng.uniform(0.10, 0.60);
+      const double len = link_rng.uniform(0.03, 0.12);
+      schedule.partition(at(begin), at(begin + len), host, direction);
+    }
+  }
+
+  if (options.worker_faults && options.worker_count > 0) {
+    const std::uint64_t stalls = 1 + worker_rng.uniform_int(0, 1);
+    for (std::uint64_t i = 0; i < stalls; ++i) {
+      const std::uint32_t host = pick_host(worker_rng);
+      const auto worker = static_cast<std::uint32_t>(
+          worker_rng.uniform_int(0, options.worker_count - 1));
+      const double begin = worker_rng.uniform(0.10, 0.60);
+      schedule.stall_worker_on(host, at(begin), worker,
+                               span * worker_rng.uniform(0.02, 0.08));
+    }
+    if (worker_rng.bernoulli(0.6)) {
+      const std::uint32_t host = pick_host(worker_rng);
+      const auto worker = static_cast<std::uint32_t>(
+          worker_rng.uniform_int(0, options.worker_count - 1));
+      const double begin = worker_rng.uniform(0.10, 0.50);
+      const double len = worker_rng.uniform(0.05, 0.20);
+      schedule.crash_worker_on(host, at(begin), worker);
+      schedule.resume_worker_on(host, at(begin + len), worker);
+    }
+  }
+
+  if (options.loss) {
+    const std::uint64_t windows = 1 + loss_rng.uniform_int(0, 1);
+    for (std::uint64_t i = 0; i < windows; ++i) {
+      const std::uint32_t host = pick_host(loss_rng);
+      const double begin = loss_rng.uniform(0.10, 0.60);
+      const double len = loss_rng.uniform(0.05, 0.20);
+      schedule.ingress_loss_on(host, at(begin), at(begin + len),
+                               loss_rng.uniform(0.01, 0.10));
+    }
+    if (loss_rng.bernoulli(0.5)) {
+      const std::uint32_t host = pick_host(loss_rng);
+      const double begin = loss_rng.uniform(0.10, 0.60);
+      const double len = loss_rng.uniform(0.05, 0.20);
+      schedule.dispatch_loss_on(host, at(begin), at(begin + len),
+                                loss_rng.uniform(0.005, 0.03));
+    }
+  }
+
+  return schedule;
+}
+
+}  // namespace nicsched::fault

@@ -8,7 +8,27 @@
 // pattern. After construction the injector holds no state the events need —
 // the closures capture the surface pointer and plain values — but keeping it
 // alive alongside the run is the normal pattern.
+//
+// Both injectors take an optional `horizon` (the planned end of the run):
+// actions scheduled at or past it could never fire, so they are dropped with
+// a one-line warning instead of riding along silently — the same inert-input
+// policy the FaultSchedule builders apply (DESIGN §16). Worker ids at or
+// past the surface's worker count still wrap modulo (the documented
+// contract) but now warn once per injector.
+//
+// ClusterFaultInjector is the rack-scale variant: it fans a host-scoped
+// schedule out across a ClusterFaultSurface, scheduling each event on the
+// simulator whose shard owns the injection point (host faults on the host's
+// shard, downlink faults on the rack shard). Overlapping windows are
+// refcounted per host and direction so a short partition ending inside a
+// longer crash cannot un-silence the crashed host. Unlike FaultInjector, the
+// partition refcounts live behind a shared_ptr captured by the events, so
+// the injector itself may be destroyed before the run finishes.
 #pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
 
 #include "fault/fault_schedule.h"
 #include "fault/fault_surface.h"
@@ -21,7 +41,8 @@ class FaultInjector {
   /// Schedules every action in `schedule` against `surface`. The surface
   /// must outlive the simulation run.
   FaultInjector(sim::Simulator& sim, FaultSurface& surface,
-                FaultSchedule schedule);
+                FaultSchedule schedule,
+                std::optional<sim::TimePoint> horizon = std::nullopt);
 
   FaultInjector(const FaultInjector&) = delete;
   FaultInjector& operator=(const FaultInjector&) = delete;
@@ -30,6 +51,35 @@ class FaultInjector {
 
  private:
   FaultSchedule schedule_;
+};
+
+class ClusterFaultInjector {
+ public:
+  /// Schedules every action in `schedule` across `cluster`'s hosts. Host
+  /// indices wrap modulo fault_host_count(). Must be constructed before the
+  /// run starts (events are placed on per-shard simulators while the
+  /// engine is still single-threaded).
+  ClusterFaultInjector(ClusterFaultSurface& cluster, FaultSchedule schedule,
+                       std::optional<sim::TimePoint> horizon = std::nullopt);
+
+  ClusterFaultInjector(const ClusterFaultInjector&) = delete;
+  ClusterFaultInjector& operator=(const ClusterFaultInjector&) = delete;
+
+  const FaultSchedule& schedule() const { return schedule_; }
+
+ private:
+  /// Per-host nesting depths. Each counter is only ever touched from the
+  /// shard that owns the matching injection point (freeze/uplink: the
+  /// host's shard; downlink: the rack shard), so no synchronization is
+  /// needed even under the parallel engine.
+  struct State {
+    std::vector<int> freeze_depth;
+    std::vector<int> uplink_depth;
+    std::vector<int> downlink_depth;
+  };
+
+  FaultSchedule schedule_;
+  std::shared_ptr<State> state_;
 };
 
 }  // namespace nicsched::fault

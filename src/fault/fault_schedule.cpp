@@ -1,11 +1,119 @@
 #include "fault/fault_schedule.h"
 
+#include <cstdio>
 #include <cstdlib>
 #include <string>
 
 #include "sim/random.h"
 
 namespace nicsched::fault {
+
+namespace {
+
+/// Inert-input policy (DESIGN §16): a builder argument that could never
+/// inject anything is dropped with a warning instead of riding along as a
+/// no-op, mirroring the NICSCHED_TENANTS malformed-input handling.
+bool warn_inert(const char* what, const char* why) {
+  std::fprintf(stderr, "nicsched: ignoring inert fault %s (%s)\n", what, why);
+  return false;
+}
+
+bool valid_window(const char* what, sim::TimePoint start, sim::TimePoint end) {
+  if (end > start) return true;
+  return warn_inert(what, "zero-length window: end <= start");
+}
+
+}  // namespace
+
+FaultSchedule& FaultSchedule::ingress_loss_on(std::uint32_t host,
+                                              sim::TimePoint start,
+                                              sim::TimePoint end,
+                                              double probability) {
+  if (!valid_window("ingress-loss window", start, end)) return *this;
+  if (probability <= 0.0) {
+    warn_inert("ingress-loss window", "probability <= 0 injects nothing");
+    return *this;
+  }
+  if (probability > 1.0) {
+    std::fprintf(stderr,
+                 "nicsched: clamping fault ingress-loss probability %.3f to "
+                 "1.0\n",
+                 probability);
+    probability = 1.0;
+  }
+  ingress_loss_.push_back({start, end, probability, host});
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::dispatch_loss_on(std::uint32_t host,
+                                               sim::TimePoint start,
+                                               sim::TimePoint end,
+                                               double probability) {
+  if (!valid_window("dispatch-loss window", start, end)) return *this;
+  if (probability <= 0.0) {
+    warn_inert("dispatch-loss window", "probability <= 0 injects nothing");
+    return *this;
+  }
+  if (probability > 1.0) {
+    std::fprintf(stderr,
+                 "nicsched: clamping fault dispatch-loss probability %.3f to "
+                 "1.0\n",
+                 probability);
+    probability = 1.0;
+  }
+  dispatch_loss_.push_back({start, end, probability, host});
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::degrade_ingress_on(std::uint32_t host,
+                                                 sim::TimePoint start,
+                                                 sim::TimePoint end,
+                                                 double factor) {
+  if (!valid_window("ingress-degrade window", start, end)) return *this;
+  if (factor <= 1.0) {
+    warn_inert("ingress-degrade window", "factor <= 1 does not degrade");
+    return *this;
+  }
+  degrade_ingress_.push_back({start, end, factor, host});
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::stall_worker_on(std::uint32_t host,
+                                              sim::TimePoint at,
+                                              std::uint32_t worker,
+                                              sim::Duration duration) {
+  if (duration <= sim::Duration::zero()) {
+    warn_inert("worker stall", "zero-length stall pauses nothing");
+    return *this;
+  }
+  workers_.push_back({at, worker, WorkerActionKind::kStall, duration, host});
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::partition(sim::TimePoint start,
+                                        sim::TimePoint end, std::uint32_t host,
+                                        LinkDirection direction) {
+  if (!valid_window("partition window", start, end)) return *this;
+  partitions_.push_back({start, end, host, direction});
+  return *this;
+}
+
+bool FaultSchedule::host_scoped() const {
+  if (!host_actions_.empty() || !partitions_.empty()) return true;
+  for (const auto& w : ingress_loss_) {
+    if (w.host != 0) return true;
+  }
+  for (const auto& w : dispatch_loss_) {
+    if (w.host != 0) return true;
+  }
+  for (const auto& w : degrade_ingress_) {
+    if (w.host != 0) return true;
+  }
+  for (const auto& a : workers_) {
+    if (a.host != 0) return true;
+  }
+  return false;
+}
 
 FaultSchedule FaultSchedule::randomized(std::uint64_t seed,
                                         std::uint32_t worker_count,

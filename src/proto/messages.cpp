@@ -120,7 +120,7 @@ std::optional<MessageType> peek_type(std::span<const std::uint8_t> payload) {
   if (version != kVersion && version != kVersionExtended) return std::nullopt;
   const std::uint8_t type = reader.u8();
   if (type < static_cast<std::uint8_t>(MessageType::kRequest) ||
-      type > static_cast<std::uint8_t>(MessageType::kRdmaCqEntry)) {
+      type > static_cast<std::uint8_t>(MessageType::kCancel)) {
     return std::nullopt;
   }
   return static_cast<MessageType>(type);
@@ -464,6 +464,58 @@ std::optional<RejectMessage> RejectMessage::parse(
   message.client_id = reader.u32();
   message.kind = reader.u16();
   message.queue_depth = reader.u32();
+  return message;
+}
+
+std::vector<std::uint8_t> ProbeMessage::serialize(MessageType type) const {
+  return owned(16, [this, type](std::vector<std::uint8_t>& out) {
+    serialize_into(type, out);
+  });
+}
+
+void ProbeMessage::serialize_into(MessageType type,
+                                  std::vector<std::uint8_t>& out) const {
+  out.clear();
+  net::ByteWriter writer(out);
+  write_header(writer, type);
+  writer.u64(seq);
+  writer.u32(host);
+}
+
+std::optional<ProbeMessage> ProbeMessage::parse(
+    std::span<const std::uint8_t> payload, MessageType expected_type) {
+  if (expected_type != MessageType::kHealthProbe &&
+      expected_type != MessageType::kHealthProbeAck) {
+    return std::nullopt;
+  }
+  net::ByteReader reader(payload);
+  if (!read_header(reader, expected_type)) return std::nullopt;
+  if (reader.remaining() < 12) return std::nullopt;
+  ProbeMessage message;
+  message.seq = reader.u64();
+  message.host = reader.u32();
+  return message;
+}
+
+std::vector<std::uint8_t> CancelMessage::serialize() const {
+  return owned(12,
+               [this](std::vector<std::uint8_t>& out) { serialize_into(out); });
+}
+
+void CancelMessage::serialize_into(std::vector<std::uint8_t>& out) const {
+  out.clear();
+  net::ByteWriter writer(out);
+  write_header(writer, MessageType::kCancel);
+  writer.u64(request_id);
+}
+
+std::optional<CancelMessage> CancelMessage::parse(
+    std::span<const std::uint8_t> payload) {
+  net::ByteReader reader(payload);
+  if (!read_header(reader, MessageType::kCancel)) return std::nullopt;
+  if (reader.remaining() < 8) return std::nullopt;
+  CancelMessage message;
+  message.request_id = reader.u64();
   return message;
 }
 

@@ -24,6 +24,14 @@
 //   kRdmaRunQueueEntry    NIC → worker    sequenced descriptor in a RQ slot
 //   kRdmaCqEntry          worker → NIC    started/completed/preempted CQE
 //
+// Three more cover rack-scale failure handling (DESIGN §16): the ToR probes
+// hosts whose feedback has gone silent, and hedged requests need the loser
+// copy cancelled once a winner responds:
+//
+//   kHealthProbe     ToR → host     liveness probe to the host's responder
+//   kHealthProbeAck  host → ToR     probe echo; proves the NIC path is alive
+//   kCancel          ToR → host     best-effort: drop this queued request
+//
 // The synthetic workload (§4.1) encodes "fake work that keeps the server
 // busy for a specific amount of time" as `work_ps` in the request payload.
 // Preempted requests save their progress host-side; on the wire the
@@ -64,6 +72,9 @@ enum class MessageType : std::uint8_t {
   kReject = 10,
   kRdmaRunQueueEntry = 11,
   kRdmaCqEntry = 12,
+  kHealthProbe = 13,
+  kHealthProbeAck = 14,
+  kCancel = 15,
 };
 
 /// Peeks at a payload's message type without a full parse.
@@ -271,6 +282,37 @@ struct RejectMessage {
       std::span<const std::uint8_t> payload);
 
   bool operator==(const RejectMessage&) const = default;
+};
+
+/// ToR ⇄ host liveness probe (DESIGN §16), serialized as kHealthProbe (ToR
+/// asks) or kHealthProbeAck (the host's probe responder echoes seq and host
+/// back). The parse side must name the expected direction so a reflected
+/// probe can never be mistaken for its own ack.
+struct ProbeMessage {
+  std::uint64_t seq = 0;
+  std::uint32_t host = 0;
+
+  std::vector<std::uint8_t> serialize(MessageType type) const;
+  void serialize_into(MessageType type, std::vector<std::uint8_t>& out) const;
+  static std::optional<ProbeMessage> parse(
+      std::span<const std::uint8_t> payload, MessageType expected_type);
+
+  bool operator==(const ProbeMessage&) const = default;
+};
+
+/// ToR → host: best-effort cancellation of a still-queued request (the loser
+/// copy of a hedged pair, DESIGN §16). Purely advisory — a server that has
+/// already dispatched the request just ignores it, and the ToR's dedupe
+/// absorbs the duplicate response.
+struct CancelMessage {
+  std::uint64_t request_id = 0;
+
+  std::vector<std::uint8_t> serialize() const;
+  void serialize_into(std::vector<std::uint8_t>& out) const;
+  static std::optional<CancelMessage> parse(
+      std::span<const std::uint8_t> payload);
+
+  bool operator==(const CancelMessage&) const = default;
 };
 
 /// Worker → client.

@@ -89,9 +89,48 @@ struct TorParams {
   /// and informed policies steer away until it is heard from again.
   sim::Duration host_timeout = sim::Duration::millis(1);
 
+  // ---- failure handling (DESIGN §16), everything below default-off -------
+
+  /// Master switch for active failure handling: health probing, host
+  /// ejection on probe timeout, draining/re-steering of in-flight requests
+  /// off a dead host, and duplicate-response suppression. Off, the ToR
+  /// behaves bit-identically to the passive silence-verdict-only design.
+  bool failover = false;
+
+  /// Health tick period, and the uplink-silence threshold after which a
+  /// probe is sent: a host that produced any uplink frame within the last
+  /// interval is presumed alive for free (feedback-silence detection); only
+  /// quiet hosts spend a probe.
+  sim::Duration probe_interval = sim::Duration::micros(200);
+
+  /// A probe unanswered for this long is a death verdict — the NIC-level
+  /// complement to `host_timeout`, which needs outstanding requests to
+  /// trigger. Ejection reuses the same epoch machinery; readmission happens
+  /// the moment any uplink frame (usually a late probe ack) arrives.
+  sim::Duration probe_timeout = sim::Duration::micros(100);
+
+  /// Opt-in hedged requests, informed by the ToR's health view: a request
+  /// still unanswered `hedge_after` after its first steer is duplicated to
+  /// a second host — but only if its primary host has also been uplink-
+  /// silent for that whole window. A host that produced any frame recently
+  /// is alive and merely queueing; duplicating its work would amplify load
+  /// exactly when the rack has the least headroom, so those requests wait.
+  /// The first response wins and the loser copy is cancelled (best-effort)
+  /// and its eventual duplicate response suppressed. Composes with client
+  /// retry budgets — the client sees exactly one response either way.
+  bool hedge = false;
+  sim::Duration hedge_after = sim::Duration::micros(50);
+  /// Send a kCancel for the loser copy once a winner responds. On by
+  /// default (when hedging is on) — cancellation is what keeps hedges from
+  /// doubling backend load at high utilization.
+  bool hedge_cancel = true;
+
   /// Seed for the ToR's own RNG stream (kRandom draws, kPowerOfTwo
   /// candidate pairs). Forked per TorScheduler, never shared with clients
-  /// or servers, so adding a rack does not perturb their streams.
+  /// or servers, so adding a rack does not perturb their streams. The
+  /// failover paths (re-steer targets, hedge backups) deliberately draw
+  /// nothing from it: they pick by deterministic score, so enabling
+  /// failover never perturbs the policy's RNG sequence.
   std::uint64_t seed = 0x70F2;
 
   /// Applies NICSCHED_RACK_* environment overrides on top of `base`:
@@ -104,6 +143,12 @@ struct TorParams {
   ///   NICSCHED_RACK_SOJOURN_WEIGHT  sojourn-vs-depth score weight
   ///   NICSCHED_RACK_AFFINITY_TTL_US affinity eviction horizon
   ///   NICSCHED_RACK_HOST_TIMEOUT_US death-verdict silence threshold
+  ///   NICSCHED_RACK_FAILOVER            enable probing/ejection/draining
+  ///   NICSCHED_RACK_FAILOVER_PROBE_US   health tick / silence threshold
+  ///   NICSCHED_RACK_FAILOVER_TIMEOUT_US probe-timeout death verdict
+  ///   NICSCHED_RACK_HEDGE               enable hedged requests
+  ///   NICSCHED_RACK_HEDGE_US            hedge trigger delay
+  ///   NICSCHED_RACK_HEDGE_CANCEL        cancel the loser copy (default on)
   static TorParams from_env(TorParams base);
   static TorParams from_env() { return from_env(TorParams{}); }
 };
@@ -155,6 +200,15 @@ struct RackStats {
   std::uint64_t stale_decisions = 0;     // p2c fell back to outstanding-only
   std::uint64_t feedback_samples = 0;    // accepted into a host estimate
   std::uint64_t feedback_discarded_dead = 0;  // sum of per-host discards
+  // Failure handling (DESIGN §16); all zero with failover/hedging off.
+  std::uint64_t probes_sent = 0;
+  std::uint64_t probe_acks = 0;
+  std::uint64_t probe_deaths = 0;        // probe-timeout death verdicts
+  std::uint64_t requests_resteered = 0;  // drained off a dead host
+  std::uint64_t hedges_sent = 0;         // backup copies dispatched
+  std::uint64_t hedge_wins = 0;          // backup answered first
+  std::uint64_t cancels_sent = 0;        // loser-copy cancellations
+  std::uint64_t duplicates_suppressed = 0;  // dup responses swallowed at ToR
   std::vector<RackHostStats> hosts;
   /// Rack-wide per-tenant rows (per-host slices summed, first-seen order).
   std::vector<RackTenantStats> tenants;
@@ -169,6 +223,18 @@ class TorScheduler : public net::PacketSink {
   /// MAC/IP index of the virtual service endpoint on the client-side
   /// switch. Far above any client index (clients use small integers).
   static constexpr std::uint32_t kVipIndex = 0xF0'0000;
+
+  /// MAC/IP index of each host's probe responder on its *local* fabric
+  /// (every host fabric is a separate switch, so one reserved index serves
+  /// all hosts; the ProbeMessage host field disambiguates). Only attached
+  /// when failover is on, so the off topology is construction-identical.
+  static constexpr std::uint32_t kProbeIndex = 0xF1'0000;
+  static net::MacAddress probe_mac() {
+    return net::MacAddress::from_index(kProbeIndex);
+  }
+  static net::Ipv4Address probe_ip() {
+    return net::Ipv4Address::from_index(kProbeIndex);
+  }
 
   TorScheduler(sim::Simulator& sim, TorParams params);
   ~TorScheduler() override;
@@ -225,6 +291,7 @@ class TorScheduler : public net::PacketSink {
   struct HostUplink;
 
   struct HostState {
+    std::size_t index = 0;
     net::MacAddress mac;
     net::Ipv4Address ip;
     std::unique_ptr<net::Wire> downlink;
@@ -242,8 +309,26 @@ class TorScheduler : public net::PacketSink {
     std::uint32_t queue_depth = 0;
     sim::TimePoint feedback_at;  // when the freshest sample arrived
 
+    // Health probing (failover only).
+    bool probe_outstanding = false;
+    sim::TimePoint probe_sent_at;
+    std::uint64_t probe_seq = 0;
+
     RackHostStats counters;  // requests/responses/deaths/... (not snapshots)
   };
+
+  /// Everything needed to re-materialize a steered request on another
+  /// host's downlink (drain/re-steer and hedge copies). Only populated when
+  /// failover or hedging is on, so the default configuration pays nothing.
+  struct StoredRequest {
+    net::MacAddress src_mac;
+    net::Ipv4Address src_ip;
+    std::uint16_t src_port = 0;
+    std::uint16_t dst_port = 0;
+    std::vector<std::uint8_t> payload;
+  };
+
+  static constexpr std::uint32_t kNoHost = 0xFFFF'FFFF;
 
   struct Affinity {
     std::uint32_t host = 0;
@@ -252,6 +337,9 @@ class TorScheduler : public net::PacketSink {
     std::uint16_t tenant = 0;
     sim::TimePoint first_sent;
     sim::TimePoint last_sent;
+    /// Backup host carrying the hedge copy (kNoHost = none).
+    std::uint32_t hedge_host = kNoHost;
+    std::unique_ptr<StoredRequest> stored;
   };
 
   /// Find-or-append the per-tenant row for `id` (first-seen order).
@@ -264,11 +352,37 @@ class TorScheduler : public net::PacketSink {
   std::size_t pick_host(const net::FiveTuple& flow);
   double score(HostState& host, sim::TimePoint now, bool& fresh);
   bool dead_now(HostState& host, sim::TimePoint now);
+  /// The dead verdict's mutation half: epoch bump, estimate clear, and —
+  /// with failover on — draining the host's in-flight requests.
+  void declare_dead(HostState& host, sim::TimePoint now);
+  /// Lowest-score non-dead host (ties → lowest index), skipping `exclude`,
+  /// or `fallback` when every candidate is dead. Deterministic: draws no
+  /// randomness, so failover re-steers never perturb the policy RNG
+  /// sequence. Pass `exclude >= hosts_.size()` to consider every host.
+  std::size_t best_alive(sim::TimePoint now, std::size_t fallback,
+                         std::size_t exclude);
+  /// Re-steers every in-flight request pinned to `host` onto the best
+  /// alive host (failover only; requests with no stored copy stay put and
+  /// age out via the affinity TTL).
+  void drain_host(HostState& host, sim::TimePoint now);
+  void transmit_stored(const StoredRequest& stored, HostState& target);
+  void health_tick();
+  void send_probe(HostState& host, sim::TimePoint now);
+  void maybe_hedge(std::uint64_t request_id);
+  void send_cancel(HostState& host, std::uint64_t request_id,
+                   std::uint16_t dst_port);
   void fold_feedback(HostState& host, const Affinity& entry,
                      std::uint32_t depth, bool has_sojourn,
                      std::uint64_t sojourn_ps);
-  void complete(std::size_t host, std::uint64_t request_id);
+  /// Gives back the outstanding slots an affinity entry holds on its
+  /// primary (and, if hedged, backup) host plus the tenant row.
+  void reclaim_slots(const Affinity& entry);
+  /// Resolves a request: reclaims slots, records the id for duplicate
+  /// suppression (dedupe_active() only), and drops the affinity entry.
+  void complete(std::uint64_t request_id);
   void sweep_affinity(sim::TimePoint now);
+  bool dedupe_active() const { return params_.failover || params_.hedge; }
+  void sweep_completed(sim::TimePoint now);
 
   sim::Simulator& sim_;
   TorParams params_;
@@ -283,6 +397,13 @@ class TorScheduler : public net::PacketSink {
   /// entry whose logged time no longer matches the map is re-validated, not
   /// evicted.
   std::deque<std::pair<std::uint64_t, sim::TimePoint>> affinity_log_;
+
+  /// Recently completed request ids (dedupe_active() only): a response for
+  /// one of these is a late duplicate — a thawed host or hedge loser — and
+  /// is swallowed instead of reaching the client twice. Swept lazily on the
+  /// affinity TTL, mirroring affinity_log_.
+  std::unordered_map<std::uint64_t, sim::TimePoint> completed_;
+  std::deque<std::pair<std::uint64_t, sim::TimePoint>> completed_log_;
 
   RackStats stats_;
 };

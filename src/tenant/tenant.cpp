@@ -171,15 +171,28 @@ bool TenantDispatchQueue::expired(const proto::RequestDescriptor& descriptor,
              static_cast<std::int64_t>(descriptor.deadline_ps);
 }
 
+bool TenantDispatchQueue::cancelled(
+    const proto::RequestDescriptor& descriptor) const {
+  return !cancelled_ids_.empty() &&
+         cancelled_ids_.count(descriptor.request_id) != 0;
+}
+
 void TenantDispatchQueue::shed_expired_front(std::size_t index,
                                              sim::TimePoint now) {
   Lane& lane = lanes_[index];
-  while (!lane.entries.empty() &&
-         expired(lane.entries.front().descriptor, now)) {
+  while (!lane.entries.empty()) {
+    const proto::RequestDescriptor& front = lane.entries.front().descriptor;
+    if (cancelled(front)) {
+      cancelled_ids_.erase(front.request_id);
+      ++cancelled_total_;
+    } else if (expired(front, now)) {
+      ++stats_[index].overload.shed_expired;
+      ++shed_total_;
+    } else {
+      break;
+    }
     lane.entries.pop_front();
     --size_;
-    ++stats_[index].overload.shed_expired;
-    ++shed_total_;
   }
 }
 
@@ -206,6 +219,14 @@ std::optional<TenantDispatchQueue::Popped> TenantDispatchQueue::pop(
     while (!fifo_order_.empty()) {
       const std::size_t index = fifo_order_.front();
       Lane& lane = lanes_[index];
+      if (cancelled(lane.entries.front().descriptor)) {
+        cancelled_ids_.erase(lane.entries.front().descriptor.request_id);
+        ++cancelled_total_;
+        fifo_order_.pop_front();
+        lane.entries.pop_front();
+        --size_;
+        continue;
+      }
       if (expired(lane.entries.front().descriptor, now)) {
         fifo_order_.pop_front();
         lane.entries.pop_front();

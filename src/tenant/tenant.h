@@ -31,6 +31,7 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <unordered_set>
 #include <vector>
 
 #include "overload/overload.h"
@@ -215,6 +216,13 @@ class TenantDispatchQueue {
 
   void set_shed_expired(bool on) { shed_expired_ = on; }
 
+  /// Lazy cancel (DESIGN §16): a still-queued request with this id is
+  /// dropped at the next pop instead of occupying a worker. Ids are unique
+  /// per run, so a stale mark can never hit a later request; it is consumed
+  /// on match and harmless otherwise.
+  void cancel(std::uint64_t request_id) { cancelled_ids_.insert(request_id); }
+  std::uint64_t cancelled_total() const { return cancelled_total_; }
+
   bool empty() const { return size_ == 0; }
   std::size_t depth() const { return size_; }
   std::size_t depth_of(std::size_t index) const {
@@ -245,7 +253,9 @@ class TenantDispatchQueue {
   void enqueue(std::size_t index, Entry entry);
   bool expired(const proto::RequestDescriptor& descriptor,
                sim::TimePoint now) const;
-  /// Drops expired entries from the front of `lane` (shedding on only).
+  bool cancelled(const proto::RequestDescriptor& descriptor) const;
+  /// Drops expired (shedding on only) and cancelled entries from the front
+  /// of `lane`.
   void shed_expired_front(std::size_t index, sim::TimePoint now);
   Popped take_front(std::size_t index);
 
@@ -265,6 +275,8 @@ class TenantDispatchQueue {
   std::array<bool, kSloClassCount> turn_granted_{};
   std::vector<TenantStats> stats_;
   std::uint64_t shed_total_ = 0;
+  std::uint64_t cancelled_total_ = 0;
+  std::unordered_set<std::uint64_t> cancelled_ids_;
   std::size_t size_ = 0;
   std::size_t max_depth_ = 0;
 };

@@ -202,6 +202,101 @@ TEST(FaultReplay, RetriesWithJitterReplayBitForBit) {
                          ca.outstanding);
 }
 
+/// The ToR failure-handling counters (DESIGN §16), field for field.
+void expect_rack_identical(const Replay& a, const Replay& b) {
+  ASSERT_TRUE(a.result.rack.has_value());
+  ASSERT_TRUE(b.result.rack.has_value());
+  const rack::RackStats& ra = *a.result.rack;
+  const rack::RackStats& rb = *b.result.rack;
+  EXPECT_EQ(ra.requests_forwarded, rb.requests_forwarded);
+  EXPECT_EQ(ra.responses_forwarded, rb.responses_forwarded);
+  EXPECT_EQ(ra.rejects_forwarded, rb.rejects_forwarded);
+  EXPECT_EQ(ra.affinity_hits, rb.affinity_hits);
+  EXPECT_EQ(ra.affinity_expired, rb.affinity_expired);
+  EXPECT_EQ(ra.unknown_responses, rb.unknown_responses);
+  EXPECT_EQ(ra.informed_decisions, rb.informed_decisions);
+  EXPECT_EQ(ra.stale_decisions, rb.stale_decisions);
+  EXPECT_EQ(ra.feedback_samples, rb.feedback_samples);
+  EXPECT_EQ(ra.feedback_discarded_dead, rb.feedback_discarded_dead);
+  EXPECT_EQ(ra.probes_sent, rb.probes_sent);
+  EXPECT_EQ(ra.probe_acks, rb.probe_acks);
+  EXPECT_EQ(ra.probe_deaths, rb.probe_deaths);
+  EXPECT_EQ(ra.requests_resteered, rb.requests_resteered);
+  EXPECT_EQ(ra.hedges_sent, rb.hedges_sent);
+  EXPECT_EQ(ra.hedge_wins, rb.hedge_wins);
+  EXPECT_EQ(ra.cancels_sent, rb.cancels_sent);
+  EXPECT_EQ(ra.duplicates_suppressed, rb.duplicates_suppressed);
+  ASSERT_EQ(ra.hosts.size(), rb.hosts.size());
+  for (std::size_t h = 0; h < ra.hosts.size(); ++h) {
+    EXPECT_EQ(ra.hosts[h].requests, rb.hosts[h].requests) << "host " << h;
+    EXPECT_EQ(ra.hosts[h].responses, rb.hosts[h].responses) << "host " << h;
+    EXPECT_EQ(ra.hosts[h].deaths, rb.hosts[h].deaths) << "host " << h;
+    EXPECT_EQ(ra.hosts[h].revivals, rb.hosts[h].revivals) << "host " << h;
+  }
+}
+
+TEST(FaultReplay, FailoverKnobsOffMatchPlainRackBitForBit) {
+  // DESIGN §16 zero-cost contract: a rack whose TorParams spell out every
+  // failover/hedge knob — probe cadence, hedge trigger, cancel policy — but
+  // leave both master switches off must be indistinguishable from a rack
+  // that never mentions failure handling. The knobs may gate no event, no
+  // probe frame, no stored-request copy, no RNG draw.
+  auto plain = base_config(core::SystemKind::kShinjukuOffload, false);
+  plain.with_rack(4, rack::TorPolicy::kPowerOfTwo);
+
+  auto spelled = base_config(core::SystemKind::kShinjukuOffload, false);
+  spelled.with_rack(4, rack::TorPolicy::kPowerOfTwo);
+  rack::TorParams tor;
+  tor.policy = rack::TorPolicy::kPowerOfTwo;
+  tor.failover = false;
+  tor.hedge = false;
+  tor.probe_interval = sim::Duration::micros(100);
+  tor.probe_timeout = sim::Duration::micros(40);
+  tor.hedge_after = sim::Duration::micros(20);
+  tor.hedge_cancel = false;
+  spelled.rack->tor = tor;
+
+  const Replay a = run_once(plain);
+  const Replay b = run_once(spelled);
+  ASSERT_GT(a.log.records().size(), 200u);
+  expect_identical(a, b);
+  expect_rack_identical(a, b);
+  // Off means off: the failure-handling machinery never ran at all.
+  EXPECT_EQ(b.result.rack->probes_sent, 0u);
+  EXPECT_EQ(b.result.rack->hedges_sent, 0u);
+  EXPECT_EQ(b.result.rack->requests_resteered, 0u);
+  EXPECT_EQ(b.result.rack->duplicates_suppressed, 0u);
+  EXPECT_EQ(b.result.server.cancelled, 0u);
+}
+
+TEST(FaultReplay, HedgedFailoverRunReplaysBitForBit) {
+  // The full §16 machinery at once — probing, a mid-run host crash with
+  // drain/re-steer, hedged requests with loser cancellation and duplicate
+  // suppression — replayed bit for bit. An aggressive hedge trigger makes
+  // sure the hedge path actually fires (the bimodal tail and post-crash
+  // backlog leave plenty of requests unanswered after 20 us).
+  auto config = base_config(core::SystemKind::kShinjukuOffload, false);
+  config.with_rack(4, rack::TorPolicy::kPowerOfTwo);
+  rack::TorParams tor;
+  tor.policy = rack::TorPolicy::kPowerOfTwo;
+  tor.failover = true;
+  tor.hedge = true;
+  tor.hedge_after = sim::Duration::micros(20);
+  config.rack->tor = tor;
+  config.with_faults(fault::FaultSchedule{}
+                         .crash_host(at_ms(6), 1)
+                         .recover_host(at_ms(9), 1));
+
+  const Replay first = run_once(config);
+  const Replay second = run_once(config);
+  ASSERT_GT(first.result.rack->hedges_sent, 0u)
+      << "hedge trigger never fired";
+  ASSERT_GE(first.result.rack->hosts.at(1).deaths, 1u)
+      << "the crashed host was never declared dead";
+  expect_identical(first, second);
+  expect_rack_identical(first, second);
+}
+
 TEST(FaultReplay, NoScheduleMatchesPlainBaselineBitForBit) {
   // Zero-cost contract: a config that threads the fault machinery but
   // installs nothing (empty schedule, reliability off) is indistinguishable

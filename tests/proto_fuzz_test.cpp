@@ -41,6 +41,10 @@ TEST_P(ProtoFuzz, RandomBytesNeverCrashAnyParser) {
     (void)proto::RejectMessage::parse(bytes);
     (void)proto::RdmaRunQueueEntry::parse(bytes);
     (void)proto::RdmaCqEntry::parse(bytes);
+    (void)proto::ProbeMessage::parse(bytes, proto::MessageType::kHealthProbe);
+    (void)proto::ProbeMessage::parse(bytes,
+                                     proto::MessageType::kHealthProbeAck);
+    (void)proto::CancelMessage::parse(bytes);
     (void)net::parse_udp_datagram(net::Packet(bytes));
   }
 }

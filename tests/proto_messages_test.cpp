@@ -390,6 +390,17 @@ TEST(AllMessages, ScratchSerializeIntoMatchesOwningSerialize) {
   ack.seq = 8;
   ack.serialize_into(MessageType::kNoteAck, scratch);
   EXPECT_EQ(scratch, ack.serialize(MessageType::kNoteAck));
+
+  ProbeMessage probe;
+  probe.seq = 9;
+  probe.host = 2;
+  probe.serialize_into(MessageType::kHealthProbe, scratch);
+  EXPECT_EQ(scratch, probe.serialize(MessageType::kHealthProbe));
+
+  CancelMessage cancel;
+  cancel.request_id = 5;
+  cancel.serialize_into(scratch);
+  EXPECT_EQ(scratch, cancel.serialize());
 }
 
 TEST(SequencedNote, ParseRejectsBadFlagAndTruncation) {
@@ -405,6 +416,55 @@ TEST(SequencedNote, ParseRejectsBadFlagAndTruncation) {
   auto truncated = bytes;
   truncated.resize(truncated.size() - 1);
   EXPECT_FALSE(SequencedNote::parse(truncated).has_value());
+}
+
+TEST(ProbeMessage, RoundTripBothDirections) {
+  ProbeMessage message;
+  message.seq = 42;
+  message.host = 3;
+  for (const MessageType type :
+       {MessageType::kHealthProbe, MessageType::kHealthProbeAck}) {
+    const auto bytes = message.serialize(type);
+    EXPECT_EQ(peek_type(bytes), type);
+    const auto parsed = ProbeMessage::parse(bytes, type);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, message);
+  }
+}
+
+TEST(ProbeMessage, DirectionMismatchAndTruncationRejected) {
+  // A reflected probe must never parse as its own ack — the expected-type
+  // check is what stops a ToR from healing a host off its own echo.
+  ProbeMessage message;
+  message.seq = 7;
+  message.host = 1;
+  const auto probe = message.serialize(MessageType::kHealthProbe);
+  EXPECT_FALSE(
+      ProbeMessage::parse(probe, MessageType::kHealthProbeAck).has_value());
+  EXPECT_FALSE(ProbeMessage::parse(probe, MessageType::kRequest).has_value());
+  for (std::size_t len = 0; len < probe.size(); ++len) {
+    auto truncated = probe;
+    truncated.resize(len);
+    EXPECT_FALSE(
+        ProbeMessage::parse(truncated, MessageType::kHealthProbe).has_value())
+        << "accepted a " << len << "-byte truncation";
+  }
+}
+
+TEST(CancelMessage, RoundTripAndTruncationRejected) {
+  CancelMessage message;
+  message.request_id = 0xFEEDFACE01ULL;
+  const auto bytes = message.serialize();
+  EXPECT_EQ(peek_type(bytes), MessageType::kCancel);
+  const auto parsed = CancelMessage::parse(bytes);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, message);
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    auto truncated = bytes;
+    truncated.resize(len);
+    EXPECT_FALSE(CancelMessage::parse(truncated).has_value())
+        << "accepted a " << len << "-byte truncation";
+  }
 }
 
 TEST(PeekType, IdentifiesReliableTypes) {

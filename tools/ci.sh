@@ -14,6 +14,11 @@
 #   7. rdma smoke: the RDMA-assisted dispatch tier (queue-pair + rain-server
 #      unit tests, the dispatch-path ablation and rain_sweep shape checks),
 #      same NICSCHED_FAST tier
+#   8. chaos smoke: the rack-scale fault-tolerance tier (chaos storms +
+#      the rack_failover acceptance demo) under NICSCHED_FAST=1, then the
+#      fault + chaos labels again in a separate ASan+UBSan build
+#      ($BUILD_DIR-asan) — the fault paths tear down mid-flight state, so
+#      they get the sanitizer pass
 #
 # Usage: tools/ci.sh [build-dir]    (default: build)
 set -euo pipefail
@@ -43,5 +48,13 @@ echo "==> parallel smoke (NICSCHED_FAST=1, ctest -L parallel)"
 
 echo "==> rdma smoke (NICSCHED_FAST=1, ctest -L rdma)"
 (cd "$BUILD_DIR" && NICSCHED_FAST=1 ctest -L rdma --output-on-failure)
+
+echo "==> chaos smoke (NICSCHED_FAST=1, ctest -L chaos)"
+(cd "$BUILD_DIR" && NICSCHED_FAST=1 ctest -L chaos --output-on-failure)
+
+echo "==> sanitizer pass: fault + chaos labels under ASan+UBSan"
+cmake -B "$BUILD_DIR-asan" -S . -DNICSCHED_SANITIZE=ON
+cmake --build "$BUILD_DIR-asan" -j
+(cd "$BUILD_DIR-asan" && NICSCHED_FAST=1 ctest -L 'fault|chaos' --output-on-failure)
 
 echo "==> ci.sh: all tiers green"
